@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Ablation studies of HARD's design choices (beyond the paper's own
+ * sweeps):
+ *
+ *  (a) §3.5 barrier reset ON vs OFF — false-alarm pruning on the
+ *      barrier-heavy applications and any detection cost;
+ *  (b) Counter Register width 1/2/4 bits — the paper argues 2-bit
+ *      saturating counters suffice;
+ *  (c) unbounded metadata at line granularity — separates the
+ *      granularity approximation from the capacity approximation on
+ *      the way to the ideal configuration.
+ */
+
+#include "bench_util.hh"
+#include "core/hybrid.hh"
+
+using namespace hard;
+
+namespace
+{
+
+DetectorFactory
+ablationDetectors()
+{
+    return [] {
+        std::vector<std::unique_ptr<RaceDetector>> dets;
+
+        dets.push_back(
+            std::make_unique<HardDetector>("hard.base", HardConfig{}));
+
+        HardConfig no_reset;
+        no_reset.barrierReset = false;
+        dets.push_back(
+            std::make_unique<HardDetector>("hard.noBarrierReset",
+                                           no_reset));
+
+        for (unsigned bits : {1u, 2u, 4u}) {
+            HardConfig c;
+            c.counterBits = bits;
+            dets.push_back(std::make_unique<HardDetector>(
+                "hard.ctr" + std::to_string(bits), c));
+        }
+
+        HardConfig unbounded;
+        unbounded.unbounded = true;
+        dets.push_back(std::make_unique<HardDetector>(
+            "hard.unboundedLine", unbounded));
+
+        // The paper's §7 future work: lockset pruned by non-lock
+        // happens-before edges.
+        dets.push_back(
+            std::make_unique<HybridDetector>("hybrid", HardConfig{}));
+
+        // Most faithful §3.6 model: metadata dropped exactly when the
+        // simulated L2 displaces the line.
+        HardConfig coupled;
+        coupled.coupleToCaches = true;
+        dets.push_back(
+            std::make_unique<HardDetector>("hard.coupled", coupled));
+
+        return dets;
+    };
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    BenchOptions opt = parseBenchArgs(argc, argv);
+    printMachineHeader("Ablations — barrier reset, counter width, "
+                       "unbounded line-granularity metadata",
+                       opt);
+
+    Table t("HARD design ablations: bugs detected / false alarms");
+    t.setHeader({"Application", "base", "no barrier reset", "1b ctr",
+                 "2b ctr", "4b ctr", "unbounded (32B)",
+                 "hybrid (para.7)", "L2-coupled meta"});
+
+    for (const std::string &app : paperApps()) {
+        EffectivenessResult res =
+            runEffectiveness(app, opt.params(), defaultSimConfig(),
+                             ablationDetectors(), opt.runs, opt.seed);
+        auto cell = [&](const char *name) {
+            const DetectorScore &s = res.at(name);
+            return std::to_string(s.bugsDetected) + "/" +
+                std::to_string(s.runsAttempted) + " , " +
+                std::to_string(s.falseAlarms);
+        };
+        t.addRow({app, cell("hard.base"), cell("hard.noBarrierReset"),
+                  cell("hard.ctr1"), cell("hard.ctr2"),
+                  cell("hard.ctr4"), cell("hard.unboundedLine"),
+                  cell("hybrid"), cell("hard.coupled")});
+    }
+    printTable(t, opt);
+    std::printf(
+        "Expected: disabling the §3.5 reset multiplies false alarms on "
+        "the barrier-phased applications; counter width beyond 2 bits "
+        "changes nothing (lock sets are tiny); unbounded line-granular "
+        "metadata recovers the displacement-missed bugs but keeps the "
+        "false-sharing alarms; the hybrid keeps HARD's detection "
+        "while pruning the hand-crafted-synchronization alarms.\n");
+    return 0;
+}

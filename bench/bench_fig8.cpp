@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Reproduces paper Figure 8: HARD's execution-time overhead as a
+ * percentage of the unmonitored run, per application (paper:
+ * 0.1%-2.6%), with the bus-traffic breakdown supporting §5.1's claim
+ * that the extra coherence traffic dominates the overhead.
+ */
+
+#include "bench_util.hh"
+
+using namespace hard;
+
+int
+main(int argc, char **argv)
+{
+    BenchOptions opt = parseBenchArgs(argc, argv);
+    printMachineHeader(
+        "Figure 8 — HARD execution-time overhead per application", opt);
+
+    Table t("Figure 8: overhead of HARD (percent of baseline cycles)");
+    t.setHeader({"Application", "Base cycles", "HARD cycles",
+                 "Overhead %", "Meta broadcasts", "Meta bytes",
+                 "Data bytes", "Meta/Data %"});
+
+    std::vector<std::pair<std::string, OverheadResult>> results;
+    for (const std::string &app : paperApps()) {
+        results.emplace_back(app,
+                             measureOverhead(app, opt.params(),
+                                             defaultSimConfig(),
+                                             HardConfig{}));
+    }
+
+    double min_pct = 1e9, max_pct = -1e9;
+    for (const auto &[app, oh] : results) {
+        double meta_share = oh.dataBytes == 0
+            ? 0.0
+            : 100.0 * static_cast<double>(oh.metaBytes) /
+                static_cast<double>(oh.dataBytes);
+        t.addRow({app, std::to_string(oh.baseCycles),
+                  std::to_string(oh.hardCycles),
+                  fmtDouble(oh.overheadPct, 2),
+                  std::to_string(oh.metaBroadcasts),
+                  std::to_string(oh.metaBytes),
+                  std::to_string(oh.dataBytes),
+                  fmtDouble(meta_share, 3)});
+        min_pct = std::min(min_pct, oh.overheadPct);
+        max_pct = std::max(max_pct, oh.overheadPct);
+    }
+    printTable(t, opt);
+
+    // ASCII rendition of the figure.
+    std::printf("Figure 8 (ascii): overhead per application\n");
+    for (const auto &[app, oh] : results) {
+        int bars = static_cast<int>(oh.overheadPct * 10 + 0.5);
+        std::printf("  %-15s %6.2f%% |%s\n", app.c_str(), oh.overheadPct,
+                    std::string(static_cast<std::size_t>(
+                                    std::max(bars, 0)),
+                                '#')
+                        .c_str());
+    }
+    std::printf("\nmeasured overhead range: %.2f%% .. %.2f%% "
+                "(paper: 0.1%% .. 2.6%%)\n",
+                min_pct, max_pct);
+    return 0;
+}

@@ -1,0 +1,184 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks quantifying §3.1's claim that the
+ * lockset set operations become "fast bitwise logic operations" in
+ * HARD: BFVector signature/intersection/emptiness, Lock Register
+ * updates, the Figure 2 state machine, the exact (software) set
+ * intersection they replace, per-access detector costs, and the
+ * underlying cache/bus substrate.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/hard_detector.hh"
+#include "detectors/fasttrack.hh"
+#include "detectors/happens_before.hh"
+#include "detectors/ideal_lockset.hh"
+#include "common/rng.hh"
+
+namespace hard
+{
+namespace
+{
+
+void
+BM_BloomSignature(benchmark::State &state)
+{
+    Rng rng(1);
+    Addr a = rng.next64();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            BfVector::signatureBits(a, 16));
+        a += 64;
+    }
+}
+BENCHMARK(BM_BloomSignature);
+
+void
+BM_BloomIntersectAndTest(benchmark::State &state)
+{
+    BfVector cand = BfVector::allOnes(16);
+    BfVector lockset = BfVector::signatureOf(0x1a4, 16);
+    for (auto _ : state) {
+        BfVector c = cand;
+        c &= lockset;
+        benchmark::DoNotOptimize(c.setEmpty());
+    }
+}
+BENCHMARK(BM_BloomIntersectAndTest);
+
+void
+BM_ExactSetIntersect(benchmark::State &state)
+{
+    // The software operation HARD replaces: intersect two small exact
+    // lock sets (std::set), as Eraser-style implementations do.
+    const std::set<LockAddr> held{0x1a4, 0x2b8};
+    ExactLockset cand;
+    cand.intersect({0x1a4, 0x3cc, 0x4d0});
+    for (auto _ : state) {
+        ExactLockset c = cand;
+        c.intersect(held);
+        benchmark::DoNotOptimize(c.empty());
+    }
+}
+BENCHMARK(BM_ExactSetIntersect);
+
+void
+BM_LockRegisterAcquireRelease(benchmark::State &state)
+{
+    LockRegister lr(16, 2);
+    for (auto _ : state) {
+        lr.acquire(0x1a4);
+        lr.release(0x1a4);
+    }
+    benchmark::DoNotOptimize(lr.vector().raw());
+}
+BENCHMARK(BM_LockRegisterAcquireRelease);
+
+void
+BM_LStateTransition(benchmark::State &state)
+{
+    LState s = LState::Virgin;
+    ThreadId owner = invalidThread;
+    unsigned i = 0;
+    for (auto _ : state) {
+        ++i;
+        LStateStep step = lstateAccess(s, owner, i & 3, (i >> 2) & 1);
+        s = step.next;
+        owner = step.owner;
+        benchmark::DoNotOptimize(step.reportIfEmpty);
+    }
+}
+BENCHMARK(BM_LStateTransition);
+
+/** Drive one detector with a synthetic pre-generated event stream. */
+template <typename Detector>
+void
+drivePerAccess(benchmark::State &state, Detector &det)
+{
+    Rng rng(7);
+    std::vector<MemEvent> evs(4096);
+    for (auto &ev : evs) {
+        ev.tid = static_cast<ThreadId>(rng.below(4));
+        ev.core = ev.tid;
+        ev.addr = 0x10000 + rng.below(4096) * 8;
+        ev.size = 8;
+        ev.write = rng.chance(0.5);
+        ev.site = static_cast<SiteId>(rng.below(16));
+        ev.outcome.stateAfter = CState::Shared;
+        ev.outcome.sharers = 2;
+    }
+    std::size_t i = 0;
+    for (auto _ : state) {
+        const MemEvent &ev = evs[i++ & 4095];
+        if (ev.write)
+            det.onWrite(ev);
+        else
+            det.onRead(ev);
+    }
+}
+
+void
+BM_HardDetectorPerAccess(benchmark::State &state)
+{
+    HardDetector det("hard", HardConfig{});
+    drivePerAccess(state, det);
+}
+BENCHMARK(BM_HardDetectorPerAccess);
+
+void
+BM_HappensBeforePerAccess(benchmark::State &state)
+{
+    HappensBeforeDetector det("hb", HbConfig{});
+    drivePerAccess(state, det);
+}
+BENCHMARK(BM_HappensBeforePerAccess);
+
+void
+BM_FastTrackPerAccess(benchmark::State &state)
+{
+    FastTrackDetector det("ft", 4);
+    drivePerAccess(state, det);
+}
+BENCHMARK(BM_FastTrackPerAccess);
+
+void
+BM_IdealLocksetPerAccess(benchmark::State &state)
+{
+    IdealLocksetDetector det("ls", IdealLocksetConfig{});
+    drivePerAccess(state, det);
+}
+BENCHMARK(BM_IdealLocksetPerAccess);
+
+void
+BM_MemSystemAccess(benchmark::State &state)
+{
+    MemorySystem mem(MemSysConfig{});
+    Rng rng(3);
+    Cycle now = 0;
+    for (auto _ : state) {
+        AccessOutcome out =
+            mem.access(static_cast<CoreId>(rng.below(4)),
+                       0x10000 + rng.below(8192) * 8, 8,
+                       rng.chance(0.3), now);
+        now = out.completeAt;
+    }
+}
+BENCHMARK(BM_MemSystemAccess);
+
+void
+BM_BusTransaction(benchmark::State &state)
+{
+    Bus bus(BusConfig{});
+    Cycle now = 0;
+    for (auto _ : state) {
+        now = bus.transact(TxnType::MetaBroadcast, now);
+    }
+    benchmark::DoNotOptimize(now);
+}
+BENCHMARK(BM_BusTransaction);
+
+} // namespace
+} // namespace hard
+
+BENCHMARK_MAIN();

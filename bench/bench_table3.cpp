@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Reproduces paper Table 3: effectiveness of HARD and happens-before
+ * with the candidate-set/LState/timestamp granularity varied from 4 to
+ * 32 bytes. Detection is expected to be granularity-insensitive while
+ * false alarms grow with granularity (false sharing).
+ */
+
+#include "bench_util.hh"
+
+using namespace hard;
+
+namespace
+{
+
+constexpr unsigned kGrans[] = {4, 8, 16, 32};
+
+DetectorFactory
+granularitySweepDetectors()
+{
+    return [] {
+        std::vector<std::unique_ptr<RaceDetector>> dets;
+        for (unsigned g : kGrans) {
+            HardConfig hc;
+            hc.granularityBytes = g;
+            dets.push_back(std::make_unique<HardDetector>(
+                "hard." + std::to_string(g) + "B", hc));
+            HbConfig bc;
+            bc.granularityBytes = g;
+            dets.push_back(std::make_unique<HappensBeforeDetector>(
+                "hb." + std::to_string(g) + "B", bc));
+        }
+        return dets;
+    };
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    BenchOptions opt = parseBenchArgs(argc, argv);
+    printMachineHeader(
+        "Table 3 — monitoring-granularity sweep (4B..32B)", opt);
+
+    Table bugs("Table 3a: bugs detected vs granularity");
+    bugs.setHeader({"Application", "HARD 4B", "HARD 8B", "HARD 16B",
+                    "HARD 32B", "HB 4B", "HB 8B", "HB 16B", "HB 32B"});
+    Table fas("Table 3b: false alarms vs granularity");
+    fas.setHeader({"Application", "HARD 4B", "HARD 8B", "HARD 16B",
+                   "HARD 32B", "HB 4B", "HB 8B", "HB 16B", "HB 32B"});
+
+    for (const std::string &app : paperApps()) {
+        EffectivenessResult res = runEffectiveness(
+            app, opt.params(), defaultSimConfig(),
+            granularitySweepDetectors(), opt.runs, opt.seed);
+        std::vector<std::string> brow{app}, frow{app};
+        for (const char *alg : {"hard", "hb"}) {
+            for (unsigned g : kGrans) {
+                const DetectorScore &s = res.at(
+                    std::string(alg) + "." + std::to_string(g) + "B");
+                brow.push_back(std::to_string(s.bugsDetected));
+                frow.push_back(std::to_string(s.falseAlarms));
+            }
+        }
+        bugs.addRow(brow);
+        fas.addRow(frow);
+    }
+    printTable(bugs, opt);
+    printTable(fas, opt);
+    std::printf(
+        "Paper shape: detection roughly constant across granularities; "
+        "false alarms increase 4B -> 32B for both algorithms.\n");
+    return 0;
+}

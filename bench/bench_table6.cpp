@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Reproduces paper Table 6: HARD's effectiveness with 16-bit vs
+ * 32-bit Bloom-filter vectors. Candidate/lock sets are small in real
+ * programs, so both widths detect the same bugs and produce
+ * (almost) the same false alarms.
+ */
+
+#include "bench_util.hh"
+
+using namespace hard;
+
+namespace
+{
+
+DetectorFactory
+bloomSweepDetectors()
+{
+    return [] {
+        std::vector<std::unique_ptr<RaceDetector>> dets;
+        for (unsigned bits : {16u, 32u}) {
+            HardConfig hc;
+            hc.bloomBits = bits;
+            dets.push_back(std::make_unique<HardDetector>(
+                "hard." + std::to_string(bits) + "b", hc));
+        }
+        return dets;
+    };
+}
+
+/** Measure the exact set sizes behind the paper's §5.2.3 claim. */
+IdealLocksetDetector::SetSizeStats
+measureSetSizes(const std::string &app, const WorkloadParams &wp,
+                const SimConfig &sim)
+{
+    Program prog = buildWorkload(app, wp);
+    IdealLocksetDetector det("sizes", IdealLocksetConfig{});
+    runWithDetectors(prog, sim, {&det});
+    return det.setSizeStats();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    BenchOptions opt = parseBenchArgs(argc, argv);
+    printMachineHeader("Table 6 — BFVector width: 16b vs 32b", opt);
+
+    Table t("Table 6: HARD effectiveness with 16-bit and 32-bit "
+            "BFVectors");
+    t.setHeader({"Application", "Bugs 16b", "Bugs 32b", "FAs 16b",
+                 "FAs 32b"});
+
+    bool same_bugs = true;
+    for (const std::string &app : paperApps()) {
+        EffectivenessResult res =
+            runEffectiveness(app, opt.params(), defaultSimConfig(),
+                             bloomSweepDetectors(), opt.runs, opt.seed);
+        const DetectorScore &b16 = res.at("hard.16b");
+        const DetectorScore &b32 = res.at("hard.32b");
+        t.addRow({app, std::to_string(b16.bugsDetected),
+                  std::to_string(b32.bugsDetected),
+                  std::to_string(b16.falseAlarms),
+                  std::to_string(b32.falseAlarms)});
+        same_bugs &= b16.bugsDetected == b32.bugsDetected;
+    }
+    printTable(t, opt);
+
+    // §5.2.3's justification: candidate/lock sets are tiny. Measure
+    // them exactly with the ideal detector on the race-free runs.
+    Table sizes("Measured exact set sizes (race-free runs): the "
+                "paper reports max 1 (3 for radix)");
+    sizes.setHeader({"Application", "Max candidate set",
+                     "Max thread lock set"});
+    for (const std::string &app : paperApps()) {
+        auto st = measureSetSizes(app, opt.params(), defaultSimConfig());
+        sizes.addRow({app, std::to_string(st.maxCandidate),
+                      std::to_string(st.maxLockset)});
+    }
+    printTable(sizes, opt);
+
+    std::printf("16-bit and 32-bit vectors detect %s bug counts.\n"
+                "Paper: identical detection, near-identical alarms — "
+                "16 bits suffice because candidate/lock sets are tiny.\n",
+                same_bugs ? "identical" : "different");
+    return 0;
+}

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Shared helpers for the table/figure reproduction benches: command
+ * line handling (scale, runs, seed), the canonical application list,
+ * and result formatting.
+ *
+ * Every bench accepts:
+ *   --scale=<f>   workload scale factor (default 1.0, the paper size)
+ *   --runs=<n>    injected-bug runs per application (default 10)
+ *   --seed=<n>    base injection seed (default 1000)
+ *   --csv         additionally print tables as CSV
+ */
+
+#ifndef HARD_BENCH_BENCH_UTIL_HH
+#define HARD_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/table.hh"
+#include "harness/experiment.hh"
+
+namespace hard
+{
+
+/** Parsed common bench options. */
+struct BenchOptions
+{
+    double scale = 1.0;
+    unsigned runs = 10;
+    std::uint64_t seed = 1000;
+    bool csv = false;
+
+    WorkloadParams
+    params() const
+    {
+        WorkloadParams p;
+        p.scale = scale;
+        return p;
+    }
+};
+
+/** Parse the common options; fatal() on unknown arguments. */
+inline BenchOptions
+parseBenchArgs(int argc, char **argv)
+{
+    BenchOptions opt;
+    for (int i = 1; i < argc; ++i) {
+        const char *a = argv[i];
+        if (std::strncmp(a, "--scale=", 8) == 0) {
+            opt.scale = std::atof(a + 8);
+        } else if (std::strncmp(a, "--runs=", 7) == 0) {
+            opt.runs = static_cast<unsigned>(std::atoi(a + 7));
+        } else if (std::strncmp(a, "--seed=", 7) == 0) {
+            opt.seed = static_cast<std::uint64_t>(std::atoll(a + 7));
+        } else if (std::strcmp(a, "--csv") == 0) {
+            opt.csv = true;
+        } else {
+            fatal("unknown argument '%s' "
+                  "(expected --scale= --runs= --seed= --csv)",
+                  a);
+        }
+    }
+    hard_fatal_if(opt.scale <= 0.0, "scale must be positive");
+    hard_fatal_if(opt.runs == 0, "runs must be positive");
+    return opt;
+}
+
+/** The six applications in the paper's Table 2 order. */
+inline std::vector<std::string>
+paperApps()
+{
+    std::vector<std::string> names;
+    for (const WorkloadInfo &w : allWorkloads())
+        names.push_back(w.name);
+    return names;
+}
+
+/** Print a finished table (and optionally its CSV). */
+inline void
+printTable(const Table &t, const BenchOptions &opt)
+{
+    std::fputs(t.render().c_str(), stdout);
+    if (opt.csv) {
+        std::fputs("\n[csv]\n", stdout);
+        std::fputs(t.csv().c_str(), stdout);
+    }
+    std::fputs("\n", stdout);
+}
+
+/** Standard header identifying the simulated machine (Table 1). */
+inline void
+printMachineHeader(const char *what, const BenchOptions &opt)
+{
+    SimConfig cfg = defaultSimConfig();
+    std::printf(
+        "%s\n"
+        "simulated CMP (paper Table 1): %u cores, L1 %lluKB/%u-way, "
+        "L2 %lluKB/%u-way, %uB lines, mem %llu cycles\n"
+        "scale=%.2f runs=%u seed=%llu\n\n",
+        what, cfg.memsys.numCores,
+        static_cast<unsigned long long>(cfg.memsys.l1.sizeBytes / 1024),
+        cfg.memsys.l1.assoc,
+        static_cast<unsigned long long>(cfg.memsys.l2.sizeBytes / 1024),
+        cfg.memsys.l2.assoc, cfg.memsys.l1.lineBytes,
+        static_cast<unsigned long long>(cfg.memsys.memLatency), opt.scale,
+        opt.runs, static_cast<unsigned long long>(opt.seed));
+}
+
+/** "9/10"-style cell. */
+inline std::string
+fracCell(unsigned num, unsigned den)
+{
+    return std::to_string(num) + "/" + std::to_string(den);
+}
+
+} // namespace hard
+
+#endif // HARD_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Reproduces the paper's Figure 7: a barrier-ordered hand-off that is
+ * race-free but violates the naive locking discipline, and the §3.5
+ * barrier flash-reset that prunes the false alarm.
+ *
+ *   Thread 1: reads/writes A[0..7];   barrier;
+ *   Thread 2:                         barrier;  reads/writes A[0..7]
+ *
+ * Without the reset, lockset reports races on A (no common lock ever
+ * protects it); with the reset, the pre-barrier access history is
+ * discarded and the program is silent.
+ */
+
+#include <cstdio>
+
+#include "core/hard_detector.hh"
+#include "sim/system.hh"
+#include "workloads/builder.hh"
+
+using namespace hard;
+
+namespace
+{
+
+Program
+buildFigure7()
+{
+    WorkloadBuilder b("figure7", 2);
+    const Addr array_a = b.alloc("A", 8 * 8, 32);
+    const Addr bar = b.allocBarrier("bar");
+    const SiteId s1 = b.site("thread1.pre.rw");
+    const SiteId s2 = b.site("thread2.post.rw");
+    const SiteId sb = b.site("barrier");
+
+    for (unsigned i = 0; i < 8; ++i) {
+        b.read(0, array_a + i * 8, 8, s1);
+        b.write(0, array_a + i * 8, 8, s1);
+    }
+    b.barrierAll(bar, sb);
+    for (unsigned i = 0; i < 8; ++i) {
+        b.read(1, array_a + i * 8, 8, s2);
+        b.write(1, array_a + i * 8, 8, s2);
+    }
+    return b.finish();
+}
+
+std::size_t
+alarmsWithReset(bool reset)
+{
+    Program prog = buildFigure7();
+    HardConfig cfg;
+    cfg.barrierReset = reset;
+    System sys(SimConfig{}, prog);
+    HardDetector hard("HARD", cfg);
+    sys.addObserver(&hard);
+    sys.run();
+    return hard.sink().distinctSiteCount();
+}
+
+} // namespace
+
+int
+main()
+{
+    std::size_t with = alarmsWithReset(true);
+    std::size_t without = alarmsWithReset(false);
+    std::printf("Figure 7 barrier hand-off over array A:\n"
+                "  HARD with the Section 3.5 barrier reset : %zu "
+                "alarms\n"
+                "  HARD without the reset                  : %zu "
+                "alarms\n\n",
+                with, without);
+    bool ok = with == 0 && without > 0;
+    std::printf("%s: the flash reset prunes the barrier-induced false "
+                "positive.\n",
+                ok ? "REPRODUCED" : "UNEXPECTED");
+    return ok ? 0 : 1;
+}

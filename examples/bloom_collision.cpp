@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Reproduces the paper's Figure 5: a Bloom-filter-induced false
+ * negative. The candidate set is C(v) = {L1, L2}; the accessing
+ * thread holds {L3}. The true intersection is empty (a race), but L3
+ * collides with L1/L2 in every part of the 16-bit BFVector, so the
+ * hardware sees a non-empty vector and hides the race. The example
+ * also shows the same addresses under the 32-bit vector and the §3.2
+ * probability of such collisions.
+ */
+
+#include <cstdio>
+
+#include "core/bloom.hh"
+
+using namespace hard;
+
+namespace
+{
+
+/** Build a lock address with the given four 2-bit part indices. */
+Addr
+lockWithIndices(unsigned i0, unsigned i1, unsigned i2, unsigned i3)
+{
+    return (Addr{i0} << 2) | (Addr{i1} << 4) | (Addr{i2} << 6) |
+        (Addr{i3} << 8);
+}
+
+} // namespace
+
+int
+main()
+{
+    // L3's per-part indices collide alternately with L1's and L2's.
+    const Addr l1 = lockWithIndices(0, 0, 0, 0) | 0x400000;
+    const Addr l2 = lockWithIndices(1, 1, 1, 1) | 0x400000;
+    const Addr l3 = lockWithIndices(0, 1, 0, 1) | 0x400000;
+
+    BfVector cand(16);
+    cand |= BfVector::signatureOf(l1, 16);
+    cand |= BfVector::signatureOf(l2, 16);
+    BfVector lockset = BfVector::signatureOf(l3, 16);
+
+    std::printf("Figure 5 — a false negative caused by the Bloom "
+                "filter (16-bit BFVector, 4 parts):\n\n");
+    std::printf("  C(v) = {L1, L2}     -> %s\n",
+                cand.toString().c_str());
+    std::printf("  L(t) = {L3}         -> %s\n",
+                lockset.toString().c_str());
+
+    BfVector inter = cand;
+    inter &= lockset;
+    std::printf("  C(v) AND L(t)       -> %s   (setEmpty: %s)\n\n",
+                inter.toString().c_str(),
+                inter.setEmpty() ? "yes" : "NO");
+    std::printf("  The true intersection {L1,L2} n {L3} is empty — a "
+                "race — but every part of the\n  vector keeps a bit, "
+                "so the 16-bit hardware would miss it.\n\n");
+
+    // The same three locks under a 32-bit vector: the wider parts
+    // separate the indices, exposing the empty set.
+    BfVector cand32(32);
+    cand32 |= BfVector::signatureOf(l1, 32);
+    cand32 |= BfVector::signatureOf(l2, 32);
+    BfVector inter32 = cand32;
+    inter32 &= BfVector::signatureOf(l3, 32);
+    std::printf("  With a 32-bit BFVector the same intersection is "
+                "empty: %s\n\n",
+                inter32.setEmpty() ? "yes (race exposed)" : "no");
+
+    std::printf("  Section 3.2 collision probabilities (16-bit, part "
+                "length 4):\n");
+    for (unsigned m = 1; m <= 3; ++m) {
+        std::printf("    |C(v)| = %u  ->  CR_whole = %.4f\n", m,
+                    bloomMissProbability(4, m));
+    }
+    std::printf("\n  Candidate sets in real programs are tiny (the "
+                "paper measures max size 1-3),\n  so the 16-bit "
+                "vector loses almost nothing — see bench_table6.\n");
+    return inter.setEmpty() ? 1 : 0;
+}

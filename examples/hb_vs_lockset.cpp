@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Reproduces the paper's Figure 1: an execution interleaving in which
+ * the happens-before algorithm cannot detect the data race on x while
+ * the lockset algorithm (and HARD) can.
+ *
+ *   Thread 1:  x = 1;  lock(L); y++; unlock(L);
+ *   Thread 2:  (later) lock(L); y++; unlock(L);  x = 2;
+ *
+ * In this interleaving thread 2's unprotected x access is transitively
+ * ordered after thread 1's through L's release->acquire edge, so
+ * happens-before sees no race; the locking-discipline violation on x
+ * is interleaving-independent, so lockset flags it.
+ */
+
+#include <cstdio>
+
+#include "core/hard_detector.hh"
+#include "detectors/happens_before.hh"
+#include "detectors/ideal_lockset.hh"
+#include "sim/system.hh"
+#include "workloads/builder.hh"
+
+using namespace hard;
+
+int
+main()
+{
+    WorkloadBuilder b("figure1", 2);
+    const Addr x = b.alloc("x", 8, 32);
+    const Addr y = b.alloc("y", 8, 32);
+    const LockAddr l = b.allocLock("L");
+    const SiteId sx1 = b.site("thread1.x.write");
+    const SiteId sy = b.site("y.critical.section");
+    const SiteId sx2 = b.site("thread2.x.write");
+
+    // Thread 1 (tid 0).
+    b.write(0, x, 8, sx1);
+    b.lock(0, l, sy);
+    b.read(0, y, 8, sy);
+    b.write(0, y, 8, sy);
+    b.unlock(0, l, sy);
+
+    // Thread 2 (tid 1) runs after thread 1 in this interleaving.
+    b.compute(1, 10000);
+    b.lock(1, l, sy);
+    b.read(1, y, 8, sy);
+    b.write(1, y, 8, sy);
+    b.unlock(1, l, sy);
+    b.write(1, x, 8, sx2);
+
+    Program prog = b.finish();
+
+    System sys(SimConfig{}, prog);
+    HappensBeforeDetector hb("happens-before", HbConfig::ideal());
+    IdealLocksetDetector lockset("lockset", IdealLocksetConfig{});
+    HardDetector hard("HARD", HardConfig{});
+    sys.addObserver(&hb);
+    sys.addObserver(&lockset);
+    sys.addObserver(&hard);
+    sys.run();
+
+    auto show = [&](const RaceDetector &d) {
+        std::printf("%-14s: %zu race(s)", d.name().c_str(),
+                    d.sink().distinctSiteCount());
+        for (SiteId s : d.sink().sites())
+            std::printf("  [%s]", prog.sites.name(s).c_str());
+        std::printf("\n");
+    };
+    std::printf("Figure 1 interleaving — race on x, ordered through "
+                "lock L:\n");
+    show(hb);
+    show(lockset);
+    show(hard);
+
+    bool ok = hb.sink().distinctSiteCount() == 0 &&
+        lockset.sink().distinctSiteCount() > 0 &&
+        hard.sink().distinctSiteCount() > 0;
+    std::printf("\n%s: happens-before misses the race; lockset and "
+                "HARD catch it.\n",
+                ok ? "REPRODUCED" : "UNEXPECTED");
+    return ok ? 0 : 1;
+}

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Quickstart: build a tiny two-thread program with a missing lock,
+ * run it on the simulated CMP with the HARD detector attached, and
+ * print the races it reports.
+ *
+ * Thread 0 updates a shared counter under the lock; thread 1 "forgets"
+ * the lock for the same update — the bug class the paper injects.
+ */
+
+#include <cstdio>
+
+#include "core/hard_detector.hh"
+#include "harness/experiment.hh"
+#include "sim/system.hh"
+#include "workloads/builder.hh"
+
+using namespace hard;
+
+int
+main()
+{
+    // 1. Author a tiny workload: two threads, one shared counter.
+    WorkloadBuilder b("quickstart", 2);
+    const Addr counter = b.alloc("counter", 8);
+    const LockAddr lock = b.allocLock("counterLock");
+    const SiteId s_lock = b.site("update.lock");
+    const SiteId s_read = b.site("update.read");
+    const SiteId s_write = b.site("update.write");
+
+    for (int i = 0; i < 4; ++i) {
+        // Thread 0: disciplined.
+        b.lock(0, lock, s_lock);
+        b.read(0, counter, 8, s_read);
+        b.write(0, counter, 8, s_write);
+        b.unlock(0, lock, s_lock);
+        b.compute(0, 500);
+
+        // Thread 1: forgot the lock (the injected-race bug class).
+        b.read(1, counter, 8, s_read);
+        b.write(1, counter, 8, s_write);
+        b.compute(1, 500);
+    }
+    Program prog = b.finish();
+
+    // 2. Run it on the simulated 4-core CMP with HARD attached.
+    SimConfig sim = defaultSimConfig();
+    System system(sim, prog);
+    HardDetector hard("hard", HardConfig{});
+    system.addObserver(&hard);
+    RunResult res = system.run();
+
+    // 3. Inspect the reports.
+    std::printf("simulated %llu cycles, %llu reads, %llu writes\n",
+                static_cast<unsigned long long>(res.totalCycles),
+                static_cast<unsigned long long>(res.dataReads),
+                static_cast<unsigned long long>(res.dataWrites));
+    std::printf("HARD reported %zu distinct racy sites:\n",
+                hard.sink().distinctSiteCount());
+    for (SiteId s : hard.sink().sites())
+        std::printf("  race at %s\n", prog.sites.name(s).c_str());
+
+    return hard.sink().distinctSiteCount() > 0 ? 0 : 1;
+}

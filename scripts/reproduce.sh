@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Reproduce everything: build, run the full test suite, and regenerate
+# every table/figure of the paper at the default (paper) scale.
+#
+# Usage: scripts/reproduce.sh [--quick]
+#   --quick   run the benches at reduced scale/runs (minutes, not tens
+#             of minutes); detection counts will be out of N<10 runs.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SCALE_ARGS=()
+if [[ "${1:-}" == "--quick" ]]; then
+    SCALE_ARGS=(--scale=0.25 --runs=4)
+fi
+
+cmake -B build -G Ninja
+cmake --build build
+
+ctest --test-dir build --output-on-failure 2>&1 | tee test_output.txt
+
+{
+    for b in build/bench/*; do
+        [[ -f "$b" && -x "$b" ]] || continue
+        echo "================ $(basename "$b") ================"
+        if [[ "$(basename "$b")" == "bench_micro" ]]; then
+            "$b"
+        else
+            "$b" "${SCALE_ARGS[@]}"
+        fi
+        echo
+    done
+} 2>&1 | tee bench_output.txt
+
+echo "done: see test_output.txt and bench_output.txt"

@@ -1,0 +1,260 @@
+#include "coherence/memsys.hh"
+
+#include "common/logging.hh"
+
+namespace hard
+{
+
+const char *
+txnName(TxnType t)
+{
+    switch (t) {
+      case TxnType::BusRd:
+        return "BusRd";
+      case TxnType::BusRdX:
+        return "BusRdX";
+      case TxnType::BusUpgr:
+        return "BusUpgr";
+      case TxnType::Writeback:
+        return "Writeback";
+      case TxnType::MetaBroadcast:
+        return "MetaBroadcast";
+      case TxnType::MetaDirectory:
+        return "MetaDirectory";
+    }
+    return "?";
+}
+
+const char *
+accessSourceName(AccessSource s)
+{
+    switch (s) {
+      case AccessSource::L1:
+        return "L1";
+      case AccessSource::OtherL1:
+        return "OtherL1";
+      case AccessSource::L2:
+        return "L2";
+      case AccessSource::Memory:
+        return "Memory";
+    }
+    return "?";
+}
+
+MemorySystem::MemorySystem(const MemSysConfig &cfg)
+    : cfg_(cfg), bus_(cfg.bus), stats_("memsys")
+{
+    hard_fatal_if(cfg_.numCores == 0, "memsys: zero cores");
+    hard_fatal_if(cfg_.l1.lineBytes != cfg_.l2.lineBytes,
+                  "memsys: L1/L2 line sizes differ (%u vs %u)",
+                  cfg_.l1.lineBytes, cfg_.l2.lineBytes);
+    for (CoreId c = 0; c < cfg_.numCores; ++c) {
+        l1s_.push_back(std::make_unique<SetAssocCache>(
+            "l1." + std::to_string(c), cfg_.l1));
+    }
+    l2_ = std::make_unique<SetAssocCache>("l2", cfg_.l2);
+}
+
+unsigned
+MemorySystem::sharerCount(Addr addr) const
+{
+    unsigned n = 0;
+    for (const auto &l1 : l1s_)
+        if (l1->findLine(addr) != nullptr)
+            ++n;
+    return n;
+}
+
+void
+MemorySystem::backInvalidate(Addr line, CoreId keep)
+{
+    for (CoreId c = 0; c < cfg_.numCores; ++c) {
+        if (c == keep)
+            continue;
+        if (l1s_[c]->invalidate(line))
+            ++stats_.counter("backInvalidations");
+    }
+}
+
+bool
+MemorySystem::ensureInL2(Addr line, bool dirty, Cycle &completeAt, Cycle now)
+{
+    CacheLine *l2line = l2_->findLine(line);
+    if (l2line != nullptr) {
+        l2_->touch(line);
+        if (dirty)
+            l2line->cstate = CState::Modified;
+        return false;
+    }
+    // L2 miss: fetch from memory.
+    completeAt = std::max(completeAt, now) + cfg_.memLatency;
+    auto ev = l2_->insert(line, dirty ? CState::Modified
+                                      : CState::Exclusive);
+    if (ev) {
+        // Inclusive L2: displace any L1 copies of the victim.
+        backInvalidate(ev->lineAddr, invalidCore);
+        ++stats_.counter("l2Evictions");
+        if (ev->dirty)
+            bus_.transact(TxnType::Writeback, completeAt);
+        if (onL2Evict_)
+            onL2Evict_(ev->lineAddr);
+    }
+    return true;
+}
+
+void
+MemorySystem::fillL1(CoreId core, Addr line, CState st, Cycle at)
+{
+    auto ev = l1s_[core]->insert(line, st);
+    if (ev && ev->dirty) {
+        // Dirty victim drains toward the L2 over the bus.
+        bus_.transact(TxnType::Writeback, at);
+        CacheLine *l2line = l2_->findLine(ev->lineAddr);
+        // Inclusive hierarchy: the victim must still be in L2 unless it
+        // was just displaced by the concurrent L2 fill.
+        if (l2line != nullptr)
+            l2line->cstate = CState::Modified;
+    }
+}
+
+AccessOutcome
+MemorySystem::access(CoreId core, Addr addr, unsigned size, bool write,
+                     Cycle now)
+{
+    hard_panic_if(core >= cfg_.numCores, "memsys: bad core %u", core);
+    const unsigned line_bytes = cfg_.l1.lineBytes;
+    hard_panic_if(size == 0 || (addr % line_bytes) + size > line_bytes,
+                  "memsys: access %llx+%u crosses a %u-byte line",
+                  static_cast<unsigned long long>(addr), size, line_bytes);
+
+    const Addr line = cfg_.l1.lineAddr(addr);
+    SetAssocCache &l1 = *l1s_[core];
+    AccessOutcome out;
+    ++stats_.counter(write ? "writes" : "reads");
+
+    CacheLine *mine = l1.findLine(line);
+    if (mine != nullptr) {
+        l1.touch(line);
+        if (!write) {
+            // Read hit in any valid state.
+            out.completeAt = now + cfg_.l1.hitLatency;
+            out.l1Hit = true;
+            out.source = AccessSource::L1;
+            out.stateAfter = mine->cstate;
+            out.sharers = sharerCount(line);
+            ++l1.stats().counter("readHits");
+            return out;
+        }
+        if (canWrite(mine->cstate)) {
+            // Write hit in E/M; silent E->M upgrade.
+            mine->cstate = CState::Modified;
+            out.completeAt = now + cfg_.l1.hitLatency;
+            out.l1Hit = true;
+            out.source = AccessSource::L1;
+            out.stateAfter = CState::Modified;
+            out.sharers = sharerCount(line);
+            ++l1.stats().counter("writeHits");
+            return out;
+        }
+        // Write to a Shared line: BusUpgr invalidates other copies.
+        Cycle done = bus_.transact(TxnType::BusUpgr,
+                                   now + cfg_.l1.hitLatency);
+        backInvalidate(line, core);
+        mine->cstate = CState::Modified;
+        out.completeAt = done;
+        out.l1Hit = false;
+        out.source = AccessSource::L1;
+        out.stateAfter = CState::Modified;
+        out.sharers = 1;
+        ++l1.stats().counter("upgrades");
+        return out;
+    }
+
+    // L1 miss: issue BusRd / BusRdX after the (wasted) L1 lookup.
+    ++l1.stats().counter(write ? "writeMisses" : "readMisses");
+    Cycle done =
+        bus_.transact(write ? TxnType::BusRdX : TxnType::BusRd,
+                      now + cfg_.l1.hitLatency);
+
+    // Snoop the other L1s.
+    CoreId owner = invalidCore;
+    bool any_other = false;
+    for (CoreId c = 0; c < cfg_.numCores; ++c) {
+        if (c == core)
+            continue;
+        CacheLine *theirs = l1s_[c]->findLine(line);
+        if (theirs == nullptr)
+            continue;
+        any_other = true;
+        if (theirs->cstate == CState::Modified)
+            owner = c;
+    }
+
+    if (owner != invalidCore) {
+        // Cache-to-cache supply from the modified owner; the owner's
+        // copy degrades to Shared (read) or Invalid (write), and the
+        // L2 absorbs the dirty data.
+        CacheLine *theirs = l1s_[owner]->findLine(line);
+        CacheLine *l2line = l2_->findLine(line);
+        hard_panic_if(l2line == nullptr,
+                      "memsys: M line %llx missing from inclusive L2",
+                      static_cast<unsigned long long>(line));
+        l2line->cstate = CState::Modified;
+        if (write) {
+            l1s_[owner]->invalidate(line);
+        } else {
+            theirs->cstate = CState::Shared;
+        }
+        out.source = AccessSource::OtherL1;
+        ++stats_.counter("cacheToCache");
+    } else {
+        // Served by L2 (or memory beneath it).
+        Cycle l2_done = done + cfg_.l2.hitLatency;
+        bool l2_missed = ensureInL2(line, false, l2_done, done);
+        if (l2_missed) {
+            out.source = AccessSource::Memory;
+            ++stats_.counter("memFetches");
+        } else {
+            out.source = AccessSource::L2;
+        }
+        done = l2_done;
+        if (write && any_other)
+            backInvalidate(line, core);
+    }
+
+    if (write && owner != invalidCore) {
+        // Other copies besides the owner also invalidate on BusRdX.
+        backInvalidate(line, core);
+    } else if (!write && any_other && owner == invalidCore) {
+        // Readers sharing a clean line: demote any E copy to S.
+        for (CoreId c = 0; c < cfg_.numCores; ++c) {
+            if (c == core)
+                continue;
+            CacheLine *theirs = l1s_[c]->findLine(line);
+            if (theirs != nullptr && theirs->cstate == CState::Exclusive)
+                theirs->cstate = CState::Shared;
+        }
+    }
+
+    CState fill_state;
+    if (write) {
+        fill_state = CState::Modified;
+    } else if (any_other ||
+               cfg_.protocol == CoherenceProtocol::MSI) {
+        // MSI has no Exclusive state: clean fills are always Shared,
+        // so the first write pays a BusUpgr that MESI avoids.
+        fill_state = CState::Shared;
+    } else {
+        fill_state = CState::Exclusive;
+    }
+    fillL1(core, line, fill_state, done);
+
+    out.completeAt = done;
+    out.l1Hit = false;
+    out.stateAfter = fill_state;
+    out.sharers = sharerCount(line);
+    out.lineTransferred = true;
+    return out;
+}
+
+} // namespace hard

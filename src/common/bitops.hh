@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Bit-manipulation helpers used throughout the cache and Bloom-filter
+ * models.
+ */
+
+#ifndef HARD_COMMON_BITOPS_HH
+#define HARD_COMMON_BITOPS_HH
+
+#include <cstdint>
+
+#include "types.hh"
+
+namespace hard
+{
+
+/** @return true if @p v is a power of two (0 is not). */
+constexpr bool
+isPowerOf2(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** @return floor(log2(v)); v must be non-zero. */
+constexpr unsigned
+floorLog2(std::uint64_t v)
+{
+    unsigned l = 0;
+    while (v >>= 1)
+        ++l;
+    return l;
+}
+
+/**
+ * Extract bits [first, last] (inclusive, last >= first) of @p v,
+ * right-justified.
+ */
+constexpr std::uint64_t
+bits(std::uint64_t v, unsigned last, unsigned first)
+{
+    const unsigned nbits = last - first + 1;
+    const std::uint64_t mask =
+        nbits >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << nbits) - 1);
+    return (v >> first) & mask;
+}
+
+/** Align @p a down to a multiple of @p align (power of two). */
+constexpr Addr
+alignDown(Addr a, std::uint64_t align)
+{
+    return a & ~(align - 1);
+}
+
+/** Align @p a up to a multiple of @p align (power of two). */
+constexpr Addr
+alignUp(Addr a, std::uint64_t align)
+{
+    return (a + align - 1) & ~(align - 1);
+}
+
+/** Population count. */
+constexpr unsigned
+popCount(std::uint64_t v)
+{
+    unsigned c = 0;
+    while (v) {
+        v &= v - 1;
+        ++c;
+    }
+    return c;
+}
+
+} // namespace hard
+
+#endif // HARD_COMMON_BITOPS_HH

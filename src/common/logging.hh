@@ -1,0 +1,67 @@
+/**
+ * @file
+ * gem5-style status/error reporting: panic(), fatal(), warn(), inform().
+ *
+ * panic() is for internal invariant violations (simulator bugs) and
+ * aborts; fatal() is for user/configuration errors and exits cleanly.
+ */
+
+#ifndef HARD_COMMON_LOGGING_HH
+#define HARD_COMMON_LOGGING_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace hard
+{
+
+/**
+ * Report an internal error that should never happen and abort().
+ * Use for simulator bugs, not user mistakes.
+ */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Report an unrecoverable user/configuration error and exit(1).
+ */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Report suspicious but non-fatal conditions. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Report normal operating status. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Globally silence warn()/inform() (used by tests and benches). */
+void setQuiet(bool quiet);
+
+/** @return true if warn()/inform() are currently silenced. */
+bool isQuiet();
+
+/** Format printf-style arguments into a std::string. */
+std::string vformat(const char *fmt, std::va_list ap);
+
+/**
+ * Internal helper behind the panic_if/fatal_if convenience macros.
+ * @{
+ */
+#define hard_panic_if(cond, ...)                                            \
+    do {                                                                    \
+        if (cond) {                                                         \
+            ::hard::panic(__VA_ARGS__);                                     \
+        }                                                                   \
+    } while (0)
+
+#define hard_fatal_if(cond, ...)                                            \
+    do {                                                                    \
+        if (cond) {                                                         \
+            ::hard::fatal(__VA_ARGS__);                                     \
+        }                                                                   \
+    } while (0)
+/** @} */
+
+} // namespace hard
+
+#endif // HARD_COMMON_LOGGING_HH

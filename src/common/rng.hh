@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generator (splitmix64/xorshift).
+ *
+ * Every stochastic choice in the reproduction (bug-injection sites,
+ * workload layouts, Monte-Carlo collision studies) draws from this RNG so
+ * that runs are exactly reproducible from a seed.
+ */
+
+#ifndef HARD_COMMON_RNG_HH
+#define HARD_COMMON_RNG_HH
+
+#include <cstdint>
+
+#include "logging.hh"
+
+namespace hard
+{
+
+/**
+ * Small, fast, seedable PRNG (xorshift128+ seeded via splitmix64).
+ * Not cryptographic; statistically fine for simulation use.
+ */
+class Rng
+{
+  public:
+    /** Construct with a 64-bit seed; equal seeds yield equal streams. */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL)
+    {
+        reseed(seed);
+    }
+
+    /** Reset the generator to the stream defined by @p seed. */
+    void
+    reseed(std::uint64_t seed)
+    {
+        // splitmix64 to spread low-entropy seeds across the state.
+        auto next = [&seed]() {
+            seed += 0x9e3779b97f4a7c15ULL;
+            std::uint64_t z = seed;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+            return z ^ (z >> 31);
+        };
+        s0_ = next();
+        s1_ = next();
+        if (s0_ == 0 && s1_ == 0)
+            s1_ = 1;
+    }
+
+    /** @return the next 64 uniformly random bits. */
+    std::uint64_t
+    next64()
+    {
+        std::uint64_t x = s0_;
+        const std::uint64_t y = s1_;
+        s0_ = y;
+        x ^= x << 23;
+        s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+        return s1_ + y;
+    }
+
+    /** @return a uniform integer in [0, bound); bound must be > 0. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        hard_panic_if(bound == 0, "Rng::below called with bound 0");
+        // Rejection-free modulo is fine for simulation purposes.
+        return next64() % bound;
+    }
+
+    /** @return a uniform integer in [lo, hi] inclusive. */
+    std::uint64_t
+    range(std::uint64_t lo, std::uint64_t hi)
+    {
+        hard_panic_if(lo > hi, "Rng::range with lo > hi");
+        return lo + below(hi - lo + 1);
+    }
+
+    /** @return a uniform double in [0, 1). */
+    double
+    real()
+    {
+        return static_cast<double>(next64() >> 11) * 0x1.0p-53;
+    }
+
+    /** @return true with probability @p p. */
+    bool
+    chance(double p)
+    {
+        return real() < p;
+    }
+
+  private:
+    std::uint64_t s0_ = 0;
+    std::uint64_t s1_ = 0;
+};
+
+} // namespace hard
+
+#endif // HARD_COMMON_RNG_HH

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Registry of static source sites.
+ *
+ * The paper counts false alarms "at source code level": each reported
+ * race is mapped back to a static program location, and distinct
+ * locations are counted once. Workload programs label every access with
+ * a SiteId obtained from this registry; detectors report races against
+ * SiteIds so the harness can deduplicate exactly as the paper does.
+ */
+
+#ifndef HARD_COMMON_SITE_HH
+#define HARD_COMMON_SITE_HH
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "types.hh"
+
+namespace hard
+{
+
+/** Interns human-readable site names ("app.cc:forces_loop") to SiteIds. */
+class SiteRegistry
+{
+  public:
+    /** Intern @p name, returning a stable SiteId. Idempotent. */
+    SiteId
+    intern(const std::string &name)
+    {
+        auto it = byName_.find(name);
+        if (it != byName_.end())
+            return it->second;
+        SiteId id = static_cast<SiteId>(names_.size());
+        names_.push_back(name);
+        byName_.emplace(name, id);
+        return id;
+    }
+
+    /** @return the name for @p id ("<unknown>" if out of range). */
+    const std::string &
+    name(SiteId id) const
+    {
+        static const std::string unknown = "<unknown>";
+        return id < names_.size() ? names_[id] : unknown;
+    }
+
+    std::size_t size() const { return names_.size(); }
+
+  private:
+    std::vector<std::string> names_;
+    std::unordered_map<std::string, SiteId> byName_;
+};
+
+} // namespace hard
+
+#endif // HARD_COMMON_SITE_HH

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Minimal named-statistics framework, loosely modelled on gem5's stats
+ * package: named scalar counters grouped under an owning component, with
+ * a flat dump interface used by the experiment harness.
+ */
+
+#ifndef HARD_COMMON_STATS_HH
+#define HARD_COMMON_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace hard
+{
+
+/** A single named 64-bit counter. */
+class Counter
+{
+  public:
+    Counter() = default;
+
+    Counter &
+    operator++()
+    {
+        ++value_;
+        return *this;
+    }
+
+    Counter &
+    operator+=(std::uint64_t v)
+    {
+        value_ += v;
+        return *this;
+    }
+
+    void set(std::uint64_t v) { value_ = v; }
+    void reset() { value_ = 0; }
+    std::uint64_t value() const { return value_; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/**
+ * A group of named counters belonging to one simulated component.
+ * Counters are created lazily on first reference and live for the
+ * lifetime of the group.
+ */
+class StatGroup
+{
+  public:
+    /** @param name Dotted prefix for all counters in this group. */
+    explicit StatGroup(std::string name) : name_(std::move(name)) {}
+
+    /** Fetch (creating if needed) the counter called @p stat. */
+    Counter &counter(const std::string &stat) { return counters_[stat]; }
+
+    /** Read-only lookup; returns 0 for unknown counters. */
+    std::uint64_t
+    value(const std::string &stat) const
+    {
+        auto it = counters_.find(stat);
+        return it == counters_.end() ? 0 : it->second.value();
+    }
+
+    /** Reset every counter in the group. */
+    void
+    resetAll()
+    {
+        for (auto &kv : counters_)
+            kv.second.reset();
+    }
+
+    const std::string &name() const { return name_; }
+
+    /** Dump "group.stat value" lines, sorted by stat name. */
+    std::vector<std::pair<std::string, std::uint64_t>>
+    dump() const
+    {
+        std::vector<std::pair<std::string, std::uint64_t>> out;
+        out.reserve(counters_.size());
+        for (const auto &kv : counters_)
+            out.emplace_back(name_ + "." + kv.first, kv.second.value());
+        return out;
+    }
+
+  private:
+    std::string name_;
+    std::map<std::string, Counter> counters_;
+};
+
+} // namespace hard
+
+#endif // HARD_COMMON_STATS_HH

@@ -1,0 +1,116 @@
+#include "table.hh"
+
+#include <cstdio>
+#include <sstream>
+
+#include "logging.hh"
+
+namespace hard
+{
+
+void
+Table::setHeader(std::vector<std::string> header)
+{
+    header_ = std::move(header);
+}
+
+void
+Table::addRow(std::vector<std::string> row)
+{
+    hard_panic_if(!header_.empty() && row.size() != header_.size(),
+                  "Table '%s': row has %zu cells, header has %zu",
+                  title_.c_str(), row.size(), header_.size());
+    rows_.push_back(std::move(row));
+}
+
+std::string
+Table::render() const
+{
+    // Compute per-column widths over header and all rows.
+    std::size_t ncols = header_.size();
+    for (const auto &r : rows_)
+        ncols = std::max(ncols, r.size());
+    std::vector<std::size_t> width(ncols, 0);
+    for (std::size_t c = 0; c < header_.size(); ++c)
+        width[c] = std::max(width[c], header_[c].size());
+    for (const auto &r : rows_)
+        for (std::size_t c = 0; c < r.size(); ++c)
+            width[c] = std::max(width[c], r[c].size());
+
+    auto line = [&](char fill, char sep) {
+        std::string s;
+        s += sep;
+        for (std::size_t c = 0; c < ncols; ++c) {
+            s += std::string(width[c] + 2, fill);
+            s += sep;
+        }
+        s += '\n';
+        return s;
+    };
+    auto renderRow = [&](const std::vector<std::string> &r) {
+        std::string s = "|";
+        for (std::size_t c = 0; c < ncols; ++c) {
+            const std::string &cell = c < r.size() ? r[c] : std::string();
+            s += ' ';
+            s += cell;
+            s += std::string(width[c] - cell.size() + 1, ' ');
+            s += '|';
+        }
+        s += '\n';
+        return s;
+    };
+
+    std::string out;
+    if (!title_.empty())
+        out += title_ + "\n";
+    out += line('-', '+');
+    if (!header_.empty()) {
+        out += renderRow(header_);
+        out += line('=', '+');
+    }
+    for (const auto &r : rows_)
+        out += renderRow(r);
+    out += line('-', '+');
+    return out;
+}
+
+std::string
+Table::csv() const
+{
+    auto quote = [](const std::string &s) {
+        if (s.find_first_of(",\"\n") == std::string::npos)
+            return s;
+        std::string q = "\"";
+        for (char ch : s) {
+            if (ch == '"')
+                q += '"';
+            q += ch;
+        }
+        q += '"';
+        return q;
+    };
+    std::string out;
+    auto emit = [&](const std::vector<std::string> &r) {
+        for (std::size_t c = 0; c < r.size(); ++c) {
+            if (c)
+                out += ',';
+            out += quote(r[c]);
+        }
+        out += '\n';
+    };
+    if (!header_.empty())
+        emit(header_);
+    for (const auto &r : rows_)
+        emit(r);
+    return out;
+}
+
+std::string
+fmtDouble(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return std::string(buf);
+}
+
+} // namespace hard

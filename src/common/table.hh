@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Plain-text table printer used by the benchmark harness to emit
+ * paper-style result tables (Tables 2-6) and CSV for post-processing.
+ */
+
+#ifndef HARD_COMMON_TABLE_HH
+#define HARD_COMMON_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace hard
+{
+
+/**
+ * Accumulates rows of string cells and renders them either as an
+ * aligned ASCII table or as CSV.
+ */
+class Table
+{
+  public:
+    /** @param title Caption printed above the table. */
+    explicit Table(std::string title) : title_(std::move(title)) {}
+
+    /** Set the column headers; defines the column count. */
+    void setHeader(std::vector<std::string> header);
+
+    /** Append one row; must match the header's column count. */
+    void addRow(std::vector<std::string> row);
+
+    /** Render an aligned, boxed ASCII table. */
+    std::string render() const;
+
+    /** Render as CSV (header row first). */
+    std::string csv() const;
+
+    const std::string &title() const { return title_; }
+    std::size_t rows() const { return rows_.size(); }
+
+  private:
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Format helper: "%.1f"-style fixed formatting of a double. */
+std::string fmtDouble(double v, int precision);
+
+} // namespace hard
+
+#endif // HARD_COMMON_TABLE_HH

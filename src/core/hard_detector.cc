@@ -1,0 +1,201 @@
+#include "core/hard_detector.hh"
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+
+namespace hard
+{
+
+HardDetector::HardDetector(const std::string &name, const HardConfig &cfg,
+                           Bus *bus)
+    : RaceDetector(name),
+      cfg_(cfg),
+      bus_(bus),
+      meta_(cfg.metaGeometry, cfg.unbounded || cfg.coupleToCaches)
+{
+    const unsigned line = cfg_.metaGeometry.lineBytes;
+    hard_fatal_if(cfg_.granularityBytes == 0 ||
+                      cfg_.granularityBytes > line ||
+                      line % cfg_.granularityBytes != 0,
+                  "hard: granularity %u does not divide line size %u",
+                  cfg_.granularityBytes, line);
+    hard_fatal_if(line / cfg_.granularityBytes > 8,
+                  "hard: more than 8 granules per line unsupported");
+    lockRegs_.fill(LockRegister(cfg_.bloomBits, cfg_.counterBits));
+    coreRegs_.fill(LockRegister(cfg_.bloomBits, cfg_.counterBits));
+}
+
+LockRegister &
+HardDetector::regFor(ThreadId tid, CoreId core)
+{
+    if (cfg_.perCoreRegisters) {
+        hard_panic_if(core >= coreRegs_.size(), "hard: bad core %u",
+                      core);
+        return coreRegs_[core];
+    }
+    return lockRegs_[tid];
+}
+
+void
+HardDetector::onLineEvicted(Addr line_addr, Cycle at)
+{
+    (void)at;
+    if (!cfg_.coupleToCaches)
+        return;
+    if (meta_.erase(line_addr))
+        ++stats_.metadataEvictions;
+}
+
+void
+HardDetector::onContextSwitch(CoreId core, ThreadId from, ThreadId to,
+                              Cycle at)
+{
+    (void)at;
+    if (!cfg_.perCoreRegisters || !cfg_.saveRestoreOnSwitch)
+        return;
+    hard_panic_if(core >= coreRegs_.size() || from >= kMaxThreads ||
+                      to >= kMaxThreads,
+                  "hard: bad context switch c%u %u->%u", core, from, to);
+    // The OS saves the outgoing thread's Lock/Counter Registers and
+    // restores the incoming thread's (§3.1: the registers belong to
+    // the processor, the lock set belongs to the thread).
+    lockRegs_[from] = coreRegs_[core];
+    coreRegs_[core] = lockRegs_[to];
+}
+
+const LockRegister &
+HardDetector::lockRegister(ThreadId tid) const
+{
+    hard_panic_if(tid >= kMaxThreads, "hard: thread id %u too large", tid);
+    return lockRegs_[tid];
+}
+
+std::optional<LState>
+HardDetector::lstateOf(Addr addr)
+{
+    Line *line = meta_.find(addr);
+    if (line == nullptr)
+        return std::nullopt;
+    const Addr base = cfg_.metaGeometry.lineAddr(addr);
+    return line->g[(addr - base) / cfg_.granularityBytes].state;
+}
+
+std::optional<std::uint32_t>
+HardDetector::bfOf(Addr addr)
+{
+    Line *line = meta_.find(addr);
+    if (line == nullptr)
+        return std::nullopt;
+    const Addr base = cfg_.metaGeometry.lineAddr(addr);
+    std::uint32_t raw =
+        line->g[(addr - base) / cfg_.granularityBytes].bf;
+    // Mask to the configured width for presentation.
+    if (cfg_.bloomBits < 32)
+        raw &= (std::uint32_t{1} << cfg_.bloomBits) - 1;
+    return raw;
+}
+
+void
+HardDetector::access(const MemEvent &ev, bool write)
+{
+    hard_panic_if(ev.tid >= kMaxThreads, "hard: thread id %u too large",
+                  ev.tid);
+
+    std::uint64_t evictions_before = meta_.evictions();
+    bool fresh = false;
+    Line &line = meta_.lookup(ev.addr, fresh);
+    stats_.metadataEvictions += meta_.evictions() - evictions_before;
+
+    const unsigned gran = cfg_.granularityBytes;
+    const Addr line_base = cfg_.metaGeometry.lineAddr(ev.addr);
+    const Addr lo = alignDown(ev.addr, gran);
+    const Addr hi = ev.addr + (ev.size ? ev.size : 1);
+    const std::uint32_t lockset =
+        regFor(ev.tid, ev.core).vector().raw();
+
+    bool changed = false;
+    for (Addr a = lo; a < hi; a += gran) {
+        Granule &g = line.g[(a - line_base) / gran];
+        LStateStep step = lstateAccess(g.state, g.owner, ev.tid, write);
+        g.state = step.next;
+        g.owner = step.owner;
+        if (!step.updateCandidate)
+            continue;
+        // The expensive software set intersection is a single AND of
+        // the candidate-set and Lock Register BFVectors (§3.2).
+        std::uint32_t new_bf = g.bf & lockset;
+        ++stats_.intersections;
+        if (new_bf != g.bf) {
+            g.bf = new_bf;
+            changed = true;
+        }
+        if (step.reportIfEmpty &&
+            BfVector::rawSetEmpty(g.bf, cfg_.bloomBits)) {
+            emit(ev.tid, a, gran, ev.site, write, ev.at);
+        }
+    }
+
+    // §3.4: a read that leaves the line in Shared CState with a
+    // changed candidate set broadcasts the new metadata so all valid
+    // copies stay consistent.
+    if (!write && changed && ev.outcome.stateAfter == CState::Shared &&
+        ev.outcome.sharers > 1) {
+        ++stats_.metaBroadcasts;
+        if (bus_ != nullptr)
+            bus_->transact(TxnType::MetaBroadcast, ev.at);
+    }
+}
+
+void
+HardDetector::onRead(const MemEvent &ev)
+{
+    access(ev, false);
+}
+
+void
+HardDetector::onWrite(const MemEvent &ev)
+{
+    access(ev, true);
+}
+
+void
+HardDetector::onLockAcquire(const SyncEvent &ev)
+{
+    hard_panic_if(ev.tid >= kMaxThreads, "hard: thread id %u too large",
+                  ev.tid);
+    regFor(ev.tid, ev.core).acquire(ev.lock);
+}
+
+void
+HardDetector::onLockRelease(const SyncEvent &ev)
+{
+    hard_panic_if(ev.tid >= kMaxThreads, "hard: thread id %u too large",
+                  ev.tid);
+    regFor(ev.tid, ev.core).release(ev.lock);
+}
+
+void
+HardDetector::onBarrier(const BarrierEvent &ev)
+{
+    (void)ev;
+    if (!cfg_.barrierReset)
+        return;
+    // §3.5: "the accesses and their lock information before the
+    // barrier are discarded". Flash-set every BFVector back to "all
+    // possible locks" AND restart the LState tracking: pre-barrier
+    // accesses are ordered against post-barrier ones by the barrier,
+    // so both the lock evidence and the sharing history must go —
+    // resetting only the BFVectors would leave the Figure 7 pattern
+    // (cross-barrier hand-off with no locks) reported via the
+    // persisting SharedModified state.
+    meta_.forEach([](Addr, Line &line) {
+        for (Granule &g : line.g) {
+            g.bf = 0xffffffffu;
+            g.state = LState::Virgin;
+            g.owner = invalidThread;
+        }
+    });
+    ++stats_.barrierResets;
+}
+
+} // namespace hard

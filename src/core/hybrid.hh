@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Hybrid lockset + happens-before detector — the paper's §7 future
+ * work ("combine with the happens-before algorithm to prune false
+ * alarms caused by other synchronizations"), in the spirit of
+ * O'Callahan & Choi's hybrid detection and RaceTrack.
+ *
+ * The detector runs HARD's lockset protocol (BFVector candidate sets,
+ * LState machine, Lock Register) unchanged, but additionally keeps
+ * *non-lock* happens-before state: vector clocks advanced only by
+ * barrier and semaphore (hand-crafted synchronization) edges, plus a
+ * per-granule last-access epoch. A lockset violation is reported only
+ * if the racing access is NOT ordered after the granule's previous
+ * conflicting access by those non-lock edges. Lock edges are
+ * deliberately excluded so the detector keeps lockset's
+ * interleaving-insensitivity for lock-discipline bugs (Figure 1
+ * still detects), while semaphore/barrier-ordered hand-offs (the
+ * residual false-alarm source of §5.1) are pruned.
+ */
+
+#ifndef HARD_CORE_HYBRID_HH
+#define HARD_CORE_HYBRID_HH
+
+#include <array>
+#include <unordered_map>
+
+#include "core/hard_detector.hh"
+#include "detectors/vclock.hh"
+
+namespace hard
+{
+
+/** Hybrid HARD+happens-before detector (paper §7). */
+class HybridDetector : public RaceDetector
+{
+  public:
+    /**
+     * @param name Detector name for reporting.
+     * @param cfg The underlying HARD hardware configuration.
+     */
+    HybridDetector(const std::string &name, const HardConfig &cfg);
+
+    void onRead(const MemEvent &ev) override;
+    void onWrite(const MemEvent &ev) override;
+    void onLockAcquire(const SyncEvent &ev) override;
+    void onLockRelease(const SyncEvent &ev) override;
+    void onBarrier(const BarrierEvent &ev) override;
+    void onSemaPost(const SyncEvent &ev) override;
+    void onSemaWait(const SyncEvent &ev) override;
+
+    /** @return lockset violations suppressed by non-lock ordering. */
+    std::uint64_t prunedAlarms() const { return pruned_; }
+
+    const HardConfig &config() const { return cfg_; }
+
+  private:
+    /** Per-granule hybrid metadata. */
+    struct Granule
+    {
+        /** Raw candidate-set bits; starts all-ones. */
+        std::uint32_t bf = 0xffffffffu;
+        LState state = LState::Virgin;
+        ThreadId owner = invalidThread;
+        /**
+         * Per-thread clock of the last access to this granule, in
+         * the non-lock vector-clock domain. This is the "more
+         * hardware resource" the paper's Section 7 anticipates the
+         * hybrid needs.
+         */
+        VClock accessClk{};
+    };
+
+    struct Line
+    {
+        std::array<Granule, 8> g{};
+    };
+
+    void access(const MemEvent &ev, bool write);
+
+    HardConfig cfg_;
+    MetaCache<Line> meta_;
+    std::array<LockRegister, kMaxThreads> lockRegs_;
+    /** Vector clocks advanced by barrier/semaphore edges only. */
+    std::array<VClock, kMaxThreads> nonLockVc_{};
+    std::unordered_map<Addr, VClock> semaVc_;
+    std::uint64_t pruned_ = 0;
+};
+
+} // namespace hard
+
+#endif // HARD_CORE_HYBRID_HH

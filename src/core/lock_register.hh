@@ -1,0 +1,66 @@
+/**
+ * @file
+ * The per-processor Lock Register and Counter Register of paper §3.3.
+ *
+ * The Lock Register holds the union of the BFVector signatures of all
+ * locks currently held by the running thread. Because multiple locks
+ * can hash onto the same bit, a bank of small saturating counters (one
+ * per Lock Register bit, 2-bit in the paper) tracks how many held
+ * locks set each bit: releasing a lock decrements its bits' counters
+ * and clears a bit only when its counter reaches zero.
+ */
+
+#ifndef HARD_CORE_LOCK_REGISTER_HH
+#define HARD_CORE_LOCK_REGISTER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/bloom.hh"
+
+namespace hard
+{
+
+/** Lock Register + Counter Register pair for one hardware context. */
+class LockRegister
+{
+  public:
+    /**
+     * @param width_bits BFVector width (16 in the default design).
+     * @param counter_bits Width of each saturating counter (paper: 2).
+     */
+    explicit LockRegister(unsigned width_bits = 16,
+                          unsigned counter_bits = 2);
+
+    /** Add @p lock to the lock set (lock acquire). */
+    void acquire(Addr lock);
+
+    /** Remove @p lock from the lock set (lock release). */
+    void release(Addr lock);
+
+    /** @return the current lock-set BFVector. */
+    const BfVector &vector() const { return vec_; }
+
+    /** @return the counter value for Lock Register bit @p bit. */
+    unsigned counter(unsigned bit) const;
+
+    /** @return the number of counters that have ever saturated. */
+    std::uint64_t saturations() const { return saturations_; }
+
+    /** Clear the registers (context switch / thread start). */
+    void reset();
+
+    unsigned width() const { return vec_.width(); }
+    unsigned counterBits() const { return counterBits_; }
+
+  private:
+    BfVector vec_;
+    std::vector<std::uint8_t> counters_;
+    unsigned counterBits_;
+    std::uint8_t maxCount_;
+    std::uint64_t saturations_ = 0;
+};
+
+} // namespace hard
+
+#endif // HARD_CORE_LOCK_REGISTER_HH

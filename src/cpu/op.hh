@@ -1,0 +1,151 @@
+/**
+ * @file
+ * The operation "ISA" executed by simulated cores.
+ *
+ * Workloads are Pin-style traces: each thread is a deterministic
+ * sequence of memory, compute and synchronization operations. The
+ * interleaving is decided by the timing simulation, not by the
+ * workload, so one program can be replayed under many configurations.
+ */
+
+#ifndef HARD_CPU_OP_HH
+#define HARD_CPU_OP_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace hard
+{
+
+/** Kinds of simulated operation. */
+enum class OpType : std::uint8_t
+{
+    /** Data load: addr/size. */
+    Read,
+    /** Data store: addr/size. */
+    Write,
+    /** Local computation: addr holds the cycle count. */
+    Compute,
+    /** Acquire the mutex whose lock word is at addr. */
+    Lock,
+    /** Release the mutex whose lock word is at addr. */
+    Unlock,
+    /** Arrive at the global barrier identified by addr. */
+    Barrier,
+    /**
+     * Signal the counting semaphore at addr (hand-crafted / flag-style
+     * synchronization: visible to happens-before as an ordering edge,
+     * invisible to the lockset algorithm).
+     */
+    SemaPost,
+    /** Block until the counting semaphore at addr is positive. */
+    SemaWait,
+    /** Thread termination (implicit at end of stream). */
+    End,
+};
+
+/** @return printable name of @p t. */
+inline const char *
+opName(OpType t)
+{
+    switch (t) {
+      case OpType::Read:
+        return "Read";
+      case OpType::Write:
+        return "Write";
+      case OpType::Compute:
+        return "Compute";
+      case OpType::Lock:
+        return "Lock";
+      case OpType::Unlock:
+        return "Unlock";
+      case OpType::Barrier:
+        return "Barrier";
+      case OpType::SemaPost:
+        return "SemaPost";
+      case OpType::SemaWait:
+        return "SemaWait";
+      case OpType::End:
+        return "End";
+    }
+    return "?";
+}
+
+/** One operation in a thread's stream. */
+struct Op
+{
+    OpType type = OpType::End;
+    /** Access size in bytes (Read/Write only). */
+    std::uint8_t size = 0;
+    /** Static source site for race reporting. */
+    SiteId site = invalidSite;
+    /**
+     * Operand: byte address for Read/Write, lock-word address for
+     * Lock/Unlock, barrier identifier for Barrier, and the cycle count
+     * for Compute.
+     */
+    Addr addr = 0;
+};
+
+/** Convenience constructors. @{ */
+inline Op
+opRead(Addr a, std::uint8_t size, SiteId site)
+{
+    return Op{OpType::Read, size, site, a};
+}
+
+inline Op
+opWrite(Addr a, std::uint8_t size, SiteId site)
+{
+    return Op{OpType::Write, size, site, a};
+}
+
+inline Op
+opCompute(Cycle cycles)
+{
+    return Op{OpType::Compute, 0, invalidSite, cycles};
+}
+
+inline Op
+opLock(LockAddr l, SiteId site)
+{
+    return Op{OpType::Lock, 0, site, l};
+}
+
+inline Op
+opUnlock(LockAddr l, SiteId site)
+{
+    return Op{OpType::Unlock, 0, site, l};
+}
+
+inline Op
+opBarrier(Addr barrier_id, SiteId site)
+{
+    return Op{OpType::Barrier, 0, site, barrier_id};
+}
+
+inline Op
+opSemaPost(Addr sema, SiteId site)
+{
+    return Op{OpType::SemaPost, 0, site, sema};
+}
+
+inline Op
+opSemaWait(Addr sema, SiteId site)
+{
+    return Op{OpType::SemaWait, 0, site, sema};
+}
+/** @} */
+
+/** The operation stream of one simulated thread. */
+struct ThreadProgram
+{
+    ThreadId tid = 0;
+    std::vector<Op> ops;
+};
+
+} // namespace hard
+
+#endif // HARD_CPU_OP_HH

@@ -1,0 +1,147 @@
+#include "detectors/fasttrack.hh"
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+
+namespace hard
+{
+
+FastTrackDetector::FastTrackDetector(const std::string &name,
+                                     unsigned granularity_bytes)
+    : RaceDetector(name), gran_(granularity_bytes)
+{
+    hard_fatal_if(gran_ == 0 || !isPowerOf2(gran_),
+                  "fasttrack: bad granularity %u", gran_);
+    for (unsigned t = 0; t < kMaxThreads; ++t)
+        threadVc_[t][t] = 1;
+}
+
+void
+FastTrackDetector::access(const MemEvent &ev, bool write)
+{
+    hard_panic_if(ev.tid >= kMaxThreads, "fasttrack: thread id %u",
+                  ev.tid);
+    const Addr lo = alignDown(ev.addr, gran_);
+    const Addr hi = ev.addr + (ev.size ? ev.size : 1);
+    const VClock &vc = threadVc_[ev.tid];
+
+    for (Addr a = lo; a < hi; a += gran_) {
+        Shadow &s = shadow_[a];
+
+        // Write-write / read-write with the last writer.
+        bool race = !s.lastWrite.ordered(vc);
+        ThreadId other = race ? s.lastWrite.tid : invalidThread;
+
+        if (write) {
+            // Write must also be ordered after all reads.
+            if (!race) {
+                if (s.readVc) {
+                    for (unsigned u = 0; u < kMaxThreads && !race;
+                         ++u) {
+                        if (u != ev.tid && (*s.readVc)[u] > vc[u]) {
+                            race = true;
+                            other = static_cast<ThreadId>(u);
+                        }
+                    }
+                } else if (s.lastRead.tid != ev.tid &&
+                           !s.lastRead.ordered(vc)) {
+                    race = true;
+                    other = s.lastRead.tid;
+                }
+            }
+            if (race)
+                emit(ev.tid, a, gran_, ev.site, write, ev.at, other);
+            // Write shadows all previous reads (FastTrack's "write
+            // exclusive" fast state).
+            s.lastWrite = Epoch{ev.tid, vc[ev.tid]};
+            s.lastRead = Epoch{};
+            s.readVc.reset();
+            continue;
+        }
+
+        if (race)
+            emit(ev.tid, a, gran_, ev.site, write, ev.at, other);
+
+        // Read bookkeeping.
+        if (s.readVc) {
+            // Already inflated: O(threads) slow path.
+            (*s.readVc)[ev.tid] = vc[ev.tid];
+        } else if (s.lastRead.tid == ev.tid ||
+                   s.lastRead.tid == invalidThread) {
+            // Same-thread (or first) read: O(1) fast path.
+            s.lastRead = Epoch{ev.tid, vc[ev.tid]};
+            ++fastReads_;
+        } else if (s.lastRead.ordered(vc)) {
+            // Previous read happens-before this one: the single epoch
+            // still suffices.
+            s.lastRead = Epoch{ev.tid, vc[ev.tid]};
+            ++fastReads_;
+        } else {
+            // Genuinely concurrent reads: inflate to a read vector.
+            s.readVc = std::make_unique<VClock>();
+            (*s.readVc)[s.lastRead.tid] = s.lastRead.clk;
+            (*s.readVc)[ev.tid] = vc[ev.tid];
+            s.lastRead = Epoch{};
+            ++inflations_;
+        }
+    }
+}
+
+void
+FastTrackDetector::onRead(const MemEvent &ev)
+{
+    access(ev, false);
+}
+
+void
+FastTrackDetector::onWrite(const MemEvent &ev)
+{
+    access(ev, true);
+}
+
+void
+FastTrackDetector::onLockAcquire(const SyncEvent &ev)
+{
+    auto it = lockVc_.find(ev.lock);
+    if (it != lockVc_.end())
+        threadVc_[ev.tid].join(it->second);
+}
+
+void
+FastTrackDetector::onLockRelease(const SyncEvent &ev)
+{
+    VClock &lvc = lockVc_[ev.lock];
+    lvc.join(threadVc_[ev.tid]);
+    ++threadVc_[ev.tid][ev.tid];
+}
+
+void
+FastTrackDetector::onBarrier(const BarrierEvent &ev)
+{
+    (void)ev;
+    VClock all;
+    for (unsigned t = 0; t < kMaxThreads; ++t)
+        all.join(threadVc_[t]);
+    for (unsigned t = 0; t < kMaxThreads; ++t) {
+        threadVc_[t] = all;
+        ++threadVc_[t][t];
+    }
+}
+
+void
+FastTrackDetector::onSemaPost(const SyncEvent &ev)
+{
+    VClock &svc = semaVc_[ev.lock];
+    svc.join(threadVc_[ev.tid]);
+    ++threadVc_[ev.tid][ev.tid];
+}
+
+void
+FastTrackDetector::onSemaWait(const SyncEvent &ev)
+{
+    auto it = semaVc_.find(ev.lock);
+    if (it != semaVc_.end())
+        threadVc_[ev.tid].join(it->second);
+}
+
+} // namespace hard

@@ -1,0 +1,139 @@
+#include "detectors/happens_before.hh"
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+
+namespace hard
+{
+
+HappensBeforeDetector::HappensBeforeDetector(const std::string &name,
+                                             const HbConfig &cfg)
+    : RaceDetector(name), cfg_(cfg), meta_(cfg.metaGeometry, cfg.unbounded)
+{
+    const unsigned line = cfg_.metaGeometry.lineBytes;
+    hard_fatal_if(cfg_.granularityBytes == 0 ||
+                      cfg_.granularityBytes > line ||
+                      line % cfg_.granularityBytes != 0,
+                  "hb: granularity %u does not divide line size %u",
+                  cfg_.granularityBytes, line);
+    hard_fatal_if(line / cfg_.granularityBytes > 8,
+                  "hb: more than 8 granules per line unsupported");
+    // Initial vector clocks: each thread starts at its own epoch 1.
+    for (unsigned t = 0; t < kMaxThreads; ++t)
+        threadVc_[t][t] = 1;
+}
+
+void
+HappensBeforeDetector::access(const MemEvent &ev, bool write)
+{
+    hard_panic_if(ev.tid >= kMaxThreads, "hb: thread id %u too large",
+                  ev.tid);
+    bool fresh = false;
+    Line &line = meta_.lookup(ev.addr, fresh);
+
+    const unsigned gran = cfg_.granularityBytes;
+    const Addr line_base = cfg_.metaGeometry.lineAddr(ev.addr);
+    const Addr lo = alignDown(ev.addr, gran);
+    const Addr hi = ev.addr + (ev.size ? ev.size : 1);
+    const VClock &vc = threadVc_[ev.tid];
+
+    for (Addr a = lo; a < hi; a += gran) {
+        Granule &g = line.g[(a - line_base) / gran];
+
+        bool race = !g.lastWrite.ordered(vc);
+        ThreadId other = race ? g.lastWrite.tid : invalidThread;
+        if (write && !race) {
+            for (unsigned u = 0; u < kMaxThreads; ++u) {
+                if (u != ev.tid && g.readClk[u] > vc[u]) {
+                    race = true;
+                    other = static_cast<ThreadId>(u);
+                    break;
+                }
+            }
+        }
+        if (race)
+            emit(ev.tid, a, gran, ev.site, write, ev.at, other);
+
+        if (write) {
+            g.lastWrite = Epoch{ev.tid, vc[ev.tid]};
+            g.readClk.fill(0);
+        } else {
+            g.readClk[ev.tid] = vc[ev.tid];
+        }
+    }
+}
+
+void
+HappensBeforeDetector::onRead(const MemEvent &ev)
+{
+    access(ev, false);
+}
+
+void
+HappensBeforeDetector::onWrite(const MemEvent &ev)
+{
+    access(ev, true);
+}
+
+void
+HappensBeforeDetector::onLockAcquire(const SyncEvent &ev)
+{
+    hard_panic_if(ev.tid >= kMaxThreads, "hb: thread id %u too large",
+                  ev.tid);
+    auto it = lockVc_.find(ev.lock);
+    if (it != lockVc_.end())
+        threadVc_[ev.tid].join(it->second);
+}
+
+void
+HappensBeforeDetector::onLockRelease(const SyncEvent &ev)
+{
+    hard_panic_if(ev.tid >= kMaxThreads, "hb: thread id %u too large",
+                  ev.tid);
+    VClock &lvc = lockVc_[ev.lock];
+    lvc.join(threadVc_[ev.tid]);
+    // Advance the releasing thread into a new epoch so later accesses
+    // are not ordered before the released critical section.
+    ++threadVc_[ev.tid][ev.tid];
+}
+
+void
+HappensBeforeDetector::onSemaPost(const SyncEvent &ev)
+{
+    hard_panic_if(ev.tid >= kMaxThreads, "hb: thread id %u too large",
+                  ev.tid);
+    // Happens-before understands hand-crafted synchronization (this is
+    // precisely where it generates fewer false alarms than lockset):
+    // a post releases the poster's history into the semaphore...
+    VClock &svc = semaVc_[ev.lock];
+    svc.join(threadVc_[ev.tid]);
+    ++threadVc_[ev.tid][ev.tid];
+}
+
+void
+HappensBeforeDetector::onSemaWait(const SyncEvent &ev)
+{
+    hard_panic_if(ev.tid >= kMaxThreads, "hb: thread id %u too large",
+                  ev.tid);
+    // ... and a completed wait acquires it.
+    auto it = semaVc_.find(ev.lock);
+    if (it != semaVc_.end())
+        threadVc_[ev.tid].join(it->second);
+}
+
+void
+HappensBeforeDetector::onBarrier(const BarrierEvent &ev)
+{
+    (void)ev;
+    // All participants synchronize: join everything, then advance each
+    // thread into a fresh epoch.
+    VClock all;
+    for (unsigned t = 0; t < kMaxThreads; ++t)
+        all.join(threadVc_[t]);
+    for (unsigned t = 0; t < kMaxThreads; ++t) {
+        threadVc_[t] = all;
+        ++threadVc_[t][t];
+    }
+}
+
+} // namespace hard

@@ -1,0 +1,106 @@
+#include "detectors/ideal_lockset.hh"
+
+#include <algorithm>
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+
+namespace hard
+{
+
+IdealLocksetDetector::IdealLocksetDetector(const std::string &name,
+                                           const IdealLocksetConfig &cfg)
+    : RaceDetector(name), cfg_(cfg)
+{
+    hard_fatal_if(cfg_.granularityBytes == 0 ||
+                      !isPowerOf2(cfg_.granularityBytes),
+                  "ideal-lockset: bad granularity %u",
+                  cfg_.granularityBytes);
+}
+
+const std::set<LockAddr> &
+IdealLocksetDetector::lockset(ThreadId tid) const
+{
+    static const std::set<LockAddr> empty;
+    auto it = held_.find(tid);
+    return it == held_.end() ? empty : it->second;
+}
+
+void
+IdealLocksetDetector::access(const MemEvent &ev, bool write)
+{
+    const unsigned gran = cfg_.granularityBytes;
+    const Addr lo = alignDown(ev.addr, gran);
+    const Addr hi = ev.addr + (ev.size ? ev.size : 1);
+    const std::set<LockAddr> &locks = held_[ev.tid];
+
+    for (Addr a = lo; a < hi; a += gran) {
+        Granule &g = shadow_[a];
+        LStateStep step = lstateAccess(g.state, g.owner, ev.tid, write);
+        g.state = step.next;
+        g.owner = step.owner;
+        if (step.updateCandidate) {
+            g.candidate.intersect(locks);
+            if (!g.candidate.isUniverse()) {
+                std::size_t sz = g.candidate.locks().size();
+                sizeStats_.maxCandidate =
+                    std::max(sizeStats_.maxCandidate, sz);
+                ++sizeStats_.candidateHist[std::min<std::size_t>(sz, 7)];
+            }
+        }
+        if (step.reportIfEmpty && g.candidate.empty())
+            emit(ev.tid, a, gran, ev.site, write, ev.at);
+    }
+}
+
+void
+IdealLocksetDetector::onRead(const MemEvent &ev)
+{
+    access(ev, false);
+}
+
+void
+IdealLocksetDetector::onWrite(const MemEvent &ev)
+{
+    access(ev, true);
+}
+
+void
+IdealLocksetDetector::onLockAcquire(const SyncEvent &ev)
+{
+    auto [it, inserted] = held_[ev.tid].insert(ev.lock);
+    (void)it;
+    hard_panic_if(!inserted,
+                  "ideal-lockset: thread %u re-acquired lock %llx",
+                  ev.tid, static_cast<unsigned long long>(ev.lock));
+    sizeStats_.maxLockset =
+        std::max(sizeStats_.maxLockset, held_[ev.tid].size());
+}
+
+void
+IdealLocksetDetector::onLockRelease(const SyncEvent &ev)
+{
+    std::size_t erased = held_[ev.tid].erase(ev.lock);
+    hard_panic_if(erased == 0,
+                  "ideal-lockset: thread %u released unheld lock %llx",
+                  ev.tid, static_cast<unsigned long long>(ev.lock));
+}
+
+void
+IdealLocksetDetector::onBarrier(const BarrierEvent &ev)
+{
+    (void)ev;
+    if (!cfg_.barrierReset)
+        return;
+    // §3.5: discard pre-barrier evidence — accesses on either side of
+    // the barrier are ordered, so neither their lock sets nor their
+    // sharing history may be held against post-barrier accesses (see
+    // HardDetector::onBarrier for the Figure 7 rationale).
+    for (auto &kv : shadow_) {
+        kv.second.candidate.resetToUniverse();
+        kv.second.state = LState::Virgin;
+        kv.second.owner = invalidThread;
+    }
+}
+
+} // namespace hard

@@ -1,0 +1,40 @@
+#include "detectors/report.hh"
+
+namespace hard
+{
+
+void
+ReportSink::report(const RaceReport &r)
+{
+    ++dynamic_;
+    // Key: site in the high bits, granule base in the low bits. Granule
+    // bases are < 2^40 in practice; sites < 2^24.
+    std::uint64_t key =
+        (static_cast<std::uint64_t>(r.site) << 40) ^ (r.addr & 0xffffffffffULL);
+    if (!seenPairs_.insert(key).second)
+        return;
+    sites_.insert(r.site);
+    kept_.push_back(r);
+}
+
+bool
+ReportSink::overlaps(Addr lo, unsigned len) const
+{
+    const Addr hi = lo + len;
+    for (const auto &r : kept_) {
+        if (r.addr < hi && lo < r.addr + r.size)
+            return true;
+    }
+    return false;
+}
+
+void
+ReportSink::clear()
+{
+    kept_.clear();
+    sites_.clear();
+    seenPairs_.clear();
+    dynamic_ = 0;
+}
+
+} // namespace hard

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Race reports and the common RaceDetector base class.
+ *
+ * The paper counts false positives "at source code level" (§5.1): every
+ * report is mapped back to a static site and distinct sites are counted
+ * once. ReportSink performs that deduplication eagerly so that long
+ * runs do not accumulate unbounded dynamic-report lists.
+ */
+
+#ifndef HARD_DETECTORS_REPORT_HH
+#define HARD_DETECTORS_REPORT_HH
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/observer.hh"
+
+namespace hard
+{
+
+/** One potential data race, reported at granule granularity. */
+struct RaceReport
+{
+    /** Thread whose access triggered the report. */
+    ThreadId tid = invalidThread;
+    /** Base address of the racing granule. */
+    Addr addr = 0;
+    /** Granule size in bytes. */
+    unsigned size = 0;
+    /** Static site of the triggering access. */
+    SiteId site = invalidSite;
+    /** True if the triggering access was a write. */
+    bool write = false;
+    /** Report cycle. */
+    Cycle at = 0;
+    /**
+     * The other side of the race, when the algorithm knows it
+     * (happens-before variants report the unordered prior accessor;
+     * lockset is pairless and leaves this invalid).
+     */
+    ThreadId other = invalidThread;
+};
+
+/**
+ * Collects race reports with source-level deduplication.
+ *
+ * Only the first dynamic report per (site, granule) pair is stored;
+ * total dynamic report counts are still tracked.
+ */
+class ReportSink
+{
+  public:
+    /** Record a report (deduplicated). */
+    void report(const RaceReport &r);
+
+    /** @return stored (first-per-site-and-granule) reports. */
+    const std::vector<RaceReport> &reports() const { return kept_; }
+
+    /** @return the set of distinct static sites reported. */
+    const std::set<SiteId> &sites() const { return sites_; }
+
+    /** @return distinct source-level alarm count (the paper's metric). */
+    std::size_t distinctSiteCount() const { return sites_.size(); }
+
+    /** @return total dynamic reports, including deduplicated ones. */
+    std::uint64_t dynamicCount() const { return dynamic_; }
+
+    /**
+     * @return true if any stored report's byte range overlaps
+     * [lo, lo+len).
+     */
+    bool overlaps(Addr lo, unsigned len) const;
+
+    /** Forget everything (reused sinks in sweeps). */
+    void clear();
+
+  private:
+    std::vector<RaceReport> kept_;
+    std::set<SiteId> sites_;
+    std::unordered_set<std::uint64_t> seenPairs_;
+    std::uint64_t dynamic_ = 0;
+};
+
+/**
+ * Base class for all race detectors: an AccessObserver with a name and
+ * a ReportSink.
+ */
+class RaceDetector : public AccessObserver
+{
+  public:
+    explicit RaceDetector(std::string name) : name_(std::move(name)) {}
+
+    const std::string &name() const { return name_; }
+    ReportSink &sink() { return sink_; }
+    const ReportSink &sink() const { return sink_; }
+
+    /** Hook invoked by the harness after the simulation finishes. */
+    virtual void finalize() {}
+
+  protected:
+    /** Emit a race report into the sink. */
+    void
+    emit(ThreadId tid, Addr addr, unsigned size, SiteId site, bool write,
+         Cycle at, ThreadId other = invalidThread)
+    {
+        sink_.report(RaceReport{tid, addr, size, site, write, at, other});
+    }
+
+  private:
+    std::string name_;
+    ReportSink sink_;
+};
+
+} // namespace hard
+
+#endif // HARD_DETECTORS_REPORT_HH

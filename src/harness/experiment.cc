@@ -1,0 +1,184 @@
+#include "harness/experiment.hh"
+
+#include "common/logging.hh"
+
+namespace hard
+{
+
+SimConfig
+defaultSimConfig()
+{
+    // Table 1 of the paper.
+    return SimConfig{};
+}
+
+RunResult
+runWithDetectors(const Program &prog, const SimConfig &sim,
+                 const std::vector<RaceDetector *> &detectors)
+{
+    System system(sim, prog);
+    for (RaceDetector *d : detectors)
+        system.addObserver(d);
+    RunResult res = system.run();
+    for (RaceDetector *d : detectors)
+        d->finalize();
+    return res;
+}
+
+std::set<SiteId>
+sitesTouching(const Program &prog, const Injection &inj)
+{
+    std::set<SiteId> sites;
+    for (const auto &thread : prog.threads) {
+        for (const Op &op : thread.ops) {
+            if (op.type != OpType::Read && op.type != OpType::Write)
+                continue;
+            if (inj.overlaps(op.addr, op.size))
+                sites.insert(op.site);
+        }
+    }
+    return sites;
+}
+
+bool
+detectedInjection(const ReportSink &sink, const Injection &inj,
+                  const std::set<SiteId> &true_sites)
+{
+    for (const RaceReport &r : sink.reports()) {
+        if (!inj.overlaps(r.addr, r.size))
+            continue;
+        if (true_sites.empty() || true_sites.count(r.site))
+            return true;
+    }
+    return false;
+}
+
+EffectivenessResult
+runEffectiveness(const std::string &workload, const WorkloadParams &wp,
+                 const SimConfig &sim, const DetectorFactory &factory,
+                 unsigned num_runs, std::uint64_t seed0)
+{
+    hard_fatal_if(sim.hardTiming.enabled,
+                  "effectiveness runs must not enable the HARD timing "
+                  "model (all detectors must see identical executions)");
+
+    EffectivenessResult result;
+
+    // Shared-data map (computed once; injection does not change the
+    // access set, only the locking).
+    const SharedMap shared(buildWorkload(workload, wp));
+
+    // Injected-bug runs.
+    for (unsigned r = 0; r < num_runs; ++r) {
+        Program prog = buildWorkload(workload, wp);
+        Injection inj = injectRace(prog, seed0 + r, &shared);
+        if (!inj.valid) {
+            warn("%s: run %u: no injectable critical section",
+                 workload.c_str(), r);
+            continue;
+        }
+        auto detectors = factory();
+        std::vector<RaceDetector *> raw;
+        raw.reserve(detectors.size());
+        for (auto &d : detectors)
+            raw.push_back(d.get());
+        std::set<SiteId> true_sites = sitesTouching(prog, inj);
+        runWithDetectors(prog, sim, raw);
+        for (auto &d : detectors) {
+            DetectorScore &score = result[d->name()];
+            ++score.runsAttempted;
+            if (detectedInjection(d->sink(), inj, true_sites))
+                ++score.bugsDetected;
+        }
+    }
+
+    // Race-free run for false alarms.
+    {
+        Program prog = buildWorkload(workload, wp);
+        auto detectors = factory();
+        std::vector<RaceDetector *> raw;
+        raw.reserve(detectors.size());
+        for (auto &d : detectors)
+            raw.push_back(d.get());
+        runWithDetectors(prog, sim, raw);
+        for (auto &d : detectors) {
+            DetectorScore &score = result[d->name()];
+            score.falseAlarms = d->sink().distinctSiteCount();
+            score.dynamicReports = d->sink().dynamicCount();
+        }
+    }
+
+    return result;
+}
+
+OverheadResult
+measureOverhead(const std::string &workload, const WorkloadParams &wp,
+                const SimConfig &sim, const HardConfig &hard_cfg)
+{
+    OverheadResult out;
+
+    // Baseline: no detector, no HARD timing.
+    {
+        Program prog = buildWorkload(workload, wp);
+        SimConfig base_cfg = sim;
+        base_cfg.hardTiming.enabled = false;
+        System system(base_cfg, prog);
+        out.baseCycles = system.run().totalCycles;
+    }
+
+    // HARD-enabled: charge candidate-set broadcasts to the bus and pay
+    // the per-shared-access checking latency. In directory mode the
+    // round-trips are charged by the System instead of broadcasts.
+    {
+        Program prog = buildWorkload(workload, wp);
+        SimConfig hard_sim = sim;
+        hard_sim.hardTiming.enabled = true;
+        System system(hard_sim, prog);
+        HardDetector hard("hard", hard_cfg,
+                          hard_sim.hardTiming.directoryMode
+                              ? nullptr
+                              : &system.memsys().bus());
+        system.addObserver(&hard);
+        out.hardCycles = system.run().totalCycles;
+        out.metaBroadcasts = hard.hardStats().metaBroadcasts;
+        out.dataBytes = system.memsys().bus().stats().value("dataBytes");
+        out.metaBytes = system.memsys().bus().stats().value("metaBytes");
+    }
+
+    out.overheadPct = out.baseCycles == 0
+        ? 0.0
+        : 100.0 *
+            (static_cast<double>(out.hardCycles) -
+             static_cast<double>(out.baseCycles)) /
+            static_cast<double>(out.baseCycles);
+    return out;
+}
+
+OverheadResult
+measureOverheadDirectory(const std::string &workload,
+                         const WorkloadParams &wp, const SimConfig &sim,
+                         const HardConfig &hard_cfg)
+{
+    SimConfig dir_sim = sim;
+    dir_sim.hardTiming.directoryMode = true;
+    return measureOverhead(workload, wp, dir_sim, hard_cfg);
+}
+
+DetectorFactory
+table2Detectors()
+{
+    return [] {
+        std::vector<std::unique_ptr<RaceDetector>> dets;
+        dets.push_back(
+            std::make_unique<HardDetector>("hard.default", HardConfig{}));
+        dets.push_back(std::make_unique<IdealLocksetDetector>(
+            "hard.ideal", IdealLocksetConfig{}));
+        dets.push_back(std::make_unique<HappensBeforeDetector>(
+            "hb.default", HbConfig{}));
+        dets.push_back(std::make_unique<HappensBeforeDetector>(
+            "hb.ideal", HbConfig::ideal()));
+        return dets;
+    };
+}
+
+} // namespace hard

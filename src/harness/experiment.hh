@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Experiment harness reproducing the paper's evaluation methodology
+ * (§4/§5):
+ *
+ * - *Effectiveness* runs: for each workload, N runs each with one
+ *   randomly injected race (an elided dynamic lock/unlock pair); every
+ *   attached detector observes the *identical* execution, and a bug
+ *   counts as detected when a detector's report overlaps the elided
+ *   critical section's data. One additional race-free run measures
+ *   false alarms, counted as distinct source sites.
+ * - *Overhead* runs (Figure 8): the same workload is timed without
+ *   HARD and with HARD's timing model enabled (candidate-set bus
+ *   broadcasts + per-shared-access checking latency).
+ */
+
+#ifndef HARD_HARNESS_EXPERIMENT_HH
+#define HARD_HARNESS_EXPERIMENT_HH
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/hard_detector.hh"
+#include "detectors/happens_before.hh"
+#include "detectors/ideal_lockset.hh"
+#include "sim/system.hh"
+#include "workloads/injector.hh"
+#include "workloads/registry.hh"
+
+namespace hard
+{
+
+/**
+ * Factory producing one fresh set of detectors per simulated run
+ * (detectors are stateful and cannot be reused across runs).
+ */
+using DetectorFactory =
+    std::function<std::vector<std::unique_ptr<RaceDetector>>()>;
+
+/** Per-detector outcome of an effectiveness experiment. */
+struct DetectorScore
+{
+    /** Injected bugs detected (out of runsAttempted valid runs). */
+    unsigned bugsDetected = 0;
+    /** Runs where injection succeeded. */
+    unsigned runsAttempted = 0;
+    /** Distinct-source-site alarms in the race-free run. */
+    std::size_t falseAlarms = 0;
+    /** Dynamic reports in the race-free run (pre-deduplication). */
+    std::uint64_t dynamicReports = 0;
+};
+
+/** Result of runEffectiveness: detector name -> score. */
+using EffectivenessResult = std::map<std::string, DetectorScore>;
+
+/**
+ * Run the paper's effectiveness experiment on one workload.
+ *
+ * @param workload Registered workload name.
+ * @param wp Workload sizing parameters.
+ * @param sim Simulator configuration (hardTiming must be disabled so
+ * every detector sees identical executions).
+ * @param factory Detector set builder, invoked once per run.
+ * @param num_runs Number of injected-bug runs (paper: 10).
+ * @param seed0 Base seed; run r injects with seed0 + r.
+ */
+EffectivenessResult runEffectiveness(const std::string &workload,
+                                     const WorkloadParams &wp,
+                                     const SimConfig &sim,
+                                     const DetectorFactory &factory,
+                                     unsigned num_runs,
+                                     std::uint64_t seed0);
+
+/** Result of one overhead measurement (Figure 8). */
+struct OverheadResult
+{
+    Cycle baseCycles = 0;
+    Cycle hardCycles = 0;
+    /** (hard - base) / base * 100. */
+    double overheadPct = 0.0;
+    /** Candidate-set broadcasts performed by HARD (§3.4). */
+    std::uint64_t metaBroadcasts = 0;
+    /** Bus bytes moved for data vs for HARD metadata. */
+    std::uint64_t dataBytes = 0;
+    std::uint64_t metaBytes = 0;
+};
+
+/**
+ * Measure HARD's execution-time overhead on one workload (Figure 8):
+ * a baseline timing run without HARD vs a run with the HARD timing
+ * model enabled and a HardDetector charging broadcasts to the bus.
+ */
+OverheadResult measureOverhead(const std::string &workload,
+                               const WorkloadParams &wp,
+                               const SimConfig &sim,
+                               const HardConfig &hard_cfg);
+
+/**
+ * Like measureOverhead, but with the §3.4 directory-variant timing
+ * model (per-shared-access metadata round-trips, no broadcasts).
+ */
+OverheadResult measureOverheadDirectory(const std::string &workload,
+                                        const WorkloadParams &wp,
+                                        const SimConfig &sim,
+                                        const HardConfig &hard_cfg);
+
+/**
+ * Convenience: run @p prog once with @p detectors attached.
+ * @return the simulator run summary.
+ */
+RunResult runWithDetectors(const Program &prog, const SimConfig &sim,
+                           const std::vector<RaceDetector *> &detectors);
+
+/**
+ * @return true if @p sink holds a report that corresponds to the
+ * injected bug: its byte range overlaps the elided critical section's
+ * data AND it was reported at a source site that really accesses that
+ * data (@p true_sites) — so a coincidental false-sharing alarm on the
+ * same cache line does not count as detecting the bug.
+ */
+bool detectedInjection(const ReportSink &sink, const Injection &inj,
+                       const std::set<SiteId> &true_sites);
+
+/** @return every site in @p prog that accesses data overlapping the
+ * injection's ranges (the legitimate reporting sites for the bug). */
+std::set<SiteId> sitesTouching(const Program &prog, const Injection &inj);
+
+/** @return the default (Table 1) simulator configuration. */
+SimConfig defaultSimConfig();
+
+/** @return the paper's default detector quartet for Table 2:
+ * HARD(default), HARD(ideal = exact unbounded lockset),
+ * happens-before(default), happens-before(ideal). */
+DetectorFactory table2Detectors();
+
+} // namespace hard
+
+#endif // HARD_HARNESS_EXPERIMENT_HH

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Cache geometry/latency configuration (Table 1 of the paper provides
+ * the default values used in the evaluation).
+ */
+
+#ifndef HARD_MEM_CACHE_CFG_HH
+#define HARD_MEM_CACHE_CFG_HH
+
+#include <cstdint>
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace hard
+{
+
+/** Geometry and hit latency of one cache level. */
+struct CacheConfig
+{
+    /** Total capacity in bytes. */
+    std::uint64_t sizeBytes = 16 * 1024;
+    /** Set associativity (ways). */
+    unsigned assoc = 4;
+    /** Line size in bytes. */
+    unsigned lineBytes = 32;
+    /** Hit latency in cycles. */
+    Cycle hitLatency = 3;
+
+    /** @return the number of sets implied by the geometry. */
+    std::uint64_t
+    numSets() const
+    {
+        return sizeBytes / (static_cast<std::uint64_t>(assoc) * lineBytes);
+    }
+
+    /** Abort with fatal() if the geometry is not realizable. */
+    void
+    validate(const char *what) const
+    {
+        hard_fatal_if(!isPowerOf2(lineBytes),
+                      "%s: line size %u not a power of two", what,
+                      lineBytes);
+        hard_fatal_if(assoc == 0, "%s: zero associativity", what);
+        hard_fatal_if(sizeBytes % (std::uint64_t{assoc} * lineBytes) != 0,
+                      "%s: size %llu not divisible by assoc*line", what,
+                      static_cast<unsigned long long>(sizeBytes));
+        hard_fatal_if(!isPowerOf2(numSets()),
+                      "%s: set count %llu not a power of two", what,
+                      static_cast<unsigned long long>(numSets()));
+    }
+
+    /** @return the line-aligned base address containing @p a. */
+    Addr lineAddr(Addr a) const { return alignDown(a, lineBytes); }
+
+    /** @return the set index for @p a. */
+    std::uint64_t
+    setIndex(Addr a) const
+    {
+        return (a / lineBytes) & (numSets() - 1);
+    }
+
+    /** @return the tag for @p a (line address bits above the index). */
+    std::uint64_t
+    tag(Addr a) const
+    {
+        return (a / lineBytes) >> floorLog2(numSets());
+    }
+};
+
+} // namespace hard
+
+#endif // HARD_MEM_CACHE_CFG_HH

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Observation interface between the timing simulator and race
+ * detectors.
+ *
+ * Detectors are passive observers of the global (cycle-ordered) memory
+ * and synchronization event stream, so a single simulated execution can
+ * drive HARD, happens-before and the ideal-lockset detector on an
+ * *identical* interleaving — the comparison methodology of paper §5.1.
+ */
+
+#ifndef HARD_SIM_OBSERVER_HH
+#define HARD_SIM_OBSERVER_HH
+
+#include "coherence/memsys.hh"
+#include "common/types.hh"
+
+namespace hard
+{
+
+/** A completed data access (lock words are reported via sync events). */
+struct MemEvent
+{
+    ThreadId tid = invalidThread;
+    CoreId core = invalidCore;
+    Addr addr = 0;
+    unsigned size = 0;
+    bool write = false;
+    SiteId site = invalidSite;
+    /** Completion cycle. */
+    Cycle at = 0;
+    /** Coherence/timing outcome (sharers, source, CState after...). */
+    AccessOutcome outcome;
+};
+
+/** A lock acquire or release. */
+struct SyncEvent
+{
+    ThreadId tid = invalidThread;
+    CoreId core = invalidCore;
+    LockAddr lock = 0;
+    SiteId site = invalidSite;
+    Cycle at = 0;
+};
+
+/** A completed barrier episode (all threads arrived and released). */
+struct BarrierEvent
+{
+    /** Address of the barrier object. */
+    Addr barrier = 0;
+    /** Episode ordinal for this barrier object (0-based). */
+    unsigned episode = 0;
+    /** Release cycle. */
+    Cycle at = 0;
+    /** Number of participating threads. */
+    unsigned participants = 0;
+};
+
+/**
+ * Passive observer of the simulated execution. All hooks are invoked
+ * in global completion-cycle order.
+ */
+class AccessObserver
+{
+  public:
+    virtual ~AccessObserver() = default;
+
+    /** A data read completed. */
+    virtual void onRead(const MemEvent &ev) { (void)ev; }
+    /** A data write completed. */
+    virtual void onWrite(const MemEvent &ev) { (void)ev; }
+    /** Thread @p ev.tid acquired lock @p ev.lock. */
+    virtual void onLockAcquire(const SyncEvent &ev) { (void)ev; }
+    /** Thread @p ev.tid released lock @p ev.lock. */
+    virtual void onLockRelease(const SyncEvent &ev) { (void)ev; }
+    /** All threads passed a barrier (paper §3.5 reset point). */
+    virtual void onBarrier(const BarrierEvent &ev) { (void)ev; }
+    /**
+     * Hand-crafted synchronization: @p ev.tid posted the semaphore at
+     * @p ev.lock. Lockset-style detectors cannot interpret this
+     * (paper §5.1's residual false-alarm source); happens-before can.
+     */
+    virtual void onSemaPost(const SyncEvent &ev) { (void)ev; }
+    /** Thread @p ev.tid completed a wait on semaphore @p ev.lock. */
+    virtual void onSemaWait(const SyncEvent &ev) { (void)ev; }
+    /** Thread @p tid ran off the end of its stream. */
+    virtual void onThreadEnd(ThreadId tid, Cycle at)
+    {
+        (void)tid;
+        (void)at;
+    }
+
+    /**
+     * A line was displaced from the shared L2 (its L1 copies were
+     * back-invalidated). Any detector metadata stored with the line
+     * is lost at this point (§3.6 "Cache Displacement").
+     */
+    virtual void
+    onLineEvicted(Addr line_addr, Cycle at)
+    {
+        (void)line_addr;
+        (void)at;
+    }
+
+    /**
+     * Core @p core switched from running @p from to running @p to
+     * (only fired when threads are oversubscribed onto cores). This
+     * is where the OS saves and restores HARD's per-processor
+     * Lock/Counter Registers (§3.1/§3.3).
+     */
+    virtual void
+    onContextSwitch(CoreId core, ThreadId from, ThreadId to, Cycle at)
+    {
+        (void)core;
+        (void)from;
+        (void)to;
+        (void)at;
+    }
+};
+
+} // namespace hard
+
+#endif // HARD_SIM_OBSERVER_HH

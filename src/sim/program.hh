@@ -1,0 +1,50 @@
+/**
+ * @file
+ * A complete multithreaded workload: one operation stream per thread
+ * plus the address-space layout metadata the harness needs.
+ */
+
+#ifndef HARD_SIM_PROGRAM_HH
+#define HARD_SIM_PROGRAM_HH
+
+#include <string>
+#include <vector>
+
+#include "common/site.hh"
+#include "cpu/op.hh"
+
+namespace hard
+{
+
+/** A multithreaded program ready to run on the simulated CMP. */
+struct Program
+{
+    std::string name;
+    std::vector<ThreadProgram> threads;
+
+    /** Lock-word addresses allocated by the workload. */
+    std::vector<LockAddr> locks;
+    /** Barrier-object addresses allocated by the workload. */
+    std::vector<Addr> barriers;
+
+    /** [dataBase, dataLimit) spans all allocated data. */
+    Addr dataBase = 0;
+    Addr dataLimit = 0;
+
+    /** Source-site registry shared by all threads of this program. */
+    SiteRegistry sites;
+
+    /** @return total operation count across all threads. */
+    std::size_t
+    totalOps() const
+    {
+        std::size_t n = 0;
+        for (const auto &t : threads)
+            n += t.ops.size();
+        return n;
+    }
+};
+
+} // namespace hard
+
+#endif // HARD_SIM_PROGRAM_HH

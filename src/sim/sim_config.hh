@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Whole-simulation configuration. Defaults reproduce Table 1 of the
+ * paper: 4-core CMP, 16KB 4-way 32B-line 3-cycle L1s, 1MB 8-way 32B-line
+ * 10-cycle shared L2, 200-cycle memory, snoopy bus.
+ */
+
+#ifndef HARD_SIM_SIM_CONFIG_HH
+#define HARD_SIM_SIM_CONFIG_HH
+
+#include "coherence/memsys.hh"
+
+namespace hard
+{
+
+/**
+ * Timing cost model for the HARD hardware additions, used only in
+ * overhead-measurement runs (Figure 8). Detection-only runs leave this
+ * disabled so that all detectors observe identical executions.
+ */
+struct HardTimingConfig
+{
+    /** Master enable. */
+    bool enabled = false;
+    /**
+     * Extra pipeline cycles on an access that must intersect and check
+     * the candidate set (shared accesses). The paper argues this is
+     * nearly free; we default to 1 cycle.
+     */
+    Cycle sharedAccessExtraCycles = 1;
+    /** Extra cycles to update the Lock/Counter Registers on (un)lock. */
+    Cycle lockUpdateCycles = 1;
+    /**
+     * §3.4 directory variant: instead of piggybacking metadata on
+     * coherence transfers and broadcasting changes, every access to
+     * shared data performs a metadata round-trip with the directory
+     * (fetch + put-back). Simpler management, more traffic: enable to
+     * quantify the trade-off the paper describes qualitatively.
+     */
+    bool directoryMode = false;
+};
+
+/** Top-level simulation configuration. */
+struct SimConfig
+{
+    MemSysConfig memsys{};
+    /** Interval between spin-lock probe reads while blocked. */
+    Cycle spinPollInterval = 50;
+    /** Cycles from last barrier arrival to release of the waiters. */
+    Cycle barrierReleaseCycles = 20;
+    /** Safety valve: abort the run after this many cycles (0 = off). */
+    Cycle maxCycles = 0;
+    /**
+     * Scheduling quantum when threads are oversubscribed onto cores;
+     * a runnable sibling preempts the current thread after this many
+     * cycles. Irrelevant with <= 1 thread per core.
+     */
+    Cycle quantumCycles = 50000;
+    /** OS context-switch cost (register save/restore, pipeline). */
+    Cycle contextSwitchCycles = 400;
+    HardTimingConfig hardTiming{};
+};
+
+} // namespace hard
+
+#endif // HARD_SIM_SIM_CONFIG_HH

@@ -1,0 +1,411 @@
+#include "sim/system.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace hard
+{
+
+System::System(const SimConfig &cfg, const Program &prog)
+    : cfg_(cfg), prog_(prog)
+{
+    hard_fatal_if(prog.threads.empty(), "system: program '%s' has no threads",
+                  prog.name.c_str());
+    hard_fatal_if(prog.threads.size() > 8,
+                  "system: program '%s' has %zu threads; at most 8 are "
+                  "supported",
+                  prog.name.c_str(), prog.threads.size());
+    hard_fatal_if(cfg.memsys.numCores == 0, "system: zero cores");
+
+    memsys_ = std::make_unique<MemorySystem>(cfg.memsys);
+    memsys_->setL2EvictionCallback([this](Addr line) {
+        for (AccessObserver *obs : observers_)
+            obs->onLineEvicted(line, 0);
+    });
+
+    threads_.resize(prog.threads.size());
+    cores_.resize(cfg.memsys.numCores);
+    for (CoreId c = 0; c < cfg.memsys.numCores; ++c)
+        cores_[c].id = c;
+    for (std::size_t i = 0; i < prog.threads.size(); ++i) {
+        threads_[i].tid = prog.threads[i].tid;
+        threads_[i].ops = &prog.threads[i].ops;
+        // Round-robin thread->core binding.
+        cores_[i % cfg.memsys.numCores].bound.push_back(i);
+    }
+    liveThreads_ = static_cast<unsigned>(threads_.size());
+}
+
+System::~System() = default;
+
+void
+System::addObserver(AccessObserver *obs)
+{
+    hard_panic_if(obs == nullptr, "system: null observer");
+    observers_.push_back(obs);
+}
+
+std::vector<std::pair<std::string, std::uint64_t>>
+System::statsDump() const
+{
+    std::vector<std::pair<std::string, std::uint64_t>> out;
+    auto append = [&out](const StatGroup &g) {
+        for (auto &kv : g.dump())
+            out.push_back(kv);
+    };
+    append(memsys_->stats());
+    append(memsys_->bus().stats());
+    for (CoreId c = 0; c < cfg_.memsys.numCores; ++c)
+        append(memsys_->l1(c).stats());
+    append(memsys_->l2().stats());
+    return out;
+}
+
+void
+System::notifyAccess(const MemEvent &ev)
+{
+    for (AccessObserver *obs : observers_) {
+        if (ev.write)
+            obs->onWrite(ev);
+        else
+            obs->onRead(ev);
+    }
+}
+
+System::Pick
+System::nextForCore(const HwCore &core) const
+{
+    // A thread is schedulable when Ready or polling a contended lock.
+    auto schedulable = [this](const ThreadCtx &th) {
+        return th.status == ThreadStatus::Ready ||
+            th.status == ThreadStatus::WaitLock;
+    };
+
+    // Preemption: once the current thread has held the core for a
+    // full quantum AND a sibling is immediately runnable, the current
+    // thread is excluded from this pick (it re-enters the rotation as
+    // a non-current candidate next time).
+    bool preempt_current = false;
+    if (core.current < core.bound.size() &&
+        core.freeAt >= core.quantumStart + cfg_.quantumCycles) {
+        for (std::size_t i = 0; i < core.bound.size(); ++i) {
+            if (i == core.current)
+                continue;
+            const ThreadCtx &th = threads_[core.bound[i]];
+            if (schedulable(th) && th.readyAt <= core.freeAt) {
+                preempt_current = true;
+                break;
+            }
+        }
+    }
+
+    Pick best;
+    bool best_preferred = false;
+    for (std::size_t i = 0; i < core.bound.size(); ++i) {
+        const ThreadCtx &th = threads_[core.bound[i]];
+        if (!schedulable(th))
+            continue;
+        const bool is_current = i == core.current;
+        if (is_current && preempt_current)
+            continue;
+        Cycle at = std::max(core.freeAt, th.readyAt);
+        if (!is_current)
+            at += cfg_.contextSwitchCycles;
+        const bool preferred = is_current;
+        bool take = !best.valid || at < best.at ||
+            (at == best.at && preferred && !best_preferred);
+        if (take) {
+            best.valid = true;
+            best.slot = i;
+            best.at = at;
+            best_preferred = preferred;
+        }
+    }
+    return best;
+}
+
+void
+System::doAccess(HwCore &core, ThreadCtx &th, Cycle now, const Op &op)
+{
+    const bool write = op.type == OpType::Write;
+    AccessOutcome out = memsys_->access(core.id, op.addr, op.size, write,
+                                        now);
+
+    // HARD timing model: shared accesses pay the candidate-set
+    // intersect/check latency (paper §5.1 overhead source 2).
+    if (cfg_.hardTiming.enabled && out.sharers > 1)
+        out.completeAt += cfg_.hardTiming.sharedAccessExtraCycles;
+    // §3.4 directory variant: shared accesses additionally fetch the
+    // metadata from the directory and put the updated value back —
+    // two small bus messages (performed in the background, so they
+    // add traffic and contention rather than access latency).
+    if (cfg_.hardTiming.enabled && cfg_.hardTiming.directoryMode &&
+        out.sharers > 1) {
+        memsys_->bus().transact(TxnType::MetaDirectory, out.completeAt);
+        memsys_->bus().transact(TxnType::MetaDirectory, out.completeAt);
+    }
+
+    MemEvent ev;
+    ev.tid = th.tid;
+    ev.core = core.id;
+    ev.addr = op.addr;
+    ev.size = op.size;
+    ev.write = write;
+    ev.site = op.site;
+    ev.at = out.completeAt;
+    ev.outcome = out;
+    notifyAccess(ev);
+
+    if (write)
+        ++result_.dataWrites;
+    else
+        ++result_.dataReads;
+
+    th.readyAt = out.completeAt + 1;
+    core.freeAt = th.readyAt;
+    ++th.pc;
+}
+
+void
+System::doLock(HwCore &core, ThreadCtx &th, Cycle now, LockAddr lock,
+               SiteId site)
+{
+    auto it = lockHolder_.find(lock);
+    ThreadId holder = it == lockHolder_.end() ? invalidThread : it->second;
+
+    if (holder != invalidThread) {
+        // Contended: spin. Charge a probe read of the lock word and
+        // retry after the poll interval (the core is free to run a
+        // sibling thread meanwhile).
+        AccessOutcome probe = memsys_->access(core.id, lock,
+                                              sizeof(std::uint32_t),
+                                              false, now);
+        th.status = ThreadStatus::WaitLock;
+        th.waitLock = lock;
+        th.waitSite = site;
+        th.readyAt = probe.completeAt + cfg_.spinPollInterval;
+        core.freeAt = probe.completeAt + 1;
+        return;
+    }
+
+    // Free: acquire with an atomic RMW on the lock word.
+    AccessOutcome rmw = memsys_->access(core.id, lock,
+                                        sizeof(std::uint32_t), true,
+                                        now);
+    Cycle done = rmw.completeAt;
+    if (cfg_.hardTiming.enabled)
+        done += cfg_.hardTiming.lockUpdateCycles;
+    lockHolder_[lock] = th.tid;
+    ++result_.lockAcquires;
+
+    SyncEvent ev{th.tid, core.id, lock, site, done};
+    for (AccessObserver *obs : observers_)
+        obs->onLockAcquire(ev);
+
+    th.status = ThreadStatus::Ready;
+    th.readyAt = done + 1;
+    core.freeAt = th.readyAt;
+    ++th.pc;
+}
+
+void
+System::step(HwCore &core, ThreadCtx &th, Cycle now)
+{
+    if (th.status == ThreadStatus::WaitLock) {
+        doLock(core, th, now, th.waitLock, th.waitSite);
+        return;
+    }
+
+    hard_panic_if(th.status != ThreadStatus::Ready,
+                  "system: stepping non-ready thread %u", th.tid);
+
+    const Op op = th.pc < th.ops->size() ? (*th.ops)[th.pc] : Op{};
+
+    switch (op.type) {
+      case OpType::Read:
+      case OpType::Write:
+        doAccess(core, th, now, op);
+        break;
+
+      case OpType::Compute:
+        th.readyAt = now + op.addr;
+        core.freeAt = th.readyAt;
+        ++th.pc;
+        break;
+
+      case OpType::Lock:
+        doLock(core, th, now, op.addr, op.site);
+        break;
+
+      case OpType::Unlock: {
+        auto it = lockHolder_.find(op.addr);
+        hard_panic_if(it == lockHolder_.end() || it->second != th.tid,
+                      "system: thread %u unlocks %llx it does not hold",
+                      th.tid, static_cast<unsigned long long>(op.addr));
+        AccessOutcome rel = memsys_->access(core.id, op.addr,
+                                            sizeof(std::uint32_t), true,
+                                            now);
+        Cycle done = rel.completeAt;
+        if (cfg_.hardTiming.enabled)
+            done += cfg_.hardTiming.lockUpdateCycles;
+        it->second = invalidThread;
+
+        SyncEvent ev{th.tid, core.id, op.addr, op.site, done};
+        for (AccessObserver *obs : observers_)
+            obs->onLockRelease(ev);
+
+        th.readyAt = done + 1;
+        core.freeAt = th.readyAt;
+        ++th.pc;
+        break;
+      }
+
+      case OpType::SemaPost: {
+        // Post: bump the semaphore word (RMW traffic) and either hand
+        // the token straight to the oldest waiter or bank it.
+        AccessOutcome post = memsys_->access(core.id, op.addr,
+                                             sizeof(std::uint32_t), true,
+                                             now);
+        SemaState &sema = semas_[op.addr];
+        SyncEvent ev{th.tid, core.id, op.addr, op.site,
+                     post.completeAt};
+        for (AccessObserver *obs : observers_)
+            obs->onSemaPost(ev);
+        if (!sema.waiters.empty()) {
+            ThreadCtx &waiter = threads_[sema.waiters.front()];
+            sema.waiters.erase(sema.waiters.begin());
+            waiter.status = ThreadStatus::Ready;
+            waiter.semaGranted = true;
+            waiter.readyAt = std::max(waiter.readyAt,
+                                      post.completeAt + 1);
+        } else {
+            ++sema.count;
+        }
+        th.readyAt = post.completeAt + 1;
+        core.freeAt = th.readyAt;
+        ++th.pc;
+        break;
+      }
+
+      case OpType::SemaWait: {
+        SemaState &sema = semas_[op.addr];
+        if (!th.semaGranted && sema.count == 0) {
+            // Block until a post hands us the token.
+            th.status = ThreadStatus::WaitSema;
+            sema.waiters.push_back(
+                static_cast<std::size_t>(&th - threads_.data()));
+            core.freeAt = now + 1;
+            break;
+        }
+        if (th.semaGranted)
+            th.semaGranted = false;
+        else
+            --sema.count;
+        AccessOutcome wait = memsys_->access(core.id, op.addr,
+                                             sizeof(std::uint32_t), true,
+                                             now);
+        SyncEvent ev{th.tid, core.id, op.addr, op.site,
+                     wait.completeAt};
+        for (AccessObserver *obs : observers_)
+            obs->onSemaWait(ev);
+        th.readyAt = wait.completeAt + 1;
+        core.freeAt = th.readyAt;
+        ++th.pc;
+        break;
+      }
+
+      case OpType::Barrier: {
+        // Arrival: bump the shared arrival counter (RMW traffic).
+        AccessOutcome arr = memsys_->access(core.id, op.addr,
+                                            sizeof(std::uint32_t), true,
+                                            now);
+        BarrierState &bar = barriers_[op.addr];
+        ++bar.arrived;
+        bar.lastArrival = std::max(bar.lastArrival, arr.completeAt);
+        th.status = ThreadStatus::WaitBarrier;
+        core.freeAt = arr.completeAt + 1;
+        ++th.pc;
+
+        if (bar.arrived == liveThreads_) {
+            // Episode complete: release all waiters.
+            Cycle release = bar.lastArrival + cfg_.barrierReleaseCycles;
+            for (ThreadCtx &t : threads_) {
+                if (t.status == ThreadStatus::WaitBarrier) {
+                    t.status = ThreadStatus::Ready;
+                    t.readyAt = release;
+                }
+            }
+            BarrierEvent ev{op.addr, bar.episode, release, bar.arrived};
+            for (AccessObserver *obs : observers_)
+                obs->onBarrier(ev);
+            ++bar.episode;
+            bar.arrived = 0;
+            bar.lastArrival = 0;
+            ++result_.barrierEpisodes;
+        }
+        break;
+      }
+
+      case OpType::End:
+        th.status = ThreadStatus::Done;
+        --liveThreads_;
+        th.readyAt = now;
+        core.freeAt = now + 1;
+        result_.totalCycles = std::max(result_.totalCycles, now);
+        for (AccessObserver *obs : observers_)
+            obs->onThreadEnd(th.tid, now);
+        // A thread may not exit while holding locks.
+        for (const auto &kv : lockHolder_) {
+            hard_panic_if(kv.second == th.tid,
+                          "system: thread %u exited holding lock %llx",
+                          th.tid,
+                          static_cast<unsigned long long>(kv.first));
+        }
+        break;
+    }
+}
+
+RunResult
+System::run()
+{
+    hard_fatal_if(ran_, "system: run() called twice");
+    ran_ = true;
+
+    while (liveThreads_ > 0) {
+        // Pick the (core, thread) pair with the earliest start time;
+        // ties break toward the lower core id.
+        HwCore *best_core = nullptr;
+        Pick best;
+        for (HwCore &c : cores_) {
+            Pick p = nextForCore(c);
+            if (!p.valid)
+                continue;
+            if (best_core == nullptr || p.at < best.at) {
+                best_core = &c;
+                best = p;
+            }
+        }
+        hard_panic_if(best_core == nullptr,
+                      "system: deadlock — all live threads blocked on "
+                      "barriers/semaphores that can never be released");
+        hard_fatal_if(cfg_.maxCycles != 0 && best.at > cfg_.maxCycles,
+                      "system: exceeded maxCycles=%llu",
+                      static_cast<unsigned long long>(cfg_.maxCycles));
+
+        HwCore &core = *best_core;
+        if (best.slot != core.current) {
+            ThreadCtx &from = threads_[core.bound[core.current]];
+            ThreadCtx &to = threads_[core.bound[best.slot]];
+            for (AccessObserver *obs : observers_)
+                obs->onContextSwitch(core.id, from.tid, to.tid, best.at);
+            core.current = best.slot;
+            core.quantumStart = best.at;
+            ++result_.contextSwitches;
+        }
+        step(core, threads_[core.bound[core.current]], best.at);
+    }
+    return result_;
+}
+
+} // namespace hard

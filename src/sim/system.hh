@@ -1,0 +1,179 @@
+/**
+ * @file
+ * The simulated CMP: in-order timing cores, the MESI memory system,
+ * spin-lock/barrier/semaphore runtime, and the observer fan-out that
+ * feeds the race detectors.
+ *
+ * Threads are assigned to cores round-robin. With at most one thread
+ * per core the machine behaves like the paper's 4-thread/4-core
+ * setup; with more threads than cores each core time-multiplexes its
+ * thread set (quantum-based, with a context-switch penalty and an
+ * onContextSwitch observer hook — the situation in which HARD's
+ * per-processor Lock/Counter Registers must be saved and restored by
+ * the OS, §3.1).
+ */
+
+#ifndef HARD_SIM_SYSTEM_HH
+#define HARD_SIM_SYSTEM_HH
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/observer.hh"
+#include "sim/program.hh"
+#include "sim/sim_config.hh"
+
+namespace hard
+{
+
+/** Summary of a completed simulation. */
+struct RunResult
+{
+    /** Cycle at which the last thread finished. */
+    Cycle totalCycles = 0;
+    /** Data reads/writes executed (excludes lock-word traffic). */
+    std::uint64_t dataReads = 0;
+    std::uint64_t dataWrites = 0;
+    /** Lock acquires performed. */
+    std::uint64_t lockAcquires = 0;
+    /** Barrier episodes completed. */
+    std::uint64_t barrierEpisodes = 0;
+    /** Context switches performed (0 when threads <= cores). */
+    std::uint64_t contextSwitches = 0;
+};
+
+/**
+ * Runs one Program to completion on the simulated CMP.
+ *
+ * The scheduler is an event loop over per-core ready times; ties
+ * break by core id, so runs are fully deterministic for a given
+ * (program, config).
+ */
+class System
+{
+  public:
+    /**
+     * @param cfg Simulation configuration (Table 1 defaults).
+     * @param prog Program to execute; must outlive the System.
+     */
+    System(const SimConfig &cfg, const Program &prog);
+    ~System();
+
+    System(const System &) = delete;
+    System &operator=(const System &) = delete;
+
+    /** Attach a detector/observer; not owned. Call before run(). */
+    void addObserver(AccessObserver *obs);
+
+    /** Execute the program to completion. Callable once. */
+    RunResult run();
+
+    MemorySystem &memsys() { return *memsys_; }
+    const MemorySystem &memsys() const { return *memsys_; }
+    const SimConfig &config() const { return cfg_; }
+
+    /** Flat dump of every statistics counter in the machine. */
+    std::vector<std::pair<std::string, std::uint64_t>> statsDump() const;
+
+  private:
+    /** Execution status of one software thread. */
+    enum class ThreadStatus
+    {
+        Ready,
+        WaitLock,
+        WaitBarrier,
+        WaitSema,
+        Done,
+    };
+
+    /** Per-thread execution state. */
+    struct ThreadCtx
+    {
+        ThreadId tid = invalidThread;
+        const std::vector<Op> *ops = nullptr;
+        std::size_t pc = 0;
+        /** Earliest cycle at which this thread can execute again. */
+        Cycle readyAt = 0;
+        ThreadStatus status = ThreadStatus::Ready;
+        /** Lock being spun on while in WaitLock. */
+        LockAddr waitLock = 0;
+        SiteId waitSite = invalidSite;
+        /** Set when a SemaPost handed this blocked thread its token. */
+        bool semaGranted = false;
+    };
+
+    /** Per-hardware-core state. */
+    struct HwCore
+    {
+        CoreId id = 0;
+        /** Indices into threads_ of the threads bound to this core. */
+        std::vector<std::size_t> bound;
+        /** Position in @ref bound of the currently loaded thread. */
+        std::size_t current = 0;
+        /** Cycle from which the core is free to execute. */
+        Cycle freeAt = 0;
+        /** Cycle at which the current thread was scheduled in. */
+        Cycle quantumStart = 0;
+    };
+
+    /** A scheduling decision: run thread @p slot on the core at @p at. */
+    struct Pick
+    {
+        bool valid = false;
+        std::size_t slot = 0; // position in core.bound
+        Cycle at = 0;
+    };
+
+    /** State of one barrier object. */
+    struct BarrierState
+    {
+        unsigned arrived = 0;
+        unsigned episode = 0;
+        Cycle lastArrival = 0;
+    };
+
+    /** State of one counting semaphore. */
+    struct SemaState
+    {
+        std::uint64_t count = 0;
+        /** FIFO of blocked threads (indices into threads_). */
+        std::vector<std::size_t> waiters;
+    };
+
+    /** Choose the next thread for @p core (deterministic). */
+    Pick nextForCore(const HwCore &core) const;
+
+    /** Execute one step of @p th on @p core starting at @p now. */
+    void step(HwCore &core, ThreadCtx &th, Cycle now);
+
+    /** Handle a Lock op / spin probe. */
+    void doLock(HwCore &core, ThreadCtx &th, Cycle now, LockAddr lock,
+                SiteId site);
+
+    /** Perform the data access of @p op. */
+    void doAccess(HwCore &core, ThreadCtx &th, Cycle now, const Op &op);
+
+    /** Notify observers of a data access. */
+    void notifyAccess(const MemEvent &ev);
+
+    const SimConfig cfg_;
+    const Program &prog_;
+    std::unique_ptr<MemorySystem> memsys_;
+    std::vector<ThreadCtx> threads_;
+    std::vector<HwCore> cores_;
+    std::vector<AccessObserver *> observers_;
+
+    /** lock word address -> holding thread (or invalidThread). */
+    std::unordered_map<LockAddr, ThreadId> lockHolder_;
+    std::unordered_map<Addr, BarrierState> barriers_;
+    std::unordered_map<Addr, SemaState> semas_;
+
+    unsigned liveThreads_ = 0;
+    bool ran_ = false;
+    RunResult result_;
+};
+
+} // namespace hard
+
+#endif // HARD_SIM_SYSTEM_HH

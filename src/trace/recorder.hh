@@ -1,0 +1,139 @@
+/**
+ * @file
+ * TraceRecorder: an AccessObserver that captures a simulated run into
+ * an in-memory Trace (write it out with writeTrace()).
+ */
+
+#ifndef HARD_TRACE_RECORDER_HH
+#define HARD_TRACE_RECORDER_HH
+
+#include "sim/program.hh"
+#include "trace/trace.hh"
+
+namespace hard
+{
+
+/** Records every observable event of a run. */
+class TraceRecorder : public AccessObserver
+{
+  public:
+    /**
+     * @param prog The program being recorded (source of site names;
+     * must outlive the recorder).
+     */
+    explicit TraceRecorder(const Program &prog) : prog_(&prog) {}
+
+    void
+    onRead(const MemEvent &ev) override
+    {
+        record(TraceKind::Read, ev);
+    }
+
+    void
+    onWrite(const MemEvent &ev) override
+    {
+        record(TraceKind::Write, ev);
+    }
+
+    void
+    onLockAcquire(const SyncEvent &ev) override
+    {
+        recordSync(TraceKind::LockAcquire, ev);
+    }
+
+    void
+    onLockRelease(const SyncEvent &ev) override
+    {
+        recordSync(TraceKind::LockRelease, ev);
+    }
+
+    void
+    onSemaPost(const SyncEvent &ev) override
+    {
+        recordSync(TraceKind::SemaPost, ev);
+    }
+
+    void
+    onSemaWait(const SyncEvent &ev) override
+    {
+        recordSync(TraceKind::SemaWait, ev);
+    }
+
+    void
+    onBarrier(const BarrierEvent &ev) override
+    {
+        TraceEvent te;
+        te.kind = TraceKind::Barrier;
+        te.addr = ev.barrier;
+        te.at = ev.at;
+        te.episode = ev.episode;
+        te.participants = ev.participants;
+        trace_.events.push_back(te);
+    }
+
+    void
+    onLineEvicted(Addr line_addr, Cycle at) override
+    {
+        TraceEvent te;
+        te.kind = TraceKind::LineEvicted;
+        te.addr = line_addr;
+        te.at = at;
+        trace_.events.push_back(te);
+    }
+
+    void
+    onThreadEnd(ThreadId tid, Cycle at) override
+    {
+        TraceEvent te;
+        te.kind = TraceKind::ThreadEnd;
+        te.tid = tid;
+        te.at = at;
+        trace_.events.push_back(te);
+    }
+
+    /** Finish recording and take the trace (site table filled in). */
+    Trace
+    take()
+    {
+        trace_.siteNames.clear();
+        for (SiteId s = 0; s < prog_->sites.size(); ++s)
+            trace_.siteNames.push_back(
+                prog_->sites.name(static_cast<SiteId>(s)));
+        return std::move(trace_);
+    }
+
+  private:
+    void
+    record(TraceKind kind, const MemEvent &ev)
+    {
+        TraceEvent te;
+        te.kind = kind;
+        te.tid = ev.tid;
+        te.addr = ev.addr;
+        te.size = ev.size;
+        te.site = ev.site;
+        te.at = ev.at;
+        te.stateAfter = ev.outcome.stateAfter;
+        te.sharers = ev.outcome.sharers;
+        trace_.events.push_back(te);
+    }
+
+    void
+    recordSync(TraceKind kind, const SyncEvent &ev)
+    {
+        TraceEvent te;
+        te.kind = kind;
+        te.tid = ev.tid;
+        te.addr = ev.lock;
+        te.site = ev.site;
+        te.at = ev.at;
+        trace_.events.push_back(te);
+    }
+
+    const Program *prog_;
+    Trace trace_;
+};
+
+} // namespace hard
+
+#endif // HARD_TRACE_RECORDER_HH

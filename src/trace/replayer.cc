@@ -1,0 +1,77 @@
+#include "trace/replayer.hh"
+
+#include "common/logging.hh"
+
+namespace hard
+{
+
+std::size_t
+replayTrace(const Trace &trace,
+            const std::vector<AccessObserver *> &observers)
+{
+    for (const TraceEvent &te : trace.events) {
+        switch (te.kind) {
+          case TraceKind::Read:
+          case TraceKind::Write: {
+            MemEvent ev;
+            ev.tid = te.tid;
+            ev.core = te.tid; // threads are core-bound in recordings
+            ev.addr = te.addr;
+            ev.size = te.size;
+            ev.write = te.kind == TraceKind::Write;
+            ev.site = te.site;
+            ev.at = te.at;
+            ev.outcome.stateAfter = te.stateAfter;
+            ev.outcome.sharers = te.sharers;
+            for (AccessObserver *obs : observers) {
+                if (ev.write)
+                    obs->onWrite(ev);
+                else
+                    obs->onRead(ev);
+            }
+            break;
+          }
+          case TraceKind::LockAcquire:
+          case TraceKind::LockRelease:
+          case TraceKind::SemaPost:
+          case TraceKind::SemaWait: {
+            SyncEvent ev{te.tid, te.tid, te.addr, te.site, te.at};
+            for (AccessObserver *obs : observers) {
+                switch (te.kind) {
+                  case TraceKind::LockAcquire:
+                    obs->onLockAcquire(ev);
+                    break;
+                  case TraceKind::LockRelease:
+                    obs->onLockRelease(ev);
+                    break;
+                  case TraceKind::SemaPost:
+                    obs->onSemaPost(ev);
+                    break;
+                  default:
+                    obs->onSemaWait(ev);
+                    break;
+                }
+            }
+            break;
+          }
+          case TraceKind::Barrier: {
+            BarrierEvent ev{te.addr, te.episode, te.at,
+                            te.participants};
+            for (AccessObserver *obs : observers)
+                obs->onBarrier(ev);
+            break;
+          }
+          case TraceKind::ThreadEnd:
+            for (AccessObserver *obs : observers)
+                obs->onThreadEnd(te.tid, te.at);
+            break;
+          case TraceKind::LineEvicted:
+            for (AccessObserver *obs : observers)
+                obs->onLineEvicted(te.addr, te.at);
+            break;
+        }
+    }
+    return trace.events.size();
+}
+
+} // namespace hard

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * TraceReplayer: re-drive RaceDetectors from a recorded trace, with
+ * no simulator in the loop (post-mortem analysis).
+ */
+
+#ifndef HARD_TRACE_REPLAYER_HH
+#define HARD_TRACE_REPLAYER_HH
+
+#include <vector>
+
+#include "detectors/report.hh"
+#include "trace/trace.hh"
+
+namespace hard
+{
+
+/**
+ * Replay @p trace into @p observers, dispatching each event exactly
+ * as the live simulation would have.
+ *
+ * @return the number of events replayed.
+ */
+std::size_t replayTrace(const Trace &trace,
+                        const std::vector<AccessObserver *> &observers);
+
+} // namespace hard
+
+#endif // HARD_TRACE_REPLAYER_HH

@@ -1,0 +1,183 @@
+#include "trace/trace.hh"
+
+#include <cstring>
+#include <fstream>
+#include <set>
+
+#include "common/logging.hh"
+
+namespace hard
+{
+
+namespace
+{
+constexpr char kMagic[8] = {'H', 'A', 'R', 'D', 'T', 'R', 'C', '1'};
+constexpr std::uint32_t kVersion = 1;
+} // namespace
+
+const char *
+traceKindName(TraceKind k)
+{
+    switch (k) {
+      case TraceKind::Read:
+        return "Read";
+      case TraceKind::Write:
+        return "Write";
+      case TraceKind::LockAcquire:
+        return "LockAcquire";
+      case TraceKind::LockRelease:
+        return "LockRelease";
+      case TraceKind::Barrier:
+        return "Barrier";
+      case TraceKind::SemaPost:
+        return "SemaPost";
+      case TraceKind::SemaWait:
+        return "SemaWait";
+      case TraceKind::ThreadEnd:
+        return "ThreadEnd";
+      case TraceKind::LineEvicted:
+        return "LineEvicted";
+    }
+    return "?";
+}
+
+TraceEvent::Packed
+TraceEvent::pack() const
+{
+    Packed p{};
+    p.kind = static_cast<std::uint8_t>(kind);
+    p.size = static_cast<std::uint8_t>(size);
+    p.tid = static_cast<std::uint8_t>(tid & 0xff);
+    if (kind == TraceKind::Read || kind == TraceKind::Write) {
+        p.aux = static_cast<std::uint8_t>(
+            (sharers << 2) | static_cast<unsigned>(stateAfter));
+        p.site = site;
+    } else if (kind == TraceKind::Barrier) {
+        p.aux = static_cast<std::uint8_t>(participants);
+        p.site = episode;
+    } else {
+        p.aux = 0;
+        p.site = site;
+    }
+    p.addr = addr;
+    p.at = at;
+    return p;
+}
+
+TraceEvent
+TraceEvent::unpack(const Packed &p)
+{
+    TraceEvent ev;
+    hard_fatal_if(
+        p.kind > static_cast<std::uint8_t>(TraceKind::LineEvicted),
+        "trace: corrupt event kind %u", p.kind);
+    ev.kind = static_cast<TraceKind>(p.kind);
+    ev.size = p.size;
+    ev.tid = p.tid == 0xff ? invalidThread : p.tid;
+    ev.addr = p.addr;
+    ev.at = p.at;
+    if (ev.kind == TraceKind::Read || ev.kind == TraceKind::Write) {
+        ev.site = p.site;
+        ev.sharers = p.aux >> 2;
+        ev.stateAfter = static_cast<CState>(p.aux & 0x3);
+    } else if (ev.kind == TraceKind::Barrier) {
+        ev.episode = p.site;
+        ev.participants = p.aux;
+    } else {
+        ev.site = p.site;
+    }
+    return ev;
+}
+
+unsigned
+Trace::threadCount() const
+{
+    std::set<ThreadId> tids;
+    for (const TraceEvent &ev : events)
+        if (ev.tid != invalidThread)
+            tids.insert(ev.tid);
+    return static_cast<unsigned>(tids.size());
+}
+
+void
+writeTrace(const std::string &path, const Trace &trace)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    hard_fatal_if(!out, "trace: cannot open '%s' for writing",
+                  path.c_str());
+
+    out.write(kMagic, sizeof(kMagic));
+    std::uint32_t version = kVersion;
+    out.write(reinterpret_cast<const char *>(&version), sizeof(version));
+
+    std::uint32_t nsites =
+        static_cast<std::uint32_t>(trace.siteNames.size());
+    out.write(reinterpret_cast<const char *>(&nsites), sizeof(nsites));
+    for (const std::string &name : trace.siteNames) {
+        std::uint32_t len = static_cast<std::uint32_t>(name.size());
+        out.write(reinterpret_cast<const char *>(&len), sizeof(len));
+        out.write(name.data(), len);
+    }
+
+    std::uint64_t nevents = trace.events.size();
+    out.write(reinterpret_cast<const char *>(&nevents), sizeof(nevents));
+    for (const TraceEvent &ev : trace.events) {
+        TraceEvent::Packed p = ev.pack();
+        out.write(reinterpret_cast<const char *>(&p), sizeof(p));
+    }
+    out.flush();
+    hard_fatal_if(!out, "trace: write to '%s' failed", path.c_str());
+}
+
+Trace
+readTrace(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    hard_fatal_if(!in, "trace: cannot open '%s'", path.c_str());
+
+    char magic[8];
+    in.read(magic, sizeof(magic));
+    hard_fatal_if(!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0,
+                  "trace: '%s' is not a HARD trace", path.c_str());
+
+    std::uint32_t version = 0;
+    in.read(reinterpret_cast<char *>(&version), sizeof(version));
+    hard_fatal_if(!in || version != kVersion,
+                  "trace: '%s' has unsupported version %u", path.c_str(),
+                  version);
+
+    Trace trace;
+    std::uint32_t nsites = 0;
+    in.read(reinterpret_cast<char *>(&nsites), sizeof(nsites));
+    hard_fatal_if(!in, "trace: '%s' truncated in site table",
+                  path.c_str());
+    for (std::uint32_t i = 0; i < nsites; ++i) {
+        std::uint32_t len = 0;
+        in.read(reinterpret_cast<char *>(&len), sizeof(len));
+        hard_fatal_if(!in || len > 4096,
+                      "trace: '%s' corrupt site name length",
+                      path.c_str());
+        std::string name(len, '\0');
+        in.read(name.data(), len);
+        hard_fatal_if(!in, "trace: '%s' truncated in site table",
+                      path.c_str());
+        trace.siteNames.push_back(std::move(name));
+    }
+
+    std::uint64_t nevents = 0;
+    in.read(reinterpret_cast<char *>(&nevents), sizeof(nevents));
+    hard_fatal_if(!in, "trace: '%s' truncated before events",
+                  path.c_str());
+    trace.events.reserve(nevents);
+    for (std::uint64_t i = 0; i < nevents; ++i) {
+        TraceEvent::Packed p;
+        in.read(reinterpret_cast<char *>(&p), sizeof(p));
+        hard_fatal_if(!in, "trace: '%s' truncated at event %llu of %llu",
+                      path.c_str(), static_cast<unsigned long long>(i),
+                      static_cast<unsigned long long>(nevents));
+        trace.events.push_back(TraceEvent::unpack(p));
+    }
+    return trace;
+}
+
+} // namespace hard

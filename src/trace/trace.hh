@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Binary trace format for post-mortem race analysis.
+ *
+ * §6 of the paper classifies race detectors into dynamic, post-mortem,
+ * static and model-checking families. This module adds the post-mortem
+ * mode to our system: a TraceRecorder observes a simulated run and
+ * writes every memory/synchronization event to a compact binary file;
+ * a TraceReplayer later re-drives any RaceDetector from the file, with
+ * no simulator in the loop. Because detectors are deterministic
+ * functions of the event stream, offline analysis produces *identical*
+ * reports to online detection (asserted by tests/test_trace.cc).
+ *
+ * File layout (little-endian, fixed-width):
+ *   header:  magic "HARDTRC1" (8 bytes)
+ *            u32 version (=1)
+ *            u32 site count, then per site: u32 length + bytes
+ *            u64 event count
+ *   events:  24-byte records (see TraceEvent::Packed)
+ */
+
+#ifndef HARD_TRACE_TRACE_HH
+#define HARD_TRACE_TRACE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/site.hh"
+#include "sim/observer.hh"
+
+namespace hard
+{
+
+/** Event kinds stored in a trace. */
+enum class TraceKind : std::uint8_t
+{
+    Read = 0,
+    Write = 1,
+    LockAcquire = 2,
+    LockRelease = 3,
+    Barrier = 4,
+    SemaPost = 5,
+    SemaWait = 6,
+    ThreadEnd = 7,
+    LineEvicted = 8,
+};
+
+/** @return printable name of @p k. */
+const char *traceKindName(TraceKind k);
+
+/** One decoded trace event. */
+struct TraceEvent
+{
+    TraceKind kind = TraceKind::Read;
+    ThreadId tid = invalidThread;
+    Addr addr = 0;
+    unsigned size = 0;
+    SiteId site = invalidSite;
+    Cycle at = 0;
+    /** Memory events: coherence state after the access. */
+    CState stateAfter = CState::Invalid;
+    /** Memory events: L1 sharers after the access. */
+    unsigned sharers = 0;
+    /** Barrier events: episode ordinal. */
+    unsigned episode = 0;
+    /** Barrier events: participant count. */
+    unsigned participants = 0;
+
+    /** On-disk representation (24 bytes). */
+    struct Packed
+    {
+        std::uint8_t kind;
+        std::uint8_t size;
+        std::uint8_t tid;
+        /** Memory: (sharers << 2) | stateAfter. Barrier: participants. */
+        std::uint8_t aux;
+        /** Memory/sync: site. Barrier: episode. */
+        std::uint32_t site;
+        std::uint64_t addr;
+        std::uint64_t at;
+    };
+    static_assert(sizeof(Packed) == 24, "trace record must be 24 bytes");
+
+    /** Encode to the on-disk form. */
+    Packed pack() const;
+    /** Decode from the on-disk form. */
+    static TraceEvent unpack(const Packed &p);
+};
+
+/** In-memory trace: site names plus the event sequence. */
+struct Trace
+{
+    std::vector<std::string> siteNames;
+    std::vector<TraceEvent> events;
+
+    /** @return the number of distinct threads seen in the trace. */
+    unsigned threadCount() const;
+};
+
+/**
+ * Write @p trace to @p path; fatal() on I/O errors.
+ */
+void writeTrace(const std::string &path, const Trace &trace);
+
+/**
+ * Read a trace from @p path; fatal() on I/O or format errors.
+ */
+Trace readTrace(const std::string &path);
+
+} // namespace hard
+
+#endif // HARD_TRACE_TRACE_HH

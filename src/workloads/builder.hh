@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Authoring API for SPLASH-2-like workload models.
+ *
+ * A workload is written as ordinary C++ that *emits* one deterministic
+ * operation stream per thread (Pin-style trace generation). Crucially,
+ * each thread's stream must not depend on the runtime interleaving, so
+ * the same Program can be replayed under every detector and timing
+ * configuration. The builder provides a bump allocator for the
+ * simulated address space, lock/barrier/semaphore object allocation,
+ * labelled source sites, and per-thread emission helpers, plus a
+ * validator that checks lock balance and barrier alignment.
+ */
+
+#ifndef HARD_WORKLOADS_BUILDER_HH
+#define HARD_WORKLOADS_BUILDER_HH
+
+#include <string>
+#include <vector>
+
+#include "common/rng.hh"
+#include "sim/program.hh"
+
+namespace hard
+{
+
+/** Workload sizing/seed parameters shared by all generators. */
+struct WorkloadParams
+{
+    /** Thread count (== simulated core count in the default setup). */
+    unsigned numThreads = 4;
+    /** Seed controlling layout/partitioning randomness. */
+    std::uint64_t seed = 1;
+    /**
+     * Linear scale on footprint/iteration counts: 1.0 reproduces the
+     * default evaluation size; smaller values speed up tests.
+     */
+    double scale = 1.0;
+};
+
+/** Builder for Program objects. */
+class WorkloadBuilder
+{
+  public:
+    WorkloadBuilder(std::string name, unsigned num_threads);
+
+    /** @name Address-space layout
+     * @{
+     */
+    /**
+     * Allocate @p bytes of data aligned to @p align.
+     * @param label Debug label (unused in layout, kept for tooling).
+     */
+    Addr alloc(const std::string &label, std::uint64_t bytes,
+               unsigned align = 8);
+
+    /** Allocate a lock word on its own cache line. */
+    LockAddr allocLock(const std::string &label);
+
+    /** Allocate a barrier object on its own cache line. */
+    Addr allocBarrier(const std::string &label);
+
+    /** Allocate a semaphore object on its own cache line. */
+    Addr allocSema(const std::string &label);
+    /** @} */
+
+    /** Intern a static source-site label. */
+    SiteId site(const std::string &name);
+
+    /** @name Per-thread emission
+     * @{
+     */
+    void read(ThreadId t, Addr a, unsigned size, SiteId s);
+    void write(ThreadId t, Addr a, unsigned size, SiteId s);
+    void compute(ThreadId t, Cycle cycles);
+    void lock(ThreadId t, LockAddr l, SiteId s);
+    void unlock(ThreadId t, LockAddr l, SiteId s);
+    void semaPost(ThreadId t, Addr sema, SiteId s);
+    void semaWait(ThreadId t, Addr sema, SiteId s);
+    /** @} */
+
+    /**
+     * Emit a barrier arrival into one thread's stream. All threads
+     * must see the same barrier sequence (validated by finish());
+     * prefer barrierAll() unless interleaving other per-thread ops.
+     */
+    void barrier(ThreadId t, Addr barrier, SiteId s);
+
+    /** Emit the same barrier arrival into every thread's stream. */
+    void barrierAll(Addr barrier, SiteId s);
+
+    /**
+     * Validate and return the finished Program.
+     *
+     * Validation rules (violations are fatal):
+     * - every thread's Lock/Unlock ops are balanced and properly
+     *   nested per lock;
+     * - every thread observes the same sequence of barrier arrivals;
+     * - all accesses fall inside allocated data or sync objects and do
+     *   not cross 32-byte line boundaries.
+     */
+    Program finish();
+
+    unsigned numThreads() const { return numThreads_; }
+
+  private:
+    void checkThread(ThreadId t) const;
+
+    Program prog_;
+    unsigned numThreads_;
+    Addr brk_;
+    bool finished_ = false;
+};
+
+} // namespace hard
+
+#endif // HARD_WORKLOADS_BUILDER_HH

@@ -1,0 +1,180 @@
+#include "workloads/injector.hh"
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace hard
+{
+
+namespace
+{
+
+/** Position of one Lock op: (thread index, op index). */
+struct LockPos
+{
+    std::size_t thread;
+    std::size_t op;
+};
+
+/** Collect the positions of every Lock op in program order. */
+std::vector<LockPos>
+collectAcquires(const Program &prog)
+{
+    std::vector<LockPos> out;
+    for (std::size_t t = 0; t < prog.threads.size(); ++t) {
+        const auto &ops = prog.threads[t].ops;
+        for (std::size_t i = 0; i < ops.size(); ++i)
+            if (ops[i].type == OpType::Lock)
+                out.push_back({t, i});
+    }
+    return out;
+}
+
+/**
+ * Find the Unlock matching the Lock at @p pos. Builder validation
+ * guarantees no re-acquisition, so the first Unlock of the same lock
+ * after the acquire is the match.
+ */
+std::size_t
+findMatchingUnlock(const Program &prog, const LockPos &pos)
+{
+    const auto &ops = prog.threads[pos.thread].ops;
+    const Addr lock = ops[pos.op].addr;
+    for (std::size_t i = pos.op + 1; i < ops.size(); ++i) {
+        if (ops[i].type == OpType::Unlock && ops[i].addr == lock)
+            return i;
+    }
+    panic("injector: no matching unlock for lock %llx in thread %zu",
+          static_cast<unsigned long long>(lock), pos.thread);
+}
+
+/**
+ * Summarize the accesses inside (@p lo, @p hi) of thread @p t.
+ * @return true if the section writes cross-thread-shared data (always
+ * true for written sections when @p shared is null).
+ */
+bool
+recordGroundTruth(const Program &prog, std::size_t t, std::size_t lo,
+                  std::size_t hi, const SharedMap *shared, Injection &inj)
+{
+    const auto &ops = prog.threads[t].ops;
+    bool conflicting_write = false;
+    for (std::size_t i = lo + 1; i < hi; ++i) {
+        const Op &op = ops[i];
+        if (op.type != OpType::Read && op.type != OpType::Write)
+            continue;
+        inj.ranges.emplace_back(op.addr, op.size);
+        inj.sites.insert(op.site);
+        if (op.type == OpType::Write) {
+            inj.hasWrite = true;
+            if (shared == nullptr || shared->conflicting(op.addr, op.size))
+                conflicting_write = true;
+        }
+    }
+    return conflicting_write;
+}
+
+} // namespace
+
+SharedMap::SharedMap(const Program &prog)
+{
+    constexpr unsigned kGran = 4;
+    constexpr std::uint16_t kWritten = 1u << 15;
+    for (const auto &thread : prog.threads) {
+        const std::uint16_t tbit =
+            static_cast<std::uint16_t>(1u << (thread.tid & 7));
+        for (const Op &op : thread.ops) {
+            if (op.type != OpType::Read && op.type != OpType::Write)
+                continue;
+            const Addr lo = alignDown(op.addr, kGran);
+            const Addr hi = op.addr + (op.size ? op.size : 1);
+            for (Addr a = lo; a < hi; a += kGran) {
+                std::uint16_t &m = map_[a];
+                m |= tbit;
+                if (op.type == OpType::Write)
+                    m |= kWritten;
+            }
+        }
+    }
+    for (const auto &kv : map_) {
+        std::uint16_t accessors = kv.second & 0xff;
+        if ((kv.second & kWritten) && popCount(accessors) > 1)
+            ++nConflicting_;
+    }
+}
+
+bool
+SharedMap::conflicting(Addr a, unsigned size) const
+{
+    constexpr unsigned kGran = 4;
+    constexpr std::uint16_t kWritten = 1u << 15;
+    const Addr lo = alignDown(a, kGran);
+    const Addr hi = a + (size ? size : 1);
+    for (Addr g = lo; g < hi; g += kGran) {
+        auto it = map_.find(g);
+        if (it == map_.end())
+            continue;
+        std::uint16_t accessors = it->second & 0xff;
+        if ((it->second & kWritten) && popCount(accessors) > 1)
+            return true;
+    }
+    return false;
+}
+
+Injection
+injectRace(Program &prog, std::uint64_t seed, const SharedMap *shared)
+{
+    std::vector<LockPos> acquires = collectAcquires(prog);
+    Injection inj;
+    if (acquires.empty())
+        return inj;
+
+    Rng rng(seed);
+    // Up to 64 redraws looking for a critical section that can
+    // actually race: it must access data, and preferably write it.
+    constexpr unsigned kMaxTries = 64;
+    std::size_t chosen = acquires.size();
+    std::size_t chosen_unlock = 0;
+    Injection best;
+    for (unsigned attempt = 0; attempt < kMaxTries; ++attempt) {
+        std::size_t idx = rng.below(acquires.size());
+        const LockPos &pos = acquires[idx];
+        std::size_t unlock = findMatchingUnlock(prog, pos);
+
+        Injection cand;
+        cand.valid = true;
+        cand.tid = prog.threads[pos.thread].tid;
+        cand.lock = prog.threads[pos.thread].ops[pos.op].addr;
+        cand.lockSite = prog.threads[pos.thread].ops[pos.op].site;
+        cand.dynamicIndex = idx;
+        bool racy = recordGroundTruth(prog, pos.thread, pos.op, unlock,
+                                      shared, cand);
+        if (cand.ranges.empty())
+            continue;
+        if (!racy) {
+            // Remember a non-racy section as a fallback but keep
+            // looking for one whose elision creates a real race.
+            if (!best.valid) {
+                best = cand;
+                chosen = idx;
+                chosen_unlock = unlock;
+            }
+            continue;
+        }
+        best = std::move(cand);
+        chosen = idx;
+        chosen_unlock = unlock;
+        break;
+    }
+    if (!best.valid)
+        return best;
+
+    // Elide the pair (erase the later op first to keep indices valid).
+    auto &ops = prog.threads[acquires[chosen].thread].ops;
+    ops.erase(ops.begin() + static_cast<std::ptrdiff_t>(chosen_unlock));
+    ops.erase(ops.begin() + static_cast<std::ptrdiff_t>(acquires[chosen].op));
+    return best;
+}
+
+} // namespace hard

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Dynamic race injection, reproducing the paper's methodology (§4):
+ * "omitting a randomly selected dynamic instance of a lock primitive
+ * and the corresponding unlock primitive."
+ *
+ * Because workload programs are deterministic per-thread traces, every
+ * static Lock op in a stream is exactly one dynamic lock acquire, so
+ * selecting a dynamic instance is selecting one Lock op. The injector
+ * removes the chosen Lock and its matching Unlock and records the
+ * ground truth: the byte ranges and source sites accessed inside the
+ * now-unprotected critical section. A detector "detects the bug" when
+ * it reports a race overlapping that byte set.
+ */
+
+#ifndef HARD_WORKLOADS_INJECTOR_HH
+#define HARD_WORKLOADS_INJECTOR_HH
+
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/program.hh"
+
+namespace hard
+{
+
+/** Ground truth describing one injected race. */
+struct Injection
+{
+    /** False if no injectable critical section was found. */
+    bool valid = false;
+    /** Thread whose lock/unlock pair was elided. */
+    ThreadId tid = invalidThread;
+    /** The elided lock. */
+    LockAddr lock = 0;
+    /** Source site of the elided acquire. */
+    SiteId lockSite = invalidSite;
+    /** Index of the elided acquire among all Lock ops of the program. */
+    std::size_t dynamicIndex = 0;
+    /** Byte ranges accessed inside the elided critical section. */
+    std::vector<std::pair<Addr, unsigned>> ranges;
+    /** Source sites of the accesses inside the critical section. */
+    std::set<SiteId> sites;
+    /** True if the critical section contained a write. */
+    bool hasWrite = false;
+
+    /** @return true if [lo,lo+len) overlaps any ground-truth range. */
+    bool
+    overlaps(Addr lo, unsigned len) const
+    {
+        for (const auto &[base, sz] : ranges)
+            if (base < lo + len && lo < base + sz)
+                return true;
+        return false;
+    }
+};
+
+/**
+ * Which granules of a program are genuinely shared: accessed by more
+ * than one thread with at least one write. Precompute once per
+ * workload and pass to injectRace() so only critical sections whose
+ * elision can actually create a race are selected (all of the paper's
+ * lock-protected data is shared this way).
+ */
+class SharedMap
+{
+  public:
+    /** Scan @p prog's access streams (4-byte granules). */
+    explicit SharedMap(const Program &prog);
+
+    /** @return true if [a, a+size) touches a racy-capable granule. */
+    bool conflicting(Addr a, unsigned size) const;
+
+    /** @return number of conflicting granules found. */
+    std::size_t conflictingGranules() const { return nConflicting_; }
+
+  private:
+    /** granule -> (accessor-thread mask, written flag in bit 15). */
+    std::unordered_map<Addr, std::uint16_t> map_;
+    std::size_t nConflicting_ = 0;
+};
+
+/**
+ * Elide one random dynamic lock/unlock pair from @p prog.
+ *
+ * Only critical sections containing at least one data access are
+ * eligible; with a SharedMap the selection further requires a write to
+ * cross-thread-shared data (so the elision creates a real potential
+ * race, as the paper's injections do). The draw is retried a bounded
+ * number of times otherwise. Deterministic in @p seed.
+ *
+ * @param prog Program to mutate in place.
+ * @param seed Selection seed (one seed per injected "bug" run).
+ * @param shared Optional shared-data map for eligibility filtering.
+ * @return the ground truth (valid == false if nothing was injectable).
+ */
+Injection injectRace(Program &prog, std::uint64_t seed,
+                     const SharedMap *shared = nullptr);
+
+} // namespace hard
+
+#endif // HARD_WORKLOADS_INJECTOR_HH

@@ -1,0 +1,68 @@
+#include "workloads/registry.hh"
+
+#include "common/logging.hh"
+
+namespace hard
+{
+
+const std::vector<WorkloadInfo> &
+allWorkloads()
+{
+    static const std::vector<WorkloadInfo> table = {
+        {"cholesky",
+         "task-queue sparse Cholesky factorization: global queue lock, "
+         "hashed per-column locks, semaphore-based column hand-off",
+         buildCholesky},
+        {"barnes",
+         "Barnes-Hut N-body: barrier-phased tree build with hashed "
+         "per-cell locks, force computation, global reductions",
+         buildBarnes},
+        {"fmm",
+         "fast multipole method: barrier-phased passes over boxes with "
+         "per-box locks and producer/consumer list hand-off",
+         buildFmm},
+        {"ocean",
+         "barrier-phased red-black stencil relaxation on a misaligned "
+         "grid with a lock-protected global residual reduction",
+         buildOcean},
+        {"water-nsquared",
+         "O(n^2) molecular dynamics: per-molecule accumulation locks, "
+         "barrier-separated phases, disciplined locking",
+         buildWaterNsquared},
+        {"raytrace",
+         "ray tracer: lock-protected work-queue tile stealing, "
+         "read-only scene, unsynchronized per-tile framebuffer writes",
+         buildRaytrace},
+    };
+    return table;
+}
+
+const std::vector<WorkloadInfo> &
+extensionWorkloads()
+{
+    static const std::vector<WorkloadInfo> table = {
+        {"server",
+         "request-processing server (apache/mysql class, paper's "
+         "future work): per-bucket connection/cache locks, racy hit "
+         "counters, coarse stats lock, cold log appends, semaphore "
+         "request hand-off, no barriers",
+         buildServer},
+    };
+    return table;
+}
+
+Program
+buildWorkload(const std::string &name, const WorkloadParams &p)
+{
+    for (const WorkloadInfo &w : allWorkloads()) {
+        if (name == w.name)
+            return w.build(p);
+    }
+    for (const WorkloadInfo &w : extensionWorkloads()) {
+        if (name == w.name)
+            return w.build(p);
+    }
+    fatal("unknown workload '%s'", name.c_str());
+}
+
+} // namespace hard

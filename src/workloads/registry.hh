@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Registry of the six SPLASH-2-like workload models used in the
+ * paper's evaluation (§4): cholesky, barnes, fmm, ocean,
+ * water-nsquared and raytrace. Each generator reproduces the
+ * synchronization structure, sharing pattern, layout and footprint of
+ * its namesake (see DESIGN.md for the substitution rationale).
+ */
+
+#ifndef HARD_WORKLOADS_REGISTRY_HH
+#define HARD_WORKLOADS_REGISTRY_HH
+
+#include <string>
+#include <vector>
+
+#include "workloads/builder.hh"
+
+namespace hard
+{
+
+/** Generator signature: build a Program from sizing parameters. */
+using WorkloadFn = Program (*)(const WorkloadParams &);
+
+/** One registered workload. */
+struct WorkloadInfo
+{
+    const char *name;
+    const char *description;
+    WorkloadFn build;
+};
+
+/** @return all registered workloads, in the paper's Table 2 order. */
+const std::vector<WorkloadInfo> &allWorkloads();
+
+/**
+ * @return extension workloads beyond the paper's six applications
+ * (currently: "server", the apache/mysql-style program class the
+ * paper's §7 names as future evaluation targets).
+ */
+const std::vector<WorkloadInfo> &extensionWorkloads();
+
+/** Build workload @p name; fatal() if unknown. */
+Program buildWorkload(const std::string &name, const WorkloadParams &p);
+
+/** @name Individual generators
+ * @{
+ */
+Program buildCholesky(const WorkloadParams &p);
+Program buildBarnes(const WorkloadParams &p);
+Program buildFmm(const WorkloadParams &p);
+Program buildOcean(const WorkloadParams &p);
+Program buildWaterNsquared(const WorkloadParams &p);
+Program buildRaytrace(const WorkloadParams &p);
+Program buildServer(const WorkloadParams &p);
+/** @} */
+
+} // namespace hard
+
+#endif // HARD_WORKLOADS_REGISTRY_HH

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * barnes — Barnes-Hut N-body model.
+ *
+ * Structure mirrored from SPLASH-2 barnes: barrier-separated
+ * iterations of (tree build with hashed per-cell locks) -> (force
+ * computation reading shared cells) -> (position update), plus a
+ * lock-protected global bounding-box reduction. Tree cells are 40
+ * bytes (misaligned with 32-byte lines), so adjacent cells guarded by
+ * different locks falsely share lines — a Table 3 false-alarm source.
+ * A racy "total cost" counter models the benign races the paper
+ * attributes its ideal-setup false alarms to.
+ */
+
+#include "common/rng.hh"
+#include "workloads/registry.hh"
+#include "workloads/wl_util.hh"
+
+namespace hard
+{
+
+Program
+buildBarnes(const WorkloadParams &p)
+{
+    WorkloadBuilder b("barnes", p.numThreads);
+
+    const std::uint64_t nbody = scaled(8192, p, 128);
+    const std::uint64_t ncell = scaled(2048, p, 64);
+    const unsigned body_bytes = 64;
+    const unsigned cell_bytes = 40; // deliberately line-misaligned
+    const unsigned ncelllocks = 128;
+    const unsigned iters = 2;
+
+    const Addr bodies = b.alloc("bodies", nbody * body_bytes, 32);
+    const Addr cells = b.alloc("cells", ncell * cell_bytes, 32);
+    const Addr bbox = b.alloc("bbox", 32, 32);
+    const Addr cost = b.alloc("cost", 8, 32);
+    const LockAddr glock = b.allocLock("globalLock");
+    std::vector<LockAddr> celllock;
+    for (unsigned i = 0; i < ncelllocks; ++i)
+        celllock.push_back(b.allocLock("cellLock" + std::to_string(i)));
+    const Addr bar = b.allocBarrier("phaseBarrier");
+
+    UnpaddedStats stats(b, "stats", 2);
+
+    const SiteId s_brd = b.site("body.pos.read");
+    const SiteId s_clk = b.site("tree.cell.lock");
+    const SiteId s_crd = b.site("tree.cell.read");
+    const SiteId s_cwr = b.site("tree.cell.write");
+    const SiteId s_cms = b.site("tree.cellmass.write");
+    const SiteId s_frd = b.site("force.cell.read");
+    const SiteId s_fwr = b.site("force.body.write");
+    const SiteId s_urd = b.site("update.body.read");
+    const SiteId s_uwr = b.site("update.body.write");
+    const SiteId s_glk = b.site("bbox.lock");
+    const SiteId s_grd = b.site("bbox.read");
+    const SiteId s_gwr = b.site("bbox.write");
+    const SiteId s_kra = b.site("cost.racy.add");
+    const SiteId s_bar = b.site("barrier");
+
+    const SiteId s_init = b.site("init.write");
+
+    const std::uint64_t per_thread = nbody / p.numThreads;
+
+    // Master-thread initialization of the shared cell pool and the
+    // reduction scalars, ordered by the phase barrier.
+    initRegion(b, cells, ncell * cell_bytes, 8, s_init);
+    b.write(0, bbox, 8, s_init);
+    b.write(0, bbox + 8, 8, s_init);
+    b.write(0, cost, 8, s_init);
+    b.barrierAll(bar, s_bar);
+    const SiteId s_warm = b.site("startup.sweep.read");
+    warmRegion(b, cells, ncell * cell_bytes, 8, s_warm);
+    warmRegion(b, bbox, 16, 8, s_warm);
+    b.barrierAll(bar, s_bar);
+
+    for (unsigned it = 0; it < iters; ++it) {
+        // Phase 0: global bounding-box reduction (lock-protected).
+        for (unsigned t = 0; t < p.numThreads; ++t) {
+            // Read-only check first (locked), as the original polls
+            // the box bounds before extending them.
+            b.lock(t, glock, s_glk);
+            b.read(t, bbox, 8, s_grd);
+            b.unlock(t, glock, s_glk);
+            b.compute(t, 25);
+            b.lock(t, glock, s_glk);
+            b.read(t, bbox, 8, s_grd);
+            b.write(t, bbox, 8, s_gwr);
+            b.read(t, bbox + 8, 8, s_grd);
+            b.write(t, bbox + 8, 8, s_gwr);
+            b.unlock(t, glock, s_glk);
+        }
+        b.barrierAll(bar, s_bar);
+
+        // Phase 1: tree build — insert bodies into locked cells.
+        for (unsigned t = 0; t < p.numThreads; ++t) {
+            Rng trng(p.seed * 31 + t * 7 + it);
+            for (std::uint64_t k = 0; k < per_thread; ++k) {
+                Addr body = bodies + (t * per_thread + k) * body_bytes;
+                b.read(t, body, 8, s_brd);
+                b.read(t, body + 8, 8, s_brd);
+
+                // Insertion paths cluster spatially (bodies are sorted
+                // by position in the original), so threads at similar
+                // progress touch the same subtree cells concurrently.
+                // Most insertions descend through the current hot
+                // top-level cell (all threads hammer it for a long
+                // stretch, as real barnes does near the root), then
+                // land in a clustered leaf cell.
+                std::uint64_t hot = ((k / 256) * 31 + 7) % ncell;
+                LockAddr hl = celllock[hot % ncelllocks];
+                b.lock(t, hl, s_clk);
+                Addr hot_cell = cells + hot * cell_bytes;
+                b.read(t, hot_cell, 8, s_crd);
+                b.write(t, hot_cell + 16, 8, s_cwr);
+                b.unlock(t, hl, s_clk);
+
+                std::uint64_t c = (k / 2 + trng.below(40)) % ncell;
+                Addr cell = cells + c * cell_bytes;
+                LockAddr l = celllock[c % ncelllocks];
+                b.lock(t, l, s_clk);
+                b.read(t, cell, 8, s_crd);
+                b.write(t, cell, 8, s_cwr);
+                b.write(t, cell + 16, 8, s_cwr);
+                // The subtree-mass field occupies the cell's last 8
+                // bytes (32..40): its line spills into the next cell,
+                // which is guarded by a *different* lock — line-level
+                // false sharing between correctly locked updates.
+                b.write(t, cell + 32, 8, s_cms);
+                b.unlock(t, l, s_clk);
+                b.compute(t, 20);
+            }
+        }
+        b.barrierAll(bar, s_bar);
+
+        // Phase 2: force computation — read shared cells (safe: the
+        // tree is frozen by the barrier), accumulate into own bodies.
+        for (unsigned t = 0; t < p.numThreads; ++t) {
+            Rng trng(p.seed * 131 + t * 17 + it);
+            for (std::uint64_t k = 0; k < per_thread; ++k) {
+                Addr body = bodies + (t * per_thread + k) * body_bytes;
+                for (unsigned w = 0; w < 4; ++w) {
+                    std::uint64_t c = trng.below(ncell);
+                    b.read(t, cells + c * cell_bytes + 8, 8, s_frd);
+                }
+                b.write(t, body + 24, 8, s_fwr);
+                b.compute(t, 40);
+                // Work-cost heuristic counter: racy by design (the
+                // original uses it only as a load-balancing hint).
+                if (k % 32 == 7) {
+                    b.read(t, cost, 8, s_kra);
+                    b.write(t, cost, 8, s_kra);
+                }
+            }
+            stats.bump(b, t, 0);
+        }
+        b.barrierAll(bar, s_bar);
+
+        // Phase 3: position update — own bodies only.
+        for (unsigned t = 0; t < p.numThreads; ++t) {
+            for (std::uint64_t k = 0; k < per_thread; ++k) {
+                Addr body = bodies + (t * per_thread + k) * body_bytes;
+                b.read(t, body + 24, 8, s_urd);
+                b.write(t, body, 8, s_uwr);
+                b.write(t, body + 8, 8, s_uwr);
+            }
+            stats.bump(b, t, 1);
+        }
+        b.barrierAll(bar, s_bar);
+    }
+
+    return b.finish();
+}
+
+} // namespace hard

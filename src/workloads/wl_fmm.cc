@@ -1,0 +1,213 @@
+/**
+ * @file
+ * fmm — fast multipole method model.
+ *
+ * Structure mirrored from SPLASH-2 fmm: barrier-separated passes over
+ * a box tree. The upward (multipole) pass hands partial results
+ * between threads with hand-crafted semaphore signalling — safe but
+ * opaque to lockset, the dominant false-alarm source that makes fmm
+ * the noisiest app in Table 2 even in the ideal setup. The
+ * interaction pass applies lock-protected accumulations to other
+ * threads' boxes (hashed per-box locks). Boxes are 120 bytes
+ * (line-misaligned) and per-thread counters are unpadded, adding the
+ * Table 3 false-sharing sources. A particle store plus a cold
+ * lock-protected "checkpoint" region stress the L2 sweep.
+ */
+
+#include "common/rng.hh"
+#include "workloads/registry.hh"
+#include "workloads/wl_util.hh"
+
+namespace hard
+{
+
+Program
+buildFmm(const WorkloadParams &p)
+{
+    WorkloadBuilder b("fmm", p.numThreads);
+
+    const std::uint64_t nbox = scaled(2048, p, 64);
+    const std::uint64_t npart = scaled(8192, p, 128);
+    const unsigned box_bytes = 120; // deliberately line-misaligned
+    const unsigned part_bytes = 64;
+    const unsigned nboxlocks = 64;
+    const unsigned iters = 2;
+
+    const Addr boxes = b.alloc("boxes", nbox * box_bytes, 32);
+    const Addr parts = b.alloc("particles", npart * part_bytes, 32);
+    const Addr energy = b.alloc("energy", 8, 32);
+    const Addr ckpt = b.alloc("checkpoint", 128 * 1024, 32);
+    const LockAddr elock = b.allocLock("energyLock");
+    const LockAddr cklock = b.allocLock("ckptLock");
+    std::vector<LockAddr> boxlock;
+    for (unsigned i = 0; i < nboxlocks; ++i)
+        boxlock.push_back(b.allocLock("boxLock" + std::to_string(i)));
+    std::vector<Addr> up_sema;
+    for (unsigned t = 0; t < p.numThreads; ++t)
+        up_sema.push_back(b.allocSema("upSema" + std::to_string(t)));
+    const Addr bar = b.allocBarrier("passBarrier");
+
+    UnpaddedStats stats(b, "stats", 4);
+
+    const SiteId s_prd = b.site("p2m.particle.read");
+    const SiteId s_bwr = b.site("p2m.ownbox.write");
+    const SiteId s_pub = b.site("m2m.publish");
+    const SiteId s_con = b.site("m2m.consume");
+    const SiteId s_sig = b.site("m2m.post");
+    const SiteId s_wai = b.site("m2m.wait");
+    const SiteId s_mrg = b.site("m2m.merge.rw");
+    const SiteId s_lrd = b.site("m2l.box.read");
+    const SiteId s_lwr = b.site("m2l.ownbox.write");
+    const SiteId s_ilk = b.site("interact.lock");
+    const SiteId s_ihd = b.site("interact.header.read");
+    const SiteId s_ird = b.site("interact.read");
+    const SiteId s_iwr = b.site("interact.write");
+    const SiteId s_itl = b.site("interact.tail.write");
+    const SiteId s_elk = b.site("energy.lock");
+    const SiteId s_erd = b.site("energy.read");
+    const SiteId s_ewr = b.site("energy.write");
+    const SiteId s_klk = b.site("ckpt.lock");
+    const SiteId s_kwr = b.site("ckpt.write");
+    const SiteId s_bar = b.site("barrier");
+
+    const SiteId s_init = b.site("init.write");
+
+    const std::uint64_t boxes_per_thread = nbox / p.numThreads;
+    const std::uint64_t parts_per_thread = npart / p.numThreads;
+
+    // Master-thread initialization of shared structures (box tree,
+    // reduction scalar, checkpoint region), barrier-ordered.
+    initRegion(b, boxes, nbox * box_bytes, 8, s_init);
+    initRegion(b, ckpt, 128 * 1024, 64, s_init);
+    b.write(0, energy, 8, s_init);
+    b.barrierAll(bar, s_bar);
+    const SiteId s_warm = b.site("startup.sweep.read");
+    warmRegion(b, boxes, nbox * box_bytes, 8, s_warm);
+    warmRegion(b, ckpt, 128 * 1024, 64, s_warm);
+    warmRegion(b, energy, 8, 8, s_warm);
+    b.barrierAll(bar, s_bar);
+
+    for (unsigned it = 0; it < iters; ++it) {
+        // P2M: read own particles, build own leaf boxes (exclusive).
+        for (unsigned t = 0; t < p.numThreads; ++t) {
+            // Energy convergence check at iteration start (locked
+            // read, as the original polls global sums).
+            b.lock(t, elock, s_elk);
+            b.read(t, energy, 8, s_erd);
+            b.unlock(t, elock, s_elk);
+            for (std::uint64_t k = 0; k < parts_per_thread; ++k) {
+                Addr part = parts + (t * parts_per_thread + k) * part_bytes;
+                b.read(t, part, 8, s_prd);
+                b.read(t, part + 8, 8, s_prd);
+                Addr box = boxes +
+                    (t * boxes_per_thread + k % boxes_per_thread) *
+                        box_bytes;
+                b.write(t, box, 8, s_bwr);
+                if (k % 8 == 0)
+                    b.compute(t, 30);
+            }
+            stats.bump(b, t, 0);
+        }
+        b.barrierAll(bar, s_bar);
+
+        // M2M upward pass: each thread publishes the multipole of its
+        // subtree root lock-free, then signals its neighbour, which
+        // consumes it lock-free after the wait. Perfectly ordered by
+        // the semaphores — and invisible to the lockset algorithm.
+        for (unsigned t = 0; t < p.numThreads; ++t) {
+            Addr root = boxes + t * boxes_per_thread * box_bytes;
+            for (unsigned w = 0; w < 3; ++w)
+                b.write(t, root + 32 + w * 8, 8, s_pub);
+            b.semaPost(t, up_sema[t], s_sig);
+        }
+        for (unsigned t = 0; t < p.numThreads; ++t) {
+            unsigned from = (t + 1) % p.numThreads;
+            b.semaWait(t, up_sema[from], s_wai);
+            Addr root = boxes + from * boxes_per_thread * box_bytes;
+            for (unsigned w = 0; w < 3; ++w)
+                b.read(t, root + 32 + w * 8, 8, s_con);
+            // Fold the received multipole into the neighbour's root
+            // merge field — lock-free but semaphore-ordered (each
+            // root has exactly one consumer in the ring): safe, yet a
+            // locking-discipline violation to the lockset algorithm.
+            b.read(t, root + 56, 8, s_mrg);
+            b.write(t, root + 56, 8, s_mrg);
+            stats.bump(b, t, 1);
+        }
+        b.barrierAll(bar, s_bar);
+
+        // M2L: read other boxes (frozen by the barrier), accumulate
+        // into own boxes.
+        for (unsigned t = 0; t < p.numThreads; ++t) {
+            Rng trng(p.seed * 211 + t * 3 + it);
+            for (std::uint64_t k = 0; k < boxes_per_thread; ++k) {
+                Addr own = boxes + (t * boxes_per_thread + k) * box_bytes;
+                for (unsigned w = 0; w < 6; ++w) {
+                    std::uint64_t o = trng.below(nbox);
+                    b.read(t, boxes + o * box_bytes + 64, 8, s_lrd);
+                }
+                b.write(t, own + 64, 8, s_lwr);
+                b.compute(t, 50);
+            }
+            stats.bump(b, t, 2);
+        }
+        b.barrierAll(bar, s_bar);
+
+        // Interaction (direct) pass: lock-protected accumulation into
+        // arbitrary boxes.
+        for (unsigned t = 0; t < p.numThreads; ++t) {
+            Rng trng(p.seed * 977 + t * 13 + it);
+            const std::uint64_t pairs = boxes_per_thread * 8;
+            for (std::uint64_t k = 0; k < pairs; ++k) {
+                // Interaction partners cluster around the sweep
+                // frontier, giving cross-thread temporal overlap; a
+                // quarter of the interactions hit the current hot
+                // (large) box that every thread shares for a stretch.
+                std::uint64_t j;
+                if (k % 4 == 0)
+                    j = ((k / 256) * 131 + 5) % nbox;
+                else
+                    j = (k + trng.below(48)) % nbox;
+                Addr box = boxes + j * box_bytes;
+                LockAddr l = boxlock[j % nboxlocks];
+                b.lock(t, l, s_ilk);
+                // Header read plus a tail-field update: the tail bytes
+                // (108..112 of the 120-byte box) share a line with the
+                // next box's header, which is guarded by a different
+                // lock — line-granularity false sharing.
+                b.read(t, box, 8, s_ihd);
+                b.read(t, box + 96, 8, s_ird);
+                b.write(t, box + 96, 8, s_iwr);
+                b.write(t, box + 108, 4, s_itl);
+                b.unlock(t, l, s_ilk);
+                b.compute(t, 90);
+            }
+            // Cold checkpoint slices, lock-protected, overlapping
+            // between neighbouring threads: long reuse distance makes
+            // their candidate sets eviction-prone (§3.6).
+            b.lock(t, cklock, s_klk);
+            for (unsigned w = 0; w < 8; ++w) {
+                unsigned stripe = (t + w / 4) % p.numThreads;
+                Addr a = ckpt +
+                    ((it * p.numThreads + stripe) * 512 + (w % 4) * 64) %
+                        (128 * 1024 - 8);
+                b.write(t, a, 8, s_kwr);
+            }
+            b.unlock(t, cklock, s_klk);
+            stats.bump(b, t, 3);
+        }
+
+        // Global energy reduction.
+        for (unsigned t = 0; t < p.numThreads; ++t) {
+            b.lock(t, elock, s_elk);
+            b.read(t, energy, 8, s_erd);
+            b.write(t, energy, 8, s_ewr);
+            b.unlock(t, elock, s_elk);
+        }
+        b.barrierAll(bar, s_bar);
+    }
+
+    return b.finish();
+}
+
+} // namespace hard

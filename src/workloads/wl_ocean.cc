@@ -1,0 +1,193 @@
+/**
+ * @file
+ * ocean — barrier-phased grid relaxation model.
+ *
+ * Structure mirrored from SPLASH-2 ocean: Jacobi-style sweeps over
+ * several grids with barriers between phases, partitioned into
+ * *column* blocks. Cross-phase neighbour sharing is ordered by the
+ * barriers (the Figure 7 pattern HARD's reset must prune). Block
+ * boundaries fall mid-line (block widths are not multiples of four
+ * 8-byte columns), so within one phase adjacent threads write cells of
+ * the same 32-byte line concurrently: false sharing that both lockset
+ * and happens-before report, blowing ocean's false alarms up from ~1
+ * at 4-byte granularity to tens at 32 bytes (Table 3). The only locks
+ * protect the global residual and a cold checkpoint buffer. Several
+ * grids and phases give the false sharing many distinct source sites,
+ * matching the paper's source-level alarm counting.
+ */
+
+#include <array>
+
+#include "workloads/registry.hh"
+#include "workloads/wl_util.hh"
+
+namespace hard
+{
+
+namespace
+{
+
+/** One Jacobi phase: dst[r][c] = f(src 5-point stencil, rhs). */
+struct StencilPhase
+{
+    const char *tag;
+    Addr src;
+    Addr dst;
+};
+
+} // namespace
+
+Program
+buildOcean(const WorkloadParams &p)
+{
+    WorkloadBuilder b("ocean", p.numThreads);
+
+    const std::uint64_t rows = scaled(256, p, 16);
+    const std::uint64_t cols = 381; // 3048B rows: line-misaligned
+    const unsigned iters = 2;
+    const std::uint64_t row_bytes = cols * 8;
+    const std::uint64_t grid_bytes = rows * row_bytes;
+
+    const Addr u = b.alloc("u", grid_bytes, 32);
+    const Addr pgrid = b.alloc("p", grid_bytes, 32);
+    const Addr rhs = b.alloc("rhs", grid_bytes, 32);
+    const Addr residual = b.alloc("residual", 8, 32);
+    const Addr tstamp = b.alloc("timestamp", 8, 32);
+    const Addr ckpt = b.alloc("checkpoint", 256 * 1024, 32);
+    const LockAddr rlock = b.allocLock("residualLock");
+    const LockAddr cklock = b.allocLock("ckptLock");
+    const Addr bar = b.allocBarrier("sweepBarrier");
+
+    const SiteId s_rl = b.site("residual.lock");
+    const SiteId s_rr = b.site("residual.read");
+    const SiteId s_rw = b.site("residual.write");
+    const SiteId s_tw = b.site("timestamp.racy.write");
+    const SiteId s_tr = b.site("timestamp.racy.read");
+    const SiteId s_kl = b.site("ckpt.lock");
+    const SiteId s_kw = b.site("ckpt.write");
+    const SiteId s_bar = b.site("barrier");
+
+    const StencilPhase phases[] = {
+        {"laplace", u, pgrid},
+        {"jacob", pgrid, u},
+        {"relax", u, pgrid},
+    };
+
+    // Per-phase site labels (arrays x directions), so false sharing
+    // surfaces as many distinct source-level alarms, as in the paper.
+    // Real ocean touches each grid from dozens of distinct loops; we
+    // model that static-site multiplicity by giving every row band its
+    // own update site (8 bands), so boundary false sharing surfaces as
+    // many distinct source-level alarms, as in the paper.
+    constexpr unsigned kBands = 8;
+    struct PhaseSites
+    {
+        SiteId c, n, s, e, w, r;
+        std::array<SiteId, kBands> o;
+    };
+    std::vector<PhaseSites> psites;
+    for (const StencilPhase &ph : phases) {
+        PhaseSites ps;
+        std::string tag = ph.tag;
+        ps.c = b.site(tag + ".center.read");
+        ps.n = b.site(tag + ".north.read");
+        ps.s = b.site(tag + ".south.read");
+        ps.e = b.site(tag + ".east.read");
+        ps.w = b.site(tag + ".west.read");
+        ps.r = b.site(tag + ".rhs.read");
+        for (unsigned band = 0; band < kBands; ++band) {
+            ps.o[band] = b.site(tag + ".band" + std::to_string(band) +
+                                ".out.write");
+        }
+        psites.push_back(ps);
+    }
+
+    // Column-block partition with mid-line boundaries.
+    std::vector<std::uint64_t> cstart(p.numThreads + 1);
+    for (unsigned t = 0; t <= p.numThreads; ++t)
+        cstart[t] = 1 + (cols - 2) * t / p.numThreads;
+
+    auto cell = [&](Addr base, std::uint64_t r, std::uint64_t c) {
+        return base + r * row_bytes + c * 8;
+    };
+
+    const SiteId s_init = b.site("init.write");
+
+    // Master-thread initialization of the reduction scalar and the
+    // checkpoint buffer, barrier-ordered (the grids themselves are
+    // written by their owners first, which is initialization enough).
+    b.write(0, residual, 8, s_init);
+    initRegion(b, ckpt, 256 * 1024, 256, s_init);
+    b.barrierAll(bar, s_bar);
+    const SiteId s_warm = b.site("startup.sweep.read");
+    warmRegion(b, residual, 8, 8, s_warm);
+    warmRegion(b, ckpt, 256 * 1024, 256, s_warm);
+    b.barrierAll(bar, s_bar);
+
+    for (unsigned it = 0; it < iters; ++it) {
+        b.write(0, tstamp, 8, s_tw); // benign racy progress stamp
+
+        for (unsigned ph = 0; ph < 3; ++ph) {
+            const StencilPhase &sp = phases[ph];
+            const PhaseSites &ps = psites[ph];
+            for (unsigned t = 0; t < p.numThreads; ++t) {
+                if (t != 0 && ph == 0)
+                    b.read(t, tstamp, 8, s_tr); // benign racy poll
+                // Convergence check at phase start: every thread reads
+                // the running residual under its lock (as the original
+                // polls global sums), which also re-establishes the
+                // variable's shared state early in each barrier epoch.
+                b.lock(t, rlock, s_rl);
+                b.read(t, residual, 8, s_rr);
+                b.unlock(t, rlock, s_rl);
+                for (std::uint64_t r = 1; r + 1 < rows; r += 3) {
+                    for (std::uint64_t c = cstart[t]; c < cstart[t + 1];
+                         c += 3) {
+                        b.read(t, cell(sp.src, r, c), 8, ps.c);
+                        b.read(t, cell(sp.src, r - 1, c), 8, ps.n);
+                        b.read(t, cell(sp.src, r + 1, c), 8, ps.s);
+                        b.read(t, cell(sp.src, r, c + 1), 8, ps.e);
+                        b.read(t, cell(sp.src, r, c - 1), 8, ps.w);
+                        b.read(t, cell(rhs, r, c), 8, ps.r);
+                        b.write(t, cell(sp.dst, r, c), 8,
+                                ps.o[r * kBands / rows]);
+                    }
+                    b.compute(t, 150);
+                }
+                // Per-phase residual reduction (the app's real lock).
+                b.lock(t, rlock, s_rl);
+                b.read(t, residual, 8, s_rr);
+                b.write(t, residual, 8, s_rw);
+                b.unlock(t, rlock, s_rl);
+
+                // Once per iteration, checkpoint cold, lock-protected
+                // diagnostics slices: full grid sweeps sit between
+                // reuses, so these lines' candidate sets are displaced
+                // from the L2-sized metadata (the paper's §3.6 missed-
+                // race mechanism).
+                if (it + 1 == iters && ph >= 1) {
+                    // Checkpoint slices overlap between neighbouring
+                    // threads (each covers its own and the next
+                    // thread's stripe), so the region is genuinely
+                    // cross-thread-shared within the phase — all under
+                    // the checkpoint lock.
+                    b.lock(t, cklock, s_kl);
+                    for (unsigned w = 0; w < 8; ++w) {
+                        unsigned stripe = (t + w / 4) % p.numThreads;
+                        Addr a = ckpt +
+                            ((ph * p.numThreads + stripe) * 2048 +
+                             (w % 4) * 256) %
+                                (256 * 1024);
+                        b.write(t, a, 8, s_kw);
+                    }
+                    b.unlock(t, cklock, s_kl);
+                }
+            }
+            b.barrierAll(bar, s_bar);
+        }
+    }
+
+    return b.finish();
+}
+
+} // namespace hard

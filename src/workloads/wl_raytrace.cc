@@ -1,0 +1,176 @@
+/**
+ * @file
+ * raytrace — ray-tracing model.
+ *
+ * Structure mirrored from SPLASH-2 raytrace: a lock-protected work
+ * queue hands out image tiles (modelling its distributed task-stealing
+ * queues), rays read a large read-only scene (BVH + primitives), and
+ * each ray writes its pixel into a shared framebuffer without locks —
+ * safe because tile ownership is exclusive, but the 509-pixel rows
+ * misalign tile edges against 32-byte lines, so adjacent tiles
+ * falsely share framebuffer lines (raytrace's Table 3 false-alarm
+ * explosion: ~2 at 4B to ~48 at 32B). A racy global ray counter is
+ * the classic Figure 1 pattern: it is a true (benign) data race that
+ * lockset always flags, while the frequent queue-lock chains
+ * happens-before-order most of its dynamic occurrences. Per-object
+ * hit counters under hashed locks and cold per-tile luminance sums
+ * give the injector hot and eviction-prone critical sections.
+ */
+
+#include <array>
+
+#include "common/rng.hh"
+#include "workloads/registry.hh"
+#include "workloads/wl_util.hh"
+
+namespace hard
+{
+
+Program
+buildRaytrace(const WorkloadParams &p)
+{
+    WorkloadBuilder b("raytrace", p.numThreads);
+
+    const std::uint64_t width = 509; // line-misaligned rows (2036B)
+    const std::uint64_t height = scaled(384, p, 32);
+    const std::uint64_t nprim = scaled(24576, p, 256);
+    const unsigned prim_bytes = 48;
+    const std::uint64_t nobj = scaled(128, p, 8);
+    const unsigned nobjlocks = 32;
+    const std::uint64_t tile = 32;
+
+    const Addr scene = b.alloc("scene", nprim * prim_bytes, 32);
+    const Addr fb = b.alloc("framebuffer", width * height * 4, 32);
+    const Addr qhead = b.alloc("queueHead", 8, 32);
+    const Addr raycount = b.alloc("rayCount", 8, 32);
+    const Addr hits = b.alloc("objHits", nobj * 8, 32);
+    const Addr lumin = b.alloc("tileLuminance", 4096 * 8, 32);
+    const LockAddr qlock = b.allocLock("queueLock");
+    const LockAddr lumlock = b.allocLock("luminanceLock");
+    std::vector<LockAddr> objlock;
+    for (unsigned i = 0; i < nobjlocks; ++i)
+        objlock.push_back(b.allocLock("objLock" + std::to_string(i)));
+
+    UnpaddedStats stats(b, "stats", 2);
+
+    const SiteId s_qlk = b.site("queue.lock");
+    const SiteId s_qrd = b.site("queue.head.read");
+    const SiteId s_qwr = b.site("queue.head.write");
+    const SiteId s_srd = b.site("trace.scene.read");
+    // Pixels are written from several shading paths (primary, shadow,
+    // reflection, ... rays) — distinct static sites, so framebuffer
+    // false sharing is counted at source level as in the paper.
+    std::array<SiteId, 8> s_pwr;
+    for (unsigned i = 0; i < s_pwr.size(); ++i)
+        s_pwr[i] = b.site("trace.shade" + std::to_string(i) +
+                          ".pixel.write");
+    const SiteId s_rcr = b.site("raycount.racy.read");
+    const SiteId s_rcw = b.site("raycount.racy.write");
+    const SiteId s_hlk = b.site("objhits.lock");
+    const SiteId s_hrd = b.site("objhits.read");
+    const SiteId s_hwr = b.site("objhits.write");
+    const SiteId s_llk = b.site("luminance.lock");
+    const SiteId s_lrd = b.site("luminance.read");
+    const SiteId s_lwr = b.site("luminance.write");
+
+    const std::uint64_t tiles_x = (width + tile - 1) / tile;
+    const std::uint64_t tiles_y = (height + tile - 1) / tile;
+    const std::uint64_t ntiles = tiles_x * tiles_y;
+    // Luminance table sized so each accumulator folds ~12 tiles.
+    const std::uint64_t lum_slots = std::max<std::uint64_t>(4, ntiles / 12);
+
+    const SiteId s_init = b.site("init.write");
+    const SiteId s_go = b.site("start.gate");
+    const Addr start_sema = b.allocSema("startGate");
+
+    // Master-thread initialization of the shared statistics and the
+    // queue head (the scene is read-only; the framebuffer is written
+    // by tile owners first). Worker start is ordered by a semaphore
+    // gate, modelling the thread-creation edge: visible to
+    // happens-before, opaque to lockset — but safe for lockset too,
+    // because the master's Exclusive ownership of the initialized
+    // data makes the first worker access refine the candidate set.
+    initRegion(b, hits, nobj * 8, 8, s_init);
+    initRegion(b, lumin, 4096 * 8, 8, s_init);
+    b.write(0, qhead, 8, s_init);
+    b.write(0, raycount, 8, s_init);
+    for (unsigned t = 1; t < p.numThreads; ++t)
+        b.semaPost(0, start_sema, s_go);
+    for (unsigned t = 1; t < p.numThreads; ++t)
+        b.semaWait(t, start_sema, s_go);
+
+    // Static pseudo-random tile ownership models the dynamic stealing
+    // queue's spread while keeping streams deterministic.
+    Rng owner_rng(p.seed ^ 0x4a73);
+    std::vector<unsigned> owner(ntiles);
+    for (std::uint64_t i = 0; i < ntiles; ++i)
+        owner[i] = static_cast<unsigned>(owner_rng.below(p.numThreads));
+
+    for (unsigned t = 0; t < p.numThreads; ++t) {
+        Rng trng(p.seed * 53 + t * 29);
+        std::uint64_t rays_since_pop = 0;
+        for (std::uint64_t ti = 0; ti < ntiles; ++ti) {
+            if (owner[ti] != t)
+                continue;
+
+            // Pop the tile from the global queue.
+            b.lock(t, qlock, s_qlk);
+            b.read(t, qhead, 8, s_qrd);
+            b.write(t, qhead, 8, s_qwr);
+            b.unlock(t, qlock, s_qlk);
+
+            const std::uint64_t x0 = (ti % tiles_x) * tile;
+            const std::uint64_t y0 = (ti / tiles_x) * tile;
+            // Sample one ray per 4x4 pixel block; writes cover the
+            // tile edges so misaligned tiles falsely share lines.
+            for (std::uint64_t y = y0; y < y0 + tile && y < height;
+                 y += 4) {
+                for (std::uint64_t x = x0; x < x0 + tile && x < width;
+                     x += 4) {
+                    for (unsigned h = 0; h < 5; ++h) {
+                        std::uint64_t pr = trng.below(nprim);
+                        b.read(t, scene + pr * prim_bytes, 8, s_srd);
+                    }
+                    b.compute(t, 80);
+                    b.write(t, fb + (y * width + x) * 4, 4,
+                            s_pwr[(y / 4 + x / 4) % s_pwr.size()]);
+
+                    // Global ray counter: benign race by design.
+                    if (++rays_since_pop % 24 == 11) {
+                        b.read(t, raycount, 8, s_rcr);
+                        b.write(t, raycount, 8, s_rcw);
+                    }
+                    // Per-object hit statistics under hashed
+                    // locks. Objects are hit in screen-space order, so
+                    // all threads (which sweep tile indices together)
+                    // update the same few objects around the same
+                    // time.
+                    if (rays_since_pop % 4 == 3) {
+                        std::uint64_t o = (ti / 2 + trng.below(4)) % nobj;
+                        LockAddr l = objlock[o % nobjlocks];
+                        b.lock(t, l, s_hlk);
+                        b.read(t, hits + o * 8, 8, s_hrd);
+                        b.write(t, hits + o * 8, 8, s_hwr);
+                        b.unlock(t, l, s_hlk);
+                    }
+                }
+            }
+
+            // Cold, lock-protected luminance accumulators: tiles from
+            // different threads fold into a small shared table (long
+            // reuse distance makes this the eviction-prone injection
+            // target, §3.6).
+            b.lock(t, lumlock, s_llk);
+            b.read(t, lumin + (ti % lum_slots) * 8, 8, s_lrd);
+            b.write(t, lumin + (ti % lum_slots) * 8, 8, s_lwr);
+            b.unlock(t, lumlock, s_llk);
+
+            stats.bump(b, t, 0);
+        }
+        stats.bump(b, t, 1);
+    }
+
+    return b.finish();
+}
+
+} // namespace hard

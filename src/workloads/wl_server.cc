@@ -1,0 +1,146 @@
+/**
+ * @file
+ * server — an extension workload modelling the server programs
+ * (apache/mysql-style) the paper's §7 names as future evaluation
+ * targets. Not part of the six-application reproduction tables.
+ *
+ * Structure: worker threads process request streams against
+ *  - a connection table under per-bucket locks (hot, fine-grained);
+ *  - a shared LRU object cache: bucket locks, plus a lock-free racy
+ *    "hit counter" per entry (a benign race, as real servers have);
+ *  - a global statistics block under one coarse lock (contended);
+ *  - a log buffer appended under a log lock with cold, streaming
+ *    writes (eviction-prone candidate sets);
+ *  - request hand-off between a "listener" (thread 0) and the workers
+ *    via semaphores — hand-crafted synchronization that lockset
+ *    cannot interpret.
+ * No barriers at all: server phases are pipelined, not bulk-
+ * synchronous, which exercises HARD without its §3.5 reset.
+ */
+
+#include "common/rng.hh"
+#include "workloads/registry.hh"
+#include "workloads/wl_util.hh"
+
+namespace hard
+{
+
+Program
+buildServer(const WorkloadParams &p)
+{
+    WorkloadBuilder b("server", p.numThreads);
+
+    const std::uint64_t nconn = scaled(1024, p, 32);
+    const std::uint64_t ncache = scaled(4096, p, 64);
+    const std::uint64_t requests = scaled(3000, p, 64);
+    const unsigned conn_bytes = 88;  // line-misaligned records
+    const unsigned cache_bytes = 56; // line-misaligned entries
+    const unsigned nbucketlocks = 64;
+
+    const Addr conns = b.alloc("connections", nconn * conn_bytes, 32);
+    const Addr cache = b.alloc("cache", ncache * cache_bytes, 32);
+    const Addr gstats = b.alloc("globalStats", 32, 32);
+    const Addr logbuf = b.alloc("logBuffer", 512 * 1024, 32);
+    const LockAddr slock = b.allocLock("statsLock");
+    const LockAddr llock = b.allocLock("logLock");
+    std::vector<LockAddr> connlock, cachelock;
+    for (unsigned i = 0; i < nbucketlocks; ++i) {
+        connlock.push_back(b.allocLock("connLock" + std::to_string(i)));
+        cachelock.push_back(
+            b.allocLock("cacheLock" + std::to_string(i)));
+    }
+    std::vector<Addr> req_sema;
+    for (unsigned t = 0; t < p.numThreads; ++t)
+        req_sema.push_back(b.allocSema("reqSema" + std::to_string(t)));
+
+    UnpaddedStats stats(b, "workerStats", 3);
+
+    const SiteId s_init = b.site("init.write");
+    const SiteId s_acc = b.site("listener.accept.post");
+    const SiteId s_wai = b.site("worker.accept.wait");
+    const SiteId s_clk = b.site("conn.lock");
+    const SiteId s_crd = b.site("conn.read");
+    const SiteId s_cwr = b.site("conn.write");
+    const SiteId s_klk = b.site("cache.lock");
+    const SiteId s_krd = b.site("cache.read");
+    const SiteId s_kwr = b.site("cache.write");
+    const SiteId s_hit = b.site("cache.hitcount.racy");
+    const SiteId s_slk = b.site("stats.lock");
+    const SiteId s_srd = b.site("stats.read");
+    const SiteId s_swr = b.site("stats.write");
+    const SiteId s_llk = b.site("log.lock");
+    const SiteId s_lwr = b.site("log.append.write");
+
+    // Listener (thread 0) initializes the shared state, then posts
+    // one batch of "accepted requests" per worker — the thread-start/
+    // hand-off edges lockset cannot see.
+    initRegion(b, conns, nconn * conn_bytes, 8, s_init);
+    initRegion(b, cache, ncache * cache_bytes, 8, s_init);
+    initRegion(b, gstats, 32, 8, s_init);
+    for (unsigned t = 1; t < p.numThreads; ++t)
+        b.semaPost(0, req_sema[t], s_acc);
+
+    for (unsigned t = 0; t < p.numThreads; ++t) {
+        Rng trng(p.seed * 389 + t * 41);
+        if (t != 0)
+            b.semaWait(t, req_sema[t], s_wai);
+
+        std::uint64_t log_pos = t * 64 * 1024;
+        for (std::uint64_t r = 0; r < requests; ++r) {
+            // 1. Touch the connection record (per-bucket lock). The
+            // working set is hot and clustered so threads collide.
+            std::uint64_t c = (r / 2 + trng.below(24)) % nconn;
+            LockAddr cl = connlock[c % nbucketlocks];
+            b.lock(t, cl, s_clk);
+            b.read(t, conns + c * conn_bytes, 8, s_crd);
+            b.write(t, conns + c * conn_bytes + 16, 8, s_cwr);
+            // Tail field: its line spills into the next record
+            // (different bucket lock) — false sharing at 32B.
+            b.write(t, conns + c * conn_bytes + 80, 8, s_cwr);
+            b.unlock(t, cl, s_clk);
+
+            // 2. Cache lookup under the bucket lock...
+            std::uint64_t e = trng.below(ncache);
+            LockAddr kl = cachelock[e % nbucketlocks];
+            b.lock(t, kl, s_klk);
+            b.read(t, cache + e * cache_bytes, 8, s_krd);
+            if (r % 7 == 0)
+                b.write(t, cache + e * cache_bytes + 8, 8, s_kwr);
+            b.unlock(t, kl, s_klk);
+            // ... but the hit counter is bumped lock-free (benign
+            // race, as in real servers).
+            b.read(t, cache + e * cache_bytes + 48, 8, s_hit);
+            b.write(t, cache + e * cache_bytes + 48, 8, s_hit);
+
+            // 3. Coarse global statistics.
+            if (r % 4 == 1) {
+                b.lock(t, slock, s_slk);
+                b.read(t, gstats, 8, s_srd);
+                b.write(t, gstats, 8, s_swr);
+                b.unlock(t, slock, s_slk);
+            }
+
+            // 4. Log append: cold streaming writes under the log
+            // lock — eviction-prone candidate sets (§3.6).
+            if (r % 16 == 3) {
+                b.lock(t, llock, s_llk);
+                for (unsigned w = 0; w < 4; ++w) {
+                    b.write(t, logbuf + (log_pos % (512 * 1024)), 8,
+                            s_lwr);
+                    log_pos += 64;
+                }
+                b.unlock(t, llock, s_llk);
+            }
+
+            b.compute(t, 150);
+            if (r % 8 == 0)
+                stats.bump(b, t, 0);
+        }
+        stats.bump(b, t, 1);
+        stats.bump(b, t, 2);
+    }
+
+    return b.finish();
+}
+
+} // namespace hard

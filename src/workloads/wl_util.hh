@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Small helpers shared by the workload generators.
+ */
+
+#ifndef HARD_WORKLOADS_WL_UTIL_HH
+#define HARD_WORKLOADS_WL_UTIL_HH
+
+#include <algorithm>
+#include <cstdint>
+
+#include "workloads/builder.hh"
+
+namespace hard
+{
+
+/** Scale @p n by @p p.scale, clamped below by @p floor. */
+inline std::uint64_t
+scaled(std::uint64_t n, const WorkloadParams &p, std::uint64_t floor = 1)
+{
+    auto v = static_cast<std::uint64_t>(static_cast<double>(n) * p.scale);
+    return std::max(v, floor);
+}
+
+/**
+ * An intentionally unpadded per-thread statistics block: each thread
+ * owns a few contiguous 4-byte counters, so at 32-byte granularity the
+ * counters of different threads falsely share lines — the classic
+ * false-alarm source called out in paper §3.6 ("False Sharing") and
+ * visible in Table 3.
+ */
+class UnpaddedStats
+{
+  public:
+    /**
+     * @param b Builder to allocate from.
+     * @param label Allocation label; also prefixes the site names.
+     * @param fields Counters per thread (each 4 bytes, unpadded).
+     */
+    UnpaddedStats(WorkloadBuilder &b, const std::string &label,
+                  unsigned fields)
+        : fields_(fields)
+    {
+        base_ = b.alloc(label, 4ull * fields * b.numThreads(), 4);
+        for (unsigned f = 0; f < fields; ++f)
+            sites_.push_back(b.site(label + ".bump" + std::to_string(f)));
+    }
+
+    /** Emit a read-modify-write of field @p f of @p t's block. */
+    void
+    bump(WorkloadBuilder &b, ThreadId t, unsigned f)
+    {
+        Addr a = base_ + 4ull * (t * fields_ + f);
+        b.read(t, a, 4, sites_[f]);
+        b.write(t, a, 4, sites_[f]);
+    }
+
+  private:
+    Addr base_ = 0;
+    unsigned fields_;
+    std::vector<SiteId> sites_;
+};
+
+/**
+ * Master-thread initialization of a shared region: thread 0 writes one
+ * 8-byte word every @p stride bytes across [base, base+bytes). SPLASH
+ * applications initialize shared structures in the master before the
+ * parallel phase; modelling it keeps variables out of the Virgin/
+ * Exclusive first-touch window during measurement (and must be
+ * followed by a barrier, as in the originals).
+ */
+inline void
+initRegion(WorkloadBuilder &b, Addr base, std::uint64_t bytes,
+           unsigned stride, SiteId site)
+{
+    for (Addr a = base; a + 8 <= base + bytes; a += stride)
+        b.write(0, a, 8, site);
+}
+
+/**
+ * Post-init warm-up: threads 1..N-1 each read a slice of the shared
+ * region (one 8-byte read every @p stride bytes), lock-free. This
+ * models the startup sweep real SPLASH workers do over shared
+ * structures (reading bounds, tree roots, parameters) and moves every
+ * granule out of the Exclusive first-touch state. It MUST be followed
+ * by a barrier: the barrier orders the sweep for happens-before and
+ * its candidate-set flash-reset (paper §3.5) clears the empty
+ * candidate sets the lock-free reads would otherwise leave behind.
+ */
+inline void
+warmRegion(WorkloadBuilder &b, Addr base, std::uint64_t bytes,
+           unsigned stride, SiteId site)
+{
+    const unsigned nt = b.numThreads();
+    if (nt < 2)
+        return;
+    const unsigned readers = nt - 1;
+    std::uint64_t idx = 0;
+    for (Addr a = base; a + 8 <= base + bytes; a += stride, ++idx)
+        b.read(static_cast<ThreadId>(1 + idx % readers), a, 8, site);
+}
+
+} // namespace hard
+
+#endif // HARD_WORKLOADS_WL_UTIL_HH

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Shared helpers for detector tests: build small programs with the
+ * workload builder and run them under one or more detectors.
+ */
+
+#ifndef HARD_TESTS_DETECTOR_TEST_UTIL_HH
+#define HARD_TESTS_DETECTOR_TEST_UTIL_HH
+
+#include <vector>
+
+#include "detectors/report.hh"
+#include "sim/system.hh"
+#include "workloads/builder.hh"
+
+namespace hard
+{
+
+/** Run @p prog with @p detectors on the default CMP. */
+inline RunResult
+runProgram(const Program &prog, std::vector<RaceDetector *> detectors,
+           SimConfig cfg = SimConfig{})
+{
+    System sys(cfg, prog);
+    for (RaceDetector *d : detectors)
+        sys.addObserver(d);
+    RunResult res = sys.run();
+    for (RaceDetector *d : detectors)
+        d->finalize();
+    return res;
+}
+
+/** @return true if @p sink contains a report at site @p s. */
+inline bool
+reportedAt(const ReportSink &sink, SiteId s)
+{
+    return sink.sites().count(s) > 0;
+}
+
+} // namespace hard
+
+#endif // HARD_TESTS_DETECTOR_TEST_UTIL_HH

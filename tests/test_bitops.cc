@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Unit tests for common/bitops.hh.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/bitops.hh"
+
+namespace hard
+{
+namespace
+{
+
+TEST(Bitops, IsPowerOf2)
+{
+    EXPECT_FALSE(isPowerOf2(0));
+    EXPECT_TRUE(isPowerOf2(1));
+    EXPECT_TRUE(isPowerOf2(2));
+    EXPECT_FALSE(isPowerOf2(3));
+    EXPECT_TRUE(isPowerOf2(1ull << 40));
+    EXPECT_FALSE(isPowerOf2((1ull << 40) + 1));
+}
+
+TEST(Bitops, FloorLog2)
+{
+    EXPECT_EQ(floorLog2(1), 0u);
+    EXPECT_EQ(floorLog2(2), 1u);
+    EXPECT_EQ(floorLog2(3), 1u);
+    EXPECT_EQ(floorLog2(4), 2u);
+    EXPECT_EQ(floorLog2(1024), 10u);
+    EXPECT_EQ(floorLog2(1ull << 63), 63u);
+}
+
+TEST(Bitops, BitsExtractsInclusiveRange)
+{
+    EXPECT_EQ(bits(0xff, 3, 0), 0xfu);
+    EXPECT_EQ(bits(0xf0, 7, 4), 0xfu);
+    EXPECT_EQ(bits(0b101100, 3, 2), 0b11u);
+    // Figure 4 slice: bits 2..9 of an address.
+    EXPECT_EQ(bits(0x3fc, 9, 2), 0xffu);
+    EXPECT_EQ(bits(~0ull, 63, 0), ~0ull);
+}
+
+TEST(Bitops, AlignDownUp)
+{
+    EXPECT_EQ(alignDown(0x47, 32), 0x40u);
+    EXPECT_EQ(alignDown(0x40, 32), 0x40u);
+    EXPECT_EQ(alignUp(0x41, 32), 0x60u);
+    EXPECT_EQ(alignUp(0x40, 32), 0x40u);
+    EXPECT_EQ(alignDown(0, 32), 0u);
+}
+
+TEST(Bitops, PopCount)
+{
+    EXPECT_EQ(popCount(0), 0u);
+    EXPECT_EQ(popCount(1), 1u);
+    EXPECT_EQ(popCount(0xffff), 16u);
+    EXPECT_EQ(popCount(0x8000000000000001ull), 2u);
+}
+
+class BitopsAlignSweep : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(BitopsAlignSweep, AlignIsIdempotentAndOrdered)
+{
+    const unsigned align = GetParam();
+    for (Addr a = 0; a < 4 * align; a += 3) {
+        Addr down = alignDown(a, align);
+        Addr up = alignUp(a, align);
+        EXPECT_LE(down, a);
+        EXPECT_GE(up, a);
+        EXPECT_EQ(down % align, 0u);
+        EXPECT_EQ(up % align, 0u);
+        EXPECT_EQ(alignDown(down, align), down);
+        EXPECT_EQ(alignUp(up, align), up);
+        EXPECT_LT(a - down, align);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Aligns, BitopsAlignSweep,
+                         ::testing::Values(4u, 8u, 16u, 32u, 64u, 4096u));
+
+} // namespace
+} // namespace hard

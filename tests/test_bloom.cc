@@ -1,0 +1,263 @@
+/**
+ * @file
+ * Tests for the BFVector (paper §3.2, Figure 4, Figure 5) including
+ * the analytic missing-race probability and a Monte-Carlo check.
+ */
+
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/bitops.hh"
+#include "common/rng.hh"
+#include "core/bloom.hh"
+
+namespace hard
+{
+namespace
+{
+
+TEST(Bloom, Figure4MappingUsesAddressBits2To9)
+{
+    // Address bits 2..9 are sliced into four 2-bit direct indices
+    // (LSB part first). Craft an address with known index fields:
+    // part0 idx=3, part1 idx=0, part2 idx=2, part3 idx=1.
+    Addr a = (3ull << 2) | (0ull << 4) | (2ull << 6) | (1ull << 8);
+    std::uint32_t sig = BfVector::signatureBits(a, 16);
+    std::uint32_t expect = (1u << (0 * 4 + 3)) | (1u << (1 * 4 + 0)) |
+                           (1u << (2 * 4 + 2)) | (1u << (3 * 4 + 1));
+    EXPECT_EQ(sig, expect);
+}
+
+TEST(Bloom, SignatureIgnoresBitsBelow2AndAbove9For16Bit)
+{
+    Addr base = 0x1a4; // arbitrary
+    std::uint32_t sig = BfVector::signatureBits(base, 16);
+    EXPECT_EQ(BfVector::signatureBits(base | 0x3, 16), sig);
+    EXPECT_EQ(BfVector::signatureBits(base | 0xffff0000ull, 16), sig);
+    EXPECT_NE(BfVector::signatureBits(base ^ (1u << 5), 16), sig);
+}
+
+TEST(Bloom, SignatureHasExactlyOneBitPerPart)
+{
+    Rng rng(7);
+    for (unsigned width : {16u, 32u}) {
+        const unsigned part = width / 4;
+        const std::uint32_t part_mask =
+            part >= 32 ? ~0u : ((1u << part) - 1);
+        for (int i = 0; i < 200; ++i) {
+            std::uint32_t sig =
+                BfVector::signatureBits(rng.next64(), width);
+            for (unsigned p = 0; p < 4; ++p) {
+                std::uint32_t bits_in_part =
+                    (sig >> (p * part)) & part_mask;
+                EXPECT_EQ(popCount(bits_in_part), 1u);
+            }
+        }
+    }
+}
+
+TEST(Bloom, EmptinessIsPerPart)
+{
+    // A vector with bits in only three parts represents an empty set.
+    BfVector v(16);
+    v.setRaw(0x0111); // parts 0,1,2 non-empty, part 3 empty
+    EXPECT_TRUE(v.setEmpty());
+    v.setRaw(0x1111); // one bit per part
+    EXPECT_FALSE(v.setEmpty());
+    v.clearAll();
+    EXPECT_TRUE(v.setEmpty());
+    v.setAll();
+    EXPECT_FALSE(v.setEmpty());
+    EXPECT_TRUE(v.allSet());
+}
+
+TEST(Bloom, IntersectionIsBitwiseAnd)
+{
+    BfVector a = BfVector::signatureOf(0x100, 16);
+    BfVector all = BfVector::allOnes(16);
+    all &= a;
+    EXPECT_EQ(all.raw(), a.raw());
+    EXPECT_FALSE(all.setEmpty()); // a signature is a valid singleton
+}
+
+TEST(Bloom, UnionIsBitwiseOr)
+{
+    BfVector a = BfVector::signatureOf(0x104, 16);
+    BfVector b = BfVector::signatureOf(0x208, 16);
+    BfVector u(16);
+    u |= a;
+    u |= b;
+    EXPECT_EQ(u.raw(), a.raw() | b.raw());
+    EXPECT_TRUE(u.mayContain(0x104));
+    EXPECT_TRUE(u.mayContain(0x208));
+}
+
+TEST(Bloom, MembershipHasNoFalseNegatives)
+{
+    // Property: an inserted lock always tests positive.
+    Rng rng(13);
+    for (unsigned width : {16u, 32u}) {
+        for (int trial = 0; trial < 100; ++trial) {
+            BfVector v(width);
+            std::vector<Addr> inserted;
+            for (int i = 0; i < 5; ++i) {
+                Addr lock = rng.next64() & ~0x3ull;
+                inserted.push_back(lock);
+                v |= BfVector::signatureOf(lock, width);
+            }
+            for (Addr lock : inserted)
+                ASSERT_TRUE(v.mayContain(lock));
+        }
+    }
+}
+
+TEST(Bloom, IntersectionNeverInventsMembers)
+{
+    // Property: bloom(A) & bloom(B) is a superset of bloom(A & B) —
+    // intersecting can only over-approximate, so an empty bloom
+    // intersection implies an empty true intersection. This is why
+    // the Bloom filter can hide races but never fabricate them.
+    Rng rng(29);
+    for (int trial = 0; trial < 300; ++trial) {
+        std::set<Addr> sa, sb;
+        BfVector va(16), vb(16);
+        for (int i = 0; i < 3; ++i) {
+            Addr a = (rng.next64() & 0xffff) << 2;
+            Addr b = (rng.next64() & 0xffff) << 2;
+            sa.insert(a);
+            va |= BfVector::signatureOf(a, 16);
+            sb.insert(b);
+            vb |= BfVector::signatureOf(b, 16);
+        }
+        BfVector inter = va;
+        inter &= vb;
+        for (Addr x : sa) {
+            if (sb.count(x)) {
+                // x in the true intersection -> must test positive.
+                ASSERT_TRUE(inter.mayContain(x));
+                ASSERT_FALSE(inter.setEmpty());
+            }
+        }
+    }
+}
+
+TEST(Bloom, Figure5FalseNegativeConstruction)
+{
+    // Figure 5: C(v) = {L1, L2}; thread holds {L3}; the true
+    // intersection is empty but hash collisions leave every part of
+    // the BFVector non-empty, hiding the race. Construct such a
+    // collision: L3's per-part indices each collide with L1's or
+    // L2's.
+    // L1 indices: {0,0,0,0}; L2 indices: {1,1,1,1};
+    // L3 indices: {0,1,0,1} — collides partwise, differs as a whole.
+    auto addr_of = [](unsigned i0, unsigned i1, unsigned i2,
+                      unsigned i3) {
+        return Addr{(i0 << 2) | (i1 << 4) | (i2 << 6) | (i3 << 8)};
+    };
+    Addr l1 = addr_of(0, 0, 0, 0);
+    Addr l2 = addr_of(1, 1, 1, 1);
+    Addr l3 = addr_of(0, 1, 0, 1);
+    ASSERT_NE(l3, l1);
+    ASSERT_NE(l3, l2);
+
+    BfVector cand(16);
+    cand |= BfVector::signatureOf(l1, 16);
+    cand |= BfVector::signatureOf(l2, 16);
+    BfVector lockset = BfVector::signatureOf(l3, 16);
+
+    cand &= lockset;
+    // True candidate set is now empty, but the BFVector is not: the
+    // race would be hidden (a Bloom-filter false negative).
+    EXPECT_FALSE(cand.setEmpty());
+}
+
+TEST(Bloom, AnalyticMissProbabilityMatchesPaper)
+{
+    // §3.2: for 16-bit vectors (n = 4) and candidate-set sizes
+    // m = 1, 2, 3: CR_whole = 0.0039, 0.037, 0.111.
+    EXPECT_NEAR(bloomMissProbability(4, 1), 0.0039, 0.0002);
+    EXPECT_NEAR(bloomMissProbability(4, 2), 0.037, 0.002);
+    EXPECT_NEAR(bloomMissProbability(4, 3), 0.111, 0.002);
+    // Larger parts (32-bit vector, n = 8) collide less.
+    EXPECT_LT(bloomMissProbability(8, 1), bloomMissProbability(4, 1));
+}
+
+TEST(Bloom, MonteCarloMatchesAnalyticCollisionRate)
+{
+    // Empirically estimate the probability that one random lock
+    // collides with all four parts of a size-m candidate set and
+    // compare to CR_whole.
+    Rng rng(101);
+    for (unsigned m : {1u, 2u}) {
+        int collide = 0;
+        constexpr int kTrials = 40000;
+        for (int trial = 0; trial < kTrials; ++trial) {
+            BfVector cand(16);
+            std::set<std::uint32_t> sigs;
+            while (sigs.size() < m) {
+                Addr lock = rng.next64() << 2;
+                std::uint32_t s = BfVector::signatureBits(lock, 16);
+                if (sigs.insert(s).second)
+                    cand.setRaw(cand.raw() | s);
+            }
+            // Note: the analytic model counts a probe whose indices
+            // all coincide (including an identical signature) as a
+            // whole-vector collision, so no probes are excluded.
+            Addr probe = rng.next64() << 2;
+            BfVector inter = cand;
+            inter &= BfVector::signatureOf(probe, 16);
+            if (!inter.setEmpty())
+                ++collide;
+        }
+        double rate = double(collide) / kTrials;
+        double analytic = bloomMissProbability(4, m);
+        EXPECT_NEAR(rate, analytic, analytic * 0.5 + 0.002)
+            << "m=" << m;
+    }
+}
+
+TEST(Bloom, ToStringShowsParts)
+{
+    BfVector v(16);
+    v.setRaw(0x8001);
+    EXPECT_EQ(v.toString(), "1000|0000|0000|0001");
+}
+
+TEST(BloomDeath, RejectsUnsupportedWidths)
+{
+    EXPECT_EXIT(BfVector v(12), ::testing::ExitedWithCode(1),
+                "unsupported width");
+    EXPECT_EXIT(BfVector v(64), ::testing::ExitedWithCode(1),
+                "unsupported width");
+}
+
+class BloomWidthSweep : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(BloomWidthSweep, AllOnesNeverEmptyAndClearAlwaysEmpty)
+{
+    const unsigned width = GetParam();
+    BfVector v = BfVector::allOnes(width);
+    EXPECT_FALSE(v.setEmpty());
+    v.clearAll();
+    EXPECT_TRUE(v.setEmpty());
+}
+
+TEST_P(BloomWidthSweep, SignatureSingletonIsNonEmpty)
+{
+    const unsigned width = GetParam();
+    Rng rng(width);
+    for (int i = 0; i < 100; ++i) {
+        BfVector v = BfVector::signatureOf(rng.next64(), width);
+        EXPECT_FALSE(v.setEmpty());
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, BloomWidthSweep,
+                         ::testing::Values(16u, 32u));
+
+} // namespace
+} // namespace hard

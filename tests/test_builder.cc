@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Tests for the workload builder and its program validator.
+ */
+
+#include <gtest/gtest.h>
+
+#include "workloads/builder.hh"
+
+namespace hard
+{
+namespace
+{
+
+TEST(Builder, AllocationsAreAlignedAndDisjoint)
+{
+    WorkloadBuilder b("t", 2);
+    Addr a = b.alloc("a", 100, 8);
+    Addr c = b.alloc("c", 10, 32);
+    EXPECT_EQ(a % 8, 0u);
+    EXPECT_EQ(c % 32, 0u);
+    EXPECT_GE(c, a + 100);
+    LockAddr l = b.allocLock("l");
+    EXPECT_EQ(l % 32, 0u);
+    EXPECT_GE(l, c + 10);
+}
+
+TEST(Builder, ProgramMetadataIsRecorded)
+{
+    WorkloadBuilder b("meta", 3);
+    Addr d = b.alloc("d", 64);
+    LockAddr l = b.allocLock("l");
+    Addr bar = b.allocBarrier("bar");
+    SiteId s = b.site("s");
+    b.write(0, d, 8, s);
+    b.barrierAll(bar, s);
+    b.lock(1, l, s);
+    b.unlock(1, l, s);
+    Program p = b.finish();
+
+    EXPECT_EQ(p.name, "meta");
+    EXPECT_EQ(p.threads.size(), 3u);
+    EXPECT_EQ(p.locks, (std::vector<LockAddr>{l}));
+    EXPECT_EQ(p.barriers, (std::vector<Addr>{bar}));
+    EXPECT_LE(p.dataBase, d);
+    EXPECT_GT(p.dataLimit, d);
+    EXPECT_EQ(p.totalOps(), 1u + 3u + 2u);
+    EXPECT_EQ(p.sites.name(s), "meta:s");
+}
+
+TEST(Builder, SitesAreNamespacedByWorkload)
+{
+    WorkloadBuilder b("wl", 1);
+    SiteId s1 = b.site("x");
+    SiteId s2 = b.site("x");
+    EXPECT_EQ(s1, s2);
+}
+
+TEST(BuilderDeath, UnbalancedLockIsFatal)
+{
+    WorkloadBuilder b("t", 1);
+    LockAddr l = b.allocLock("l");
+    b.lock(0, l, b.site("s"));
+    EXPECT_EXIT(b.finish(), ::testing::ExitedWithCode(1),
+                "ends holding lock");
+}
+
+TEST(BuilderDeath, UnlockWithoutLockIsFatal)
+{
+    WorkloadBuilder b("t", 1);
+    LockAddr l = b.allocLock("l");
+    b.unlock(0, l, b.site("s"));
+    EXPECT_EXIT(b.finish(), ::testing::ExitedWithCode(1),
+                "unlocks unheld");
+}
+
+TEST(BuilderDeath, RecursiveLockIsFatal)
+{
+    WorkloadBuilder b("t", 1);
+    LockAddr l = b.allocLock("l");
+    SiteId s = b.site("s");
+    b.lock(0, l, s);
+    b.lock(0, l, s);
+    b.unlock(0, l, s);
+    b.unlock(0, l, s);
+    EXPECT_EXIT(b.finish(), ::testing::ExitedWithCode(1),
+                "re-acquires");
+}
+
+TEST(BuilderDeath, MismatchedBarrierSequencesAreFatal)
+{
+    WorkloadBuilder b("t", 2);
+    Addr bar = b.allocBarrier("bar");
+    SiteId s = b.site("s");
+    // Only thread 0 arrives at the barrier.
+    b.barrier(0, bar, s);
+    EXPECT_EXIT(b.finish(), ::testing::ExitedWithCode(1),
+                "disagree on the barrier sequence");
+}
+
+TEST(BuilderDeath, OutOfBoundsAccessIsFatal)
+{
+    WorkloadBuilder b("t", 1);
+    Addr d = b.alloc("d", 8);
+    b.read(0, d + 4096, 8, b.site("s"));
+    EXPECT_EXIT(b.finish(), ::testing::ExitedWithCode(1),
+                "outside allocated");
+}
+
+TEST(BuilderDeath, LineCrossingAccessIsFatal)
+{
+    WorkloadBuilder b("t", 1);
+    Addr d = b.alloc("d", 64, 32);
+    b.read(0, d + 28, 8, b.site("s"));
+    EXPECT_EXIT(b.finish(), ::testing::ExitedWithCode(1), "crosses");
+}
+
+TEST(BuilderDeath, BarrierWhileHoldingLockIsFatal)
+{
+    WorkloadBuilder b("t", 1);
+    LockAddr l = b.allocLock("l");
+    Addr bar = b.allocBarrier("bar");
+    SiteId s = b.site("s");
+    b.lock(0, l, s);
+    b.barrierAll(bar, s);
+    b.unlock(0, l, s);
+    EXPECT_EXIT(b.finish(), ::testing::ExitedWithCode(1),
+                "holding a lock");
+}
+
+} // namespace
+} // namespace hard

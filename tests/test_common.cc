@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Unit tests for stats, table and site-registry utilities.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/site.hh"
+#include "common/stats.hh"
+#include "common/table.hh"
+
+namespace hard
+{
+namespace
+{
+
+TEST(Stats, CountersStartAtZeroAndAccumulate)
+{
+    StatGroup g("test");
+    EXPECT_EQ(g.value("x"), 0u);
+    ++g.counter("x");
+    g.counter("x") += 4;
+    EXPECT_EQ(g.value("x"), 5u);
+}
+
+TEST(Stats, ResetAllClearsEveryCounter)
+{
+    StatGroup g("test");
+    g.counter("a") += 3;
+    g.counter("b") += 9;
+    g.resetAll();
+    EXPECT_EQ(g.value("a"), 0u);
+    EXPECT_EQ(g.value("b"), 0u);
+}
+
+TEST(Stats, DumpIsPrefixedAndSorted)
+{
+    StatGroup g("grp");
+    g.counter("b") += 2;
+    g.counter("a") += 1;
+    auto d = g.dump();
+    ASSERT_EQ(d.size(), 2u);
+    EXPECT_EQ(d[0].first, "grp.a");
+    EXPECT_EQ(d[1].first, "grp.b");
+}
+
+TEST(Table, RendersAlignedCells)
+{
+    Table t("Caption");
+    t.setHeader({"app", "bugs"});
+    t.addRow({"cholesky", "9/10"});
+    std::string s = t.render();
+    EXPECT_NE(s.find("Caption"), std::string::npos);
+    EXPECT_NE(s.find("cholesky"), std::string::npos);
+    EXPECT_NE(s.find("9/10"), std::string::npos);
+}
+
+TEST(Table, CsvQuotesSpecialCells)
+{
+    Table t("");
+    t.setHeader({"a", "b"});
+    t.addRow({"x,y", "he said \"hi\""});
+    std::string csv = t.csv();
+    EXPECT_NE(csv.find("\"x,y\""), std::string::npos);
+    EXPECT_NE(csv.find("\"he said \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(TableDeath, RowArityMismatchPanics)
+{
+    Table t("x");
+    t.setHeader({"a", "b"});
+    EXPECT_DEATH(t.addRow({"only-one"}), "row has 1 cells");
+}
+
+TEST(Table, FmtDouble)
+{
+    EXPECT_EQ(fmtDouble(1.2345, 2), "1.23");
+    EXPECT_EQ(fmtDouble(0.1, 1), "0.1");
+}
+
+TEST(SiteRegistry, InternIsIdempotent)
+{
+    SiteRegistry reg;
+    SiteId a = reg.intern("file.cc:loop");
+    SiteId b = reg.intern("file.cc:loop");
+    SiteId c = reg.intern("file.cc:other");
+    EXPECT_EQ(a, b);
+    EXPECT_NE(a, c);
+    EXPECT_EQ(reg.size(), 2u);
+    EXPECT_EQ(reg.name(a), "file.cc:loop");
+}
+
+TEST(SiteRegistry, UnknownIdHasPlaceholderName)
+{
+    SiteRegistry reg;
+    EXPECT_EQ(reg.name(12345), "<unknown>");
+}
+
+} // namespace
+} // namespace hard

@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Tests for HARD's per-processor register model under thread
+ * oversubscription (§3.1): per-core Lock/Counter Registers with OS
+ * save/restore must behave exactly like per-thread registers, and
+ * *without* the save/restore support (failure injection) lock sets
+ * leak between threads and the detector mis-reports.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/hard_detector.hh"
+#include "detector_test_util.hh"
+#include "workloads/registry.hh"
+
+namespace hard
+{
+namespace
+{
+
+/** A properly locked 4-thread program squeezed onto 2 cores. */
+Program
+lockedProgram()
+{
+    WorkloadBuilder b("t", 4);
+    Addr x = b.alloc("x", 8, 32);
+    LockAddr l = b.allocLock("l");
+    SiteId s = b.site("cs");
+    for (unsigned t = 0; t < 4; ++t) {
+        for (int i = 0; i < 30; ++i) {
+            b.lock(t, l, s);
+            b.read(t, x, 8, s);
+            b.write(t, x, 8, s);
+            b.unlock(t, l, s);
+            b.compute(t, 600);
+        }
+    }
+    return b.finish();
+}
+
+SimConfig
+twoCoreConfig()
+{
+    SimConfig cfg;
+    cfg.memsys.numCores = 2;
+    cfg.quantumCycles = 3000; // force frequent switches
+    return cfg;
+}
+
+TEST(ContextSwitch, PerCoreRegistersWithSaveRestoreMatchPerThread)
+{
+    Program p1 = lockedProgram();
+    Program p2 = lockedProgram();
+
+    HardConfig per_thread;
+    HardDetector d_thread("thread-regs", per_thread);
+    {
+        System sys(twoCoreConfig(), p1);
+        sys.addObserver(&d_thread);
+        RunResult res = sys.run();
+        ASSERT_GT(res.contextSwitches, 0u) << "test needs multiplexing";
+    }
+
+    HardConfig per_core;
+    per_core.perCoreRegisters = true;
+    per_core.saveRestoreOnSwitch = true;
+    HardDetector d_core("core-regs", per_core);
+    {
+        System sys(twoCoreConfig(), p2);
+        sys.addObserver(&d_core);
+        sys.run();
+    }
+
+    // The per-processor hardware with faithful OS support is
+    // indistinguishable from the per-thread idealization.
+    EXPECT_EQ(d_core.sink().sites(), d_thread.sink().sites());
+    EXPECT_EQ(d_core.sink().dynamicCount(),
+              d_thread.sink().dynamicCount());
+    EXPECT_EQ(d_thread.sink().distinctSiteCount(), 0u)
+        << "the program is properly locked";
+}
+
+TEST(ContextSwitch, MissingSaveRestoreHidesARealRace)
+{
+    // Threads 0 and 2 share core 0 (round-robin binding on 2 cores).
+    // Thread 0 is preempted in the middle of its critical section;
+    // thread 2 then writes x with NO lock — a real race against
+    // thread 1's properly locked accesses. Without OS save/restore,
+    // thread 2 inherits thread 0's Lock Register bits ({L}) and the
+    // violation is hidden; with save/restore it is caught.
+    auto build = [] {
+        WorkloadBuilder b("t", 3);
+        Addr x = b.alloc("x", 8, 32);
+        LockAddr l = b.allocLock("L");
+        SiteId s = b.site("cs");
+        SiteId s_bad = b.site("unlocked.write");
+
+        // Thread 1 (core 1): proper locked use of x throughout.
+        for (int i = 0; i < 20; ++i) {
+            b.lock(1, l, s);
+            b.read(1, x, 8, s);
+            b.write(1, x, 8, s);
+            b.unlock(1, l, s);
+            b.compute(1, 500);
+        }
+        // Thread 0 (core 0): holds L across long computes so the
+        // quantum preempts it mid-critical-section (and it stays
+        // inside the critical section while thread 2 runs).
+        b.compute(0, 2000);
+        b.lock(0, l, s);
+        b.compute(0, 40000);
+        b.compute(0, 40000);
+        b.write(0, x, 8, s);
+        b.unlock(0, l, s);
+        // Thread 2 (also core 0): a short burst of unlocked writes to
+        // x, all landing inside its first quantum slice while thread 0
+        // sits preempted inside its critical section.
+        b.compute(2, 6000);
+        for (int i = 0; i < 3; ++i) {
+            b.write(2, x, 8, s_bad);
+            b.compute(2, 400);
+        }
+        return b.finish();
+    };
+
+    auto run = [&](bool save_restore) {
+        Program p = build();
+        HardConfig cfg;
+        cfg.perCoreRegisters = true;
+        cfg.saveRestoreOnSwitch = save_restore;
+        HardDetector det("hard", cfg);
+        SimConfig sim = twoCoreConfig();
+        System sys(sim, p);
+        sys.addObserver(&det);
+        RunResult res = sys.run();
+        EXPECT_GT(res.contextSwitches, 0u);
+        return det.sink().distinctSiteCount();
+    };
+
+    EXPECT_GT(run(true), 0u)
+        << "with OS save/restore the race must be caught";
+    EXPECT_EQ(run(false), 0u)
+        << "without save/restore the leaked lock bits hide the race "
+           "(a false negative)";
+}
+
+TEST(ContextSwitch, PerCoreModeEquivalentOnRealWorkload)
+{
+    WorkloadParams params;
+    params.scale = 0.04;
+    Program p1 = buildWorkload("water-nsquared", params);
+    Program p2 = buildWorkload("water-nsquared", params);
+
+    SimConfig cfg;
+    cfg.memsys.numCores = 2; // 4 threads on 2 cores
+    cfg.quantumCycles = 20000;
+
+    HardDetector d_thread("thread-regs", HardConfig{});
+    {
+        System sys(cfg, p1);
+        sys.addObserver(&d_thread);
+        sys.run();
+    }
+
+    HardConfig per_core;
+    per_core.perCoreRegisters = true;
+    HardDetector d_core("core-regs", per_core);
+    {
+        System sys(cfg, p2);
+        sys.addObserver(&d_core);
+        sys.run();
+    }
+    EXPECT_EQ(d_core.sink().sites(), d_thread.sink().sites());
+}
+
+TEST(ContextSwitch, WorkloadsRunCorrectlyOversubscribed)
+{
+    // Every workload model completes on a 2-core machine (threads are
+    // oversubscribed 2:1) with the same detection semantics.
+    WorkloadParams params;
+    params.scale = 0.04;
+    SimConfig cfg;
+    cfg.memsys.numCores = 2;
+    for (const WorkloadInfo &w : allWorkloads()) {
+        Program p = buildWorkload(w.name, params);
+        System sys(cfg, p);
+        RunResult res = sys.run();
+        EXPECT_GT(res.totalCycles, 0u) << w.name;
+    }
+}
+
+} // namespace
+} // namespace hard

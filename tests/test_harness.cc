@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Tests for the experiment harness (effectiveness + overhead runs).
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/experiment.hh"
+
+namespace hard
+{
+namespace
+{
+
+WorkloadParams
+tinyParams()
+{
+    WorkloadParams p;
+    p.scale = 0.04;
+    return p;
+}
+
+TEST(Harness, EffectivenessProducesScoresForEveryDetector)
+{
+    EffectivenessResult res =
+        runEffectiveness("barnes", tinyParams(), defaultSimConfig(),
+                         table2Detectors(), 3, 500);
+    ASSERT_EQ(res.size(), 4u);
+    EXPECT_TRUE(res.count("hard.default"));
+    EXPECT_TRUE(res.count("hard.ideal"));
+    EXPECT_TRUE(res.count("hb.default"));
+    EXPECT_TRUE(res.count("hb.ideal"));
+    for (const auto &[name, score] : res) {
+        EXPECT_EQ(score.runsAttempted, 3u) << name;
+        EXPECT_LE(score.bugsDetected, score.runsAttempted) << name;
+    }
+    // The ideal lockset detector catches (essentially) every
+    // injected bug; allow one epoch-first escape at tiny test scale.
+    EXPECT_GE(res["hard.ideal"].bugsDetected, 2u);
+}
+
+TEST(Harness, HardDetectsAtLeastAsMuchAsHappensBefore)
+{
+    // The paper's headline: lockset-in-hardware catches bugs that
+    // happens-before misses; never the other way round in aggregate.
+    EffectivenessResult res =
+        runEffectiveness("water-nsquared", tinyParams(),
+                         defaultSimConfig(), table2Detectors(), 4, 900);
+    EXPECT_GE(res["hard.default"].bugsDetected,
+              res["hb.default"].bugsDetected);
+    EXPECT_GE(res["hard.ideal"].bugsDetected,
+              res["hb.ideal"].bugsDetected);
+}
+
+TEST(Harness, FalseAlarmsComeFromTheRaceFreeRun)
+{
+    EffectivenessResult res =
+        runEffectiveness("ocean", tinyParams(), defaultSimConfig(),
+                         table2Detectors(), 1, 42);
+    // The ideal happens-before detector sees only the benign races.
+    EXPECT_LE(res["hb.ideal"].falseAlarms, 3u);
+    // Lockset at line granularity sees false sharing too.
+    EXPECT_GE(res["hard.default"].falseAlarms,
+              res["hb.ideal"].falseAlarms);
+}
+
+TEST(Harness, OverheadIsPositiveButSmall)
+{
+    OverheadResult oh = measureOverhead("barnes", tinyParams(),
+                                        defaultSimConfig(), HardConfig{});
+    EXPECT_GT(oh.baseCycles, 0u);
+    EXPECT_GE(oh.hardCycles, oh.baseCycles);
+    EXPECT_GE(oh.overheadPct, 0.0);
+    EXPECT_LT(oh.overheadPct, 25.0); // sanity bound at tiny scale
+    EXPECT_GT(oh.dataBytes, 0u);
+}
+
+TEST(Harness, OverheadChargesMetadataTraffic)
+{
+    OverheadResult oh = measureOverhead("cholesky", tinyParams(),
+                                        defaultSimConfig(), HardConfig{});
+    EXPECT_GT(oh.metaBroadcasts, 0u);
+    EXPECT_GT(oh.metaBytes, 0u);
+    // Metadata traffic is small next to data traffic (§3.4).
+    EXPECT_LT(oh.metaBytes, oh.dataBytes / 10);
+}
+
+TEST(HarnessDeath, EffectivenessRejectsHardTiming)
+{
+    SimConfig cfg = defaultSimConfig();
+    cfg.hardTiming.enabled = true;
+    EXPECT_EXIT(runEffectiveness("barnes", tinyParams(), cfg,
+                                 table2Detectors(), 1, 1),
+                ::testing::ExitedWithCode(1), "identical executions");
+}
+
+TEST(Harness, RunWithDetectorsAttachesAll)
+{
+    Program p = buildWorkload("raytrace", tinyParams());
+    HardDetector d1("a", HardConfig{});
+    HappensBeforeDetector d2("b", HbConfig{});
+    RunResult res = runWithDetectors(p, defaultSimConfig(), {&d1, &d2});
+    EXPECT_GT(res.totalCycles, 0u);
+}
+
+TEST(Harness, DefaultSimConfigMatchesTable1)
+{
+    SimConfig cfg = defaultSimConfig();
+    EXPECT_EQ(cfg.memsys.numCores, 4u);
+    EXPECT_EQ(cfg.memsys.l1.sizeBytes, 16u * 1024);
+    EXPECT_EQ(cfg.memsys.l1.assoc, 4u);
+    EXPECT_EQ(cfg.memsys.l1.lineBytes, 32u);
+    EXPECT_EQ(cfg.memsys.l1.hitLatency, 3u);
+    EXPECT_EQ(cfg.memsys.l2.sizeBytes, 1024u * 1024);
+    EXPECT_EQ(cfg.memsys.l2.assoc, 8u);
+    EXPECT_EQ(cfg.memsys.l2.hitLatency, 10u);
+    EXPECT_EQ(cfg.memsys.memLatency, 200u);
+}
+
+} // namespace
+} // namespace hard

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Edge-case tests for the harness and runtime: zero-injection runs
+ * (used by the Table 5 bench), the maxCycles safety valve, bus reset,
+ * and the detection-criterion site filter.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/experiment.hh"
+
+namespace hard
+{
+namespace
+{
+
+TEST(HarnessEdge, ZeroRunsStillMeasuresFalseAlarms)
+{
+    WorkloadParams wp;
+    wp.scale = 0.05;
+    EffectivenessResult res =
+        runEffectiveness("ocean", wp, defaultSimConfig(),
+                         table2Detectors(), 0, 1);
+    ASSERT_EQ(res.size(), 4u);
+    for (const auto &[name, score] : res) {
+        EXPECT_EQ(score.runsAttempted, 0u) << name;
+        EXPECT_EQ(score.bugsDetected, 0u) << name;
+    }
+    // The race-free run still populated the alarm counts.
+    EXPECT_GT(res.at("hard.default").falseAlarms, 0u);
+}
+
+TEST(HarnessEdgeDeath, MaxCyclesAborts)
+{
+    WorkloadParams wp;
+    wp.scale = 0.1;
+    Program p = buildWorkload("barnes", wp);
+    SimConfig cfg;
+    cfg.maxCycles = 1000; // far too small for the workload
+    System sys(cfg, p);
+    EXPECT_EXIT(sys.run(), ::testing::ExitedWithCode(1),
+                "exceeded maxCycles");
+}
+
+TEST(HarnessEdgeDeath, RunTwiceIsFatal)
+{
+    WorkloadParams wp;
+    wp.scale = 0.04;
+    Program p = buildWorkload("raytrace", wp);
+    System sys(SimConfig{}, p);
+    sys.run();
+    EXPECT_EXIT(sys.run(), ::testing::ExitedWithCode(1),
+                "run\\(\\) called twice");
+}
+
+TEST(HarnessEdge, BusResetClearsOccupancyAndStats)
+{
+    Bus bus(BusConfig{});
+    bus.transact(TxnType::BusRd, 0);
+    EXPECT_GT(bus.freeAt(), 0u);
+    bus.reset();
+    EXPECT_EQ(bus.freeAt(), 0u);
+    EXPECT_EQ(bus.stats().value("txn.BusRd"), 0u);
+}
+
+TEST(HarnessEdge, DetectionCriterionRejectsWrongSiteReports)
+{
+    // A report overlapping the ground-truth bytes but raised at a
+    // site that never touches them (false-sharing coincidence) must
+    // not count as detecting the bug.
+    Injection inj;
+    inj.valid = true;
+    inj.ranges.emplace_back(0x1000, 8);
+    std::set<SiteId> true_sites{7};
+
+    ReportSink sink;
+    sink.report(RaceReport{0, 0x1000, 32, /*site=*/9, true, 1});
+    EXPECT_FALSE(detectedInjection(sink, inj, true_sites));
+    sink.report(RaceReport{0, 0x1000, 32, /*site=*/7, true, 2});
+    EXPECT_TRUE(detectedInjection(sink, inj, true_sites));
+}
+
+TEST(HarnessEdge, SitesTouchingFindsAllAccessors)
+{
+    WorkloadBuilder b("t", 2);
+    Addr x = b.alloc("x", 8, 32);
+    Addr y = b.alloc("y", 8, 32);
+    SiteId sx0 = b.site("x.t0");
+    SiteId sx1 = b.site("x.t1");
+    SiteId sy = b.site("y.only");
+    b.write(0, x, 8, sx0);
+    b.read(1, x, 8, sx1);
+    b.write(1, y, 8, sy);
+    Program p = b.finish();
+
+    Injection inj;
+    inj.valid = true;
+    inj.ranges.emplace_back(x, 8);
+    std::set<SiteId> sites = sitesTouching(p, inj);
+    EXPECT_EQ(sites, (std::set<SiteId>{sx0, sx1}));
+}
+
+} // namespace
+} // namespace hard

@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Tests for the race injector (paper §4 methodology).
+ */
+
+#include <gtest/gtest.h>
+
+#include "workloads/injector.hh"
+#include "workloads/builder.hh"
+
+namespace hard
+{
+namespace
+{
+
+/** Count ops of a given type across all threads. */
+std::size_t
+countOps(const Program &p, OpType t)
+{
+    std::size_t n = 0;
+    for (const auto &th : p.threads)
+        for (const Op &op : th.ops)
+            if (op.type == t)
+                ++n;
+    return n;
+}
+
+TEST(Injector, ElidesExactlyOneLockUnlockPair)
+{
+    WorkloadBuilder b("t", 2);
+    Addr x = b.alloc("x", 8, 32);
+    LockAddr l = b.allocLock("l");
+    SiteId s = b.site("cs");
+    for (unsigned t = 0; t < 2; ++t) {
+        for (int i = 0; i < 5; ++i) {
+            b.lock(t, l, s);
+            b.read(t, x, 8, s);
+            b.write(t, x, 8, s);
+            b.unlock(t, l, s);
+        }
+    }
+    Program p = b.finish();
+    std::size_t locks_before = countOps(p, OpType::Lock);
+    std::size_t unlocks_before = countOps(p, OpType::Unlock);
+
+    Injection inj = injectRace(p, 42);
+    ASSERT_TRUE(inj.valid);
+    EXPECT_EQ(countOps(p, OpType::Lock), locks_before - 1);
+    EXPECT_EQ(countOps(p, OpType::Unlock), unlocks_before - 1);
+    EXPECT_EQ(countOps(p, OpType::Read), 10u); // accesses untouched
+    EXPECT_EQ(countOps(p, OpType::Write), 10u);
+}
+
+TEST(Injector, GroundTruthCoversCriticalSectionAccesses)
+{
+    WorkloadBuilder b("t", 2);
+    Addr x = b.alloc("x", 8, 32);
+    LockAddr l = b.allocLock("l");
+    SiteId s_lk = b.site("lk");
+    SiteId s_rd = b.site("rd");
+    SiteId s_wr = b.site("wr");
+    for (unsigned t = 0; t < 2; ++t) {
+        b.lock(t, l, s_lk);
+        b.read(t, x, 8, s_rd);
+        b.write(t, x, 8, s_wr);
+        b.unlock(t, l, s_lk);
+    }
+    Program p = b.finish();
+    Injection inj = injectRace(p, 1);
+    ASSERT_TRUE(inj.valid);
+    EXPECT_EQ(inj.lock, l);
+    EXPECT_TRUE(inj.hasWrite);
+    EXPECT_TRUE(inj.overlaps(x, 8));
+    EXPECT_FALSE(inj.overlaps(x + 32, 8));
+    EXPECT_EQ(inj.sites.count(s_rd), 1u);
+    EXPECT_EQ(inj.sites.count(s_wr), 1u);
+    EXPECT_EQ(inj.sites.count(s_lk), 0u);
+}
+
+TEST(Injector, DeterministicInSeed)
+{
+    WorkloadBuilder make[2] = {WorkloadBuilder("t", 2),
+                               WorkloadBuilder("t", 2)};
+    Program progs[2];
+    for (int k = 0; k < 2; ++k) {
+        WorkloadBuilder &b = make[k];
+        Addr x = b.alloc("x", 8, 32);
+        LockAddr l = b.allocLock("l");
+        SiteId s = b.site("cs");
+        for (unsigned t = 0; t < 2; ++t) {
+            for (int i = 0; i < 7; ++i) {
+                b.lock(t, l, s);
+                b.write(t, x, 8, s);
+                b.unlock(t, l, s);
+            }
+        }
+        progs[k] = b.finish();
+    }
+    Injection i1 = injectRace(progs[0], 99);
+    Injection i2 = injectRace(progs[1], 99);
+    ASSERT_TRUE(i1.valid);
+    EXPECT_EQ(i1.tid, i2.tid);
+    EXPECT_EQ(i1.dynamicIndex, i2.dynamicIndex);
+    EXPECT_EQ(i1.ranges, i2.ranges);
+}
+
+TEST(Injector, NoLocksMeansNoInjection)
+{
+    WorkloadBuilder b("t", 1);
+    Addr x = b.alloc("x", 8);
+    b.write(0, x, 8, b.site("s"));
+    Program p = b.finish();
+    Injection inj = injectRace(p, 1);
+    EXPECT_FALSE(inj.valid);
+}
+
+TEST(Injector, SkipsEmptyCriticalSections)
+{
+    // One empty CS and one with accesses: the injector must pick the
+    // one with accesses regardless of seed.
+    for (std::uint64_t seed = 0; seed < 20; ++seed) {
+        WorkloadBuilder b("t", 2);
+        Addr x = b.alloc("x", 8, 32);
+        LockAddr l1 = b.allocLock("empty");
+        LockAddr l2 = b.allocLock("useful");
+        SiteId s = b.site("cs");
+        for (unsigned t = 0; t < 2; ++t) {
+            b.lock(t, l1, s);
+            b.unlock(t, l1, s);
+            b.lock(t, l2, s);
+            b.write(t, x, 8, s);
+            b.unlock(t, l2, s);
+        }
+        Program p = b.finish();
+        Injection inj = injectRace(p, seed);
+        ASSERT_TRUE(inj.valid);
+        EXPECT_EQ(inj.lock, l2) << "seed " << seed;
+    }
+}
+
+TEST(SharedMapTest, IdentifiesCrossThreadWrittenData)
+{
+    WorkloadBuilder b("t", 2);
+    Addr shared_rw = b.alloc("shared_rw", 8, 32);
+    Addr shared_ro = b.alloc("shared_ro", 8, 32);
+    Addr priv = b.alloc("priv", 8, 32);
+    SiteId s = b.site("s");
+    b.write(0, shared_rw, 8, s);
+    b.write(1, shared_rw, 8, s);
+    b.write(0, shared_ro, 8, s);
+    b.read(1, shared_ro, 8, s);
+    b.write(0, priv, 8, s);
+    Program p = b.finish();
+
+    SharedMap map(p);
+    EXPECT_TRUE(map.conflicting(shared_rw, 8));
+    EXPECT_TRUE(map.conflicting(shared_ro, 8)); // written + 2 accessors
+    EXPECT_FALSE(map.conflicting(priv, 8));
+    EXPECT_FALSE(map.conflicting(priv + 1024, 8));
+    EXPECT_GT(map.conflictingGranules(), 0u);
+}
+
+TEST(SharedMapTest, GuidesInjectionTowardRacyData)
+{
+    // Two locks: one guards thread-private data, one guards shared
+    // data. With the map, injection must always choose the shared CS.
+    for (std::uint64_t seed = 0; seed < 10; ++seed) {
+        WorkloadBuilder b("t", 2);
+        Addr shared = b.alloc("shared", 8, 32);
+        Addr priv = b.alloc("priv", 64, 32);
+        LockAddr lp = b.allocLock("privLock");
+        LockAddr ls = b.allocLock("sharedLock");
+        SiteId s = b.site("s");
+        for (unsigned t = 0; t < 2; ++t) {
+            b.lock(t, lp, s);
+            b.write(t, priv + t * 32, 8, s); // disjoint per thread
+            b.unlock(t, lp, s);
+            b.lock(t, ls, s);
+            b.write(t, shared, 8, s);
+            b.unlock(t, ls, s);
+        }
+        Program p = b.finish();
+        SharedMap map(p);
+        Injection inj = injectRace(p, seed, &map);
+        ASSERT_TRUE(inj.valid);
+        EXPECT_EQ(inj.lock, ls) << "seed " << seed;
+    }
+}
+
+} // namespace
+} // namespace hard

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Exhaustive tests of the Figure 2 LState machine.
+ */
+
+#include <gtest/gtest.h>
+
+#include "detectors/lockset_state.hh"
+
+namespace hard
+{
+namespace
+{
+
+TEST(LState, VirginFirstTouchBecomesExclusive)
+{
+    for (bool write : {false, true}) {
+        LStateStep s = lstateAccess(LState::Virgin, invalidThread, 3,
+                                    write);
+        EXPECT_EQ(s.next, LState::Exclusive);
+        EXPECT_EQ(s.owner, 3u);
+        EXPECT_FALSE(s.updateCandidate);
+        EXPECT_FALSE(s.reportIfEmpty);
+    }
+}
+
+TEST(LState, ExclusiveSameThreadStaysExclusive)
+{
+    for (bool write : {false, true}) {
+        LStateStep s = lstateAccess(LState::Exclusive, 3, 3, write);
+        EXPECT_EQ(s.next, LState::Exclusive);
+        EXPECT_EQ(s.owner, 3u);
+        EXPECT_FALSE(s.updateCandidate);
+        EXPECT_FALSE(s.reportIfEmpty);
+    }
+}
+
+TEST(LState, ExclusiveSecondThreadReadGoesShared)
+{
+    LStateStep s = lstateAccess(LState::Exclusive, 3, 1, false);
+    EXPECT_EQ(s.next, LState::Shared);
+    EXPECT_TRUE(s.updateCandidate);
+    EXPECT_FALSE(s.reportIfEmpty); // read-only sharing is silent
+}
+
+TEST(LState, ExclusiveSecondThreadWriteGoesSharedModified)
+{
+    LStateStep s = lstateAccess(LState::Exclusive, 3, 1, true);
+    EXPECT_EQ(s.next, LState::SharedModified);
+    EXPECT_TRUE(s.updateCandidate);
+    EXPECT_TRUE(s.reportIfEmpty);
+}
+
+TEST(LState, SharedReadStaysSharedAndSilent)
+{
+    LStateStep s = lstateAccess(LState::Shared, invalidThread, 2, false);
+    EXPECT_EQ(s.next, LState::Shared);
+    EXPECT_TRUE(s.updateCandidate);
+    EXPECT_FALSE(s.reportIfEmpty);
+}
+
+TEST(LState, SharedWriteEscalatesToSharedModified)
+{
+    LStateStep s = lstateAccess(LState::Shared, invalidThread, 2, true);
+    EXPECT_EQ(s.next, LState::SharedModified);
+    EXPECT_TRUE(s.updateCandidate);
+    EXPECT_TRUE(s.reportIfEmpty);
+}
+
+TEST(LState, SharedModifiedIsAbsorbing)
+{
+    for (bool write : {false, true}) {
+        LStateStep s = lstateAccess(LState::SharedModified,
+                                    invalidThread, 0, write);
+        EXPECT_EQ(s.next, LState::SharedModified);
+        EXPECT_TRUE(s.updateCandidate);
+        EXPECT_TRUE(s.reportIfEmpty);
+    }
+}
+
+TEST(LState, Names)
+{
+    EXPECT_STREQ(lstateName(LState::Virgin), "Virgin");
+    EXPECT_STREQ(lstateName(LState::Exclusive), "Exclusive");
+    EXPECT_STREQ(lstateName(LState::Shared), "Shared");
+    EXPECT_STREQ(lstateName(LState::SharedModified), "SharedModified");
+}
+
+/**
+ * Exhaustive sweep over (state, same/different thread, read/write):
+ * invariants of the Figure 2 diagram.
+ */
+class LStateSweep
+    : public ::testing::TestWithParam<std::tuple<int, bool, bool>>
+{
+};
+
+TEST_P(LStateSweep, InvariantsHold)
+{
+    auto [st, same_thread, write] = GetParam();
+    LState cur = static_cast<LState>(st);
+    ThreadId owner = cur == LState::Exclusive ? 5u : invalidThread;
+    ThreadId tid = same_thread ? 5u : 2u;
+    LStateStep s = lstateAccess(cur, owner, tid, write);
+
+    // Reports only ever happen in SharedModified.
+    if (s.reportIfEmpty) {
+        EXPECT_EQ(s.next, LState::SharedModified);
+    }
+    // Candidate updates happen exactly outside Virgin/own-Exclusive.
+    bool exclusive_path = cur == LState::Virgin ||
+        (cur == LState::Exclusive && same_thread);
+    EXPECT_EQ(s.updateCandidate, !exclusive_path);
+    // The state lattice only moves forward:
+    // Virgin < Exclusive < Shared < SharedModified.
+    EXPECT_GE(static_cast<int>(s.next), static_cast<int>(cur));
+    // Writes by a non-owner always land in SharedModified.
+    if (write && !exclusive_path) {
+        EXPECT_EQ(s.next, LState::SharedModified);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    All, LStateSweep,
+    ::testing::Combine(::testing::Values(0, 1, 2, 3),
+                       ::testing::Bool(), ::testing::Bool()));
+
+} // namespace
+} // namespace hard

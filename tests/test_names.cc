@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Coverage of the small printable-name and formatting helpers (these
+ * feed logs, stats and tables; a missing enum case would silently
+ * print "?").
+ */
+
+#include <gtest/gtest.h>
+
+#include "coherence/memsys.hh"
+#include "common/logging.hh"
+#include "cpu/op.hh"
+
+namespace hard
+{
+namespace
+{
+
+TEST(Names, EveryOpTypeHasAName)
+{
+    for (OpType t :
+         {OpType::Read, OpType::Write, OpType::Compute, OpType::Lock,
+          OpType::Unlock, OpType::Barrier, OpType::SemaPost,
+          OpType::SemaWait, OpType::End}) {
+        EXPECT_STRNE(opName(t), "?");
+    }
+    EXPECT_STREQ(opName(OpType::Read), "Read");
+    EXPECT_STREQ(opName(OpType::SemaWait), "SemaWait");
+}
+
+TEST(Names, EveryTxnTypeHasAName)
+{
+    for (TxnType t : {TxnType::BusRd, TxnType::BusRdX, TxnType::BusUpgr,
+                      TxnType::Writeback, TxnType::MetaBroadcast}) {
+        EXPECT_STRNE(txnName(t), "?");
+    }
+    EXPECT_STREQ(txnName(TxnType::MetaBroadcast), "MetaBroadcast");
+}
+
+TEST(Names, EveryCStateHasAName)
+{
+    EXPECT_STREQ(cstateName(CState::Invalid), "I");
+    EXPECT_STREQ(cstateName(CState::Shared), "S");
+    EXPECT_STREQ(cstateName(CState::Exclusive), "E");
+    EXPECT_STREQ(cstateName(CState::Modified), "M");
+}
+
+TEST(Names, EveryAccessSourceHasAName)
+{
+    for (AccessSource s : {AccessSource::L1, AccessSource::OtherL1,
+                           AccessSource::L2, AccessSource::Memory}) {
+        EXPECT_STRNE(accessSourceName(s), "?");
+    }
+}
+
+TEST(Names, CStatePermissions)
+{
+    EXPECT_FALSE(canRead(CState::Invalid));
+    EXPECT_TRUE(canRead(CState::Shared));
+    EXPECT_FALSE(canWrite(CState::Shared));
+    EXPECT_TRUE(canWrite(CState::Exclusive));
+    EXPECT_TRUE(canWrite(CState::Modified));
+}
+
+TEST(Logging, QuietFlagRoundTrips)
+{
+    bool was = isQuiet();
+    setQuiet(true);
+    EXPECT_TRUE(isQuiet());
+    warn("suppressed warning %d", 1);   // must not crash
+    inform("suppressed info %s", "x");
+    setQuiet(was);
+}
+
+TEST(LoggingDeath, PanicAborts)
+{
+    EXPECT_DEATH(panic("boom %d", 42), "panic: boom 42");
+}
+
+TEST(LoggingDeath, FatalExitsWithOne)
+{
+    EXPECT_EXIT(fatal("bad config %s", "x"),
+                ::testing::ExitedWithCode(1), "fatal: bad config x");
+}
+
+} // namespace
+} // namespace hard

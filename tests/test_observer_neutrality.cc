@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Integration invariant behind the whole evaluation methodology:
+ * attaching detectors must NOT perturb the simulated execution. Every
+ * detector variant therefore observes the identical interleaving
+ * (§5.1 "identical executions"), and any combination of observers
+ * yields the same timing as none — except when the HARD *timing
+ * model* is explicitly enabled for overhead runs.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/hard_detector.hh"
+#include "core/hybrid.hh"
+#include "detectors/happens_before.hh"
+#include "detectors/ideal_lockset.hh"
+#include "harness/experiment.hh"
+
+namespace hard
+{
+namespace
+{
+
+WorkloadParams
+tinyParams()
+{
+    WorkloadParams p;
+    p.scale = 0.05;
+    return p;
+}
+
+class ObserverNeutrality : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(ObserverNeutrality, DetectorsDoNotPerturbTiming)
+{
+    const char *app = GetParam();
+
+    Program bare = buildWorkload(app, tinyParams());
+    System s0(defaultSimConfig(), bare);
+    RunResult r0 = s0.run();
+
+    Program observed = buildWorkload(app, tinyParams());
+    System s1(defaultSimConfig(), observed);
+    HardDetector hard("hard", HardConfig{});
+    HybridDetector hybrid("hybrid", HardConfig{});
+    IdealLocksetDetector ideal("ls", IdealLocksetConfig{});
+    HappensBeforeDetector hb("hb", HbConfig{});
+    s1.addObserver(&hard);
+    s1.addObserver(&hybrid);
+    s1.addObserver(&ideal);
+    s1.addObserver(&hb);
+    RunResult r1 = s1.run();
+
+    EXPECT_EQ(r0.totalCycles, r1.totalCycles);
+    EXPECT_EQ(r0.dataReads, r1.dataReads);
+    EXPECT_EQ(r0.dataWrites, r1.dataWrites);
+    EXPECT_EQ(r0.lockAcquires, r1.lockAcquires);
+    EXPECT_EQ(r0.barrierEpisodes, r1.barrierEpisodes);
+}
+
+TEST_P(ObserverNeutrality, DetectorResultsIndependentOfCoObservers)
+{
+    const char *app = GetParam();
+
+    // HARD alone...
+    Program p1 = buildWorkload(app, tinyParams());
+    System s1(defaultSimConfig(), p1);
+    HardDetector alone("hard", HardConfig{});
+    s1.addObserver(&alone);
+    s1.run();
+
+    // ... and HARD next to three other detectors.
+    Program p2 = buildWorkload(app, tinyParams());
+    System s2(defaultSimConfig(), p2);
+    HardDetector with("hard", HardConfig{});
+    HappensBeforeDetector hb("hb", HbConfig::ideal());
+    IdealLocksetDetector ideal("ls", IdealLocksetConfig{});
+    s2.addObserver(&with);
+    s2.addObserver(&hb);
+    s2.addObserver(&ideal);
+    s2.run();
+
+    EXPECT_EQ(alone.sink().distinctSiteCount(),
+              with.sink().distinctSiteCount());
+    EXPECT_EQ(alone.sink().dynamicCount(), with.sink().dynamicCount());
+    EXPECT_EQ(alone.sink().sites(), with.sink().sites());
+    EXPECT_EQ(alone.hardStats().metaBroadcasts,
+              with.hardStats().metaBroadcasts);
+}
+
+INSTANTIATE_TEST_SUITE_P(Apps, ObserverNeutrality,
+                         ::testing::Values("cholesky", "barnes", "fmm",
+                                           "ocean", "water-nsquared",
+                                           "raytrace", "server"));
+
+TEST(ObserverNeutrality, HardTimingModeDoesPerturb)
+{
+    // Contrast: the explicit overhead mode slows the run down.
+    Program p1 = buildWorkload("barnes", tinyParams());
+    System s1(defaultSimConfig(), p1);
+    Cycle base = s1.run().totalCycles;
+
+    Program p2 = buildWorkload("barnes", tinyParams());
+    SimConfig timed = defaultSimConfig();
+    timed.hardTiming.enabled = true;
+    System s2(timed, p2);
+    HardDetector hard("hard", HardConfig{}, &s2.memsys().bus());
+    s2.addObserver(&hard);
+    Cycle with = s2.run().totalCycles;
+
+    EXPECT_GT(with, base);
+}
+
+} // namespace
+} // namespace hard

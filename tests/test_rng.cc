@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Unit tests for the deterministic RNG.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+
+namespace hard
+{
+namespace
+{
+
+TEST(Rng, SameSeedSameStream)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 1000; ++i)
+        ASSERT_EQ(a.next64(), b.next64());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        if (a.next64() == b.next64())
+            ++same;
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, ReseedRestartsStream)
+{
+    Rng a(7);
+    std::uint64_t first = a.next64();
+    a.next64();
+    a.reseed(7);
+    EXPECT_EQ(a.next64(), first);
+}
+
+TEST(Rng, BelowStaysInBounds)
+{
+    Rng r(3);
+    for (int i = 0; i < 10000; ++i)
+        ASSERT_LT(r.below(17), 17u);
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng r(5);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 10000; ++i) {
+        std::uint64_t v = r.range(3, 6);
+        ASSERT_GE(v, 3u);
+        ASSERT_LE(v, 6u);
+        saw_lo |= v == 3;
+        saw_hi |= v == 6;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, RealInUnitInterval)
+{
+    Rng r(9);
+    for (int i = 0; i < 10000; ++i) {
+        double v = r.real();
+        ASSERT_GE(v, 0.0);
+        ASSERT_LT(v, 1.0);
+    }
+}
+
+TEST(Rng, RoughlyUniform)
+{
+    Rng r(11);
+    constexpr int kBuckets = 8;
+    int hist[kBuckets] = {};
+    constexpr int kDraws = 80000;
+    for (int i = 0; i < kDraws; ++i)
+        ++hist[r.below(kBuckets)];
+    for (int b = 0; b < kBuckets; ++b) {
+        EXPECT_GT(hist[b], kDraws / kBuckets * 0.9);
+        EXPECT_LT(hist[b], kDraws / kBuckets * 1.1);
+    }
+}
+
+TEST(RngDeath, BelowZeroPanics)
+{
+    Rng r(1);
+    EXPECT_DEATH(r.below(0), "bound 0");
+}
+
+} // namespace
+} // namespace hard

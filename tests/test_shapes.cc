@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Shape-regression tests: small-scale versions of the paper's
+ * evaluation claims that must keep holding as the code evolves.
+ * These mirror the headline statements of §5, not exact counts.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/experiment.hh"
+
+namespace hard
+{
+namespace
+{
+
+WorkloadParams
+shapeParams()
+{
+    WorkloadParams p;
+    p.scale = 0.08;
+    return p;
+}
+
+/** Sum a score field across all apps for one detector name. */
+struct Totals
+{
+    unsigned bugs = 0;
+    unsigned runs = 0;
+    std::size_t fas = 0;
+};
+
+std::map<std::string, Totals>
+runAllApps(const DetectorFactory &factory, unsigned runs)
+{
+    std::map<std::string, Totals> totals;
+    for (const WorkloadInfo &w : allWorkloads()) {
+        EffectivenessResult res =
+            runEffectiveness(w.name, shapeParams(), defaultSimConfig(),
+                             factory, runs, 4242);
+        for (const auto &[name, score] : res) {
+            totals[name].bugs += score.bugsDetected;
+            totals[name].runs += score.runsAttempted;
+            totals[name].fas += score.falseAlarms;
+        }
+    }
+    return totals;
+}
+
+TEST(Shapes, HardDetectsMoreBugsThanHappensBeforeInAggregate)
+{
+    // §5.1 headline: HARD detects ~20% more injected bugs than the
+    // happens-before baseline on identical executions.
+    auto totals = runAllApps(table2Detectors(), 4);
+    const Totals &hard = totals.at("hard.default");
+    const Totals &hb = totals.at("hb.default");
+    EXPECT_EQ(hard.runs, 24u);
+    EXPECT_GT(hard.bugs, hb.bugs);
+    // HARD catches a strong majority of the injected bugs.
+    EXPECT_GE(hard.bugs * 10, hard.runs * 8);
+}
+
+TEST(Shapes, IdealLocksetIsTheDetectionUpperBound)
+{
+    auto totals = runAllApps(table2Detectors(), 4);
+    EXPECT_GE(totals.at("hard.ideal").bugs,
+              totals.at("hb.ideal").bugs);
+    // The exact, unbounded lockset catches nearly everything.
+    EXPECT_GE(totals.at("hard.ideal").bugs * 10,
+              totals.at("hard.ideal").runs * 8);
+}
+
+TEST(Shapes, FalseAlarmsGrowWithGranularity)
+{
+    // Table 3 shape: per-app alarms are monotone (weakly) from 4B to
+    // 32B for HARD, and strictly higher in aggregate.
+    auto factory = [] {
+        std::vector<std::unique_ptr<RaceDetector>> dets;
+        for (unsigned g : {4u, 32u}) {
+            HardConfig c;
+            c.granularityBytes = g;
+            dets.push_back(std::make_unique<HardDetector>(
+                "hard." + std::to_string(g), c));
+        }
+        return dets;
+    };
+    std::size_t fine = 0, coarse = 0;
+    for (const WorkloadInfo &w : allWorkloads()) {
+        EffectivenessResult res = runEffectiveness(
+            w.name, shapeParams(), defaultSimConfig(), factory, 0, 1);
+        std::size_t f = res.at("hard.4").falseAlarms;
+        std::size_t c = res.at("hard.32").falseAlarms;
+        EXPECT_LE(f, c) << w.name;
+        fine += f;
+        coarse += c;
+    }
+    EXPECT_LT(fine, coarse);
+}
+
+TEST(Shapes, LocksetHasMoreFalseAlarmsThanHappensBeforeOnHandSync)
+{
+    // §5.1: hand-crafted synchronization (semaphores) is opaque to
+    // lockset but visible to happens-before, so on the apps that use
+    // it the ideal lockset raises at least as many alarms as ideal
+    // happens-before — and strictly more in aggregate.
+    std::size_t ls = 0, hb = 0;
+    for (const char *app : {"cholesky", "fmm"}) {
+        EffectivenessResult res =
+            runEffectiveness(app, shapeParams(), defaultSimConfig(),
+                             table2Detectors(), 0, 1);
+        EXPECT_GE(res.at("hard.ideal").falseAlarms,
+                  res.at("hb.ideal").falseAlarms)
+            << app;
+        ls += res.at("hard.ideal").falseAlarms;
+        hb += res.at("hb.ideal").falseAlarms;
+    }
+    EXPECT_GT(ls, hb);
+}
+
+TEST(Shapes, BloomWidthDoesNotChangeDetection)
+{
+    // Table 6 shape.
+    auto factory = [] {
+        std::vector<std::unique_ptr<RaceDetector>> dets;
+        for (unsigned bits : {16u, 32u}) {
+            HardConfig c;
+            c.bloomBits = bits;
+            dets.push_back(std::make_unique<HardDetector>(
+                "hard." + std::to_string(bits), c));
+        }
+        return dets;
+    };
+    for (const WorkloadInfo &w : allWorkloads()) {
+        EffectivenessResult res = runEffectiveness(
+            w.name, shapeParams(), defaultSimConfig(), factory, 3, 77);
+        EXPECT_EQ(res.at("hard.16").bugsDetected,
+                  res.at("hard.32").bugsDetected)
+            << w.name;
+    }
+}
+
+TEST(Shapes, LargerMetadataCapacityNeverHurtsDetection)
+{
+    // Table 4 shape: more L2 -> (weakly) more bugs detected.
+    auto factory = [] {
+        std::vector<std::unique_ptr<RaceDetector>> dets;
+        for (std::uint64_t l2 : {32ull * 1024, 1024ull * 1024}) {
+            dets.push_back(std::make_unique<HardDetector>(
+                "hard." + std::to_string(l2 / 1024),
+                HardConfig::withL2(l2)));
+        }
+        return dets;
+    };
+    unsigned small = 0, large = 0;
+    for (const WorkloadInfo &w : allWorkloads()) {
+        EffectivenessResult res = runEffectiveness(
+            w.name, shapeParams(), defaultSimConfig(), factory, 3, 11);
+        small += res.at("hard.32").bugsDetected;
+        large += res.at("hard.1024").bugsDetected;
+    }
+    EXPECT_LE(small, large);
+}
+
+TEST(Shapes, OverheadStaysSmallAcrossApps)
+{
+    // Figure 8 shape: low single-digit percent overhead.
+    for (const WorkloadInfo &w : allWorkloads()) {
+        OverheadResult oh = measureOverhead(w.name, shapeParams(),
+                                            defaultSimConfig(),
+                                            HardConfig{});
+        EXPECT_GE(oh.overheadPct, 0.0) << w.name;
+        EXPECT_LT(oh.overheadPct, 10.0) << w.name;
+    }
+}
+
+} // namespace
+} // namespace hard

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Unit tests for the vector-clock primitives behind the
+ * happens-before detector.
+ */
+
+#include <gtest/gtest.h>
+
+#include "detectors/vclock.hh"
+
+namespace hard
+{
+namespace
+{
+
+TEST(VClock, StartsAtZero)
+{
+    VClock v;
+    for (unsigned t = 0; t < kMaxThreads; ++t)
+        EXPECT_EQ(v[t], 0u);
+}
+
+TEST(VClock, JoinIsComponentwiseMax)
+{
+    VClock a, b;
+    a[0] = 5;
+    a[1] = 1;
+    b[0] = 3;
+    b[1] = 7;
+    b[2] = 2;
+    a.join(b);
+    EXPECT_EQ(a[0], 5u);
+    EXPECT_EQ(a[1], 7u);
+    EXPECT_EQ(a[2], 2u);
+}
+
+TEST(VClock, JoinIsIdempotentAndCommutative)
+{
+    VClock a, b;
+    a[0] = 4;
+    b[3] = 9;
+    VClock ab = a;
+    ab.join(b);
+    VClock ba = b;
+    ba.join(a);
+    EXPECT_EQ(ab, ba);
+    VClock twice = ab;
+    twice.join(b);
+    EXPECT_EQ(twice, ab);
+}
+
+TEST(Epoch, EmptyEpochIsAlwaysOrdered)
+{
+    Epoch e;
+    VClock v;
+    EXPECT_TRUE(e.ordered(v));
+}
+
+TEST(Epoch, OrderedIffClockCovered)
+{
+    Epoch e{2, 5};
+    VClock v;
+    v[2] = 4;
+    EXPECT_FALSE(e.ordered(v)); // writer's epoch not yet observed
+    v[2] = 5;
+    EXPECT_TRUE(e.ordered(v));
+    v[2] = 9;
+    EXPECT_TRUE(e.ordered(v));
+}
+
+TEST(Epoch, OtherComponentsIrrelevant)
+{
+    Epoch e{1, 3};
+    VClock v;
+    v[0] = 100;
+    v[2] = 100;
+    EXPECT_FALSE(e.ordered(v));
+    v[1] = 3;
+    EXPECT_TRUE(e.ordered(v));
+}
+
+} // namespace
+} // namespace hard

@@ -1,0 +1,367 @@
+/**
+ * @file
+ * hardsim — the full-featured simulator front-end.
+ *
+ * Drives the entire library from the command line: pick a workload,
+ * shape the machine (Table 1 by default), choose any combination of
+ * detectors, inject a race, record or replay a trace, measure
+ * overhead, and dump machine statistics.
+ *
+ * Examples:
+ *   hardsim --workload=water-nsquared --detectors=hard,hb
+ *   hardsim --workload=ocean --inject=7 --detectors=hard,ideal,hybrid
+ *   hardsim --workload=server --l2-kb=256 --stats
+ *   hardsim --workload=fmm --overhead [--directory]
+ *   hardsim --workload=raytrace --record=/tmp/run.trc
+ *   hardsim --replay=/tmp/run.trc --detectors=hard
+ *   hardsim --list
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/hybrid.hh"
+#include "detectors/fasttrack.hh"
+#include "harness/experiment.hh"
+#include "trace/recorder.hh"
+#include "trace/replayer.hh"
+
+using namespace hard;
+
+namespace
+{
+
+struct Options
+{
+    std::string workload = "water-nsquared";
+    std::string detectors = "hard,ideal,hb,hb-ideal";
+    std::string record;
+    std::string replay;
+    double scale = 1.0;
+    std::uint64_t seed = 1;
+    bool inject = false;
+    std::uint64_t injectSeed = 1;
+    bool overhead = false;
+    bool directory = false;
+    bool stats = false;
+    bool list = false;
+
+    // Machine shape (defaults = Table 1).
+    unsigned cores = 4;
+    std::string protocol = "mesi";
+    std::uint64_t l1Kb = 16;
+    std::uint64_t l2Kb = 1024;
+    unsigned lineBytes = 32;
+    Cycle memLatency = 200;
+
+    // HARD shape.
+    unsigned bloomBits = 16;
+    unsigned granularity = 32;
+    bool barrierReset = true;
+    bool unbounded = false;
+};
+
+void
+usage()
+{
+    std::puts(
+        "hardsim — HARD lockset race-detection simulator\n"
+        "  --list                    list workloads and exit\n"
+        "  --workload=<name>         workload to run\n"
+        "  --scale=<f> --seed=<n>    workload sizing / layout seed\n"
+        "  --inject=<seed>           elide one dynamic lock/unlock pair\n"
+        "  --detectors=<a,b,...>     hard, ideal, hb, hb-ideal, hybrid,\n"
+        "                            fasttrack (or 'none')\n"
+        "  --record=<file>           write the run's trace\n"
+        "  --replay=<file>           analyze a trace offline instead of\n"
+        "                            simulating\n"
+        "  --overhead [--directory]  Figure 8-style overhead run\n"
+        "  --stats                   dump machine statistics\n"
+        "  machine: --cores= --l1-kb= --l2-kb= --line-bytes= --mem-latency=\n"
+        "           --protocol=mesi|msi\n"
+        "  HARD:    --bloom-bits= --granularity= --barrier-reset=0|1\n"
+        "           --unbounded");
+}
+
+Options
+parse(int argc, char **argv)
+{
+    Options o;
+    for (int i = 1; i < argc; ++i) {
+        const char *a = argv[i];
+        auto eat = [&](const char *flag, std::string &dst) {
+            std::size_t n = std::strlen(flag);
+            if (std::strncmp(a, flag, n) == 0) {
+                dst = a + n;
+                return true;
+            }
+            return false;
+        };
+        std::string v;
+        if (std::strcmp(a, "--help") == 0 || std::strcmp(a, "-h") == 0) {
+            usage();
+            std::exit(0);
+        } else if (std::strcmp(a, "--list") == 0) {
+            o.list = true;
+        } else if (eat("--workload=", v)) {
+            o.workload = v;
+        } else if (eat("--detectors=", v)) {
+            o.detectors = v;
+        } else if (eat("--record=", v)) {
+            o.record = v;
+        } else if (eat("--replay=", v)) {
+            o.replay = v;
+        } else if (eat("--scale=", v)) {
+            o.scale = std::atof(v.c_str());
+        } else if (eat("--seed=", v)) {
+            o.seed = std::strtoull(v.c_str(), nullptr, 10);
+        } else if (eat("--inject=", v)) {
+            o.inject = true;
+            o.injectSeed = std::strtoull(v.c_str(), nullptr, 10);
+        } else if (std::strcmp(a, "--overhead") == 0) {
+            o.overhead = true;
+        } else if (std::strcmp(a, "--directory") == 0) {
+            o.directory = true;
+        } else if (std::strcmp(a, "--stats") == 0) {
+            o.stats = true;
+        } else if (eat("--cores=", v)) {
+            o.cores = static_cast<unsigned>(std::atoi(v.c_str()));
+        } else if (eat("--l1-kb=", v)) {
+            o.l1Kb = std::strtoull(v.c_str(), nullptr, 10);
+        } else if (eat("--l2-kb=", v)) {
+            o.l2Kb = std::strtoull(v.c_str(), nullptr, 10);
+        } else if (eat("--line-bytes=", v)) {
+            o.lineBytes = static_cast<unsigned>(std::atoi(v.c_str()));
+        } else if (eat("--mem-latency=", v)) {
+            o.memLatency = std::strtoull(v.c_str(), nullptr, 10);
+        } else if (eat("--protocol=", v)) {
+            o.protocol = v;
+        } else if (eat("--bloom-bits=", v)) {
+            o.bloomBits = static_cast<unsigned>(std::atoi(v.c_str()));
+        } else if (eat("--granularity=", v)) {
+            o.granularity = static_cast<unsigned>(std::atoi(v.c_str()));
+        } else if (eat("--barrier-reset=", v)) {
+            o.barrierReset = std::atoi(v.c_str()) != 0;
+        } else if (std::strcmp(a, "--unbounded") == 0) {
+            o.unbounded = true;
+        } else {
+            fatal("unknown argument '%s' (try --help)", a);
+        }
+    }
+    return o;
+}
+
+SimConfig
+makeSimConfig(const Options &o)
+{
+    SimConfig cfg;
+    cfg.memsys.numCores = o.cores;
+    cfg.memsys.l1.sizeBytes = o.l1Kb * 1024;
+    cfg.memsys.l1.lineBytes = o.lineBytes;
+    cfg.memsys.l2.sizeBytes = o.l2Kb * 1024;
+    cfg.memsys.l2.lineBytes = o.lineBytes;
+    cfg.memsys.memLatency = o.memLatency;
+    if (o.protocol == "msi")
+        cfg.memsys.protocol = CoherenceProtocol::MSI;
+    else if (o.protocol != "mesi")
+        fatal("unknown protocol '%s' (mesi, msi)", o.protocol.c_str());
+    return cfg;
+}
+
+HardConfig
+makeHardConfig(const Options &o)
+{
+    HardConfig cfg;
+    cfg.bloomBits = o.bloomBits;
+    cfg.granularityBytes = o.granularity;
+    cfg.metaGeometry.sizeBytes = o.l2Kb * 1024;
+    cfg.metaGeometry.lineBytes = o.lineBytes;
+    cfg.barrierReset = o.barrierReset;
+    cfg.unbounded = o.unbounded;
+    return cfg;
+}
+
+std::vector<std::unique_ptr<RaceDetector>>
+makeDetectors(const Options &o)
+{
+    std::vector<std::unique_ptr<RaceDetector>> dets;
+    std::stringstream ss(o.detectors);
+    std::string name;
+    while (std::getline(ss, name, ',')) {
+        if (name.empty() || name == "none") {
+            continue;
+        } else if (name == "hard") {
+            dets.push_back(std::make_unique<HardDetector>(
+                "hard", makeHardConfig(o)));
+        } else if (name == "ideal") {
+            dets.push_back(std::make_unique<IdealLocksetDetector>(
+                "ideal-lockset", IdealLocksetConfig{}));
+        } else if (name == "hb") {
+            HbConfig cfg;
+            cfg.granularityBytes = o.granularity;
+            cfg.metaGeometry.sizeBytes = o.l2Kb * 1024;
+            cfg.metaGeometry.lineBytes = o.lineBytes;
+            dets.push_back(std::make_unique<HappensBeforeDetector>(
+                "happens-before", cfg));
+        } else if (name == "hb-ideal") {
+            dets.push_back(std::make_unique<HappensBeforeDetector>(
+                "happens-before-ideal", HbConfig::ideal()));
+        } else if (name == "hybrid") {
+            dets.push_back(std::make_unique<HybridDetector>(
+                "hybrid", makeHardConfig(o)));
+        } else if (name == "fasttrack") {
+            dets.push_back(
+                std::make_unique<FastTrackDetector>("fasttrack", 4));
+        } else {
+            fatal("unknown detector '%s' (hard, ideal, hb, hb-ideal, "
+                  "hybrid, fasttrack)",
+                  name.c_str());
+        }
+    }
+    return dets;
+}
+
+void
+printReports(const std::vector<std::unique_ptr<RaceDetector>> &dets,
+             const std::vector<std::string> &site_names,
+             const Injection *inj, const std::set<SiteId> *true_sites)
+{
+    std::printf("\n%-22s %8s %12s %10s\n", "detector", "alarms",
+                "dynamic", inj ? "bug found" : "");
+    for (const auto &d : dets) {
+        std::string found;
+        if (inj != nullptr && true_sites != nullptr) {
+            found = detectedInjection(d->sink(), *inj, *true_sites)
+                ? "YES"
+                : "no";
+        }
+        std::printf("%-22s %8zu %12llu %10s\n", d->name().c_str(),
+                    d->sink().distinctSiteCount(),
+                    static_cast<unsigned long long>(
+                        d->sink().dynamicCount()),
+                    found.c_str());
+    }
+    for (const auto &d : dets) {
+        if (d->sink().sites().empty())
+            continue;
+        std::printf("\n%s sites:\n", d->name().c_str());
+        for (SiteId s : d->sink().sites()) {
+            std::printf("  %s\n",
+                        s < site_names.size() ? site_names[s].c_str()
+                                              : "<unknown>");
+        }
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options o = parse(argc, argv);
+
+    if (o.list) {
+        for (const WorkloadInfo &w : allWorkloads())
+            std::printf("%-16s %s\n", w.name, w.description);
+        for (const WorkloadInfo &w : extensionWorkloads())
+            std::printf("%-16s [extension] %s\n", w.name, w.description);
+        return 0;
+    }
+
+    WorkloadParams params;
+    params.scale = o.scale;
+    params.seed = o.seed;
+
+    if (o.overhead) {
+        SimConfig sim = makeSimConfig(o);
+        OverheadResult oh = o.directory
+            ? measureOverheadDirectory(o.workload, params, sim,
+                                       makeHardConfig(o))
+            : measureOverhead(o.workload, params, sim,
+                              makeHardConfig(o));
+        std::printf("%s (%s metadata management): baseline %llu "
+                    "cycles, HARD %llu cycles -> %.2f%% overhead\n"
+                    "broadcasts/round-trips %llu, metadata %llu B, "
+                    "data %llu B\n",
+                    o.workload.c_str(),
+                    o.directory ? "directory" : "snoopy",
+                    static_cast<unsigned long long>(oh.baseCycles),
+                    static_cast<unsigned long long>(oh.hardCycles),
+                    oh.overheadPct,
+                    static_cast<unsigned long long>(oh.metaBroadcasts),
+                    static_cast<unsigned long long>(oh.metaBytes),
+                    static_cast<unsigned long long>(oh.dataBytes));
+        return 0;
+    }
+
+    auto dets = makeDetectors(o);
+    std::vector<AccessObserver *> observers;
+    for (auto &d : dets)
+        observers.push_back(d.get());
+
+    if (!o.replay.empty()) {
+        Trace trace = readTrace(o.replay);
+        std::printf("replaying %s: %zu events, %u threads\n",
+                    o.replay.c_str(), trace.events.size(),
+                    trace.threadCount());
+        replayTrace(trace, observers);
+        printReports(dets, trace.siteNames, nullptr, nullptr);
+        return 0;
+    }
+
+    Program prog = buildWorkload(o.workload, params);
+    Injection inj;
+    std::set<SiteId> true_sites;
+    if (o.inject) {
+        SharedMap shared(buildWorkload(o.workload, params));
+        inj = injectRace(prog, o.injectSeed, &shared);
+        hard_fatal_if(!inj.valid, "no injectable critical section");
+        true_sites = sitesTouching(prog, inj);
+        std::printf("injected race: elided dynamic lock/unlock pair "
+                    "#%zu (lock %llx, thread %u)\n",
+                    inj.dynamicIndex,
+                    static_cast<unsigned long long>(inj.lock), inj.tid);
+    }
+
+    System sys(makeSimConfig(o), prog);
+    std::unique_ptr<TraceRecorder> recorder;
+    if (!o.record.empty()) {
+        recorder = std::make_unique<TraceRecorder>(prog);
+        sys.addObserver(recorder.get());
+    }
+    for (AccessObserver *obs : observers)
+        sys.addObserver(obs);
+
+    RunResult res = sys.run();
+    std::printf("%s: %llu cycles, %llu reads, %llu writes, %llu lock "
+                "acquires, %llu barrier episodes\n",
+                prog.name.c_str(),
+                static_cast<unsigned long long>(res.totalCycles),
+                static_cast<unsigned long long>(res.dataReads),
+                static_cast<unsigned long long>(res.dataWrites),
+                static_cast<unsigned long long>(res.lockAcquires),
+                static_cast<unsigned long long>(res.barrierEpisodes));
+
+    if (recorder) {
+        writeTrace(o.record, recorder->take());
+        std::printf("trace written to %s\n", o.record.c_str());
+    }
+
+    std::vector<std::string> site_names;
+    for (SiteId s = 0; s < prog.sites.size(); ++s)
+        site_names.push_back(prog.sites.name(s));
+    printReports(dets, site_names, o.inject ? &inj : nullptr,
+                 o.inject ? &true_sites : nullptr);
+
+    if (o.stats) {
+        std::printf("\nmachine statistics:\n");
+        for (const auto &[name, value] : sys.statsDump())
+            std::printf("  %-28s %llu\n", name.c_str(),
+                        static_cast<unsigned long long>(value));
+    }
+    return 0;
+}
