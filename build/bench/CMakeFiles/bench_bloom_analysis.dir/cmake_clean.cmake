@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_bloom_analysis.dir/bench_bloom_analysis.cpp.o"
+  "CMakeFiles/bench_bloom_analysis.dir/bench_bloom_analysis.cpp.o.d"
+  "bench_bloom_analysis"
+  "bench_bloom_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_bloom_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_directory.dir/bench_directory.cpp.o"
+  "CMakeFiles/bench_directory.dir/bench_directory.cpp.o.d"
+  "bench_directory"
+  "bench_directory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_directory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

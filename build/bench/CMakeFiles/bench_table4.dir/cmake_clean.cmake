@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4.dir/bench_table4.cpp.o"
+  "CMakeFiles/bench_table4.dir/bench_table4.cpp.o.d"
+  "bench_table4"
+  "bench_table4.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

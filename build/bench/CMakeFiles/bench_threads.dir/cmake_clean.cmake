@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_threads.dir/bench_threads.cpp.o"
+  "CMakeFiles/bench_threads.dir/bench_threads.cpp.o.d"
+  "bench_threads"
+  "bench_threads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_threads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/bench
+# Build directory: /root/repo/build/bench
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(bench_table2_smoke "/root/repo/build/bench/bench_table2" "--runs=1" "--scale=0.05")
+set_tests_properties(bench_table2_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;25;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_fig8_smoke "/root/repo/build/bench/bench_fig8" "--scale=0.05")
+set_tests_properties(bench_fig8_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;27;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_bloom_analysis_smoke "/root/repo/build/bench/bench_bloom_analysis" "--scale=0.02")
+set_tests_properties(bench_bloom_analysis_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;28;add_test;/root/repo/bench/CMakeLists.txt;0;")

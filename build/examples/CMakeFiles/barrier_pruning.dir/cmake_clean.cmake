@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/barrier_pruning.dir/barrier_pruning.cpp.o"
+  "CMakeFiles/barrier_pruning.dir/barrier_pruning.cpp.o.d"
+  "barrier_pruning"
+  "barrier_pruning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/barrier_pruning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

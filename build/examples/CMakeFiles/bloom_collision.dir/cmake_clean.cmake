@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bloom_collision.dir/bloom_collision.cpp.o"
+  "CMakeFiles/bloom_collision.dir/bloom_collision.cpp.o.d"
+  "bloom_collision"
+  "bloom_collision.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bloom_collision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

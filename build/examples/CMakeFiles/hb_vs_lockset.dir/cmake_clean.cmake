@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hb_vs_lockset.dir/hb_vs_lockset.cpp.o"
+  "CMakeFiles/hb_vs_lockset.dir/hb_vs_lockset.cpp.o.d"
+  "hb_vs_lockset"
+  "hb_vs_lockset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hb_vs_lockset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for hb_vs_lockset.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for hb_vs_lockset.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/splash_run.dir/splash_run.cpp.o"
+  "CMakeFiles/splash_run.dir/splash_run.cpp.o.d"
+  "splash_run"
+  "splash_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/splash_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

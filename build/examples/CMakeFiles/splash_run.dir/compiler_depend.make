@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for splash_run.
+# This may be replaced when dependencies are built.

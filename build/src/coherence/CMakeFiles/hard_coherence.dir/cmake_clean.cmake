@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hard_coherence.dir/memsys.cc.o"
+  "CMakeFiles/hard_coherence.dir/memsys.cc.o.d"
+  "libhard_coherence.a"
+  "libhard_coherence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hard_coherence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for hard_coherence.
+# This may be replaced when dependencies are built.

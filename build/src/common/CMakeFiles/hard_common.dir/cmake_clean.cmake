@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hard_common.dir/logging.cc.o"
+  "CMakeFiles/hard_common.dir/logging.cc.o.d"
+  "CMakeFiles/hard_common.dir/table.cc.o"
+  "CMakeFiles/hard_common.dir/table.cc.o.d"
+  "libhard_common.a"
+  "libhard_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hard_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhard_common.a"
+)

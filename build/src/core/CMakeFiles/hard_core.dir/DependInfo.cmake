@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/bloom.cc" "src/core/CMakeFiles/hard_core.dir/bloom.cc.o" "gcc" "src/core/CMakeFiles/hard_core.dir/bloom.cc.o.d"
+  "/root/repo/src/core/hard_detector.cc" "src/core/CMakeFiles/hard_core.dir/hard_detector.cc.o" "gcc" "src/core/CMakeFiles/hard_core.dir/hard_detector.cc.o.d"
+  "/root/repo/src/core/hybrid.cc" "src/core/CMakeFiles/hard_core.dir/hybrid.cc.o" "gcc" "src/core/CMakeFiles/hard_core.dir/hybrid.cc.o.d"
+  "/root/repo/src/core/lock_register.cc" "src/core/CMakeFiles/hard_core.dir/lock_register.cc.o" "gcc" "src/core/CMakeFiles/hard_core.dir/lock_register.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/hard_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/detectors/CMakeFiles/hard_detectors.dir/DependInfo.cmake"
+  "/root/repo/build/src/coherence/CMakeFiles/hard_coherence.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/hard_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hard_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hard_core.dir/bloom.cc.o"
+  "CMakeFiles/hard_core.dir/bloom.cc.o.d"
+  "CMakeFiles/hard_core.dir/hard_detector.cc.o"
+  "CMakeFiles/hard_core.dir/hard_detector.cc.o.d"
+  "CMakeFiles/hard_core.dir/hybrid.cc.o"
+  "CMakeFiles/hard_core.dir/hybrid.cc.o.d"
+  "CMakeFiles/hard_core.dir/lock_register.cc.o"
+  "CMakeFiles/hard_core.dir/lock_register.cc.o.d"
+  "libhard_core.a"
+  "libhard_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hard_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/detectors/fasttrack.cc" "src/detectors/CMakeFiles/hard_detectors.dir/fasttrack.cc.o" "gcc" "src/detectors/CMakeFiles/hard_detectors.dir/fasttrack.cc.o.d"
+  "/root/repo/src/detectors/happens_before.cc" "src/detectors/CMakeFiles/hard_detectors.dir/happens_before.cc.o" "gcc" "src/detectors/CMakeFiles/hard_detectors.dir/happens_before.cc.o.d"
+  "/root/repo/src/detectors/ideal_lockset.cc" "src/detectors/CMakeFiles/hard_detectors.dir/ideal_lockset.cc.o" "gcc" "src/detectors/CMakeFiles/hard_detectors.dir/ideal_lockset.cc.o.d"
+  "/root/repo/src/detectors/lockset_state.cc" "src/detectors/CMakeFiles/hard_detectors.dir/lockset_state.cc.o" "gcc" "src/detectors/CMakeFiles/hard_detectors.dir/lockset_state.cc.o.d"
+  "/root/repo/src/detectors/report.cc" "src/detectors/CMakeFiles/hard_detectors.dir/report.cc.o" "gcc" "src/detectors/CMakeFiles/hard_detectors.dir/report.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/hard_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/coherence/CMakeFiles/hard_coherence.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/hard_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hard_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hard_detectors.dir/fasttrack.cc.o"
+  "CMakeFiles/hard_detectors.dir/fasttrack.cc.o.d"
+  "CMakeFiles/hard_detectors.dir/happens_before.cc.o"
+  "CMakeFiles/hard_detectors.dir/happens_before.cc.o.d"
+  "CMakeFiles/hard_detectors.dir/ideal_lockset.cc.o"
+  "CMakeFiles/hard_detectors.dir/ideal_lockset.cc.o.d"
+  "CMakeFiles/hard_detectors.dir/lockset_state.cc.o"
+  "CMakeFiles/hard_detectors.dir/lockset_state.cc.o.d"
+  "CMakeFiles/hard_detectors.dir/report.cc.o"
+  "CMakeFiles/hard_detectors.dir/report.cc.o.d"
+  "libhard_detectors.a"
+  "libhard_detectors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hard_detectors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

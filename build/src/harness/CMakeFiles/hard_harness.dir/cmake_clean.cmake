@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hard_harness.dir/experiment.cc.o"
+  "CMakeFiles/hard_harness.dir/experiment.cc.o.d"
+  "libhard_harness.a"
+  "libhard_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hard_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

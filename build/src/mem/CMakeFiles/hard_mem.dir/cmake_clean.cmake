@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hard_mem.dir/cache.cc.o"
+  "CMakeFiles/hard_mem.dir/cache.cc.o.d"
+  "libhard_mem.a"
+  "libhard_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hard_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/system.cc" "src/sim/CMakeFiles/hard_sim.dir/system.cc.o" "gcc" "src/sim/CMakeFiles/hard_sim.dir/system.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/coherence/CMakeFiles/hard_coherence.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/hard_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hard_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

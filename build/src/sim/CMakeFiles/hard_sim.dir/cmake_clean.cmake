@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hard_sim.dir/system.cc.o"
+  "CMakeFiles/hard_sim.dir/system.cc.o.d"
+  "libhard_sim.a"
+  "libhard_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hard_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

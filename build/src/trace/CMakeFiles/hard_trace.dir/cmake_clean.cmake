@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hard_trace.dir/replayer.cc.o"
+  "CMakeFiles/hard_trace.dir/replayer.cc.o.d"
+  "CMakeFiles/hard_trace.dir/trace.cc.o"
+  "CMakeFiles/hard_trace.dir/trace.cc.o.d"
+  "libhard_trace.a"
+  "libhard_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hard_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/builder.cc" "src/workloads/CMakeFiles/hard_workloads.dir/builder.cc.o" "gcc" "src/workloads/CMakeFiles/hard_workloads.dir/builder.cc.o.d"
+  "/root/repo/src/workloads/injector.cc" "src/workloads/CMakeFiles/hard_workloads.dir/injector.cc.o" "gcc" "src/workloads/CMakeFiles/hard_workloads.dir/injector.cc.o.d"
+  "/root/repo/src/workloads/registry.cc" "src/workloads/CMakeFiles/hard_workloads.dir/registry.cc.o" "gcc" "src/workloads/CMakeFiles/hard_workloads.dir/registry.cc.o.d"
+  "/root/repo/src/workloads/wl_barnes.cc" "src/workloads/CMakeFiles/hard_workloads.dir/wl_barnes.cc.o" "gcc" "src/workloads/CMakeFiles/hard_workloads.dir/wl_barnes.cc.o.d"
+  "/root/repo/src/workloads/wl_cholesky.cc" "src/workloads/CMakeFiles/hard_workloads.dir/wl_cholesky.cc.o" "gcc" "src/workloads/CMakeFiles/hard_workloads.dir/wl_cholesky.cc.o.d"
+  "/root/repo/src/workloads/wl_fmm.cc" "src/workloads/CMakeFiles/hard_workloads.dir/wl_fmm.cc.o" "gcc" "src/workloads/CMakeFiles/hard_workloads.dir/wl_fmm.cc.o.d"
+  "/root/repo/src/workloads/wl_ocean.cc" "src/workloads/CMakeFiles/hard_workloads.dir/wl_ocean.cc.o" "gcc" "src/workloads/CMakeFiles/hard_workloads.dir/wl_ocean.cc.o.d"
+  "/root/repo/src/workloads/wl_raytrace.cc" "src/workloads/CMakeFiles/hard_workloads.dir/wl_raytrace.cc.o" "gcc" "src/workloads/CMakeFiles/hard_workloads.dir/wl_raytrace.cc.o.d"
+  "/root/repo/src/workloads/wl_server.cc" "src/workloads/CMakeFiles/hard_workloads.dir/wl_server.cc.o" "gcc" "src/workloads/CMakeFiles/hard_workloads.dir/wl_server.cc.o.d"
+  "/root/repo/src/workloads/wl_water.cc" "src/workloads/CMakeFiles/hard_workloads.dir/wl_water.cc.o" "gcc" "src/workloads/CMakeFiles/hard_workloads.dir/wl_water.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/hard_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/coherence/CMakeFiles/hard_coherence.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/hard_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hard_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

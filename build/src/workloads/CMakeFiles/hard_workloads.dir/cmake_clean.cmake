@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hard_workloads.dir/builder.cc.o"
+  "CMakeFiles/hard_workloads.dir/builder.cc.o.d"
+  "CMakeFiles/hard_workloads.dir/injector.cc.o"
+  "CMakeFiles/hard_workloads.dir/injector.cc.o.d"
+  "CMakeFiles/hard_workloads.dir/registry.cc.o"
+  "CMakeFiles/hard_workloads.dir/registry.cc.o.d"
+  "CMakeFiles/hard_workloads.dir/wl_barnes.cc.o"
+  "CMakeFiles/hard_workloads.dir/wl_barnes.cc.o.d"
+  "CMakeFiles/hard_workloads.dir/wl_cholesky.cc.o"
+  "CMakeFiles/hard_workloads.dir/wl_cholesky.cc.o.d"
+  "CMakeFiles/hard_workloads.dir/wl_fmm.cc.o"
+  "CMakeFiles/hard_workloads.dir/wl_fmm.cc.o.d"
+  "CMakeFiles/hard_workloads.dir/wl_ocean.cc.o"
+  "CMakeFiles/hard_workloads.dir/wl_ocean.cc.o.d"
+  "CMakeFiles/hard_workloads.dir/wl_raytrace.cc.o"
+  "CMakeFiles/hard_workloads.dir/wl_raytrace.cc.o.d"
+  "CMakeFiles/hard_workloads.dir/wl_server.cc.o"
+  "CMakeFiles/hard_workloads.dir/wl_server.cc.o.d"
+  "CMakeFiles/hard_workloads.dir/wl_water.cc.o"
+  "CMakeFiles/hard_workloads.dir/wl_water.cc.o.d"
+  "libhard_workloads.a"
+  "libhard_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hard_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bitops.dir/test_bitops.cc.o"
+  "CMakeFiles/test_bitops.dir/test_bitops.cc.o.d"
+  "test_bitops"
+  "test_bitops.pdb"
+  "test_bitops[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bitops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

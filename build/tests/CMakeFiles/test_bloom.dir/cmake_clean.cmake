@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bloom.dir/test_bloom.cc.o"
+  "CMakeFiles/test_bloom.dir/test_bloom.cc.o.d"
+  "test_bloom"
+  "test_bloom.pdb"
+  "test_bloom[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bloom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

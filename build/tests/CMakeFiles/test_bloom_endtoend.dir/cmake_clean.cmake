@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bloom_endtoend.dir/test_bloom_endtoend.cc.o"
+  "CMakeFiles/test_bloom_endtoend.dir/test_bloom_endtoend.cc.o.d"
+  "test_bloom_endtoend"
+  "test_bloom_endtoend.pdb"
+  "test_bloom_endtoend[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bloom_endtoend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

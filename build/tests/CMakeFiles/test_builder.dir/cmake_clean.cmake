@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_builder.dir/test_builder.cc.o"
+  "CMakeFiles/test_builder.dir/test_builder.cc.o.d"
+  "test_builder"
+  "test_builder.pdb"
+  "test_builder[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_builder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_context_switch.dir/test_context_switch.cc.o"
+  "CMakeFiles/test_context_switch.dir/test_context_switch.cc.o.d"
+  "test_context_switch"
+  "test_context_switch.pdb"
+  "test_context_switch[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_context_switch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

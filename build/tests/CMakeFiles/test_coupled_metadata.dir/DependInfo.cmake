@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_coupled_metadata.cc" "tests/CMakeFiles/test_coupled_metadata.dir/test_coupled_metadata.cc.o" "gcc" "tests/CMakeFiles/test_coupled_metadata.dir/test_coupled_metadata.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/hard_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/hard_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/hard_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/hard_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/detectors/CMakeFiles/hard_detectors.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hard_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/coherence/CMakeFiles/hard_coherence.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/hard_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hard_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_coupled_metadata.dir/test_coupled_metadata.cc.o"
+  "CMakeFiles/test_coupled_metadata.dir/test_coupled_metadata.cc.o.d"
+  "test_coupled_metadata"
+  "test_coupled_metadata.pdb"
+  "test_coupled_metadata[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_coupled_metadata.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fasttrack.dir/test_fasttrack.cc.o"
+  "CMakeFiles/test_fasttrack.dir/test_fasttrack.cc.o.d"
+  "test_fasttrack"
+  "test_fasttrack.pdb"
+  "test_fasttrack[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fasttrack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_happens_before.dir/test_happens_before.cc.o"
+  "CMakeFiles/test_happens_before.dir/test_happens_before.cc.o.d"
+  "test_happens_before"
+  "test_happens_before.pdb"
+  "test_happens_before[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_happens_before.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

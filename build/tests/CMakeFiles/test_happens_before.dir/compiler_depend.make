@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for test_happens_before.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hard_detector.dir/test_hard_detector.cc.o"
+  "CMakeFiles/test_hard_detector.dir/test_hard_detector.cc.o.d"
+  "test_hard_detector"
+  "test_hard_detector.pdb"
+  "test_hard_detector[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hard_detector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

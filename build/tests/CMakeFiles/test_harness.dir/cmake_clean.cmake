@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_harness.dir/test_harness.cc.o"
+  "CMakeFiles/test_harness.dir/test_harness.cc.o.d"
+  "test_harness"
+  "test_harness.pdb"
+  "test_harness[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_harness_edge.dir/test_harness_edge.cc.o"
+  "CMakeFiles/test_harness_edge.dir/test_harness_edge.cc.o.d"
+  "test_harness_edge"
+  "test_harness_edge.pdb"
+  "test_harness_edge[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_harness_edge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hybrid.dir/test_hybrid.cc.o"
+  "CMakeFiles/test_hybrid.dir/test_hybrid.cc.o.d"
+  "test_hybrid"
+  "test_hybrid.pdb"
+  "test_hybrid[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hybrid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ideal_lockset.dir/test_ideal_lockset.cc.o"
+  "CMakeFiles/test_ideal_lockset.dir/test_ideal_lockset.cc.o.d"
+  "test_ideal_lockset"
+  "test_ideal_lockset.pdb"
+  "test_ideal_lockset[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ideal_lockset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

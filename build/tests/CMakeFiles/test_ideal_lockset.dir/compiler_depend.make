@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for test_ideal_lockset.
+# This may be replaced when dependencies are built.

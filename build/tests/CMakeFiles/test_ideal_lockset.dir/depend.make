@@ -1,0 +1,2 @@
+# Empty dependencies file for test_ideal_lockset.
+# This may be replaced when dependencies are built.

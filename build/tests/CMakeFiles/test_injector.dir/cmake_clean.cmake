@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_injector.dir/test_injector.cc.o"
+  "CMakeFiles/test_injector.dir/test_injector.cc.o.d"
+  "test_injector"
+  "test_injector.pdb"
+  "test_injector[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_injector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

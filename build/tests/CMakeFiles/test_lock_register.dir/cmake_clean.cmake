@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lock_register.dir/test_lock_register.cc.o"
+  "CMakeFiles/test_lock_register.dir/test_lock_register.cc.o.d"
+  "test_lock_register"
+  "test_lock_register.pdb"
+  "test_lock_register[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lock_register.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lstate.dir/test_lstate.cc.o"
+  "CMakeFiles/test_lstate.dir/test_lstate.cc.o.d"
+  "test_lstate"
+  "test_lstate.pdb"
+  "test_lstate[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lstate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

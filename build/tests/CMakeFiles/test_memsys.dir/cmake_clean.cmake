@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_memsys.dir/test_memsys.cc.o"
+  "CMakeFiles/test_memsys.dir/test_memsys.cc.o.d"
+  "test_memsys"
+  "test_memsys.pdb"
+  "test_memsys[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_memsys.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_meta_cache.dir/test_meta_cache.cc.o"
+  "CMakeFiles/test_meta_cache.dir/test_meta_cache.cc.o.d"
+  "test_meta_cache"
+  "test_meta_cache.pdb"
+  "test_meta_cache[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_meta_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

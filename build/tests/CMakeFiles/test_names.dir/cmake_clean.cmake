@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_names.dir/test_names.cc.o"
+  "CMakeFiles/test_names.dir/test_names.cc.o.d"
+  "test_names"
+  "test_names.pdb"
+  "test_names[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_names.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

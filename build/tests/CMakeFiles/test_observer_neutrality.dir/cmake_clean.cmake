@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_observer_neutrality.dir/test_observer_neutrality.cc.o"
+  "CMakeFiles/test_observer_neutrality.dir/test_observer_neutrality.cc.o.d"
+  "test_observer_neutrality"
+  "test_observer_neutrality.pdb"
+  "test_observer_neutrality[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_observer_neutrality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

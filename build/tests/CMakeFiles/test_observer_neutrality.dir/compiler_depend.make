@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for test_observer_neutrality.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_observer_neutrality.
+# This may be replaced when dependencies are built.

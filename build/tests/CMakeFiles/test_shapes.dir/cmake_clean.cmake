@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_shapes.dir/test_shapes.cc.o"
+  "CMakeFiles/test_shapes.dir/test_shapes.cc.o.d"
+  "test_shapes"
+  "test_shapes.pdb"
+  "test_shapes[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_shapes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_thread_counts.dir/test_thread_counts.cc.o"
+  "CMakeFiles/test_thread_counts.dir/test_thread_counts.cc.o.d"
+  "test_thread_counts"
+  "test_thread_counts.pdb"
+  "test_thread_counts[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_thread_counts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

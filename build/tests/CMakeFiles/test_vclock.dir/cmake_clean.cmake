@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vclock.dir/test_vclock.cc.o"
+  "CMakeFiles/test_vclock.dir/test_vclock.cc.o.d"
+  "test_vclock"
+  "test_vclock.pdb"
+  "test_vclock[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vclock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

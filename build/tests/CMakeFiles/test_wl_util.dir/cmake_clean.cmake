@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wl_util.dir/test_wl_util.cc.o"
+  "CMakeFiles/test_wl_util.dir/test_wl_util.cc.o.d"
+  "test_wl_util"
+  "test_wl_util.pdb"
+  "test_wl_util[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wl_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_wl_util.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hardsim.dir/hardsim.cpp.o"
+  "CMakeFiles/hardsim.dir/hardsim.cpp.o.d"
+  "hardsim"
+  "hardsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hardsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

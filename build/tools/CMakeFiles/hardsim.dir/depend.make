@@ -1,0 +1,2 @@
+# Empty dependencies file for hardsim.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(hardsim_list "/root/repo/build/tools/hardsim" "--list")
+set_tests_properties(hardsim_list PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;5;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(hardsim_run "/root/repo/build/tools/hardsim" "--workload=server" "--scale=0.05" "--detectors=hard,hybrid,fasttrack" "--inject=3" "--stats")
+set_tests_properties(hardsim_run PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;6;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(hardsim_overhead "/root/repo/build/tools/hardsim" "--workload=barnes" "--scale=0.05" "--overhead")
+set_tests_properties(hardsim_overhead PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(hardsim_msi "/root/repo/build/tools/hardsim" "--workload=barnes" "--scale=0.05" "--protocol=msi" "--overhead" "--directory")
+set_tests_properties(hardsim_msi PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;11;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(hardsim_oversubscribed "/root/repo/build/tools/hardsim" "--workload=ocean" "--scale=0.05" "--cores=2" "--detectors=hard")
+set_tests_properties(hardsim_oversubscribed PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;14;add_test;/root/repo/tools/CMakeLists.txt;0;")
