@@ -22,13 +22,25 @@ main(int argc, char **argv)
                  "Overhead %", "Meta broadcasts", "Meta bytes",
                  "Data bytes", "Meta/Data %"});
 
-    std::vector<std::pair<std::string, OverheadResult>> results;
+    // Each application's (baseline, HARD) timing pair is independent of
+    // every other: measure them all across the pool via the batch
+    // driver; results are identical for any --jobs value.
+    RunPool pool(opt.jobs);
+    std::vector<BatchItem> items;
     for (const std::string &app : paperApps()) {
-        results.emplace_back(app,
-                             measureOverhead(app, opt.params(),
-                                             defaultSimConfig(),
-                                             HardConfig{}));
+        BatchItem item;
+        item.workload = app;
+        item.wp = opt.params();
+        item.sim = defaultSimConfig();
+        item.effectiveness = false;
+        item.overhead = true;
+        items.push_back(std::move(item));
     }
+    std::vector<BatchItemResult> batch = runBatch(items, pool);
+
+    std::vector<std::pair<std::string, OverheadResult>> results;
+    for (const BatchItemResult &item : batch)
+        results.emplace_back(item.workload, item.overhead);
 
     double min_pct = 1e9, max_pct = -1e9;
     for (const auto &[app, oh] : results) {
@@ -61,5 +73,6 @@ main(int argc, char **argv)
     std::printf("\nmeasured overhead range: %.2f%% .. %.2f%% "
                 "(paper: 0.1%% .. 2.6%%)\n",
                 min_pct, max_pct);
+    maybeWriteJson(opt, batch, pool);
     return 0;
 }

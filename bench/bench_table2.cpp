@@ -23,12 +23,18 @@ main(int argc, char **argv)
                  "HARD-ideal FAs", "HB bugs", "HB FAs", "HB-ideal bugs",
                  "HB-ideal FAs"});
 
+    // Every (workload, seed, detector-set) run is independent: fan the
+    // whole sweep out across the pool; merged rows are identical to the
+    // serial harness for any --jobs value.
+    RunPool pool(opt.jobs);
+    std::vector<BatchItemResult> results =
+        runBatch(effectivenessItems(opt, table2Detectors()), pool);
+
     unsigned tot[4] = {0, 0, 0, 0};
     unsigned tot_runs = 0;
-    for (const std::string &app : paperApps()) {
-        EffectivenessResult res =
-            runEffectiveness(app, opt.params(), defaultSimConfig(),
-                             table2Detectors(), opt.runs, opt.seed);
+    for (const BatchItemResult &item : results) {
+        const std::string &app = item.workload;
+        const EffectivenessResult &res = item.effectiveness;
         const DetectorScore &hd = res.at("hard.default");
         const DetectorScore &hi = res.at("hard.ideal");
         const DetectorScore &bd = res.at("hb.default");
@@ -51,6 +57,7 @@ main(int argc, char **argv)
               fracCell(tot[1], tot_runs), "-", fracCell(tot[2], tot_runs),
               "-", fracCell(tot[3], tot_runs), "-"});
     printTable(t, opt);
+    maybeWriteJson(opt, results, pool);
 
     double pct = tot[2] == 0
         ? 0.0

@@ -50,10 +50,16 @@ main(int argc, char **argv)
     fas.setHeader({"Application", "HARD 4B", "HARD 8B", "HARD 16B",
                    "HARD 32B", "HB 4B", "HB 8B", "HB 16B", "HB 32B"});
 
-    for (const std::string &app : paperApps()) {
-        EffectivenessResult res = runEffectiveness(
-            app, opt.params(), defaultSimConfig(),
-            granularitySweepDetectors(), opt.runs, opt.seed);
+    // Fan the full workload x run sweep out across the pool; merged
+    // rows are identical to the serial harness for any --jobs value.
+    RunPool pool(opt.jobs);
+    std::vector<BatchItemResult> results =
+        runBatch(effectivenessItems(opt, granularitySweepDetectors()),
+                 pool);
+
+    for (const BatchItemResult &item : results) {
+        const std::string &app = item.workload;
+        const EffectivenessResult &res = item.effectiveness;
         std::vector<std::string> brow{app}, frow{app};
         for (const char *alg : {"hard", "hb"}) {
             for (unsigned g : kGrans) {
@@ -68,6 +74,7 @@ main(int argc, char **argv)
     }
     printTable(bugs, opt);
     printTable(fas, opt);
+    maybeWriteJson(opt, results, pool);
     std::printf(
         "Paper shape: detection roughly constant across granularities; "
         "false alarms increase 4B -> 32B for both algorithms.\n");

@@ -8,6 +8,10 @@
  *   --scale=<f>   workload scale factor (default 1.0, the paper size)
  *   --runs=<n>    injected-bug runs per application (default 10)
  *   --seed=<n>    base injection seed (default 1000)
+ *   --jobs=<n>    worker threads for batched sweeps (default: all
+ *                 hardware threads; results are identical for any n)
+ *   --json=<f>    additionally write batch results as JSON (benches
+ *                 that run through the batch driver)
  *   --csv         additionally print tables as CSV
  */
 
@@ -21,7 +25,9 @@
 #include <vector>
 
 #include "common/table.hh"
+#include "harness/batch.hh"
 #include "harness/experiment.hh"
+#include "harness/run_pool.hh"
 
 namespace hard
 {
@@ -32,6 +38,8 @@ struct BenchOptions
     double scale = 1.0;
     unsigned runs = 10;
     std::uint64_t seed = 1000;
+    unsigned jobs = 0; // 0 = all hardware threads
+    std::string json;
     bool csv = false;
 
     WorkloadParams
@@ -56,17 +64,55 @@ parseBenchArgs(int argc, char **argv)
             opt.runs = static_cast<unsigned>(std::atoi(a + 7));
         } else if (std::strncmp(a, "--seed=", 7) == 0) {
             opt.seed = static_cast<std::uint64_t>(std::atoll(a + 7));
+        } else if (std::strncmp(a, "--jobs=", 7) == 0) {
+            opt.jobs = static_cast<unsigned>(std::atoi(a + 7));
+        } else if (std::strncmp(a, "--json=", 7) == 0) {
+            opt.json = a + 7;
         } else if (std::strcmp(a, "--csv") == 0) {
             opt.csv = true;
         } else {
             fatal("unknown argument '%s' "
-                  "(expected --scale= --runs= --seed= --csv)",
+                  "(expected --scale= --runs= --seed= --jobs= --json= "
+                  "--csv)",
                   a);
         }
     }
     hard_fatal_if(opt.scale <= 0.0, "scale must be positive");
     hard_fatal_if(opt.runs == 0, "runs must be positive");
     return opt;
+}
+
+/**
+ * Build one effectiveness BatchItem per paper application with the
+ * bench's common sizing/seed options applied.
+ */
+inline std::vector<BatchItem>
+effectivenessItems(const BenchOptions &opt, const DetectorFactory &factory)
+{
+    std::vector<BatchItem> items;
+    for (const WorkloadInfo &w : allWorkloads()) {
+        BatchItem item;
+        item.workload = w.name;
+        item.wp = opt.params();
+        item.sim = defaultSimConfig();
+        item.factory = factory;
+        item.runs = opt.runs;
+        item.seed0 = opt.seed;
+        items.push_back(std::move(item));
+    }
+    return items;
+}
+
+/** Write the batch JSON dump when --json= was given. */
+inline void
+maybeWriteJson(const BenchOptions &opt,
+               const std::vector<BatchItemResult> &results,
+               const RunPool &pool)
+{
+    if (opt.json.empty())
+        return;
+    writeJsonFile(opt.json, batchJson(results, pool.jobs()));
+    std::printf("results written to %s\n", opt.json.c_str());
 }
 
 /** The six applications in the paper's Table 2 order. */

@@ -5,9 +5,15 @@
 # Usage: scripts/reproduce.sh [--quick]
 #   --quick   run the benches at reduced scale/runs (minutes, not tens
 #             of minutes); detection counts will be out of N<10 runs.
+#
+# All benches run through the parallel batch driver with one worker per
+# host hardware thread (results are bit-identical to serial runs; see
+# tests/test_batch_equivalence.cc). Override with JOBS=<n>.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+JOBS="${JOBS:-$(nproc)}"
+COMMON_ARGS=(--jobs="$JOBS")
 SCALE_ARGS=()
 if [[ "${1:-}" == "--quick" ]]; then
     SCALE_ARGS=(--scale=0.25 --runs=4)
@@ -18,17 +24,34 @@ cmake --build build
 
 ctest --test-dir build --output-on-failure 2>&1 | tee test_output.txt
 
+# Machine-readable sweep results (per-run + aggregate JSON).
+mkdir -p results
+
 {
     for b in build/bench/*; do
         [[ -f "$b" && -x "$b" ]] || continue
-        echo "================ $(basename "$b") ================"
-        if [[ "$(basename "$b")" == "bench_micro" ]]; then
+        name="$(basename "$b")"
+        echo "================ $name ================"
+        case "$name" in
+          bench_micro)
             "$b"
-        else
-            "$b" "${SCALE_ARGS[@]}"
-        fi
+            ;;
+          bench_table2|bench_table3|bench_fig8)
+            # Batch-driver benches: also archive JSON results.
+            "$b" "${COMMON_ARGS[@]}" "${SCALE_ARGS[@]}" \
+                 --json="results/$name.json"
+            ;;
+          *)
+            "$b" "${COMMON_ARGS[@]}" "${SCALE_ARGS[@]}"
+            ;;
+        esac
         echo
     done
+
+    echo "================ hardsim --batch ================"
+    ./build/tools/hardsim --batch "${COMMON_ARGS[@]}" "${SCALE_ARGS[@]}" \
+        --json=results/hardsim_batch.json
+    echo
 } 2>&1 | tee bench_output.txt
 
-echo "done: see test_output.txt and bench_output.txt"
+echo "done: see test_output.txt, bench_output.txt and results/*.json"

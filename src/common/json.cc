@@ -1,0 +1,635 @@
+#include "common/json.hh"
+
+#include <cctype>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace hard
+{
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 8);
+    for (unsigned char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\b':
+            out += "\\b";
+            break;
+          case '\f':
+            out += "\\f";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                // UTF-8 bytes pass through verbatim.
+                out += static_cast<char>(c);
+            }
+        }
+    }
+    return out;
+}
+
+Json
+Json::array()
+{
+    Json j;
+    j.type_ = Type::Array;
+    return j;
+}
+
+Json
+Json::object()
+{
+    Json j;
+    j.type_ = Type::Object;
+    return j;
+}
+
+bool
+Json::asBool() const
+{
+    hard_panic_if(type_ != Type::Bool, "Json: not a bool");
+    return bool_;
+}
+
+std::uint64_t
+Json::asUint() const
+{
+    switch (type_) {
+      case Type::Uint:
+        return uint_;
+      case Type::Int:
+        hard_panic_if(int_ < 0, "Json: negative value read as uint");
+        return static_cast<std::uint64_t>(int_);
+      default:
+        panic("Json: not an integer");
+    }
+}
+
+std::int64_t
+Json::asInt() const
+{
+    switch (type_) {
+      case Type::Int:
+        return int_;
+      case Type::Uint:
+        hard_panic_if(uint_ > static_cast<std::uint64_t>(INT64_MAX),
+                      "Json: uint value overflows int64");
+        return static_cast<std::int64_t>(uint_);
+      default:
+        panic("Json: not an integer");
+    }
+}
+
+double
+Json::asDouble() const
+{
+    switch (type_) {
+      case Type::Double:
+        return double_;
+      case Type::Uint:
+        return static_cast<double>(uint_);
+      case Type::Int:
+        return static_cast<double>(int_);
+      default:
+        panic("Json: not a number");
+    }
+}
+
+const std::string &
+Json::asString() const
+{
+    hard_panic_if(type_ != Type::String, "Json: not a string");
+    return str_;
+}
+
+Json &
+Json::push(Json v)
+{
+    hard_panic_if(type_ != Type::Array, "Json: push on non-array");
+    arr_.push_back(std::move(v));
+    return *this;
+}
+
+std::size_t
+Json::size() const
+{
+    if (type_ == Type::Array)
+        return arr_.size();
+    if (type_ == Type::Object)
+        return obj_.size();
+    return 0;
+}
+
+const Json &
+Json::at(std::size_t i) const
+{
+    hard_panic_if(type_ != Type::Array, "Json: at() on non-array");
+    hard_panic_if(i >= arr_.size(), "Json: array index %zu out of range",
+                  i);
+    return arr_[i];
+}
+
+Json &
+Json::set(const std::string &key, Json v)
+{
+    hard_panic_if(type_ != Type::Object, "Json: set on non-object");
+    for (auto &[k, val] : obj_) {
+        if (k == key) {
+            val = std::move(v);
+            return *this;
+        }
+    }
+    obj_.emplace_back(key, std::move(v));
+    return *this;
+}
+
+bool
+Json::has(const std::string &key) const
+{
+    if (type_ != Type::Object)
+        return false;
+    for (const auto &[k, val] : obj_)
+        if (k == key)
+            return true;
+    return false;
+}
+
+const Json &
+Json::operator[](const std::string &key) const
+{
+    hard_panic_if(type_ != Type::Object, "Json: [] on non-object");
+    for (const auto &[k, val] : obj_)
+        if (k == key)
+            return val;
+    panic("Json: no member '%s'", key.c_str());
+}
+
+const std::vector<std::pair<std::string, Json>> &
+Json::members() const
+{
+    hard_panic_if(type_ != Type::Object, "Json: members() on non-object");
+    return obj_;
+}
+
+namespace
+{
+
+void
+appendNewline(std::string &out, int indent, int depth)
+{
+    if (indent <= 0)
+        return;
+    out += '\n';
+    out.append(static_cast<std::size_t>(indent * depth), ' ');
+}
+
+std::string
+formatDouble(double v)
+{
+    hard_panic_if(!std::isfinite(v),
+                  "Json: non-finite double cannot be serialized");
+    char buf[40];
+    // %.17g round-trips every finite double exactly.
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    std::string s(buf);
+    // Keep doubles distinguishable from integers on re-parse.
+    if (s.find_first_of(".eE") == std::string::npos)
+        s += ".0";
+    return s;
+}
+
+} // namespace
+
+void
+Json::dumpTo(std::string &out, int indent, int depth) const
+{
+    char buf[40];
+    switch (type_) {
+      case Type::Null:
+        out += "null";
+        break;
+      case Type::Bool:
+        out += bool_ ? "true" : "false";
+        break;
+      case Type::Uint:
+        std::snprintf(buf, sizeof(buf), "%" PRIu64, uint_);
+        out += buf;
+        break;
+      case Type::Int:
+        std::snprintf(buf, sizeof(buf), "%" PRId64, int_);
+        out += buf;
+        break;
+      case Type::Double:
+        out += formatDouble(double_);
+        break;
+      case Type::String:
+        out += '"';
+        out += jsonEscape(str_);
+        out += '"';
+        break;
+      case Type::Array:
+        if (arr_.empty()) {
+            out += "[]";
+            break;
+        }
+        out += '[';
+        for (std::size_t i = 0; i < arr_.size(); ++i) {
+            if (i != 0)
+                out += ',';
+            appendNewline(out, indent, depth + 1);
+            arr_[i].dumpTo(out, indent, depth + 1);
+        }
+        appendNewline(out, indent, depth);
+        out += ']';
+        break;
+      case Type::Object:
+        if (obj_.empty()) {
+            out += "{}";
+            break;
+        }
+        out += '{';
+        for (std::size_t i = 0; i < obj_.size(); ++i) {
+            if (i != 0)
+                out += ',';
+            appendNewline(out, indent, depth + 1);
+            out += '"';
+            out += jsonEscape(obj_[i].first);
+            out += "\":";
+            if (indent > 0)
+                out += ' ';
+            obj_[i].second.dumpTo(out, indent, depth + 1);
+        }
+        appendNewline(out, indent, depth);
+        out += '}';
+        break;
+    }
+}
+
+std::string
+Json::dump(int indent) const
+{
+    std::string out;
+    dumpTo(out, indent, 0);
+    return out;
+}
+
+namespace
+{
+
+/** Recursive-descent JSON parser over a string view. */
+class Parser
+{
+  public:
+    Parser(const std::string &text) : text_(text) {}
+
+    Json
+    parse(std::string *error)
+    {
+        error_.clear();
+        Json v = value();
+        skipWs();
+        if (error_.empty() && pos_ != text_.size())
+            fail("trailing characters after value");
+        if (!error_.empty()) {
+            if (error != nullptr)
+                *error = error_;
+            return Json();
+        }
+        return v;
+    }
+
+  private:
+    void
+    fail(const std::string &why)
+    {
+        if (error_.empty())
+            error_ = why + " at offset " + std::to_string(pos_);
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    bool
+    eat(char c)
+    {
+        skipWs();
+        if (pos_ < text_.size() && text_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    bool
+    literal(const char *word)
+    {
+        std::size_t n = std::strlen(word);
+        if (text_.compare(pos_, n, word) == 0) {
+            pos_ += n;
+            return true;
+        }
+        return false;
+    }
+
+    Json
+    value()
+    {
+        skipWs();
+        if (pos_ >= text_.size()) {
+            fail("unexpected end of input");
+            return Json();
+        }
+        char c = text_[pos_];
+        if (c == '{')
+            return object();
+        if (c == '[')
+            return array();
+        if (c == '"')
+            return Json(string());
+        if (c == 't') {
+            if (literal("true"))
+                return Json(true);
+            fail("bad literal");
+            return Json();
+        }
+        if (c == 'f') {
+            if (literal("false"))
+                return Json(false);
+            fail("bad literal");
+            return Json();
+        }
+        if (c == 'n') {
+            if (literal("null"))
+                return Json();
+            fail("bad literal");
+            return Json();
+        }
+        return number();
+    }
+
+    Json
+    object()
+    {
+        Json obj = Json::object();
+        ++pos_; // '{'
+        skipWs();
+        if (eat('}'))
+            return obj;
+        while (true) {
+            skipWs();
+            if (pos_ >= text_.size() || text_[pos_] != '"') {
+                fail("expected object key");
+                return obj;
+            }
+            std::string key = string();
+            if (!eat(':')) {
+                fail("expected ':'");
+                return obj;
+            }
+            obj.set(key, value());
+            if (!error_.empty())
+                return obj;
+            if (eat(','))
+                continue;
+            if (eat('}'))
+                return obj;
+            fail("expected ',' or '}'");
+            return obj;
+        }
+    }
+
+    Json
+    array()
+    {
+        Json arr = Json::array();
+        ++pos_; // '['
+        skipWs();
+        if (eat(']'))
+            return arr;
+        while (true) {
+            arr.push(value());
+            if (!error_.empty())
+                return arr;
+            if (eat(','))
+                continue;
+            if (eat(']'))
+                return arr;
+            fail("expected ',' or ']'");
+            return arr;
+        }
+    }
+
+    std::string
+    string()
+    {
+        std::string out;
+        ++pos_; // opening quote
+        while (pos_ < text_.size()) {
+            char c = text_[pos_++];
+            if (c == '"')
+                return out;
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos_ >= text_.size())
+                break;
+            char e = text_[pos_++];
+            switch (e) {
+              case '"':
+                out += '"';
+                break;
+              case '\\':
+                out += '\\';
+                break;
+              case '/':
+                out += '/';
+                break;
+              case 'b':
+                out += '\b';
+                break;
+              case 'f':
+                out += '\f';
+                break;
+              case 'n':
+                out += '\n';
+                break;
+              case 'r':
+                out += '\r';
+                break;
+              case 't':
+                out += '\t';
+                break;
+              case 'u': {
+                if (pos_ + 4 > text_.size()) {
+                    fail("truncated \\u escape");
+                    return out;
+                }
+                unsigned cp = 0;
+                for (int i = 0; i < 4; ++i) {
+                    char h = text_[pos_++];
+                    cp <<= 4;
+                    if (h >= '0' && h <= '9')
+                        cp |= static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        cp |= static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        cp |= static_cast<unsigned>(h - 'A' + 10);
+                    else {
+                        fail("bad \\u escape");
+                        return out;
+                    }
+                }
+                // Encode the code point as UTF-8 (BMP only; the
+                // serializer never emits surrogate pairs).
+                if (cp < 0x80) {
+                    out += static_cast<char>(cp);
+                } else if (cp < 0x800) {
+                    out += static_cast<char>(0xc0 | (cp >> 6));
+                    out += static_cast<char>(0x80 | (cp & 0x3f));
+                } else {
+                    out += static_cast<char>(0xe0 | (cp >> 12));
+                    out += static_cast<char>(0x80 | ((cp >> 6) & 0x3f));
+                    out += static_cast<char>(0x80 | (cp & 0x3f));
+                }
+                break;
+              }
+              default:
+                fail("bad escape");
+                return out;
+            }
+        }
+        fail("unterminated string");
+        return out;
+    }
+
+    Json
+    number()
+    {
+        std::size_t start = pos_;
+        bool negative = false;
+        bool floating = false;
+        if (pos_ < text_.size() && text_[pos_] == '-') {
+            negative = true;
+            ++pos_;
+        }
+        while (pos_ < text_.size()) {
+            char c = text_[pos_];
+            if (std::isdigit(static_cast<unsigned char>(c))) {
+                ++pos_;
+            } else if (c == '.' || c == 'e' || c == 'E' || c == '+' ||
+                       c == '-') {
+                floating = floating || c == '.' || c == 'e' || c == 'E';
+                ++pos_;
+            } else {
+                break;
+            }
+        }
+        std::string tok = text_.substr(start, pos_ - start);
+        if (tok.empty() || tok == "-") {
+            fail("bad number");
+            return Json();
+        }
+        if (floating)
+            return Json(std::strtod(tok.c_str(), nullptr));
+        if (negative)
+            return Json(static_cast<std::int64_t>(
+                std::strtoll(tok.c_str(), nullptr, 10)));
+        return Json(static_cast<std::uint64_t>(
+            std::strtoull(tok.c_str(), nullptr, 10)));
+    }
+
+    const std::string &text_;
+    std::size_t pos_ = 0;
+    std::string error_;
+};
+
+} // namespace
+
+Json
+Json::parse(const std::string &text, std::string *error)
+{
+    return Parser(text).parse(error);
+}
+
+bool
+Json::operator==(const Json &other) const
+{
+    // Numeric flavours compare by value so that, e.g., a Uint 3 equals
+    // an Int 3 (the parser picks a flavour from the textual form).
+    if (isNumber() && other.isNumber()) {
+        if (type_ == Type::Double || other.type_ == Type::Double)
+            return asDouble() == other.asDouble();
+        bool neg_a = type_ == Type::Int && int_ < 0;
+        bool neg_b = other.type_ == Type::Int && other.int_ < 0;
+        if (neg_a != neg_b)
+            return false;
+        if (neg_a)
+            return int_ == other.int_;
+        return asUint() == other.asUint();
+    }
+    if (type_ != other.type_)
+        return false;
+    switch (type_) {
+      case Type::Null:
+        return true;
+      case Type::Bool:
+        return bool_ == other.bool_;
+      case Type::String:
+        return str_ == other.str_;
+      case Type::Array:
+        return arr_ == other.arr_;
+      case Type::Object:
+        return obj_ == other.obj_;
+      default:
+        return false; // numbers handled above
+    }
+}
+
+void
+writeJsonFile(const std::string &path, const Json &v)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    hard_fatal_if(f == nullptr, "cannot open '%s' for writing",
+                  path.c_str());
+    std::string text = v.dump(2);
+    text += '\n';
+    std::size_t written = std::fwrite(text.data(), 1, text.size(), f);
+    int rc = std::fclose(f);
+    hard_fatal_if(written != text.size() || rc != 0,
+                  "short write to '%s'", path.c_str());
+}
+
+} // namespace hard

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Minimal JSON document model with a serializer and a parser.
+ *
+ * The batch experiment driver emits machine-readable results (per-run
+ * and aggregate detection/overhead numbers) so sweeps can be archived,
+ * diffed and post-processed without scraping ASCII tables. The model
+ * is deliberately small: objects preserve insertion order (so dumps
+ * are deterministic and diffable), numbers distinguish unsigned /
+ * signed / floating values (so 64-bit cycle and byte counters
+ * round-trip exactly), and parse(dump(v)) == v for every value this
+ * library can produce.
+ */
+
+#ifndef HARD_COMMON_JSON_HH
+#define HARD_COMMON_JSON_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace hard
+{
+
+/** Escape @p s for inclusion in a JSON string literal (no quotes). */
+std::string jsonEscape(const std::string &s);
+
+/**
+ * One JSON value: null, bool, number, string, array or object.
+ *
+ * Objects preserve insertion order. Numbers keep their original
+ * flavour (Uint / Int / Double) so integer counters are emitted and
+ * re-parsed without any floating-point rounding.
+ */
+class Json
+{
+  public:
+    enum class Type
+    {
+        Null,
+        Bool,
+        Uint,
+        Int,
+        Double,
+        String,
+        Array,
+        Object,
+    };
+
+    /** @name Constructors (one per JSON flavour)
+     * @{
+     */
+    Json() : type_(Type::Null) {}
+    Json(bool b) : type_(Type::Bool), bool_(b) {}
+    Json(std::uint64_t v) : type_(Type::Uint), uint_(v) {}
+    Json(std::int64_t v) : type_(Type::Int), int_(v) {}
+    Json(int v) : type_(Type::Int), int_(v) {}
+    Json(unsigned v) : type_(Type::Uint), uint_(v) {}
+    Json(double v) : type_(Type::Double), double_(v) {}
+    Json(std::string s) : type_(Type::String), str_(std::move(s)) {}
+    Json(const char *s) : type_(Type::String), str_(s) {}
+
+    /** @return an empty array value. */
+    static Json array();
+    /** @return an empty object value. */
+    static Json object();
+    /** @} */
+
+    Type type() const { return type_; }
+    bool isNull() const { return type_ == Type::Null; }
+    bool isBool() const { return type_ == Type::Bool; }
+    bool isString() const { return type_ == Type::String; }
+    bool isArray() const { return type_ == Type::Array; }
+    bool isObject() const { return type_ == Type::Object; }
+
+    /** @return true for any numeric flavour. */
+    bool
+    isNumber() const
+    {
+        return type_ == Type::Uint || type_ == Type::Int ||
+            type_ == Type::Double;
+    }
+
+    /** @name Scalar accessors (panic on type mismatch)
+     * @{
+     */
+    bool asBool() const;
+    std::uint64_t asUint() const;
+    std::int64_t asInt() const;
+    double asDouble() const;
+    const std::string &asString() const;
+    /** @} */
+
+    /** @name Array interface
+     * @{
+     */
+    /** Append @p v; panics unless this is an array. */
+    Json &push(Json v);
+    /** Element count of an array or object (0 otherwise). */
+    std::size_t size() const;
+    /** @return array element @p i (panics if out of range). */
+    const Json &at(std::size_t i) const;
+    /** @} */
+
+    /** @name Object interface
+     * @{
+     */
+    /** Set member @p key (insertion-ordered; replaces an existing
+     * member in place). Panics unless this is an object. */
+    Json &set(const std::string &key, Json v);
+    /** @return true if object member @p key exists. */
+    bool has(const std::string &key) const;
+    /** @return member @p key (panics if missing). */
+    const Json &operator[](const std::string &key) const;
+    /** Object members in insertion order. */
+    const std::vector<std::pair<std::string, Json>> &members() const;
+    /** @} */
+
+    /**
+     * Serialize.
+     * @param indent Spaces per nesting level; 0 yields a compact
+     * single-line form.
+     */
+    std::string dump(int indent = 0) const;
+
+    /**
+     * Parse @p text.
+     * @param error Receives a diagnostic on failure (optional).
+     * @return the parsed value, or a Null value with *error set.
+     */
+    static Json parse(const std::string &text,
+                      std::string *error = nullptr);
+
+    /** Structural equality (numeric flavours compare by value). */
+    bool operator==(const Json &other) const;
+    bool operator!=(const Json &other) const { return !(*this == other); }
+
+  private:
+    void dumpTo(std::string &out, int indent, int depth) const;
+
+    Type type_ = Type::Null;
+    bool bool_ = false;
+    std::uint64_t uint_ = 0;
+    std::int64_t int_ = 0;
+    double double_ = 0.0;
+    std::string str_;
+    std::vector<Json> arr_;
+    std::vector<std::pair<std::string, Json>> obj_;
+};
+
+/** Write @p v (pretty-printed) to @p path; fatal() on I/O failure. */
+void writeJsonFile(const std::string &path, const Json &v);
+
+} // namespace hard
+
+#endif // HARD_COMMON_JSON_HH

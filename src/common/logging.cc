@@ -1,5 +1,6 @@
 #include "logging.hh"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <vector>
@@ -9,7 +10,8 @@ namespace hard
 
 namespace
 {
-bool quietFlag = false;
+// Atomic: read by pool workers while the main thread may toggle it.
+std::atomic<bool> quietFlag{false};
 } // namespace
 
 void

@@ -1,0 +1,302 @@
+#include "harness/batch.hh"
+
+#include <memory>
+
+#include "common/logging.hh"
+
+namespace hard
+{
+
+EffectivenessRun
+runEffectivenessUnit(const std::string &workload, const WorkloadParams &wp,
+                     const SimConfig &sim, const DetectorFactory &factory,
+                     unsigned index, unsigned num_runs,
+                     std::uint64_t seed0, const SharedMap &shared)
+{
+    EffectivenessRun out;
+    out.index = index;
+    out.raceFree = index >= num_runs;
+
+    Program prog = buildWorkload(workload, wp);
+
+    Injection inj;
+    std::set<SiteId> true_sites;
+    if (!out.raceFree) {
+        inj = injectRace(prog, seed0 + index, &shared);
+        if (!inj.valid) {
+            warn("%s: run %u: no injectable critical section",
+                 workload.c_str(), index);
+            return out;
+        }
+        out.injectionValid = true;
+        true_sites = sitesTouching(prog, inj);
+    }
+
+    auto detectors = factory();
+    std::vector<RaceDetector *> raw;
+    raw.reserve(detectors.size());
+    for (auto &d : detectors)
+        raw.push_back(d.get());
+    runWithDetectors(prog, sim, raw);
+
+    for (auto &d : detectors) {
+        RunOutcome &o = out.byDetector[d->name()];
+        if (!out.raceFree)
+            o.detected = detectedInjection(d->sink(), inj, true_sites);
+        o.sites = d->sink().sites();
+        o.dynamicReports = d->sink().dynamicCount();
+    }
+    return out;
+}
+
+EffectivenessResult
+foldEffectiveness(const std::vector<EffectivenessRun> &runs)
+{
+    EffectivenessResult result;
+    for (const EffectivenessRun &run : runs) {
+        if (run.raceFree) {
+            for (const auto &[name, o] : run.byDetector) {
+                DetectorScore &score = result[name];
+                score.falseAlarms = o.sites.size();
+                score.dynamicReports = o.dynamicReports;
+            }
+        } else {
+            if (!run.injectionValid)
+                continue;
+            for (const auto &[name, o] : run.byDetector) {
+                DetectorScore &score = result[name];
+                ++score.runsAttempted;
+                if (o.detected)
+                    ++score.bugsDetected;
+            }
+        }
+    }
+    return result;
+}
+
+EffectivenessResult
+runEffectivenessParallel(const std::string &workload,
+                         const WorkloadParams &wp, const SimConfig &sim,
+                         const DetectorFactory &factory, unsigned num_runs,
+                         std::uint64_t seed0, RunPool &pool)
+{
+    hard_fatal_if(sim.hardTiming.enabled,
+                  "effectiveness runs must not enable the HARD timing "
+                  "model (all detectors must see identical executions)");
+
+    // Shared-data map (computed once; injection does not change the
+    // access set, only the locking).
+    const SharedMap shared(buildWorkload(workload, wp));
+
+    std::vector<EffectivenessRun> runs(num_runs + 1);
+    pool.runIndexed(num_runs + 1, [&](std::size_t i) {
+        runs[i] = runEffectivenessUnit(workload, wp, sim, factory,
+                                       static_cast<unsigned>(i), num_runs,
+                                       seed0, shared);
+    });
+    return foldEffectiveness(runs);
+}
+
+std::vector<BatchItemResult>
+runBatch(const std::vector<BatchItem> &items, RunPool &pool)
+{
+    for (const BatchItem &item : items) {
+        hard_fatal_if(item.effectiveness && !item.factory,
+                      "batch item '%s' has no detector factory",
+                      item.workload.c_str());
+        hard_fatal_if(item.effectiveness && item.sim.hardTiming.enabled,
+                      "effectiveness runs must not enable the HARD "
+                      "timing model (all detectors must see identical "
+                      "executions)");
+    }
+
+    std::vector<BatchItemResult> results(items.size());
+    for (std::size_t i = 0; i < items.size(); ++i) {
+        results[i].label = items[i].label.empty() ? items[i].workload
+                                                  : items[i].label;
+        results[i].workload = items[i].workload;
+        results[i].runs = items[i].runs;
+        results[i].seed0 = items[i].seed0;
+        if (items[i].effectiveness)
+            results[i].runDetail.resize(items[i].runs + 1);
+    }
+
+    // Phase 1: shared-data maps, one per effectiveness item (each is
+    // itself a workload build + scan, so worth parallelizing).
+    std::vector<std::unique_ptr<SharedMap>> shared(items.size());
+    std::vector<std::size_t> eff_items;
+    for (std::size_t i = 0; i < items.size(); ++i)
+        if (items[i].effectiveness)
+            eff_items.push_back(i);
+    pool.runIndexed(eff_items.size(), [&](std::size_t k) {
+        std::size_t i = eff_items[k];
+        shared[i] = std::make_unique<SharedMap>(
+            buildWorkload(items[i].workload, items[i].wp));
+    });
+
+    // Phase 2: flatten every independent run unit and fan out. Each
+    // unit writes only its preallocated slot, so merged results are
+    // ordered by (item, run index) no matter which worker finishes
+    // first.
+    struct Unit
+    {
+        std::size_t item;
+        bool isOverhead;
+        unsigned runIndex;
+    };
+    std::vector<Unit> units;
+    for (std::size_t i = 0; i < items.size(); ++i) {
+        if (items[i].effectiveness)
+            for (unsigned r = 0; r <= items[i].runs; ++r)
+                units.push_back({i, false, r});
+        if (items[i].overhead)
+            units.push_back({i, true, 0});
+    }
+    pool.runIndexed(units.size(), [&](std::size_t u) {
+        const Unit &unit = units[u];
+        const BatchItem &item = items[unit.item];
+        BatchItemResult &res = results[unit.item];
+        if (unit.isOverhead) {
+            res.overhead = item.directory
+                ? measureOverheadDirectory(item.workload, item.wp,
+                                           item.sim, item.hardCfg)
+                : measureOverhead(item.workload, item.wp, item.sim,
+                                  item.hardCfg);
+            res.haveOverhead = true;
+        } else {
+            res.runDetail[unit.runIndex] = runEffectivenessUnit(
+                item.workload, item.wp, item.sim, item.factory,
+                unit.runIndex, item.runs, item.seed0,
+                *shared[unit.item]);
+        }
+    });
+
+    // Phase 3: fold per-run outcomes in run-index order.
+    for (std::size_t i = 0; i < items.size(); ++i)
+        if (items[i].effectiveness)
+            results[i].effectiveness =
+                foldEffectiveness(results[i].runDetail);
+
+    return results;
+}
+
+Json
+toJson(const DetectorScore &score)
+{
+    Json j = Json::object();
+    j.set("bugsDetected", score.bugsDetected);
+    j.set("runsAttempted", score.runsAttempted);
+    j.set("falseAlarms", static_cast<std::uint64_t>(score.falseAlarms));
+    j.set("dynamicReports", score.dynamicReports);
+    return j;
+}
+
+DetectorScore
+detectorScoreFromJson(const Json &j)
+{
+    DetectorScore s;
+    s.bugsDetected = static_cast<unsigned>(j["bugsDetected"].asUint());
+    s.runsAttempted = static_cast<unsigned>(j["runsAttempted"].asUint());
+    s.falseAlarms = static_cast<std::size_t>(j["falseAlarms"].asUint());
+    s.dynamicReports = j["dynamicReports"].asUint();
+    return s;
+}
+
+Json
+toJson(const OverheadResult &overhead)
+{
+    Json j = Json::object();
+    j.set("baseCycles", overhead.baseCycles);
+    j.set("hardCycles", overhead.hardCycles);
+    j.set("overheadPct", overhead.overheadPct);
+    j.set("metaBroadcasts", overhead.metaBroadcasts);
+    j.set("dataBytes", overhead.dataBytes);
+    j.set("metaBytes", overhead.metaBytes);
+    return j;
+}
+
+OverheadResult
+overheadFromJson(const Json &j)
+{
+    OverheadResult o;
+    o.baseCycles = j["baseCycles"].asUint();
+    o.hardCycles = j["hardCycles"].asUint();
+    o.overheadPct = j["overheadPct"].asDouble();
+    o.metaBroadcasts = j["metaBroadcasts"].asUint();
+    o.dataBytes = j["dataBytes"].asUint();
+    o.metaBytes = j["metaBytes"].asUint();
+    return o;
+}
+
+Json
+toJson(const EffectivenessResult &result)
+{
+    Json j = Json::object();
+    for (const auto &[name, score] : result)
+        j.set(name, toJson(score));
+    return j;
+}
+
+EffectivenessResult
+effectivenessFromJson(const Json &j)
+{
+    EffectivenessResult result;
+    for (const auto &[name, score] : j.members())
+        result[name] = detectorScoreFromJson(score);
+    return result;
+}
+
+Json
+toJson(const EffectivenessRun &run)
+{
+    Json j = Json::object();
+    j.set("index", run.index);
+    j.set("raceFree", run.raceFree);
+    j.set("injectionValid", run.injectionValid);
+    Json dets = Json::object();
+    for (const auto &[name, o] : run.byDetector) {
+        Json d = Json::object();
+        if (!run.raceFree)
+            d.set("detected", o.detected);
+        Json sites = Json::array();
+        for (SiteId s : o.sites)
+            sites.push(static_cast<std::uint64_t>(s));
+        d.set("sites", std::move(sites));
+        d.set("dynamicReports", o.dynamicReports);
+        dets.set(name, std::move(d));
+    }
+    j.set("detectors", std::move(dets));
+    return j;
+}
+
+Json
+batchJson(const std::vector<BatchItemResult> &results, unsigned jobs)
+{
+    Json doc = Json::object();
+    doc.set("schema", "hard.batch.v1");
+    doc.set("jobs", jobs);
+    Json items = Json::array();
+    for (const BatchItemResult &res : results) {
+        Json item = Json::object();
+        item.set("label", res.label);
+        item.set("workload", res.workload);
+        if (!res.runDetail.empty()) {
+            item.set("runs", res.runs);
+            item.set("seed0", res.seed0);
+            Json eff = Json::object();
+            eff.set("aggregate", toJson(res.effectiveness));
+            Json per_run = Json::array();
+            for (const EffectivenessRun &run : res.runDetail)
+                per_run.push(toJson(run));
+            eff.set("perRun", std::move(per_run));
+            item.set("effectiveness", std::move(eff));
+        }
+        if (res.haveOverhead)
+            item.set("overhead", toJson(res.overhead));
+        items.push(std::move(item));
+    }
+    doc.set("items", std::move(items));
+    return doc;
+}
+
+} // namespace hard

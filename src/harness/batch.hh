@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Parallel batch-experiment driver.
+ *
+ * The paper's evaluation is a large sweep — 6 workloads x ~10
+ * injected-race runs x several detector configurations — in which
+ * every (workload, seed, detector-set) run is fully independent: each
+ * gets its own Program, System, RNG stream (seed0 + r, identical to
+ * the serial harness) and freshly constructed detectors. This driver
+ * decomposes runEffectiveness()/measureOverhead() sweeps into such
+ * run units, fans them out across a RunPool, and folds the results
+ * back *in run-index order*, so the merged EffectivenessResult /
+ * OverheadResult values are bit-identical to the serial harness
+ * regardless of worker count or completion order
+ * (tests/test_batch_equivalence.cc locks this down).
+ */
+
+#ifndef HARD_HARNESS_BATCH_HH
+#define HARD_HARNESS_BATCH_HH
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/json.hh"
+#include "harness/experiment.hh"
+#include "harness/run_pool.hh"
+
+namespace hard
+{
+
+/** Outcome of one detector on one effectiveness run unit. */
+struct RunOutcome
+{
+    /** Injected runs: did the detector find the injected bug? */
+    bool detected = false;
+    /** Distinct source sites reported in this run. */
+    std::set<SiteId> sites;
+    /** Dynamic (pre-deduplication) report count in this run. */
+    std::uint64_t dynamicReports = 0;
+};
+
+/**
+ * One effectiveness run unit: injected run r (index == r < numRuns,
+ * seeded with seed0 + r) or the final race-free run
+ * (index == numRuns).
+ */
+struct EffectivenessRun
+{
+    unsigned index = 0;
+    bool raceFree = false;
+    /** False when no injectable critical section was found. */
+    bool injectionValid = false;
+    std::map<std::string, RunOutcome> byDetector;
+};
+
+/**
+ * Execute one effectiveness run unit. Deterministic in its arguments
+ * and free of shared mutable state, so units may run on any thread.
+ *
+ * @param index Run index; index == num_runs selects the race-free run.
+ * @param shared Precomputed shared-data map for @p workload / @p wp.
+ */
+EffectivenessRun runEffectivenessUnit(const std::string &workload,
+                                      const WorkloadParams &wp,
+                                      const SimConfig &sim,
+                                      const DetectorFactory &factory,
+                                      unsigned index, unsigned num_runs,
+                                      std::uint64_t seed0,
+                                      const SharedMap &shared);
+
+/**
+ * Fold per-run outcomes (in run-index order) into the aggregate
+ * per-detector scores, exactly as the serial harness accumulates them.
+ */
+EffectivenessResult
+foldEffectiveness(const std::vector<EffectivenessRun> &runs);
+
+/**
+ * Parallel runEffectiveness: identical semantics and results to the
+ * serial harness entry point, with the num_runs + 1 run units spread
+ * across @p pool.
+ */
+EffectivenessResult runEffectivenessParallel(const std::string &workload,
+                                             const WorkloadParams &wp,
+                                             const SimConfig &sim,
+                                             const DetectorFactory &factory,
+                                             unsigned num_runs,
+                                             std::uint64_t seed0,
+                                             RunPool &pool);
+
+/** One batch row: a workload swept under one detector family. */
+struct BatchItem
+{
+    /** Row label in results/JSON; defaults to @ref workload if empty. */
+    std::string label;
+    std::string workload;
+    WorkloadParams wp;
+    SimConfig sim;
+    /** Detector set builder; required when @ref effectiveness. */
+    DetectorFactory factory;
+    /** Injected-bug runs (paper: 10). */
+    unsigned runs = 10;
+    /** Base injection seed; run r uses seed0 + r. */
+    std::uint64_t seed0 = 1000;
+    /** Run the Table 2-style effectiveness experiment. */
+    bool effectiveness = true;
+    /** Also measure Figure 8-style overhead. */
+    bool overhead = false;
+    /** Overhead variant: §3.4 directory metadata management. */
+    bool directory = false;
+    /** HARD configuration for the overhead measurement. */
+    HardConfig hardCfg;
+};
+
+/** Results for one BatchItem, merged in run-index order. */
+struct BatchItemResult
+{
+    std::string label;
+    std::string workload;
+    unsigned runs = 0;
+    std::uint64_t seed0 = 0;
+
+    /** Aggregate scores (empty unless item.effectiveness). */
+    EffectivenessResult effectiveness;
+    /** Per-run detail, indexed 0..runs (runs == the race-free run). */
+    std::vector<EffectivenessRun> runDetail;
+
+    bool haveOverhead = false;
+    OverheadResult overhead;
+};
+
+/**
+ * Run every item's independent units (effectiveness run units and
+ * overhead measurements) across @p pool and return results in item
+ * order. Results are bit-identical for any pool size.
+ */
+std::vector<BatchItemResult> runBatch(const std::vector<BatchItem> &items,
+                                      RunPool &pool);
+
+/** @name JSON conversion (structured results for archiving/diffing)
+ * @{
+ */
+Json toJson(const DetectorScore &score);
+Json toJson(const OverheadResult &overhead);
+Json toJson(const EffectivenessResult &result);
+Json toJson(const EffectivenessRun &run);
+
+DetectorScore detectorScoreFromJson(const Json &j);
+OverheadResult overheadFromJson(const Json &j);
+EffectivenessResult effectivenessFromJson(const Json &j);
+
+/**
+ * Whole-batch document: schema tag, worker count, and one entry per
+ * item with aggregate scores, per-run detail and overhead numbers.
+ */
+Json batchJson(const std::vector<BatchItemResult> &results,
+               unsigned jobs);
+/** @} */
+
+} // namespace hard
+
+#endif // HARD_HARNESS_BATCH_HH

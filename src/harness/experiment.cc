@@ -1,6 +1,8 @@
 #include "harness/experiment.hh"
 
 #include "common/logging.hh"
+#include "harness/batch.hh"
+#include "harness/run_pool.hh"
 
 namespace hard
 {
@@ -58,57 +60,11 @@ runEffectiveness(const std::string &workload, const WorkloadParams &wp,
                  const SimConfig &sim, const DetectorFactory &factory,
                  unsigned num_runs, std::uint64_t seed0)
 {
-    hard_fatal_if(sim.hardTiming.enabled,
-                  "effectiveness runs must not enable the HARD timing "
-                  "model (all detectors must see identical executions)");
-
-    EffectivenessResult result;
-
-    // Shared-data map (computed once; injection does not change the
-    // access set, only the locking).
-    const SharedMap shared(buildWorkload(workload, wp));
-
-    // Injected-bug runs.
-    for (unsigned r = 0; r < num_runs; ++r) {
-        Program prog = buildWorkload(workload, wp);
-        Injection inj = injectRace(prog, seed0 + r, &shared);
-        if (!inj.valid) {
-            warn("%s: run %u: no injectable critical section",
-                 workload.c_str(), r);
-            continue;
-        }
-        auto detectors = factory();
-        std::vector<RaceDetector *> raw;
-        raw.reserve(detectors.size());
-        for (auto &d : detectors)
-            raw.push_back(d.get());
-        std::set<SiteId> true_sites = sitesTouching(prog, inj);
-        runWithDetectors(prog, sim, raw);
-        for (auto &d : detectors) {
-            DetectorScore &score = result[d->name()];
-            ++score.runsAttempted;
-            if (detectedInjection(d->sink(), inj, true_sites))
-                ++score.bugsDetected;
-        }
-    }
-
-    // Race-free run for false alarms.
-    {
-        Program prog = buildWorkload(workload, wp);
-        auto detectors = factory();
-        std::vector<RaceDetector *> raw;
-        raw.reserve(detectors.size());
-        for (auto &d : detectors)
-            raw.push_back(d.get());
-        runWithDetectors(prog, sim, raw);
-        for (auto &d : detectors) {
-            DetectorScore &score = result[d->name()];
-            score.falseAlarms = d->sink().distinctSiteCount();
-            score.dynamicReports = d->sink().dynamicCount();
-        }
-    }
-
-    return result;
+    // The serial path is the parallel path at jobs == 1: the same
+    // per-run units executed inline in run-index order (see batch.hh).
+    RunPool serial(1);
+    return runEffectivenessParallel(workload, wp, sim, factory, num_runs,
+                                    seed0, serial);
 }
 
 OverheadResult

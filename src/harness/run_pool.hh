@@ -1,0 +1,102 @@
+/**
+ * @file
+ * A small fixed-size worker pool for fanning out independent
+ * simulation runs.
+ *
+ * Every unit of experiment work in this repository (one System run
+ * with its own Program, RNG stream and detector set) is fully
+ * independent of every other, so the batch driver can execute them in
+ * any order on any thread — provided the *merge* of their results is
+ * deterministic. RunPool therefore exposes an indexed-batch interface:
+ * tasks are identified by their index, workers pull indices from a
+ * shared atomic cursor (cheap work stealing), and the caller receives
+ * results/exceptions keyed by index so merged output never depends on
+ * completion order.
+ *
+ * Guarantees:
+ *  - jobs == 1 degenerates to inline serial execution on the calling
+ *    thread, in index order, with no threads created;
+ *  - an exception thrown by a task is rethrown to the caller after the
+ *    whole batch has drained (workers never die mid-batch); when
+ *    several tasks throw, the lowest task index wins, deterministically;
+ *  - an empty batch returns immediately;
+ *  - the pool is reusable for any number of batches.
+ */
+
+#ifndef HARD_HARNESS_RUN_POOL_HH
+#define HARD_HARNESS_RUN_POOL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace hard
+{
+
+/** Fixed-size pool executing indexed batches of independent tasks. */
+class RunPool
+{
+  public:
+    /**
+     * @param jobs Worker count; 0 selects defaultJobs(). With jobs == 1
+     * no threads are created and batches run inline on the caller.
+     */
+    explicit RunPool(unsigned jobs = 0);
+
+    /** Joins all workers (any in-flight batch completes first). */
+    ~RunPool();
+
+    RunPool(const RunPool &) = delete;
+    RunPool &operator=(const RunPool &) = delete;
+
+    /** @return the configured degree of parallelism (>= 1). */
+    unsigned jobs() const { return jobs_; }
+
+    /**
+     * Execute fn(0) .. fn(count - 1) across the workers and block
+     * until all complete. Rethrows the lowest-index task exception
+     * (if any) once the batch has fully drained.
+     */
+    void runIndexed(std::size_t count,
+                    const std::function<void(std::size_t)> &fn);
+
+    /**
+     * Map an index range through @p fn, collecting results in index
+     * order (never completion order). T must be default-constructible.
+     */
+    template <typename T>
+    std::vector<T>
+    map(std::size_t count, const std::function<T(std::size_t)> &fn)
+    {
+        std::vector<T> out(count);
+        runIndexed(count,
+                   [&](std::size_t i) { out[i] = fn(i); });
+        return out;
+    }
+
+    /** @return the host's hardware concurrency (at least 1). */
+    static unsigned defaultJobs();
+
+  private:
+    /** State of the batch currently being drained (nullptr if idle). */
+    struct Batch;
+
+    void workerLoop();
+
+    const unsigned jobs_;
+    std::vector<std::thread> workers_;
+
+    std::mutex callerMu_; // serializes concurrent runIndexed callers
+    std::mutex mu_;
+    std::condition_variable wake_; // workers wait for a batch / stop
+    std::condition_variable done_; // caller waits for batch drain
+    Batch *batch_ = nullptr;       // owned by runIndexed's frame
+    bool stop_ = false;
+};
+
+} // namespace hard
+
+#endif // HARD_HARNESS_RUN_POOL_HH

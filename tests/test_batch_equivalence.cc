@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Regression tests proving the parallel batch runner is *bit-identical*
+ * to the serial experiment harness: same aggregate EffectivenessResult,
+ * same per-run detection outcomes and ReportSink site sets, same
+ * OverheadResult — for any worker count, on every attempt.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/batch.hh"
+#include "harness/experiment.hh"
+#include "harness/run_pool.hh"
+
+namespace hard
+{
+namespace
+{
+
+WorkloadParams
+tinyParams()
+{
+    WorkloadParams p;
+    p.scale = 0.04;
+    return p;
+}
+
+void
+expectSameScores(const EffectivenessResult &serial,
+                 const EffectivenessResult &parallel,
+                 const std::string &what)
+{
+    ASSERT_EQ(serial.size(), parallel.size()) << what;
+    for (const auto &[name, s] : serial) {
+        ASSERT_TRUE(parallel.count(name)) << what << ": " << name;
+        const DetectorScore &p = parallel.at(name);
+        EXPECT_EQ(s.bugsDetected, p.bugsDetected) << what << ": " << name;
+        EXPECT_EQ(s.runsAttempted, p.runsAttempted)
+            << what << ": " << name;
+        EXPECT_EQ(s.falseAlarms, p.falseAlarms) << what << ": " << name;
+        EXPECT_EQ(s.dynamicReports, p.dynamicReports)
+            << what << ": " << name;
+    }
+}
+
+void
+expectSameRunDetail(const std::vector<EffectivenessRun> &a,
+                    const std::vector<EffectivenessRun> &b,
+                    const std::string &what)
+{
+    ASSERT_EQ(a.size(), b.size()) << what;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        SCOPED_TRACE(what + ": run " + std::to_string(i));
+        EXPECT_EQ(a[i].index, b[i].index);
+        EXPECT_EQ(a[i].raceFree, b[i].raceFree);
+        EXPECT_EQ(a[i].injectionValid, b[i].injectionValid);
+        ASSERT_EQ(a[i].byDetector.size(), b[i].byDetector.size());
+        for (const auto &[name, oa] : a[i].byDetector) {
+            SCOPED_TRACE(name);
+            ASSERT_TRUE(b[i].byDetector.count(name));
+            const RunOutcome &ob = b[i].byDetector.at(name);
+            EXPECT_EQ(oa.detected, ob.detected);
+            // The paper's key per-run artifact: the exact set of
+            // distinct source sites each detector reported.
+            EXPECT_EQ(oa.sites, ob.sites);
+            EXPECT_EQ(oa.dynamicReports, ob.dynamicReports);
+        }
+    }
+}
+
+TEST(BatchEquivalence, ParallelEffectivenessMatchesSerialBarnes)
+{
+    EffectivenessResult serial =
+        runEffectiveness("barnes", tinyParams(), defaultSimConfig(),
+                         table2Detectors(), 3, 500);
+    RunPool pool(4);
+    EffectivenessResult parallel = runEffectivenessParallel(
+        "barnes", tinyParams(), defaultSimConfig(), table2Detectors(), 3,
+        500, pool);
+    expectSameScores(serial, parallel, "barnes");
+}
+
+TEST(BatchEquivalence, ParallelEffectivenessMatchesSerialWater)
+{
+    EffectivenessResult serial =
+        runEffectiveness("water-nsquared", tinyParams(),
+                         defaultSimConfig(), table2Detectors(), 3, 900);
+    RunPool pool(4);
+    EffectivenessResult parallel = runEffectivenessParallel(
+        "water-nsquared", tinyParams(), defaultSimConfig(),
+        table2Detectors(), 3, 900, pool);
+    expectSameScores(serial, parallel, "water-nsquared");
+}
+
+TEST(BatchEquivalence, RunDetailIdenticalAcrossWorkerCounts)
+{
+    auto makeItems = [] {
+        std::vector<BatchItem> items;
+        for (const char *app : {"barnes", "water-nsquared"}) {
+            BatchItem item;
+            item.workload = app;
+            item.wp = tinyParams();
+            item.sim = defaultSimConfig();
+            item.factory = table2Detectors();
+            item.runs = 3;
+            item.seed0 = 500;
+            items.push_back(std::move(item));
+        }
+        return items;
+    };
+
+    RunPool serial_pool(1);
+    RunPool parallel_pool(4);
+    std::vector<BatchItemResult> serial =
+        runBatch(makeItems(), serial_pool);
+    std::vector<BatchItemResult> parallel =
+        runBatch(makeItems(), parallel_pool);
+
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        EXPECT_EQ(serial[i].workload, parallel[i].workload);
+        expectSameScores(serial[i].effectiveness,
+                         parallel[i].effectiveness, serial[i].workload);
+        expectSameRunDetail(serial[i].runDetail, parallel[i].runDetail,
+                            serial[i].workload);
+    }
+}
+
+TEST(BatchEquivalence, ParallelRunsAreRepeatable)
+{
+    RunPool pool(4);
+    EffectivenessResult first = runEffectivenessParallel(
+        "barnes", tinyParams(), defaultSimConfig(), table2Detectors(), 3,
+        500, pool);
+    EffectivenessResult second = runEffectivenessParallel(
+        "barnes", tinyParams(), defaultSimConfig(), table2Detectors(), 3,
+        500, pool);
+    expectSameScores(first, second, "repeat");
+}
+
+TEST(BatchEquivalence, AggregateIsFoldOfRunDetail)
+{
+    BatchItem item;
+    item.workload = "barnes";
+    item.wp = tinyParams();
+    item.sim = defaultSimConfig();
+    item.factory = table2Detectors();
+    item.runs = 3;
+    item.seed0 = 500;
+
+    RunPool pool(4);
+    std::vector<BatchItemResult> results = runBatch({item}, pool);
+    ASSERT_EQ(results.size(), 1u);
+    ASSERT_EQ(results[0].runDetail.size(), 4u); // 3 injected + race-free
+    EXPECT_TRUE(results[0].runDetail.back().raceFree);
+    expectSameScores(foldEffectiveness(results[0].runDetail),
+                     results[0].effectiveness, "fold");
+}
+
+TEST(BatchEquivalence, BatchOverheadMatchesDirectMeasurement)
+{
+    OverheadResult direct = measureOverhead(
+        "barnes", tinyParams(), defaultSimConfig(), HardConfig{});
+
+    BatchItem item;
+    item.workload = "barnes";
+    item.wp = tinyParams();
+    item.sim = defaultSimConfig();
+    item.effectiveness = false;
+    item.overhead = true;
+
+    RunPool pool(4);
+    std::vector<BatchItemResult> results = runBatch({item}, pool);
+    ASSERT_EQ(results.size(), 1u);
+    ASSERT_TRUE(results[0].haveOverhead);
+    const OverheadResult &batch = results[0].overhead;
+    EXPECT_EQ(direct.baseCycles, batch.baseCycles);
+    EXPECT_EQ(direct.hardCycles, batch.hardCycles);
+    EXPECT_EQ(direct.overheadPct, batch.overheadPct);
+    EXPECT_EQ(direct.metaBroadcasts, batch.metaBroadcasts);
+    EXPECT_EQ(direct.dataBytes, batch.dataBytes);
+    EXPECT_EQ(direct.metaBytes, batch.metaBytes);
+}
+
+TEST(BatchEquivalenceDeath, BatchRejectsHardTimingForEffectiveness)
+{
+    BatchItem item;
+    item.workload = "barnes";
+    item.wp = tinyParams();
+    item.sim = defaultSimConfig();
+    item.sim.hardTiming.enabled = true;
+    item.factory = table2Detectors();
+    item.runs = 1;
+
+    // jobs == 1: death tests fork, and worker threads would not exist
+    // in the child (validation fires before any pool use anyway).
+    RunPool pool(1);
+    EXPECT_EXIT(runBatch({item}, pool), ::testing::ExitedWithCode(1),
+                "identical executions");
+}
+
+} // namespace
+} // namespace hard

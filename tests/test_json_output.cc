@@ -1,0 +1,233 @@
+/**
+ * @file
+ * Tests for the JSON emitter: golden-format dumps, string escaping
+ * (workload/detector names with hostile characters), and exact
+ * round-tripping of DetectorScore / OverheadResult maps through
+ * dump() + parse().
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "common/json.hh"
+#include "harness/batch.hh"
+
+namespace hard
+{
+namespace
+{
+
+TEST(Json, GoldenCompactDump)
+{
+    Json j = Json::object();
+    j.set("name", "barnes");
+    j.set("runs", 10u);
+    j.set("delta", -3);
+    j.set("pct", 2.5);
+    j.set("ok", true);
+    j.set("missing", Json());
+    Json arr = Json::array();
+    arr.push(1u).push(2u).push(3u);
+    j.set("sites", std::move(arr));
+
+    EXPECT_EQ(j.dump(),
+              "{\"name\":\"barnes\",\"runs\":10,\"delta\":-3,"
+              "\"pct\":2.5,\"ok\":true,\"missing\":null,"
+              "\"sites\":[1,2,3]}");
+}
+
+TEST(Json, GoldenPrettyDump)
+{
+    Json j = Json::object();
+    j.set("a", 1u);
+    Json inner = Json::object();
+    inner.set("b", 2u);
+    j.set("o", std::move(inner));
+
+    EXPECT_EQ(j.dump(2), "{\n  \"a\": 1,\n  \"o\": {\n    \"b\": 2\n  }\n}");
+}
+
+TEST(Json, EscapesHostileStrings)
+{
+    EXPECT_EQ(jsonEscape("plain"), "plain");
+    EXPECT_EQ(jsonEscape("quo\"te"), "quo\\\"te");
+    EXPECT_EQ(jsonEscape("back\\slash"), "back\\\\slash");
+    EXPECT_EQ(jsonEscape("tab\there"), "tab\\there");
+    EXPECT_EQ(jsonEscape("new\nline"), "new\\nline");
+    EXPECT_EQ(jsonEscape(std::string("ctl\x01") + "x"), "ctl\\u0001x");
+
+    Json j(std::string("a\"b\\c\nd"));
+    EXPECT_EQ(j.dump(), "\"a\\\"b\\\\c\\nd\"");
+}
+
+TEST(Json, EscapedStringsRoundTrip)
+{
+    const std::string hostile = "wl \"quoted\"\\slash\n\ttab\x02 end";
+    Json obj = Json::object();
+    obj.set(hostile, Json(hostile));
+    Json back = Json::parse(obj.dump());
+    ASSERT_TRUE(back.isObject());
+    ASSERT_TRUE(back.has(hostile));
+    EXPECT_EQ(back[hostile].asString(), hostile);
+    EXPECT_EQ(back, obj);
+}
+
+TEST(Json, NumbersRoundTripExactly)
+{
+    Json j = Json::object();
+    j.set("big", std::uint64_t{0xFFFFFFFFFFFFFFFFull});
+    j.set("cycle", std::uint64_t{1} << 62);
+    j.set("neg", std::int64_t{-1234567890123456789});
+    j.set("pct", 0.1); // not exactly representable; %.17g round-trips
+    j.set("zero", 0.0);
+
+    Json back = Json::parse(j.dump());
+    EXPECT_EQ(back["big"].asUint(), 0xFFFFFFFFFFFFFFFFull);
+    EXPECT_EQ(back["cycle"].asUint(), std::uint64_t{1} << 62);
+    EXPECT_EQ(back["neg"].asInt(), -1234567890123456789);
+    EXPECT_EQ(back["pct"].asDouble(), 0.1);
+    EXPECT_EQ(back["zero"].asDouble(), 0.0);
+    EXPECT_EQ(back, j);
+}
+
+TEST(Json, ParseReportsErrors)
+{
+    std::string err;
+    Json j = Json::parse("{\"a\": }", &err);
+    EXPECT_TRUE(j.isNull());
+    EXPECT_FALSE(err.empty());
+
+    err.clear();
+    Json trailing = Json::parse("[1,2,3] junk", &err);
+    EXPECT_FALSE(err.empty());
+
+    err.clear();
+    Json ok = Json::parse(" [1, 2] ", &err);
+    EXPECT_TRUE(err.empty());
+    ASSERT_TRUE(ok.isArray());
+    EXPECT_EQ(ok.size(), 2u);
+}
+
+TEST(JsonOutput, DetectorScoreMapRoundTrips)
+{
+    EffectivenessResult result;
+    DetectorScore &hard = result["hard.default"];
+    hard.bugsDetected = 9;
+    hard.runsAttempted = 10;
+    hard.falseAlarms = 7;
+    hard.dynamicReports = 15324;
+    // A hostile detector name must survive escaping.
+    DetectorScore &odd = result["hb \"ideal\"\\v2"];
+    odd.bugsDetected = 8;
+    odd.runsAttempted = 10;
+    odd.falseAlarms = 0;
+    odd.dynamicReports = 0;
+
+    Json j = toJson(result);
+    Json back_json = Json::parse(j.dump(2));
+    EXPECT_EQ(back_json, j);
+
+    EffectivenessResult back = effectivenessFromJson(back_json);
+    ASSERT_EQ(back.size(), result.size());
+    for (const auto &[name, score] : result) {
+        ASSERT_TRUE(back.count(name)) << name;
+        EXPECT_EQ(back[name].bugsDetected, score.bugsDetected);
+        EXPECT_EQ(back[name].runsAttempted, score.runsAttempted);
+        EXPECT_EQ(back[name].falseAlarms, score.falseAlarms);
+        EXPECT_EQ(back[name].dynamicReports, score.dynamicReports);
+    }
+}
+
+TEST(JsonOutput, OverheadResultRoundTrips)
+{
+    OverheadResult oh;
+    oh.baseCycles = 123456789012345ull;
+    oh.hardCycles = 123464189012345ull;
+    oh.overheadPct = 0.599;
+    oh.metaBroadcasts = 421337;
+    oh.dataBytes = 987654321;
+    oh.metaBytes = 1234567;
+
+    Json back_json = Json::parse(toJson(oh).dump());
+    OverheadResult back = overheadFromJson(back_json);
+    EXPECT_EQ(back.baseCycles, oh.baseCycles);
+    EXPECT_EQ(back.hardCycles, oh.hardCycles);
+    EXPECT_EQ(back.overheadPct, oh.overheadPct);
+    EXPECT_EQ(back.metaBroadcasts, oh.metaBroadcasts);
+    EXPECT_EQ(back.dataBytes, oh.dataBytes);
+    EXPECT_EQ(back.metaBytes, oh.metaBytes);
+}
+
+TEST(JsonOutput, BatchDocumentShapeAndEscaping)
+{
+    BatchItemResult res;
+    res.label = "wl \"weird\" name";
+    res.workload = res.label;
+    res.runs = 2;
+    res.seed0 = 77;
+    res.runDetail.resize(3);
+    res.runDetail[0].index = 0;
+    res.runDetail[0].injectionValid = true;
+    res.runDetail[0].byDetector["hard"].detected = true;
+    res.runDetail[0].byDetector["hard"].sites = {3, 5, 8};
+    res.runDetail[0].byDetector["hard"].dynamicReports = 42;
+    res.runDetail[1].index = 1;
+    res.runDetail[2].index = 2;
+    res.runDetail[2].raceFree = true;
+    res.runDetail[2].byDetector["hard"].sites = {5};
+    res.runDetail[2].byDetector["hard"].dynamicReports = 9;
+    res.effectiveness = foldEffectiveness(res.runDetail);
+
+    Json doc = batchJson({res}, 4);
+    EXPECT_EQ(doc["schema"].asString(), "hard.batch.v1");
+    EXPECT_EQ(doc["jobs"].asUint(), 4u);
+    ASSERT_EQ(doc["items"].size(), 1u);
+    const Json &item = doc["items"].at(0);
+    EXPECT_EQ(item["workload"].asString(), "wl \"weird\" name");
+    EXPECT_EQ(item["runs"].asUint(), 2u);
+    EXPECT_EQ(item["seed0"].asUint(), 77u);
+
+    const Json &eff = item["effectiveness"];
+    ASSERT_EQ(eff["perRun"].size(), 3u);
+    const Json &run0 = eff["perRun"].at(0);
+    EXPECT_TRUE(run0["detectors"]["hard"]["detected"].asBool());
+    ASSERT_EQ(run0["detectors"]["hard"]["sites"].size(), 3u);
+    EXPECT_EQ(run0["detectors"]["hard"]["sites"].at(1).asUint(), 5u);
+    // The race-free run has no "detected" member.
+    EXPECT_FALSE(
+        eff["perRun"].at(2)["detectors"]["hard"].has("detected"));
+    // Aggregate: the valid injected run detected its bug.
+    EXPECT_EQ(eff["aggregate"]["hard"]["bugsDetected"].asUint(), 1u);
+    EXPECT_EQ(eff["aggregate"]["hard"]["runsAttempted"].asUint(), 1u);
+    EXPECT_EQ(eff["aggregate"]["hard"]["falseAlarms"].asUint(), 1u);
+
+    // The whole document survives a dump/parse cycle.
+    EXPECT_EQ(Json::parse(doc.dump(2)), doc);
+}
+
+TEST(JsonOutput, WriteJsonFileProducesParseableFile)
+{
+    Json j = Json::object();
+    j.set("hello", "wor\"ld");
+    j.set("n", 7u);
+
+    std::string path = ::testing::TempDir() + "hard_json_test.json";
+    writeJsonFile(path, j);
+
+    std::FILE *f = std::fopen(path.c_str(), "r");
+    ASSERT_NE(f, nullptr);
+    std::string text;
+    char buf[256];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        text.append(buf, n);
+    std::fclose(f);
+    std::remove(path.c_str());
+
+    EXPECT_EQ(Json::parse(text), j);
+    EXPECT_EQ(text.back(), '\n');
+}
+
+} // namespace
+} // namespace hard

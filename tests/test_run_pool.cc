@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Tests for the RunPool worker pool: deterministic index-ordered
+ * merging, exception propagation, serial degeneration at jobs == 1,
+ * empty-batch handling, and reuse across batches.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+
+#include "harness/run_pool.hh"
+
+namespace hard
+{
+namespace
+{
+
+TEST(RunPool, MapMergesResultsInIndexOrder)
+{
+    RunPool pool(4);
+    // Stagger task durations so completion order differs from index
+    // order; the merged vector must still be index-ordered.
+    std::vector<int> out = pool.map<int>(32, [](std::size_t i) {
+        std::this_thread::sleep_for(
+            std::chrono::microseconds((32 - i) * 50));
+        return static_cast<int>(i * i);
+    });
+    ASSERT_EQ(out.size(), 32u);
+    for (std::size_t i = 0; i < out.size(); ++i)
+        EXPECT_EQ(out[i], static_cast<int>(i * i)) << "index " << i;
+}
+
+TEST(RunPool, AllTasksRunExactlyOnce)
+{
+    RunPool pool(3);
+    std::atomic<std::uint64_t> sum{0};
+    std::vector<std::atomic<int>> hits(100);
+    pool.runIndexed(100, [&](std::size_t i) {
+        sum += i;
+        ++hits[i];
+    });
+    EXPECT_EQ(sum.load(), 99u * 100u / 2);
+    for (std::size_t i = 0; i < hits.size(); ++i)
+        EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(RunPool, WorkerExceptionPropagatesToCaller)
+{
+    RunPool pool(4);
+    std::atomic<int> completed{0};
+    try {
+        pool.runIndexed(16, [&](std::size_t i) {
+            if (i == 7)
+                throw std::runtime_error("task 7 failed");
+            ++completed;
+        });
+        FAIL() << "expected an exception";
+    } catch (const std::runtime_error &e) {
+        EXPECT_STREQ(e.what(), "task 7 failed");
+    }
+    // The batch drains fully before rethrowing: every other task ran.
+    EXPECT_EQ(completed.load(), 15);
+}
+
+TEST(RunPool, LowestIndexExceptionWinsDeterministically)
+{
+    RunPool pool(4);
+    for (int attempt = 0; attempt < 5; ++attempt) {
+        try {
+            pool.runIndexed(24, [](std::size_t i) {
+                if (i == 3 || i == 11 || i == 20)
+                    throw std::runtime_error("task " +
+                                             std::to_string(i));
+            });
+            FAIL() << "expected an exception";
+        } catch (const std::runtime_error &e) {
+            EXPECT_STREQ(e.what(), "task 3");
+        }
+    }
+}
+
+TEST(RunPool, JobsOneRunsInlineInIndexOrder)
+{
+    RunPool pool(1);
+    EXPECT_EQ(pool.jobs(), 1u);
+    std::vector<std::size_t> order;
+    std::thread::id caller = std::this_thread::get_id();
+    pool.runIndexed(10, [&](std::size_t i) {
+        // Serial degeneration: no worker threads, caller executes.
+        EXPECT_EQ(std::this_thread::get_id(), caller);
+        order.push_back(i);
+    });
+    ASSERT_EQ(order.size(), 10u);
+    for (std::size_t i = 0; i < order.size(); ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(RunPool, JobsOnePropagatesExceptionImmediately)
+{
+    RunPool pool(1);
+    std::vector<std::size_t> ran;
+    EXPECT_THROW(pool.runIndexed(8,
+                                 [&](std::size_t i) {
+                                     ran.push_back(i);
+                                     if (i == 2)
+                                         throw std::runtime_error("boom");
+                                 }),
+                 std::runtime_error);
+    // Inline execution stops at the throwing task, like a plain loop.
+    EXPECT_EQ(ran, (std::vector<std::size_t>{0, 1, 2}));
+}
+
+TEST(RunPool, EmptyBatchDoesNotDeadlock)
+{
+    RunPool pool(4);
+    for (int i = 0; i < 10; ++i) {
+        pool.runIndexed(0, [](std::size_t) {
+            FAIL() << "task ran for an empty batch";
+        });
+        std::vector<int> out =
+            pool.map<int>(0, [](std::size_t) { return 1; });
+        EXPECT_TRUE(out.empty());
+    }
+}
+
+TEST(RunPool, ReusableAcrossManyBatches)
+{
+    RunPool pool(2);
+    for (int round = 0; round < 20; ++round) {
+        std::atomic<int> count{0};
+        pool.runIndexed(static_cast<std::size_t>(round),
+                        [&](std::size_t) { ++count; });
+        EXPECT_EQ(count.load(), round);
+    }
+}
+
+TEST(RunPool, SingleTaskBatch)
+{
+    RunPool pool(8);
+    std::atomic<int> count{0};
+    pool.runIndexed(1, [&](std::size_t i) {
+        EXPECT_EQ(i, 0u);
+        ++count;
+    });
+    EXPECT_EQ(count.load(), 1);
+}
+
+TEST(RunPool, ZeroJobsSelectsHardwareDefault)
+{
+    RunPool pool(0);
+    EXPECT_GE(pool.jobs(), 1u);
+    EXPECT_EQ(pool.jobs(), RunPool::defaultJobs());
+    std::atomic<int> count{0};
+    pool.runIndexed(7, [&](std::size_t) { ++count; });
+    EXPECT_EQ(count.load(), 7);
+}
+
+TEST(RunPool, MoreWorkersThanTasks)
+{
+    RunPool pool(16);
+    std::atomic<int> count{0};
+    pool.runIndexed(3, [&](std::size_t) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        ++count;
+    });
+    EXPECT_EQ(count.load(), 3);
+}
+
+} // namespace
+} // namespace hard

@@ -5,7 +5,8 @@
  * Drives the entire library from the command line: pick a workload,
  * shape the machine (Table 1 by default), choose any combination of
  * detectors, inject a race, record or replay a trace, measure
- * overhead, and dump machine statistics.
+ * overhead, run a whole parallel experiment batch, and dump machine
+ * statistics.
  *
  * Examples:
  *   hardsim --workload=water-nsquared --detectors=hard,hb
@@ -14,6 +15,8 @@
  *   hardsim --workload=fmm --overhead [--directory]
  *   hardsim --workload=raytrace --record=/tmp/run.trc
  *   hardsim --replay=/tmp/run.trc --detectors=hard
+ *   hardsim --batch --jobs=4 --json=out.json          (Table 2 sweep)
+ *   hardsim --batch --overhead --runs=10 --json=all.json
  *   hardsim --list
  */
 
@@ -24,8 +27,10 @@
 #include <string>
 #include <vector>
 
+#include "common/table.hh"
 #include "core/hybrid.hh"
 #include "detectors/fasttrack.hh"
+#include "harness/batch.hh"
 #include "harness/experiment.hh"
 #include "trace/recorder.hh"
 #include "trace/replayer.hh"
@@ -38,6 +43,8 @@ namespace
 struct Options
 {
     std::string workload = "water-nsquared";
+    /** True once --workload= was given (batch defaults to all). */
+    bool workloadSet = false;
     std::string detectors = "hard,ideal,hb,hb-ideal";
     std::string record;
     std::string replay;
@@ -49,6 +56,13 @@ struct Options
     bool directory = false;
     bool stats = false;
     bool list = false;
+
+    // Batch mode (parallel experiment sweeps).
+    bool batch = false;
+    unsigned jobs = 0; // 0 = all hardware threads
+    unsigned runs = 10;
+    std::uint64_t batchSeed = 1000;
+    std::string jsonPath;
 
     // Machine shape (defaults = Table 1).
     unsigned cores = 4;
@@ -70,21 +84,50 @@ usage()
 {
     std::puts(
         "hardsim — HARD lockset race-detection simulator\n"
+        "\n"
+        "single run:\n"
         "  --list                    list workloads and exit\n"
-        "  --workload=<name>         workload to run\n"
-        "  --scale=<f> --seed=<n>    workload sizing / layout seed\n"
+        "  --workload=<name>         workload to run (single-run mode)\n"
+        "  --scale=<f>               workload scale factor (1.0 = paper)\n"
+        "  --seed=<n>                workload layout seed\n"
         "  --inject=<seed>           elide one dynamic lock/unlock pair\n"
         "  --detectors=<a,b,...>     hard, ideal, hb, hb-ideal, hybrid,\n"
         "                            fasttrack (or 'none')\n"
         "  --record=<file>           write the run's trace\n"
         "  --replay=<file>           analyze a trace offline instead of\n"
         "                            simulating\n"
-        "  --overhead [--directory]  Figure 8-style overhead run\n"
+        "  --overhead [--directory]  Figure 8-style overhead run (snoopy\n"
+        "                            or directory metadata management)\n"
         "  --stats                   dump machine statistics\n"
-        "  machine: --cores= --l1-kb= --l2-kb= --line-bytes= --mem-latency=\n"
-        "           --protocol=mesi|msi\n"
-        "  HARD:    --bloom-bits= --granularity= --barrier-reset=0|1\n"
-        "           --unbounded");
+        "\n"
+        "batch mode (parallel experiment sweeps):\n"
+        "  --batch                   run the Table 2-style effectiveness\n"
+        "                            sweep: per workload, --runs injected-\n"
+        "                            race runs + one race-free run, under\n"
+        "                            the --detectors set; with --overhead,\n"
+        "                            also a Figure 8 overhead row each\n"
+        "  --workload=<a,b|all>      workloads to sweep (default: all)\n"
+        "  --jobs=<n>                worker threads (default: all cores);\n"
+        "                            results are identical for any n\n"
+        "  --runs=<n>                injected-race runs per workload (10)\n"
+        "  --inject=<seed0>          base injection seed (1000); run r\n"
+        "                            injects with seed0 + r\n"
+        "  --json=<file>             write per-run + aggregate results as\n"
+        "                            JSON\n"
+        "\n"
+        "machine shape (defaults = paper Table 1):\n"
+        "  --cores=<n>               core count (4)\n"
+        "  --l1-kb=<n> --l2-kb=<n>   cache sizes (16, 1024)\n"
+        "  --line-bytes=<n>          cache line size (32)\n"
+        "  --mem-latency=<cycles>    memory latency (200)\n"
+        "  --protocol=mesi|msi       coherence protocol (mesi)\n"
+        "\n"
+        "HARD shape:\n"
+        "  --bloom-bits=<n>          BFVector width (16)\n"
+        "  --granularity=<bytes>     monitoring granularity (32)\n"
+        "  --barrier-reset=0|1       §3.5 barrier flash-reset (1)\n"
+        "  --unbounded               unlimited metadata (no L2 capacity\n"
+        "                            eviction)");
 }
 
 Options
@@ -109,6 +152,16 @@ parse(int argc, char **argv)
             o.list = true;
         } else if (eat("--workload=", v)) {
             o.workload = v;
+            o.workloadSet = true;
+        } else if (std::strcmp(a, "--batch") == 0) {
+            o.batch = true;
+        } else if (eat("--jobs=", v)) {
+            o.jobs = static_cast<unsigned>(std::atoi(v.c_str()));
+        } else if (eat("--runs=", v)) {
+            o.runs = static_cast<unsigned>(std::atoi(v.c_str()));
+            hard_fatal_if(o.runs == 0, "--runs must be positive");
+        } else if (eat("--json=", v)) {
+            o.jsonPath = v;
         } else if (eat("--detectors=", v)) {
             o.detectors = v;
         } else if (eat("--record=", v)) {
@@ -225,6 +278,111 @@ makeDetectors(const Options &o)
     return dets;
 }
 
+/**
+ * --batch: fan the (workload x run x detector-set) sweep out across a
+ * RunPool and print Table 2-style effectiveness rows (plus Figure
+ * 8-style overhead rows with --overhead), optionally dumping the full
+ * per-run results as JSON.
+ */
+int
+runBatchMode(const Options &o)
+{
+    WorkloadParams params;
+    params.scale = o.scale;
+    params.seed = o.seed;
+
+    // Workload list: explicit comma list, or every paper workload.
+    std::vector<std::string> apps;
+    if (o.workloadSet && o.workload != "all") {
+        std::stringstream ss(o.workload);
+        std::string name;
+        while (std::getline(ss, name, ','))
+            if (!name.empty())
+                apps.push_back(name);
+    } else {
+        for (const WorkloadInfo &w : allWorkloads())
+            apps.push_back(w.name);
+    }
+    hard_fatal_if(apps.empty(), "batch: no workloads selected");
+
+    DetectorFactory factory = [o] { return makeDetectors(o); };
+
+    // Stable column order = the factory's emission order.
+    std::vector<std::string> det_names;
+    for (const auto &d : factory())
+        det_names.push_back(d->name());
+    hard_fatal_if(det_names.empty(),
+                  "batch: --detectors=none leaves nothing to measure");
+
+    const std::uint64_t seed0 = o.inject ? o.injectSeed : o.batchSeed;
+
+    std::vector<BatchItem> items;
+    for (const std::string &app : apps) {
+        BatchItem item;
+        item.workload = app;
+        item.wp = params;
+        item.sim = makeSimConfig(o);
+        item.factory = factory;
+        item.runs = o.runs;
+        item.seed0 = seed0;
+        item.overhead = o.overhead;
+        item.directory = o.directory;
+        item.hardCfg = makeHardConfig(o);
+        items.push_back(std::move(item));
+    }
+
+    RunPool pool(o.jobs);
+    std::printf("batch: %zu workload(s) x (%u injected + 1 race-free) "
+                "runs x %zu detector(s) on %u worker(s), seed0=%llu\n\n",
+                apps.size(), o.runs, det_names.size(), pool.jobs(),
+                static_cast<unsigned long long>(seed0));
+    std::vector<BatchItemResult> results = runBatch(items, pool);
+
+    Table t("Batch effectiveness (bugs detected out of attempted runs; "
+            "race-free-run false alarms)");
+    std::vector<std::string> header{"Application"};
+    for (const std::string &d : det_names) {
+        header.push_back(d + " bugs");
+        header.push_back(d + " FAs");
+    }
+    t.setHeader(header);
+    for (const BatchItemResult &res : results) {
+        std::vector<std::string> row{res.label};
+        for (const std::string &d : det_names) {
+            const DetectorScore &s = res.effectiveness.at(d);
+            row.push_back(std::to_string(s.bugsDetected) + "/" +
+                          std::to_string(s.runsAttempted));
+            row.push_back(std::to_string(s.falseAlarms));
+        }
+        t.addRow(row);
+    }
+    std::fputs(t.render().c_str(), stdout);
+
+    if (o.overhead) {
+        Table oh(std::string("Batch overhead (") +
+                 (o.directory ? "directory" : "snoopy") +
+                 " metadata management)");
+        oh.setHeader({"Application", "Base cycles", "HARD cycles",
+                      "Overhead %", "Meta bytes", "Data bytes"});
+        for (const BatchItemResult &res : results) {
+            char pct[32];
+            std::snprintf(pct, sizeof(pct), "%.2f", res.overhead.overheadPct);
+            oh.addRow({res.label, std::to_string(res.overhead.baseCycles),
+                       std::to_string(res.overhead.hardCycles), pct,
+                       std::to_string(res.overhead.metaBytes),
+                       std::to_string(res.overhead.dataBytes)});
+        }
+        std::fputs("\n", stdout);
+        std::fputs(oh.render().c_str(), stdout);
+    }
+
+    if (!o.jsonPath.empty()) {
+        writeJsonFile(o.jsonPath, batchJson(results, pool.jobs()));
+        std::printf("\nresults written to %s\n", o.jsonPath.c_str());
+    }
+    return 0;
+}
+
 void
 printReports(const std::vector<std::unique_ptr<RaceDetector>> &dets,
              const std::vector<std::string> &site_names,
@@ -271,6 +429,9 @@ main(int argc, char **argv)
             std::printf("%-16s [extension] %s\n", w.name, w.description);
         return 0;
     }
+
+    if (o.batch)
+        return runBatchMode(o);
 
     WorkloadParams params;
     params.scale = o.scale;
