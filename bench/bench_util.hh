@@ -107,11 +107,11 @@ effectivenessItems(const BenchOptions &opt, const DetectorFactory &factory)
 inline void
 maybeWriteJson(const BenchOptions &opt,
                const std::vector<BatchItemResult> &results,
-               const RunPool &pool)
+               const RunPool &)
 {
     if (opt.json.empty())
         return;
-    writeJsonFile(opt.json, batchJson(results, pool.jobs()));
+    writeJsonFile(opt.json, batchJson(results));
     std::printf("results written to %s\n", opt.json.c_str());
 }
 

@@ -1,5 +1,6 @@
 #include "coherence/memsys.hh"
 
+#include "common/error.hh"
 #include "common/logging.hh"
 
 namespace hard
@@ -44,8 +45,8 @@ accessSourceName(AccessSource s)
 MemorySystem::MemorySystem(const MemSysConfig &cfg)
     : cfg_(cfg), bus_(cfg.bus), stats_("memsys")
 {
-    hard_fatal_if(cfg_.numCores == 0, "memsys: zero cores");
-    hard_fatal_if(cfg_.l1.lineBytes != cfg_.l2.lineBytes,
+    hard_throw_if(cfg_.numCores == 0, ConfigError, "memsys: zero cores");
+    hard_throw_if(cfg_.l1.lineBytes != cfg_.l2.lineBytes, ConfigError,
                   "memsys: L1/L2 line sizes differ (%u vs %u)",
                   cfg_.l1.lineBytes, cfg_.l2.lineBytes);
     for (CoreId c = 0; c < cfg_.numCores; ++c) {

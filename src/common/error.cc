@@ -1,0 +1,109 @@
+#include "common/error.hh"
+
+#include <cstdarg>
+#include <cstdio>
+
+#include "common/logging.hh"
+
+namespace hard
+{
+
+const char *
+outcomeName(SimErrorKind kind)
+{
+    switch (kind) {
+      case SimErrorKind::Config:
+      case SimErrorKind::Workload:
+        return "failed";
+      case SimErrorKind::Deadlock:
+        return "deadlock";
+      case SimErrorKind::CycleBudget:
+        return "budget_exceeded";
+    }
+    return "failed";
+}
+
+const char *
+SimError::typeName() const
+{
+    switch (kind_) {
+      case SimErrorKind::Config:
+        return "ConfigError";
+      case SimErrorKind::Workload:
+        return "WorkloadError";
+      case SimErrorKind::Deadlock:
+        return "DeadlockError";
+      case SimErrorKind::CycleBudget:
+        return "CycleBudgetError";
+    }
+    return "SimError";
+}
+
+std::string
+ThreadSnapshot::describe() const
+{
+    std::string out = errfmt("t%u %s pc=%zu/%zu", tid, status.c_str(),
+                             pc, opCount);
+    if (!heldLocks.empty()) {
+        out += " holds[";
+        for (std::size_t i = 0; i < heldLocks.size(); ++i) {
+            if (i)
+                out += ",";
+            out += errfmt("0x%llx",
+                          static_cast<unsigned long long>(heldLocks[i]));
+        }
+        out += "]";
+    }
+    if (!waitKind.empty()) {
+        out += errfmt(" awaits %s 0x%llx", waitKind.c_str(),
+                      static_cast<unsigned long long>(waitAddr));
+        if (waitSite != invalidSite)
+            out += errfmt(" (site %u)", waitSite);
+    }
+    return out;
+}
+
+std::string
+classifyException(std::exception_ptr err, std::string *typeName,
+                  std::string *message)
+{
+    if (typeName)
+        typeName->clear();
+    if (message)
+        message->clear();
+    if (!err)
+        return "ok";
+    try {
+        std::rethrow_exception(err);
+    } catch (const SimError &e) {
+        if (typeName)
+            *typeName = e.typeName();
+        if (message)
+            *message = e.what();
+        return e.outcome();
+    } catch (const std::exception &e) {
+        if (typeName)
+            *typeName = "exception";
+        if (message)
+            *message = e.what();
+        return "failed";
+    } catch (...) {
+        if (typeName)
+            *typeName = "exception";
+        if (message)
+            *message = "unknown exception";
+        return "failed";
+    }
+}
+
+std::string
+errfmt(const char *fmt, ...)
+{
+    std::va_list ap;
+    va_start(ap, fmt);
+    std::string out = vformat(fmt, ap);
+    va_end(ap);
+    return out;
+}
+
+} // namespace hard

@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Typed, recoverable simulation errors.
+ *
+ * The paper's results are aggregates over many randomly-seeded runs,
+ * so one pathological run (a bad seed, a bad configuration, a hung
+ * workload) must not destroy a whole sweep. Per-run failures therefore
+ * throw a SimError subclass carrying structured context — what went
+ * wrong, at which cycle, and (for deadlocks) a per-thread diagnostic
+ * snapshot — instead of aborting the process the way panic()/fatal()
+ * do. The batch driver catches them, classifies each run's outcome
+ * (ok | failed | deadlock | budget_exceeded) and keeps going.
+ *
+ * panic()/fatal() remain for what they were meant for: internal
+ * invariant violations and unrecoverable process-level errors.
+ */
+
+#ifndef HARD_COMMON_ERROR_HH
+#define HARD_COMMON_ERROR_HH
+
+#include <exception>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace hard
+{
+
+/** Coarse classification of a recoverable simulation error. */
+enum class SimErrorKind
+{
+    /** Invalid user/machine configuration (bad geometry, unknown
+     * workload, incompatible options). */
+    Config,
+    /** The workload program itself is malformed or misbehaves
+     * (unbalanced locks, out-of-bounds access, exit holding a lock). */
+    Workload,
+    /** The run stopped making forward progress (structural deadlock or
+     * watchdog-detected livelock/no-progress). */
+    Deadlock,
+    /** The run exceeded its cycle budget (maxCycles). */
+    CycleBudget,
+};
+
+/** @return the batch-outcome label for @p kind:
+ * "failed" | "deadlock" | "budget_exceeded". */
+const char *outcomeName(SimErrorKind kind);
+
+/**
+ * Diagnostic snapshot of one simulated thread, captured when a run is
+ * declared dead. Says what the thread was doing (pc/op index), what it
+ * holds and what it is waiting for — enough to reconstruct the wait
+ * cycle from the error message alone.
+ */
+struct ThreadSnapshot
+{
+    ThreadId tid = invalidThread;
+    /** Printable scheduler state: Ready/WaitLock/WaitBarrier/WaitSema/
+     * Done. */
+    std::string status;
+    /** Next op index in the thread's stream (its "pc"). */
+    std::size_t pc = 0;
+    /** Total ops in the stream (so pc is meaningful in isolation). */
+    std::size_t opCount = 0;
+    /** Sync object being awaited (lock word / barrier / semaphore
+     * address; invalidAddr when not waiting). */
+    Addr waitAddr = invalidAddr;
+    /** Kind of @ref waitAddr: "lock", "barrier", "sema" or "". */
+    std::string waitKind;
+    /** Source site of the blocking operation (invalidSite if none). */
+    SiteId waitSite = invalidSite;
+    /** Lock words this thread currently holds. */
+    std::vector<Addr> heldLocks;
+
+    /** One-line rendering ("t1 WaitLock pc=7/12 holds[0x...] awaits
+     * lock 0x..."). */
+    std::string describe() const;
+};
+
+/** Base class of every recoverable simulation error. */
+class SimError : public std::runtime_error
+{
+  public:
+    SimError(SimErrorKind kind, const std::string &what)
+        : std::runtime_error(what), kind_(kind)
+    {
+    }
+
+    SimErrorKind kind() const { return kind_; }
+    /** @return the batch-outcome label for this error. */
+    const char *outcome() const { return outcomeName(kind_); }
+    /** @return the error's class name ("DeadlockError", ...). */
+    const char *typeName() const;
+
+  private:
+    SimErrorKind kind_;
+};
+
+/** Invalid configuration (recoverable per run; fix the config). */
+class ConfigError : public SimError
+{
+  public:
+    explicit ConfigError(const std::string &what)
+        : SimError(SimErrorKind::Config, what)
+    {
+    }
+};
+
+/** Malformed or misbehaving workload program. */
+class WorkloadError : public SimError
+{
+  public:
+    explicit WorkloadError(const std::string &what)
+        : SimError(SimErrorKind::Workload, what)
+    {
+    }
+};
+
+/** The run exceeded its cycle budget (SimConfig::maxCycles). */
+class CycleBudgetError : public SimError
+{
+  public:
+    CycleBudgetError(const std::string &what, Cycle cycle, Cycle budget)
+        : SimError(SimErrorKind::CycleBudget, what), cycle_(cycle),
+          budget_(budget)
+    {
+    }
+
+    /** Simulated cycle at which the budget was found exceeded. */
+    Cycle cycle() const { return cycle_; }
+    /** The budget that was exceeded. */
+    Cycle budget() const { return budget_; }
+
+  private:
+    Cycle cycle_;
+    Cycle budget_;
+};
+
+/**
+ * The run stopped making forward progress: either a structural
+ * deadlock (every live thread blocked on sync that can never be
+ * signalled) or a watchdog-detected stall (no op retired for
+ * SimConfig::watchdogCycles while live threads spin/poll).
+ */
+class DeadlockError : public SimError
+{
+  public:
+    DeadlockError(const std::string &what, Cycle cycle, Cycle stalledFor,
+                  std::vector<ThreadSnapshot> threads)
+        : SimError(SimErrorKind::Deadlock, what), cycle_(cycle),
+          stalledFor_(stalledFor), threads_(std::move(threads))
+    {
+    }
+
+    /** Simulated cycle at which the run was declared dead. */
+    Cycle cycle() const { return cycle_; }
+    /** Cycles since the last retired operation (0 for structural
+     * deadlocks detected immediately). */
+    Cycle stalledFor() const { return stalledFor_; }
+    /** Per-thread diagnostic snapshot at declaration time. */
+    const std::vector<ThreadSnapshot> &threads() const { return threads_; }
+
+  private:
+    Cycle cycle_;
+    Cycle stalledFor_;
+    std::vector<ThreadSnapshot> threads_;
+};
+
+/**
+ * Classify an in-flight exception into a batch outcome label:
+ * "deadlock" / "budget_exceeded" for the dedicated errors, "failed"
+ * for every other exception. @p typeName (optional) receives the
+ * error's class name, @p message its what() text.
+ */
+std::string classifyException(std::exception_ptr err,
+                              std::string *typeName = nullptr,
+                              std::string *message = nullptr);
+
+/** printf-style formatting into a std::string (throw-site helper). */
+std::string errfmt(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Conditionally throw an error type whose constructor takes one
+ * preformatted message string.
+ */
+#define hard_throw_if(cond, ErrorType, ...)                                 \
+    do {                                                                    \
+        if (cond) {                                                         \
+            throw ErrorType(::hard::errfmt(__VA_ARGS__));                   \
+        }                                                                   \
+    } while (0)
+
+} // namespace hard
+
+#endif // HARD_COMMON_ERROR_HH

@@ -1,7 +1,9 @@
 #include "harness/batch.hh"
 
+#include <atomic>
 #include <memory>
 
+#include "common/error.hh"
 #include "common/logging.hh"
 
 namespace hard
@@ -37,7 +39,15 @@ runEffectivenessUnit(const std::string &workload, const WorkloadParams &wp,
     raw.reserve(detectors.size());
     for (auto &d : detectors)
         raw.push_back(d.get());
-    runWithDetectors(prog, sim, raw);
+
+    // Finite safety net: a batch unit must end in CycleBudgetError
+    // rather than hang the whole sweep, even with the watchdog off.
+    // The default budget is far above any legitimate run, so healthy
+    // results are unchanged.
+    SimConfig cfg = sim;
+    if (cfg.maxCycles == 0)
+        cfg.maxCycles = defaultCycleBudget(prog);
+    runWithDetectors(prog, cfg, raw);
 
     for (auto &d : detectors) {
         RunOutcome &o = out.byDetector[d->name()];
@@ -54,6 +64,8 @@ foldEffectiveness(const std::vector<EffectivenessRun> &runs)
 {
     EffectivenessResult result;
     for (const EffectivenessRun &run : runs) {
+        if (!run.ok())
+            continue; // failed/skipped units contribute nothing
         if (run.raceFree) {
             for (const auto &[name, o] : run.byDetector) {
                 DetectorScore &score = result[name];
@@ -80,7 +92,7 @@ runEffectivenessParallel(const std::string &workload,
                          const DetectorFactory &factory, unsigned num_runs,
                          std::uint64_t seed0, RunPool &pool)
 {
-    hard_fatal_if(sim.hardTiming.enabled,
+    hard_throw_if(sim.hardTiming.enabled, ConfigError,
                   "effectiveness runs must not enable the HARD timing "
                   "model (all detectors must see identical executions)");
 
@@ -97,14 +109,70 @@ runEffectivenessParallel(const std::string &workload,
     return foldEffectiveness(runs);
 }
 
+namespace
+{
+
+/** Fill one run slot from a classified failure. */
+void
+markRunFailed(EffectivenessRun &run, unsigned index, unsigned num_runs,
+              const std::string &outcome, const std::string &type,
+              const std::string &message)
+{
+    run = EffectivenessRun{};
+    run.index = index;
+    run.raceFree = index >= num_runs;
+    run.outcome = outcome;
+    run.errorType = type;
+    run.errorMessage = message;
+}
+
+/** Serialize an overhead unit's result (ok or failed) for journal
+ * and batch JSON. */
+Json
+overheadPayload(const BatchItemResult &res)
+{
+    Json j = Json::object();
+    j.set("outcome",
+          res.overheadOutcome.empty() ? "ok" : res.overheadOutcome);
+    if (res.haveOverhead) {
+        // Named: members() references the Json's own storage, and a
+        // temporary dies before the loop body under C++20 lifetimes.
+        const Json oh = toJson(res.overhead);
+        for (const auto &[k, v] : oh.members())
+            j.set(k, v);
+    } else {
+        j.set("errorType", res.overheadErrorType);
+        j.set("errorMessage", res.overheadErrorMessage);
+    }
+    return j;
+}
+
+/** Restore an overhead unit from its journal/JSON payload. */
+void
+restoreOverhead(BatchItemResult &res, const Json &payload)
+{
+    res.overheadOutcome = payload["outcome"].asString();
+    if (res.overheadOutcome == "ok") {
+        res.overhead = overheadFromJson(payload);
+        res.haveOverhead = true;
+    } else {
+        res.overheadErrorType = payload["errorType"].asString();
+        res.overheadErrorMessage = payload["errorMessage"].asString();
+    }
+}
+
+} // namespace
+
 std::vector<BatchItemResult>
-runBatch(const std::vector<BatchItem> &items, RunPool &pool)
+runBatch(const std::vector<BatchItem> &items, RunPool &pool,
+         const BatchOptions &opts)
 {
     for (const BatchItem &item : items) {
-        hard_fatal_if(item.effectiveness && !item.factory,
+        hard_throw_if(item.effectiveness && !item.factory, ConfigError,
                       "batch item '%s' has no detector factory",
                       item.workload.c_str());
-        hard_fatal_if(item.effectiveness && item.sim.hardTiming.enabled,
+        hard_throw_if(item.effectiveness && item.sim.hardTiming.enabled,
+                      ConfigError,
                       "effectiveness runs must not enable the HARD "
                       "timing model (all detectors must see identical "
                       "executions)");
@@ -117,22 +185,88 @@ runBatch(const std::vector<BatchItem> &items, RunPool &pool)
         results[i].workload = items[i].workload;
         results[i].runs = items[i].runs;
         results[i].seed0 = items[i].seed0;
+        results[i].reproBase = items[i].reproBase.empty()
+            ? "hardsim --workload=" + items[i].workload
+            : items[i].reproBase;
         if (items[i].effectiveness)
             results[i].runDetail.resize(items[i].runs + 1);
     }
 
+    // Failure budget shared by all workers. Restored failures count:
+    // resuming must not re-earn headroom the interrupted sweep spent.
+    std::atomic<unsigned> failures{0};
+
+    // Restore journaled units from a previous interrupted sweep.
+    // Units are deterministic, so a restored record — even a failed
+    // one — is exactly what re-running would produce.
+    std::vector<std::vector<bool>> restored_run(items.size());
+    std::vector<bool> restored_overhead(items.size(), false);
+    for (std::size_t i = 0; i < items.size(); ++i)
+        restored_run[i].assign(items[i].runs + 1, false);
+    if (opts.restored != nullptr) {
+        for (const auto &[key, payload] : *opts.restored) {
+            const auto [i, r] = key;
+            if (i >= items.size())
+                continue;
+            if (r == -1 && items[i].overhead) {
+                restoreOverhead(results[i], payload);
+                restored_overhead[i] = true;
+                if (results[i].overheadOutcome != "ok")
+                    ++failures;
+            } else if (r >= 0 && items[i].effectiveness &&
+                       r <= static_cast<std::int64_t>(items[i].runs)) {
+                EffectivenessRun run = effectivenessRunFromJson(payload);
+                results[i].runDetail[static_cast<std::size_t>(r)] = run;
+                restored_run[i][static_cast<std::size_t>(r)] = true;
+                if (!run.ok())
+                    ++failures;
+            }
+        }
+    }
+
     // Phase 1: shared-data maps, one per effectiveness item (each is
-    // itself a workload build + scan, so worth parallelizing).
+    // itself a workload build + scan, so worth parallelizing). A map
+    // that fails to build (bad workload name, malformed program)
+    // fails every one of the item's runs identically; under
+    // keep-going those runs are recorded and journaled as failed.
     std::vector<std::unique_ptr<SharedMap>> shared(items.size());
     std::vector<std::size_t> eff_items;
-    for (std::size_t i = 0; i < items.size(); ++i)
-        if (items[i].effectiveness)
+    for (std::size_t i = 0; i < items.size(); ++i) {
+        if (!items[i].effectiveness)
+            continue;
+        bool all_restored = true;
+        for (bool r : restored_run[i])
+            all_restored = all_restored && r;
+        if (!all_restored)
             eff_items.push_back(i);
-    pool.runIndexed(eff_items.size(), [&](std::size_t k) {
+    }
+    std::vector<std::exception_ptr> shared_errs =
+        pool.runCollect(eff_items.size(), [&](std::size_t k) {
+            std::size_t i = eff_items[k];
+            shared[i] = std::make_unique<SharedMap>(
+                buildWorkload(items[i].workload, items[i].wp));
+        });
+    for (std::size_t k = 0; k < eff_items.size(); ++k) {
+        if (!shared_errs[k])
+            continue;
+        if (!opts.keepGoing)
+            std::rethrow_exception(shared_errs[k]);
         std::size_t i = eff_items[k];
-        shared[i] = std::make_unique<SharedMap>(
-            buildWorkload(items[i].workload, items[i].wp));
-    });
+        std::string type, message;
+        std::string outcome =
+            classifyException(shared_errs[k], &type, &message);
+        for (unsigned r = 0; r <= items[i].runs; ++r) {
+            if (restored_run[i][r])
+                continue;
+            markRunFailed(results[i].runDetail[r], r, items[i].runs,
+                          outcome, type, message);
+            ++failures;
+            if (opts.journal != nullptr)
+                opts.journal->append(
+                    {i, static_cast<std::int64_t>(r)},
+                    toJson(results[i].runDetail[r]));
+        }
+    }
 
     // Phase 2: flatten every independent run unit and fan out. Each
     // unit writes only its preallocated slot, so merged results are
@@ -141,35 +275,90 @@ runBatch(const std::vector<BatchItem> &items, RunPool &pool)
     struct Unit
     {
         std::size_t item;
-        bool isOverhead;
-        unsigned runIndex;
+        /** Run index, or -1 for the item's overhead measurement. */
+        std::int64_t run;
     };
     std::vector<Unit> units;
     for (std::size_t i = 0; i < items.size(); ++i) {
-        if (items[i].effectiveness)
+        if (items[i].effectiveness && shared[i] != nullptr)
             for (unsigned r = 0; r <= items[i].runs; ++r)
-                units.push_back({i, false, r});
-        if (items[i].overhead)
-            units.push_back({i, true, 0});
+                if (!restored_run[i][r])
+                    units.push_back(
+                        {i, static_cast<std::int64_t>(r)});
+        if (items[i].overhead && !restored_overhead[i])
+            units.push_back({i, -1});
     }
-    pool.runIndexed(units.size(), [&](std::size_t u) {
-        const Unit &unit = units[u];
-        const BatchItem &item = items[unit.item];
-        BatchItemResult &res = results[unit.item];
-        if (unit.isOverhead) {
-            res.overhead = item.directory
-                ? measureOverheadDirectory(item.workload, item.wp,
-                                           item.sim, item.hardCfg)
-                : measureOverhead(item.workload, item.wp, item.sim,
-                                  item.hardCfg);
-            res.haveOverhead = true;
-        } else {
-            res.runDetail[unit.runIndex] = runEffectivenessUnit(
-                item.workload, item.wp, item.sim, item.factory,
-                unit.runIndex, item.runs, item.seed0,
-                *shared[unit.item]);
-        }
-    });
+    std::vector<std::exception_ptr> unit_errs =
+        pool.runCollect(units.size(), [&](std::size_t u) {
+            const Unit &unit = units[u];
+            const BatchItem &item = items[unit.item];
+            BatchItemResult &res = results[unit.item];
+
+            // The hook runs outside the containment below: a throwing
+            // hook aborts the batch the way a crash would, leaving
+            // this unit un-journaled (the resume tests rely on it).
+            if (opts.unitStartHook)
+                opts.unitStartHook(unit.item, unit.run);
+
+            const bool over_budget = opts.keepGoing &&
+                opts.maxFailures != 0 &&
+                failures.load() >= opts.maxFailures;
+            std::string outcome = "ok", type, message;
+            if (over_budget) {
+                outcome = "skipped";
+            } else {
+                try {
+                    if (unit.run == -1) {
+                        res.overhead = item.directory
+                            ? measureOverheadDirectory(item.workload,
+                                                       item.wp, item.sim,
+                                                       item.hardCfg)
+                            : measureOverhead(item.workload, item.wp,
+                                              item.sim, item.hardCfg);
+                        res.haveOverhead = true;
+                    } else {
+                        res.runDetail[static_cast<std::size_t>(
+                            unit.run)] =
+                            runEffectivenessUnit(
+                                item.workload, item.wp, item.sim,
+                                item.factory,
+                                static_cast<unsigned>(unit.run),
+                                item.runs, item.seed0,
+                                *shared[unit.item]);
+                    }
+                } catch (...) {
+                    if (!opts.keepGoing)
+                        throw;
+                    outcome = classifyException(std::current_exception(),
+                                                &type, &message);
+                    ++failures;
+                }
+            }
+
+            if (unit.run == -1) {
+                res.overheadOutcome = outcome;
+                res.overheadErrorType = type;
+                res.overheadErrorMessage = message;
+            } else if (outcome != "ok") {
+                markRunFailed(
+                    res.runDetail[static_cast<std::size_t>(unit.run)],
+                    static_cast<unsigned>(unit.run), item.runs, outcome,
+                    type, message);
+            }
+            // Journal everything that actually ran; skipped units are
+            // left out so a resume executes them.
+            if (opts.journal != nullptr && outcome != "skipped") {
+                opts.journal->append(
+                    {unit.item, unit.run},
+                    unit.run == -1
+                        ? overheadPayload(res)
+                        : toJson(res.runDetail[static_cast<std::size_t>(
+                              unit.run)]));
+            }
+        });
+    for (std::exception_ptr &err : unit_errs)
+        if (err)
+            std::rethrow_exception(err);
 
     // Phase 3: fold per-run outcomes in run-index order.
     for (std::size_t i = 0; i < items.size(); ++i)
@@ -178,6 +367,23 @@ runBatch(const std::vector<BatchItem> &items, RunPool &pool)
                 foldEffectiveness(results[i].runDetail);
 
     return results;
+}
+
+std::vector<BatchItemResult>
+runBatch(const std::vector<BatchItem> &items, RunPool &pool)
+{
+    return runBatch(items, pool, BatchOptions{});
+}
+
+std::string
+reproCommand(const BatchItemResult &res, std::int64_t run)
+{
+    if (run == -1)
+        return res.reproBase + " --overhead";
+    if (run < static_cast<std::int64_t>(res.runs))
+        return res.reproBase + " --inject=" +
+            std::to_string(res.seed0 + static_cast<std::uint64_t>(run));
+    return res.reproBase; // the race-free run
 }
 
 Json
@@ -252,6 +458,11 @@ toJson(const EffectivenessRun &run)
     Json j = Json::object();
     j.set("index", run.index);
     j.set("raceFree", run.raceFree);
+    j.set("outcome", run.outcome);
+    if (!run.errorType.empty())
+        j.set("errorType", run.errorType);
+    if (!run.errorMessage.empty())
+        j.set("errorMessage", run.errorMessage);
     j.set("injectionValid", run.injectionValid);
     Json dets = Json::object();
     for (const auto &[name, o] : run.byDetector) {
@@ -269,13 +480,56 @@ toJson(const EffectivenessRun &run)
     return j;
 }
 
+EffectivenessRun
+effectivenessRunFromJson(const Json &j)
+{
+    EffectivenessRun run;
+    run.index = static_cast<unsigned>(j["index"].asUint());
+    run.raceFree = j["raceFree"].asBool();
+    run.outcome = j["outcome"].asString();
+    if (j.has("errorType"))
+        run.errorType = j["errorType"].asString();
+    if (j.has("errorMessage"))
+        run.errorMessage = j["errorMessage"].asString();
+    run.injectionValid = j["injectionValid"].asBool();
+    for (const auto &[name, d] : j["detectors"].members()) {
+        RunOutcome &o = run.byDetector[name];
+        if (d.has("detected"))
+            o.detected = d["detected"].asBool();
+        for (std::size_t i = 0; i < d["sites"].size(); ++i)
+            o.sites.insert(
+                static_cast<SiteId>(d["sites"].at(i).asUint()));
+        o.dynamicReports = d["dynamicReports"].asUint();
+    }
+    return run;
+}
+
 Json
-batchJson(const std::vector<BatchItemResult> &results, unsigned jobs)
+batchJson(const std::vector<BatchItemResult> &results)
 {
     Json doc = Json::object();
-    doc.set("schema", "hard.batch.v1");
-    doc.set("jobs", jobs);
+    doc.set("schema", "hard.batch.v2");
     Json items = Json::array();
+    Json errors = Json::array();
+
+    auto add_error = [&errors](const BatchItemResult &res,
+                               std::int64_t run,
+                               const std::string &outcome,
+                               const std::string &type,
+                               const std::string &message) {
+        Json e = Json::object();
+        e.set("label", res.label);
+        e.set("workload", res.workload);
+        e.set("unit",
+              run == -1 ? Json("overhead")
+                        : Json(static_cast<std::uint64_t>(run)));
+        e.set("outcome", outcome);
+        e.set("errorType", type);
+        e.set("errorMessage", message);
+        e.set("repro", reproCommand(res, run));
+        errors.push(std::move(e));
+    };
+
     for (const BatchItemResult &res : results) {
         Json item = Json::object();
         item.set("label", res.label);
@@ -286,16 +540,45 @@ batchJson(const std::vector<BatchItemResult> &results, unsigned jobs)
             Json eff = Json::object();
             eff.set("aggregate", toJson(res.effectiveness));
             Json per_run = Json::array();
-            for (const EffectivenessRun &run : res.runDetail)
+            for (const EffectivenessRun &run : res.runDetail) {
                 per_run.push(toJson(run));
+                if (!run.ok() && run.outcome != "skipped")
+                    add_error(res,
+                              static_cast<std::int64_t>(run.index),
+                              run.outcome, run.errorType,
+                              run.errorMessage);
+            }
             eff.set("perRun", std::move(per_run));
             item.set("effectiveness", std::move(eff));
         }
-        if (res.haveOverhead)
-            item.set("overhead", toJson(res.overhead));
+        if (res.haveOverhead || !res.overheadOutcome.empty()) {
+            Json oh = Json::object();
+            oh.set("outcome", res.overheadOutcome.empty()
+                       ? "ok"
+                       : res.overheadOutcome);
+            if (res.haveOverhead) {
+                // Named for the same temporary-lifetime reason as in
+                // overheadPayload().
+                const Json measured = toJson(res.overhead);
+                for (const auto &[k, v] : measured.members())
+                    oh.set(k, v);
+            }
+            if (!res.overheadErrorType.empty())
+                oh.set("errorType", res.overheadErrorType);
+            if (!res.overheadErrorMessage.empty())
+                oh.set("errorMessage", res.overheadErrorMessage);
+            item.set("overhead", std::move(oh));
+            if (!res.overheadOutcome.empty() &&
+                res.overheadOutcome != "ok" &&
+                res.overheadOutcome != "skipped")
+                add_error(res, -1, res.overheadOutcome,
+                          res.overheadErrorType,
+                          res.overheadErrorMessage);
+        }
         items.push(std::move(item));
     }
     doc.set("items", std::move(items));
+    doc.set("errors", std::move(errors));
     return doc;
 }
 

@@ -18,6 +18,7 @@
 #ifndef HARD_HARNESS_BATCH_HH
 #define HARD_HARNESS_BATCH_HH
 
+#include <functional>
 #include <map>
 #include <set>
 #include <string>
@@ -25,6 +26,7 @@
 
 #include "common/json.hh"
 #include "harness/experiment.hh"
+#include "harness/journal.hh"
 #include "harness/run_pool.hh"
 
 namespace hard
@@ -53,6 +55,19 @@ struct EffectivenessRun
     /** False when no injectable critical section was found. */
     bool injectionValid = false;
     std::map<std::string, RunOutcome> byDetector;
+
+    /**
+     * How the unit ended: "ok", a failure label ("failed" |
+     * "deadlock" | "budget_exceeded"), or "skipped" (not executed
+     * because --max-failures was exceeded). Non-ok runs contribute
+     * nothing to the aggregate scores.
+     */
+    std::string outcome = "ok";
+    /** Failure detail (empty when outcome is "ok"/"skipped"). */
+    std::string errorType;
+    std::string errorMessage;
+
+    bool ok() const { return outcome == "ok"; }
 };
 
 /**
@@ -112,6 +127,14 @@ struct BatchItem
     bool directory = false;
     /** HARD configuration for the overhead measurement. */
     HardConfig hardCfg;
+
+    /**
+     * Base of the exact single-run repro command reported for this
+     * item's failures (e.g. "hardsim --workload=ocean --scale=0.2");
+     * the driver appends the failing run's --inject seed. Synthesized
+     * from @ref workload when empty.
+     */
+    std::string reproBase;
 };
 
 /** Results for one BatchItem, merged in run-index order. */
@@ -121,23 +144,76 @@ struct BatchItemResult
     std::string workload;
     unsigned runs = 0;
     std::uint64_t seed0 = 0;
+    /** Copied from BatchItem::reproBase (synthesized if empty). */
+    std::string reproBase;
 
-    /** Aggregate scores (empty unless item.effectiveness). */
+    /** Aggregate scores (empty unless item.effectiveness; failed runs
+     * contribute nothing). */
     EffectivenessResult effectiveness;
     /** Per-run detail, indexed 0..runs (runs == the race-free run). */
     std::vector<EffectivenessRun> runDetail;
 
     bool haveOverhead = false;
     OverheadResult overhead;
+    /** "" (not requested) | "ok" | failure label for the overhead
+     * unit. */
+    std::string overheadOutcome;
+    std::string overheadErrorType;
+    std::string overheadErrorMessage;
+};
+
+/** Failure-containment and resume knobs for runBatch. */
+struct BatchOptions
+{
+    /**
+     * Contain per-unit SimErrors: record the unit's outcome and keep
+     * running the rest of the sweep instead of propagating the first
+     * failure.
+     */
+    bool keepGoing = false;
+    /**
+     * With keepGoing: once this many units have failed, skip the
+     * remaining unstarted units (recorded with outcome "skipped").
+     * 0 = never stop.
+     */
+    unsigned maxFailures = 0;
+    /** Journal completed units here (resume support); may be null. */
+    BatchJournal *journal = nullptr;
+    /**
+     * Units already completed by a previous interrupted sweep
+     * (loadJournal()): restored into their result slots without
+     * re-running. May be null.
+     */
+    const JournalEntries *restored = nullptr;
+    /**
+     * Test hook called before a unit executes, OUTSIDE the keep-going
+     * containment: a throwing hook kills the batch mid-flight the way
+     * a crash would (used to test resume).
+     */
+    std::function<void(std::size_t item, std::int64_t run)> unitStartHook;
 };
 
 /**
  * Run every item's independent units (effectiveness run units and
  * overhead measurements) across @p pool and return results in item
- * order. Results are bit-identical for any pool size.
+ * order. Results are bit-identical for any pool size and across
+ * journal-resumed re-invocations.
+ *
+ * Without opts.keepGoing the first (lowest-unit-index) failure
+ * propagates after the batch drains, as runIndexed does.
  */
 std::vector<BatchItemResult> runBatch(const std::vector<BatchItem> &items,
+                                      RunPool &pool,
+                                      const BatchOptions &opts);
+
+/** Legacy entry point: runBatch with default BatchOptions. */
+std::vector<BatchItemResult> runBatch(const std::vector<BatchItem> &items,
                                       RunPool &pool);
+
+/** @return the repro command for one unit of @p res: the item's
+ * reproBase plus the failing run's --inject seed (injected runs) or
+ * --overhead flag (run == -1). */
+std::string reproCommand(const BatchItemResult &res, std::int64_t run);
 
 /** @name JSON conversion (structured results for archiving/diffing)
  * @{
@@ -150,13 +226,17 @@ Json toJson(const EffectivenessRun &run);
 DetectorScore detectorScoreFromJson(const Json &j);
 OverheadResult overheadFromJson(const Json &j);
 EffectivenessResult effectivenessFromJson(const Json &j);
+EffectivenessRun effectivenessRunFromJson(const Json &j);
 
 /**
- * Whole-batch document: schema tag, worker count, and one entry per
- * item with aggregate scores, per-run detail and overhead numbers.
+ * Whole-batch document ("hard.batch.v2"): schema tag, one entry per
+ * item with aggregate scores, per-run detail (including each run's
+ * outcome) and overhead numbers, plus a top-level "errors" array
+ * listing every failed unit with its error type, message and exact
+ * single-run repro command. Deliberately independent of the worker
+ * count, so dumps are byte-identical for any --jobs value.
  */
-Json batchJson(const std::vector<BatchItemResult> &results,
-               unsigned jobs);
+Json batchJson(const std::vector<BatchItemResult> &results);
 /** @} */
 
 } // namespace hard

@@ -73,11 +73,15 @@ measureOverhead(const std::string &workload, const WorkloadParams &wp,
 {
     OverheadResult out;
 
-    // Baseline: no detector, no HARD timing.
+    // Baseline: no detector, no HARD timing. As in the batch run
+    // units, substitute a finite (but unreachable for healthy runs)
+    // cycle budget so one hung measurement cannot stall a sweep.
     {
         Program prog = buildWorkload(workload, wp);
         SimConfig base_cfg = sim;
         base_cfg.hardTiming.enabled = false;
+        if (base_cfg.maxCycles == 0)
+            base_cfg.maxCycles = defaultCycleBudget(prog);
         System system(base_cfg, prog);
         out.baseCycles = system.run().totalCycles;
     }
@@ -89,6 +93,9 @@ measureOverhead(const std::string &workload, const WorkloadParams &wp,
         Program prog = buildWorkload(workload, wp);
         SimConfig hard_sim = sim;
         hard_sim.hardTiming.enabled = true;
+        // HARD timing dilates runs, so scale the budget with it.
+        if (hard_sim.maxCycles == 0)
+            hard_sim.maxCycles = 2 * defaultCycleBudget(prog);
         System system(hard_sim, prog);
         HardDetector hard("hard", hard_cfg,
                           hard_sim.hardTiming.directoryMode

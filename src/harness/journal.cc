@@ -1,0 +1,117 @@
+#include "harness/journal.hh"
+
+#include "common/error.hh"
+
+namespace hard
+{
+
+const char *const kJournalSchema = "hard.journal.v1";
+
+BatchJournal::BatchJournal(const std::string &path,
+                           const std::string &signature, bool resume)
+    : path_(path), file_(std::fopen(path.c_str(), resume ? "ab" : "wb"))
+{
+    hard_throw_if(file_ == nullptr, ConfigError,
+                  "journal: cannot open '%s' for writing", path.c_str());
+    if (!resume) {
+        Json meta = Json::object();
+        meta.set("schema", kJournalSchema);
+        meta.set("signature", signature);
+        std::string line = meta.dump();
+        line.push_back('\n');
+        std::fwrite(line.data(), 1, line.size(), file_);
+        std::fflush(file_);
+    }
+}
+
+BatchJournal::~BatchJournal()
+{
+    if (file_ != nullptr)
+        std::fclose(file_);
+}
+
+void
+BatchJournal::append(const JournalKey &key, const Json &payload)
+{
+    Json rec = Json::object();
+    rec.set("item", static_cast<std::uint64_t>(key.first));
+    rec.set("run", static_cast<std::int64_t>(key.second));
+    rec.set("payload", payload);
+    std::string line = rec.dump();
+    line.push_back('\n');
+    std::lock_guard<std::mutex> lk(mu_);
+    std::fwrite(line.data(), 1, line.size(), file_);
+    // Flush per record: an interrupted sweep must find every unit
+    // that completed before the kill.
+    std::fflush(file_);
+}
+
+JournalEntries
+loadJournal(const std::string &path, const std::string &signature)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    hard_throw_if(f == nullptr, ConfigError,
+                  "journal: cannot open '%s' (nothing to resume from)",
+                  path.c_str());
+    std::string text;
+    char buf[4096];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        text.append(buf, n);
+    std::fclose(f);
+
+    JournalEntries entries;
+    bool saw_header = false;
+    std::size_t pos = 0;
+    while (pos < text.size()) {
+        std::size_t eol = text.find('\n', pos);
+        if (eol == std::string::npos)
+            break; // trailing partial line from an interrupted write
+        std::string line = text.substr(pos, eol - pos);
+        pos = eol + 1;
+        if (line.empty())
+            continue;
+        std::string err;
+        Json rec = Json::parse(line, &err);
+        if (!err.empty() || !rec.isObject())
+            break; // torn record: everything before it is still good
+        if (!saw_header) {
+            hard_throw_if(!rec.has("schema") ||
+                              rec["schema"].asString() != kJournalSchema,
+                          ConfigError,
+                          "journal: '%s' is not a %s file", path.c_str(),
+                          kJournalSchema);
+            hard_throw_if(
+                !rec.has("signature") ||
+                    rec["signature"].asString() != signature,
+                ConfigError,
+                "journal: '%s' was written by a different sweep "
+                "(signature mismatch); re-run without --resume",
+                path.c_str());
+            saw_header = true;
+            continue;
+        }
+        if (!rec.has("item") || !rec.has("run") || !rec.has("payload"))
+            break;
+        JournalKey key{static_cast<std::size_t>(rec["item"].asUint()),
+                       rec["run"].asInt()};
+        entries[key] = rec["payload"];
+    }
+    hard_throw_if(!saw_header, ConfigError,
+                  "journal: '%s' has no valid header", path.c_str());
+    return entries;
+}
+
+std::string
+journalPathFor(const std::string &jsonPath)
+{
+    const std::string suffix = ".json";
+    std::string stem = jsonPath;
+    if (stem.size() > suffix.size() &&
+        stem.compare(stem.size() - suffix.size(), suffix.size(),
+                     suffix) == 0)
+        stem.resize(stem.size() - suffix.size());
+    return stem + ".journal.jsonl";
+}
+
+} // namespace hard

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Per-run journal for resumable batch sweeps.
+ *
+ * A long sweep interrupted by a crash, a kill or a --max-failures
+ * abort should not have to redo finished work. The batch driver
+ * appends one JSONL record per completed run unit — as soon as the
+ * unit finishes, flushed line-by-line so a dying process loses at most
+ * the in-flight units. On --resume the journal is loaded, records
+ * whose signature matches the current invocation are restored into
+ * their result slots, and only the missing units re-run. Because every
+ * unit is deterministic in (workload, config, seed), restored results
+ * — including *failed* ones — are exactly what a re-run would produce,
+ * so a resumed sweep's final JSON is byte-identical to an
+ * uninterrupted one at any --jobs setting.
+ *
+ * File layout (one JSON value per line):
+ *   {"schema":"hard.journal.v1","signature":"<canonical batch args>"}
+ *   {"item":0,"run":0,"payload":{...}}      effectiveness run unit
+ *   {"item":0,"run":-1,"payload":{...}}     overhead unit
+ */
+
+#ifndef HARD_HARNESS_JOURNAL_HH
+#define HARD_HARNESS_JOURNAL_HH
+
+#include <cstdio>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+
+#include "common/json.hh"
+
+namespace hard
+{
+
+/** Identifies one run unit: (item index, run index; run -1 = the
+ * item's overhead measurement). */
+using JournalKey = std::pair<std::size_t, std::int64_t>;
+
+/** Payloads of previously journaled units, keyed for restoration. */
+using JournalEntries = std::map<JournalKey, Json>;
+
+/** Journal schema tag (first line of every journal file). */
+extern const char *const kJournalSchema;
+
+/** Append-only, thread-safe journal writer. */
+class BatchJournal
+{
+  public:
+    /**
+     * Open the journal at @p path.
+     * @param signature Canonical description of the batch invocation
+     * (stored in the header; checked by loadJournal on resume).
+     * @param resume false: create/truncate and write the meta header;
+     * true: append to an existing journal previously validated with
+     * loadJournal(). Throws ConfigError if the file cannot be opened.
+     */
+    BatchJournal(const std::string &path, const std::string &signature,
+                 bool resume = false);
+    ~BatchJournal();
+
+    BatchJournal(const BatchJournal &) = delete;
+    BatchJournal &operator=(const BatchJournal &) = delete;
+
+    /**
+     * Append the record for one completed unit and flush, so the line
+     * survives the process dying right afterwards. Thread-safe.
+     */
+    void append(const JournalKey &key, const Json &payload);
+
+    const std::string &path() const { return path_; }
+
+  private:
+    std::string path_;
+    std::FILE *file_;
+    std::mutex mu_;
+};
+
+/**
+ * Load a journal written by a previous run of the same sweep.
+ * Verifies the meta header (schema + @p signature; mismatch throws
+ * ConfigError — resuming under different parameters would silently
+ * merge incompatible results). Ignores a trailing partial line (the
+ * write the dying process did not finish). Throws ConfigError if the
+ * file does not exist or is not a journal.
+ */
+JournalEntries loadJournal(const std::string &path,
+                           const std::string &signature);
+
+/** @return the journal path conventionally paired with a batch JSON
+ * output path: "<path minus .json>.journal.jsonl". */
+std::string journalPathFor(const std::string &jsonPath);
+
+} // namespace hard
+
+#endif // HARD_HARNESS_JOURNAL_HH

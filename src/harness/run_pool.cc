@@ -95,6 +95,41 @@ RunPool::runIndexed(std::size_t count,
         return;
     }
 
+    std::vector<std::exception_ptr> errors = drain(count, fn);
+    for (std::exception_ptr &err : errors)
+        if (err)
+            std::rethrow_exception(err);
+}
+
+std::vector<std::exception_ptr>
+RunPool::runCollect(std::size_t count,
+                    const std::function<void(std::size_t)> &fn)
+{
+    std::vector<std::exception_ptr> errors(count);
+    if (count == 0)
+        return errors;
+
+    // Serial degeneration: unlike runIndexed, a failed task does not
+    // stop the batch — every index runs and failures land in their
+    // slots, exactly as in the pooled case.
+    if (jobs_ < 2 || workers_.empty()) {
+        for (std::size_t i = 0; i < count; ++i) {
+            try {
+                fn(i);
+            } catch (...) {
+                errors[i] = std::current_exception();
+            }
+        }
+        return errors;
+    }
+
+    return drain(count, fn);
+}
+
+std::vector<std::exception_ptr>
+RunPool::drain(std::size_t count,
+               const std::function<void(std::size_t)> &fn)
+{
     std::lock_guard<std::mutex> caller(callerMu_);
 
     Batch b;
@@ -111,9 +146,7 @@ RunPool::runIndexed(std::size_t count,
         batch_ = nullptr;
     }
 
-    for (std::exception_ptr &err : b.errors)
-        if (err)
-            std::rethrow_exception(err);
+    return std::move(b.errors);
 }
 
 } // namespace hard

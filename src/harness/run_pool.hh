@@ -19,6 +19,8 @@
  *  - an exception thrown by a task is rethrown to the caller after the
  *    whole batch has drained (workers never die mid-batch); when
  *    several tasks throw, the lowest task index wins, deterministically;
+ *  - runCollect() instead returns every task's exception keyed by
+ *    index, the primitive behind --keep-going batch sweeps;
  *  - an empty batch returns immediately;
  *  - the pool is reusable for any number of batches.
  */
@@ -28,6 +30,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -64,6 +67,17 @@ class RunPool
                     const std::function<void(std::size_t)> &fn);
 
     /**
+     * Keep-going variant of runIndexed: every task runs even when
+     * earlier ones fail, and nothing is rethrown. Returns one
+     * exception slot per task index (null where the task succeeded),
+     * so the caller can classify and report all failures instead of
+     * just the first. With jobs == 1 tasks run inline in index order.
+     */
+    std::vector<std::exception_ptr>
+    runCollect(std::size_t count,
+               const std::function<void(std::size_t)> &fn);
+
+    /**
      * Map an index range through @p fn, collecting results in index
      * order (never completion order). T must be default-constructible.
      */
@@ -85,6 +99,10 @@ class RunPool
     struct Batch;
 
     void workerLoop();
+
+    /** Run a pooled batch to completion; per-index exception slots. */
+    std::vector<std::exception_ptr>
+    drain(std::size_t count, const std::function<void(std::size_t)> &fn);
 
     const unsigned jobs_;
     std::vector<std::thread> workers_;

@@ -10,7 +10,7 @@
 #include <cstdint>
 
 #include "common/bitops.hh"
-#include "common/logging.hh"
+#include "common/error.hh"
 #include "common/types.hh"
 
 namespace hard
@@ -35,18 +35,20 @@ struct CacheConfig
         return sizeBytes / (static_cast<std::uint64_t>(assoc) * lineBytes);
     }
 
-    /** Abort with fatal() if the geometry is not realizable. */
+    /** Throw ConfigError if the geometry is not realizable. */
     void
     validate(const char *what) const
     {
-        hard_fatal_if(!isPowerOf2(lineBytes),
+        hard_throw_if(!isPowerOf2(lineBytes), ConfigError,
                       "%s: line size %u not a power of two", what,
                       lineBytes);
-        hard_fatal_if(assoc == 0, "%s: zero associativity", what);
-        hard_fatal_if(sizeBytes % (std::uint64_t{assoc} * lineBytes) != 0,
+        hard_throw_if(assoc == 0, ConfigError, "%s: zero associativity",
+                      what);
+        hard_throw_if(sizeBytes % (std::uint64_t{assoc} * lineBytes) != 0,
+                      ConfigError,
                       "%s: size %llu not divisible by assoc*line", what,
                       static_cast<unsigned long long>(sizeBytes));
-        hard_fatal_if(!isPowerOf2(numSets()),
+        hard_throw_if(!isPowerOf2(numSets()), ConfigError,
                       "%s: set count %llu not a power of two", what,
                       static_cast<unsigned long long>(numSets()));
     }

@@ -48,8 +48,25 @@ struct SimConfig
     Cycle spinPollInterval = 50;
     /** Cycles from last barrier arrival to release of the waiters. */
     Cycle barrierReleaseCycles = 20;
-    /** Safety valve: abort the run after this many cycles (0 = off). */
+    /**
+     * Cycle budget: the run raises CycleBudgetError once simulated
+     * time passes this many cycles (0 = unlimited in single-run mode;
+     * batch run units substitute defaultCycleBudget() so a sweep is
+     * never unbounded by accident).
+     */
     Cycle maxCycles = 0;
+    /**
+     * Forward-progress watchdog: if no thread retires an operation
+     * for this many cycles while live threads spin/poll, the run is
+     * declared dead and raises DeadlockError with a per-thread
+     * snapshot (0 = off). Structural deadlocks (every live thread
+     * blocked on sync that can never be signalled) are detected
+     * immediately regardless of this value. The default is orders of
+     * magnitude above any legitimate stall: the longest Compute op
+     * any workload emits is ~150 cycles and lock/barrier waits always
+     * end with a retirement by the holder.
+     */
+    Cycle watchdogCycles = 1'000'000;
     /**
      * Scheduling quantum when threads are oversubscribed onto cores;
      * a runnable sibling preempts the current thread after this many

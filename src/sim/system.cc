@@ -10,13 +10,15 @@ namespace hard
 System::System(const SimConfig &cfg, const Program &prog)
     : cfg_(cfg), prog_(prog)
 {
-    hard_fatal_if(prog.threads.empty(), "system: program '%s' has no threads",
+    hard_throw_if(prog.threads.empty(), WorkloadError,
+                  "system: program '%s' has no threads",
                   prog.name.c_str());
-    hard_fatal_if(prog.threads.size() > 8,
+    hard_throw_if(prog.threads.size() > 8, ConfigError,
                   "system: program '%s' has %zu threads; at most 8 are "
                   "supported",
                   prog.name.c_str(), prog.threads.size());
-    hard_fatal_if(cfg.memsys.numCores == 0, "system: zero cores");
+    hard_throw_if(cfg.memsys.numCores == 0, ConfigError,
+                  "system: zero cores");
 
     memsys_ = std::make_unique<MemorySystem>(cfg.memsys);
     memsys_->setL2EvictionCallback([this](Addr line) {
@@ -240,7 +242,8 @@ System::step(HwCore &core, ThreadCtx &th, Cycle now)
 
       case OpType::Unlock: {
         auto it = lockHolder_.find(op.addr);
-        hard_panic_if(it == lockHolder_.end() || it->second != th.tid,
+        hard_throw_if(it == lockHolder_.end() || it->second != th.tid,
+                      WorkloadError,
                       "system: thread %u unlocks %llx it does not hold",
                       th.tid, static_cast<unsigned long long>(op.addr));
         AccessOutcome rel = memsys_->access(core.id, op.addr,
@@ -293,6 +296,8 @@ System::step(HwCore &core, ThreadCtx &th, Cycle now)
         if (!th.semaGranted && sema.count == 0) {
             // Block until a post hands us the token.
             th.status = ThreadStatus::WaitSema;
+            th.waitObj = op.addr;
+            th.waitSite = op.site;
             sema.waiters.push_back(
                 static_cast<std::size_t>(&th - threads_.data()));
             core.freeAt = now + 1;
@@ -324,6 +329,8 @@ System::step(HwCore &core, ThreadCtx &th, Cycle now)
         ++bar.arrived;
         bar.lastArrival = std::max(bar.lastArrival, arr.completeAt);
         th.status = ThreadStatus::WaitBarrier;
+        th.waitObj = op.addr;
+        th.waitSite = op.site;
         core.freeAt = arr.completeAt + 1;
         ++th.pc;
 
@@ -357,7 +364,7 @@ System::step(HwCore &core, ThreadCtx &th, Cycle now)
             obs->onThreadEnd(th.tid, now);
         // A thread may not exit while holding locks.
         for (const auto &kv : lockHolder_) {
-            hard_panic_if(kv.second == th.tid,
+            hard_throw_if(kv.second == th.tid, WorkloadError,
                           "system: thread %u exited holding lock %llx",
                           th.tid,
                           static_cast<unsigned long long>(kv.first));
@@ -366,11 +373,78 @@ System::step(HwCore &core, ThreadCtx &th, Cycle now)
     }
 }
 
+std::vector<ThreadSnapshot>
+System::snapshotThreads() const
+{
+    auto status_name = [](ThreadStatus st) {
+        switch (st) {
+          case ThreadStatus::Ready:
+            return "Ready";
+          case ThreadStatus::WaitLock:
+            return "WaitLock";
+          case ThreadStatus::WaitBarrier:
+            return "WaitBarrier";
+          case ThreadStatus::WaitSema:
+            return "WaitSema";
+          case ThreadStatus::Done:
+            return "Done";
+        }
+        return "?";
+    };
+
+    std::vector<ThreadSnapshot> out;
+    out.reserve(threads_.size());
+    for (const ThreadCtx &th : threads_) {
+        ThreadSnapshot snap;
+        snap.tid = th.tid;
+        snap.status = status_name(th.status);
+        snap.pc = th.pc;
+        snap.opCount = th.ops->size();
+        switch (th.status) {
+          case ThreadStatus::WaitLock:
+            snap.waitAddr = th.waitLock;
+            snap.waitKind = "lock";
+            snap.waitSite = th.waitSite;
+            break;
+          case ThreadStatus::WaitBarrier:
+            snap.waitAddr = th.waitObj;
+            snap.waitKind = "barrier";
+            snap.waitSite = th.waitSite;
+            break;
+          case ThreadStatus::WaitSema:
+            snap.waitAddr = th.waitObj;
+            snap.waitKind = "sema";
+            snap.waitSite = th.waitSite;
+            break;
+          default:
+            break;
+        }
+        for (const auto &kv : lockHolder_)
+            if (kv.second == th.tid)
+                snap.heldLocks.push_back(kv.first);
+        std::sort(snap.heldLocks.begin(), snap.heldLocks.end());
+        out.push_back(std::move(snap));
+    }
+    return out;
+}
+
 RunResult
 System::run()
 {
     hard_fatal_if(ran_, "system: run() called twice");
     ran_ = true;
+
+    auto diagnose = [this](const char *why, Cycle at,
+                           Cycle stalled) -> DeadlockError {
+        std::vector<ThreadSnapshot> snaps = snapshotThreads();
+        std::string msg =
+            errfmt("system: %s '%s' at cycle %llu (%u live thread(s))",
+                   why, prog_.name.c_str(),
+                   static_cast<unsigned long long>(at), liveThreads_);
+        for (const ThreadSnapshot &s : snaps)
+            msg += "\n  " + s.describe();
+        return DeadlockError(msg, at, stalled, std::move(snaps));
+    };
 
     while (liveThreads_ > 0) {
         // Pick the (core, thread) pair with the earliest start time;
@@ -386,12 +460,26 @@ System::run()
                 best = p;
             }
         }
-        hard_panic_if(best_core == nullptr,
-                      "system: deadlock — all live threads blocked on "
-                      "barriers/semaphores that can never be released");
-        hard_fatal_if(cfg_.maxCycles != 0 && best.at > cfg_.maxCycles,
-                      "system: exceeded maxCycles=%llu",
-                      static_cast<unsigned long long>(cfg_.maxCycles));
+        // Structural deadlock: every live thread is blocked on a
+        // barrier/semaphore that no runnable thread can ever signal.
+        if (best_core == nullptr)
+            throw diagnose("deadlock in", lastProgressAt_, 0);
+        if (cfg_.maxCycles != 0 && best.at > cfg_.maxCycles)
+            throw CycleBudgetError(
+                errfmt("system: '%s' exceeded maxCycles=%llu at cycle "
+                       "%llu (%llu ops retired)",
+                       prog_.name.c_str(),
+                       static_cast<unsigned long long>(cfg_.maxCycles),
+                       static_cast<unsigned long long>(best.at),
+                       static_cast<unsigned long long>(retiredOps_)),
+                best.at, cfg_.maxCycles);
+        // Forward-progress watchdog: live threads are schedulable
+        // (spinning/polling) but nothing has retired for too long —
+        // a lock cycle or a never-released lock (livelock).
+        if (cfg_.watchdogCycles != 0 &&
+            best.at > lastProgressAt_ + cfg_.watchdogCycles)
+            throw diagnose("no forward progress in", best.at,
+                           best.at - lastProgressAt_);
 
         HwCore &core = *best_core;
         if (best.slot != core.current) {
@@ -403,9 +491,36 @@ System::run()
             core.quantumStart = best.at;
             ++result_.contextSwitches;
         }
-        step(core, threads_[core.bound[core.current]], best.at);
+        ThreadCtx &th = threads_[core.bound[core.current]];
+        const std::size_t pc_before = th.pc;
+        const bool done_before = th.status == ThreadStatus::Done;
+        step(core, th, best.at);
+        if (th.pc != pc_before ||
+            (!done_before && th.status == ThreadStatus::Done)) {
+            ++retiredOps_;
+            // Progress extends to the end of the issued op: a single
+            // long Compute keeps the machine legitimately busy past
+            // the watchdog horizon and must not look like a stall.
+            // Monotonic: a sibling retiring at an earlier cycle must
+            // not pull the horizon back before that Compute finishes.
+            lastProgressAt_ =
+                std::max({lastProgressAt_, best.at, th.readyAt});
+        }
     }
     return result_;
+}
+
+Cycle
+defaultCycleBudget(const Program &prog)
+{
+    std::uint64_t total_ops = 0;
+    for (const auto &thread : prog.threads)
+        total_ops += thread.ops.size();
+    // Worst-case per-op cost is ~memLatency (200) plus bus contention
+    // and spin convoys; 4000 cycles/op is an order of magnitude above
+    // anything a legitimate run reaches, and the fixed floor covers
+    // tiny programs whose runtime is dominated by barrier/sync costs.
+    return 1'000'000 + 4'000 * total_ops;
 }
 
 } // namespace hard

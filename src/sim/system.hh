@@ -20,6 +20,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/error.hh"
 #include "sim/observer.hh"
 #include "sim/program.hh"
 #include "sim/sim_config.hh"
@@ -66,7 +67,19 @@ class System
     /** Attach a detector/observer; not owned. Call before run(). */
     void addObserver(AccessObserver *obs);
 
-    /** Execute the program to completion. Callable once. */
+    /**
+     * Execute the program to completion. Callable once.
+     *
+     * @throws DeadlockError when every live thread is blocked on sync
+     * that can never be signalled, or when the forward-progress
+     * watchdog (SimConfig::watchdogCycles) sees no retired op for too
+     * long; carries a per-thread diagnostic snapshot.
+     * @throws CycleBudgetError when simulated time exceeds
+     * SimConfig::maxCycles (if nonzero).
+     * @throws WorkloadError on workload misbehaviour the validator
+     * cannot catch statically (unlocking a lock the thread does not
+     * hold, exiting while holding a lock).
+     */
     RunResult run();
 
     MemorySystem &memsys() { return *memsys_; }
@@ -98,6 +111,8 @@ class System
         ThreadStatus status = ThreadStatus::Ready;
         /** Lock being spun on while in WaitLock. */
         LockAddr waitLock = 0;
+        /** Barrier/semaphore being awaited in WaitBarrier/WaitSema. */
+        Addr waitObj = invalidAddr;
         SiteId waitSite = invalidSite;
         /** Set when a SemaPost handed this blocked thread its token. */
         bool semaGranted = false;
@@ -144,6 +159,9 @@ class System
     /** Choose the next thread for @p core (deterministic). */
     Pick nextForCore(const HwCore &core) const;
 
+    /** Diagnostic snapshot of every thread (for DeadlockError). */
+    std::vector<ThreadSnapshot> snapshotThreads() const;
+
     /** Execute one step of @p th on @p core starting at @p now. */
     void step(HwCore &core, ThreadCtx &th, Cycle now);
 
@@ -172,7 +190,23 @@ class System
     unsigned liveThreads_ = 0;
     bool ran_ = false;
     RunResult result_;
+
+    /** Ops retired so far (forward-progress signal for the watchdog). */
+    std::uint64_t retiredOps_ = 0;
+    /** Cycle of the most recent retirement. */
+    Cycle lastProgressAt_ = 0;
 };
+
+/**
+ * A finite default cycle budget for batch runs of @p prog, scaled
+ * from the workload's size so that no legitimate run can hit it: a
+ * generous fixed floor plus a per-op allowance far above the
+ * worst-case cost of any single operation (memory latency, bus
+ * contention, spin convoys included). Batch run units substitute this
+ * when SimConfig::maxCycles is 0 so a sweep can never hang on one
+ * pathological run even with the watchdog disabled.
+ */
+Cycle defaultCycleBudget(const Program &prog);
 
 } // namespace hard
 

@@ -4,6 +4,7 @@
 #include <set>
 
 #include "common/bitops.hh"
+#include "common/error.hh"
 #include "common/logging.hh"
 
 namespace hard
@@ -20,7 +21,7 @@ constexpr unsigned kLineBytes = 32;
 WorkloadBuilder::WorkloadBuilder(std::string name, unsigned num_threads)
     : numThreads_(num_threads), brk_(kDataBase)
 {
-    hard_fatal_if(num_threads == 0 || num_threads > 8,
+    hard_throw_if(num_threads == 0 || num_threads > 8, WorkloadError,
                   "workload '%s': unsupported thread count %u",
                   name.c_str(), num_threads);
     prog_.name = std::move(name);
@@ -35,9 +36,9 @@ WorkloadBuilder::alloc(const std::string &label, std::uint64_t bytes,
                        unsigned align)
 {
     (void)label;
-    hard_fatal_if(bytes == 0, "workload '%s': zero-size alloc",
+    hard_throw_if(bytes == 0, WorkloadError, "workload '%s': zero-size alloc",
                   prog_.name.c_str());
-    hard_fatal_if(!isPowerOf2(align), "workload '%s': bad alignment %u",
+    hard_throw_if(!isPowerOf2(align), WorkloadError, "workload '%s': bad alignment %u",
                   prog_.name.c_str(), align);
     brk_ = alignUp(brk_, align);
     Addr base = brk_;
@@ -150,7 +151,7 @@ WorkloadBuilder::barrierAll(Addr barrier, SiteId s)
 Program
 WorkloadBuilder::finish()
 {
-    hard_fatal_if(finished_, "workload '%s': finish() called twice",
+    hard_throw_if(finished_, WorkloadError, "workload '%s': finish() called twice",
                   prog_.name.c_str());
     finished_ = true;
     prog_.dataLimit = brk_;
@@ -163,15 +164,15 @@ WorkloadBuilder::finish()
             switch (op.type) {
               case OpType::Read:
               case OpType::Write: {
-                hard_fatal_if(op.addr < prog_.dataBase ||
-                                  op.addr + op.size > prog_.dataLimit,
+                hard_throw_if(op.addr < prog_.dataBase ||
+                                  op.addr + op.size > prog_.dataLimit, WorkloadError,
                               "workload '%s': thread %u access %llx "
                               "outside allocated data",
                               prog_.name.c_str(), t,
                               static_cast<unsigned long long>(op.addr));
                 Addr line = alignDown(op.addr, kLineBytes);
-                hard_fatal_if(alignDown(op.addr + op.size - 1,
-                                        kLineBytes) != line,
+                hard_throw_if(alignDown(op.addr + op.size - 1,
+                                        kLineBytes) != line, WorkloadError,
                               "workload '%s': thread %u access %llx+%u "
                               "crosses a line",
                               prog_.name.c_str(), t,
@@ -181,25 +182,25 @@ WorkloadBuilder::finish()
               }
               case OpType::Lock:
                 ++held[op.addr];
-                hard_fatal_if(held[op.addr] > 1,
+                hard_throw_if(held[op.addr] > 1, WorkloadError,
                               "workload '%s': thread %u re-acquires lock",
                               prog_.name.c_str(), t);
                 break;
               case OpType::Unlock:
-                hard_fatal_if(held[op.addr] == 0,
+                hard_throw_if(held[op.addr] == 0, WorkloadError,
                               "workload '%s': thread %u unlocks unheld "
                               "lock",
                               prog_.name.c_str(), t);
                 --held[op.addr];
                 break;
               case OpType::Barrier:
-                hard_fatal_if(!held.empty() &&
+                hard_throw_if(!held.empty() &&
                                   [&held] {
                                       for (auto &kv : held)
                                           if (kv.second)
                                               return true;
                                       return false;
-                                  }(),
+                                  }(), WorkloadError,
                               "workload '%s': thread %u reaches barrier "
                               "holding a lock",
                               prog_.name.c_str(), t);
@@ -210,7 +211,7 @@ WorkloadBuilder::finish()
             }
         }
         for (const auto &kv : held) {
-            hard_fatal_if(kv.second != 0,
+            hard_throw_if(kv.second != 0, WorkloadError,
                           "workload '%s': thread %u ends holding lock "
                           "%llx",
                           prog_.name.c_str(), t,
@@ -218,7 +219,7 @@ WorkloadBuilder::finish()
         }
     }
     for (unsigned t = 1; t < numThreads_; ++t) {
-        hard_fatal_if(barrier_seq[t] != barrier_seq[0],
+        hard_throw_if(barrier_seq[t] != barrier_seq[0], WorkloadError,
                       "workload '%s': threads 0 and %u disagree on the "
                       "barrier sequence",
                       prog_.name.c_str(), t);

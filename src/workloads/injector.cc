@@ -1,7 +1,7 @@
 #include "workloads/injector.hh"
 
 #include "common/bitops.hh"
-#include "common/logging.hh"
+#include "common/error.hh"
 #include "common/rng.hh"
 
 namespace hard
@@ -45,8 +45,9 @@ findMatchingUnlock(const Program &prog, const LockPos &pos)
         if (ops[i].type == OpType::Unlock && ops[i].addr == lock)
             return i;
     }
-    panic("injector: no matching unlock for lock %llx in thread %zu",
-          static_cast<unsigned long long>(lock), pos.thread);
+    throw WorkloadError(
+        errfmt("injector: no matching unlock for lock %llx in thread %zu",
+               static_cast<unsigned long long>(lock), pos.thread));
 }
 
 /**

@@ -1,6 +1,6 @@
 #include "workloads/registry.hh"
 
-#include "common/logging.hh"
+#include "common/error.hh"
 
 namespace hard
 {
@@ -51,6 +51,22 @@ extensionWorkloads()
     return table;
 }
 
+const std::vector<WorkloadInfo> &
+faultWorkloads()
+{
+    static const std::vector<WorkloadInfo> table = {
+        {"deadlock",
+         "[fault-injection] structural deadlock: two threads block on "
+         "semaphores that are never posted (detected immediately)",
+         buildDeadlock},
+        {"livelock",
+         "[fault-injection] ABBA spin-lock cycle: both threads poll "
+         "forever (detected by the forward-progress watchdog)",
+         buildLivelock},
+    };
+    return table;
+}
+
 Program
 buildWorkload(const std::string &name, const WorkloadParams &p)
 {
@@ -62,7 +78,11 @@ buildWorkload(const std::string &name, const WorkloadParams &p)
         if (name == w.name)
             return w.build(p);
     }
-    fatal("unknown workload '%s'", name.c_str());
+    for (const WorkloadInfo &w : faultWorkloads()) {
+        if (name == w.name)
+            return w.build(p);
+    }
+    throw ConfigError(errfmt("unknown workload '%s'", name.c_str()));
 }
 
 } // namespace hard

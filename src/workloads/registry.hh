@@ -39,7 +39,16 @@ const std::vector<WorkloadInfo> &allWorkloads();
  */
 const std::vector<WorkloadInfo> &extensionWorkloads();
 
-/** Build workload @p name; fatal() if unknown. */
+/**
+ * @return deliberately-broken micro-workloads ("deadlock",
+ * "livelock") used to exercise the failure-containment layer (the
+ * deadlock watchdog, typed SimErrors and --keep-going batches). They
+ * are buildable by name but excluded from allWorkloads() so sweep
+ * defaults never include them.
+ */
+const std::vector<WorkloadInfo> &faultWorkloads();
+
+/** Build workload @p name; throws ConfigError if unknown. */
 Program buildWorkload(const std::string &name, const WorkloadParams &p);
 
 /** @name Individual generators
@@ -52,6 +61,8 @@ Program buildOcean(const WorkloadParams &p);
 Program buildWaterNsquared(const WorkloadParams &p);
 Program buildRaytrace(const WorkloadParams &p);
 Program buildServer(const WorkloadParams &p);
+Program buildDeadlock(const WorkloadParams &p);
+Program buildLivelock(const WorkloadParams &p);
 /** @} */
 
 } // namespace hard

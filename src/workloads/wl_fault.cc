@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Fault-injection micro-workloads for the failure-containment layer.
+ * Neither is part of the paper's evaluation set: both are deliberately
+ * broken two-thread programs that pass the builder's *static* checks
+ * (balanced locks, aligned barriers) yet can never finish at runtime.
+ *
+ *  - "deadlock": each thread blocks on a semaphore the other would
+ *    only post *after* its own wait. Both end up in WaitSema with no
+ *    schedulable thread left, so System::run() detects the structural
+ *    deadlock immediately and throws DeadlockError.
+ *  - "livelock": the classic ABBA cycle on spin locks. Each thread
+ *    holds its first lock and polls the other's forever; spinning
+ *    threads stay schedulable, so only the forward-progress watchdog
+ *    (SimConfig::watchdogCycles) can catch it.
+ */
+
+#include "workloads/registry.hh"
+
+namespace hard
+{
+
+Program
+buildDeadlock(const WorkloadParams &)
+{
+    // Fixed two-thread shape regardless of requested thread count:
+    // the hang needs exactly one wait-cycle, and extra threads would
+    // only delay detection until they finish.
+    WorkloadBuilder b("deadlock", 2);
+
+    const Addr data = b.alloc("scratch", 64, 32);
+    const LockAddr guard0 = b.allocLock("guard0");
+    const LockAddr guard1 = b.allocLock("guard1");
+    const Addr sem_a = b.allocSema("semA");
+    const Addr sem_b = b.allocSema("semB");
+
+    const SiteId s_warm = b.site("deadlock.warmup");
+    const SiteId s_guard = b.site("deadlock.guard");
+    const SiteId s_wait = b.site("deadlock.wait");
+    const SiteId s_post = b.site("deadlock.post");
+
+    // A little real work first so the failure happens mid-run, with
+    // nonzero pc/op counts in the diagnostic snapshot.
+    for (ThreadId t = 0; t < 2; ++t) {
+        b.write(t, data + 8 * t, 8, s_warm);
+        b.compute(t, 20);
+        b.read(t, data + 8 * t, 8, s_warm);
+    }
+
+    // Each thread waits (while holding a lock, so the snapshot shows
+    // held locks) for a token only the *other* thread's later post
+    // would provide. Statically balanced; dynamically a cycle.
+    b.lock(0, guard0, s_guard);
+    b.semaWait(0, sem_a, s_wait);
+    b.semaPost(0, sem_b, s_post);
+    b.unlock(0, guard0, s_guard);
+
+    b.lock(1, guard1, s_guard);
+    b.semaWait(1, sem_b, s_wait);
+    b.semaPost(1, sem_a, s_post);
+    b.unlock(1, guard1, s_guard);
+
+    return b.finish();
+}
+
+Program
+buildLivelock(const WorkloadParams &)
+{
+    WorkloadBuilder b("livelock", 2);
+
+    const Addr data = b.alloc("scratch", 64, 32);
+    const LockAddr lock_a = b.allocLock("lockA");
+    const LockAddr lock_b = b.allocLock("lockB");
+
+    const SiteId s_warm = b.site("livelock.warmup");
+    const SiteId s_outer = b.site("livelock.outer");
+    const SiteId s_inner = b.site("livelock.inner");
+    const SiteId s_body = b.site("livelock.body");
+
+    for (ThreadId t = 0; t < 2; ++t) {
+        b.write(t, data + 8 * t, 8, s_warm);
+        b.compute(t, 20);
+    }
+
+    // ABBA: thread 0 takes A then B, thread 1 takes B then A. The
+    // compute delay dwarfs a lock acquisition, so both threads are
+    // guaranteed to hold their outer lock before either tries the
+    // inner one. Spin probes retire no ops, so only the watchdog
+    // notices.
+    b.lock(0, lock_a, s_outer);
+    b.compute(0, 2000);
+    b.lock(0, lock_b, s_inner);
+    b.write(0, data + 32, 8, s_body);
+    b.unlock(0, lock_b, s_inner);
+    b.unlock(0, lock_a, s_outer);
+
+    b.lock(1, lock_b, s_outer);
+    b.compute(1, 2000);
+    b.lock(1, lock_a, s_inner);
+    b.write(1, data + 40, 8, s_body);
+    b.unlock(1, lock_a, s_inner);
+    b.unlock(1, lock_b, s_outer);
+
+    return b.finish();
+}
+
+} // namespace hard

@@ -11,6 +11,7 @@
 #include "harness/batch.hh"
 #include "harness/experiment.hh"
 #include "harness/run_pool.hh"
+#include "throw_test_util.hh"
 
 namespace hard
 {
@@ -192,11 +193,9 @@ TEST(BatchEquivalenceDeath, BatchRejectsHardTimingForEffectiveness)
     item.factory = table2Detectors();
     item.runs = 1;
 
-    // jobs == 1: death tests fork, and worker threads would not exist
-    // in the child (validation fires before any pool use anyway).
     RunPool pool(1);
-    EXPECT_EXIT(runBatch({item}, pool), ::testing::ExitedWithCode(1),
-                "identical executions");
+    HARD_EXPECT_THROW_MSG(runBatch({item}, pool), ConfigError,
+                          "identical executions");
 }
 
 } // namespace

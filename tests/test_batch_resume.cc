@@ -1,0 +1,320 @@
+/**
+ * @file
+ * Tests for fault-tolerant batches: keep-going failure containment,
+ * --max-failures skipping, the per-run journal, and the headline
+ * resume guarantee — a sweep killed mid-flight and resumed produces a
+ * batch JSON byte-identical to an uninterrupted run at any job count.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+
+#include "common/error.hh"
+#include "harness/batch.hh"
+#include "harness/experiment.hh"
+#include "harness/run_pool.hh"
+#include "throw_test_util.hh"
+
+namespace hard
+{
+namespace
+{
+
+WorkloadParams
+tinyParams()
+{
+    WorkloadParams p;
+    p.scale = 0.04;
+    return p;
+}
+
+/** Two healthy items, as a bench sweep would build them. */
+std::vector<BatchItem>
+healthyItems()
+{
+    std::vector<BatchItem> items;
+    for (const char *app : {"barnes", "water-nsquared"}) {
+        BatchItem item;
+        item.workload = app;
+        item.wp = tinyParams();
+        item.sim = defaultSimConfig();
+        item.factory = table2Detectors();
+        item.runs = 2;
+        item.seed0 = 700;
+        items.push_back(std::move(item));
+    }
+    return items;
+}
+
+const char *const kSignature = "apps=barnes,water-nsquared;runs=2;"
+                               "seed0=700;--scale=0.04";
+
+std::string
+tempJournalPath(const char *name)
+{
+    std::string path = ::testing::TempDir() + name;
+    std::remove(path.c_str());
+    return path;
+}
+
+TEST(BatchResume, KilledSweepResumesToByteIdenticalJson)
+{
+    // Reference: the uninterrupted sweep, at two worker counts. The
+    // v2 document carries no worker-dependent fields, so the dumps
+    // must already be byte-identical across --jobs.
+    RunPool pool4(4);
+    std::string uninterrupted =
+        batchJson(runBatch(healthyItems(), pool4)).dump(2);
+    {
+        RunPool pool1(1);
+        EXPECT_EQ(batchJson(runBatch(healthyItems(), pool1)).dump(2),
+                  uninterrupted);
+    }
+
+    // Interrupted sweep: the unit-start hook throws once a few units
+    // have started, outside the containment — exactly like the
+    // process dying. Completed units are already journaled.
+    const std::string path =
+        tempJournalPath("hard_resume_kill.journal.jsonl");
+    {
+        BatchJournal journal(path, kSignature);
+        std::atomic<unsigned> started{0};
+        BatchOptions opts;
+        opts.journal = &journal;
+        opts.unitStartHook = [&](std::size_t, std::int64_t) {
+            if (++started > 3)
+                throw std::runtime_error("simulated crash");
+        };
+        EXPECT_THROW(runBatch(healthyItems(), pool4, opts),
+                     std::runtime_error);
+    }
+
+    // Resume: restore the journaled units, run only the rest, and the
+    // final document is byte-identical to the uninterrupted sweep.
+    JournalEntries restored = loadJournal(path, kSignature);
+    EXPECT_GE(restored.size(), 1u);
+    EXPECT_LT(restored.size(), 6u); // something must be left to re-run
+    {
+        BatchJournal journal(path, kSignature, /*resume=*/true);
+        BatchOptions opts;
+        opts.journal = &journal;
+        opts.restored = &restored;
+        std::string resumed =
+            batchJson(runBatch(healthyItems(), pool4, opts)).dump(2);
+        EXPECT_EQ(resumed, uninterrupted);
+    }
+
+    // After the resumed sweep the journal holds every unit, so a
+    // second resume restores everything and re-runs nothing.
+    JournalEntries full = loadJournal(path, kSignature);
+    EXPECT_EQ(full.size(), 6u); // 2 items x (2 injected + race-free)
+    {
+        BatchOptions opts;
+        opts.restored = &full;
+        opts.unitStartHook = [](std::size_t, std::int64_t) {
+            FAIL() << "fully-journaled sweep must not re-run units";
+        };
+        std::string replayed =
+            batchJson(runBatch(healthyItems(), pool4, opts)).dump(2);
+        EXPECT_EQ(replayed, uninterrupted);
+    }
+    std::remove(path.c_str());
+}
+
+TEST(BatchResume, KeepGoingContainsADeadlockedItem)
+{
+    // One deliberately-hanging item next to a healthy one: with
+    // keep-going the sweep completes, the hang is recorded as a
+    // "deadlock" outcome with a repro command, and the healthy item's
+    // scores are exactly what a solo run produces.
+    std::vector<BatchItem> items = healthyItems();
+    BatchItem bad;
+    bad.workload = "deadlock";
+    bad.wp = tinyParams();
+    bad.sim = defaultSimConfig();
+    bad.factory = table2Detectors();
+    bad.runs = 1;
+    bad.seed0 = 700;
+    bad.reproBase = "hardsim --workload=deadlock --scale=0.04";
+    items.insert(items.begin(), std::move(bad));
+
+    RunPool pool(4);
+    BatchOptions opts;
+    opts.keepGoing = true;
+    std::vector<BatchItemResult> results = runBatch(items, pool, opts);
+    ASSERT_EQ(results.size(), 3u);
+
+    // The race-free run of the deadlock item actually executes the
+    // program and hits the structural deadlock.
+    const EffectivenessRun &hung = results[0].runDetail.back();
+    EXPECT_EQ(hung.outcome, "deadlock");
+    EXPECT_EQ(hung.errorType, "DeadlockError");
+    EXPECT_NE(hung.errorMessage.find("deadlock"), std::string::npos);
+
+    // Healthy neighbours are untouched by the contained failure.
+    RunPool solo(1);
+    std::vector<BatchItemResult> reference =
+        runBatch(healthyItems(), solo);
+    for (std::size_t i = 0; i < reference.size(); ++i)
+        EXPECT_EQ(toJson(results[i + 1].effectiveness).dump(),
+                  toJson(reference[i].effectiveness).dump());
+
+    // The v2 document lists the failure with its repro command.
+    Json doc = batchJson(results);
+    ASSERT_GE(doc["errors"].size(), 1u);
+    bool found = false;
+    for (std::size_t i = 0; i < doc["errors"].size(); ++i) {
+        const Json &e = doc["errors"].at(i);
+        if (e["outcome"].asString() != "deadlock")
+            continue;
+        found = true;
+        EXPECT_EQ(e["errorType"].asString(), "DeadlockError");
+        EXPECT_NE(e["repro"].asString().find("--workload=deadlock"),
+                  std::string::npos);
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(BatchResume, MaxFailuresSkipsLaterUnitsAndLeavesThemUnjournaled)
+{
+    // Item 0 cannot even build (unknown workload), so every one of
+    // its runs fails during the shared-map phase — exceeding the
+    // failure budget before any healthy unit starts.
+    std::vector<BatchItem> items;
+    BatchItem broken;
+    broken.workload = "no-such-workload";
+    broken.factory = table2Detectors();
+    broken.runs = 2;
+    items.push_back(std::move(broken));
+    items.push_back(healthyItems()[0]);
+
+    const std::string path =
+        tempJournalPath("hard_resume_skip.journal.jsonl");
+    RunPool pool(2);
+    std::vector<BatchItemResult> results;
+    {
+        BatchJournal journal(path, kSignature);
+        BatchOptions opts;
+        opts.keepGoing = true;
+        opts.maxFailures = 1;
+        opts.journal = &journal;
+        results = runBatch(items, pool, opts);
+    }
+
+    for (const EffectivenessRun &run : results[0].runDetail) {
+        EXPECT_EQ(run.outcome, "failed");
+        EXPECT_EQ(run.errorType, "ConfigError");
+        EXPECT_NE(run.errorMessage.find("unknown workload"),
+                  std::string::npos);
+    }
+    for (const EffectivenessRun &run : results[1].runDetail)
+        EXPECT_EQ(run.outcome, "skipped");
+
+    // Failed units are journaled (deterministic: a restore reproduces
+    // them); skipped units are not, so a resume re-runs them.
+    JournalEntries entries = loadJournal(path, kSignature);
+    EXPECT_EQ(entries.size(), results[0].runDetail.size());
+    for (const auto &[key, payload] : entries)
+        EXPECT_EQ(key.first, 0u);
+
+    // Skipped units never reach the errors array: they carry no
+    // failure, only "not executed".
+    Json doc = batchJson(results);
+    for (std::size_t i = 0; i < doc["errors"].size(); ++i)
+        EXPECT_NE(doc["errors"].at(i)["outcome"].asString(), "skipped");
+    std::remove(path.c_str());
+}
+
+TEST(BatchResume, OverheadUnitsJournalAndRestoreExactly)
+{
+    BatchItem item;
+    item.workload = "barnes";
+    item.wp = tinyParams();
+    item.sim = defaultSimConfig();
+    item.effectiveness = false;
+    item.overhead = true;
+
+    const std::string path =
+        tempJournalPath("hard_resume_overhead.journal.jsonl");
+    RunPool pool(2);
+    std::string measured;
+    {
+        BatchJournal journal(path, kSignature);
+        BatchOptions opts;
+        opts.journal = &journal;
+        measured = batchJson(runBatch({item}, pool, opts)).dump(2);
+    }
+
+    // Restore-only replay: the overhead numbers round-trip through
+    // the journal payload to a byte-identical document.
+    JournalEntries restored = loadJournal(path, kSignature);
+    ASSERT_EQ(restored.size(), 1u);
+    EXPECT_TRUE(restored.count({0, -1}));
+    BatchOptions opts;
+    opts.restored = &restored;
+    opts.unitStartHook = [](std::size_t, std::int64_t) {
+        FAIL() << "restored overhead unit must not re-run";
+    };
+    EXPECT_EQ(batchJson(runBatch({item}, pool, opts)).dump(2), measured);
+    std::remove(path.c_str());
+}
+
+TEST(BatchResume, JournalRejectsSignatureMismatch)
+{
+    const std::string path =
+        tempJournalPath("hard_resume_sig.journal.jsonl");
+    {
+        BatchJournal journal(path, "apps=barnes;runs=2");
+        journal.append({0, 0}, Json::object());
+    }
+    HARD_EXPECT_THROW_MSG(loadJournal(path, "apps=barnes;runs=99"),
+                          ConfigError, "signature");
+    EXPECT_NO_THROW(loadJournal(path, "apps=barnes;runs=2"));
+    std::remove(path.c_str());
+}
+
+TEST(BatchResume, JournalToleratesATornTrailingLine)
+{
+    const std::string path =
+        tempJournalPath("hard_resume_torn.journal.jsonl");
+    {
+        BatchJournal journal(path, kSignature);
+        Json payload = Json::object();
+        payload.set("index", 0u);
+        journal.append({0, 0}, payload);
+        journal.append({1, -1}, payload);
+    }
+    // Simulate dying mid-write: an unterminated half-record.
+    std::FILE *f = std::fopen(path.c_str(), "ab");
+    ASSERT_NE(f, nullptr);
+    std::fputs("{\"item\":1,\"run\":0,\"payl", f);
+    std::fclose(f);
+
+    JournalEntries entries = loadJournal(path, kSignature);
+    EXPECT_EQ(entries.size(), 2u);
+    EXPECT_TRUE(entries.count({0, 0}));
+    EXPECT_TRUE(entries.count({1, -1}));
+    std::remove(path.c_str());
+}
+
+TEST(BatchResume, JournalPathPairsWithTheJsonOutput)
+{
+    EXPECT_EQ(journalPathFor("results/sweep.json"),
+              "results/sweep.journal.jsonl");
+    EXPECT_EQ(journalPathFor("sweep"), "sweep.journal.jsonl");
+}
+
+TEST(BatchResume, MissingJournalFileThrowsConfigError)
+{
+    HARD_EXPECT_THROW_MSG(
+        loadJournal(::testing::TempDir() + "hard_no_such.journal.jsonl",
+                    kSignature),
+        ConfigError, "journal");
+}
+
+} // namespace
+} // namespace hard

@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include "common/error.hh"
+#include "throw_test_util.hh"
 #include "workloads/builder.hh"
 
 namespace hard
@@ -56,25 +58,25 @@ TEST(Builder, SitesAreNamespacedByWorkload)
     EXPECT_EQ(s1, s2);
 }
 
-TEST(BuilderDeath, UnbalancedLockIsFatal)
+TEST(BuilderDeath, UnbalancedLockThrows)
 {
     WorkloadBuilder b("t", 1);
     LockAddr l = b.allocLock("l");
     b.lock(0, l, b.site("s"));
-    EXPECT_EXIT(b.finish(), ::testing::ExitedWithCode(1),
-                "ends holding lock");
+    HARD_EXPECT_THROW_MSG(b.finish(), WorkloadError,
+                          "ends holding lock");
 }
 
-TEST(BuilderDeath, UnlockWithoutLockIsFatal)
+TEST(BuilderDeath, UnlockWithoutLockThrows)
 {
     WorkloadBuilder b("t", 1);
     LockAddr l = b.allocLock("l");
     b.unlock(0, l, b.site("s"));
-    EXPECT_EXIT(b.finish(), ::testing::ExitedWithCode(1),
-                "unlocks unheld");
+    HARD_EXPECT_THROW_MSG(b.finish(), WorkloadError,
+                          "unlocks unheld");
 }
 
-TEST(BuilderDeath, RecursiveLockIsFatal)
+TEST(BuilderDeath, RecursiveLockThrows)
 {
     WorkloadBuilder b("t", 1);
     LockAddr l = b.allocLock("l");
@@ -83,39 +85,40 @@ TEST(BuilderDeath, RecursiveLockIsFatal)
     b.lock(0, l, s);
     b.unlock(0, l, s);
     b.unlock(0, l, s);
-    EXPECT_EXIT(b.finish(), ::testing::ExitedWithCode(1),
-                "re-acquires");
+    HARD_EXPECT_THROW_MSG(b.finish(), WorkloadError,
+                          "re-acquires");
 }
 
-TEST(BuilderDeath, MismatchedBarrierSequencesAreFatal)
+TEST(BuilderDeath, MismatchedBarrierSequencesThrow)
 {
     WorkloadBuilder b("t", 2);
     Addr bar = b.allocBarrier("bar");
     SiteId s = b.site("s");
     // Only thread 0 arrives at the barrier.
     b.barrier(0, bar, s);
-    EXPECT_EXIT(b.finish(), ::testing::ExitedWithCode(1),
-                "disagree on the barrier sequence");
+    HARD_EXPECT_THROW_MSG(b.finish(), WorkloadError,
+                          "disagree on the barrier sequence");
 }
 
-TEST(BuilderDeath, OutOfBoundsAccessIsFatal)
+TEST(BuilderDeath, OutOfBoundsAccessThrows)
 {
     WorkloadBuilder b("t", 1);
     Addr d = b.alloc("d", 8);
     b.read(0, d + 4096, 8, b.site("s"));
-    EXPECT_EXIT(b.finish(), ::testing::ExitedWithCode(1),
-                "outside allocated");
+    HARD_EXPECT_THROW_MSG(b.finish(), WorkloadError,
+                          "outside allocated");
 }
 
-TEST(BuilderDeath, LineCrossingAccessIsFatal)
+TEST(BuilderDeath, LineCrossingAccessThrows)
 {
     WorkloadBuilder b("t", 1);
     Addr d = b.alloc("d", 64, 32);
     b.read(0, d + 28, 8, b.site("s"));
-    EXPECT_EXIT(b.finish(), ::testing::ExitedWithCode(1), "crosses");
+    HARD_EXPECT_THROW_MSG(b.finish(), WorkloadError,
+                          "crosses");
 }
 
-TEST(BuilderDeath, BarrierWhileHoldingLockIsFatal)
+TEST(BuilderDeath, BarrierWhileHoldingLockThrows)
 {
     WorkloadBuilder b("t", 1);
     LockAddr l = b.allocLock("l");
@@ -124,8 +127,8 @@ TEST(BuilderDeath, BarrierWhileHoldingLockIsFatal)
     b.lock(0, l, s);
     b.barrierAll(bar, s);
     b.unlock(0, l, s);
-    EXPECT_EXIT(b.finish(), ::testing::ExitedWithCode(1),
-                "holding a lock");
+    HARD_EXPECT_THROW_MSG(b.finish(), WorkloadError,
+                          "holding a lock");
 }
 
 } // namespace

@@ -7,6 +7,7 @@
 
 #include "common/rng.hh"
 #include "mem/cache.hh"
+#include "throw_test_util.hh"
 
 namespace hard
 {
@@ -42,11 +43,11 @@ TEST(CacheConfig, TagDisambiguatesAliasedLines)
 TEST(CacheConfigDeath, RejectsBadGeometry)
 {
     CacheConfig bad{100, 2, 32, 1};
-    EXPECT_EXIT(bad.validate("t"), ::testing::ExitedWithCode(1),
-                "not divisible");
+    HARD_EXPECT_THROW_MSG(bad.validate("t"), ConfigError,
+                          "not divisible");
     CacheConfig bad2{256, 2, 33, 1};
-    EXPECT_EXIT(bad2.validate("t"), ::testing::ExitedWithCode(1),
-                "power of two");
+    HARD_EXPECT_THROW_MSG(bad2.validate("t"), ConfigError,
+                          "power of two");
 }
 
 TEST(Cache, MissThenHit)

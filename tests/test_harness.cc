@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "harness/experiment.hh"
+#include "throw_test_util.hh"
 
 namespace hard
 {
@@ -89,9 +90,9 @@ TEST(HarnessDeath, EffectivenessRejectsHardTiming)
 {
     SimConfig cfg = defaultSimConfig();
     cfg.hardTiming.enabled = true;
-    EXPECT_EXIT(runEffectiveness("barnes", tinyParams(), cfg,
-                                 table2Detectors(), 1, 1),
-                ::testing::ExitedWithCode(1), "identical executions");
+    HARD_EXPECT_THROW_MSG(runEffectiveness("barnes", tinyParams(), cfg,
+                                           table2Detectors(), 1, 1),
+                          ConfigError, "identical executions");
 }
 
 TEST(Harness, RunWithDetectorsAttachesAll)

@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include "harness/experiment.hh"
+#include "throw_test_util.hh"
 
 namespace hard
 {
@@ -30,7 +31,7 @@ TEST(HarnessEdge, ZeroRunsStillMeasuresFalseAlarms)
     EXPECT_GT(res.at("hard.default").falseAlarms, 0u);
 }
 
-TEST(HarnessEdgeDeath, MaxCyclesAborts)
+TEST(HarnessEdgeDeath, MaxCyclesThrowsBudgetError)
 {
     WorkloadParams wp;
     wp.scale = 0.1;
@@ -38,8 +39,31 @@ TEST(HarnessEdgeDeath, MaxCyclesAborts)
     SimConfig cfg;
     cfg.maxCycles = 1000; // far too small for the workload
     System sys(cfg, p);
-    EXPECT_EXIT(sys.run(), ::testing::ExitedWithCode(1),
-                "exceeded maxCycles");
+    try {
+        sys.run();
+        FAIL() << "expected CycleBudgetError";
+    } catch (const CycleBudgetError &e) {
+        EXPECT_STREQ(e.outcome(), "budget_exceeded");
+        EXPECT_EQ(e.budget(), 1000u);
+        EXPECT_GT(e.cycle(), 1000u);
+        EXPECT_NE(std::string(e.what()).find("exceeded maxCycles"),
+                  std::string::npos);
+    }
+}
+
+TEST(HarnessEdge, DefaultCycleBudgetScalesWithProgramSize)
+{
+    WorkloadParams wp;
+    wp.scale = 0.05;
+    Program small = buildWorkload("ocean", wp);
+    wp.scale = 0.2;
+    Program big = buildWorkload("ocean", wp);
+    EXPECT_GT(defaultCycleBudget(small), 1'000'000u);
+    EXPECT_GT(defaultCycleBudget(big), defaultCycleBudget(small));
+    // The budget must be far above what the run actually needs.
+    System sys(SimConfig{}, small);
+    RunResult r = sys.run();
+    EXPECT_GT(defaultCycleBudget(small), 4 * r.totalCycles);
 }
 
 TEST(HarnessEdgeDeath, RunTwiceIsFatal)

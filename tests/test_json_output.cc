@@ -179,14 +179,16 @@ TEST(JsonOutput, BatchDocumentShapeAndEscaping)
     res.runDetail[2].byDetector["hard"].dynamicReports = 9;
     res.effectiveness = foldEffectiveness(res.runDetail);
 
-    Json doc = batchJson({res}, 4);
-    EXPECT_EQ(doc["schema"].asString(), "hard.batch.v1");
-    EXPECT_EQ(doc["jobs"].asUint(), 4u);
+    Json doc = batchJson({res});
+    EXPECT_EQ(doc["schema"].asString(), "hard.batch.v2");
     ASSERT_EQ(doc["items"].size(), 1u);
     const Json &item = doc["items"].at(0);
     EXPECT_EQ(item["workload"].asString(), "wl \"weird\" name");
     EXPECT_EQ(item["runs"].asUint(), 2u);
     EXPECT_EQ(item["seed0"].asUint(), 77u);
+    // All runs are healthy, so the v2 errors array is empty.
+    ASSERT_TRUE(doc["errors"].isArray());
+    EXPECT_EQ(doc["errors"].size(), 0u);
 
     const Json &eff = item["effectiveness"];
     ASSERT_EQ(eff["perRun"].size(), 3u);
@@ -204,6 +206,108 @@ TEST(JsonOutput, BatchDocumentShapeAndEscaping)
 
     // The whole document survives a dump/parse cycle.
     EXPECT_EQ(Json::parse(doc.dump(2)), doc);
+}
+
+TEST(JsonOutput, HealthyOverheadFlattensIntoTheItemWithOkOutcome)
+{
+    BatchItemResult res;
+    res.label = "barnes";
+    res.workload = "barnes";
+    res.haveOverhead = true;
+    res.overhead.baseCycles = 1000;
+    res.overhead.hardCycles = 1040;
+    res.overhead.overheadPct = 4.0;
+    res.overhead.metaBroadcasts = 12;
+    res.overhead.dataBytes = 2048;
+    res.overhead.metaBytes = 96;
+
+    Json doc = batchJson({res});
+    const Json &oh = doc["items"].at(0)["overhead"];
+    EXPECT_EQ(oh["outcome"].asString(), "ok");
+    EXPECT_EQ(oh["baseCycles"].asUint(), 1000u);
+    EXPECT_EQ(oh["hardCycles"].asUint(), 1040u);
+    EXPECT_EQ(oh["overheadPct"].asDouble(), 4.0);
+    EXPECT_EQ(oh["metaBytes"].asUint(), 96u);
+    EXPECT_EQ(doc["errors"].size(), 0u);
+    EXPECT_EQ(Json::parse(doc.dump(2)), doc);
+}
+
+TEST(JsonOutput, FailedUnitsLandInTheErrorsArrayWithRepro)
+{
+    BatchItemResult res;
+    res.label = "deadlock";
+    res.workload = "deadlock";
+    res.runs = 2;
+    res.seed0 = 1000;
+    res.reproBase = "hardsim --workload=deadlock --scale=0.5";
+    res.runDetail.resize(3);
+    res.runDetail[0].index = 0;
+    res.runDetail[0].outcome = "deadlock";
+    res.runDetail[0].errorType = "DeadlockError";
+    res.runDetail[0].errorMessage = "system: deadlock at cycle 254";
+    res.runDetail[1].index = 1;
+    res.runDetail[1].outcome = "skipped"; // --max-failures cut-off
+    res.runDetail[2].index = 2;
+    res.runDetail[2].raceFree = true;
+    res.effectiveness = foldEffectiveness(res.runDetail);
+    res.overheadOutcome = "budget_exceeded";
+    res.overheadErrorType = "CycleBudgetError";
+    res.overheadErrorMessage = "exceeded maxCycles";
+
+    Json doc = batchJson({res});
+    const Json &per_run = doc["items"].at(0)["effectiveness"]["perRun"];
+    EXPECT_EQ(per_run.at(0)["outcome"].asString(), "deadlock");
+    EXPECT_EQ(per_run.at(0)["errorType"].asString(), "DeadlockError");
+    EXPECT_EQ(per_run.at(1)["outcome"].asString(), "skipped");
+    EXPECT_EQ(per_run.at(2)["outcome"].asString(), "ok");
+    const Json &oh = doc["items"].at(0)["overhead"];
+    EXPECT_EQ(oh["outcome"].asString(), "budget_exceeded");
+    EXPECT_FALSE(oh.has("baseCycles"));
+
+    // errors: the deadlocked run and the overhead unit, but NOT the
+    // skipped run (it never executed; resume will run it).
+    ASSERT_EQ(doc["errors"].size(), 2u);
+    const Json &e0 = doc["errors"].at(0);
+    EXPECT_EQ(e0["unit"].asUint(), 0u);
+    EXPECT_EQ(e0["outcome"].asString(), "deadlock");
+    EXPECT_EQ(e0["repro"].asString(),
+              "hardsim --workload=deadlock --scale=0.5 --inject=1000");
+    const Json &e1 = doc["errors"].at(1);
+    EXPECT_EQ(e1["unit"].asString(), "overhead");
+    EXPECT_EQ(e1["repro"].asString(),
+              "hardsim --workload=deadlock --scale=0.5 --overhead");
+
+    EXPECT_EQ(Json::parse(doc.dump(2)), doc);
+}
+
+TEST(JsonOutput, EffectivenessRunRoundTripsThroughJournalPayload)
+{
+    EffectivenessRun run;
+    run.index = 3;
+    run.injectionValid = true;
+    run.byDetector["hard"].detected = true;
+    run.byDetector["hard"].sites = {2, 9};
+    run.byDetector["hard"].dynamicReports = 17;
+
+    EffectivenessRun back = effectivenessRunFromJson(toJson(run));
+    EXPECT_EQ(back.index, 3u);
+    EXPECT_TRUE(back.ok());
+    EXPECT_TRUE(back.injectionValid);
+    EXPECT_TRUE(back.byDetector["hard"].detected);
+    EXPECT_EQ(back.byDetector["hard"].sites, run.byDetector["hard"].sites);
+    EXPECT_EQ(back.byDetector["hard"].dynamicReports, 17u);
+    EXPECT_EQ(toJson(back).dump(), toJson(run).dump());
+
+    EffectivenessRun failed;
+    failed.index = 1;
+    failed.outcome = "deadlock";
+    failed.errorType = "DeadlockError";
+    failed.errorMessage = "stuck";
+    EffectivenessRun fback = effectivenessRunFromJson(toJson(failed));
+    EXPECT_FALSE(fback.ok());
+    EXPECT_EQ(fback.outcome, "deadlock");
+    EXPECT_EQ(fback.errorType, "DeadlockError");
+    EXPECT_EQ(fback.errorMessage, "stuck");
 }
 
 TEST(JsonOutput, WriteJsonFileProducesParseableFile)

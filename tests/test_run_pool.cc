@@ -159,6 +159,63 @@ TEST(RunPool, ZeroJobsSelectsHardwareDefault)
     EXPECT_EQ(count.load(), 7);
 }
 
+TEST(RunPool, RunCollectKeysErrorsByIndexAndRunsEverything)
+{
+    RunPool pool(4);
+    std::atomic<int> completed{0};
+    std::vector<std::exception_ptr> errs =
+        pool.runCollect(16, [&](std::size_t i) {
+            if (i == 3 || i == 11)
+                throw std::runtime_error("task " + std::to_string(i));
+            ++completed;
+        });
+    ASSERT_EQ(errs.size(), 16u);
+    // Every healthy task ran: failures are collected, not propagated.
+    EXPECT_EQ(completed.load(), 14);
+    for (std::size_t i = 0; i < errs.size(); ++i) {
+        if (i == 3 || i == 11) {
+            ASSERT_TRUE(errs[i]) << "index " << i;
+            try {
+                std::rethrow_exception(errs[i]);
+            } catch (const std::runtime_error &e) {
+                EXPECT_EQ(std::string(e.what()),
+                          "task " + std::to_string(i));
+            }
+        } else {
+            EXPECT_FALSE(errs[i]) << "index " << i;
+        }
+    }
+}
+
+TEST(RunPool, RunCollectSerialRunsAllTasksDespiteFailures)
+{
+    // Unlike runIndexed at jobs == 1 (which stops at the first throw,
+    // like a plain loop), runCollect must execute every task so a
+    // keep-going batch sees every unit's outcome.
+    RunPool pool(1);
+    std::vector<std::size_t> ran;
+    std::vector<std::exception_ptr> errs =
+        pool.runCollect(6, [&](std::size_t i) {
+            ran.push_back(i);
+            if (i % 2 == 0)
+                throw std::runtime_error("boom");
+        });
+    EXPECT_EQ(ran, (std::vector<std::size_t>{0, 1, 2, 3, 4, 5}));
+    ASSERT_EQ(errs.size(), 6u);
+    for (std::size_t i = 0; i < errs.size(); ++i)
+        EXPECT_EQ(static_cast<bool>(errs[i]), i % 2 == 0) << i;
+}
+
+TEST(RunPool, RunCollectEmptyBatch)
+{
+    RunPool pool(4);
+    std::vector<std::exception_ptr> errs =
+        pool.runCollect(0, [](std::size_t) {
+            FAIL() << "task ran for an empty batch";
+        });
+    EXPECT_TRUE(errs.empty());
+}
+
 TEST(RunPool, MoreWorkersThanTasks)
 {
     RunPool pool(16);

@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include "sim/system.hh"
+#include "throw_test_util.hh"
 
 namespace hard
 {
@@ -297,36 +298,58 @@ TEST(System, ObserverEventsArriveInCycleOrderPerThread)
     }
 }
 
-TEST(SystemDeath, BarrierDeadlockPanics)
+TEST(SystemDeath, BarrierDeadlockThrows)
 {
     Program p = makeProgram(2);
     p.threads[0].ops = {opBarrier(0x3000, 0)};
     p.threads[1].ops = {}; // thread 1 exits; barrier can never fill
     System sys(SimConfig{}, p);
-    EXPECT_DEATH(sys.run(), "deadlock");
+    HARD_EXPECT_THROW_MSG(sys.run(), DeadlockError, "deadlock");
 }
 
-TEST(SystemDeath, UnlockWithoutLockPanics)
+TEST(SystemDeath, DeadlockErrorCarriesThreadSnapshots)
+{
+    Program p = makeProgram(2);
+    p.threads[0].ops = {opBarrier(0x3000, 7)};
+    p.threads[1].ops = {};
+    System sys(SimConfig{}, p);
+    try {
+        sys.run();
+        FAIL() << "expected DeadlockError";
+    } catch (const DeadlockError &e) {
+        EXPECT_EQ(e.kind(), SimErrorKind::Deadlock);
+        EXPECT_STREQ(e.outcome(), "deadlock");
+        ASSERT_EQ(e.threads().size(), 2u);
+        EXPECT_EQ(e.threads()[0].tid, 0u);
+        EXPECT_EQ(e.threads()[0].status, "WaitBarrier");
+        EXPECT_EQ(e.threads()[0].waitKind, "barrier");
+        EXPECT_EQ(e.threads()[0].waitAddr, 0x3000u);
+        EXPECT_EQ(e.threads()[0].waitSite, 7u);
+        EXPECT_EQ(e.threads()[1].status, "Done");
+    }
+}
+
+TEST(SystemDeath, UnlockWithoutLockThrows)
 {
     Program p = makeProgram(1);
     p.threads[0].ops = {opUnlock(0x1000, 0)};
     System sys(SimConfig{}, p);
-    EXPECT_DEATH(sys.run(), "does not hold");
+    HARD_EXPECT_THROW_MSG(sys.run(), WorkloadError, "does not hold");
 }
 
-TEST(SystemDeath, ExitHoldingLockPanics)
+TEST(SystemDeath, ExitHoldingLockThrows)
 {
     Program p = makeProgram(1);
     p.threads[0].ops = {opLock(0x1000, 0)};
     System sys(SimConfig{}, p);
-    EXPECT_DEATH(sys.run(), "exited holding");
+    HARD_EXPECT_THROW_MSG(sys.run(), WorkloadError, "exited holding");
 }
 
-TEST(SystemDeath, MoreThanEightThreadsIsFatal)
+TEST(SystemDeath, MoreThanEightThreadsThrows)
 {
     Program p = makeProgram(9);
-    EXPECT_EXIT(System(SimConfig{}, p), ::testing::ExitedWithCode(1),
-                "at most 8");
+    HARD_EXPECT_THROW_MSG(System(SimConfig{}, p), ConfigError,
+                          "at most 8");
 }
 
 /** Observer recording context switches. */

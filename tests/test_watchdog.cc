@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Tests for the failure-containment layer inside System::run(): the
+ * structural deadlock detector, the forward-progress watchdog, the
+ * diagnostic thread snapshots carried by DeadlockError, and the
+ * absence of false positives on the healthy paper workloads.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/error.hh"
+#include "sim/system.hh"
+#include "workloads/registry.hh"
+
+namespace hard
+{
+namespace
+{
+
+SimConfig
+cfg()
+{
+    return SimConfig{};
+}
+
+TEST(Watchdog, DeadlockWorkloadThrowsStructuralDeadlockImmediately)
+{
+    Program p = buildWorkload("deadlock", WorkloadParams{});
+    System sys(cfg(), p);
+    try {
+        sys.run();
+        FAIL() << "expected DeadlockError";
+    } catch (const DeadlockError &e) {
+        EXPECT_EQ(e.kind(), SimErrorKind::Deadlock);
+        EXPECT_STREQ(e.outcome(), "deadlock");
+        // Structural detection: both threads crossed in WaitSema long
+        // before the watchdog horizon.
+        EXPECT_LT(e.cycle(), SimConfig{}.watchdogCycles);
+        EXPECT_NE(std::string(e.what()).find("deadlock"),
+                  std::string::npos);
+    }
+}
+
+TEST(Watchdog, DeadlockSnapshotNamesWaitersAndHeldLocks)
+{
+    Program p = buildWorkload("deadlock", WorkloadParams{});
+    System sys(cfg(), p);
+    try {
+        sys.run();
+        FAIL() << "expected DeadlockError";
+    } catch (const DeadlockError &e) {
+        ASSERT_EQ(e.threads().size(), 2u);
+        for (const ThreadSnapshot &s : e.threads()) {
+            EXPECT_EQ(s.status, "WaitSema");
+            EXPECT_EQ(s.waitKind, "sema");
+            // Warmup (3 ops) plus the lock retired before the wait.
+            EXPECT_EQ(s.pc, 4u);
+            EXPECT_EQ(s.opCount, 7u);
+            // Each thread still holds its guard lock.
+            ASSERT_EQ(s.heldLocks.size(), 1u);
+            // The human-readable line carries the same facts.
+            const std::string line = s.describe();
+            EXPECT_NE(line.find("WaitSema"), std::string::npos);
+            EXPECT_NE(line.find("holds"), std::string::npos);
+        }
+        // The two threads wait on different semaphores (the cycle).
+        EXPECT_NE(e.threads()[0].waitAddr, e.threads()[1].waitAddr);
+        EXPECT_NE(e.threads()[0].heldLocks[0],
+                  e.threads()[1].heldLocks[0]);
+    }
+}
+
+TEST(Watchdog, LivelockWorkloadTripsForwardProgressWatchdog)
+{
+    Program p = buildWorkload("livelock", WorkloadParams{});
+    SimConfig c = cfg();
+    c.watchdogCycles = 20'000; // small horizon for a fast test
+    System sys(c, p);
+    try {
+        sys.run();
+        FAIL() << "expected DeadlockError";
+    } catch (const DeadlockError &e) {
+        EXPECT_NE(std::string(e.what()).find("no forward progress"),
+                  std::string::npos);
+        EXPECT_GE(e.stalledFor(), c.watchdogCycles);
+        // Both threads are schedulable spinners holding the other's
+        // inner lock — the ABBA signature.
+        ASSERT_EQ(e.threads().size(), 2u);
+        for (const ThreadSnapshot &s : e.threads()) {
+            EXPECT_EQ(s.status, "WaitLock");
+            EXPECT_EQ(s.waitKind, "lock");
+            ASSERT_EQ(s.heldLocks.size(), 1u);
+        }
+        EXPECT_EQ(e.threads()[0].waitAddr, e.threads()[1].heldLocks[0]);
+        EXPECT_EQ(e.threads()[1].waitAddr, e.threads()[0].heldLocks[0]);
+    }
+}
+
+TEST(Watchdog, WithWatchdogOffTheCycleBudgetStillBoundsALivelock)
+{
+    Program p = buildWorkload("livelock", WorkloadParams{});
+    SimConfig c = cfg();
+    c.watchdogCycles = 0;  // watchdog disabled
+    c.maxCycles = 50'000;  // finite budget catches the spin instead
+    System sys(c, p);
+    try {
+        sys.run();
+        FAIL() << "expected CycleBudgetError";
+    } catch (const CycleBudgetError &e) {
+        EXPECT_STREQ(e.outcome(), "budget_exceeded");
+        EXPECT_EQ(e.budget(), 50'000u);
+        EXPECT_GT(e.cycle(), 50'000u);
+    }
+}
+
+TEST(Watchdog, CleanPaperWorkloadsNeverTripTheDefaultWatchdog)
+{
+    // All six SPLASH-like models (small scale) complete under the
+    // default watchdog: barrier waits, lock convoys and semaphore
+    // hand-offs must all be recognised as legitimate progress.
+    WorkloadParams wp;
+    wp.scale = 0.05;
+    for (const WorkloadInfo &w : allWorkloads()) {
+        Program p = w.build(wp);
+        System sys(cfg(), p);
+        EXPECT_NO_THROW(sys.run()) << w.name;
+    }
+}
+
+TEST(Watchdog, SingleLongComputeIsNotMistakenForAStall)
+{
+    // Regression: one thread issues a Compute far beyond the watchdog
+    // horizon while its sibling retires quick ops at small cycles and
+    // finishes. The progress clock must extend to the Compute's end
+    // and must not be pulled backwards by the sibling's earlier
+    // retirements.
+    WorkloadBuilder b("longcompute", 2);
+    Addr x = b.alloc("x", 64, 32);
+    SiteId s = b.site("w");
+    for (int i = 0; i < 8; ++i)
+        b.write(0, x, 8, s);
+    b.compute(1, 200'000);
+    b.write(1, x + 32, 8, s);
+    Program p = b.finish();
+
+    SimConfig c = cfg();
+    c.watchdogCycles = 50'000; // far below the Compute length
+    System sys(c, p);
+    RunResult res;
+    ASSERT_NO_THROW(res = sys.run());
+    EXPECT_GE(res.totalCycles, 200'000u);
+}
+
+} // namespace
+} // namespace hard

@@ -10,6 +10,7 @@
 #include "detector_test_util.hh"
 #include "detectors/happens_before.hh"
 #include "detectors/ideal_lockset.hh"
+#include "throw_test_util.hh"
 #include "workloads/injector.hh"
 #include "workloads/registry.hh"
 
@@ -38,10 +39,25 @@ TEST(Workloads, RegistryHasTheSixPaperApplications)
     EXPECT_STREQ(all[5].name, "raytrace");
 }
 
-TEST(WorkloadsDeath, UnknownNameIsFatal)
+TEST(WorkloadsDeath, UnknownNameThrows)
 {
-    EXPECT_EXIT(buildWorkload("nosuch", testParams()),
-                ::testing::ExitedWithCode(1), "unknown workload");
+    HARD_EXPECT_THROW_MSG(buildWorkload("nosuch", testParams()),
+                          ConfigError, "unknown workload");
+}
+
+TEST(Workloads, FaultRegistryHasTheBrokenMicroWorkloads)
+{
+    const auto &faults = faultWorkloads();
+    ASSERT_EQ(faults.size(), 2u);
+    EXPECT_STREQ(faults[0].name, "deadlock");
+    EXPECT_STREQ(faults[1].name, "livelock");
+    // Buildable by name, but never part of the default sweep set.
+    for (const WorkloadInfo &f : faults) {
+        Program p = buildWorkload(f.name, testParams());
+        EXPECT_EQ(p.threads.size(), 2u);
+        for (const WorkloadInfo &w : allWorkloads())
+            EXPECT_STRNE(w.name, f.name);
+    }
 }
 
 class WorkloadSweep : public ::testing::TestWithParam<const char *>

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Shared helper for asserting that a statement throws a specific
+ * SimError subclass whose message contains a given substring —
+ * the typed-exception counterpart of EXPECT_DEATH(stmt, regex) used
+ * before per-run failures became recoverable.
+ */
+
+#ifndef HARD_TESTS_THROW_TEST_UTIL_HH
+#define HARD_TESTS_THROW_TEST_UTIL_HH
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+/** Expect @p stmt to throw @p ExType with @p substr in its what(). */
+#define HARD_EXPECT_THROW_MSG(stmt, ExType, substr)                     \
+    do {                                                                \
+        bool threw_expected_ = false;                                   \
+        try {                                                           \
+            stmt;                                                       \
+        } catch (const ExType &caught_) {                               \
+            threw_expected_ = true;                                     \
+            EXPECT_NE(std::string(caught_.what()).find(substr),         \
+                      std::string::npos)                                \
+                << #stmt " threw " #ExType                              \
+                << " but the message lacks \"" << (substr)              \
+                << "\": " << caught_.what();                            \
+        }                                                               \
+        EXPECT_TRUE(threw_expected_)                                    \
+            << #stmt " did not throw " #ExType;                         \
+    } while (0)
+
+#endif // HARD_TESTS_THROW_TEST_UTIL_HH

@@ -64,6 +64,21 @@ struct Options
     std::uint64_t batchSeed = 1000;
     std::string jsonPath;
 
+    // Failure containment / resume.
+    bool keepGoing = false;
+    unsigned maxFailures = 0; // 0 = unlimited
+    bool resume = false;
+    Cycle maxCycles = 0; // 0 = default budget (batch) / unlimited
+    Cycle watchdogCycles = 0;
+    bool watchdogSet = false;
+
+    /**
+     * Flags that also apply to a single run, in the order given —
+     * the tail of the exact repro command reported for batch
+     * failures.
+     */
+    std::vector<std::string> reproArgs;
+
     // Machine shape (defaults = Table 1).
     unsigned cores = 4;
     std::string protocol = "mesi";
@@ -113,7 +128,25 @@ usage()
         "  --inject=<seed0>          base injection seed (1000); run r\n"
         "                            injects with seed0 + r\n"
         "  --json=<file>             write per-run + aggregate results as\n"
-        "                            JSON\n"
+        "                            JSON (schema hard.batch.v2)\n"
+        "  --keep-going              contain per-run failures: record each\n"
+        "                            run's outcome (ok | failed | deadlock\n"
+        "                            | budget_exceeded) with a repro\n"
+        "                            command and finish the sweep (exit 0)\n"
+        "  --max-failures=<n>        with --keep-going: skip remaining\n"
+        "                            runs after n failures (exit 1)\n"
+        "  --resume                  continue an interrupted sweep from\n"
+        "                            <json>.journal.jsonl; the final JSON\n"
+        "                            is byte-identical to an uninterrupted\n"
+        "                            run at any --jobs value\n"
+        "\n"
+        "failure detection (single runs and batch):\n"
+        "  --max-cycles=<n>          cycle budget per run; 0 = unlimited\n"
+        "                            for single runs, a workload-scaled\n"
+        "                            default for batch runs\n"
+        "  --watchdog-cycles=<n>     declare deadlock after n cycles with\n"
+        "                            no retired op (default 1000000;\n"
+        "                            0 = off)\n"
         "\n"
         "machine shape (defaults = paper Table 1):\n"
         "  --cores=<n>               core count (4)\n"
@@ -144,6 +177,26 @@ parse(int argc, char **argv)
             }
             return false;
         };
+        // Flags meaningful for a single run are replayed verbatim in
+        // the repro commands batch mode reports for failed runs.
+        static const char *const kSingleRunFlags[] = {
+            "--scale=",       "--seed=",        "--detectors=",
+            "--cores=",       "--l1-kb=",       "--l2-kb=",
+            "--line-bytes=",  "--mem-latency=", "--protocol=",
+            "--bloom-bits=",  "--granularity=", "--barrier-reset=",
+            "--max-cycles=",  "--watchdog-cycles=",
+            "--unbounded",    "--directory",
+        };
+        for (const char *flag : kSingleRunFlags) {
+            std::size_t n = std::strlen(flag);
+            bool match = flag[n - 1] == '='
+                ? std::strncmp(a, flag, n) == 0
+                : std::strcmp(a, flag) == 0;
+            if (match) {
+                o.reproArgs.push_back(a);
+                break;
+            }
+        }
         std::string v;
         if (std::strcmp(a, "--help") == 0 || std::strcmp(a, "-h") == 0) {
             usage();
@@ -162,6 +215,17 @@ parse(int argc, char **argv)
             hard_fatal_if(o.runs == 0, "--runs must be positive");
         } else if (eat("--json=", v)) {
             o.jsonPath = v;
+        } else if (std::strcmp(a, "--keep-going") == 0) {
+            o.keepGoing = true;
+        } else if (eat("--max-failures=", v)) {
+            o.maxFailures = static_cast<unsigned>(std::atoi(v.c_str()));
+        } else if (std::strcmp(a, "--resume") == 0) {
+            o.resume = true;
+        } else if (eat("--max-cycles=", v)) {
+            o.maxCycles = std::strtoull(v.c_str(), nullptr, 10);
+        } else if (eat("--watchdog-cycles=", v)) {
+            o.watchdogCycles = std::strtoull(v.c_str(), nullptr, 10);
+            o.watchdogSet = true;
         } else if (eat("--detectors=", v)) {
             o.detectors = v;
         } else if (eat("--record=", v)) {
@@ -218,6 +282,9 @@ makeSimConfig(const Options &o)
     cfg.memsys.l2.sizeBytes = o.l2Kb * 1024;
     cfg.memsys.l2.lineBytes = o.lineBytes;
     cfg.memsys.memLatency = o.memLatency;
+    cfg.maxCycles = o.maxCycles;
+    if (o.watchdogSet)
+        cfg.watchdogCycles = o.watchdogCycles;
     if (o.protocol == "msi")
         cfg.memsys.protocol = CoherenceProtocol::MSI;
     else if (o.protocol != "mesi")
@@ -328,7 +395,42 @@ runBatchMode(const Options &o)
         item.overhead = o.overhead;
         item.directory = o.directory;
         item.hardCfg = makeHardConfig(o);
+        item.reproBase = "hardsim --workload=" + app;
+        for (const std::string &arg : o.reproArgs)
+            item.reproBase += " " + arg;
         items.push_back(std::move(item));
+    }
+
+    // Canonical description of this sweep; a journal written under a
+    // different signature cannot be resumed into this one.
+    std::string signature = "apps=";
+    for (std::size_t i = 0; i < apps.size(); ++i)
+        signature += (i ? "," : "") + apps[i];
+    signature += ";runs=" + std::to_string(o.runs);
+    signature += ";seed0=" + std::to_string(seed0);
+    signature += ";overhead=" + std::to_string(o.overhead ? 1 : 0);
+    for (const std::string &arg : o.reproArgs)
+        signature += ";" + arg;
+
+    BatchOptions bopts;
+    bopts.keepGoing = o.keepGoing;
+    bopts.maxFailures = o.maxFailures;
+    hard_throw_if(o.resume && o.jsonPath.empty(), ConfigError,
+                  "--resume requires --json=<file> (the journal lives "
+                  "next to the JSON output)");
+    std::unique_ptr<BatchJournal> journal;
+    JournalEntries restored;
+    if (!o.jsonPath.empty()) {
+        const std::string jpath = journalPathFor(o.jsonPath);
+        if (o.resume) {
+            restored = loadJournal(jpath, signature);
+            bopts.restored = &restored;
+            std::printf("resuming: %zu unit(s) restored from %s\n",
+                        restored.size(), jpath.c_str());
+        }
+        journal = std::make_unique<BatchJournal>(jpath, signature,
+                                                 o.resume);
+        bopts.journal = journal.get();
     }
 
     RunPool pool(o.jobs);
@@ -336,7 +438,7 @@ runBatchMode(const Options &o)
                 "runs x %zu detector(s) on %u worker(s), seed0=%llu\n\n",
                 apps.size(), o.runs, det_names.size(), pool.jobs(),
                 static_cast<unsigned long long>(seed0));
-    std::vector<BatchItemResult> results = runBatch(items, pool);
+    std::vector<BatchItemResult> results = runBatch(items, pool, bopts);
 
     Table t("Batch effectiveness (bugs detected out of attempted runs; "
             "race-free-run false alarms)");
@@ -349,7 +451,14 @@ runBatchMode(const Options &o)
     for (const BatchItemResult &res : results) {
         std::vector<std::string> row{res.label};
         for (const std::string &d : det_names) {
-            const DetectorScore &s = res.effectiveness.at(d);
+            // An item whose runs all failed has no score for d.
+            auto it = res.effectiveness.find(d);
+            if (it == res.effectiveness.end()) {
+                row.push_back("-");
+                row.push_back("-");
+                continue;
+            }
+            const DetectorScore &s = it->second;
             row.push_back(std::to_string(s.bugsDetected) + "/" +
                           std::to_string(s.runsAttempted));
             row.push_back(std::to_string(s.falseAlarms));
@@ -365,6 +474,14 @@ runBatchMode(const Options &o)
         oh.setHeader({"Application", "Base cycles", "HARD cycles",
                       "Overhead %", "Meta bytes", "Data bytes"});
         for (const BatchItemResult &res : results) {
+            if (!res.haveOverhead) {
+                oh.addRow({res.label,
+                           res.overheadOutcome.empty()
+                               ? "-"
+                               : res.overheadOutcome,
+                           "-", "-", "-", "-"});
+                continue;
+            }
             char pct[32];
             std::snprintf(pct, sizeof(pct), "%.2f", res.overhead.overheadPct);
             oh.addRow({res.label, std::to_string(res.overhead.baseCycles),
@@ -376,11 +493,48 @@ runBatchMode(const Options &o)
         std::fputs(oh.render().c_str(), stdout);
     }
 
+    // Per-failure report with exact single-run repro commands, and
+    // the exit status: failures contained by --keep-going still exit
+    // 0 (the sweep itself succeeded); an aborted sweep
+    // (--max-failures) exits 1.
+    unsigned failed = 0, skipped = 0;
+    for (const BatchItemResult &res : results) {
+        for (const EffectivenessRun &run : res.runDetail) {
+            if (run.outcome == "skipped") {
+                ++skipped;
+            } else if (!run.ok()) {
+                ++failed;
+                std::printf("\n%s run %u: %s (%s)\n  %s\n  repro: %s\n",
+                            res.label.c_str(), run.index,
+                            run.outcome.c_str(), run.errorType.c_str(),
+                            run.errorMessage.c_str(),
+                            reproCommand(
+                                res,
+                                static_cast<std::int64_t>(run.index))
+                                .c_str());
+            }
+        }
+        if (res.overheadOutcome == "skipped") {
+            ++skipped;
+        } else if (!res.overheadOutcome.empty() &&
+                   res.overheadOutcome != "ok") {
+            ++failed;
+            std::printf("\n%s overhead: %s (%s)\n  %s\n  repro: %s\n",
+                        res.label.c_str(), res.overheadOutcome.c_str(),
+                        res.overheadErrorType.c_str(),
+                        res.overheadErrorMessage.c_str(),
+                        reproCommand(res, -1).c_str());
+        }
+    }
+    if (failed != 0 || skipped != 0)
+        std::printf("\nbatch: %u unit(s) failed, %u skipped\n", failed,
+                    skipped);
+
     if (!o.jsonPath.empty()) {
-        writeJsonFile(o.jsonPath, batchJson(results, pool.jobs()));
+        writeJsonFile(o.jsonPath, batchJson(results));
         std::printf("\nresults written to %s\n", o.jsonPath.c_str());
     }
-    return 0;
+    return skipped != 0 ? 1 : 0;
 }
 
 void
@@ -417,8 +571,9 @@ printReports(const std::vector<std::unique_ptr<RaceDetector>> &dets,
 
 } // namespace
 
+/** Body of main(); SimErrors propagate to the wrapper below. */
 int
-main(int argc, char **argv)
+run(int argc, char **argv)
 {
     Options o = parse(argc, argv);
 
@@ -427,6 +582,8 @@ main(int argc, char **argv)
             std::printf("%-16s %s\n", w.name, w.description);
         for (const WorkloadInfo &w : extensionWorkloads())
             std::printf("%-16s [extension] %s\n", w.name, w.description);
+        for (const WorkloadInfo &w : faultWorkloads())
+            std::printf("%-16s %s\n", w.name, w.description);
         return 0;
     }
 
@@ -525,4 +682,15 @@ main(int argc, char **argv)
                         static_cast<unsigned long long>(value));
     }
     return 0;
+}
+
+int
+main(int argc, char **argv)
+{
+    try {
+        return run(argc, argv);
+    } catch (const SimError &e) {
+        std::fprintf(stderr, "hardsim: %s: %s\n", e.typeName(), e.what());
+        return 1;
+    }
 }
