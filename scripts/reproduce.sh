@@ -19,8 +19,26 @@ if [[ "${1:-}" == "--quick" ]]; then
     SCALE_ARGS=(--scale=0.25 --runs=4)
 fi
 
+if ! command -v cmake > /dev/null; then
+    echo "reproduce.sh: cmake not found on PATH; install a C++17" \
+         "toolchain + CMake + Ninja first" >&2
+    exit 1
+fi
+
 cmake -B build -G Ninja
 cmake --build build
+
+# The sweep below blindly executes build/bench/* and build/tools/*; if
+# the build step silently produced nothing (e.g. a cached configure
+# against a removed generator), fail here with a clear message instead
+# of an empty bench loop that "succeeds".
+for required in build/tools/hardsim build/tools/hardfuzz; do
+    if [[ ! -x "$required" ]]; then
+        echo "reproduce.sh: $required missing after the build;" \
+             "delete build/ and re-run" >&2
+        exit 1
+    fi
+done
 
 ctest --test-dir build --output-on-failure 2>&1 | tee test_output.txt
 
@@ -51,6 +69,11 @@ mkdir -p results
     echo "================ hardsim --batch ================"
     ./build/tools/hardsim --batch "${COMMON_ARGS[@]}" "${SCALE_ARGS[@]}" \
         --json=results/hardsim_batch.json
+    echo
+
+    echo "================ hardfuzz ================"
+    ./build/tools/hardfuzz --seeds 0..199 "${COMMON_ARGS[@]}" \
+        --json=results/hardfuzz.json
     echo
 } 2>&1 | tee bench_output.txt
 

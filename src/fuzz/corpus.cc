@@ -1,0 +1,122 @@
+#include "fuzz/corpus.hh"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "common/error.hh"
+
+namespace hard
+{
+
+namespace
+{
+
+std::string
+readFileOrThrow(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    hard_throw_if(!in, ConfigError, "corpus: cannot open %s",
+                  path.c_str());
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+std::string
+joinNames(const std::set<std::string> &names)
+{
+    std::string out;
+    for (const std::string &n : names) {
+        if (!out.empty())
+            out += ",";
+        out += n;
+    }
+    return out.empty() ? "(none)" : out;
+}
+
+} // namespace
+
+CorpusVerdict
+checkCorpusCase(const std::string &case_path)
+{
+    namespace fs = std::filesystem;
+    CorpusVerdict v;
+    v.name = fs::path(case_path).filename().string();
+    const std::string suffix = ".case.json";
+    if (v.name.size() > suffix.size() &&
+        v.name.compare(v.name.size() - suffix.size(), suffix.size(),
+                       suffix) == 0)
+        v.name.resize(v.name.size() - suffix.size());
+
+    try {
+        std::string err;
+        Json doc = Json::parse(readFileOrThrow(case_path), &err);
+        hard_throw_if(!err.empty() || !doc.isObject(), ConfigError,
+                      "corpus: %s: bad JSON: %s", case_path.c_str(),
+                      err.c_str());
+        hard_throw_if(!doc.has("schema") ||
+                          doc["schema"].asString() != "hard.fuzz.case.v1",
+                      ConfigError, "corpus: %s: not a hard.fuzz.case.v1",
+                      case_path.c_str());
+
+        FuzzConfig cfg;
+        const Json &jc = doc["config"];
+        cfg.granularity =
+            static_cast<unsigned>(jc["granularity"].asUint());
+        cfg.bloomBits = static_cast<unsigned>(jc["bloom_bits"].asUint());
+        cfg.weaken = parseWeaken(jc["weaken"].asString());
+
+        const fs::path trc =
+            fs::path(case_path).parent_path() / doc["trace"].asString();
+        Trace trace = readTrace(trc.string());
+
+        std::set<std::string> expected;
+        const Json &jx = doc["expect_violations"];
+        for (std::size_t i = 0; i < jx.size(); ++i)
+            expected.insert(jx.at(i).asString());
+
+        std::set<std::string> got;
+        for (const Violation &viol :
+             checkInvariants(analyzeTrace(trace, cfg)))
+            got.insert(viol.invariant);
+
+        if (got == expected) {
+            v.ok = true;
+        } else {
+            v.message = "expected violations [" + joinNames(expected) +
+                        "] but replay produced [" + joinNames(got) + "]";
+        }
+    } catch (const std::exception &e) {
+        v.message = e.what();
+    }
+    return v;
+}
+
+std::vector<CorpusVerdict>
+checkCorpus(const std::string &dir)
+{
+    namespace fs = std::filesystem;
+    hard_throw_if(!fs::is_directory(dir), ConfigError,
+                  "corpus: %s is not a directory", dir.c_str());
+
+    std::vector<std::string> cases;
+    for (const auto &entry : fs::directory_iterator(dir)) {
+        const std::string name = entry.path().filename().string();
+        if (name.size() > 10 &&
+            name.compare(name.size() - 10, 10, ".case.json") == 0)
+            cases.push_back(entry.path().string());
+    }
+    std::sort(cases.begin(), cases.end());
+    hard_throw_if(cases.empty(), ConfigError,
+                  "corpus: no *.case.json files under %s", dir.c_str());
+
+    std::vector<CorpusVerdict> out;
+    for (const std::string &c : cases)
+        out.push_back(checkCorpusCase(c));
+    return out;
+}
+
+} // namespace hard

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Seed-corpus regression checking.
+ *
+ * A corpus case is a pair of files produced by the fuzzer's artifact
+ * writer (or committed by hand):
+ *   <name>.trc        — a (minimized) replayable trace
+ *   <name>.case.json  — hard.fuzz.case.v1: analysis config + the
+ *                       invariant violations the trace must reproduce
+ *                       (empty list = the trace must be clean)
+ *
+ * checkCorpus() re-judges every case in a directory: replay the trace
+ * through a fresh battery + oracles under the recorded config and
+ * compare the violated-invariant set against the expectation. This is
+ * the fuzzing analogue of a unit-test suite: every bug the fuzzer ever
+ * caught stays caught.
+ */
+
+#ifndef HARD_FUZZ_CORPUS_HH
+#define HARD_FUZZ_CORPUS_HH
+
+#include <string>
+#include <vector>
+
+#include "fuzz/runner.hh"
+
+namespace hard
+{
+
+/** Outcome of re-judging one corpus case. */
+struct CorpusVerdict
+{
+    /** Case name (the files' shared stem). */
+    std::string name;
+    bool ok = false;
+    /** Diagnostic when !ok. */
+    std::string message;
+};
+
+/**
+ * Re-judge one corpus case.
+ * @param case_path Path to the <name>.case.json file.
+ */
+CorpusVerdict checkCorpusCase(const std::string &case_path);
+
+/**
+ * Re-judge every *.case.json under @p dir (sorted by name).
+ * @throws ConfigError if @p dir does not exist or holds no cases.
+ */
+std::vector<CorpusVerdict> checkCorpus(const std::string &dir);
+
+} // namespace hard
+
+#endif // HARD_FUZZ_CORPUS_HH

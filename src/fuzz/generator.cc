@@ -1,0 +1,194 @@
+#include "fuzz/generator.hh"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "common/rng.hh"
+#include "detectors/vclock.hh"
+
+namespace hard
+{
+
+namespace
+{
+
+/** Pick an aligned (never line-crossing) access inside a region. */
+Addr
+pickAccess(Rng &rng, Addr base, std::uint64_t bytes, unsigned &size)
+{
+    static const unsigned kSizes[] = {1, 2, 4, 8};
+    size = kSizes[rng.below(4)];
+    const std::uint64_t slots = bytes / size;
+    return base + size * rng.below(slots);
+}
+
+} // namespace
+
+Program
+generateFuzzProgram(std::uint64_t seed, const FuzzGenConfig &cfg)
+{
+    Rng rng(seed * 0x9e3779b97f4a7c15ULL + 0xfade);
+
+    const unsigned lo = std::max(2u, std::min(cfg.minThreads, kMaxThreads));
+    const unsigned hi =
+        std::max(lo, std::min(cfg.maxThreads, kMaxThreads));
+    const unsigned nthreads =
+        static_cast<unsigned>(rng.range(lo, hi));
+
+    WorkloadBuilder b("fuzz-" + std::to_string(seed), nthreads);
+
+    // Layout: shared regions, per-thread private slabs, sync objects.
+    const unsigned nregions = std::max(1u, cfg.numRegions);
+    const unsigned region_bytes = std::max(32u, cfg.regionBytes);
+    std::vector<Addr> regions;
+    for (unsigned r = 0; r < nregions; ++r)
+        regions.push_back(b.alloc("region" + std::to_string(r),
+                                  region_bytes, 32));
+    const unsigned priv_bytes = std::max(32u, cfg.privateBytes);
+    std::vector<Addr> priv;
+    for (unsigned t = 0; t < nthreads; ++t)
+        priv.push_back(b.alloc("private" + std::to_string(t),
+                               priv_bytes, 32));
+
+    const unsigned nlocks = std::max(1u, cfg.numLocks);
+    std::vector<LockAddr> locks;
+    for (unsigned l = 0; l < nlocks; ++l)
+        locks.push_back(b.allocLock("lock" + std::to_string(l)));
+
+    const Addr barrier = b.allocBarrier("phaseBarrier");
+
+    // One dedicated semaphore per phase hand-off. Sharing a semaphore
+    // across phases is a real deadlock: without an intervening barrier
+    // a fast consumer can satisfy its phase-k+1 wait with a phase-k
+    // token, starving the phase-k+1 producer at its own phase-k wait.
+    const unsigned nphases =
+        static_cast<unsigned>(rng.range(1, std::max(1u, cfg.maxPhases)));
+    std::vector<Addr> semas;
+    for (unsigned p = 0; p < nphases; ++p)
+        semas.push_back(b.allocSema("handoff" + std::to_string(p)));
+
+    // Sites: one per (lock, region) pair plus the unlocked/private
+    // families, so reports discriminate the access context.
+    const SiteId s_bar = b.site("phase.barrier");
+    const SiteId s_post = b.site("handoff.post");
+    const SiteId s_wait = b.site("handoff.wait");
+    const SiteId s_priv_rd = b.site("private.read");
+    const SiteId s_priv_wr = b.site("private.write");
+    std::vector<SiteId> s_lk, s_ulk, s_rd, s_wr, s_urd, s_uwr;
+    for (unsigned l = 0; l < nlocks; ++l) {
+        s_lk.push_back(b.site("lock" + std::to_string(l) + ".acq"));
+        s_ulk.push_back(b.site("lock" + std::to_string(l) + ".rel"));
+    }
+    for (unsigned r = 0; r < nregions; ++r) {
+        const std::string rn = "region" + std::to_string(r);
+        s_rd.push_back(b.site(rn + ".locked.read"));
+        s_wr.push_back(b.site(rn + ".locked.write"));
+        s_urd.push_back(b.site(rn + ".unlocked.read"));
+        s_uwr.push_back(b.site(rn + ".unlocked.write"));
+    }
+
+    for (unsigned phase = 0; phase < nphases; ++phase) {
+        // Optional semaphore hand-off: one producer posts a token per
+        // consumer before any consumer waits, on this phase's own
+        // semaphore. The producer never blocks on anything its
+        // consumers publish and tokens cannot leak across phases, so
+        // the pattern cannot deadlock regardless of the surrounding
+        // ops.
+        if (nthreads >= 2 && rng.chance(cfg.pSema)) {
+            const ThreadId producer =
+                static_cast<ThreadId>(rng.below(nthreads));
+            const Addr sema = semas[phase];
+            for (unsigned t = 0; t < nthreads; ++t)
+                if (t != producer)
+                    b.semaPost(producer, sema, s_post);
+            for (unsigned t = 0; t < nthreads; ++t)
+                if (t != producer)
+                    b.semaWait(static_cast<ThreadId>(t), sema, s_wait);
+        }
+
+        for (unsigned t = 0; t < nthreads; ++t) {
+            const ThreadId tid = static_cast<ThreadId>(t);
+            const unsigned nops = static_cast<unsigned>(
+                rng.range(4, std::max(4u, cfg.maxOps)));
+            for (unsigned i = 0; i < nops; ++i) {
+                if (rng.chance(cfg.pLocked)) {
+                    // Critical section under 1..maxNest locks taken
+                    // in ascending global order (deadlock-free) and
+                    // released in reverse (properly nested).
+                    const unsigned depth = static_cast<unsigned>(
+                        rng.range(1, std::min(std::max(1u, cfg.maxNest),
+                                              nlocks)));
+                    std::vector<unsigned> held;
+                    unsigned next = 0;
+                    for (unsigned d = 0; d < depth; ++d) {
+                        const unsigned room =
+                            nlocks - next - (depth - d - 1);
+                        const unsigned pick = next +
+                            static_cast<unsigned>(rng.below(room));
+                        held.push_back(pick);
+                        next = pick + 1;
+                    }
+                    for (unsigned l : held)
+                        b.lock(tid, locks[l], s_lk[l]);
+                    const unsigned naccess =
+                        static_cast<unsigned>(rng.range(1, 4));
+                    for (unsigned a = 0; a < naccess; ++a) {
+                        // The innermost lock nominally protects its
+                        // own region slice; sometimes reach into a
+                        // "wrong" region instead (a discipline bug).
+                        unsigned r = held.back() % nregions;
+                        if (rng.chance(cfg.pWrongRegion))
+                            r = static_cast<unsigned>(
+                                rng.below(nregions));
+                        unsigned size = 0;
+                        const Addr addr = pickAccess(
+                            rng, regions[r], region_bytes, size);
+                        if (rng.chance(cfg.pWrite))
+                            b.write(tid, addr, size, s_wr[r]);
+                        else
+                            b.read(tid, addr, size, s_rd[r]);
+                    }
+                    for (auto it = held.rbegin(); it != held.rend();
+                         ++it)
+                        b.unlock(tid, locks[*it], s_ulk[*it]);
+                } else if (rng.chance(cfg.pUnlockedShared)) {
+                    // Lock-free shared access: the racy raw material
+                    // every detector family must classify.
+                    const unsigned r =
+                        static_cast<unsigned>(rng.below(nregions));
+                    unsigned size = 0;
+                    const Addr addr =
+                        pickAccess(rng, regions[r], region_bytes, size);
+                    if (rng.chance(cfg.pWrite))
+                        b.write(tid, addr, size, s_uwr[r]);
+                    else
+                        b.read(tid, addr, size, s_urd[r]);
+                } else if (rng.chance(0.5)) {
+                    // Private access: never racy, exercises the
+                    // Virgin/Exclusive fast paths.
+                    unsigned size = 0;
+                    const Addr addr = pickAccess(rng, priv[t],
+                                                 priv_bytes, size);
+                    if (rng.chance(cfg.pWrite))
+                        b.write(tid, addr, size, s_priv_wr);
+                    else
+                        b.read(tid, addr, size, s_priv_rd);
+                } else {
+                    b.compute(tid, rng.range(1, 40));
+                }
+            }
+        }
+
+        // Phase boundary: a barrier with probability pBarrier (drawn
+        // once per phase, outside any thread loop, so every thread
+        // sees the same barrier sequence). The final phase never
+        // needs one.
+        if (phase + 1 < nphases && rng.chance(cfg.pBarrier))
+            b.barrierAll(barrier, s_bar);
+    }
+
+    return b.finish();
+}
+
+} // namespace hard

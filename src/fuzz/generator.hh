@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Seeded random synthetic-workload generator for differential fuzzing.
+ *
+ * Each seed deterministically expands into a well-formed multithreaded
+ * Program built through the ordinary workloads/builder API: nested
+ * lock/unlock pairs (acquired in a global lock order, so generated
+ * programs never deadlock), barrier-separated phases, semaphore
+ * hand-offs, shared and private data accesses, and deliberate
+ * lock-discipline violations (unlocked shared accesses, accesses under
+ * the "wrong" lock) so the detectors under test actually have races to
+ * disagree about. The generator honours every builder validation rule
+ * (lock balance and nesting, common barrier sequence, line-aligned
+ * accesses), so finish() never rejects a generated program.
+ *
+ * Two invariant-preserving caps matter for the differential oracle:
+ *  - thread count never exceeds kMaxThreads (the vector-clock width);
+ *  - lock nesting never exceeds maxNest, which defaults to
+ *    2^counterBits - 1 = 3 so HARD's per-bit saturating counters stay
+ *    exact and Bloom candidate sets only ever *over*-approximate the
+ *    exact lock sets (the containment invariant hardfuzz enforces).
+ */
+
+#ifndef HARD_FUZZ_GENERATOR_HH
+#define HARD_FUZZ_GENERATOR_HH
+
+#include <cstdint>
+
+#include "workloads/builder.hh"
+
+namespace hard
+{
+
+/** Shape knobs of the random program generator. */
+struct FuzzGenConfig
+{
+    /** Thread count range (clamped to [2, kMaxThreads]). */
+    unsigned minThreads = 2;
+    unsigned maxThreads = 4;
+    /** Barrier-separated phases per program (range [1, maxPhases]). */
+    unsigned maxPhases = 4;
+    /** Random operations per thread per phase (range [4, maxOps]). */
+    unsigned maxOps = 32;
+    /** Distinct locks allocated. */
+    unsigned numLocks = 6;
+    /** Shared data regions (each lock nominally protects one slice). */
+    unsigned numRegions = 4;
+    /** Bytes per shared region. */
+    unsigned regionBytes = 256;
+    /** Bytes of private (single-thread) data per thread. */
+    unsigned privateBytes = 128;
+    /**
+     * Maximum simultaneously held locks. Keep at or below
+     * 2^counterBits - 1 (3 for the paper's 2-bit counters) or HARD's
+     * Counter Registers saturate and the Bloom-containment invariant
+     * no longer holds by design (§3.3).
+     */
+    unsigned maxNest = 3;
+
+    /** Probability an op block is a locked critical section. */
+    double pLocked = 0.55;
+    /** Probability a locked access targets a "wrong" region (a
+     * lock-discipline violation the detectors should flag). */
+    double pWrongRegion = 0.15;
+    /** Probability an access op is a write. */
+    double pWrite = 0.45;
+    /** Probability an unlocked op block touches shared (racy) data
+     * rather than private data. */
+    double pUnlockedShared = 0.4;
+    /** Probability a phase boundary is a barrier (vs nothing). */
+    double pBarrier = 0.75;
+    /** Probability a phase starts with a semaphore hand-off. */
+    double pSema = 0.35;
+};
+
+/**
+ * Deterministically generate a well-formed random Program from
+ * @p seed. Equal (seed, cfg) pairs yield identical programs.
+ */
+Program generateFuzzProgram(std::uint64_t seed, const FuzzGenConfig &cfg);
+
+} // namespace hard
+
+#endif // HARD_FUZZ_GENERATOR_HH

@@ -1,0 +1,118 @@
+#include "fuzz/invariants.hh"
+
+#include <algorithm>
+
+#include "common/bitops.hh"
+
+namespace hard
+{
+
+KeySet
+reportKeys(const ReportSink &sink)
+{
+    KeySet keys;
+    for (const RaceReport &r : sink.reports())
+        keys.insert({r.addr, r.site});
+    return keys;
+}
+
+KeySet
+coarsenKeys(const KeySet &keys, unsigned gran)
+{
+    KeySet out;
+    for (const ReportKey &k : keys)
+        out.insert({alignDown(k.first, gran), k.second});
+    return out;
+}
+
+namespace
+{
+
+/** Keys of @p a missing from @p b. */
+std::vector<ReportKey>
+missingFrom(const KeySet &a, const KeySet &b)
+{
+    std::vector<ReportKey> out;
+    for (const ReportKey &k : a)
+        if (b.count(k) == 0)
+            out.push_back(k);
+    return out;
+}
+
+void
+recordViolation(std::vector<Violation> &out, const std::string &name,
+                const std::string &detail,
+                std::vector<ReportKey> offenders)
+{
+    if (offenders.empty())
+        return;
+    Violation v;
+    v.invariant = name;
+    v.detail = detail;
+    v.totalWitnesses = offenders.size();
+    if (offenders.size() > Violation::kMaxWitnesses)
+        offenders.resize(Violation::kMaxWitnesses);
+    v.witnesses = std::move(offenders);
+    out.push_back(std::move(v));
+}
+
+void
+checkSubset(std::vector<Violation> &out, const std::string &name,
+            const std::string &detail, const KeySet &sub,
+            const KeySet &super)
+{
+    recordViolation(out, name, detail, missingFrom(sub, super));
+}
+
+void
+checkEqual(std::vector<Violation> &out, const std::string &name,
+           const std::string &detail, const KeySet &a, const KeySet &b)
+{
+    std::vector<ReportKey> offenders = missingFrom(a, b);
+    std::vector<ReportKey> extra = missingFrom(b, a);
+    offenders.insert(offenders.end(), extra.begin(), extra.end());
+    std::sort(offenders.begin(), offenders.end());
+    recordViolation(out, name, detail, std::move(offenders));
+}
+
+} // namespace
+
+const std::vector<std::string> &
+invariantNames()
+{
+    static const std::vector<std::string> names = {
+        "hard-subset-of-ideal",   "hybrid-subset-of-hard",
+        "fine-subset-of-coarse",  "lockset-matches-oracle",
+        "hb-matches-oracle",      "hb-matches-fasttrack",
+    };
+    return names;
+}
+
+std::vector<Violation>
+checkInvariants(const FuzzReportSet &r)
+{
+    std::vector<Violation> out;
+
+    checkSubset(out, "hard-subset-of-ideal",
+                "hard(unbounded) \xE2\x8A\x86 ideal-lockset", r.hard,
+                r.ideal);
+    checkSubset(out, "hybrid-subset-of-hard",
+                "hybrid \xE2\x8A\x86 hard(unbounded)", r.hybrid, r.hard);
+    checkSubset(out, "fine-subset-of-coarse",
+                "coarsen(ideal-lockset@4) \xE2\x8A\x86 ideal-lockset",
+                coarsenKeys(r.idealFine, r.granularity), r.ideal);
+    checkEqual(out, "lockset-matches-oracle",
+               "ideal-lockset == reference lockset", r.ideal, r.oracleLs);
+    checkEqual(out, "lockset-matches-oracle",
+               "ideal-lockset@4 == reference lockset@4", r.idealFine,
+               r.oracleLsFine);
+    checkEqual(out, "hb-matches-oracle",
+               "happens-before-ideal == reference happens-before", r.hb,
+               r.oracleHb);
+    checkEqual(out, "hb-matches-fasttrack",
+               "happens-before-ideal == fasttrack@4", r.hb, r.fasttrack);
+
+    return out;
+}
+
+} // namespace hard

@@ -1,0 +1,140 @@
+#include "fuzz/minimizer.hh"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace hard
+{
+
+Trace
+sanitizeTrace(const Trace &trace)
+{
+    Trace out;
+    out.siteNames = trace.siteNames;
+    out.events.reserve(trace.events.size());
+    std::map<ThreadId, std::set<Addr>> held;
+    for (const TraceEvent &ev : trace.events) {
+        if (ev.kind == TraceKind::LockAcquire) {
+            if (!held[ev.tid].insert(ev.addr).second)
+                continue;
+        } else if (ev.kind == TraceKind::LockRelease) {
+            if (held[ev.tid].erase(ev.addr) == 0)
+                continue;
+        }
+        out.events.push_back(ev);
+    }
+    return out;
+}
+
+namespace
+{
+
+/** Rebuild a trace from the events whose indices are in @p keep. */
+Trace
+subsequence(const Trace &trace, const std::vector<std::size_t> &keep)
+{
+    Trace out;
+    out.siteNames = trace.siteNames;
+    out.events.reserve(keep.size());
+    for (std::size_t i : keep)
+        out.events.push_back(trace.events[i]);
+    return out;
+}
+
+} // namespace
+
+Trace
+minimizeTrace(const Trace &trace,
+              const std::function<bool(const Trace &)> &predicate,
+              std::size_t max_probes, MinimizeStats *stats)
+{
+    Trace base = sanitizeTrace(trace);
+    MinimizeStats st;
+    st.originalEvents = base.events.size();
+
+    hard_panic_if(!predicate(base),
+                  "minimizeTrace: sanitized input does not reproduce "
+                  "the failure (nondeterministic predicate?)");
+    ++st.probes;
+
+    // Working set: indices into base.events, always in order.
+    std::vector<std::size_t> keep(base.events.size());
+    for (std::size_t i = 0; i < keep.size(); ++i)
+        keep[i] = i;
+
+    auto probe = [&](const std::vector<std::size_t> &cand) {
+        ++st.probes;
+        return predicate(sanitizeTrace(subsequence(base, cand)));
+    };
+
+    // Classic ddmin: split into n chunks, try each chunk alone, then
+    // each complement; on success recurse on the reduced set, else
+    // double n until chunks are single events.
+    std::size_t n = 2;
+    while (keep.size() >= 2) {
+        if (st.probes >= max_probes) {
+            st.capped = true;
+            break;
+        }
+        if (n > keep.size())
+            n = keep.size();
+
+        const std::size_t chunk = (keep.size() + n - 1) / n;
+        bool reduced = false;
+
+        for (std::size_t c = 0; c * chunk < keep.size(); ++c) {
+            if (st.probes >= max_probes)
+                break;
+            const std::size_t lo = c * chunk;
+            const std::size_t hi = std::min(lo + chunk, keep.size());
+
+            // Try the complement of chunk c (i.e. delete the chunk).
+            std::vector<std::size_t> cand;
+            cand.reserve(keep.size() - (hi - lo));
+            cand.insert(cand.end(), keep.begin(),
+                        keep.begin() + static_cast<std::ptrdiff_t>(lo));
+            cand.insert(cand.end(),
+                        keep.begin() + static_cast<std::ptrdiff_t>(hi),
+                        keep.end());
+            if (cand.empty())
+                continue;
+            if (probe(cand)) {
+                keep = std::move(cand);
+                n = std::max<std::size_t>(2, n - 1);
+                reduced = true;
+                break;
+            }
+
+            // Try the chunk on its own (jump straight to a subset).
+            if (hi - lo < keep.size() && n > 2) {
+                std::vector<std::size_t> alone(
+                    keep.begin() + static_cast<std::ptrdiff_t>(lo),
+                    keep.begin() + static_cast<std::ptrdiff_t>(hi));
+                if (probe(alone)) {
+                    keep = std::move(alone);
+                    n = 2;
+                    reduced = true;
+                    break;
+                }
+            }
+        }
+
+        if (!reduced) {
+            if (n >= keep.size())
+                break; // 1-minimal
+            n = std::min(keep.size(), n * 2);
+        }
+    }
+
+    Trace out = sanitizeTrace(subsequence(base, keep));
+    st.finalEvents = out.events.size();
+    if (stats != nullptr)
+        *stats = st;
+    return out;
+}
+
+} // namespace hard

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Delta-debugging (ddmin) trace minimizer.
+ *
+ * When the fuzzer finds an invariant violation it shrinks the recorded
+ * event trace to a (1-minimal) subsequence that still violates the
+ * same invariant, then dumps it as an ordinary replayable trace file.
+ * Reduction works on the trace, not the generator program: any event
+ * subsequence is a legal trace, whereas subsetting builder calls would
+ * have to re-satisfy the workload validator at every probe.
+ *
+ * Removing events can unbalance locking, which the production
+ * exact-lockset detector treats as an internal invariant violation
+ * (panic). Candidates are therefore sanitized — re-acquisitions of a
+ * held lock and releases of an unheld lock are dropped — before every
+ * predicate probe, and the returned minimum is itself sanitized.
+ */
+
+#ifndef HARD_FUZZ_MINIMIZER_HH
+#define HARD_FUZZ_MINIMIZER_HH
+
+#include <cstddef>
+#include <functional>
+
+#include "trace/trace.hh"
+
+namespace hard
+{
+
+/** How a minimization run went. */
+struct MinimizeStats
+{
+    /** Events in the (sanitized) input trace. */
+    std::size_t originalEvents = 0;
+    /** Events in the returned minimum. */
+    std::size_t finalEvents = 0;
+    /** Predicate evaluations performed. */
+    std::size_t probes = 0;
+    /** True if the probe cap stopped refinement early. */
+    bool capped = false;
+};
+
+/**
+ * Drop events that would unbalance per-thread locking: LockAcquire of
+ * an already-held lock and LockRelease of an unheld lock. All other
+ * events (and event order) are preserved.
+ */
+Trace sanitizeTrace(const Trace &trace);
+
+/**
+ * Zeller-style ddmin over @p trace's event sequence.
+ *
+ * @param trace The failing trace; must satisfy @p predicate after
+ * sanitization (hard_panic otherwise — a non-reproducing predicate
+ * means the caller's analysis is itself nondeterministic).
+ * @param predicate Evaluated on sanitized candidates; true = "still
+ * fails".
+ * @param max_probes Upper bound on predicate evaluations; when hit,
+ * the best reduction so far is returned (stats->capped set).
+ * @param stats Optional run statistics.
+ * @return a sanitized subsequence of @p trace that satisfies
+ * @p predicate; 1-minimal unless capped.
+ */
+Trace minimizeTrace(const Trace &trace,
+                    const std::function<bool(const Trace &)> &predicate,
+                    std::size_t max_probes = 2000,
+                    MinimizeStats *stats = nullptr);
+
+} // namespace hard
+
+#endif // HARD_FUZZ_MINIMIZER_HH

@@ -1,0 +1,237 @@
+#include "fuzz/oracle.hh"
+
+#include <array>
+#include <cstdint>
+#include <map>
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+#include "detectors/vclock.hh"
+
+namespace hard
+{
+
+namespace
+{
+
+/** Eraser variable phases, re-derived from the paper's Figure 2. */
+enum class Phase : std::uint8_t
+{
+    Untouched,
+    SingleThread,
+    ReadShared,
+    ReadWriteShared,
+};
+
+/** Exact candidate set: universe until the first intersection. */
+struct Candidate
+{
+    bool universe = true;
+    std::set<LockAddr> locks;
+
+    void
+    intersect(const std::set<LockAddr> &held)
+    {
+        if (universe) {
+            universe = false;
+            locks = held;
+            return;
+        }
+        std::set<LockAddr> kept;
+        for (LockAddr l : locks)
+            if (held.count(l))
+                kept.insert(l);
+        locks = std::move(kept);
+    }
+
+    bool empty() const { return !universe && locks.empty(); }
+};
+
+struct LsGranule
+{
+    Phase phase = Phase::Untouched;
+    ThreadId owner = invalidThread;
+    Candidate cand;
+};
+
+/** Last-write epoch plus full read vector, one per granule. */
+struct HbGranule
+{
+    ThreadId writeTid = invalidThread;
+    std::uint32_t writeClk = 0;
+    std::array<std::uint32_t, kMaxThreads> readClk{};
+};
+
+} // namespace
+
+KeySet
+oracleLockset(const Trace &trace, unsigned granularity_bytes,
+              bool barrier_reset)
+{
+    hard_panic_if(granularity_bytes == 0 ||
+                      !isPowerOf2(granularity_bytes),
+                  "oracle-lockset: bad granularity %u", granularity_bytes);
+
+    KeySet out;
+    std::map<Addr, LsGranule> shadow;
+    std::map<ThreadId, std::set<LockAddr>> held;
+
+    for (const TraceEvent &ev : trace.events) {
+        switch (ev.kind) {
+          case TraceKind::LockAcquire:
+            held[ev.tid].insert(ev.addr);
+            break;
+          case TraceKind::LockRelease:
+            held[ev.tid].erase(ev.addr);
+            break;
+          case TraceKind::Barrier:
+            // Flash-reset: all evidence gathered before the barrier is
+            // ordered against everything after it.
+            if (barrier_reset)
+                shadow.clear();
+            break;
+          case TraceKind::Read:
+          case TraceKind::Write: {
+            const bool write = ev.kind == TraceKind::Write;
+            const std::set<LockAddr> &locks = held[ev.tid];
+            const Addr lo = alignDown(ev.addr, granularity_bytes);
+            const Addr hi = ev.addr + (ev.size ? ev.size : 1);
+            for (Addr a = lo; a < hi; a += granularity_bytes) {
+                LsGranule &g = shadow[a];
+                bool track = false;  // refine candidate set?
+                bool arm = false;    // empty candidate == race?
+                switch (g.phase) {
+                  case Phase::Untouched:
+                    g.phase = Phase::SingleThread;
+                    g.owner = ev.tid;
+                    break;
+                  case Phase::SingleThread:
+                    if (ev.tid == g.owner)
+                        break;
+                    g.phase = write ? Phase::ReadWriteShared
+                                    : Phase::ReadShared;
+                    g.owner = invalidThread;
+                    track = true;
+                    arm = write;
+                    break;
+                  case Phase::ReadShared:
+                    if (write)
+                        g.phase = Phase::ReadWriteShared;
+                    track = true;
+                    arm = write;
+                    break;
+                  case Phase::ReadWriteShared:
+                    track = true;
+                    arm = true;
+                    break;
+                }
+                if (track) {
+                    g.cand.intersect(locks);
+                    if (arm && g.cand.empty())
+                        out.insert({a, ev.site});
+                }
+            }
+            break;
+          }
+          default:
+            break; // sema, thread-end, eviction: invisible to lockset
+        }
+    }
+    return out;
+}
+
+KeySet
+oracleHappensBefore(const Trace &trace, unsigned granularity_bytes)
+{
+    hard_panic_if(granularity_bytes == 0 ||
+                      !isPowerOf2(granularity_bytes),
+                  "oracle-hb: bad granularity %u", granularity_bytes);
+
+    KeySet out;
+    std::map<Addr, HbGranule> shadow;
+    std::array<VClock, kMaxThreads> tvc{};
+    for (unsigned t = 0; t < kMaxThreads; ++t)
+        tvc[t][t] = 1;
+    std::map<LockAddr, VClock> lockVc;
+    std::map<Addr, VClock> semaVc;
+
+    auto checkTid = [](const TraceEvent &ev) {
+        hard_panic_if(ev.tid >= kMaxThreads,
+                      "oracle-hb: thread id %u too large", ev.tid);
+    };
+
+    for (const TraceEvent &ev : trace.events) {
+        switch (ev.kind) {
+          case TraceKind::LockAcquire: {
+            checkTid(ev);
+            auto it = lockVc.find(ev.addr);
+            if (it != lockVc.end())
+                tvc[ev.tid].join(it->second);
+            break;
+          }
+          case TraceKind::LockRelease:
+            checkTid(ev);
+            lockVc[ev.addr].join(tvc[ev.tid]);
+            ++tvc[ev.tid][ev.tid];
+            break;
+          case TraceKind::SemaPost:
+            checkTid(ev);
+            semaVc[ev.addr].join(tvc[ev.tid]);
+            ++tvc[ev.tid][ev.tid];
+            break;
+          case TraceKind::SemaWait: {
+            checkTid(ev);
+            auto it = semaVc.find(ev.addr);
+            if (it != semaVc.end())
+                tvc[ev.tid].join(it->second);
+            break;
+          }
+          case TraceKind::Barrier: {
+            VClock all;
+            for (unsigned t = 0; t < kMaxThreads; ++t)
+                all.join(tvc[t]);
+            for (unsigned t = 0; t < kMaxThreads; ++t) {
+                tvc[t] = all;
+                ++tvc[t][t];
+            }
+            break;
+          }
+          case TraceKind::Read:
+          case TraceKind::Write: {
+            checkTid(ev);
+            const bool write = ev.kind == TraceKind::Write;
+            const VClock &vc = tvc[ev.tid];
+            const Addr lo = alignDown(ev.addr, granularity_bytes);
+            const Addr hi = ev.addr + (ev.size ? ev.size : 1);
+            for (Addr a = lo; a < hi; a += granularity_bytes) {
+                HbGranule &g = shadow[a];
+                bool race = g.writeTid != invalidThread &&
+                            g.writeClk > vc[g.writeTid];
+                if (write && !race) {
+                    for (unsigned u = 0; u < kMaxThreads; ++u) {
+                        if (u != ev.tid && g.readClk[u] > vc[u]) {
+                            race = true;
+                            break;
+                        }
+                    }
+                }
+                if (race)
+                    out.insert({a, ev.site});
+                if (write) {
+                    g.writeTid = ev.tid;
+                    g.writeClk = vc[ev.tid];
+                    g.readClk.fill(0);
+                } else {
+                    g.readClk[ev.tid] = vc[ev.tid];
+                }
+            }
+            break;
+          }
+          default:
+            break;
+        }
+    }
+    return out;
+}
+
+} // namespace hard

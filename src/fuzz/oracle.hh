@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Precise reference analyses for differential fuzzing.
+ *
+ * The oracles re-implement the Eraser lockset discipline and the
+ * vector-clock happens-before relation from the algorithm definitions,
+ * consuming a recorded Trace directly — no AccessObserver plumbing, no
+ * MetaCache, no shared code with the production detectors beyond the
+ * trace format itself. A disagreement between an oracle and the
+ * corresponding detector therefore implicates the detector (or the
+ * recorder), not a shared helper.
+ *
+ * Both oracles model unbounded metadata and ignore LineEvicted events,
+ * matching the "ideal" detector configurations they are compared
+ * against.
+ */
+
+#ifndef HARD_FUZZ_ORACLE_HH
+#define HARD_FUZZ_ORACLE_HH
+
+#include <set>
+#include <utility>
+
+#include "trace/trace.hh"
+
+namespace hard
+{
+
+/** Source-level identity of a race report: (granule base, site). */
+using ReportKey = std::pair<Addr, SiteId>;
+
+/** An ordered set of report keys (ordered, so diffs are stable). */
+using KeySet = std::set<ReportKey>;
+
+/**
+ * Reference Eraser lockset analysis of @p trace at @p granularity_bytes
+ * granule size. Applies the Figure 2 state machine with exact per-thread
+ * lock sets and exact candidate sets, and the §3.5 barrier flash-reset
+ * when @p barrier_reset is set.
+ *
+ * Unlike the production detector it tolerates unbalanced lock events
+ * (re-acquire and release-of-unheld are ignored), so it can evaluate
+ * minimizer-reduced traces.
+ *
+ * @return the set of (granule, site) keys the discipline flags racy.
+ */
+KeySet oracleLockset(const Trace &trace, unsigned granularity_bytes,
+                     bool barrier_reset = true);
+
+/**
+ * Reference vector-clock happens-before analysis of @p trace at
+ * @p granularity_bytes granule size: full read vectors and a last-write
+ * epoch per granule; release→acquire, post→wait and barrier episodes
+ * create the synchronization order.
+ *
+ * @return the set of (granule, site) keys with unordered conflicts.
+ */
+KeySet oracleHappensBefore(const Trace &trace, unsigned granularity_bytes);
+
+} // namespace hard
+
+#endif // HARD_FUZZ_ORACLE_HH

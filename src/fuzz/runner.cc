@@ -1,0 +1,428 @@
+#include "fuzz/runner.hh"
+
+#include <algorithm>
+#include <filesystem>
+
+#include "common/error.hh"
+#include "harness/experiment.hh"
+#include "harness/run_pool.hh"
+#include "sim/system.hh"
+#include "trace/recorder.hh"
+#include "trace/replayer.hh"
+
+namespace hard
+{
+
+Weaken
+parseWeaken(const std::string &name)
+{
+    if (name.empty() || name == "none")
+        return Weaken::None;
+    if (name == "hard")
+        return Weaken::Hard;
+    if (name == "hb")
+        return Weaken::Hb;
+    if (name == "ideal")
+        return Weaken::Ideal;
+    throw ConfigError(
+        errfmt("unknown --weaken '%s' (hard|hb|ideal|none)",
+               name.c_str()));
+}
+
+const char *
+weakenName(Weaken w)
+{
+    switch (w) {
+      case Weaken::None:
+        return "none";
+      case Weaken::Hard:
+        return "hard";
+      case Weaken::Hb:
+        return "hb";
+      case Weaken::Ideal:
+        return "ideal";
+    }
+    return "?";
+}
+
+std::vector<RaceDetector *>
+FuzzBattery::detectors() const
+{
+    return {hard.get(), ideal.get(),     idealFine.get(),
+            hybrid.get(), hb.get(),      fasttrack.get()};
+}
+
+FuzzBattery
+makeFuzzBattery(const FuzzConfig &cfg)
+{
+    hard_throw_if(cfg.granularity < 4 || cfg.granularity > 32 ||
+                      (32 % cfg.granularity) != 0,
+                  ConfigError, "fuzz: bad granularity %u (want 4..32 "
+                  "dividing the 32B line)",
+                  cfg.granularity);
+
+    HardConfig hc;
+    hc.granularityBytes = cfg.granularity;
+    hc.bloomBits = cfg.bloomBits;
+    // Unbounded metadata: the containment relations only hold when no
+    // detector silently forgets evidence to capacity pressure.
+    hc.unbounded = true;
+
+    IdealLocksetConfig ic;
+    ic.granularityBytes = cfg.granularity;
+    IdealLocksetConfig icFine;
+    icFine.granularityBytes = 4;
+
+    FuzzBattery b;
+    if (cfg.weaken == Weaken::Hard)
+        b.hard = std::make_unique<DeafHardDetector>("hard", hc);
+    else
+        b.hard = std::make_unique<HardDetector>("hard", hc);
+    if (cfg.weaken == Weaken::Ideal)
+        b.ideal =
+            std::make_unique<NoResetIdealLockset>("ideal-lockset", ic);
+    else
+        b.ideal =
+            std::make_unique<IdealLocksetDetector>("ideal-lockset", ic);
+    b.idealFine = std::make_unique<IdealLocksetDetector>(
+        "ideal-lockset-fine", icFine);
+    b.hybrid = std::make_unique<HybridDetector>("hybrid", hc);
+    if (cfg.weaken == Weaken::Hb)
+        b.hb = std::make_unique<DeafHbDetector>("happens-before-ideal",
+                                                HbConfig::ideal());
+    else
+        b.hb = std::make_unique<HappensBeforeDetector>(
+            "happens-before-ideal", HbConfig::ideal());
+    b.fasttrack = std::make_unique<FastTrackDetector>("fasttrack", 4);
+    return b;
+}
+
+namespace
+{
+
+/** Fill the sink-derived half of a FuzzReportSet from @p b. */
+FuzzReportSet
+collectKeys(const FuzzBattery &b, const Trace &trace,
+            const FuzzConfig &cfg)
+{
+    FuzzReportSet r;
+    r.granularity = cfg.granularity;
+    r.hard = reportKeys(b.hard->sink());
+    r.ideal = reportKeys(b.ideal->sink());
+    r.idealFine = reportKeys(b.idealFine->sink());
+    r.hybrid = reportKeys(b.hybrid->sink());
+    r.hb = reportKeys(b.hb->sink());
+    r.fasttrack = reportKeys(b.fasttrack->sink());
+    r.oracleLs = oracleLockset(trace, cfg.granularity);
+    r.oracleLsFine = oracleLockset(trace, 4);
+    r.oracleHb = oracleHappensBefore(trace, 4);
+    return r;
+}
+
+void
+fillDetectorKeyCounts(SeedResult &sr, const FuzzReportSet &r)
+{
+    sr.detectorKeys["hard"] = r.hard.size();
+    sr.detectorKeys["ideal-lockset"] = r.ideal.size();
+    sr.detectorKeys["ideal-lockset-fine"] = r.idealFine.size();
+    sr.detectorKeys["hybrid"] = r.hybrid.size();
+    sr.detectorKeys["happens-before-ideal"] = r.hb.size();
+    sr.detectorKeys["fasttrack"] = r.fasttrack.size();
+    sr.detectorKeys["oracle-lockset"] = r.oracleLs.size();
+    sr.detectorKeys["oracle-lockset-fine"] = r.oracleLsFine.size();
+    sr.detectorKeys["oracle-happens-before"] = r.oracleHb.size();
+}
+
+std::string
+hexAddr(Addr a)
+{
+    return errfmt("0x%llx", static_cast<unsigned long long>(a));
+}
+
+Json
+violationJson(const Violation &v, const Trace &trace)
+{
+    Json jv = Json::object();
+    jv.set("invariant", v.invariant);
+    jv.set("detail", v.detail);
+    jv.set("witnesses_total",
+           static_cast<std::uint64_t>(v.totalWitnesses));
+    Json jw = Json::array();
+    for (const ReportKey &k : v.witnesses) {
+        Json one = Json::object();
+        one.set("addr", hexAddr(k.first));
+        one.set("site", static_cast<std::uint64_t>(k.second));
+        if (k.second < trace.siteNames.size())
+            one.set("site_name", trace.siteNames[k.second]);
+        jw.push(std::move(one));
+    }
+    jv.set("witnesses", std::move(jw));
+    return jv;
+}
+
+/** Names of the violated invariants in @p vs (deduplicated, sorted). */
+std::vector<std::string>
+violatedNames(const std::vector<Violation> &vs)
+{
+    std::vector<std::string> names;
+    for (const Violation &v : vs)
+        names.push_back(v.invariant);
+    std::sort(names.begin(), names.end());
+    names.erase(std::unique(names.begin(), names.end()), names.end());
+    return names;
+}
+
+} // namespace
+
+FuzzReportSet
+analyzeTrace(const Trace &trace, const FuzzConfig &cfg)
+{
+    FuzzBattery b = makeFuzzBattery(cfg);
+    std::vector<AccessObserver *> obs;
+    for (RaceDetector *d : b.detectors())
+        obs.push_back(d);
+    replayTrace(trace, obs);
+    for (RaceDetector *d : b.detectors())
+        d->finalize();
+    return collectKeys(b, trace, cfg);
+}
+
+SeedResult
+runFuzzSeed(std::uint64_t seed, const FuzzOptions &opts)
+{
+    SeedResult sr;
+    sr.seed = seed;
+    try {
+        Program prog = generateFuzzProgram(seed, opts.gen);
+
+        SimConfig sim = defaultSimConfig();
+        // Keep one thread per core: fuzz programs are interleaving
+        // artifacts already, oversubscription adds nothing but time.
+        sim.memsys.numCores = std::max<unsigned>(
+            sim.memsys.numCores,
+            static_cast<unsigned>(prog.threads.size()));
+        if (sim.maxCycles == 0)
+            sim.maxCycles = defaultCycleBudget(prog);
+
+        FuzzBattery battery = makeFuzzBattery(opts.cfg);
+        TraceRecorder recorder(prog);
+
+        System sys(sim, prog);
+        for (RaceDetector *d : battery.detectors())
+            sys.addObserver(d);
+        sys.addObserver(&recorder);
+        sys.run();
+        for (RaceDetector *d : battery.detectors())
+            d->finalize();
+
+        Trace trace = recorder.take();
+        sr.events = trace.events.size();
+
+        // Live detector results vs trace-replayed oracles: a recorder
+        // defect shows up here as an oracle mismatch.
+        FuzzReportSet r = collectKeys(battery, trace, opts.cfg);
+        fillDetectorKeyCounts(sr, r);
+        sr.violations = checkInvariants(r);
+        if (sr.violations.empty())
+            return sr;
+
+        sr.outcome = "violation";
+
+        Trace minTrace;
+        if (opts.minimize) {
+            // Reproduce-and-shrink entirely post-mortem: a candidate
+            // still "fails" if replay analysis re-violates the primary
+            // invariant.
+            const std::string primary = sr.violations.front().invariant;
+            auto predicate = [&](const Trace &cand) {
+                std::vector<Violation> vs =
+                    checkInvariants(analyzeTrace(cand, opts.cfg));
+                for (const Violation &v : vs)
+                    if (v.invariant == primary)
+                        return true;
+                return false;
+            };
+            minTrace = minimizeTrace(trace, predicate, opts.maxProbes,
+                                     &sr.minStats);
+            sr.minimized = true;
+        }
+
+        if (!opts.outDir.empty()) {
+            std::filesystem::create_directories(opts.outDir);
+            const std::string stem =
+                opts.outDir + "/seed-" + std::to_string(seed);
+            sr.tracePath = stem + ".trc";
+            writeTrace(sr.tracePath, trace);
+            if (sr.minimized) {
+                sr.minTracePath = stem + ".min.trc";
+                writeTrace(sr.minTracePath, minTrace);
+            }
+
+            // Corpus-style case file: everything needed to re-judge
+            // the repro with `hardfuzz --corpus`.
+            const Trace &caseTrace = sr.minimized ? minTrace : trace;
+            std::vector<Violation> caseVs = checkInvariants(
+                analyzeTrace(caseTrace, opts.cfg));
+            Json doc = Json::object();
+            doc.set("schema", "hard.fuzz.case.v1");
+            doc.set("trace", std::string("seed-") + std::to_string(seed) +
+                                 (sr.minimized ? ".min.trc" : ".trc"));
+            Json jc = Json::object();
+            jc.set("granularity", opts.cfg.granularity);
+            jc.set("bloom_bits", opts.cfg.bloomBits);
+            jc.set("weaken", weakenName(opts.cfg.weaken));
+            doc.set("config", std::move(jc));
+            Json jx = Json::array();
+            for (const std::string &n : violatedNames(caseVs))
+                jx.push(n);
+            doc.set("expect_violations", std::move(jx));
+            Json jd = Json::array();
+            for (const Violation &v : caseVs)
+                jd.push(violationJson(v, caseTrace));
+            doc.set("violations", std::move(jd));
+            sr.casePath = stem + ".case.json";
+            writeJsonFile(sr.casePath, doc);
+        }
+    } catch (const std::exception &) {
+        sr.outcome = "failed";
+        classifyException(std::current_exception(), &sr.errorType,
+                          &sr.errorMessage);
+    }
+    return sr;
+}
+
+std::vector<SeedResult>
+runFuzzSeeds(const FuzzOptions &opts)
+{
+    RunPool pool(opts.jobs);
+    return pool.map<SeedResult>(opts.seeds.size(), [&](std::size_t i) {
+        return runFuzzSeed(opts.seeds[i], opts);
+    });
+}
+
+Json
+fuzzJson(const FuzzOptions &opts, const std::vector<SeedResult> &results)
+{
+    Json doc = Json::object();
+    doc.set("schema", "hard.fuzz.v1");
+
+    Json jc = Json::object();
+    jc.set("granularity", opts.cfg.granularity);
+    jc.set("bloom_bits", opts.cfg.bloomBits);
+    jc.set("weaken", weakenName(opts.cfg.weaken));
+    jc.set("minimize", opts.minimize);
+    Json jg = Json::object();
+    jg.set("min_threads", opts.gen.minThreads);
+    jg.set("max_threads", opts.gen.maxThreads);
+    jg.set("max_phases", opts.gen.maxPhases);
+    jg.set("max_ops", opts.gen.maxOps);
+    jg.set("num_locks", opts.gen.numLocks);
+    jg.set("num_regions", opts.gen.numRegions);
+    jg.set("max_nest", opts.gen.maxNest);
+    jc.set("generator", std::move(jg));
+    doc.set("config", std::move(jc));
+
+    Json jinv = Json::array();
+    for (const std::string &n : invariantNames())
+        jinv.push(n);
+    doc.set("invariants", std::move(jinv));
+
+    std::uint64_t ok = 0, bad = 0, failed = 0;
+    Json js = Json::array();
+    for (const SeedResult &sr : results) {
+        Json one = Json::object();
+        one.set("seed", sr.seed);
+        one.set("outcome", sr.outcome);
+        if (sr.outcome == "failed") {
+            ++failed;
+            one.set("error_type", sr.errorType);
+            one.set("error", sr.errorMessage);
+            js.push(std::move(one));
+            continue;
+        }
+        one.set("events", static_cast<std::uint64_t>(sr.events));
+        Json jk = Json::object();
+        for (const auto &[name, count] : sr.detectorKeys)
+            jk.set(name, static_cast<std::uint64_t>(count));
+        one.set("report_keys", std::move(jk));
+        if (sr.outcome == "violation") {
+            ++bad;
+            Json jv = Json::array();
+            for (const Violation &v : sr.violations) {
+                Json x = Json::object();
+                x.set("invariant", v.invariant);
+                x.set("detail", v.detail);
+                x.set("witnesses_total",
+                      static_cast<std::uint64_t>(v.totalWitnesses));
+                jv.push(std::move(x));
+            }
+            one.set("violations", std::move(jv));
+            if (sr.minimized) {
+                Json jm = Json::object();
+                jm.set("events",
+                       static_cast<std::uint64_t>(sr.minStats.finalEvents));
+                jm.set("probes",
+                       static_cast<std::uint64_t>(sr.minStats.probes));
+                jm.set("capped", sr.minStats.capped);
+                one.set("minimized", std::move(jm));
+            }
+            if (!sr.casePath.empty()) {
+                Json ja = Json::object();
+                ja.set("trace", sr.tracePath);
+                if (!sr.minTracePath.empty())
+                    ja.set("min_trace", sr.minTracePath);
+                ja.set("case", sr.casePath);
+                one.set("artifacts", std::move(ja));
+            }
+        } else {
+            ++ok;
+        }
+        js.push(std::move(one));
+    }
+    doc.set("seeds", std::move(js));
+
+    Json sum = Json::object();
+    sum.set("seeds", static_cast<std::uint64_t>(results.size()));
+    sum.set("ok", ok);
+    sum.set("violations", bad);
+    sum.set("failed", failed);
+    doc.set("summary", std::move(sum));
+    return doc;
+}
+
+std::vector<std::uint64_t>
+parseSeedSpec(const std::string &spec)
+{
+    hard_throw_if(spec.empty(), ConfigError, "--seeds: empty spec");
+    const auto dots = spec.find("..");
+    std::uint64_t lo = 0, hi = 0;
+    try {
+        if (dots == std::string::npos) {
+            const std::uint64_t n = std::stoull(spec);
+            hard_throw_if(n == 0, ConfigError,
+                          "--seeds: count must be positive");
+            lo = 0;
+            hi = n - 1;
+        } else {
+            lo = std::stoull(spec.substr(0, dots));
+            hi = std::stoull(spec.substr(dots + 2));
+        }
+    } catch (const ConfigError &) {
+        throw;
+    } catch (const std::exception &) {
+        throw ConfigError(
+            errfmt("--seeds: bad spec '%s' (want N or A..B)",
+                   spec.c_str()));
+    }
+    hard_throw_if(hi < lo, ConfigError,
+                  "--seeds: empty range '%s'", spec.c_str());
+    hard_throw_if(hi - lo >= 1'000'000, ConfigError,
+                  "--seeds: range '%s' too large", spec.c_str());
+    std::vector<std::uint64_t> out;
+    out.reserve(hi - lo + 1);
+    for (std::uint64_t s = lo; s <= hi; ++s)
+        out.push_back(s);
+    return out;
+}
+
+} // namespace hard

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Differential fuzzing runner: one seed = generate a random program,
+ * simulate it once with the full detector battery and a TraceRecorder
+ * attached, replay the recording through the independent oracles,
+ * cross-check the containment invariants, and — on violation — ddmin
+ * the trace to a minimal repro and dump corpus-style artifacts.
+ *
+ * Seeds are independent, so sweeps fan out through the PR-1 RunPool
+ * with index-ordered merging; per-seed failures are contained (PR-2
+ * style keep-going) and the hard.fuzz.v1 JSON summary is byte-identical
+ * at any --jobs.
+ */
+
+#ifndef HARD_FUZZ_RUNNER_HH
+#define HARD_FUZZ_RUNNER_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/json.hh"
+#include "core/hard_detector.hh"
+#include "core/hybrid.hh"
+#include "detectors/fasttrack.hh"
+#include "detectors/happens_before.hh"
+#include "detectors/ideal_lockset.hh"
+#include "fuzz/generator.hh"
+#include "fuzz/invariants.hh"
+#include "fuzz/minimizer.hh"
+#include "fuzz/weaken.hh"
+#include "trace/trace.hh"
+
+namespace hard
+{
+
+/** Analysis-side configuration of one fuzz unit. */
+struct FuzzConfig
+{
+    /** HARD/ideal/hybrid comparison granularity (4..32, power of 2). */
+    unsigned granularity = 32;
+    /** BFVector width for HARD and the hybrid. */
+    unsigned bloomBits = 16;
+    /** Detector sabotage hook (self-test; None for honest runs). */
+    Weaken weaken = Weaken::None;
+};
+
+/** Whole-sweep options. */
+struct FuzzOptions
+{
+    /** Seeds to run (each is one independent fuzz unit). */
+    std::vector<std::uint64_t> seeds;
+    /** RunPool fan-out (0 = hardware concurrency). */
+    unsigned jobs = 1;
+    FuzzGenConfig gen;
+    FuzzConfig cfg;
+    /** ddmin violating traces down to minimal repros. */
+    bool minimize = true;
+    /** Predicate-probe cap per minimization. */
+    std::size_t maxProbes = 2000;
+    /** Directory for violation artifacts ("" = don't write any). */
+    std::string outDir;
+};
+
+/** The detector battery a fuzz unit drives (one fresh set per run). */
+struct FuzzBattery
+{
+    std::unique_ptr<HardDetector> hard;
+    std::unique_ptr<IdealLocksetDetector> ideal;
+    std::unique_ptr<IdealLocksetDetector> idealFine;
+    std::unique_ptr<HybridDetector> hybrid;
+    std::unique_ptr<HappensBeforeDetector> hb;
+    std::unique_ptr<FastTrackDetector> fasttrack;
+
+    /** All detectors, in a stable order. */
+    std::vector<RaceDetector *> detectors() const;
+};
+
+/** @return a fresh battery per @p cfg (weakened member included). */
+FuzzBattery makeFuzzBattery(const FuzzConfig &cfg);
+
+/**
+ * Post-mortem analysis of a trace: replay it through a fresh battery
+ * and the oracles, returning every key set checkInvariants() needs.
+ */
+FuzzReportSet analyzeTrace(const Trace &trace, const FuzzConfig &cfg);
+
+/** Outcome of one fuzz seed. */
+struct SeedResult
+{
+    std::uint64_t seed = 0;
+    /** "ok" | "violation" | "failed". */
+    std::string outcome = "ok";
+    /** Set when outcome == "failed". */
+    std::string errorType;
+    std::string errorMessage;
+    /** Recorded trace length (events). */
+    std::size_t events = 0;
+    /** Detector name -> distinct (granule, site) report keys. */
+    std::map<std::string, std::size_t> detectorKeys;
+    std::vector<Violation> violations;
+    /** Minimization statistics (when a violation was minimized). */
+    bool minimized = false;
+    MinimizeStats minStats;
+    /** Artifact paths (set when FuzzOptions::outDir is nonempty). */
+    std::string tracePath;
+    std::string minTracePath;
+    std::string casePath;
+};
+
+/**
+ * Run one fuzz seed end to end. Exceptions from the simulation are
+ * contained and reported as outcome "failed".
+ */
+SeedResult runFuzzSeed(std::uint64_t seed, const FuzzOptions &opts);
+
+/**
+ * Run every seed in @p opts across a RunPool. Results are merged in
+ * seed-index order regardless of --jobs.
+ */
+std::vector<SeedResult> runFuzzSeeds(const FuzzOptions &opts);
+
+/** Build the hard.fuzz.v1 summary document (no --jobs dependence). */
+Json fuzzJson(const FuzzOptions &opts,
+              const std::vector<SeedResult> &results);
+
+/**
+ * Parse a --seeds spec: "N" (seeds 0..N-1) or "A..B" (inclusive).
+ * @throws ConfigError on malformed specs.
+ */
+std::vector<std::uint64_t> parseSeedSpec(const std::string &spec);
+
+} // namespace hard
+
+#endif // HARD_FUZZ_RUNNER_HH

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Deliberately broken detector variants — fuzzer self-test hooks.
+ *
+ * A differential fuzzer that never fires is indistinguishable from one
+ * that cannot fire. These subclasses each disable one load-bearing
+ * piece of a production detector so the corresponding invariant *must*
+ * trip on workloads that exercise it; `hardfuzz --weaken=...` (and the
+ * ctest wired as WILL_FAIL) prove the whole
+ * generate→check→minimize→repro pipeline end to end.
+ */
+
+#ifndef HARD_FUZZ_WEAKEN_HH
+#define HARD_FUZZ_WEAKEN_HH
+
+#include <string>
+
+#include "core/hard_detector.hh"
+#include "detectors/happens_before.hh"
+#include "detectors/ideal_lockset.hh"
+
+namespace hard
+{
+
+/** Which production detector to sabotage (None = honest run). */
+enum class Weaken
+{
+    None,
+    /** HARD ignores lock acquire/release: Lock Register stays empty,
+     * every armed access reports → breaks hard-subset-of-ideal. */
+    Hard,
+    /** Happens-before ignores semaphore edges: sema-ordered hand-offs
+     * look racy → breaks hb-matches-oracle and hb-matches-fasttrack. */
+    Hb,
+    /** Ideal lockset skips the §3.5 barrier flash-reset: stale
+     * pre-barrier evidence persists → breaks lockset-matches-oracle
+     * (and typically fine-subset-of-coarse, since only the
+     * coarse-granularity instance is sabotaged). */
+    Ideal,
+};
+
+/** Parse a --weaken= value; empty/"none" → None; fatal on junk. */
+Weaken parseWeaken(const std::string &name);
+
+/** @return the CLI name of @p w. */
+const char *weakenName(Weaken w);
+
+/** HARD that never updates its Lock/Counter Registers. */
+class DeafHardDetector : public HardDetector
+{
+  public:
+    DeafHardDetector(const std::string &name, const HardConfig &cfg)
+        : HardDetector(name, cfg)
+    {
+    }
+
+    void onLockAcquire(const SyncEvent &ev) override { (void)ev; }
+    void onLockRelease(const SyncEvent &ev) override { (void)ev; }
+};
+
+/** Happens-before that is deaf to semaphore synchronization. */
+class DeafHbDetector : public HappensBeforeDetector
+{
+  public:
+    DeafHbDetector(const std::string &name, const HbConfig &cfg)
+        : HappensBeforeDetector(name, cfg)
+    {
+    }
+
+    void onSemaPost(const SyncEvent &ev) override { (void)ev; }
+    void onSemaWait(const SyncEvent &ev) override { (void)ev; }
+};
+
+/** Ideal lockset that forgets to flash-reset at barriers. */
+class NoResetIdealLockset : public IdealLocksetDetector
+{
+  public:
+    NoResetIdealLockset(const std::string &name,
+                        const IdealLocksetConfig &cfg)
+        : IdealLocksetDetector(name, cfg)
+    {
+    }
+
+    void onBarrier(const BarrierEvent &ev) override { (void)ev; }
+};
+
+} // namespace hard
+
+#endif // HARD_FUZZ_WEAKEN_HH

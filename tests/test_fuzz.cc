@@ -1,0 +1,423 @@
+/**
+ * @file
+ * Tests for the differential fuzzing subsystem: generator determinism
+ * and well-formedness, honest-sweep invariant cleanliness, weakened
+ * detectors being caught, ddmin minimization, corpus round-trips,
+ * seed-spec parsing and --jobs-independent JSON output.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/error.hh"
+#include "fuzz/corpus.hh"
+#include "fuzz/generator.hh"
+#include "fuzz/invariants.hh"
+#include "fuzz/minimizer.hh"
+#include "fuzz/runner.hh"
+#include "throw_test_util.hh"
+#include "trace/trace.hh"
+
+namespace hard
+{
+namespace
+{
+
+/** Small, fast generator shape shared by the sweep tests. */
+FuzzGenConfig
+smallGen()
+{
+    FuzzGenConfig g;
+    g.maxPhases = 2;
+    g.maxOps = 12;
+    return g;
+}
+
+std::string
+tmpDir(const std::string &leaf)
+{
+    return ::testing::TempDir() + leaf;
+}
+
+// ---------------------------------------------------------------------
+// Generator
+
+TEST(FuzzGenerator, SameSeedSameProgram)
+{
+    const FuzzGenConfig cfg;
+    for (std::uint64_t seed : {0ull, 1ull, 42ull, 12345ull}) {
+        Program a = generateFuzzProgram(seed, cfg);
+        Program b = generateFuzzProgram(seed, cfg);
+        ASSERT_EQ(a.threads.size(), b.threads.size());
+        EXPECT_EQ(a.locks, b.locks);
+        EXPECT_EQ(a.barriers, b.barriers);
+        for (std::size_t t = 0; t < a.threads.size(); ++t) {
+            const auto &ta = a.threads[t].ops;
+            const auto &tb = b.threads[t].ops;
+            ASSERT_EQ(ta.size(), tb.size()) << "thread " << t;
+            for (std::size_t i = 0; i < ta.size(); ++i) {
+                EXPECT_EQ(ta[i].type, tb[i].type);
+                EXPECT_EQ(ta[i].addr, tb[i].addr);
+                EXPECT_EQ(ta[i].size, tb[i].size);
+                EXPECT_EQ(ta[i].site, tb[i].site);
+            }
+        }
+    }
+}
+
+TEST(FuzzGenerator, DifferentSeedsDiffer)
+{
+    const FuzzGenConfig cfg;
+    Program a = generateFuzzProgram(1, cfg);
+    Program b = generateFuzzProgram(2, cfg);
+    bool differ = a.threads.size() != b.threads.size() ||
+                  a.totalOps() != b.totalOps();
+    if (!differ) {
+        for (std::size_t t = 0; !differ && t < a.threads.size(); ++t) {
+            const auto &ta = a.threads[t].ops;
+            const auto &tb = b.threads[t].ops;
+            differ = ta.size() != tb.size();
+            for (std::size_t i = 0; !differ && i < ta.size(); ++i)
+                differ = ta[i].type != tb[i].type ||
+                         ta[i].addr != tb[i].addr;
+        }
+    }
+    EXPECT_TRUE(differ);
+}
+
+TEST(FuzzGenerator, ProgramsAreWellFormed)
+{
+    const FuzzGenConfig cfg;
+    for (std::uint64_t seed = 0; seed < 20; ++seed) {
+        Program p = generateFuzzProgram(seed, cfg);
+        SCOPED_TRACE("seed " + std::to_string(seed));
+        EXPECT_GE(p.threads.size(), 2u);
+        EXPECT_LE(p.threads.size(), 8u);
+        EXPECT_GT(p.totalOps(), 0u);
+        EXPECT_FALSE(p.locks.empty());
+        // Lock discipline: balanced, never re-acquired, nesting bounded
+        // by maxNest (so HARD's saturating counters stay exact).
+        for (const ThreadProgram &t : p.threads) {
+            std::vector<Addr> held;
+            unsigned barriers = 0;
+            for (const Op &op : t.ops) {
+                if (op.type == OpType::Lock) {
+                    EXPECT_EQ(std::count(held.begin(), held.end(),
+                                         op.addr),
+                              0);
+                    held.push_back(op.addr);
+                    EXPECT_LE(held.size(), cfg.maxNest);
+                } else if (op.type == OpType::Unlock) {
+                    ASSERT_FALSE(held.empty());
+                    EXPECT_EQ(held.back(), op.addr);
+                    held.pop_back();
+                } else if (op.type == OpType::Barrier) {
+                    ++barriers;
+                } else if (op.type == OpType::Read ||
+                           op.type == OpType::Write) {
+                    EXPECT_GE(op.addr, p.dataBase);
+                    EXPECT_LT(op.addr + op.size, p.dataLimit + 1);
+                    // No access straddles a 32-byte line.
+                    EXPECT_EQ(op.addr / 32,
+                              (op.addr + op.size - 1) / 32);
+                }
+            }
+            EXPECT_TRUE(held.empty());
+        }
+    }
+}
+
+TEST(FuzzGenerator, ThreadRangeKnobRespected)
+{
+    FuzzGenConfig cfg;
+    cfg.minThreads = 3;
+    cfg.maxThreads = 3;
+    Program p = generateFuzzProgram(7, cfg);
+    EXPECT_EQ(p.threads.size(), 3u);
+}
+
+// ---------------------------------------------------------------------
+// Honest sweep: every invariant must hold on every seed.
+
+TEST(FuzzSweep, HonestSweepIsClean)
+{
+    FuzzOptions opts;
+    opts.seeds = parseSeedSpec("0..14");
+    opts.jobs = 2;
+    opts.gen = smallGen();
+    for (const SeedResult &sr : runFuzzSeeds(opts)) {
+        EXPECT_EQ(sr.outcome, "ok")
+            << "seed " << sr.seed << ": " << sr.errorType << " "
+            << sr.errorMessage
+            << (sr.violations.empty()
+                    ? ""
+                    : (" / " + sr.violations.front().invariant + ": " +
+                       sr.violations.front().detail));
+        EXPECT_GT(sr.events, 0u);
+    }
+}
+
+TEST(FuzzSweep, JsonIsIdenticalAtAnyJobCount)
+{
+    FuzzOptions opts;
+    opts.seeds = parseSeedSpec("0..7");
+    opts.gen = smallGen();
+    opts.jobs = 1;
+    std::string serial = fuzzJson(opts, runFuzzSeeds(opts)).dump(2);
+    opts.jobs = 4;
+    std::string parallel = fuzzJson(opts, runFuzzSeeds(opts)).dump(2);
+    EXPECT_EQ(serial, parallel);
+}
+
+// ---------------------------------------------------------------------
+// Weakened detectors: the cross-check must catch each sabotage.
+
+/** Run seeds until one violates; @return the invariant names hit. */
+std::vector<std::string>
+violationsUnder(Weaken weaken, const FuzzGenConfig &gen,
+                unsigned max_seeds)
+{
+    FuzzOptions opts;
+    opts.gen = gen;
+    opts.cfg.weaken = weaken;
+    opts.minimize = false;
+    for (std::uint64_t seed = 0; seed < max_seeds; ++seed) {
+        SeedResult sr = runFuzzSeed(seed, opts);
+        EXPECT_NE(sr.outcome, "failed")
+            << sr.errorType << ": " << sr.errorMessage;
+        if (sr.outcome != "violation")
+            continue;
+        std::vector<std::string> names;
+        for (const Violation &v : sr.violations)
+            names.push_back(v.invariant);
+        return names;
+    }
+    return {};
+}
+
+TEST(FuzzWeaken, DeafHardDetectorIsCaught)
+{
+    std::vector<std::string> names =
+        violationsUnder(Weaken::Hard, smallGen(), 10);
+    ASSERT_FALSE(names.empty())
+        << "no seed caught the sabotaged HARD detector";
+    EXPECT_NE(std::find(names.begin(), names.end(),
+                        "hard-subset-of-ideal"),
+              names.end());
+}
+
+TEST(FuzzWeaken, DeafHbDetectorIsCaught)
+{
+    // Force semaphore hand-offs and suppress barriers so semaphores are
+    // the only cross-phase ordering — exactly what the sabotage breaks.
+    FuzzGenConfig gen = smallGen();
+    gen.maxPhases = 3;
+    gen.pSema = 1.0;
+    gen.pBarrier = 0.0;
+    std::vector<std::string> names =
+        violationsUnder(Weaken::Hb, gen, 30);
+    ASSERT_FALSE(names.empty())
+        << "no seed caught the sabotaged happens-before detector";
+    for (const std::string &n : names)
+        EXPECT_TRUE(n == "hb-matches-oracle" ||
+                    n == "hb-matches-fasttrack")
+            << n;
+}
+
+TEST(FuzzWeaken, NoResetIdealLocksetIsCaught)
+{
+    FuzzGenConfig gen = smallGen();
+    gen.maxPhases = 3;
+    gen.pBarrier = 1.0;
+    std::vector<std::string> names =
+        violationsUnder(Weaken::Ideal, gen, 30);
+    ASSERT_FALSE(names.empty())
+        << "no seed caught the sabotaged ideal-lockset detector";
+    EXPECT_NE(std::find(names.begin(), names.end(),
+                        "lockset-matches-oracle"),
+              names.end());
+}
+
+// ---------------------------------------------------------------------
+// Minimizer
+
+TraceEvent
+ev(TraceKind kind, ThreadId tid, Addr addr, unsigned size = 0,
+   SiteId site = 0)
+{
+    TraceEvent e;
+    e.kind = kind;
+    e.tid = tid;
+    e.addr = addr;
+    e.size = size;
+    e.site = site;
+    return e;
+}
+
+TEST(FuzzMinimizer, SanitizeDropsUnbalancedLockEvents)
+{
+    Trace t;
+    t.siteNames = {"s"};
+    t.events = {
+        ev(TraceKind::LockAcquire, 0, 0x1000),
+        ev(TraceKind::LockAcquire, 0, 0x1000), // re-acquire: dropped
+        ev(TraceKind::Read, 0, 0x2000, 4),
+        ev(TraceKind::LockRelease, 0, 0x1000),
+        ev(TraceKind::LockRelease, 0, 0x1000), // unheld: dropped
+        ev(TraceKind::LockRelease, 1, 0x1000), // unheld (t1): dropped
+    };
+    Trace s = sanitizeTrace(t);
+    ASSERT_EQ(s.events.size(), 3u);
+    EXPECT_EQ(s.events[0].kind, TraceKind::LockAcquire);
+    EXPECT_EQ(s.events[1].kind, TraceKind::Read);
+    EXPECT_EQ(s.events[2].kind, TraceKind::LockRelease);
+}
+
+TEST(FuzzMinimizer, DdminShrinksToSingleCulprit)
+{
+    Trace t;
+    t.siteNames = {"s"};
+    for (unsigned i = 0; i < 12; ++i)
+        t.events.push_back(ev(TraceKind::Read, i % 2, 0x100 + 8 * i, 4));
+    t.events.push_back(ev(TraceKind::Write, 0, 0xdead0, 4));
+    for (unsigned i = 0; i < 12; ++i)
+        t.events.push_back(ev(TraceKind::Read, i % 2, 0x900 + 8 * i, 4));
+
+    auto hasCulprit = [](const Trace &c) {
+        for (const TraceEvent &e : c.events)
+            if (e.kind == TraceKind::Write && e.addr == 0xdead0)
+                return true;
+        return false;
+    };
+    MinimizeStats stats;
+    Trace min = minimizeTrace(t, hasCulprit, 2000, &stats);
+    ASSERT_EQ(min.events.size(), 1u);
+    EXPECT_EQ(min.events[0].addr, 0xdead0u);
+    EXPECT_EQ(stats.originalEvents, 25u);
+    EXPECT_EQ(stats.finalEvents, 1u);
+    EXPECT_FALSE(stats.capped);
+    EXPECT_GT(stats.probes, 0u);
+}
+
+TEST(FuzzMinimizer, ProbeCapReturnsBestSoFar)
+{
+    Trace t;
+    t.siteNames = {"s"};
+    for (unsigned i = 0; i < 32; ++i)
+        t.events.push_back(ev(TraceKind::Read, 0, 0x100 + 8 * i, 4));
+    auto nonEmpty = [](const Trace &c) { return !c.events.empty(); };
+    MinimizeStats stats;
+    Trace min = minimizeTrace(t, nonEmpty, 3, &stats);
+    EXPECT_TRUE(stats.capped);
+    EXPECT_LE(min.events.size(), 32u);
+    EXPECT_FALSE(min.events.empty());
+}
+
+// ---------------------------------------------------------------------
+// End-to-end artifacts: violation -> minimized repro -> corpus replay.
+
+TEST(FuzzArtifacts, ViolationMinimizesToReplayableCorpusCase)
+{
+    FuzzOptions opts;
+    opts.gen = smallGen();
+    opts.cfg.weaken = Weaken::Hard;
+    opts.outDir = tmpDir("fuzz_artifacts");
+    SeedResult hit;
+    for (std::uint64_t seed = 0; seed < 10; ++seed) {
+        hit = runFuzzSeed(seed, opts);
+        if (hit.outcome == "violation")
+            break;
+    }
+    ASSERT_EQ(hit.outcome, "violation");
+    ASSERT_TRUE(hit.minimized);
+    EXPECT_LE(hit.minStats.finalEvents, hit.minStats.originalEvents);
+    EXPECT_GT(hit.minStats.finalEvents, 0u);
+
+    // The artifacts exist and the minimized trace still reproduces the
+    // primary violation when replayed from disk.
+    ASSERT_FALSE(hit.minTracePath.empty());
+    Trace min = readTrace(hit.minTracePath);
+    EXPECT_EQ(min.events.size(), hit.minStats.finalEvents);
+    std::vector<Violation> again =
+        checkInvariants(analyzeTrace(min, opts.cfg));
+    ASSERT_FALSE(again.empty());
+    EXPECT_EQ(again.front().invariant, hit.violations.front().invariant);
+
+    // The dumped case file round-trips through the corpus checker.
+    ASSERT_FALSE(hit.casePath.empty());
+    CorpusVerdict v = checkCorpusCase(hit.casePath);
+    EXPECT_TRUE(v.ok) << v.message;
+}
+
+// ---------------------------------------------------------------------
+// Seed-spec parsing
+
+TEST(FuzzSeedSpec, CountAndRangeForms)
+{
+    EXPECT_EQ(parseSeedSpec("3"),
+              (std::vector<std::uint64_t>{0, 1, 2}));
+    EXPECT_EQ(parseSeedSpec("5..7"),
+              (std::vector<std::uint64_t>{5, 6, 7}));
+    EXPECT_EQ(parseSeedSpec("9..9"),
+              (std::vector<std::uint64_t>{9}));
+}
+
+TEST(FuzzSeedSpec, RejectsMalformedSpecs)
+{
+    HARD_EXPECT_THROW_MSG(parseSeedSpec(""), ConfigError, "seed");
+    HARD_EXPECT_THROW_MSG(parseSeedSpec("7..3"), ConfigError, "seed");
+    HARD_EXPECT_THROW_MSG(parseSeedSpec("abc"), ConfigError, "seed");
+}
+
+// ---------------------------------------------------------------------
+// Invariant plumbing
+
+TEST(FuzzInvariants, CoarsenKeysRealigns)
+{
+    KeySet fine{{0x100, 1}, {0x104, 1}, {0x11c, 2}, {0x120, 2}};
+    KeySet coarse = coarsenKeys(fine, 32);
+    EXPECT_EQ(coarse, (KeySet{{0x100, 1}, {0x100, 2}, {0x120, 2}}));
+}
+
+TEST(FuzzInvariants, CleanReportSetHasNoViolations)
+{
+    FuzzReportSet r;
+    EXPECT_TRUE(checkInvariants(r).empty());
+}
+
+TEST(FuzzInvariants, SubsetBreachIsNamedAndWitnessed)
+{
+    FuzzReportSet r;
+    r.hard = {{0x40, 3}};
+    std::vector<Violation> v = checkInvariants(r);
+    ASSERT_FALSE(v.empty());
+    EXPECT_EQ(v.front().invariant, "hard-subset-of-ideal");
+    ASSERT_EQ(v.front().witnesses.size(), 1u);
+    EXPECT_EQ(v.front().witnesses.front(), (ReportKey{0x40, 3}));
+    EXPECT_EQ(v.front().totalWitnesses, 1u);
+}
+
+TEST(FuzzInvariants, NamesAreStable)
+{
+    const std::vector<std::string> &n = invariantNames();
+    EXPECT_EQ(n.size(), 6u);
+    EXPECT_EQ(n.front(), "hard-subset-of-ideal");
+}
+
+TEST(FuzzBatteryTest, RejectsBadGranularity)
+{
+    FuzzConfig cfg;
+    cfg.granularity = 2;
+    HARD_EXPECT_THROW_MSG(makeFuzzBattery(cfg), ConfigError,
+                          "granularity");
+    cfg.granularity = 24;
+    HARD_EXPECT_THROW_MSG(makeFuzzBattery(cfg), ConfigError,
+                          "granularity");
+}
+
+} // namespace
+} // namespace hard
