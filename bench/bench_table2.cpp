@@ -27,8 +27,9 @@ main(int argc, char **argv)
     // whole sweep out across the pool; merged rows are identical to the
     // serial harness for any --jobs value.
     RunPool pool(opt.jobs);
-    std::vector<BatchItemResult> results =
-        runBatch(effectivenessItems(opt, table2Detectors()), pool);
+    std::vector<BatchItemResult> results = runBatch(
+        effectivenessItems(opt, table2Detectors(), /*collect_stats=*/true),
+        pool);
 
     unsigned tot[4] = {0, 0, 0, 0};
     unsigned tot_runs = 0;
@@ -57,7 +58,7 @@ main(int argc, char **argv)
               fracCell(tot[1], tot_runs), "-", fracCell(tot[2], tot_runs),
               "-", fracCell(tot[3], tot_runs), "-"});
     printTable(t, opt);
-    maybeWriteJson(opt, results, pool);
+    maybeWriteJson(opt, results);
 
     double pct = tot[2] == 0
         ? 0.0

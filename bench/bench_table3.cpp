@@ -74,7 +74,7 @@ main(int argc, char **argv)
     }
     printTable(bugs, opt);
     printTable(fas, opt);
-    maybeWriteJson(opt, results, pool);
+    maybeWriteJson(opt, results);
     std::printf(
         "Paper shape: detection roughly constant across granularities; "
         "false alarms increase 4B -> 32B for both algorithms.\n");

@@ -85,9 +85,13 @@ parseBenchArgs(int argc, char **argv)
 /**
  * Build one effectiveness BatchItem per paper application with the
  * bench's common sizing/seed options applied.
+ *
+ * @param collect_stats Embed a `hard.stats.v1` block per run in the
+ * results (and so in the --json dump).
  */
 inline std::vector<BatchItem>
-effectivenessItems(const BenchOptions &opt, const DetectorFactory &factory)
+effectivenessItems(const BenchOptions &opt, const DetectorFactory &factory,
+                   bool collect_stats = false)
 {
     std::vector<BatchItem> items;
     for (const WorkloadInfo &w : allWorkloads()) {
@@ -98,6 +102,7 @@ effectivenessItems(const BenchOptions &opt, const DetectorFactory &factory)
         item.factory = factory;
         item.runs = opt.runs;
         item.seed0 = opt.seed;
+        item.collectStats = collect_stats;
         items.push_back(std::move(item));
     }
     return items;
@@ -106,8 +111,7 @@ effectivenessItems(const BenchOptions &opt, const DetectorFactory &factory)
 /** Write the batch JSON dump when --json= was given. */
 inline void
 maybeWriteJson(const BenchOptions &opt,
-               const std::vector<BatchItemResult> &results,
-               const RunPool &)
+               const std::vector<BatchItemResult> &results)
 {
     if (opt.json.empty())
         return;

@@ -1,0 +1,174 @@
+#!/usr/bin/env python3
+"""Validate hardsim telemetry outputs (CI smoke check).
+
+Checks, using nothing but the standard library:
+
+  - a hard.stats.v1 document (--stats):    schema tag, hierarchical
+    group shape, required machine groups, counter types
+  - a hard.intervals.v1 series (--intervals): header line, declared
+    probes present in every row, strictly increasing cycles
+  - a Chrome/Perfetto trace_event file (--trace): traceEvents array,
+    required per-event keys, category vocabulary, non-negative
+    timestamps/durations
+  - a hard.batch.v2 document (--batch [--expect-stats]): schema tag
+    and, with --expect-stats, an embedded hard.stats.v1 block per run
+    plus baseStats/hardStats on every measured overhead unit
+
+Exits non-zero with a per-file report on the first structural problem.
+"""
+
+import argparse
+import json
+import sys
+
+MACHINE_GROUPS = ("bus", "l2", "memsys", "system")
+TRACE_PHASES = {"X", "i", "M"}
+TRACE_CATEGORIES = {"mem", "coherence", "detector", "sync"}
+
+
+def fail(msg):
+    raise SystemExit(f"check_telemetry: {msg}")
+
+
+def check_stats_doc(doc, where):
+    if doc.get("schema") != "hard.stats.v1":
+        fail(f"{where}: schema is {doc.get('schema')!r}, "
+             "expected 'hard.stats.v1'")
+    groups = doc.get("groups")
+    if not isinstance(groups, dict) or not groups:
+        fail(f"{where}: missing or empty 'groups'")
+    for name in MACHINE_GROUPS:
+        if name not in groups:
+            fail(f"{where}: machine group {name!r} missing "
+                 f"(have {sorted(groups)})")
+    for name, group in groups.items():
+        if not isinstance(group, dict):
+            fail(f"{where}: group {name!r} is not an object")
+        for stat, value in group.get("counters", {}).items():
+            if not isinstance(value, int) or value < 0:
+                fail(f"{where}: counter {name}.{stat} is {value!r}")
+        for stat, hist in group.get("histograms", {}).items():
+            if sum(hist["buckets"]) != hist["count"]:
+                fail(f"{where}: histogram {name}.{stat} bucket sum "
+                     f"{sum(hist['buckets'])} != count {hist['count']}")
+
+
+def check_stats(path):
+    with open(path) as f:
+        check_stats_doc(json.load(f), path)
+    print(f"ok: {path} (hard.stats.v1)")
+
+
+def check_intervals(path):
+    with open(path) as f:
+        lines = [json.loads(line) for line in f if line.strip()]
+    if len(lines) < 2:
+        fail(f"{path}: expected a header and at least one row")
+    header, rows = lines[0], lines[1:]
+    if header.get("schema") != "hard.intervals.v1":
+        fail(f"{path}: header schema is {header.get('schema')!r}")
+    if not isinstance(header.get("interval"), int) or header["interval"] <= 0:
+        fail(f"{path}: bad interval {header.get('interval')!r}")
+    probes = [p["name"] for p in header.get("probes", [])]
+    if not probes:
+        fail(f"{path}: header declares no probes")
+    prev = -1
+    for i, row in enumerate(rows):
+        cycle = row.get("cycle")
+        if not isinstance(cycle, int) or cycle <= prev:
+            fail(f"{path}: row {i}: cycle {cycle!r} not increasing "
+                 f"(prev {prev})")
+        prev = cycle
+        for name in probes:
+            if name not in row:
+                fail(f"{path}: row {i}: probe {name!r} missing")
+    print(f"ok: {path} (hard.intervals.v1, {len(rows)} rows)")
+
+
+def check_trace(path):
+    with open(path) as f:
+        doc = json.load(f)
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        fail(f"{path}: missing or empty 'traceEvents'")
+    for i, e in enumerate(events):
+        ph = e.get("ph")
+        if ph not in TRACE_PHASES:
+            fail(f"{path}: event {i}: unknown phase {ph!r}")
+        for key in ("name", "pid", "tid"):
+            if key not in e:
+                fail(f"{path}: event {i}: missing {key!r}")
+        if ph == "M":
+            continue
+        if e.get("cat") not in TRACE_CATEGORIES:
+            fail(f"{path}: event {i}: unknown category {e.get('cat')!r}")
+        if e.get("ts", -1) < 0:
+            fail(f"{path}: event {i}: bad ts {e.get('ts')!r}")
+        if ph == "X" and e.get("dur", -1) < 0:
+            fail(f"{path}: event {i}: complete event without dur")
+    print(f"ok: {path} (trace_event, {len(events)} events)")
+
+
+def check_batch(path, expect_stats):
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("schema") != "hard.batch.v2":
+        fail(f"{path}: schema is {doc.get('schema')!r}")
+    if expect_stats:
+        hs = doc.get("harnessStats", {})
+        if hs.get("schema") != "hard.stats.v1":
+            fail(f"{path}: harnessStats schema is {hs.get('schema')!r}")
+        if "harness" not in hs.get("groups", {}):
+            fail(f"{path}: harnessStats has no 'harness' group")
+    runs = overheads = 0
+    for item in doc.get("items", []):
+        for run in item.get("effectiveness", {}).get("perRun", []):
+            runs += 1
+            if expect_stats and run.get("outcome", "ok") == "ok":
+                if "stats" not in run:
+                    fail(f"{path}: {item['label']} run {run['index']}: "
+                         "no embedded stats block")
+                check_stats_doc(run["stats"],
+                                f"{path}:{item['label']}:{run['index']}")
+        oh = item.get("overhead")
+        if oh is not None and oh.get("outcome") == "ok":
+            overheads += 1
+            if expect_stats:
+                for key in ("baseStats", "hardStats"):
+                    if key not in oh:
+                        fail(f"{path}: {item['label']} overhead: "
+                             f"no {key}")
+                    check_stats_doc(oh[key],
+                                    f"{path}:{item['label']}:{key}")
+    print(f"ok: {path} (hard.batch.v2, {runs} runs, "
+          f"{overheads} overhead units"
+          f"{', stats embedded' if expect_stats else ''})")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--stats", action="append", default=[],
+                    help="hard.stats.v1 JSON file")
+    ap.add_argument("--intervals", action="append", default=[],
+                    help="hard.intervals.v1 JSONL file")
+    ap.add_argument("--trace", action="append", default=[],
+                    help="trace_event JSON file")
+    ap.add_argument("--batch", action="append", default=[],
+                    help="hard.batch.v2 JSON file")
+    ap.add_argument("--expect-stats", action="store_true",
+                    help="require embedded stats blocks in --batch files")
+    args = ap.parse_args()
+    if not (args.stats or args.intervals or args.trace or args.batch):
+        ap.error("nothing to check")
+    for path in args.stats:
+        check_stats(path)
+    for path in args.intervals:
+        check_intervals(path)
+    for path in args.trace:
+        check_trace(path)
+    for path in args.batch:
+        check_batch(path, args.expect_stats)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

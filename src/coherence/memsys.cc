@@ -56,6 +56,13 @@ MemorySystem::MemorySystem(const MemSysConfig &cfg)
     l2_ = std::make_unique<SetAssocCache>("l2", cfg_.l2);
 }
 
+void
+MemorySystem::setTracer(EventTracer *tracer)
+{
+    tracer_ = tracer;
+    bus_.setTracer(tracer);
+}
+
 unsigned
 MemorySystem::sharerCount(Addr addr) const
 {
@@ -97,6 +104,12 @@ MemorySystem::ensureInL2(Addr line, bool dirty, Cycle &completeAt, Cycle now)
         ++stats_.counter("l2Evictions");
         if (ev->dirty)
             bus_.transact(TxnType::Writeback, completeAt);
+        if (tracer_ && tracer_->wants(kTraceMem)) {
+            Json args = Json::object();
+            args.set("line", ev->lineAddr);
+            tracer_->instant(kTraceMem, EventTracer::kBusTrack, "l2-evict",
+                             completeAt, std::move(args));
+        }
         if (onL2Evict_)
             onL2Evict_(ev->lineAddr);
     }
@@ -255,6 +268,14 @@ MemorySystem::access(CoreId core, Addr addr, unsigned size, bool write,
     out.stateAfter = fill_state;
     out.sharers = sharerCount(line);
     out.lineTransferred = true;
+    if (tracer_ && tracer_->wants(kTraceMem)) {
+        Json args = Json::object();
+        args.set("addr", addr);
+        args.set("source", accessSourceName(out.source));
+        tracer_->complete(kTraceMem, core,
+                          write ? "write-miss" : "read-miss", now, done,
+                          std::move(args));
+    }
     return out;
 }
 

@@ -107,6 +107,13 @@ class MemorySystem
         onL2Evict_ = std::move(cb);
     }
 
+    /**
+     * Attach a trace sink (not owned; may be null): bus transactions
+     * on the bus track, L1 miss completions on the requesting core's
+     * track, L2 displacements as instants.
+     */
+    void setTracer(EventTracer *tracer);
+
     Bus &bus() { return bus_; }
     const Bus &bus() const { return bus_; }
     SetAssocCache &l1(CoreId core) { return *l1s_.at(core); }
@@ -133,6 +140,7 @@ class MemorySystem
     std::vector<std::unique_ptr<SetAssocCache>> l1s_;
     std::unique_ptr<SetAssocCache> l2_;
     StatGroup stats_;
+    EventTracer *tracer_ = nullptr;
 };
 
 } // namespace hard

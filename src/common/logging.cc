@@ -12,6 +12,9 @@ namespace
 {
 // Atomic: read by pool workers while the main thread may toggle it.
 std::atomic<bool> quietFlag{false};
+
+// Thread-local so each pool worker can capture its own unit's output.
+thread_local LogSink logSink;
 } // namespace
 
 void
@@ -24,6 +27,27 @@ bool
 isQuiet()
 {
     return quietFlag;
+}
+
+LogSink
+setLogSink(LogSink sink)
+{
+    LogSink prev = std::move(logSink);
+    logSink = std::move(sink);
+    return prev;
+}
+
+ScopedLogCapture::ScopedLogCapture()
+{
+    prev_ = setLogSink([this](LogLevel level, const std::string &msg) {
+        lines_.push_back(
+            (level == LogLevel::Warn ? "warn: " : "info: ") + msg);
+    });
+}
+
+ScopedLogCapture::~ScopedLogCapture()
+{
+    setLogSink(std::move(prev_));
 }
 
 std::string
@@ -71,6 +95,10 @@ warn(const char *fmt, ...)
     va_start(ap, fmt);
     std::string msg = vformat(fmt, ap);
     va_end(ap);
+    if (logSink) {
+        logSink(LogLevel::Warn, msg);
+        return;
+    }
     std::fprintf(stderr, "warn: %s\n", msg.c_str());
 }
 
@@ -83,6 +111,10 @@ inform(const char *fmt, ...)
     va_start(ap, fmt);
     std::string msg = vformat(fmt, ap);
     va_end(ap);
+    if (logSink) {
+        logSink(LogLevel::Inform, msg);
+        return;
+    }
     std::fprintf(stdout, "info: %s\n", msg.c_str());
 }
 

@@ -10,7 +10,9 @@
 #define HARD_COMMON_LOGGING_HH
 
 #include <cstdarg>
+#include <functional>
 #include <string>
+#include <vector>
 
 namespace hard
 {
@@ -39,6 +41,53 @@ void setQuiet(bool quiet);
 
 /** @return true if warn()/inform() are currently silenced. */
 bool isQuiet();
+
+/** Severity tag passed to a LogSink. */
+enum class LogLevel
+{
+    Warn,
+    Inform,
+};
+
+/**
+ * A pluggable destination for warn()/inform() lines. The sink
+ * receives the formatted message without the "warn: "/"info: " prefix
+ * or trailing newline. setQuiet() is honoured *before* the sink is
+ * consulted, so quiet mode silences sinks too.
+ */
+using LogSink = std::function<void(LogLevel, const std::string &)>;
+
+/**
+ * Install @p sink as this thread's log destination (thread-local, so
+ * batch/fuzz pool workers can each capture their own unit's lines
+ * without interleaving on stderr). Pass an empty function to restore
+ * the default stderr/stdout behaviour.
+ *
+ * @return the previously installed sink (empty if none).
+ */
+LogSink setLogSink(LogSink sink);
+
+/**
+ * RAII capture of this thread's warn()/inform() lines into a vector,
+ * restoring the previous sink on destruction. Each entry is
+ * "warn: msg" or "info: msg" (prefix preserved so the journal reads
+ * like the console would have).
+ */
+class ScopedLogCapture
+{
+  public:
+    ScopedLogCapture();
+    ~ScopedLogCapture();
+
+    ScopedLogCapture(const ScopedLogCapture &) = delete;
+    ScopedLogCapture &operator=(const ScopedLogCapture &) = delete;
+
+    const std::vector<std::string> &lines() const { return lines_; }
+
+  private:
+    std::vector<std::string> lines_;
+    LogSink prev_;
+};
 
 /** Format printf-style arguments into a std::string. */
 std::string vformat(const char *fmt, std::va_list ap);

@@ -1,7 +1,11 @@
 #include "core/hard_detector.hh"
 
+#include <bit>
+
 #include "common/bitops.hh"
 #include "common/logging.hh"
+#include "telemetry/sampler.hh"
+#include "telemetry/trace_event.hh"
 
 namespace hard
 {
@@ -23,6 +27,9 @@ HardDetector::HardDetector(const std::string &name, const HardConfig &cfg,
                   "hard: more than 8 granules per line unsupported");
     lockRegs_.fill(LockRegister(cfg_.bloomBits, cfg_.counterBits));
     coreRegs_.fill(LockRegister(cfg_.bloomBits, cfg_.counterBits));
+    stats().formula("metaHitRate", [this] {
+        return Formula::ratio(meta_.hits(), meta_.lookups());
+    });
 }
 
 LockRegister &
@@ -39,11 +46,61 @@ HardDetector::regFor(ThreadId tid, CoreId core)
 void
 HardDetector::onLineEvicted(Addr line_addr, Cycle at)
 {
-    (void)at;
     if (!cfg_.coupleToCaches)
         return;
-    if (meta_.erase(line_addr))
+    if (meta_.erase(line_addr)) {
         ++stats_.metadataEvictions;
+        if (tracer_ && tracer_->wants(kTraceDetector)) {
+            Json args = Json::object();
+            args.set("line", line_addr);
+            tracer_->instant(kTraceDetector, EventTracer::kDetectorTrack,
+                             name() + ":meta-loss", at, std::move(args));
+        }
+    }
+}
+
+void
+HardDetector::syncStats()
+{
+    RaceDetector::syncStats();
+    StatGroup &g = stats();
+    g.counter("barrierResets").set(stats_.barrierResets);
+    g.counter("intersections").set(stats_.intersections);
+    g.counter("metaBroadcasts").set(stats_.metaBroadcasts);
+    g.counter("metaHits").set(meta_.hits());
+    g.counter("metaLookups").set(meta_.lookups());
+    g.counter("metaResident").set(meta_.residentLines());
+    g.counter("metadataEvictions").set(stats_.metadataEvictions);
+
+    // BFVector occupancy: population count of every tracked (non-
+    // Virgin) resident granule's candidate set. Refilled from scratch
+    // each sync — a snapshot, not an accumulation; bucket fills are
+    // commutative, so unordered iteration stays deterministic.
+    Histogram &occ = g.histogram("bfOccupancy", Histogram::Scale::Linear,
+                                 1, 33);
+    occ.reset();
+    const std::uint32_t mask = cfg_.bloomBits < 32
+        ? (std::uint32_t{1} << cfg_.bloomBits) - 1
+        : ~std::uint32_t{0};
+    meta_.forEach([&occ, mask](Addr, Line &line) {
+        for (const Granule &gr : line.g) {
+            if (gr.state != LState::Virgin)
+                occ.sample(std::popcount(gr.bf & mask));
+        }
+    });
+}
+
+void
+HardDetector::registerProbes(IntervalSampler &sampler)
+{
+    RaceDetector::registerProbes(sampler);
+    sampler.addGauge(name() + ".metaResident",
+                     [this] { return meta_.residentLines(); });
+    sampler.addRatio(name() + ".metaHitRate",
+                     [this] { return meta_.hits(); },
+                     [this] { return meta_.lookups(); });
+    sampler.addCounter(name() + ".metaBroadcasts",
+                       [this] { return stats_.metaBroadcasts; });
 }
 
 void
@@ -177,7 +234,6 @@ HardDetector::onLockRelease(const SyncEvent &ev)
 void
 HardDetector::onBarrier(const BarrierEvent &ev)
 {
-    (void)ev;
     if (!cfg_.barrierReset)
         return;
     // §3.5: "the accesses and their lock information before the
@@ -196,6 +252,13 @@ HardDetector::onBarrier(const BarrierEvent &ev)
         }
     });
     ++stats_.barrierResets;
+    if (tracer_ && tracer_->wants(kTraceDetector)) {
+        Json args = Json::object();
+        args.set("episode", ev.episode);
+        args.set("resident", meta_.residentLines());
+        tracer_->instant(kTraceDetector, EventTracer::kDetectorTrack,
+                         name() + ":flash-reset", ev.at, std::move(args));
+    }
 }
 
 } // namespace hard

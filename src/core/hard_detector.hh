@@ -115,6 +115,16 @@ class HardDetector : public RaceDetector
                          Cycle at) override;
     void onLineEvicted(Addr line_addr, Cycle at) override;
 
+    /**
+     * Mirror HardStats + metadata-store state into stats(), including
+     * a BFVector-occupancy histogram (population count per tracked
+     * granule) refilled from the resident metadata on each sync.
+     */
+    void syncStats() override;
+
+    /** Probes: resident metadata lines, hit rate, broadcast volume. */
+    void registerProbes(IntervalSampler &sampler) override;
+
     /** @return the Lock Register of thread @p tid's context. */
     const LockRegister &lockRegister(ThreadId tid) const;
 

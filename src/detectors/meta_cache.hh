@@ -58,9 +58,12 @@ class MetaCache
     lookup(Addr addr, bool &fresh)
     {
         const Addr line = geom_.lineAddr(addr);
+        ++lookups_;
         if (unbounded_) {
             auto [it, inserted] = map_.try_emplace(line);
             fresh = inserted;
+            if (!inserted)
+                ++hits_;
             return it->second;
         }
 
@@ -69,6 +72,7 @@ class MetaCache
             if (ways_[i].valid && ways_[i].lineAddr == line) {
                 ways_[i].lastUse = ++useClock_;
                 fresh = false;
+                ++hits_;
                 return ways_[i].data;
             }
         }
@@ -152,6 +156,12 @@ class MetaCache
     /** @return number of lines displaced (metadata lost) so far. */
     std::uint64_t evictions() const { return evictions_; }
 
+    /** @return lookup() calls so far. */
+    std::uint64_t lookups() const { return lookups_; }
+
+    /** @return lookup() calls that found the line resident. */
+    std::uint64_t hits() const { return hits_; }
+
     /** @return number of currently resident metadata lines. */
     std::size_t
     residentLines() const
@@ -190,6 +200,8 @@ class MetaCache
     std::unordered_map<Addr, LineData> map_;
     std::uint64_t useClock_ = 0;
     std::uint64_t evictions_ = 0;
+    std::uint64_t lookups_ = 0;
+    std::uint64_t hits_ = 0;
 };
 
 } // namespace hard

@@ -1,5 +1,9 @@
 #include "detectors/report.hh"
 
+#include "telemetry/sampler.hh"
+#include "telemetry/stat_registry.hh"
+#include "telemetry/trace_event.hh"
+
 namespace hard
 {
 
@@ -35,6 +39,49 @@ ReportSink::clear()
     sites_.clear();
     seenPairs_.clear();
     dynamic_ = 0;
+}
+
+void
+RaceDetector::syncStats()
+{
+    stats_.counter("dynamicReports").set(sink_.dynamicCount());
+    stats_.counter("reportSites").set(sink_.distinctSiteCount());
+}
+
+void
+RaceDetector::registerStats(StatRegistry &registry)
+{
+    // The six-detector batteries may (in principle) carry duplicate
+    // display names; the registry's group names are unique, so only
+    // the first same-named detector registers.
+    if (registry.find(stats_.name()) != nullptr)
+        return;
+    registry.add(stats_);
+    registry.addRefreshHook([this] { syncStats(); });
+}
+
+void
+RaceDetector::registerProbes(IntervalSampler &sampler)
+{
+    sampler.addRate(name_ + ".reportsPerMcycle",
+                    [this] { return sink_.dynamicCount(); }, 1e6);
+}
+
+void
+RaceDetector::emit(ThreadId tid, Addr addr, unsigned size, SiteId site,
+                   bool write, Cycle at, ThreadId other)
+{
+    sink_.report(RaceReport{tid, addr, size, site, write, at, other});
+    if (tracer_ && tracer_->wants(kTraceDetector)) {
+        Json args = Json::object();
+        args.set("addr", addr);
+        args.set("detector", name_);
+        args.set("site", site);
+        args.set("tid", tid);
+        args.set("write", write);
+        tracer_->instant(kTraceDetector, EventTracer::kDetectorTrack,
+                         name_ + ":race", at, std::move(args));
+    }
 }
 
 } // namespace hard

@@ -17,6 +17,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "common/stats.hh"
 #include "sim/observer.hh"
 
 namespace hard
@@ -92,27 +93,56 @@ class ReportSink
 class RaceDetector : public AccessObserver
 {
   public:
-    explicit RaceDetector(std::string name) : name_(std::move(name)) {}
+    explicit RaceDetector(std::string name)
+        : name_(std::move(name)), stats_("detector." + name_)
+    {
+    }
 
     const std::string &name() const { return name_; }
     ReportSink &sink() { return sink_; }
     const ReportSink &sink() const { return sink_; }
 
+    /** This detector's "detector.<name>" statistics group. */
+    StatGroup &stats() { return stats_; }
+    const StatGroup &stats() const { return stats_; }
+
     /** Hook invoked by the harness after the simulation finishes. */
     virtual void finalize() {}
 
+    /**
+     * Mirror internal state (sink counts, algorithm-specific structs)
+     * into stats(). Invoked by the registry's refresh hook before
+     * every dump/sample, never on the access hot path.
+     */
+    virtual void syncStats();
+
+    /**
+     * Register stats() under "detector.<name>". When two same-named
+     * detectors observe one System only the first registers (the
+     * registry's group names are unique).
+     */
+    void registerStats(StatRegistry &registry) override;
+
+    void attachTracer(EventTracer *tracer) override { tracer_ = tracer; }
+
+    /** Base probes: dynamic reports per Mcycle. */
+    void registerProbes(IntervalSampler &sampler) override;
+
   protected:
-    /** Emit a race report into the sink. */
-    void
-    emit(ThreadId tid, Addr addr, unsigned size, SiteId site, bool write,
-         Cycle at, ThreadId other = invalidThread)
-    {
-        sink_.report(RaceReport{tid, addr, size, site, write, at, other});
-    }
+    /**
+     * Emit a race report into the sink (and onto the detector trace
+     * track when tracing is enabled).
+     */
+    void emit(ThreadId tid, Addr addr, unsigned size, SiteId site,
+              bool write, Cycle at, ThreadId other = invalidThread);
+
+    /** Trace sink for subclass instants; null when tracing is off. */
+    EventTracer *tracer_ = nullptr;
 
   private:
     std::string name_;
     ReportSink sink_;
+    StatGroup stats_;
 };
 
 } // namespace hard

@@ -2,9 +2,11 @@
 
 #include <atomic>
 #include <memory>
+#include <optional>
 
 #include "common/error.hh"
 #include "common/logging.hh"
+#include "telemetry/stat_registry.hh"
 
 namespace hard
 {
@@ -13,7 +15,8 @@ EffectivenessRun
 runEffectivenessUnit(const std::string &workload, const WorkloadParams &wp,
                      const SimConfig &sim, const DetectorFactory &factory,
                      unsigned index, unsigned num_runs,
-                     std::uint64_t seed0, const SharedMap &shared)
+                     std::uint64_t seed0, const SharedMap &shared,
+                     bool collect_stats)
 {
     EffectivenessRun out;
     out.index = index;
@@ -47,7 +50,8 @@ runEffectivenessUnit(const std::string &workload, const WorkloadParams &wp,
     SimConfig cfg = sim;
     if (cfg.maxCycles == 0)
         cfg.maxCycles = defaultCycleBudget(prog);
-    runWithDetectors(prog, cfg, raw);
+    runWithDetectors(prog, cfg, raw,
+                     collect_stats ? &out.stats : nullptr);
 
     for (auto &d : detectors) {
         RunOutcome &o = out.byDetector[d->name()];
@@ -304,6 +308,13 @@ runBatch(const std::vector<BatchItem> &items, RunPool &pool,
                 opts.maxFailures != 0 &&
                 failures.load() >= opts.maxFailures;
             std::string outcome = "ok", type, message;
+            // With a journal, divert this worker's warn()/inform()
+            // lines into the unit's journal record instead of
+            // interleaving on stderr (setQuiet() still silences them
+            // before the capture sees anything).
+            std::optional<ScopedLogCapture> capture;
+            if (opts.journal != nullptr)
+                capture.emplace();
             if (over_budget) {
                 outcome = "skipped";
             } else {
@@ -312,9 +323,11 @@ runBatch(const std::vector<BatchItem> &items, RunPool &pool,
                         res.overhead = item.directory
                             ? measureOverheadDirectory(item.workload,
                                                        item.wp, item.sim,
-                                                       item.hardCfg)
+                                                       item.hardCfg,
+                                                       item.collectStats)
                             : measureOverhead(item.workload, item.wp,
-                                              item.sim, item.hardCfg);
+                                              item.sim, item.hardCfg,
+                                              item.collectStats);
                         res.haveOverhead = true;
                     } else {
                         res.runDetail[static_cast<std::size_t>(
@@ -324,7 +337,7 @@ runBatch(const std::vector<BatchItem> &items, RunPool &pool,
                                 item.factory,
                                 static_cast<unsigned>(unit.run),
                                 item.runs, item.seed0,
-                                *shared[unit.item]);
+                                *shared[unit.item], item.collectStats);
                     }
                 } catch (...) {
                     if (!opts.keepGoing)
@@ -346,14 +359,22 @@ runBatch(const std::vector<BatchItem> &items, RunPool &pool,
                     type, message);
             }
             // Journal everything that actually ran; skipped units are
-            // left out so a resume executes them.
+            // left out so a resume executes them. Captured log lines
+            // ride along in the journal record only — they never enter
+            // batchJson, which stays byte-identical with logging on.
             if (opts.journal != nullptr && outcome != "skipped") {
-                opts.journal->append(
-                    {unit.item, unit.run},
-                    unit.run == -1
-                        ? overheadPayload(res)
-                        : toJson(res.runDetail[static_cast<std::size_t>(
-                              unit.run)]));
+                Json payload = unit.run == -1
+                    ? overheadPayload(res)
+                    : toJson(res.runDetail[static_cast<std::size_t>(
+                          unit.run)]);
+                if (capture && !capture->lines().empty()) {
+                    Json log = Json::array();
+                    for (const std::string &line : capture->lines())
+                        log.push(line);
+                    payload.set("log", std::move(log));
+                }
+                opts.journal->append({unit.item, unit.run},
+                                     std::move(payload));
             }
         });
     for (std::exception_ptr &err : unit_errs)
@@ -418,6 +439,12 @@ toJson(const OverheadResult &overhead)
     j.set("metaBroadcasts", overhead.metaBroadcasts);
     j.set("dataBytes", overhead.dataBytes);
     j.set("metaBytes", overhead.metaBytes);
+    // Optional stats snapshots: omitted (not null) when collection was
+    // off, so stats-off dumps match pre-stats output byte for byte.
+    if (!overhead.baseStats.isNull())
+        j.set("baseStats", overhead.baseStats);
+    if (!overhead.hardStats.isNull())
+        j.set("hardStats", overhead.hardStats);
     return j;
 }
 
@@ -431,6 +458,10 @@ overheadFromJson(const Json &j)
     o.metaBroadcasts = j["metaBroadcasts"].asUint();
     o.dataBytes = j["dataBytes"].asUint();
     o.metaBytes = j["metaBytes"].asUint();
+    if (j.has("baseStats"))
+        o.baseStats = j["baseStats"];
+    if (j.has("hardStats"))
+        o.hardStats = j["hardStats"];
     return o;
 }
 
@@ -477,6 +508,8 @@ toJson(const EffectivenessRun &run)
         dets.set(name, std::move(d));
     }
     j.set("detectors", std::move(dets));
+    if (!run.stats.isNull())
+        j.set("stats", run.stats);
     return j;
 }
 
@@ -501,6 +534,8 @@ effectivenessRunFromJson(const Json &j)
                 static_cast<SiteId>(d["sites"].at(i).asUint()));
         o.dynamicReports = d["dynamicReports"].asUint();
     }
+    if (j.has("stats"))
+        run.stats = j["stats"];
     return run;
 }
 
@@ -580,6 +615,47 @@ batchJson(const std::vector<BatchItemResult> &results)
     doc.set("items", std::move(items));
     doc.set("errors", std::move(errors));
     return doc;
+}
+
+Json
+harnessStatsJson(const std::vector<BatchItemResult> &results)
+{
+    StatGroup harness("harness");
+    harness.counter("items").set(results.size());
+    Counter &total = harness.counter("unitsTotal");
+    Counter &ok = harness.counter("unitsOk");
+    Counter &failed = harness.counter("unitsFailed");
+    Counter &skipped = harness.counter("unitsSkipped");
+    Counter &eff = harness.counter("effectivenessRuns");
+    Counter &oh = harness.counter("overheadUnits");
+
+    auto tally = [&](const std::string &outcome) {
+        ++total;
+        if (outcome == "ok")
+            ++ok;
+        else if (outcome == "skipped")
+            ++skipped;
+        else
+            ++failed;
+    };
+    for (const BatchItemResult &res : results) {
+        for (const EffectivenessRun &run : res.runDetail) {
+            ++eff;
+            tally(run.outcome);
+        }
+        if (!res.overheadOutcome.empty() || res.haveOverhead) {
+            ++oh;
+            tally(res.overheadOutcome.empty() ? "ok"
+                                              : res.overheadOutcome);
+        }
+    }
+    harness.formula("unitFailRate", [&total, &failed] {
+        return Formula::ratio(failed.value(), total.value());
+    });
+
+    StatRegistry registry;
+    registry.add(harness);
+    return registry.toJson();
 }
 
 } // namespace hard

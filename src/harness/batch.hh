@@ -67,6 +67,14 @@ struct EffectivenessRun
     std::string errorType;
     std::string errorMessage;
 
+    /**
+     * Per-run `hard.stats.v1` snapshot (Json null unless the item
+     * requested stats collection); serialized under "stats" only when
+     * present, so stats-off batch JSON is byte-identical to pre-stats
+     * output.
+     */
+    Json stats;
+
     bool ok() const { return outcome == "ok"; }
 };
 
@@ -83,7 +91,8 @@ EffectivenessRun runEffectivenessUnit(const std::string &workload,
                                       const DetectorFactory &factory,
                                       unsigned index, unsigned num_runs,
                                       std::uint64_t seed0,
-                                      const SharedMap &shared);
+                                      const SharedMap &shared,
+                                      bool collect_stats = false);
 
 /**
  * Fold per-run outcomes (in run-index order) into the aggregate
@@ -127,6 +136,13 @@ struct BatchItem
     bool directory = false;
     /** HARD configuration for the overhead measurement. */
     HardConfig hardCfg;
+    /**
+     * Embed per-run `hard.stats.v1` snapshots in the results: each
+     * EffectivenessRun gains a "stats" block and the overhead unit
+     * gains "baseStats"/"hardStats". Off by default — the stats-off
+     * batch JSON is byte-identical to pre-stats output.
+     */
+    bool collectStats = false;
 
     /**
      * Base of the exact single-run repro command reported for this
@@ -237,6 +253,15 @@ EffectivenessRun effectivenessRunFromJson(const Json &j);
  * count, so dumps are byte-identical for any --jobs value.
  */
 Json batchJson(const std::vector<BatchItemResult> &results);
+
+/**
+ * The batch harness's own `hard.stats.v1` document: a "harness"
+ * StatGroup counting items and unit outcomes (total/ok/failed/
+ * skipped, effectiveness runs and overhead units) folded from
+ * @p results. hardsim embeds it as "harnessStats" in stats-collecting
+ * batch dumps.
+ */
+Json harnessStatsJson(const std::vector<BatchItemResult> &results);
 /** @} */
 
 } // namespace hard

@@ -18,12 +18,22 @@ RunResult
 runWithDetectors(const Program &prog, const SimConfig &sim,
                  const std::vector<RaceDetector *> &detectors)
 {
+    return runWithDetectors(prog, sim, detectors, nullptr);
+}
+
+RunResult
+runWithDetectors(const Program &prog, const SimConfig &sim,
+                 const std::vector<RaceDetector *> &detectors,
+                 Json *stats_out)
+{
     System system(sim, prog);
     for (RaceDetector *d : detectors)
         system.addObserver(d);
     RunResult res = system.run();
     for (RaceDetector *d : detectors)
         d->finalize();
+    if (stats_out != nullptr)
+        *stats_out = system.statsJson();
     return res;
 }
 
@@ -69,7 +79,8 @@ runEffectiveness(const std::string &workload, const WorkloadParams &wp,
 
 OverheadResult
 measureOverhead(const std::string &workload, const WorkloadParams &wp,
-                const SimConfig &sim, const HardConfig &hard_cfg)
+                const SimConfig &sim, const HardConfig &hard_cfg,
+                bool collect_stats)
 {
     OverheadResult out;
 
@@ -84,6 +95,8 @@ measureOverhead(const std::string &workload, const WorkloadParams &wp,
             base_cfg.maxCycles = defaultCycleBudget(prog);
         System system(base_cfg, prog);
         out.baseCycles = system.run().totalCycles;
+        if (collect_stats)
+            out.baseStats = system.statsJson();
     }
 
     // HARD-enabled: charge candidate-set broadcasts to the bus and pay
@@ -106,6 +119,8 @@ measureOverhead(const std::string &workload, const WorkloadParams &wp,
         out.metaBroadcasts = hard.hardStats().metaBroadcasts;
         out.dataBytes = system.memsys().bus().stats().value("dataBytes");
         out.metaBytes = system.memsys().bus().stats().value("metaBytes");
+        if (collect_stats)
+            out.hardStats = system.statsJson();
     }
 
     out.overheadPct = out.baseCycles == 0
@@ -120,11 +135,11 @@ measureOverhead(const std::string &workload, const WorkloadParams &wp,
 OverheadResult
 measureOverheadDirectory(const std::string &workload,
                          const WorkloadParams &wp, const SimConfig &sim,
-                         const HardConfig &hard_cfg)
+                         const HardConfig &hard_cfg, bool collect_stats)
 {
     SimConfig dir_sim = sim;
     dir_sim.hardTiming.directoryMode = true;
-    return measureOverhead(workload, wp, dir_sim, hard_cfg);
+    return measureOverhead(workload, wp, dir_sim, hard_cfg, collect_stats);
 }
 
 DetectorFactory

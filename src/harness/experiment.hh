@@ -86,17 +86,28 @@ struct OverheadResult
     /** Bus bytes moved for data vs for HARD metadata. */
     std::uint64_t dataBytes = 0;
     std::uint64_t metaBytes = 0;
+    /**
+     * Full `hard.stats.v1` snapshots of the baseline and HARD runs
+     * (Json null unless stats collection was requested) — the bench
+     * tables regenerate their traffic columns from these.
+     */
+    Json baseStats;
+    Json hardStats;
 };
 
 /**
  * Measure HARD's execution-time overhead on one workload (Figure 8):
  * a baseline timing run without HARD vs a run with the HARD timing
  * model enabled and a HardDetector charging broadcasts to the bus.
+ *
+ * @param collect_stats Embed per-run `hard.stats.v1` snapshots in the
+ * result (baseStats/hardStats).
  */
 OverheadResult measureOverhead(const std::string &workload,
                                const WorkloadParams &wp,
                                const SimConfig &sim,
-                               const HardConfig &hard_cfg);
+                               const HardConfig &hard_cfg,
+                               bool collect_stats = false);
 
 /**
  * Like measureOverhead, but with the §3.4 directory-variant timing
@@ -105,7 +116,8 @@ OverheadResult measureOverhead(const std::string &workload,
 OverheadResult measureOverheadDirectory(const std::string &workload,
                                         const WorkloadParams &wp,
                                         const SimConfig &sim,
-                                        const HardConfig &hard_cfg);
+                                        const HardConfig &hard_cfg,
+                                        bool collect_stats = false);
 
 /**
  * Convenience: run @p prog once with @p detectors attached.
@@ -113,6 +125,15 @@ OverheadResult measureOverheadDirectory(const std::string &workload,
  */
 RunResult runWithDetectors(const Program &prog, const SimConfig &sim,
                            const std::vector<RaceDetector *> &detectors);
+
+/**
+ * As above, but additionally snapshot the machine's full stat
+ * registry (including each detector's group) into @p stats_out as a
+ * `hard.stats.v1` document when @p stats_out is non-null.
+ */
+RunResult runWithDetectors(const Program &prog, const SimConfig &sim,
+                           const std::vector<RaceDetector *> &detectors,
+                           Json *stats_out);
 
 /**
  * @return true if @p sink holds a report that corresponds to the

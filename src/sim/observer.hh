@@ -18,6 +18,10 @@
 namespace hard
 {
 
+class StatRegistry;
+class EventTracer;
+class IntervalSampler;
+
 /** A completed data access (lock words are reported via sync events). */
 struct MemEvent
 {
@@ -116,6 +120,26 @@ class AccessObserver
         (void)to;
         (void)at;
     }
+
+    /** @name Telemetry hooks (all optional)
+     * Called by System when the corresponding telemetry facility is
+     * attached; observers without stats/tracing simply inherit the
+     * no-ops, so plain detectors pay nothing.
+     * @{
+     */
+
+    /** Register this observer's StatGroup(s) into @p registry. */
+    virtual void registerStats(StatRegistry &registry) { (void)registry; }
+
+    /** Attach @p tracer for event-timeline emission (not owned). */
+    virtual void attachTracer(EventTracer *tracer) { (void)tracer; }
+
+    /** Contribute interval-sampler probes (live gauges/counters). */
+    virtual void registerProbes(IntervalSampler &sampler)
+    {
+        (void)sampler;
+    }
+    /** @} */
 };
 
 } // namespace hard

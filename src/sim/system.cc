@@ -37,6 +37,47 @@ System::System(const SimConfig &cfg, const Program &prog)
         cores_[i % cfg.memsys.numCores].bound.push_back(i);
     }
     liveThreads_ = static_cast<unsigned>(threads_.size());
+
+    // Stat registry: every component group under its dotted name.
+    registry_.add(memsys_->stats());
+    registry_.add(memsys_->bus().stats());
+    for (CoreId c = 0; c < cfg_.memsys.numCores; ++c)
+        registry_.add(memsys_->l1(c).stats());
+    registry_.add(memsys_->l2().stats());
+    registry_.add(systemStats_);
+    // The "system" group mirrors the run summary on demand.
+    registry_.addRefreshHook([this] {
+        systemStats_.counter("barrierEpisodes").set(result_.barrierEpisodes);
+        systemStats_.counter("contextSwitches").set(result_.contextSwitches);
+        systemStats_.counter("cycles").set(result_.totalCycles);
+        systemStats_.counter("dataReads").set(result_.dataReads);
+        systemStats_.counter("dataWrites").set(result_.dataWrites);
+        systemStats_.counter("lockAcquires").set(result_.lockAcquires);
+        systemStats_.counter("retiredOps").set(retiredOps_);
+    });
+    // Derived ratios over the live counters.
+    systemStats_.formula("ipc", [this] {
+        return Formula::ratio(retiredOps_, result_.totalCycles);
+    });
+    StatGroup *bus = &memsys_->bus().stats();
+    bus->formula("occupancy", [this, bus] {
+        return Formula::ratio(bus->value("busyCycles"),
+                              result_.totalCycles);
+    });
+    bus->formula("metaShareOfBytes", [bus] {
+        const std::uint64_t meta = bus->value("metaBytes");
+        return Formula::ratio(meta, meta + bus->value("dataBytes"));
+    });
+    for (CoreId c = 0; c < cfg_.memsys.numCores; ++c) {
+        StatGroup *l1 = &memsys_->l1(c).stats();
+        l1->formula("missRate", [l1] {
+            const std::uint64_t misses =
+                l1->value("readMisses") + l1->value("writeMisses");
+            return Formula::ratio(misses,
+                                  misses + l1->value("readHits") +
+                                      l1->value("writeHits"));
+        });
+    }
 }
 
 System::~System() = default;
@@ -46,6 +87,56 @@ System::addObserver(AccessObserver *obs)
 {
     hard_panic_if(obs == nullptr, "system: null observer");
     observers_.push_back(obs);
+    obs->registerStats(registry_);
+    if (tracer_ != nullptr)
+        obs->attachTracer(tracer_);
+    if (sampler_ != nullptr)
+        obs->registerProbes(*sampler_);
+}
+
+void
+System::nameTraceTracks()
+{
+    for (CoreId c = 0; c < cfg_.memsys.numCores; ++c)
+        tracer_->nameTrack(c, "core " + std::to_string(c));
+    for (const ThreadCtx &th : threads_) {
+        tracer_->nameTrack(EventTracer::kThreadTrackBase + th.tid,
+                           "thread " + std::to_string(th.tid));
+    }
+    tracer_->nameTrack(EventTracer::kBusTrack, "bus");
+    tracer_->nameTrack(EventTracer::kSyncTrack, "sync");
+    tracer_->nameTrack(EventTracer::kDetectorTrack, "detector");
+}
+
+void
+System::setTracer(EventTracer *tracer)
+{
+    tracer_ = tracer;
+    memsys_->setTracer(tracer);
+    if (tracer_ == nullptr)
+        return;
+    nameTraceTracks();
+    for (AccessObserver *obs : observers_)
+        obs->attachTracer(tracer_);
+}
+
+void
+System::setSampler(IntervalSampler *sampler)
+{
+    sampler_ = sampler;
+    if (sampler_ == nullptr)
+        return;
+    sampler_->setRefresh([this] { registry_.refresh(); });
+    sampler_->addRate("ipc", [this] { return retiredOps_; });
+    StatGroup *bus = &memsys_->bus().stats();
+    sampler_->addRate("busOccupancy",
+                      [bus] { return bus->value("busyCycles"); });
+    sampler_->addCounter("busDataBytes",
+                         [bus] { return bus->value("dataBytes"); });
+    sampler_->addCounter("busMetaBytes",
+                         [bus] { return bus->value("metaBytes"); });
+    for (AccessObserver *obs : observers_)
+        obs->registerProbes(*sampler_);
 }
 
 std::vector<std::pair<std::string, std::uint64_t>>
@@ -204,6 +295,14 @@ System::doLock(HwCore &core, ThreadCtx &th, Cycle now, LockAddr lock,
     SyncEvent ev{th.tid, core.id, lock, site, done};
     for (AccessObserver *obs : observers_)
         obs->onLockAcquire(ev);
+    if (tracer_ && tracer_->wants(kTraceSync)) {
+        Json args = Json::object();
+        args.set("lock", lock);
+        args.set("tid", th.tid);
+        tracer_->instant(kTraceSync,
+                         EventTracer::kThreadTrackBase + th.tid,
+                         "lock-acquire", done, std::move(args));
+    }
 
     th.status = ThreadStatus::Ready;
     th.readyAt = done + 1;
@@ -257,6 +356,14 @@ System::step(HwCore &core, ThreadCtx &th, Cycle now)
         SyncEvent ev{th.tid, core.id, op.addr, op.site, done};
         for (AccessObserver *obs : observers_)
             obs->onLockRelease(ev);
+        if (tracer_ && tracer_->wants(kTraceSync)) {
+            Json args = Json::object();
+            args.set("lock", op.addr);
+            args.set("tid", th.tid);
+            tracer_->instant(kTraceSync,
+                             EventTracer::kThreadTrackBase + th.tid,
+                             "lock-release", done, std::move(args));
+        }
 
         th.readyAt = done + 1;
         core.freeAt = th.readyAt;
@@ -275,6 +382,15 @@ System::step(HwCore &core, ThreadCtx &th, Cycle now)
                      post.completeAt};
         for (AccessObserver *obs : observers_)
             obs->onSemaPost(ev);
+        if (tracer_ && tracer_->wants(kTraceSync)) {
+            Json args = Json::object();
+            args.set("sema", op.addr);
+            args.set("tid", th.tid);
+            tracer_->instant(kTraceSync,
+                             EventTracer::kThreadTrackBase + th.tid,
+                             "sema-post", post.completeAt,
+                             std::move(args));
+        }
         if (!sema.waiters.empty()) {
             ThreadCtx &waiter = threads_[sema.waiters.front()];
             sema.waiters.erase(sema.waiters.begin());
@@ -314,6 +430,15 @@ System::step(HwCore &core, ThreadCtx &th, Cycle now)
                      wait.completeAt};
         for (AccessObserver *obs : observers_)
             obs->onSemaWait(ev);
+        if (tracer_ && tracer_->wants(kTraceSync)) {
+            Json args = Json::object();
+            args.set("sema", op.addr);
+            args.set("tid", th.tid);
+            tracer_->instant(kTraceSync,
+                             EventTracer::kThreadTrackBase + th.tid,
+                             "sema-wait", wait.completeAt,
+                             std::move(args));
+        }
         th.readyAt = wait.completeAt + 1;
         core.freeAt = th.readyAt;
         ++th.pc;
@@ -346,6 +471,15 @@ System::step(HwCore &core, ThreadCtx &th, Cycle now)
             BarrierEvent ev{op.addr, bar.episode, release, bar.arrived};
             for (AccessObserver *obs : observers_)
                 obs->onBarrier(ev);
+            if (tracer_ && tracer_->wants(kTraceSync)) {
+                Json args = Json::object();
+                args.set("barrier", op.addr);
+                args.set("episode", bar.episode);
+                args.set("participants", bar.arrived);
+                tracer_->complete(kTraceSync, EventTracer::kSyncTrack,
+                                  "barrier", bar.lastArrival, release,
+                                  std::move(args));
+            }
             ++bar.episode;
             bar.arrived = 0;
             bar.lastArrival = 0;
@@ -481,12 +615,22 @@ System::run()
             throw diagnose("no forward progress in", best.at,
                            best.at - lastProgressAt_);
 
+        if (sampler_ != nullptr)
+            sampler_->tick(best.at);
+
         HwCore &core = *best_core;
         if (best.slot != core.current) {
             ThreadCtx &from = threads_[core.bound[core.current]];
             ThreadCtx &to = threads_[core.bound[best.slot]];
             for (AccessObserver *obs : observers_)
                 obs->onContextSwitch(core.id, from.tid, to.tid, best.at);
+            if (tracer_ && tracer_->wants(kTraceSync)) {
+                Json args = Json::object();
+                args.set("from", from.tid);
+                args.set("to", to.tid);
+                tracer_->instant(kTraceSync, core.id, "ctx-switch",
+                                 best.at, std::move(args));
+            }
             core.current = best.slot;
             core.quantumStart = best.at;
             ++result_.contextSwitches;
@@ -507,6 +651,8 @@ System::run()
                 std::max({lastProgressAt_, best.at, th.readyAt});
         }
     }
+    if (sampler_ != nullptr)
+        sampler_->finish(result_.totalCycles);
     return result_;
 }
 

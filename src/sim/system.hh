@@ -24,6 +24,9 @@
 #include "sim/observer.hh"
 #include "sim/program.hh"
 #include "sim/sim_config.hh"
+#include "telemetry/sampler.hh"
+#include "telemetry/stat_registry.hh"
+#include "telemetry/trace_event.hh"
 
 namespace hard
 {
@@ -88,6 +91,34 @@ class System
 
     /** Flat dump of every statistics counter in the machine. */
     std::vector<std::pair<std::string, std::uint64_t>> statsDump() const;
+
+    /**
+     * The machine's stat registry: memsys, bus, caches, the "system"
+     * group (cycles/ops/sync activity) and every registered observer's
+     * groups, all under dotted names.
+     */
+    StatRegistry &statsRegistry() { return registry_; }
+
+    /** Full `hard.stats.v1` JSON snapshot (refreshes mirrors first). */
+    Json statsJson() { return registry_.toJson(); }
+
+    /**
+     * Attach @p tracer (not owned; may be null) for event-timeline
+     * emission. Forwards to the memory system and to every observer
+     * registered before or after this call. Call before run().
+     */
+    void setTracer(EventTracer *tracer);
+
+    /**
+     * Attach @p sampler (not owned; may be null) for interval
+     * time-series sampling; registers the machine-level probes and
+     * every observer's probes. Call before run(); the final row and
+     * the file write happen when run() returns.
+     */
+    void setSampler(IntervalSampler *sampler);
+
+    /** Ops retired so far (monotonic; read by sampler probes). */
+    std::uint64_t retiredOps() const { return retiredOps_; }
 
   private:
     /** Execution status of one software thread. */
@@ -175,12 +206,20 @@ class System
     /** Notify observers of a data access. */
     void notifyAccess(const MemEvent &ev);
 
+    /** Label the tracer's fixed tracks (cores, bus, sync, detector). */
+    void nameTraceTracks();
+
     const SimConfig cfg_;
     const Program &prog_;
     std::unique_ptr<MemorySystem> memsys_;
     std::vector<ThreadCtx> threads_;
     std::vector<HwCore> cores_;
     std::vector<AccessObserver *> observers_;
+
+    StatRegistry registry_;
+    StatGroup systemStats_{"system"};
+    EventTracer *tracer_ = nullptr;
+    IntervalSampler *sampler_ = nullptr;
 
     /** lock word address -> holding thread (or invalidThread). */
     std::unordered_map<LockAddr, ThreadId> lockHolder_;

@@ -1,0 +1,185 @@
+#include "sampler.hh"
+
+#include <fstream>
+
+#include "common/json.hh"
+#include "common/logging.hh"
+
+namespace hard
+{
+
+IntervalSampler::IntervalSampler(std::string path, std::uint64_t interval)
+    : path_(std::move(path)), interval_(interval), nextBoundary_(interval)
+{
+    hard_fatal_if(interval_ == 0, "stats interval must be > 0");
+}
+
+void
+IntervalSampler::setRefresh(std::function<void()> refresh)
+{
+    refresh_ = std::move(refresh);
+}
+
+void
+IntervalSampler::addProbe(ProbeEntry entry)
+{
+    hard_panic_if(headerDone_,
+                  "sampler: probe '%s' registered after sampling began",
+                  entry.name.c_str());
+    for (const ProbeEntry &p : probes_) {
+        hard_panic_if(p.name == entry.name,
+                      "sampler: duplicate probe '%s'", entry.name.c_str());
+    }
+    probes_.push_back(std::move(entry));
+}
+
+void
+IntervalSampler::addCounter(std::string name, Probe read)
+{
+    ProbeEntry e;
+    e.kind = Kind::Counter;
+    e.name = std::move(name);
+    e.read = std::move(read);
+    addProbe(std::move(e));
+}
+
+void
+IntervalSampler::addCounter(std::string name, const Counter &c)
+{
+    const Counter *ptr = &c;
+    addCounter(std::move(name), [ptr] { return ptr->value(); });
+}
+
+void
+IntervalSampler::addGauge(std::string name, Probe read)
+{
+    ProbeEntry e;
+    e.kind = Kind::Gauge;
+    e.name = std::move(name);
+    e.read = std::move(read);
+    addProbe(std::move(e));
+}
+
+void
+IntervalSampler::addRatio(std::string name, Probe num, Probe den,
+                          double scale)
+{
+    ProbeEntry e;
+    e.kind = Kind::Ratio;
+    e.name = std::move(name);
+    e.read = std::move(num);
+    e.den = std::move(den);
+    e.scale = scale;
+    addProbe(std::move(e));
+}
+
+void
+IntervalSampler::addRate(std::string name, Probe read, double scale)
+{
+    ProbeEntry e;
+    e.kind = Kind::Rate;
+    e.name = std::move(name);
+    e.read = std::move(read);
+    e.scale = scale;
+    addProbe(std::move(e));
+}
+
+void
+IntervalSampler::emitRow(std::uint64_t now)
+{
+    if (!headerDone_) {
+        Json header = Json::object();
+        header.set("schema", "hard.intervals.v1");
+        header.set("interval", interval_);
+        Json ps = Json::array();
+        for (const ProbeEntry &p : probes_) {
+            Json pj = Json::object();
+            const char *kind = "counter";
+            if (p.kind == Kind::Gauge)
+                kind = "gauge";
+            else if (p.kind == Kind::Ratio)
+                kind = "ratio";
+            else if (p.kind == Kind::Rate)
+                kind = "rate";
+            pj.set("kind", kind);
+            pj.set("name", p.name);
+            ps.push(std::move(pj));
+        }
+        header.set("probes", std::move(ps));
+        lines_.push_back(header.dump());
+        headerDone_ = true;
+    }
+
+    if (refresh_)
+        refresh_();
+
+    Json row = Json::object();
+    row.set("cycle", now);
+    for (ProbeEntry &p : probes_) {
+        switch (p.kind) {
+          case Kind::Counter: {
+            const std::uint64_t v = p.read();
+            row.set(p.name, v - p.prev);
+            p.prev = v;
+            break;
+          }
+          case Kind::Gauge:
+            row.set(p.name, p.read());
+            break;
+          case Kind::Ratio: {
+            const std::uint64_t n = p.read();
+            const std::uint64_t d = p.den();
+            row.set(p.name,
+                    Formula::ratio(n - p.prev, d - p.prevDen, p.scale));
+            p.prev = n;
+            p.prevDen = d;
+            break;
+          }
+          case Kind::Rate: {
+            const std::uint64_t n = p.read();
+            row.set(p.name, Formula::ratio(n - p.prev,
+                                           now - lastRowCycle_, p.scale));
+            p.prev = n;
+            break;
+          }
+        }
+    }
+    lines_.push_back(row.dump());
+    ++rows_;
+    lastRowCycle_ = now;
+
+    // Next boundary strictly after `now` so bursts of ticks between
+    // boundaries emit exactly one row.
+    nextBoundary_ = (now / interval_ + 1) * interval_;
+}
+
+void
+IntervalSampler::finish(std::uint64_t end)
+{
+    // Always close the series with an end-of-run row (also emits the
+    // header for ultra-short runs that never crossed a boundary).
+    if (!headerDone_ || end > lastRowCycle_)
+        emitRow(end);
+
+    std::ofstream out(path_);
+    hard_fatal_if(!out, "cannot open intervals file '%s'", path_.c_str());
+    for (const std::string &line : lines_)
+        out << line << '\n';
+    out.close();
+    hard_fatal_if(!out, "error writing intervals file '%s'", path_.c_str());
+}
+
+std::string
+intervalsPathFor(const std::string &path)
+{
+    std::string stem = path;
+    const std::size_t slash = stem.find_last_of('/');
+    const std::size_t dot = stem.rfind('.');
+    if (dot != std::string::npos &&
+        (slash == std::string::npos || dot > slash)) {
+        stem.resize(dot);
+    }
+    return stem + ".intervals.jsonl";
+}
+
+} // namespace hard

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Cycle-driven interval sampler: periodic JSONL time-series of
+ * selected statistics.
+ *
+ * The sampler is handed probes (named readers over live counters) and
+ * ticked from System::run with the current simulated cycle. Whenever
+ * an interval boundary is crossed it snapshots every probe into one
+ * JSONL row, producing a time-series suitable for plotting (IPC, bus
+ * occupancy, metadata-cache hit rate, live BFVector count, reports
+ * per Mcycle) — e.g. to see barrier flash-resets empty the metadata
+ * state over time.
+ *
+ * Output format (one JSON document per line):
+ *   {"schema":"hard.intervals.v1","interval":N,"probes":[...]}
+ *   {"cycle":C,"probe":value,...}
+ *   ...
+ *
+ * Everything is keyed by simulated cycles — no wall-clock — so
+ * output is deterministic and byte-identical across parallel runs.
+ */
+
+#ifndef HARD_TELEMETRY_SAMPLER_HH
+#define HARD_TELEMETRY_SAMPLER_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+
+namespace hard
+{
+
+class IntervalSampler
+{
+  public:
+    /** Reads one live statistic at snapshot time. */
+    using Probe = std::function<std::uint64_t()>;
+
+    /**
+     * @param path Output JSONL file (written on finish()).
+     * @param interval Cycles between rows (must be > 0).
+     */
+    IntervalSampler(std::string path, std::uint64_t interval);
+
+    /**
+     * Install a hook run before each row snapshot (e.g. to refresh
+     * mirrored detector stats).
+     */
+    void setRefresh(std::function<void()> refresh);
+
+    /**
+     * Register a cumulative counter probe; rows carry the delta since
+     * the previous row (events per interval).
+     */
+    void addCounter(std::string name, Probe read);
+    /** Convenience: counter probe over a live Counter. */
+    void addCounter(std::string name, const Counter &c);
+
+    /** Register a level probe; rows carry the raw value. */
+    void addGauge(std::string name, Probe read);
+
+    /**
+     * Register a ratio probe over two cumulative counters; rows carry
+     * delta(num)/delta(den) * scale for the interval (0 when the
+     * denominator didn't move).
+     */
+    void addRatio(std::string name, Probe num, Probe den,
+                  double scale = 1.0);
+
+    /**
+     * Register a per-cycle rate probe over a cumulative counter; rows
+     * carry delta(read)/delta(cycle) * scale for the interval — e.g.
+     * IPC (scale 1), bus occupancy (busy cycles per cycle), or race
+     * reports per Mcycle (scale 1e6).
+     */
+    void addRate(std::string name, Probe read, double scale = 1.0);
+
+    /**
+     * Advance to simulated cycle @p now; emits a row if an interval
+     * boundary was crossed. Cheap when no boundary is crossed.
+     */
+    void
+    tick(std::uint64_t now)
+    {
+        if (now >= nextBoundary_)
+            emitRow(now);
+    }
+
+    /**
+     * Emit one final row at end-of-run cycle @p end (so the series
+     * always covers the whole run) and write the file.
+     */
+    void finish(std::uint64_t end);
+
+    std::uint64_t interval() const { return interval_; }
+    const std::string &path() const { return path_; }
+    /** Rows emitted so far (excluding the header). */
+    std::size_t rows() const { return rows_; }
+
+  private:
+    enum class Kind
+    {
+        Counter,
+        Gauge,
+        Ratio,
+        Rate,
+    };
+
+    struct ProbeEntry
+    {
+        Kind kind;
+        std::string name;
+        Probe read;      // Counter/Gauge value source
+        Probe den;       // Ratio only
+        double scale = 1.0;
+        std::uint64_t prev = 0;    // previous cumulative value
+        std::uint64_t prevDen = 0; // Ratio only
+    };
+
+    void addProbe(ProbeEntry entry);
+    void emitRow(std::uint64_t now);
+
+    std::string path_;
+    std::uint64_t interval_;
+    std::uint64_t nextBoundary_;
+    std::function<void()> refresh_;
+    std::vector<ProbeEntry> probes_;
+    std::vector<std::string> lines_;
+    std::size_t rows_ = 0;
+    std::uint64_t lastRowCycle_ = 0;
+    bool headerDone_ = false;
+};
+
+/** Derive "<stem>.intervals.jsonl" next to the stats JSON @p path. */
+std::string intervalsPathFor(const std::string &path);
+
+} // namespace hard
+
+#endif // HARD_TELEMETRY_SAMPLER_HH

@@ -1,0 +1,122 @@
+#include "stat_registry.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace hard
+{
+
+void
+StatRegistry::add(StatGroup &group)
+{
+    for (const StatGroup *g : groups_) {
+        hard_panic_if(g->name() == group.name(),
+                      "stats: duplicate group '%s' in registry",
+                      group.name().c_str());
+    }
+    groups_.push_back(&group);
+}
+
+void
+StatRegistry::addRefreshHook(std::function<void()> hook)
+{
+    hooks_.push_back(std::move(hook));
+}
+
+void
+StatRegistry::refresh()
+{
+    for (auto &hook : hooks_)
+        hook();
+}
+
+StatGroup *
+StatRegistry::find(const std::string &name) const
+{
+    for (StatGroup *g : groups_) {
+        if (g->name() == name)
+            return g;
+    }
+    return nullptr;
+}
+
+std::uint64_t
+StatRegistry::value(const std::string &path) const
+{
+    // Group names may contain dots ("l1.0"), so try every split point
+    // from the right: the longest registered group prefix wins.
+    for (std::size_t pos = path.rfind('.'); pos != std::string::npos;
+         pos = pos == 0 ? std::string::npos : path.rfind('.', pos - 1)) {
+        if (StatGroup *g = find(path.substr(0, pos)))
+            return g->value(path.substr(pos + 1));
+    }
+    return 0;
+}
+
+std::vector<StatGroup *>
+StatRegistry::groups() const
+{
+    std::vector<StatGroup *> out = groups_;
+    std::sort(out.begin(), out.end(),
+              [](const StatGroup *a, const StatGroup *b) {
+                  return a->name() < b->name();
+              });
+    return out;
+}
+
+std::string
+StatRegistry::dumpText()
+{
+    refresh();
+    std::string out;
+    for (StatGroup *g : groups()) {
+        for (const auto &kv : g->dump()) {
+            out += kv.first;
+            out += ' ';
+            out += std::to_string(kv.second);
+            out += '\n';
+        }
+    }
+    return out;
+}
+
+Json
+StatRegistry::toJson()
+{
+    refresh();
+    Json doc = Json::object();
+    doc.set("schema", "hard.stats.v1");
+    Json gs = Json::object();
+    for (StatGroup *g : groups())
+        gs.set(g->name(), g->toJson());
+    doc.set("groups", std::move(gs));
+    return doc;
+}
+
+void
+StatRegistry::reset()
+{
+    for (StatGroup *g : groups_)
+        g->reset();
+}
+
+std::uint64_t
+statFromJson(const Json &stats, const std::string &group,
+             const std::string &stat)
+{
+    if (!stats.isObject() || !stats.has("groups"))
+        return 0;
+    const Json &gs = stats["groups"];
+    if (!gs.isObject() || !gs.has(group))
+        return 0;
+    const Json &g = gs[group];
+    if (!g.isObject() || !g.has("counters"))
+        return 0;
+    const Json &c = g["counters"];
+    if (!c.isObject() || !c.has(stat) || !c[stat].isNumber())
+        return 0;
+    return c[stat].asUint();
+}
+
+} // namespace hard

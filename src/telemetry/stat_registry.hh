@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Hierarchical registry of StatGroups.
+ *
+ * Every simulated component (cores, caches, bus, detectors, the batch
+ * harness) owns a StatGroup with a dotted name ("l1.0", "bus",
+ * "detector.hard", ...) and registers it here. The registry is the
+ * single point for whole-simulator dumps: sorted text lines, a
+ * schema-tagged JSON document (`hard.stats.v1`), and cross-group
+ * lookups by full dotted path.
+ *
+ * Some groups (detector stats mirrored from internal structs) are
+ * only materialised on demand; they install a refresh hook that the
+ * registry invokes before every dump or sample so readers always see
+ * current values without the hot path paying for the mirroring.
+ */
+
+#ifndef HARD_TELEMETRY_STAT_REGISTRY_HH
+#define HARD_TELEMETRY_STAT_REGISTRY_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/json.hh"
+#include "common/stats.hh"
+
+namespace hard
+{
+
+class StatRegistry
+{
+  public:
+    StatRegistry() = default;
+
+    // Groups are referenced by pointer; copying would dangle.
+    StatRegistry(const StatRegistry &) = delete;
+    StatRegistry &operator=(const StatRegistry &) = delete;
+
+    /**
+     * Register @p group under its own name. The group must outlive the
+     * registry. Panics if a group with the same name is already
+     * registered.
+     */
+    void add(StatGroup &group);
+
+    /**
+     * Install a hook run by refresh() before every dump/sample; used
+     * by components whose stats are mirrored from internal state.
+     */
+    void addRefreshHook(std::function<void()> hook);
+
+    /** Run all refresh hooks (in registration order). */
+    void refresh();
+
+    /** @return the group called @p name, or nullptr. */
+    StatGroup *find(const std::string &name) const;
+
+    /**
+     * Counter lookup by full dotted path ("group.stat", where the
+     * group name may itself contain dots — the longest registered
+     * group prefix wins). Returns 0 for unknown paths.
+     */
+    std::uint64_t value(const std::string &path) const;
+
+    /** Registered groups in sorted name order. */
+    std::vector<StatGroup *> groups() const;
+
+    /**
+     * All counters across all groups as sorted "group.stat value"
+     * lines (refreshes first).
+     */
+    std::string dumpText();
+
+    /**
+     * Full JSON document:
+     * {"schema":"hard.stats.v1","groups":{name:groupJson,...}} with
+     * groups sorted by name (refreshes first).
+     */
+    Json toJson();
+
+    /** Reset every registered group (between batch units). */
+    void reset();
+
+  private:
+    std::vector<StatGroup *> groups_;
+    std::vector<std::function<void()>> hooks_;
+};
+
+/**
+ * Pull one counter value back out of a `hard.stats.v1` (or embedded
+ * per-run stats) JSON document: stats["groups"][group]["counters"][stat].
+ * Returns 0 when any level is missing, so callers can treat absent
+ * stats blocks as zero counts.
+ */
+std::uint64_t statFromJson(const Json &stats, const std::string &group,
+                           const std::string &stat);
+
+} // namespace hard
+
+#endif // HARD_TELEMETRY_STAT_REGISTRY_HH

@@ -1,0 +1,130 @@
+#include "trace_event.hh"
+
+#include "common/logging.hh"
+
+namespace hard
+{
+
+unsigned
+parseTraceCategories(const std::string &csv)
+{
+    if (csv.empty())
+        return kTraceAll;
+    unsigned mask = 0;
+    std::size_t pos = 0;
+    while (pos <= csv.size()) {
+        std::size_t comma = csv.find(',', pos);
+        if (comma == std::string::npos)
+            comma = csv.size();
+        const std::string name = csv.substr(pos, comma - pos);
+        if (name == "mem") {
+            mask |= kTraceMem;
+        } else if (name == "coherence") {
+            mask |= kTraceCoherence;
+        } else if (name == "detector") {
+            mask |= kTraceDetector;
+        } else if (name == "sync") {
+            mask |= kTraceSync;
+        } else if (name == "all") {
+            mask |= kTraceAll;
+        } else {
+            fatal("unknown trace category '%s' "
+                  "(expected mem,coherence,detector,sync,all)",
+                  name.c_str());
+        }
+        pos = comma + 1;
+    }
+    hard_fatal_if(mask == 0, "empty trace category list");
+    return mask;
+}
+
+EventTracer::EventTracer(std::string path, unsigned mask)
+    : path_(std::move(path)), mask_(mask)
+{
+}
+
+const char *
+EventTracer::categoryName(unsigned cat)
+{
+    switch (cat) {
+      case kTraceMem:
+        return "mem";
+      case kTraceCoherence:
+        return "coherence";
+      case kTraceDetector:
+        return "detector";
+      case kTraceSync:
+        return "sync";
+      default:
+        return "misc";
+    }
+}
+
+Json
+EventTracer::event(unsigned cat, const char *ph, std::uint32_t track,
+                   std::string name, std::uint64_t ts) const
+{
+    // 1 simulated cycle = 1 µs of trace time.
+    Json e = Json::object();
+    e.set("name", std::move(name));
+    e.set("cat", categoryName(cat));
+    e.set("ph", ph);
+    e.set("ts", ts);
+    e.set("pid", 0u);
+    e.set("tid", track);
+    return e;
+}
+
+void
+EventTracer::nameTrack(std::uint32_t track, const std::string &name)
+{
+    Json e = Json::object();
+    e.set("name", "thread_name");
+    e.set("ph", "M");
+    e.set("pid", 0u);
+    e.set("tid", track);
+    Json args = Json::object();
+    args.set("name", name);
+    e.set("args", std::move(args));
+    events_.push_back(std::move(e));
+}
+
+void
+EventTracer::complete(unsigned cat, std::uint32_t track, std::string name,
+                      std::uint64_t start, std::uint64_t end, Json args)
+{
+    if (!wants(cat))
+        return;
+    Json e = event(cat, "X", track, std::move(name), start);
+    e.set("dur", end >= start ? end - start : 0);
+    if (!args.isNull())
+        e.set("args", std::move(args));
+    events_.push_back(std::move(e));
+}
+
+void
+EventTracer::instant(unsigned cat, std::uint32_t track, std::string name,
+                     std::uint64_t at, Json args)
+{
+    if (!wants(cat))
+        return;
+    Json e = event(cat, "i", track, std::move(name), at);
+    e.set("s", "t"); // thread-scoped instant
+    if (!args.isNull())
+        e.set("args", std::move(args));
+    events_.push_back(std::move(e));
+}
+
+void
+EventTracer::write() const
+{
+    Json doc = Json::object();
+    Json evs = Json::array();
+    for (const Json &e : events_)
+        evs.push(e);
+    doc.set("traceEvents", std::move(evs));
+    doc.set("displayTimeUnit", "ms");
+    writeJsonFile(path_, doc);
+}
+
+} // namespace hard

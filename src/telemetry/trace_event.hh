@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Chrome/Perfetto trace_event emission.
+ *
+ * The EventTracer collects timeline events during a run — bus
+ * transactions, cache misses and (metadata) evictions, lock
+ * acquire/release, barrier phases, race-report emission — and writes
+ * them as a Chrome trace_event JSON document loadable in Perfetto
+ * (ui.perfetto.dev) or chrome://tracing.
+ *
+ * Timestamps are simulated cycles mapped 1 cycle = 1 µs (the
+ * trace_event unit), so traces are deterministic: no wall-clock ever
+ * reaches the output. Events are grouped into tracks ("threads" in
+ * the trace model): one per core, one per simulated thread, plus
+ * dedicated bus / sync / detector tracks.
+ *
+ * Emission is category-gated; call sites guard with
+ * `tracer && tracer->wants(kTrace...)` so disabled tracing costs one
+ * null-pointer test on hot paths.
+ */
+
+#ifndef HARD_TELEMETRY_TRACE_EVENT_HH
+#define HARD_TELEMETRY_TRACE_EVENT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/json.hh"
+
+namespace hard
+{
+
+/** @name Trace category bits (--trace-categories)
+ * @{
+ */
+inline constexpr unsigned kTraceMem = 1u << 0;       ///< cache miss/evict
+inline constexpr unsigned kTraceCoherence = 1u << 1; ///< bus transactions
+inline constexpr unsigned kTraceDetector = 1u << 2;  ///< metadata + reports
+inline constexpr unsigned kTraceSync = 1u << 3;      ///< locks/barriers/semas
+inline constexpr unsigned kTraceAll =
+    kTraceMem | kTraceCoherence | kTraceDetector | kTraceSync;
+/** @} */
+
+/**
+ * Parse a "mem,coherence,detector,sync" category list into a mask;
+ * fatal() on unknown category names. An empty string means all.
+ */
+unsigned parseTraceCategories(const std::string &csv);
+
+class EventTracer
+{
+  public:
+    /** @name Track ("tid") layout
+     * Cores occupy tracks [0, kThreadTrackBase); simulated threads
+     * sit at kThreadTrackBase + tid; shared components get fixed
+     * tracks above those.
+     * @{
+     */
+    static constexpr std::uint32_t kThreadTrackBase = 64;
+    static constexpr std::uint32_t kBusTrack = 96;
+    static constexpr std::uint32_t kSyncTrack = 97;
+    static constexpr std::uint32_t kDetectorTrack = 98;
+    /** @} */
+
+    /**
+     * @param path Output trace file (written on write()).
+     * @param mask Enabled category bits (kTrace*).
+     */
+    EventTracer(std::string path, unsigned mask);
+
+    /** @return true if events in category @p cat are recorded. */
+    bool wants(unsigned cat) const { return (mask_ & cat) != 0; }
+
+    /** Label @p track in the trace UI (thread_name metadata event). */
+    void nameTrack(std::uint32_t track, const std::string &name);
+
+    /**
+     * Record a complete ("X") event spanning [start, end] cycles on
+     * @p track. No-op if the category is masked off.
+     */
+    void complete(unsigned cat, std::uint32_t track, std::string name,
+                  std::uint64_t start, std::uint64_t end,
+                  Json args = Json());
+
+    /**
+     * Record an instant ("i") event at cycle @p at on @p track.
+     * No-op if the category is masked off.
+     */
+    void instant(unsigned cat, std::uint32_t track, std::string name,
+                 std::uint64_t at, Json args = Json());
+
+    /** Events recorded so far (metadata included). */
+    std::size_t size() const { return events_.size(); }
+
+    const std::string &path() const { return path_; }
+
+    /** Write {"traceEvents":[...]} to the output path. */
+    void write() const;
+
+  private:
+    static const char *categoryName(unsigned cat);
+
+    Json event(unsigned cat, const char *ph, std::uint32_t track,
+               std::string name, std::uint64_t ts) const;
+
+    std::string path_;
+    unsigned mask_;
+    std::vector<Json> events_;
+};
+
+} // namespace hard
+
+#endif // HARD_TELEMETRY_TRACE_EVENT_HH

@@ -32,6 +32,8 @@
 #include "detectors/fasttrack.hh"
 #include "harness/batch.hh"
 #include "harness/experiment.hh"
+#include "telemetry/sampler.hh"
+#include "telemetry/trace_event.hh"
 #include "trace/recorder.hh"
 #include "trace/replayer.hh"
 
@@ -56,6 +58,15 @@ struct Options
     bool directory = false;
     bool stats = false;
     bool list = false;
+
+    // Telemetry (docs/observability.md).
+    bool statsJson = false;
+    std::string statsJsonPath;
+    Cycle statsInterval = 0;
+    std::string intervalsPath;
+    std::string traceEvents;
+    std::string traceCategories;
+    bool traceCategoriesSet = false;
 
     // Batch mode (parallel experiment sweeps).
     bool batch = false;
@@ -115,6 +126,19 @@ usage()
         "                            or directory metadata management)\n"
         "  --stats                   dump machine statistics\n"
         "\n"
+        "telemetry (single runs; see docs/observability.md):\n"
+        "  --stats-json=<file>       write the full hierarchical stat\n"
+        "                            registry as JSON (hard.stats.v1)\n"
+        "  --stats-interval=<n>      sample probes every n cycles into a\n"
+        "                            JSONL time series (hard.intervals.v1);\n"
+        "                            path from --intervals or derived from\n"
+        "                            --stats-json\n"
+        "  --intervals=<file>        interval time-series output path\n"
+        "  --trace-events=<file>     write a Chrome/Perfetto trace_event\n"
+        "                            JSON timeline (load in ui.perfetto.dev)\n"
+        "  --trace-categories=<csv>  mem,coherence,detector,sync,all\n"
+        "                            (default: all)\n"
+        "\n"
         "batch mode (parallel experiment sweeps):\n"
         "  --batch                   run the Table 2-style effectiveness\n"
         "                            sweep: per workload, --runs injected-\n"
@@ -139,6 +163,8 @@ usage()
         "                            <json>.journal.jsonl; the final JSON\n"
         "                            is byte-identical to an uninterrupted\n"
         "                            run at any --jobs value\n"
+        "  --stats-json              (batch) embed a hard.stats.v1 block\n"
+        "                            per run in the --json document\n"
         "\n"
         "failure detection (single runs and batch):\n"
         "  --max-cycles=<n>          cycle budget per run; 0 = unlimited\n"
@@ -245,6 +271,22 @@ parse(int argc, char **argv)
             o.directory = true;
         } else if (std::strcmp(a, "--stats") == 0) {
             o.stats = true;
+        } else if (eat("--stats-json=", v)) {
+            o.statsJson = true;
+            o.statsJsonPath = v;
+        } else if (std::strcmp(a, "--stats-json") == 0) {
+            o.statsJson = true;
+        } else if (eat("--stats-interval=", v)) {
+            o.statsInterval = std::strtoull(v.c_str(), nullptr, 10);
+            hard_fatal_if(o.statsInterval == 0,
+                          "--stats-interval must be positive");
+        } else if (eat("--intervals=", v)) {
+            o.intervalsPath = v;
+        } else if (eat("--trace-events=", v)) {
+            o.traceEvents = v;
+        } else if (eat("--trace-categories=", v)) {
+            o.traceCategories = v;
+            o.traceCategoriesSet = true;
         } else if (eat("--cores=", v)) {
             o.cores = static_cast<unsigned>(std::atoi(v.c_str()));
         } else if (eat("--l1-kb=", v)) {
@@ -395,6 +437,7 @@ runBatchMode(const Options &o)
         item.overhead = o.overhead;
         item.directory = o.directory;
         item.hardCfg = makeHardConfig(o);
+        item.collectStats = o.statsJson;
         item.reproBase = "hardsim --workload=" + app;
         for (const std::string &arg : o.reproArgs)
             item.reproBase += " " + arg;
@@ -409,6 +452,10 @@ runBatchMode(const Options &o)
     signature += ";runs=" + std::to_string(o.runs);
     signature += ";seed0=" + std::to_string(seed0);
     signature += ";overhead=" + std::to_string(o.overhead ? 1 : 0);
+    // Stats-bearing journals can't be resumed into stats-less sweeps
+    // (and vice versa): the payloads differ.
+    if (o.statsJson)
+        signature += ";stats=1";
     for (const std::string &arg : o.reproArgs)
         signature += ";" + arg;
 
@@ -531,7 +578,12 @@ runBatchMode(const Options &o)
                     skipped);
 
     if (!o.jsonPath.empty()) {
-        writeJsonFile(o.jsonPath, batchJson(results));
+        Json doc = batchJson(results);
+        // Stats-collecting sweeps also carry the harness's own group;
+        // stats-off dumps stay byte-identical to pre-telemetry output.
+        if (o.statsJson)
+            doc.set("harnessStats", harnessStatsJson(results));
+        writeJsonFile(o.jsonPath, doc);
         std::printf("\nresults written to %s\n", o.jsonPath.c_str());
     }
     return skipped != 0 ? 1 : 0;
@@ -587,8 +639,36 @@ run(int argc, char **argv)
         return 0;
     }
 
-    if (o.batch)
+    if (o.batch) {
+        hard_fatal_if(o.statsInterval != 0 || !o.traceEvents.empty() ||
+                          !o.intervalsPath.empty(),
+                      "batch mode supports --stats-json only (interval "
+                      "sampling and event tracing are single-run)");
+        hard_fatal_if(o.statsJson && !o.statsJsonPath.empty(),
+                      "batch --stats-json takes no =FILE (stats embed in "
+                      "the --json document)");
         return runBatchMode(o);
+    }
+
+    // Single-run telemetry: validate the flag combinations up front.
+    hard_fatal_if(o.statsJson && o.statsJsonPath.empty(),
+                  "single-run --stats-json requires =FILE");
+    hard_fatal_if(o.traceCategoriesSet && o.traceEvents.empty(),
+                  "--trace-categories requires --trace-events=FILE");
+    hard_fatal_if(o.statsInterval != 0 && o.intervalsPath.empty() &&
+                      o.statsJsonPath.empty(),
+                  "--stats-interval needs an output path: give "
+                  "--intervals=FILE or --stats-json=FILE (the time "
+                  "series lands next to it)");
+    const bool telemetry = o.statsJson || o.statsInterval != 0 ||
+        !o.traceEvents.empty();
+    hard_fatal_if(telemetry && !o.replay.empty(),
+                  "trace replay drives detectors without a System; "
+                  "telemetry flags are not supported with --replay");
+    hard_fatal_if(telemetry && o.overhead,
+                  "telemetry flags are not supported with --overhead "
+                  "(use --batch --overhead --stats-json --json=FILE "
+                  "for overhead stats)");
 
     WorkloadParams params;
     params.scale = o.scale;
@@ -646,6 +726,26 @@ run(int argc, char **argv)
     }
 
     System sys(makeSimConfig(o), prog);
+
+    // Telemetry attaches before the detectors so their probes and
+    // trace hooks register as each observer is added.
+    std::unique_ptr<EventTracer> tracer;
+    if (!o.traceEvents.empty()) {
+        tracer = std::make_unique<EventTracer>(
+            o.traceEvents, parseTraceCategories(o.traceCategories));
+        sys.setTracer(tracer.get());
+    }
+    std::unique_ptr<IntervalSampler> sampler;
+    std::string intervals_path;
+    if (o.statsInterval != 0) {
+        intervals_path = o.intervalsPath.empty()
+            ? intervalsPathFor(o.statsJsonPath)
+            : o.intervalsPath;
+        sampler = std::make_unique<IntervalSampler>(intervals_path,
+                                                    o.statsInterval);
+        sys.setSampler(sampler.get());
+    }
+
     std::unique_ptr<TraceRecorder> recorder;
     if (!o.record.empty()) {
         recorder = std::make_unique<TraceRecorder>(prog);
@@ -680,6 +780,19 @@ run(int argc, char **argv)
         for (const auto &[name, value] : sys.statsDump())
             std::printf("  %-28s %llu\n", name.c_str(),
                         static_cast<unsigned long long>(value));
+    }
+
+    if (o.statsJson) {
+        writeJsonFile(o.statsJsonPath, sys.statsJson());
+        std::printf("stats written to %s\n", o.statsJsonPath.c_str());
+    }
+    if (sampler)
+        std::printf("interval samples written to %s\n",
+                    intervals_path.c_str());
+    if (tracer) {
+        tracer->write();
+        std::printf("%zu trace events written to %s\n", tracer->size(),
+                    o.traceEvents.c_str());
     }
     return 0;
 }
