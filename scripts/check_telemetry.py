@@ -10,9 +10,15 @@ Checks, using nothing but the standard library:
   - a Chrome/Perfetto trace_event file (--trace): traceEvents array,
     required per-event keys, category vocabulary, non-negative
     timestamps/durations
-  - a hard.batch.v2 document (--batch [--expect-stats]): schema tag
-    and, with --expect-stats, an embedded hard.stats.v1 block per run
-    plus baseStats/hardStats on every measured overhead unit
+  - a hard.batch.v2 document (--batch [--expect-stats]
+    [--expect-explain]): schema tag and, with --expect-stats, an
+    embedded hard.stats.v1 block per run plus baseStats/hardStats on
+    every measured overhead unit; with --expect-explain, a per-run
+    divergence-attribution block plus a per-item aggregate
+  - a hard.explain.v1 document (--explain [--expect-no-unknown]):
+    schema tag, provenance-chain event vocabulary, divergence
+    direction/category vocabulary, and category counts consistent
+    with the divergence list
 
 Exits non-zero with a per-file report on the first structural problem.
 """
@@ -24,6 +30,12 @@ import sys
 MACHINE_GROUPS = ("bus", "l2", "memsys", "system")
 TRACE_PHASES = {"X", "i", "M"}
 TRACE_CATEGORIES = {"mem", "coherence", "detector", "sync"}
+PROV_KINDS = {"narrow", "exact-narrow", "report", "meta-loss",
+              "refetch", "broadcast", "flash-reset"}
+DIVERGENCE_CATEGORIES = ("bloom-aliasing", "counter-saturation",
+                         "metadata-eviction", "barrier-reset",
+                         "granularity", "unknown")
+EXPLAIN_SUBJECTS = {"hard", "ideal-lockset"}
 
 
 def fail(msg):
@@ -109,7 +121,86 @@ def check_trace(path):
     print(f"ok: {path} (trace_event, {len(events)} events)")
 
 
-def check_batch(path, expect_stats):
+def check_attribution(block, where):
+    """Validate one {extra, missing, categories} attribution block."""
+    for key in ("extra", "missing"):
+        if not isinstance(block.get(key), int) or block[key] < 0:
+            fail(f"{where}: bad attribution {key!r}: "
+                 f"{block.get(key)!r}")
+    cats = block.get("categories")
+    if not isinstance(cats, dict):
+        fail(f"{where}: attribution has no 'categories' object")
+    for name, count in cats.items():
+        if not isinstance(count, int) or count < 0:
+            fail(f"{where}: category {name!r} count is {count!r}")
+    total = block["extra"] + block["missing"]
+    if sum(cats.values()) != total:
+        fail(f"{where}: category counts sum to {sum(cats.values())}, "
+             f"expected extra+missing = {total}")
+
+
+def check_explain_doc(doc, where, expect_no_unknown):
+    if doc.get("schema") != "hard.explain.v1":
+        fail(f"{where}: schema is {doc.get('schema')!r}, "
+             "expected 'hard.explain.v1'")
+    if doc.get("subject") not in EXPLAIN_SUBJECTS:
+        fail(f"{where}: unknown subject {doc.get('subject')!r}")
+    cfg = doc.get("config")
+    if not isinstance(cfg, dict) or "granularityBytes" not in cfg:
+        fail(f"{where}: missing config.granularityBytes")
+    if not isinstance(doc.get("events"), int) or doc["events"] < 0:
+        fail(f"{where}: bad 'events' {doc.get('events')!r}")
+    reports = doc.get("reports")
+    if not isinstance(reports, list):
+        fail(f"{where}: 'reports' is not an array")
+    for i, rep in enumerate(reports):
+        for key in ("addr", "site", "tid", "write", "at", "chain"):
+            if key not in rep:
+                fail(f"{where}: report {i}: missing {key!r}")
+        for j, ev in enumerate(rep["chain"]):
+            if ev.get("kind") not in PROV_KINDS:
+                fail(f"{where}: report {i} chain {j}: unknown kind "
+                     f"{ev.get('kind')!r}")
+            if not isinstance(ev.get("at"), int) or ev["at"] < 0:
+                fail(f"{where}: report {i} chain {j}: bad 'at'")
+    div = doc.get("divergence")
+    if not isinstance(div, dict):
+        fail(f"{where}: missing 'divergence' block")
+    check_attribution(div, f"{where}:divergence")
+    cats = div["categories"]
+    if sorted(cats) != sorted(DIVERGENCE_CATEGORIES):
+        fail(f"{where}: category vocabulary {sorted(cats)} != "
+             f"{sorted(DIVERGENCE_CATEGORIES)}")
+    entries = div.get("divergences")
+    if not isinstance(entries, list):
+        fail(f"{where}: 'divergences' is not an array")
+    if len(entries) != div["extra"] + div["missing"]:
+        fail(f"{where}: {len(entries)} divergence entries but "
+             f"extra+missing = {div['extra'] + div['missing']}")
+    for i, d in enumerate(entries):
+        if d.get("direction") not in ("extra", "missing"):
+            fail(f"{where}: divergence {i}: bad direction "
+                 f"{d.get('direction')!r}")
+        if d.get("category") not in DIVERGENCE_CATEGORIES:
+            fail(f"{where}: divergence {i}: unknown category "
+                 f"{d.get('category')!r}")
+        if not d.get("evidence"):
+            fail(f"{where}: divergence {i}: empty evidence")
+    if expect_no_unknown and cats.get("unknown", 0) != 0:
+        fail(f"{where}: {cats['unknown']} divergence(s) attributed to "
+             "'unknown' (expected a fully attributed run)")
+
+
+def check_explain(path, expect_no_unknown):
+    with open(path) as f:
+        doc = json.load(f)
+    check_explain_doc(doc, path, expect_no_unknown)
+    div = doc["divergence"]
+    print(f"ok: {path} (hard.explain.v1, {len(doc['reports'])} reports, "
+          f"{div['extra']} extra / {div['missing']} missing attributed)")
+
+
+def check_batch(path, expect_stats, expect_explain=False):
     with open(path) as f:
         doc = json.load(f)
     if doc.get("schema") != "hard.batch.v2":
@@ -120,16 +211,37 @@ def check_batch(path, expect_stats):
             fail(f"{path}: harnessStats schema is {hs.get('schema')!r}")
         if "harness" not in hs.get("groups", {}):
             fail(f"{path}: harnessStats has no 'harness' group")
-    runs = overheads = 0
+    runs = overheads = attributions = 0
     for item in doc.get("items", []):
-        for run in item.get("effectiveness", {}).get("perRun", []):
+        per_run = item.get("effectiveness", {}).get("perRun", [])
+        for run in per_run:
             runs += 1
-            if expect_stats and run.get("outcome", "ok") == "ok":
+            if run.get("outcome", "ok") != "ok":
+                continue
+            if expect_stats:
                 if "stats" not in run:
                     fail(f"{path}: {item['label']} run {run['index']}: "
                          "no embedded stats block")
                 check_stats_doc(run["stats"],
                                 f"{path}:{item['label']}:{run['index']}")
+            if expect_explain:
+                if "explain" not in run:
+                    fail(f"{path}: {item['label']} run {run['index']}: "
+                         "no explain attribution block")
+                check_attribution(
+                    run["explain"],
+                    f"{path}:{item['label']}:{run['index']}:explain")
+        if expect_explain and per_run:
+            if "attribution" not in item:
+                fail(f"{path}: {item['label']}: no per-item "
+                     "'attribution' aggregate")
+            agg = item["attribution"]
+            check_attribution(agg, f"{path}:{item['label']}:attribution")
+            if sorted(agg["categories"]) != sorted(DIVERGENCE_CATEGORIES):
+                fail(f"{path}: {item['label']}: attribution category "
+                     f"vocabulary {sorted(agg['categories'])} != "
+                     f"{sorted(DIVERGENCE_CATEGORIES)}")
+            attributions += 1
         oh = item.get("overhead")
         if oh is not None and oh.get("outcome") == "ok":
             overheads += 1
@@ -140,9 +252,13 @@ def check_batch(path, expect_stats):
                              f"no {key}")
                     check_stats_doc(oh[key],
                                     f"{path}:{item['label']}:{key}")
+    if expect_explain and attributions == 0:
+        fail(f"{path}: --expect-explain but no item carries "
+             "effectiveness runs with attribution")
     print(f"ok: {path} (hard.batch.v2, {runs} runs, "
           f"{overheads} overhead units"
-          f"{', stats embedded' if expect_stats else ''})")
+          f"{', stats embedded' if expect_stats else ''}"
+          f"{', attribution embedded' if expect_explain else ''})")
 
 
 def main():
@@ -157,8 +273,17 @@ def main():
                     help="hard.batch.v2 JSON file")
     ap.add_argument("--expect-stats", action="store_true",
                     help="require embedded stats blocks in --batch files")
+    ap.add_argument("--expect-explain", action="store_true",
+                    help="require per-run explain blocks and per-item "
+                         "attribution aggregates in --batch files")
+    ap.add_argument("--explain", action="append", default=[],
+                    help="hard.explain.v1 JSON file")
+    ap.add_argument("--expect-no-unknown", action="store_true",
+                    help="fail if any --explain divergence is "
+                         "attributed to 'unknown'")
     args = ap.parse_args()
-    if not (args.stats or args.intervals or args.trace or args.batch):
+    if not (args.stats or args.intervals or args.trace or args.batch
+            or args.explain):
         ap.error("nothing to check")
     for path in args.stats:
         check_stats(path)
@@ -167,7 +292,9 @@ def main():
     for path in args.trace:
         check_trace(path)
     for path in args.batch:
-        check_batch(path, args.expect_stats)
+        check_batch(path, args.expect_stats, args.expect_explain)
+    for path in args.explain:
+        check_explain(path, args.expect_no_unknown)
 
 
 if __name__ == "__main__":

@@ -46,23 +46,6 @@ BfVector::allOnes(unsigned width_bits)
     return v;
 }
 
-std::uint32_t
-BfVector::signatureBits(Addr lock, unsigned width_bits)
-{
-    const unsigned part = checkWidth(width_bits);
-    const unsigned idx_bits = floorLog2(part);
-    std::uint32_t sig = 0;
-    // Figure 4: slice address bits starting at bit 2 into kParts
-    // direct indices (16-bit vector: bits 2..9, 2 bits per part).
-    for (unsigned p = 0; p < kParts; ++p) {
-        unsigned first = 2 + p * idx_bits;
-        unsigned idx = static_cast<unsigned>(
-            bits(lock, first + idx_bits - 1, first));
-        sig |= std::uint32_t{1} << (p * part + idx);
-    }
-    return sig;
-}
-
 BfVector
 BfVector::signatureOf(Addr lock, unsigned width_bits)
 {

@@ -16,6 +16,8 @@
 #include <cstdint>
 #include <string>
 
+#include "common/bitops.hh"
+#include "common/logging.hh"
 #include "common/types.hh"
 
 namespace hard
@@ -42,8 +44,34 @@ class BfVector
     /** @return the Figure 4 signature of @p lock at @p width_bits. */
     static BfVector signatureOf(Addr lock, unsigned width_bits);
 
-    /** @return the raw signature bits of @p lock (no object). */
-    static std::uint32_t signatureBits(Addr lock, unsigned width_bits);
+    /**
+     * @return the raw signature bits of @p lock (no object).
+     *
+     * Header-inline so layers below hard_core (the provenance
+     * recorder used by the exact-lockset detector) can compute
+     * signatures without a link dependency.
+     */
+    static std::uint32_t
+    signatureBits(Addr lock, unsigned width_bits)
+    {
+        hard_fatal_if(width_bits % kParts != 0,
+                      "bloom: width %u not divisible into 4 parts",
+                      width_bits);
+        const unsigned part = width_bits / kParts;
+        hard_fatal_if(!isPowerOf2(part) || part < 2 || width_bits > 32,
+                      "bloom: unsupported width %u", width_bits);
+        const unsigned idx_bits = floorLog2(part);
+        std::uint32_t sig = 0;
+        // Figure 4: slice address bits starting at bit 2 into kParts
+        // direct indices (16-bit: bits 2..9, 2 bits per part).
+        for (unsigned p = 0; p < kParts; ++p) {
+            unsigned first = 2 + p * idx_bits;
+            unsigned idx = static_cast<unsigned>(
+                bits(lock, first + idx_bits - 1, first));
+            sig |= std::uint32_t{1} << (p * part + idx);
+        }
+        return sig;
+    }
 
     /**
      * @return true iff a set represented by @p raw bits is empty at

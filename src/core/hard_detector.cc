@@ -1,9 +1,11 @@
 #include "core/hard_detector.hh"
 
 #include <bit>
+#include <utility>
 
 #include "common/bitops.hh"
 #include "common/logging.hh"
+#include "explain/prov.hh"
 #include "telemetry/sampler.hh"
 #include "telemetry/trace_event.hh"
 
@@ -50,6 +52,9 @@ HardDetector::onLineEvicted(Addr line_addr, Cycle at)
         return;
     if (meta_.erase(line_addr)) {
         ++stats_.metadataEvictions;
+        if (prov_)
+            prov_->recordMetaLoss(cfg_.metaGeometry.lineAddr(line_addr),
+                                  cfg_.metaGeometry.lineBytes, at);
         if (tracer_ && tracer_->wants(kTraceDetector)) {
             Json args = Json::object();
             args.set("line", line_addr);
@@ -160,7 +165,9 @@ HardDetector::access(const MemEvent &ev, bool write)
 
     std::uint64_t evictions_before = meta_.evictions();
     bool fresh = false;
-    Line &line = meta_.lookup(ev.addr, fresh);
+    Addr victim = invalidAddr;
+    Line &line =
+        meta_.lookup(ev.addr, fresh, prov_ ? &victim : nullptr);
     stats_.metadataEvictions += meta_.evictions() - evictions_before;
 
     const unsigned gran = cfg_.granularityBytes;
@@ -170,9 +177,25 @@ HardDetector::access(const MemEvent &ev, bool write)
     const std::uint32_t lockset =
         regFor(ev.tid, ev.core).vector().raw();
 
+    if (prov_) {
+        if (victim != invalidAddr)
+            prov_->recordMetaLoss(victim, cfg_.metaGeometry.lineBytes,
+                                  ev.at);
+        if (fresh)
+            prov_->recordRefetch(line_base, cfg_.metaGeometry.lineBytes,
+                                 ev.at);
+    }
+    const std::uint32_t sat_mask =
+        prov_ ? regFor(ev.tid, ev.core).saturatedBits() : 0;
+
     bool changed = false;
+    std::array<std::pair<Addr, std::uint32_t>, 8> bcast;
+    std::size_t n_bcast = 0;
     for (Addr a = lo; a < hi; a += gran) {
         Granule &g = line.g[(a - line_base) / gran];
+        if (prov_)
+            prov_->noteAccess(a, ev.tid, ev.at);
+        const LState state_before = g.state;
         LStateStep step = lstateAccess(g.state, g.owner, ev.tid, write);
         g.state = step.next;
         g.owner = step.owner;
@@ -180,15 +203,25 @@ HardDetector::access(const MemEvent &ev, bool write)
             continue;
         // The expensive software set intersection is a single AND of
         // the candidate-set and Lock Register BFVectors (§3.2).
+        std::uint32_t bf_before = g.bf;
         std::uint32_t new_bf = g.bf & lockset;
         ++stats_.intersections;
         if (new_bf != g.bf) {
             g.bf = new_bf;
             changed = true;
+            if (prov_ && n_bcast < bcast.size())
+                bcast[n_bcast++] = {a, new_bf};
         }
+        if (prov_)
+            prov_->recordNarrow(a, ev.tid, ev.site, write, ev.at,
+                                state_before, g.state, bf_before,
+                                lockset, g.bf, sat_mask);
         if (step.reportIfEmpty &&
             BfVector::rawSetEmpty(g.bf, cfg_.bloomBits)) {
-            emit(ev.tid, a, gran, ev.site, write, ev.at);
+            emit(ev.tid, a, gran, ev.site, write, ev.at,
+                 prov_ ? prov_->lastOther(a) : invalidThread);
+            if (prov_)
+                prov_->recordReport(a, ev.tid, ev.site, write, ev.at);
         }
     }
 
@@ -198,6 +231,10 @@ HardDetector::access(const MemEvent &ev, bool write)
     if (!write && changed && ev.outcome.stateAfter == CState::Shared &&
         ev.outcome.sharers > 1) {
         ++stats_.metaBroadcasts;
+        if (prov_)
+            for (std::size_t i = 0; i < n_bcast; ++i)
+                prov_->recordBroadcast(bcast[i].first, ev.at,
+                                       bcast[i].second);
         if (bus_ != nullptr)
             bus_->transact(TxnType::MetaBroadcast, ev.at);
     }
@@ -252,6 +289,8 @@ HardDetector::onBarrier(const BarrierEvent &ev)
         }
     });
     ++stats_.barrierResets;
+    if (prov_)
+        prov_->recordFlashReset(ev.at, ev.episode);
     if (tracer_ && tracer_->wants(kTraceDetector)) {
         Json args = Json::object();
         args.set("episode", ev.episode);

@@ -28,6 +28,8 @@
 namespace hard
 {
 
+class ProvRecorder;
+
 /** Configuration of a HARD detector instance. */
 struct HardConfig
 {
@@ -139,6 +141,16 @@ class HardDetector : public RaceDetector
     const HardConfig &config() const { return cfg_; }
     const HardStats &hardStats() const { return stats_; }
 
+    /**
+     * Attach a provenance recorder (explain/prov.hh): every candidate-
+     * set narrowing, report, metadata loss/refetch, broadcast and
+     * flash-reset is logged, and emitted reports carry the granule's
+     * last conflicting accessor in RaceReport::other. Null (the
+     * default) keeps every hook a single pointer test — detection
+     * output is byte-identical with no recorder attached.
+     */
+    void attachProvenance(ProvRecorder *prov) { prov_ = prov; }
+
   private:
     /** Per-granule hardware metadata (BFVector + LState + owner). */
     struct Granule
@@ -169,6 +181,8 @@ class HardDetector : public RaceDetector
     /** The physical per-processor registers (per-core mode). */
     std::array<LockRegister, kMaxThreads> coreRegs_;
     HardStats stats_;
+    /** Provenance recorder; null unless an explain run attached one. */
+    ProvRecorder *prov_ = nullptr;
 };
 
 } // namespace hard

@@ -26,6 +26,7 @@ LockRegister::acquire(Addr lock)
         } else {
             // Saturated: the count is lost; the bit becomes sticky.
             ++saturations_;
+            saturatedBits_ |= std::uint32_t{1} << b;
         }
     }
     BfVector s(vec_.width());
@@ -62,6 +63,7 @@ LockRegister::reset()
 {
     vec_.clearAll();
     counters_.assign(counters_.size(), 0);
+    saturatedBits_ = 0;
 }
 
 } // namespace hard

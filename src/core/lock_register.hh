@@ -47,6 +47,15 @@ class LockRegister
     /** @return the number of counters that have ever saturated. */
     std::uint64_t saturations() const { return saturations_; }
 
+    /**
+     * @return the bits whose counter has saturated since the last
+     * reset(). A saturated counter has lost increments, so its bit may
+     * be cleared early on release — the lock set then under-
+     * approximates the held locks and candidate sets over-narrow
+     * (provenance evidence for counter-saturation attribution).
+     */
+    std::uint32_t saturatedBits() const { return saturatedBits_; }
+
     /** Clear the registers (context switch / thread start). */
     void reset();
 
@@ -59,6 +68,7 @@ class LockRegister
     unsigned counterBits_;
     std::uint8_t maxCount_;
     std::uint64_t saturations_ = 0;
+    std::uint32_t saturatedBits_ = 0;
 };
 
 } // namespace hard

@@ -4,6 +4,7 @@
 
 #include "common/bitops.hh"
 #include "common/logging.hh"
+#include "explain/prov.hh"
 
 namespace hard
 {
@@ -36,6 +37,9 @@ IdealLocksetDetector::access(const MemEvent &ev, bool write)
 
     for (Addr a = lo; a < hi; a += gran) {
         Granule &g = shadow_[a];
+        if (prov_)
+            prov_->noteAccess(a, ev.tid, ev.at);
+        const LState state_before = g.state;
         LStateStep step = lstateAccess(g.state, g.owner, ev.tid, write);
         g.state = step.next;
         g.owner = step.owner;
@@ -47,9 +51,18 @@ IdealLocksetDetector::access(const MemEvent &ev, bool write)
                     std::max(sizeStats_.maxCandidate, sz);
                 ++sizeStats_.candidateHist[std::min<std::size_t>(sz, 7)];
             }
+            if (prov_)
+                prov_->recordExactNarrow(
+                    a, ev.tid, ev.site, write, ev.at, state_before,
+                    g.state, locks, g.candidate.isUniverse(),
+                    static_cast<unsigned>(g.candidate.locks().size()));
         }
-        if (step.reportIfEmpty && g.candidate.empty())
-            emit(ev.tid, a, gran, ev.site, write, ev.at);
+        if (step.reportIfEmpty && g.candidate.empty()) {
+            emit(ev.tid, a, gran, ev.site, write, ev.at,
+                 prov_ ? prov_->lastOther(a) : invalidThread);
+            if (prov_)
+                prov_->recordReport(a, ev.tid, ev.site, write, ev.at);
+        }
     }
 }
 
@@ -70,7 +83,7 @@ IdealLocksetDetector::onLockAcquire(const SyncEvent &ev)
 {
     auto [it, inserted] = held_[ev.tid].insert(ev.lock);
     (void)it;
-    hard_panic_if(!inserted,
+    hard_panic_if(!inserted && !cfg_.tolerateUnbalanced,
                   "ideal-lockset: thread %u re-acquired lock %llx",
                   ev.tid, static_cast<unsigned long long>(ev.lock));
     sizeStats_.maxLockset =
@@ -81,7 +94,7 @@ void
 IdealLocksetDetector::onLockRelease(const SyncEvent &ev)
 {
     std::size_t erased = held_[ev.tid].erase(ev.lock);
-    hard_panic_if(erased == 0,
+    hard_panic_if(erased == 0 && !cfg_.tolerateUnbalanced,
                   "ideal-lockset: thread %u released unheld lock %llx",
                   ev.tid, static_cast<unsigned long long>(ev.lock));
 }
@@ -89,9 +102,10 @@ IdealLocksetDetector::onLockRelease(const SyncEvent &ev)
 void
 IdealLocksetDetector::onBarrier(const BarrierEvent &ev)
 {
-    (void)ev;
     if (!cfg_.barrierReset)
         return;
+    if (prov_)
+        prov_->recordFlashReset(ev.at, ev.episode);
     // §3.5: discard pre-barrier evidence — accesses on either side of
     // the barrier are ordered, so neither their lock sets nor their
     // sharing history may be held against post-barrier accesses (see

@@ -21,6 +21,8 @@
 namespace hard
 {
 
+class ProvRecorder;
+
 /** Configuration of the ideal lockset detector. */
 struct IdealLocksetConfig
 {
@@ -28,6 +30,13 @@ struct IdealLocksetConfig
     unsigned granularityBytes = 4;
     /** Apply the §3.5 barrier flash-reset of candidate sets. */
     bool barrierReset = true;
+    /**
+     * Tolerate unbalanced lock events (re-acquire keeps the lock held,
+     * release-of-unheld is a no-op) instead of panicking. Needed when
+     * replaying minimizer-reduced fuzz traces, whose event streams are
+     * not guaranteed lock-balanced; live runs keep the strict checks.
+     */
+    bool tolerateUnbalanced = false;
 };
 
 /**
@@ -114,6 +123,14 @@ class IdealLocksetDetector : public RaceDetector
 
     const IdealLocksetConfig &config() const { return cfg_; }
 
+    /**
+     * Attach a provenance recorder (explain/prov.hh): exact candidate
+     * intersections, reports and flash-resets are logged, and reports
+     * carry the last conflicting accessor in RaceReport::other. Null
+     * (default) keeps every hook a single pointer test.
+     */
+    void attachProvenance(ProvRecorder *prov) { prov_ = prov; }
+
   private:
     /** Shadow record of one granule. */
     struct Granule
@@ -129,6 +146,8 @@ class IdealLocksetDetector : public RaceDetector
     std::unordered_map<Addr, Granule> shadow_;
     std::unordered_map<ThreadId, std::set<LockAddr>> held_;
     SetSizeStats sizeStats_;
+    /** Provenance recorder; null unless an explain run attached one. */
+    ProvRecorder *prov_ = nullptr;
 };
 
 } // namespace hard

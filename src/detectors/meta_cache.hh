@@ -53,10 +53,14 @@ class MetaCache
      * @param addr Any byte address within the line.
      * @param[out] fresh Set true if the line had to be (re)created,
      * i.e. any previous metadata for it has been lost.
+     * @param[out] evicted If non-null, set to the line address whose
+     * metadata this lookup displaced (invalidAddr when nothing was).
      */
     LineData &
-    lookup(Addr addr, bool &fresh)
+    lookup(Addr addr, bool &fresh, Addr *evicted = nullptr)
     {
+        if (evicted != nullptr)
+            *evicted = invalidAddr;
         const Addr line = geom_.lineAddr(addr);
         ++lookups_;
         if (unbounded_) {
@@ -86,8 +90,11 @@ class MetaCache
             if (ways_[i].lastUse < ways_[victim].lastUse)
                 victim = i;
         }
-        if (ways_[victim].valid)
+        if (ways_[victim].valid) {
             ++evictions_;
+            if (evicted != nullptr)
+                *evicted = ways_[victim].lineAddr;
+        }
         ways_[victim].valid = true;
         ways_[victim].lineAddr = line;
         ways_[victim].lastUse = ++useClock_;

@@ -1,0 +1,289 @@
+#include "explain/explain_json.hh"
+
+#include <cstdio>
+
+#include "core/bloom.hh"
+
+namespace hard
+{
+
+namespace
+{
+
+std::string
+hex(std::uint64_t v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "0x%llx",
+                  static_cast<unsigned long long>(v));
+    return buf;
+}
+
+std::string
+siteName(const Trace &trace, SiteId site)
+{
+    if (site == invalidSite || site >= trace.siteNames.size())
+        return "";
+    return trace.siteNames[site];
+}
+
+const char *
+subjectName(const ExplainConfig &cfg)
+{
+    return cfg.subject == ExplainConfig::Subject::Hard
+        ? "hard"
+        : "ideal-lockset";
+}
+
+Json
+eventJson(const ProvEvent &e)
+{
+    Json j = Json::object();
+    j.set("kind", provKindName(e.kind));
+    j.set("at", e.at);
+    switch (e.kind) {
+      case ProvKind::Narrow:
+        j.set("tid", unsigned{e.tid});
+        j.set("site", unsigned{e.site});
+        j.set("write", e.write);
+        j.set("stateBefore", lstateName(e.stateBefore));
+        j.set("stateAfter", lstateName(e.stateAfter));
+        j.set("bfBefore", e.bfBefore);
+        j.set("lockset", e.lockset);
+        j.set("bfAfter", e.bfAfter);
+        if (e.satMask != 0)
+            j.set("saturatedBits", e.satMask);
+        break;
+      case ProvKind::ExactNarrow:
+        j.set("tid", unsigned{e.tid});
+        j.set("site", unsigned{e.site});
+        j.set("write", e.write);
+        j.set("stateBefore", lstateName(e.stateBefore));
+        j.set("stateAfter", lstateName(e.stateAfter));
+        j.set("heldLocks", e.heldSize);
+        j.set("heldSignature", e.exactSig);
+        if (e.candSize == ProvEvent::kUniverse)
+            j.set("candidate", "universe");
+        else
+            j.set("candidate", e.candSize);
+        break;
+      case ProvKind::Report:
+        j.set("tid", unsigned{e.tid});
+        j.set("site", unsigned{e.site});
+        j.set("write", e.write);
+        break;
+      case ProvKind::MetaLoss:
+      case ProvKind::Refetch:
+        break;
+      case ProvKind::Broadcast:
+        j.set("bf", e.bfAfter);
+        break;
+      case ProvKind::FlashReset:
+        j.set("episode", e.episode);
+        break;
+    }
+    return j;
+}
+
+Json
+categoriesJson(const ExplainResult &res)
+{
+    Json cats = Json::object();
+    for (const std::string &name : divergenceCategoryNames()) {
+        auto it = res.categoryCounts.find(name);
+        cats.set(name,
+                 it == res.categoryCounts.end() ? 0u : it->second);
+    }
+    return cats;
+}
+
+} // namespace
+
+Json
+explainJson(const ExplainResult &res, const Trace &trace,
+            const std::string &workload)
+{
+    Json doc = Json::object();
+    doc.set("schema", "hard.explain.v1");
+    if (!workload.empty())
+        doc.set("workload", workload);
+    doc.set("subject", subjectName(res.cfg));
+
+    Json cfg = Json::object();
+    cfg.set("granularityBytes", res.granularity);
+    if (res.cfg.subject == ExplainConfig::Subject::Hard) {
+        const HardConfig &h = res.cfg.hard;
+        cfg.set("bloomBits", h.bloomBits);
+        cfg.set("counterBits", h.counterBits);
+        cfg.set("metaBytes", h.metaGeometry.sizeBytes);
+        cfg.set("unbounded", h.unbounded);
+        cfg.set("coupleToCaches", h.coupleToCaches);
+        cfg.set("barrierReset", h.barrierReset);
+    } else {
+        cfg.set("barrierReset", res.cfg.ideal.barrierReset);
+    }
+    cfg.set("fineGranularityBytes", res.cfg.fineGranularity);
+    cfg.set("ringDepth", res.cfg.ringDepth);
+    doc.set("config", std::move(cfg));
+    doc.set("events", std::uint64_t{res.eventsReplayed});
+
+    Json reports = Json::array();
+    for (const ExplainedReport &er : res.reports) {
+        const RaceReport &r = er.report;
+        Json jr = Json::object();
+        jr.set("addr", r.addr);
+        jr.set("size", r.size);
+        jr.set("site", unsigned{r.site});
+        jr.set("siteName", siteName(trace, r.site));
+        jr.set("tid", unsigned{r.tid});
+        jr.set("write", r.write);
+        jr.set("at", r.at);
+        if (r.other != invalidThread)
+            jr.set("other", unsigned{r.other});
+        else
+            jr.set("other", Json());
+        jr.set("droppedEvents", er.dropped);
+        Json chain = Json::array();
+        for (const ProvEvent &e : er.chain)
+            chain.push(eventJson(e));
+        jr.set("chain", std::move(chain));
+        reports.push(std::move(jr));
+    }
+    doc.set("reports", std::move(reports));
+
+    Json div = Json::object();
+    div.set("reference",
+            "exact-lockset@" + std::to_string(res.cfg.fineGranularity) +
+                "B");
+    unsigned extra = 0, missing = 0;
+    for (const Divergence &d : res.divergences)
+        (d.extra ? extra : missing) += 1;
+    div.set("extra", extra);
+    div.set("missing", missing);
+    div.set("categories", categoriesJson(res));
+    Json list = Json::array();
+    for (const Divergence &d : res.divergences) {
+        Json jd = Json::object();
+        jd.set("direction", d.extra ? "extra" : "missing");
+        jd.set("addr", d.addr);
+        jd.set("site", unsigned{d.site});
+        jd.set("siteName", siteName(trace, d.site));
+        jd.set("category", divergenceCategoryName(d.category));
+        jd.set("evidence", d.evidence);
+        list.push(std::move(jd));
+    }
+    div.set("divergences", std::move(list));
+    doc.set("divergence", std::move(div));
+    return doc;
+}
+
+Json
+attributionJson(const ExplainResult &res)
+{
+    Json j = Json::object();
+    unsigned extra = 0, missing = 0;
+    for (const Divergence &d : res.divergences)
+        (d.extra ? extra : missing) += 1;
+    j.set("extra", extra);
+    j.set("missing", missing);
+    j.set("categories", categoriesJson(res));
+    return j;
+}
+
+std::string
+renderExplain(const ExplainResult &res, const Trace &trace)
+{
+    std::string out;
+    auto line = [&out](const std::string &s) {
+        out += s;
+        out += '\n';
+    };
+
+    line("explain: subject=" + std::string(subjectName(res.cfg)) +
+         " granularity=" + std::to_string(res.granularity) + "B" +
+         " events=" + std::to_string(res.eventsReplayed) +
+         " reports=" + std::to_string(res.reports.size()) +
+         " divergences=" + std::to_string(res.divergences.size()));
+
+    for (const ExplainedReport &er : res.reports) {
+        const RaceReport &r = er.report;
+        std::string head = "report granule=" + hex(r.addr) + " site=" +
+            std::to_string(r.site);
+        std::string sn = siteName(trace, r.site);
+        if (!sn.empty())
+            head += " (" + sn + ")";
+        head += std::string(" ") + (r.write ? "write" : "read") +
+            " by t" + std::to_string(r.tid) + " at cycle " +
+            std::to_string(r.at);
+        if (r.other != invalidThread)
+            head += ", other side t" + std::to_string(r.other);
+        line(head);
+        if (er.dropped > 0)
+            line("  (" + std::to_string(er.dropped) +
+                 " older events dropped from the ring)");
+        for (const ProvEvent &e : er.chain) {
+            std::string s = "  [" + std::to_string(e.at) + "] " +
+                provKindName(e.kind);
+            switch (e.kind) {
+              case ProvKind::Narrow:
+                s += std::string(" t") + std::to_string(e.tid) +
+                    (e.write ? " write " : " read ") +
+                    lstateName(e.stateBefore) + "->" +
+                    lstateName(e.stateAfter) + " bf " +
+                    hex(e.bfBefore) + " & lockset " + hex(e.lockset) +
+                    " -> " + hex(e.bfAfter);
+                if (e.satMask != 0)
+                    s += " [saturated " + hex(e.satMask) + "]";
+                break;
+              case ProvKind::ExactNarrow:
+                s += std::string(" t") + std::to_string(e.tid) +
+                    (e.write ? " write " : " read ") +
+                    lstateName(e.stateBefore) + "->" +
+                    lstateName(e.stateAfter) + " held=" +
+                    std::to_string(e.heldSize) + " candidate=" +
+                    (e.candSize == ProvEvent::kUniverse
+                         ? std::string("universe")
+                         : std::to_string(e.candSize));
+                break;
+              case ProvKind::Report:
+                s += " t" + std::to_string(e.tid) + " site " +
+                    std::to_string(e.site);
+                break;
+              case ProvKind::MetaLoss:
+                s += " metadata displaced (§3.6)";
+                break;
+              case ProvKind::Refetch:
+                s += " fresh metadata after loss";
+                break;
+              case ProvKind::Broadcast:
+                s += " candidate " + hex(e.bfAfter) +
+                    " broadcast (§3.4)";
+                break;
+              case ProvKind::FlashReset:
+                s += " barrier episode " + std::to_string(e.episode) +
+                    " flash-reset (§3.5)";
+                break;
+            }
+            line(s);
+        }
+    }
+
+    line("divergence vs exact-lockset@" +
+         std::to_string(res.cfg.fineGranularity) + "B:");
+    if (res.divergences.empty())
+        line("  none — subject and ideal agree on every report key");
+    for (const Divergence &d : res.divergences) {
+        std::string s = std::string("  ") +
+            (d.extra ? "extra" : "missing") + " granule=" +
+            hex(d.addr) + " site=" + std::to_string(d.site);
+        std::string sn = siteName(trace, d.site);
+        if (!sn.empty())
+            s += " (" + sn + ")";
+        s += ": " + std::string(divergenceCategoryName(d.category)) +
+            " — " + d.evidence;
+        line(s);
+    }
+    return out;
+}
+
+} // namespace hard

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * hard.explain.v1 serialization and the human-readable rendering of
+ * provenance chains / divergence attributions.
+ */
+
+#ifndef HARD_EXPLAIN_EXPLAIN_JSON_HH
+#define HARD_EXPLAIN_EXPLAIN_JSON_HH
+
+#include <string>
+
+#include "common/json.hh"
+#include "explain/classifier.hh"
+#include "trace/trace.hh"
+
+namespace hard
+{
+
+/**
+ * Full `hard.explain.v1` document: subject config echo, every subject
+ * report with its causal chain, and the attributed divergence list.
+ * @param workload Label recorded in the document (may be empty).
+ */
+Json explainJson(const ExplainResult &res, const Trace &trace,
+                 const std::string &workload);
+
+/**
+ * Compact attribution block for embedding in `hard.batch.v2` runs and
+ * `hard.fuzz.case.v1` documents: extra/missing totals plus one count
+ * per category (all defined categories always present).
+ */
+Json attributionJson(const ExplainResult &res);
+
+/**
+ * Terminal rendering: one block per subject report (its causal chain,
+ * oldest event first) followed by the divergence attributions.
+ */
+std::string renderExplain(const ExplainResult &res, const Trace &trace);
+
+} // namespace hard
+
+#endif // HARD_EXPLAIN_EXPLAIN_JSON_HH

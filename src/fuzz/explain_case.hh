@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Provenance for fuzz cases: the "explain" block embedded in
+ * hard.fuzz.case.v1 documents.
+ *
+ * A minimized violation trace is only half a repro — the other half is
+ * *which mechanism* the weakened (or buggy) detector got wrong. This
+ * glue picks the right classifier subject for the case's FuzzConfig:
+ *
+ *  - weaken none/hard — the HARD detector (honest or Lock-Register-
+ *    deaf) against the exact-lockset references, via explainTrace().
+ *  - weaken ideal     — the no-flash-reset exact lockset as subject,
+ *    so the divergence attributes to barrier-reset.
+ *  - weaken hb        — happens-before has no lockset reference;
+ *    instead the subject's keys are compared against the vector-clock
+ *    oracle with and without semaphore edges (sema-ablation), which
+ *    lives here rather than in hard_explain because the oracles are a
+ *    fuzz-layer concept.
+ */
+
+#ifndef HARD_FUZZ_EXPLAIN_CASE_HH
+#define HARD_FUZZ_EXPLAIN_CASE_HH
+
+#include "common/json.hh"
+#include "fuzz/runner.hh"
+#include "trace/trace.hh"
+
+namespace hard
+{
+
+/** Category name used for happens-before sema-ablation divergences. */
+extern const char *const kSemaEdgesCategory;
+
+/**
+ * Build the "explain" block for one fuzz case: subject name, an
+ * attribution summary ({extra, missing, categories}) and the attributed
+ * divergence list with human-readable evidence.
+ */
+Json explainFuzzCase(const Trace &trace, const FuzzConfig &cfg);
+
+} // namespace hard
+
+#endif // HARD_FUZZ_EXPLAIN_CASE_HH

@@ -141,7 +141,8 @@ oracleLockset(const Trace &trace, unsigned granularity_bytes,
 }
 
 KeySet
-oracleHappensBefore(const Trace &trace, unsigned granularity_bytes)
+oracleHappensBefore(const Trace &trace, unsigned granularity_bytes,
+                    bool sema_edges)
 {
     hard_panic_if(granularity_bytes == 0 ||
                       !isPowerOf2(granularity_bytes),
@@ -176,14 +177,18 @@ oracleHappensBefore(const Trace &trace, unsigned granularity_bytes)
             break;
           case TraceKind::SemaPost:
             checkTid(ev);
-            semaVc[ev.addr].join(tvc[ev.tid]);
-            ++tvc[ev.tid][ev.tid];
+            if (sema_edges) {
+                semaVc[ev.addr].join(tvc[ev.tid]);
+                ++tvc[ev.tid][ev.tid];
+            }
             break;
           case TraceKind::SemaWait: {
             checkTid(ev);
-            auto it = semaVc.find(ev.addr);
-            if (it != semaVc.end())
-                tvc[ev.tid].join(it->second);
+            if (sema_edges) {
+                auto it = semaVc.find(ev.addr);
+                if (it != semaVc.end())
+                    tvc[ev.tid].join(it->second);
+            }
             break;
           }
           case TraceKind::Barrier: {

@@ -53,9 +53,14 @@ KeySet oracleLockset(const Trace &trace, unsigned granularity_bytes,
  * epoch per granule; release→acquire, post→wait and barrier episodes
  * create the synchronization order.
  *
+ * @param sema_edges When false, SemaPost/SemaWait create no ordering
+ * (an ablated oracle): a subject divergence that disappears against it
+ * is attributable to missing semaphore edges.
+ *
  * @return the set of (granule, site) keys with unordered conflicts.
  */
-KeySet oracleHappensBefore(const Trace &trace, unsigned granularity_bytes);
+KeySet oracleHappensBefore(const Trace &trace, unsigned granularity_bytes,
+                           bool sema_edges = true);
 
 } // namespace hard
 

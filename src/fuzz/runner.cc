@@ -4,6 +4,7 @@
 #include <filesystem>
 
 #include "common/error.hh"
+#include "fuzz/explain_case.hh"
 #include "harness/experiment.hh"
 #include "harness/run_pool.hh"
 #include "sim/system.hh"
@@ -280,6 +281,9 @@ runFuzzSeed(std::uint64_t seed, const FuzzOptions &opts)
             for (const Violation &v : caseVs)
                 jd.push(violationJson(v, caseTrace));
             doc.set("violations", std::move(jd));
+            // Provenance: which HARD/HB mechanism produced the
+            // divergence this case captures.
+            doc.set("explain", explainFuzzCase(caseTrace, opts.cfg));
             sr.casePath = stem + ".case.json";
             writeJsonFile(sr.casePath, doc);
         }

@@ -6,7 +6,10 @@
 
 #include "common/error.hh"
 #include "common/logging.hh"
+#include "explain/classifier.hh"
+#include "explain/explain_json.hh"
 #include "telemetry/stat_registry.hh"
+#include "trace/recorder.hh"
 
 namespace hard
 {
@@ -16,7 +19,7 @@ runEffectivenessUnit(const std::string &workload, const WorkloadParams &wp,
                      const SimConfig &sim, const DetectorFactory &factory,
                      unsigned index, unsigned num_runs,
                      std::uint64_t seed0, const SharedMap &shared,
-                     bool collect_stats)
+                     bool collect_stats, const HardConfig *explain_hard)
 {
     EffectivenessRun out;
     out.index = index;
@@ -50,8 +53,24 @@ runEffectivenessUnit(const std::string &workload, const WorkloadParams &wp,
     SimConfig cfg = sim;
     if (cfg.maxCycles == 0)
         cfg.maxCycles = defaultCycleBudget(prog);
+    // Explain collection rides a TraceRecorder alongside the
+    // detectors; the recorder is a pure observer, so detector results
+    // are unchanged whether or not it is attached.
+    std::unique_ptr<TraceRecorder> recorder;
+    std::vector<AccessObserver *> extra;
+    if (explain_hard != nullptr) {
+        recorder = std::make_unique<TraceRecorder>(prog);
+        extra.push_back(recorder.get());
+    }
     runWithDetectors(prog, cfg, raw,
-                     collect_stats ? &out.stats : nullptr);
+                     collect_stats ? &out.stats : nullptr, extra);
+    if (recorder) {
+        ExplainConfig ec;
+        ec.subject = ExplainConfig::Subject::Hard;
+        ec.hard = *explain_hard;
+        out.explain =
+            attributionJson(explainTrace(recorder->take(), ec));
+    }
 
     for (auto &d : detectors) {
         RunOutcome &o = out.byDetector[d->name()];
@@ -337,7 +356,9 @@ runBatch(const std::vector<BatchItem> &items, RunPool &pool,
                                 item.factory,
                                 static_cast<unsigned>(unit.run),
                                 item.runs, item.seed0,
-                                *shared[unit.item], item.collectStats);
+                                *shared[unit.item], item.collectStats,
+                                item.collectExplain ? &item.hardCfg
+                                                    : nullptr);
                     }
                 } catch (...) {
                     if (!opts.keepGoing)
@@ -510,6 +531,8 @@ toJson(const EffectivenessRun &run)
     j.set("detectors", std::move(dets));
     if (!run.stats.isNull())
         j.set("stats", run.stats);
+    if (!run.explain.isNull())
+        j.set("explain", run.explain);
     return j;
 }
 
@@ -536,6 +559,8 @@ effectivenessRunFromJson(const Json &j)
     }
     if (j.has("stats"))
         run.stats = j["stats"];
+    if (j.has("explain"))
+        run.explain = j["explain"];
     return run;
 }
 
@@ -585,6 +610,37 @@ batchJson(const std::vector<BatchItemResult> &results)
             }
             eff.set("perRun", std::move(per_run));
             item.set("effectiveness", std::move(eff));
+
+            // Per-item attribution aggregate, summed over the runs
+            // carrying an explain block. Explain-off dumps never get
+            // here, staying byte-identical to pre-provenance output.
+            bool any_explain = false;
+            std::uint64_t agg_extra = 0, agg_missing = 0;
+            std::map<std::string, std::uint64_t> agg_cats;
+            for (const EffectivenessRun &run : res.runDetail) {
+                if (run.explain.isNull())
+                    continue;
+                any_explain = true;
+                agg_extra += run.explain["extra"].asUint();
+                agg_missing += run.explain["missing"].asUint();
+                for (const auto &[k, v] :
+                     run.explain["categories"].members())
+                    agg_cats[k] += v.asUint();
+            }
+            if (any_explain) {
+                Json attr = Json::object();
+                attr.set("extra", agg_extra);
+                attr.set("missing", agg_missing);
+                Json cats = Json::object();
+                for (const std::string &name :
+                     divergenceCategoryNames()) {
+                    auto it = agg_cats.find(name);
+                    cats.set(name,
+                             it == agg_cats.end() ? 0 : it->second);
+                }
+                attr.set("categories", std::move(cats));
+                item.set("attribution", std::move(attr));
+            }
         }
         if (res.haveOverhead || !res.overheadOutcome.empty()) {
             Json oh = Json::object();

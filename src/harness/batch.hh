@@ -75,6 +75,14 @@ struct EffectivenessRun
      */
     Json stats;
 
+    /**
+     * Per-run divergence attribution ({extra, missing, categories},
+     * Json null unless the item requested explain collection);
+     * serialized under "explain" only when present, so explain-off
+     * batch JSON is byte-identical to pre-provenance output.
+     */
+    Json explain;
+
     bool ok() const { return outcome == "ok"; }
 };
 
@@ -84,6 +92,9 @@ struct EffectivenessRun
  *
  * @param index Run index; index == num_runs selects the race-free run.
  * @param shared Precomputed shared-data map for @p workload / @p wp.
+ * @param explain_hard When non-null, also record the run's trace and
+ * replay it through the divergence classifier under this HARD shape,
+ * filling EffectivenessRun::explain with the attribution summary.
  */
 EffectivenessRun runEffectivenessUnit(const std::string &workload,
                                       const WorkloadParams &wp,
@@ -92,7 +103,9 @@ EffectivenessRun runEffectivenessUnit(const std::string &workload,
                                       unsigned index, unsigned num_runs,
                                       std::uint64_t seed0,
                                       const SharedMap &shared,
-                                      bool collect_stats = false);
+                                      bool collect_stats = false,
+                                      const HardConfig *explain_hard =
+                                          nullptr);
 
 /**
  * Fold per-run outcomes (in run-index order) into the aggregate
@@ -143,6 +156,14 @@ struct BatchItem
      * batch JSON is byte-identical to pre-stats output.
      */
     bool collectStats = false;
+    /**
+     * Record each effectiveness run's trace and replay it through the
+     * divergence classifier (src/explain) under @ref hardCfg: each
+     * EffectivenessRun gains an "explain" attribution block. Off by
+     * default — explain-off batch JSON is byte-identical to
+     * pre-provenance output.
+     */
+    bool collectExplain = false;
 
     /**
      * Base of the exact single-run repro command reported for this

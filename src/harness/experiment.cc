@@ -26,9 +26,20 @@ runWithDetectors(const Program &prog, const SimConfig &sim,
                  const std::vector<RaceDetector *> &detectors,
                  Json *stats_out)
 {
+    return runWithDetectors(prog, sim, detectors, stats_out, {});
+}
+
+RunResult
+runWithDetectors(const Program &prog, const SimConfig &sim,
+                 const std::vector<RaceDetector *> &detectors,
+                 Json *stats_out,
+                 const std::vector<AccessObserver *> &extra)
+{
     System system(sim, prog);
     for (RaceDetector *d : detectors)
         system.addObserver(d);
+    for (AccessObserver *o : extra)
+        system.addObserver(o);
     RunResult res = system.run();
     for (RaceDetector *d : detectors)
         d->finalize();

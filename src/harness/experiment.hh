@@ -136,6 +136,15 @@ RunResult runWithDetectors(const Program &prog, const SimConfig &sim,
                            Json *stats_out);
 
 /**
+ * As above, with additional non-detector observers (e.g. a
+ * TraceRecorder) attached to the same run after the detectors.
+ */
+RunResult runWithDetectors(const Program &prog, const SimConfig &sim,
+                           const std::vector<RaceDetector *> &detectors,
+                           Json *stats_out,
+                           const std::vector<AccessObserver *> &extra);
+
+/**
  * @return true if @p sink holds a report that corresponds to the
  * injected bug: its byte range overlaps the elided critical section's
  * data AND it was reported at a source site that really accesses that

@@ -1,0 +1,466 @@
+/**
+ * @file
+ * Provenance + divergence-classifier tests: the ProvRecorder ring/
+ * summary mechanics, classifier attribution on hand-built traces that
+ * exercise one HARD mechanism each, the hard.explain.v1 serialization,
+ * corpus replay (weakened cases must name the sabotaged mechanism),
+ * and the acceptance bar: on the default configuration every
+ * divergence across the six paper workloads is attributed — the
+ * "unknown" bucket stays empty.
+ */
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/hard_detector.hh"
+#include "explain/classifier.hh"
+#include "explain/explain_json.hh"
+#include "explain/prov.hh"
+#include "fuzz/explain_case.hh"
+#include "fuzz/runner.hh"
+#include "harness/experiment.hh"
+#include "trace/recorder.hh"
+#include "trace/trace.hh"
+
+namespace hard
+{
+namespace
+{
+
+// ---------------------------------------------------------------------
+// ProvRecorder mechanics
+
+TEST(ProvRecorder, RingBoundsEventsButSummaryNeverDrops)
+{
+    ProvRecorder prov(32, 16, 2);
+    for (unsigned i = 0; i < 5; ++i)
+        prov.recordNarrow(0x100, 0, 0, true, 10 + i, LState::Shared,
+                          LState::SharedModified, 0xffff, 0x1111, 0x1111,
+                          0);
+    const GranuleProv *g = prov.find(0x100);
+    ASSERT_NE(g, nullptr);
+    EXPECT_EQ(g->ring.size(), 2u);
+    EXPECT_EQ(g->dropped, 3u);
+    EXPECT_EQ(g->narrows, 5u);
+    EXPECT_TRUE(g->narrowed);
+    EXPECT_EQ(g->firstNarrowAt, 10u);
+    // Oldest surviving event is the 4th narrow.
+    EXPECT_EQ(g->ring.front().at, 13u);
+    EXPECT_EQ(g->ring.back().at, 14u);
+}
+
+TEST(ProvRecorder, LastOtherTracksTheConflictingAccessor)
+{
+    ProvRecorder prov(32);
+    EXPECT_EQ(prov.lastOther(0x100), invalidThread);
+    prov.noteAccess(0x100, 0, 5);
+    EXPECT_EQ(prov.lastOther(0x100), invalidThread); // single-threaded
+    prov.noteAccess(0x100, 0, 6);
+    EXPECT_EQ(prov.lastOther(0x100), invalidThread);
+    prov.noteAccess(0x100, 1, 7);
+    EXPECT_EQ(prov.lastOther(0x100), 0u);
+    prov.noteAccess(0x100, 0, 8);
+    EXPECT_EQ(prov.lastOther(0x100), 1u);
+}
+
+TEST(ProvRecorder, MetaLossHitsOnlyGranulesInsideTheLine)
+{
+    ProvRecorder prov(32);
+    prov.noteAccess(0x100, 0, 1);
+    prov.noteAccess(0x120, 0, 2); // next line (32B lines)
+    prov.recordMetaLoss(0x100, 32, 9);
+    EXPECT_EQ(prov.find(0x100)->losses, 1u);
+    EXPECT_EQ(prov.find(0x120)->losses, 0u);
+    // Refetch of a never-lost line is not an event.
+    prov.recordRefetch(0x120, 32, 10);
+    EXPECT_EQ(prov.find(0x120)->refetches, 0u);
+    prov.recordRefetch(0x100, 32, 11);
+    EXPECT_EQ(prov.find(0x100)->refetches, 1u);
+}
+
+TEST(ProvRecorder, FlashResetsAreGlobalAndQueryableByWindow)
+{
+    ProvRecorder prov(32);
+    prov.noteAccess(0x100, 0, 1);
+    prov.noteAccess(0x200, 1, 2);
+    prov.recordFlashReset(50, 0);
+    EXPECT_EQ(prov.find(0x100)->flashes, 1u);
+    EXPECT_EQ(prov.find(0x200)->flashes, 1u);
+    EXPECT_TRUE(prov.flashBetween(0, 50));
+    EXPECT_FALSE(prov.flashBetween(50, 100));
+    ASSERT_EQ(prov.flashResets().size(), 1u);
+    EXPECT_EQ(prov.flashResets()[0].second, 0u);
+}
+
+TEST(ProvRecorder, KindNamesMatchTheJsonVocabulary)
+{
+    EXPECT_STREQ(provKindName(ProvKind::Narrow), "narrow");
+    EXPECT_STREQ(provKindName(ProvKind::ExactNarrow), "exact-narrow");
+    EXPECT_STREQ(provKindName(ProvKind::Report), "report");
+    EXPECT_STREQ(provKindName(ProvKind::MetaLoss), "meta-loss");
+    EXPECT_STREQ(provKindName(ProvKind::Refetch), "refetch");
+    EXPECT_STREQ(provKindName(ProvKind::Broadcast), "broadcast");
+    EXPECT_STREQ(provKindName(ProvKind::FlashReset), "flash-reset");
+}
+
+// ---------------------------------------------------------------------
+// Hand-built single-mechanism traces
+
+TraceEvent
+mem(TraceKind kind, ThreadId tid, Addr addr, SiteId site, Cycle at)
+{
+    TraceEvent e;
+    e.kind = kind;
+    e.tid = tid;
+    e.addr = addr;
+    e.size = 4;
+    e.site = site;
+    e.at = at;
+    return e;
+}
+
+TraceEvent
+sync(TraceKind kind, ThreadId tid, Addr lock, Cycle at)
+{
+    TraceEvent e;
+    e.kind = kind;
+    e.tid = tid;
+    e.addr = lock;
+    e.site = 0;
+    e.at = at;
+    return e;
+}
+
+TraceEvent
+barrier(Cycle at, unsigned episode)
+{
+    TraceEvent e;
+    e.kind = TraceKind::Barrier;
+    e.addr = 0xb000;
+    e.episode = episode;
+    e.participants = 2;
+    e.at = at;
+    return e;
+}
+
+unsigned
+count(const ExplainResult &res, const char *category)
+{
+    auto it = res.categoryCounts.find(category);
+    return it == res.categoryCounts.end() ? 0 : it->second;
+}
+
+// Locks 0x1000 and 0x2000 differ only above address bit 9, so their
+// Figure 4 signatures (built from bits 2..9) are identical — the
+// classic aliasing pair. Locks 0x04 and 0x08 differ inside bits 2..9,
+// so their signatures are Bloom-disjoint (part 0 indices 1 vs 2).
+constexpr Addr kAliasLockA = 0x1000;
+constexpr Addr kAliasLockB = 0x2000;
+constexpr Addr kLockA = 0x04;
+constexpr Addr kLockB = 0x08;
+
+TEST(Classifier, AliasedLockSignaturesYieldBloomAliasingMiss)
+{
+    ASSERT_EQ(BfVector::signatureBits(kAliasLockA, 16),
+              BfVector::signatureBits(kAliasLockB, 16));
+
+    Trace t;
+    t.siteNames = {"sync", "t0.write", "t1.write"};
+    t.events = {
+        sync(TraceKind::LockAcquire, 0, kAliasLockA, 10),
+        mem(TraceKind::Write, 0, 0x100, 1, 20),
+        sync(TraceKind::LockRelease, 0, kAliasLockA, 30),
+        sync(TraceKind::LockAcquire, 1, kAliasLockB, 40),
+        mem(TraceKind::Write, 1, 0x100, 2, 50),
+        sync(TraceKind::LockRelease, 1, kAliasLockB, 60),
+        sync(TraceKind::LockAcquire, 0, kAliasLockA, 70),
+        mem(TraceKind::Write, 0, 0x100, 1, 80),
+        sync(TraceKind::LockRelease, 0, kAliasLockA, 90),
+    };
+
+    ExplainResult res = explainTrace(t, ExplainConfig{});
+    // The exact references report the empty {A} ∩ {B} lock set; HARD's
+    // identical signatures keep the BFVector alive — a missed race.
+    EXPECT_TRUE(res.subjectKeys.empty());
+    EXPECT_FALSE(res.referenceKeys.empty());
+    ASSERT_EQ(res.divergences.size(), res.referenceKeys.size());
+    EXPECT_EQ(count(res, "bloom-aliasing"), res.divergences.size());
+    EXPECT_TRUE(res.unknownFree());
+    for (const Divergence &d : res.divergences)
+        EXPECT_FALSE(d.extra);
+}
+
+TEST(Classifier, SaturatedCounterClearsBitEarlyAndIsAttributed)
+{
+    // Four distinct locks with one shared signature saturate the 2-bit
+    // counters; three releases then drain them to zero although one
+    // lock is still held, so the Lock Register goes empty.
+    const Addr locks[4] = {0x1000, 0x2000, 0x4000, 0x8000};
+    for (Addr l : locks)
+        ASSERT_EQ(BfVector::signatureBits(l, 16),
+                  BfVector::signatureBits(locks[0], 16));
+
+    Trace t;
+    t.siteNames = {"sync", "t1.write", "t0.write"};
+    t.events.push_back(mem(TraceKind::Write, 1, 0x100, 1, 10));
+    Cycle at = 20;
+    for (Addr l : locks)
+        t.events.push_back(sync(TraceKind::LockAcquire, 0, l, at++));
+    t.events.push_back(mem(TraceKind::Write, 0, 0x100, 2, 30));
+    for (unsigned i = 0; i < 3; ++i)
+        t.events.push_back(
+            sync(TraceKind::LockRelease, 0, locks[i], 40 + i));
+    t.events.push_back(mem(TraceKind::Write, 0, 0x100, 2, 50));
+
+    ExplainResult res = explainTrace(t, ExplainConfig{});
+    // Subject reports (register drained early); the exact reference
+    // still holds the fourth lock and stays quiet.
+    ASSERT_EQ(res.subjectKeys.size(), 1u);
+    EXPECT_TRUE(res.referenceKeys.empty());
+    EXPECT_TRUE(res.sameGranKeys.empty());
+    ASSERT_EQ(res.divergences.size(), 1u);
+    EXPECT_TRUE(res.divergences[0].extra);
+    EXPECT_EQ(res.divergences[0].category,
+              DivergenceCategory::CounterSaturation);
+    EXPECT_TRUE(res.unknownFree());
+}
+
+TEST(Classifier, DisplacedMetadataYieldsMetadataEvictionMiss)
+{
+    // Two conflicting lock disciplines on X, but a tiny direct-mapped
+    // metadata store (2 sets x 1 way) loses X's history to the write
+    // of Y (same set) before the second discipline shows up.
+    ExplainConfig ec;
+    ec.hard.metaGeometry = CacheConfig{64, 1, 32, 0};
+
+    Trace t;
+    t.siteNames = {"sync", "t0.writeX", "t1.writeX", "t0.writeY"};
+    t.events = {
+        sync(TraceKind::LockAcquire, 0, kLockA, 10),
+        mem(TraceKind::Write, 0, 0x100, 1, 20),
+        sync(TraceKind::LockRelease, 0, kLockA, 30),
+        sync(TraceKind::LockAcquire, 1, kLockB, 40),
+        mem(TraceKind::Write, 1, 0x100, 2, 50),
+        sync(TraceKind::LockRelease, 1, kLockB, 60),
+        mem(TraceKind::Write, 0, 0x140, 3, 70), // evicts X's metadata
+        sync(TraceKind::LockAcquire, 0, kLockA, 80),
+        mem(TraceKind::Write, 0, 0x100, 1, 90),
+        sync(TraceKind::LockRelease, 0, kLockA, 100),
+    };
+
+    ExplainResult res = explainTrace(t, ec);
+    EXPECT_TRUE(res.subjectKeys.empty()); // refetched line restarts Virgin
+    ASSERT_FALSE(res.referenceKeys.empty());
+    EXPECT_EQ(count(res, "metadata-eviction"), res.divergences.size());
+    EXPECT_GT(count(res, "metadata-eviction"), 0u);
+    EXPECT_TRUE(res.unknownFree());
+}
+
+TEST(Classifier, DisabledFlashResetIsAttributedToBarrierReset)
+{
+    // Consistent lock A before the barrier, consistent lock B after;
+    // only a subject that ignores §3.5 holds them against each other.
+    ExplainConfig ec;
+    ec.hard.barrierReset = false;
+
+    Trace t;
+    t.siteNames = {"sync", "t0.write", "t1.write"};
+    t.events = {
+        sync(TraceKind::LockAcquire, 0, kLockA, 10),
+        mem(TraceKind::Write, 0, 0x100, 1, 20),
+        sync(TraceKind::LockRelease, 0, kLockA, 30),
+        sync(TraceKind::LockAcquire, 1, kLockA, 40),
+        mem(TraceKind::Write, 1, 0x100, 2, 50),
+        sync(TraceKind::LockRelease, 1, kLockA, 60),
+        barrier(70, 0),
+        sync(TraceKind::LockAcquire, 0, kLockB, 80),
+        mem(TraceKind::Write, 0, 0x100, 1, 90),
+        sync(TraceKind::LockRelease, 0, kLockB, 100),
+    };
+
+    ExplainResult res = explainTrace(t, ec);
+    ASSERT_EQ(res.subjectKeys.size(), 1u);
+    EXPECT_TRUE(res.referenceKeys.empty());
+    ASSERT_EQ(res.divergences.size(), 1u);
+    EXPECT_TRUE(res.divergences[0].extra);
+    EXPECT_EQ(res.divergences[0].category,
+              DivergenceCategory::BarrierReset);
+    EXPECT_TRUE(res.unknownFree());
+
+    // The honest configuration flash-resets and stays clean.
+    ExplainResult honest = explainTrace(t, ExplainConfig{});
+    EXPECT_TRUE(honest.subjectKeys.empty());
+    EXPECT_TRUE(honest.divergences.empty());
+}
+
+TEST(Classifier, CoarseGranuleFalseSharingIsAttributedToGranularity)
+{
+    // Each thread owns its own 4-byte variable; only the 32-byte
+    // granule makes them look shared.
+    Trace t;
+    t.siteNames = {"t0.write", "t1.write"};
+    t.events = {
+        mem(TraceKind::Write, 0, 0x100, 0, 10),
+        mem(TraceKind::Write, 1, 0x104, 1, 20),
+    };
+
+    ExplainResult res = explainTrace(t, ExplainConfig{});
+    ASSERT_EQ(res.subjectKeys.size(), 1u);
+    EXPECT_TRUE(res.referenceKeys.empty());
+    ASSERT_EQ(res.divergences.size(), 1u);
+    EXPECT_TRUE(res.divergences[0].extra);
+    EXPECT_EQ(res.divergences[0].category,
+              DivergenceCategory::Granularity);
+    EXPECT_TRUE(res.unknownFree());
+
+    // The subject report carries its causal chain, ending in the
+    // report event, and knows the conflicting thread.
+    ASSERT_EQ(res.reports.size(), 1u);
+    ASSERT_FALSE(res.reports[0].chain.empty());
+    EXPECT_EQ(res.reports[0].chain.back().kind, ProvKind::Report);
+    EXPECT_EQ(res.reports[0].report.other, 0u);
+    EXPECT_EQ(res.reports[0].report.tid, 1u);
+}
+
+// ---------------------------------------------------------------------
+// hard.explain.v1 serialization
+
+TEST(ExplainJson, DocumentCarriesSchemaChainsAndFullCategoryVocabulary)
+{
+    Trace t;
+    t.siteNames = {"t0.write", "t1.write"};
+    t.events = {
+        mem(TraceKind::Write, 0, 0x100, 0, 10),
+        mem(TraceKind::Write, 1, 0x104, 1, 20),
+    };
+    ExplainResult res = explainTrace(t, ExplainConfig{});
+
+    Json doc = explainJson(res, t, "unit");
+    EXPECT_EQ(doc["schema"].asString(), "hard.explain.v1");
+    EXPECT_EQ(doc["workload"].asString(), "unit");
+    EXPECT_EQ(doc["subject"].asString(), "hard");
+    EXPECT_EQ(doc["config"]["granularityBytes"].asUint(), 32u);
+    ASSERT_EQ(doc["reports"].size(), 1u);
+    const Json &chain = doc["reports"].at(0)["chain"];
+    ASSERT_GT(chain.size(), 0u);
+    EXPECT_EQ(chain.at(chain.size() - 1)["kind"].asString(), "report");
+
+    const Json &div = doc["divergence"];
+    EXPECT_EQ(div["extra"].asUint() + div["missing"].asUint(),
+              div["divergences"].size());
+    for (const std::string &name : divergenceCategoryNames())
+        EXPECT_TRUE(div["categories"].has(name)) << name;
+
+    Json attr = attributionJson(res);
+    EXPECT_EQ(attr["extra"].asUint(), 1u);
+    EXPECT_EQ(attr["missing"].asUint(), 0u);
+    EXPECT_EQ(attr["categories"]["granularity"].asUint(), 1u);
+    EXPECT_EQ(attr["categories"]["unknown"].asUint(), 0u);
+
+    std::string text = renderExplain(res, t);
+    EXPECT_NE(text.find("granularity"), std::string::npos);
+    EXPECT_NE(text.find("t1.write"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Corpus replay: weakened cases must name the sabotaged mechanism
+
+FuzzConfig
+corpusConfig(const std::string &case_path)
+{
+    std::ifstream in(case_path);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    std::string err;
+    Json doc = Json::parse(ss.str(), &err);
+    EXPECT_TRUE(err.empty()) << case_path << ": " << err;
+    const Json &jc = doc["config"];
+    FuzzConfig cfg;
+    cfg.granularity = static_cast<unsigned>(jc["granularity"].asUint());
+    cfg.bloomBits = static_cast<unsigned>(jc["bloom_bits"].asUint());
+    cfg.weaken = parseWeaken(jc["weaken"].asString());
+    return cfg;
+}
+
+Json
+corpusExplain(const std::string &stem)
+{
+    const std::string dir = HARD_CORPUS_DIR;
+    FuzzConfig cfg = corpusConfig(dir + "/" + stem + ".case.json");
+    Trace trace = readTrace(dir + "/" + stem + ".trc");
+    return explainFuzzCase(trace, cfg);
+}
+
+TEST(CorpusExplain, DeafHardCaseAttributesToBloomAliasing)
+{
+    Json j = corpusExplain("weakened-hard-bloom-deaf");
+    EXPECT_EQ(j["subject"].asString(), "hard");
+    EXPECT_EQ(j["weaken"].asString(), "hard");
+    const Json &cats = j["attribution"]["categories"];
+    EXPECT_GT(cats["bloom-aliasing"].asUint(), 0u);
+    EXPECT_EQ(cats["unknown"].asUint(), 0u);
+}
+
+TEST(CorpusExplain, NoResetIdealCaseAttributesToBarrierReset)
+{
+    Json j = corpusExplain("weakened-ideal-no-barrier-reset");
+    EXPECT_EQ(j["subject"].asString(), "ideal-lockset");
+    const Json &cats = j["attribution"]["categories"];
+    EXPECT_GT(cats["barrier-reset"].asUint(), 0u);
+    EXPECT_EQ(cats["unknown"].asUint(), 0u);
+}
+
+TEST(CorpusExplain, DeafHbCaseAttributesToSemaphoreEdges)
+{
+    Json j = corpusExplain("weakened-hb-sema-deaf");
+    EXPECT_EQ(j["subject"].asString(), "happens-before");
+    const Json &cats = j["attribution"]["categories"];
+    EXPECT_GT(cats[kSemaEdgesCategory].asUint(), 0u);
+    EXPECT_EQ(cats["unknown"].asUint(), 0u);
+}
+
+TEST(CorpusExplain, HonestCaseHasNoUnknownAttribution)
+{
+    Json j = corpusExplain("honest-battery-clean");
+    EXPECT_EQ(j["attribution"]["categories"]["unknown"].asUint(), 0u);
+}
+
+// ---------------------------------------------------------------------
+// Acceptance: default config, six workloads, zero unknowns
+
+class ExplainWorkloads : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(ExplainWorkloads, EveryDivergenceIsAttributedOnTheDefaultConfig)
+{
+    WorkloadParams wp;
+    wp.scale = 0.1;
+    Program prog = buildWorkload(GetParam(), wp);
+    TraceRecorder recorder(prog);
+    runWithDetectors(prog, defaultSimConfig(), {}, nullptr, {&recorder});
+    Trace trace = recorder.take();
+
+    // Table 6 default HARD: 16-bit BFVector, 32B granules, 1MB
+    // metadata — exactly HardConfig's defaults.
+    ExplainResult res = explainTrace(trace, ExplainConfig{});
+    EXPECT_TRUE(res.unknownFree())
+        << GetParam() << ": " << count(res, "unknown")
+        << " unknown divergence(s)";
+    // Every divergence is in the list exactly once and counted.
+    unsigned total = 0;
+    for (const auto &kv : res.categoryCounts)
+        total += kv.second;
+    EXPECT_EQ(total, res.divergences.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Apps, ExplainWorkloads,
+                         ::testing::Values("cholesky", "barnes", "fmm",
+                                           "ocean", "water-nsquared",
+                                           "raytrace"));
+
+} // namespace
+} // namespace hard

@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Zero-cost-when-off guarantees of the provenance subsystem: with
+ * --explain disabled nothing changes — not the simulated execution,
+ * not the detector verdicts, and not one byte of the JSON outputs.
+ * With it enabled, the instrumented subject still reports exactly
+ * what an uninstrumented detector reports (observation, not
+ * perturbation).
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/hard_detector.hh"
+#include "detectors/ideal_lockset.hh"
+#include "explain/classifier.hh"
+#include "explain/prov.hh"
+#include "harness/batch.hh"
+#include "harness/experiment.hh"
+#include "trace/recorder.hh"
+#include "trace/replayer.hh"
+
+namespace hard
+{
+namespace
+{
+
+WorkloadParams
+tinyParams()
+{
+    WorkloadParams p;
+    p.scale = 0.1;
+    return p;
+}
+
+Trace
+recordRun(const char *app)
+{
+    Program prog = buildWorkload(app, tinyParams());
+    TraceRecorder recorder(prog);
+    runWithDetectors(prog, defaultSimConfig(), {}, nullptr, {&recorder});
+    return recorder.take();
+}
+
+TEST(ExplainNeutrality, AttachedRecorderDoesNotChangeHardVerdicts)
+{
+    Trace trace = recordRun("ocean");
+
+    HardDetector plain("hard", HardConfig{});
+    replayTrace(trace, {&plain});
+    plain.finalize();
+
+    HardDetector instrumented("hard", HardConfig{});
+    ProvRecorder prov(HardConfig{}.granularityBytes);
+    instrumented.attachProvenance(&prov);
+    replayTrace(trace, {&instrumented});
+    instrumented.finalize();
+
+    EXPECT_EQ(plain.sink().dynamicCount(),
+              instrumented.sink().dynamicCount());
+    EXPECT_EQ(plain.sink().sites(), instrumented.sink().sites());
+    EXPECT_EQ(plain.hardStats().intersections,
+              instrumented.hardStats().intersections);
+    EXPECT_EQ(plain.hardStats().metaBroadcasts,
+              instrumented.hardStats().metaBroadcasts);
+    EXPECT_EQ(plain.hardStats().barrierResets,
+              instrumented.hardStats().barrierResets);
+    // The report stream itself is unchanged except for the provenance-
+    // filled "other" field (invalidThread without a recorder).
+    ASSERT_EQ(plain.sink().reports().size(),
+              instrumented.sink().reports().size());
+    for (std::size_t i = 0; i < plain.sink().reports().size(); ++i) {
+        const RaceReport &a = plain.sink().reports()[i];
+        const RaceReport &b = instrumented.sink().reports()[i];
+        EXPECT_EQ(a.addr, b.addr);
+        EXPECT_EQ(a.site, b.site);
+        EXPECT_EQ(a.tid, b.tid);
+        EXPECT_EQ(a.at, b.at);
+        EXPECT_EQ(a.write, b.write);
+    }
+}
+
+TEST(ExplainNeutrality, AttachedRecorderDoesNotChangeIdealVerdicts)
+{
+    Trace trace = recordRun("barnes");
+
+    IdealLocksetDetector plain("ls", IdealLocksetConfig{});
+    replayTrace(trace, {&plain});
+    plain.finalize();
+
+    IdealLocksetDetector instrumented("ls", IdealLocksetConfig{});
+    ProvRecorder prov(IdealLocksetConfig{}.granularityBytes);
+    instrumented.attachProvenance(&prov);
+    replayTrace(trace, {&instrumented});
+    instrumented.finalize();
+
+    EXPECT_EQ(plain.sink().dynamicCount(),
+              instrumented.sink().dynamicCount());
+    EXPECT_EQ(plain.sink().sites(), instrumented.sink().sites());
+}
+
+TEST(ExplainNeutrality, ClassifierSubjectMatchesAStockDetector)
+{
+    // The instrumented subject inside explainTrace must report exactly
+    // what a stock HardDetector reports on the same trace.
+    Trace trace = recordRun("fmm");
+
+    HardDetector stock("hard", HardConfig{});
+    replayTrace(trace, {&stock});
+    stock.finalize();
+    ExplainKeySet stock_keys;
+    for (const RaceReport &r : stock.sink().reports())
+        stock_keys.insert({r.addr, r.site});
+
+    ExplainResult res = explainTrace(trace, ExplainConfig{});
+    EXPECT_EQ(res.subjectKeys, stock_keys);
+    EXPECT_EQ(res.reports.size(), stock.sink().reports().size());
+}
+
+TEST(ExplainNeutrality, ExtraTraceRecorderObserverDoesNotPerturb)
+{
+    // hardsim --explain rides a TraceRecorder through the run; that
+    // extra observer must not change timing or detector results.
+    Program p1 = buildWorkload("cholesky", tinyParams());
+    HardDetector d1("hard", HardConfig{});
+    RunResult r1 =
+        runWithDetectors(p1, defaultSimConfig(), {&d1}, nullptr, {});
+
+    Program p2 = buildWorkload("cholesky", tinyParams());
+    HardDetector d2("hard", HardConfig{});
+    TraceRecorder recorder(p2);
+    RunResult r2 = runWithDetectors(p2, defaultSimConfig(), {&d2},
+                                    nullptr, {&recorder});
+
+    EXPECT_EQ(r1.totalCycles, r2.totalCycles);
+    EXPECT_EQ(r1.dataReads, r2.dataReads);
+    EXPECT_EQ(r1.dataWrites, r2.dataWrites);
+    EXPECT_EQ(d1.sink().dynamicCount(), d2.sink().dynamicCount());
+    EXPECT_EQ(d1.sink().sites(), d2.sink().sites());
+}
+
+TEST(ExplainNeutrality, ExplainOffBatchJsonIsByteIdentical)
+{
+    auto makeItem = [](bool explain) {
+        BatchItem item;
+        item.workload = "water-nsquared";
+        item.wp = tinyParams();
+        item.sim = defaultSimConfig();
+        item.factory = table2Detectors();
+        item.runs = 2;
+        item.seed0 = 500;
+        item.collectExplain = explain;
+        return item;
+    };
+
+    RunPool pool(2);
+    std::string off1 = batchJson(runBatch({makeItem(false)}, pool)).dump();
+    std::string off2 = batchJson(runBatch({makeItem(false)}, pool)).dump();
+    std::string on = batchJson(runBatch({makeItem(true)}, pool)).dump();
+
+    // Off is deterministic and carries no trace of the subsystem.
+    EXPECT_EQ(off1, off2);
+    EXPECT_EQ(off1.find("\"explain\""), std::string::npos);
+    EXPECT_EQ(off1.find("\"attribution\""), std::string::npos);
+
+    // On adds per-run blocks and the per-item aggregate — and nothing
+    // else differs in the detector verdicts.
+    EXPECT_NE(on.find("\"explain\""), std::string::npos);
+    EXPECT_NE(on.find("\"attribution\""), std::string::npos);
+    Json joff = Json::parse(off1);
+    Json jon = Json::parse(on);
+    EXPECT_EQ(jon["items"].at(0)["effectiveness"]["aggregate"].dump(),
+              joff["items"].at(0)["effectiveness"]["aggregate"].dump());
+}
+
+TEST(ExplainNeutrality, NullExplainRoundTripsThroughRunJson)
+{
+    EffectivenessRun run;
+    run.index = 3;
+    Json j = toJson(run);
+    EXPECT_FALSE(j.has("explain"));
+    EffectivenessRun back = effectivenessRunFromJson(j);
+    EXPECT_TRUE(back.explain.isNull());
+
+    run.explain = Json::object();
+    run.explain.set("extra", 1u);
+    Json j2 = toJson(run);
+    ASSERT_TRUE(j2.has("explain"));
+    EffectivenessRun back2 = effectivenessRunFromJson(j2);
+    EXPECT_EQ(back2.explain["extra"].asUint(), 1u);
+}
+
+} // namespace
+} // namespace hard

@@ -30,6 +30,8 @@
 #include "common/table.hh"
 #include "core/hybrid.hh"
 #include "detectors/fasttrack.hh"
+#include "explain/classifier.hh"
+#include "explain/explain_json.hh"
 #include "harness/batch.hh"
 #include "harness/experiment.hh"
 #include "telemetry/sampler.hh"
@@ -67,6 +69,10 @@ struct Options
     std::string traceEvents;
     std::string traceCategories;
     bool traceCategoriesSet = false;
+
+    // Provenance / divergence attribution (src/explain).
+    bool explain = false;
+    std::string explainPath;
 
     // Batch mode (parallel experiment sweeps).
     bool batch = false;
@@ -138,6 +144,13 @@ usage()
         "                            JSON timeline (load in ui.perfetto.dev)\n"
         "  --trace-categories=<csv>  mem,coherence,detector,sync,all\n"
         "                            (default: all)\n"
+        "  --explain[=FILE]          record the run's trace and replay\n"
+        "                            it through the divergence\n"
+        "                            classifier: print per-report\n"
+        "                            causal chains plus HARD-vs-exact-\n"
+        "                            lockset attribution, and with\n"
+        "                            =FILE write hard.explain.v1 JSON\n"
+        "                            (also usable with --replay)\n"
         "\n"
         "batch mode (parallel experiment sweeps):\n"
         "  --batch                   run the Table 2-style effectiveness\n"
@@ -165,6 +178,9 @@ usage()
         "                            run at any --jobs value\n"
         "  --stats-json              (batch) embed a hard.stats.v1 block\n"
         "                            per run in the --json document\n"
+        "  --explain                 (batch) embed a per-run divergence\n"
+        "                            attribution block and a per-item\n"
+        "                            aggregate in the --json document\n"
         "\n"
         "failure detection (single runs and batch):\n"
         "  --max-cycles=<n>          cycle budget per run; 0 = unlimited\n"
@@ -287,6 +303,11 @@ parse(int argc, char **argv)
         } else if (eat("--trace-categories=", v)) {
             o.traceCategories = v;
             o.traceCategoriesSet = true;
+        } else if (eat("--explain=", v)) {
+            o.explain = true;
+            o.explainPath = v;
+        } else if (std::strcmp(a, "--explain") == 0) {
+            o.explain = true;
         } else if (eat("--cores=", v)) {
             o.cores = static_cast<unsigned>(std::atoi(v.c_str()));
         } else if (eat("--l1-kb=", v)) {
@@ -438,6 +459,7 @@ runBatchMode(const Options &o)
         item.directory = o.directory;
         item.hardCfg = makeHardConfig(o);
         item.collectStats = o.statsJson;
+        item.collectExplain = o.explain;
         item.reproBase = "hardsim --workload=" + app;
         for (const std::string &arg : o.reproArgs)
             item.reproBase += " " + arg;
@@ -456,6 +478,9 @@ runBatchMode(const Options &o)
     // (and vice versa): the payloads differ.
     if (o.statsJson)
         signature += ";stats=1";
+    // Same rule for explain-bearing journals.
+    if (o.explain)
+        signature += ";explain=1";
     for (const std::string &arg : o.reproArgs)
         signature += ";" + arg;
 
@@ -621,6 +646,23 @@ printReports(const std::vector<std::unique_ptr<RaceDetector>> &dets,
     }
 }
 
+/** --explain: classify one recorded trace and emit the results. */
+void
+runExplain(const Options &o, const Trace &trace,
+           const std::string &workload)
+{
+    ExplainConfig ec;
+    ec.subject = ExplainConfig::Subject::Hard;
+    ec.hard = makeHardConfig(o);
+    ExplainResult res = explainTrace(trace, ec);
+    std::fputs("\n", stdout);
+    std::fputs(renderExplain(res, trace).c_str(), stdout);
+    if (!o.explainPath.empty()) {
+        writeJsonFile(o.explainPath, explainJson(res, trace, workload));
+        std::printf("explain written to %s\n", o.explainPath.c_str());
+    }
+}
+
 } // namespace
 
 /** Body of main(); SimErrors propagate to the wrapper below. */
@@ -647,6 +689,9 @@ run(int argc, char **argv)
         hard_fatal_if(o.statsJson && !o.statsJsonPath.empty(),
                       "batch --stats-json takes no =FILE (stats embed in "
                       "the --json document)");
+        hard_fatal_if(o.explain && !o.explainPath.empty(),
+                      "batch --explain takes no =FILE (attribution "
+                      "embeds in the --json document)");
         return runBatchMode(o);
     }
 
@@ -669,6 +714,9 @@ run(int argc, char **argv)
                   "telemetry flags are not supported with --overhead "
                   "(use --batch --overhead --stats-json --json=FILE "
                   "for overhead stats)");
+    hard_fatal_if(o.explain && o.overhead,
+                  "--explain is not supported with --overhead (it "
+                  "analyzes a recorded detector run)");
 
     WorkloadParams params;
     params.scale = o.scale;
@@ -708,6 +756,8 @@ run(int argc, char **argv)
                     trace.threadCount());
         replayTrace(trace, observers);
         printReports(dets, trace.siteNames, nullptr, nullptr);
+        if (o.explain)
+            runExplain(o, trace, "");
         return 0;
     }
 
@@ -747,7 +797,7 @@ run(int argc, char **argv)
     }
 
     std::unique_ptr<TraceRecorder> recorder;
-    if (!o.record.empty()) {
+    if (!o.record.empty() || o.explain) {
         recorder = std::make_unique<TraceRecorder>(prog);
         sys.addObserver(recorder.get());
     }
@@ -764,8 +814,11 @@ run(int argc, char **argv)
                 static_cast<unsigned long long>(res.lockAcquires),
                 static_cast<unsigned long long>(res.barrierEpisodes));
 
-    if (recorder) {
-        writeTrace(o.record, recorder->take());
+    Trace trace;
+    if (recorder)
+        trace = recorder->take();
+    if (!o.record.empty()) {
+        writeTrace(o.record, trace);
         std::printf("trace written to %s\n", o.record.c_str());
     }
 
@@ -774,6 +827,9 @@ run(int argc, char **argv)
         site_names.push_back(prog.sites.name(s));
     printReports(dets, site_names, o.inject ? &inj : nullptr,
                  o.inject ? &true_sites : nullptr);
+
+    if (o.explain)
+        runExplain(o, trace, prog.name);
 
     if (o.stats) {
         std::printf("\nmachine statistics:\n");
