@@ -1,0 +1,233 @@
+/**
+ * @file
+ * Benchmarks fast functional mode (trace-once/replay-many) against
+ * cycle-level simulation and emits the committed BENCH_fastmode.json
+ * trajectory baseline (`hard.bench.fastmode.v1`).
+ *
+ * Two measurements, both on the standard Table-2 effectiveness sweep:
+ *
+ * 1. End-to-end sweep legs — the full batch driver in cycle mode,
+ *    fast mode against an empty cache (record + store), and fast mode
+ *    against the populated cache (replay only). The three result
+ *    documents are asserted content-identical before any timing is
+ *    reported. This number is bounded by Amdahl's law: the detector
+ *    battery replays in every leg, so the sweep speedup approaches
+ *    (sim + battery) / battery as the cache warms.
+ *
+ * 2. The interleaving component — what fast mode actually eliminates.
+ *    Producing a detector-ready event stream costs a full cycle-level
+ *    simulation in cycle mode, versus a warm cache hit (map +
+ *    integrity check + streamed battery-free replay) in fast mode.
+ *    This is the order-of-magnitude win, and it is what every
+ *    additional detector config amortizes against when a campaign
+ *    reuses traces.
+ *
+ * Extra arguments on top of the common bench set:
+ *   --out=<file>    trajectory JSON path (BENCH_fastmode.json)
+ *   --cache=<dir>   trace-cache directory; WIPED before the cold leg
+ */
+
+#include <chrono>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "bench_util.hh"
+#include "trace/record.hh"
+#include "trace/replayer.hh"
+#include "trace/trace_cache.hh"
+
+using namespace hard;
+
+namespace
+{
+
+using BenchClock = std::chrono::steady_clock;
+
+double
+secondsSince(BenchClock::time_point t0)
+{
+    return std::chrono::duration<double>(BenchClock::now() - t0).count();
+}
+
+/** One timed leg of the standard sweep; returns elapsed seconds. */
+double
+runSweepLeg(const BenchOptions &opt, RunPool &pool, ExecMode mode,
+            TraceCache *cache, std::vector<BatchItemResult> *results)
+{
+    std::vector<BatchItem> items =
+        effectivenessItems(opt, table2Detectors());
+    for (BatchItem &item : items) {
+        item.mode = mode;
+        item.traceCache = cache;
+    }
+    const BenchClock::time_point t0 = BenchClock::now();
+    *results = runBatch(items, pool);
+    return secondsSince(t0);
+}
+
+Json
+legJson(double seconds, unsigned units)
+{
+    Json j = Json::object();
+    j.set("seconds", seconds);
+    j.set("runsPerSec", seconds > 0.0 ? units / seconds : 0.0);
+    return j;
+}
+
+Json
+countersJson(const TraceCache &cache)
+{
+    const TraceCache::Counters c = cache.counters();
+    Json j = Json::object();
+    j.set("hits", c.hits);
+    j.set("misses", c.misses);
+    j.set("stores", c.stores);
+    j.set("evictedCorrupt", c.evictedCorrupt);
+    j.set("evictedStale", c.evictedStale);
+    j.set("collisions", c.collisions);
+    return j;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    // Peel off the bench-specific arguments, hand the rest to the
+    // common parser.
+    std::string out = "BENCH_fastmode.json";
+    std::string cache_dir =
+        (std::filesystem::temp_directory_path() / "bench_fastmode_cache")
+            .string();
+    std::vector<char *> rest{argv[0]};
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        if (a.rfind("--out=", 0) == 0)
+            out = a.substr(6);
+        else if (a.rfind("--cache=", 0) == 0)
+            cache_dir = a.substr(8);
+        else
+            rest.push_back(argv[i]);
+    }
+    BenchOptions opt =
+        parseBenchArgs(static_cast<int>(rest.size()), rest.data());
+    printMachineHeader(
+        "Fast functional mode — trace-once/replay-many baseline", opt);
+
+    const std::vector<std::string> apps = paperApps();
+    const unsigned units =
+        static_cast<unsigned>(apps.size()) * (opt.runs + 1);
+
+    // ----------------------------------------------------------------
+    // 1. End-to-end sweep legs. The cold leg needs an empty cache.
+    std::filesystem::remove_all(cache_dir);
+    TraceCache cache(cache_dir + "/sweep");
+    RunPool pool(opt.jobs);
+
+    std::vector<BatchItemResult> cyc, cold, warm;
+    const double t_cycle =
+        runSweepLeg(opt, pool, ExecMode::Cycle, nullptr, &cyc);
+    const double t_cold =
+        runSweepLeg(opt, pool, ExecMode::Fast, &cache, &cold);
+    const double t_warm =
+        runSweepLeg(opt, pool, ExecMode::Fast, &cache, &warm);
+
+    // A speedup over different results would be meaningless: the three
+    // documents must agree bit for bit before timing is reported.
+    const std::string cyc_dump = batchJson(cyc).dump(2);
+    hard_fatal_if(cyc_dump != batchJson(cold).dump(2),
+                  "fast-mode cold leg diverged from cycle mode");
+    hard_fatal_if(cyc_dump != batchJson(warm).dump(2),
+                  "fast-mode warm leg diverged from cycle mode");
+
+    // ----------------------------------------------------------------
+    // 2. Interleaving component: cycle-level simulation vs warm cache
+    // load + battery-free replay, per application. Each replay leg is
+    // repeated to stabilize the (much smaller) timing.
+    constexpr unsigned kReplays = 3;
+    TraceCache icache(cache_dir + "/interleaving");
+    std::uint64_t events = 0;
+    double t_sim = 0.0, t_replay = 0.0;
+    for (const std::string &app : apps) {
+        Program prog = buildWorkload(app, opt.params());
+        SimConfig cfg = defaultSimConfig();
+        if (cfg.maxCycles == 0)
+            cfg.maxCycles = defaultCycleBudget(prog);
+        const TraceKey key = makeRunKey(app, opt.params(), cfg, -1);
+
+        const BenchClock::time_point s0 = BenchClock::now();
+        Trace trace = recordRun(prog, cfg);
+        t_sim += secondsSince(s0);
+        icache.store(key, trace);
+        events += trace.events.size();
+
+        // replayCached() is the production warm path (harness/batch):
+        // map + integrity-check the container, stream packed events.
+        const BenchClock::time_point r0 = BenchClock::now();
+        for (unsigned i = 0; i < kReplays; ++i) {
+            std::optional<std::size_t> n = icache.replayCached(key, {});
+            hard_fatal_if(!n, "interleaving bench: cache miss");
+        }
+        t_replay += secondsSince(r0) / kReplays;
+    }
+
+    // ----------------------------------------------------------------
+    // Report.
+    const double warm_vs_cycle = t_warm > 0.0 ? t_cycle / t_warm : 0.0;
+    const double replay_vs_sim = t_replay > 0.0 ? t_sim / t_replay : 0.0;
+
+    Table t("fast functional mode: standard sweep + interleaving "
+            "component");
+    t.setHeader({"leg", "seconds", "runs/sec"});
+    char buf[64];
+    auto row = [&](const char *name, double sec) {
+        std::snprintf(buf, sizeof buf, "%.3f", sec);
+        std::string s = buf;
+        std::snprintf(buf, sizeof buf, "%.2f", sec > 0 ? units / sec : 0);
+        t.addRow({name, s, buf});
+    };
+    row("cycle", t_cycle);
+    row("fast cold", t_cold);
+    row("fast warm", t_warm);
+    printTable(t, opt);
+    std::printf("sweep warm speedup: %.2fx (battery-bound; the oracle "
+                "detectors replay in every leg)\n"
+                "interleaving: %llu events, sim %.3fs vs warm replay "
+                "%.3fs -> %.1fx\n",
+                warm_vs_cycle, static_cast<unsigned long long>(events),
+                t_sim, t_replay, replay_vs_sim);
+
+    Json doc = Json::object();
+    doc.set("schema", "hard.bench.fastmode.v1");
+    Json wl = Json::array();
+    for (const std::string &app : apps)
+        wl.push(app);
+    doc.set("workloads", std::move(wl));
+    doc.set("runsPerWorkload", opt.runs);
+    doc.set("units", units);
+    doc.set("scale", opt.scale);
+    doc.set("jobs", opt.jobs);
+    doc.set("seed", opt.seed);
+    doc.set("cycle", legJson(t_cycle, units));
+    doc.set("fastCold", legJson(t_cold, units));
+    doc.set("fastWarm", legJson(t_warm, units));
+    Json sp = Json::object();
+    sp.set("coldVsCycle", t_cold > 0.0 ? t_cycle / t_cold : 0.0);
+    sp.set("warmVsCycle", warm_vs_cycle);
+    sp.set("replayVsSim", replay_vs_sim);
+    doc.set("speedup", std::move(sp));
+    Json il = Json::object();
+    il.set("events", events);
+    il.set("simSeconds", t_sim);
+    il.set("replaySeconds", t_replay);
+    il.set("simEventsPerSec", t_sim > 0.0 ? events / t_sim : 0.0);
+    il.set("replayEventsPerSec",
+           t_replay > 0.0 ? events / t_replay : 0.0);
+    il.set("replays", kReplays);
+    doc.set("interleaving", std::move(il));
+    doc.set("traceCache", countersJson(cache));
+    writeJsonFile(out, doc);
+    std::printf("baseline written to %s\n", out.c_str());
+    return 0;
+}

@@ -1,0 +1,85 @@
+#!/usr/bin/env bash
+# Produce and validate the fast-functional-mode baseline
+# (hard.bench.fastmode.v1, committed as BENCH_fastmode.json).
+#
+# Two stages:
+#   1. A CLI-level identity check: the same batch sweep through
+#      build/tools/hardsim in cycle mode, fast mode against an empty
+#      trace cache, and fast mode against the populated cache. The
+#      three result documents must be content-identical (fast mode adds
+#      only the "mode":"fast" marker), and the cache-stats document
+#      must pass scripts/check_telemetry.py --cache-stats.
+#   2. The timed baseline: build/bench/bench_fastmode runs the standard
+#      sweep in-process (no process-startup noise) and writes OUT,
+#      which is then validated with --bench --min-speedup MIN.
+#
+# The --min-speedup floor gates speedup.replayVsSim — the interleaving
+# component (cycle-level sim vs warm streamed replay). The end-to-end
+# sweep speedup stays battery-bound (the oracle detectors replay in
+# every leg) and is reported, not gated.
+#
+# Usage: scripts/bench_fastmode.sh [-o OUT.json] [-r RUNS] [-s SCALE]
+#                                  [-j JOBS] [-m MIN_SPEEDUP]
+#                                  [-B BUILDDIR]
+set -euo pipefail
+
+out="BENCH_fastmode.json"
+runs=10
+scale=1.0
+jobs=0
+min_speedup=10
+builddir="build"
+
+while getopts "o:r:s:j:m:B:h" opt; do
+    case "$opt" in
+        o) out="$OPTARG" ;;
+        r) runs="$OPTARG" ;;
+        s) scale="$OPTARG" ;;
+        j) jobs="$OPTARG" ;;
+        m) min_speedup="$OPTARG" ;;
+        B) builddir="$OPTARG" ;;
+        h) grep '^#' "$0" | sed 's/^# \{0,1\}//'; exit 0 ;;
+        *) exit 2 ;;
+    esac
+done
+
+hardsim="$builddir/tools/hardsim"
+bench="$builddir/bench/bench_fastmode"
+[ -x "$hardsim" ] || { echo "bench_fastmode: $hardsim not built" >&2; exit 2; }
+[ -x "$bench" ] || { echo "bench_fastmode: $bench not built" >&2; exit 2; }
+
+work="$(mktemp -d)"
+trap 'rm -rf "$work"' EXIT
+
+# ---------------------------------------------------------------------
+# 1. CLI identity: cycle vs fast-cold vs fast-warm on a small sweep.
+echo "bench_fastmode: CLI identity check (cycle vs cold vs warm)" >&2
+run_batch() {
+    local json="$1"; shift
+    "$hardsim" --batch --workload=barnes,ocean --runs=3 --scale=0.1 \
+        --jobs="$jobs" --json="$json" "$@" > /dev/null
+}
+run_batch "$work/cycle.json"
+run_batch "$work/fast-cold.json" --mode=fast --trace-cache="$work/tcache"
+run_batch "$work/fast-warm.json" --mode=fast --trace-cache="$work/tcache" \
+    --trace-cache-stats="$work/cache-stats.json"
+
+WORK="$work" python3 - <<'EOF'
+import json, os
+work = os.environ["WORK"]
+cycle = json.load(open(f"{work}/cycle.json"))
+cold = json.load(open(f"{work}/fast-cold.json"))
+warm = json.load(open(f"{work}/fast-warm.json"))
+assert cold == warm, "fast-mode cold and warm runs disagree"
+assert cold.pop("mode", None) == "fast", "fast run missing mode marker"
+assert cycle == cold, "fast-mode results diverge from cycle mode"
+print("bench_fastmode: identity holds across all three legs")
+EOF
+python3 scripts/check_telemetry.py --cache-stats "$work/cache-stats.json"
+
+# ---------------------------------------------------------------------
+# 2. Timed baseline via the in-process benchmark, then validation.
+echo "bench_fastmode: timing (runs=$runs scale=$scale jobs=$jobs)" >&2
+"$bench" --runs="$runs" --scale="$scale" --jobs="$jobs" \
+    --out="$out" --cache="$work/bench-cache"
+python3 scripts/check_telemetry.py --bench "$out" --min-speedup "$min_speedup"

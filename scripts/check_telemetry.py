@@ -19,6 +19,13 @@ Checks, using nothing but the standard library:
     schema tag, provenance-chain event vocabulary, divergence
     direction/category vocabulary, and category counts consistent
     with the divergence list
+  - a trace-cache stats document (--cache-stats): hard.stats.v1 with
+    a 'traceCache' group (no machine groups — fast mode never builds
+    a machine), non-negative counters, hit/miss bookkeeping
+  - a hard.bench.fastmode.v1 baseline (--bench [--min-speedup X]):
+    schema tag, positive timings, runs/sec and speedup ratios
+    consistent with the timings, and the interleaving-component
+    speedup (sim vs warm streamed replay) meeting the floor
 
 Exits non-zero with a per-file report on the first structural problem.
 """
@@ -200,6 +207,101 @@ def check_explain(path, expect_no_unknown):
           f"{div['extra']} extra / {div['missing']} missing attributed)")
 
 
+CACHE_COUNTERS = ("hits", "misses", "stores", "evictedCorrupt",
+                  "evictedStale", "collisions")
+
+
+def check_cache_stats(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("schema") != "hard.stats.v1":
+        fail(f"{path}: schema is {doc.get('schema')!r}, "
+             "expected 'hard.stats.v1'")
+    group = doc.get("groups", {}).get("traceCache")
+    if not isinstance(group, dict):
+        fail(f"{path}: no 'traceCache' group "
+             f"(have {sorted(doc.get('groups', {}))})")
+    counters = group.get("counters", {})
+    for name in CACHE_COUNTERS:
+        value = counters.get(name)
+        if not isinstance(value, int) or value < 0:
+            fail(f"{path}: traceCache.{name} is {value!r}")
+    lookups = counters["hits"] + counters["misses"]
+    rate = group.get("formulas", {}).get("hitRate")
+    if lookups and not (isinstance(rate, (int, float))
+                        and 0.0 <= rate <= 1.0):
+        fail(f"{path}: hitRate {rate!r} not in [0, 1]")
+    # Every eviction and collision is also counted as a miss.
+    buckets = (counters["evictedCorrupt"] + counters["evictedStale"]
+               + counters["collisions"])
+    if buckets > counters["misses"]:
+        fail(f"{path}: {buckets} evictions/collisions exceed "
+             f"{counters['misses']} misses")
+    print(f"ok: {path} (traceCache: {counters['hits']} hits, "
+          f"{counters['misses']} misses, {counters['stores']} stores)")
+
+
+def check_bench(path, min_speedup):
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("schema") != "hard.bench.fastmode.v1":
+        fail(f"{path}: schema is {doc.get('schema')!r}, "
+             "expected 'hard.bench.fastmode.v1'")
+    units = doc.get("units")
+    if not isinstance(units, int) or units <= 0:
+        fail(f"{path}: bad 'units' {units!r}")
+    for leg in ("cycle", "fastCold", "fastWarm"):
+        block = doc.get(leg)
+        if not isinstance(block, dict):
+            fail(f"{path}: missing leg {leg!r}")
+        sec = block.get("seconds")
+        rate = block.get("runsPerSec")
+        if not isinstance(sec, (int, float)) or sec <= 0:
+            fail(f"{path}: {leg}.seconds is {sec!r}")
+        if not isinstance(rate, (int, float)) or rate <= 0:
+            fail(f"{path}: {leg}.runsPerSec is {rate!r}")
+        if abs(rate - units / sec) > 0.01 * (units / sec) + 0.01:
+            fail(f"{path}: {leg}.runsPerSec {rate} inconsistent with "
+                 f"{units} units / {sec}s")
+    speedup = doc.get("speedup", {})
+    warm = speedup.get("warmVsCycle")
+    if not isinstance(warm, (int, float)) or warm <= 0:
+        fail(f"{path}: bad speedup.warmVsCycle {warm!r}")
+    ratio = doc["cycle"]["seconds"] / doc["fastWarm"]["seconds"]
+    if abs(warm - ratio) > 0.05 * ratio + 0.05:
+        fail(f"{path}: speedup.warmVsCycle {warm} inconsistent with "
+             f"timings ({ratio:.2f})")
+    il = doc.get("interleaving")
+    if not isinstance(il, dict):
+        fail(f"{path}: missing 'interleaving' block")
+    events = il.get("events")
+    sim_s = il.get("simSeconds")
+    replay_s = il.get("replaySeconds")
+    if not isinstance(events, int) or events <= 0:
+        fail(f"{path}: bad interleaving.events {events!r}")
+    for field, val in (("simSeconds", sim_s),
+                       ("replaySeconds", replay_s)):
+        if not isinstance(val, (int, float)) or val <= 0:
+            fail(f"{path}: bad interleaving.{field} {val!r}")
+    replay_vs_sim = speedup.get("replayVsSim")
+    if not isinstance(replay_vs_sim, (int, float)) or replay_vs_sim <= 0:
+        fail(f"{path}: bad speedup.replayVsSim {replay_vs_sim!r}")
+    il_ratio = sim_s / replay_s
+    if abs(replay_vs_sim - il_ratio) > 0.05 * il_ratio + 0.05:
+        fail(f"{path}: speedup.replayVsSim {replay_vs_sim} inconsistent "
+             f"with interleaving timings ({il_ratio:.2f})")
+    # The floor applies to the interleaving component: the work fast
+    # mode eliminates. The end-to-end sweep stays battery-bound (the
+    # detectors replay in every leg) and is reported, not gated.
+    if min_speedup is not None and replay_vs_sim < min_speedup:
+        fail(f"{path}: interleaving speedup {replay_vs_sim:.1f}x below "
+             f"the {min_speedup}x floor")
+    print(f"ok: {path} (hard.bench.fastmode.v1, "
+          f"interleaving {replay_vs_sim:.1f}x, "
+          f"sweep warm {warm:.2f}x / cold "
+          f"{speedup.get('coldVsCycle'):.2f}x over {units} units)")
+
+
 def check_batch(path, expect_stats, expect_explain=False):
     with open(path) as f:
         doc = json.load(f)
@@ -281,9 +383,16 @@ def main():
     ap.add_argument("--expect-no-unknown", action="store_true",
                     help="fail if any --explain divergence is "
                          "attributed to 'unknown'")
+    ap.add_argument("--cache-stats", action="append", default=[],
+                    help="trace-cache hard.stats.v1 JSON file")
+    ap.add_argument("--bench", action="append", default=[],
+                    help="hard.bench.fastmode.v1 JSON file")
+    ap.add_argument("--min-speedup", type=float, default=None,
+                    help="minimum warm-cache speedup --bench files "
+                         "must show")
     args = ap.parse_args()
     if not (args.stats or args.intervals or args.trace or args.batch
-            or args.explain):
+            or args.explain or args.cache_stats or args.bench):
         ap.error("nothing to check")
     for path in args.stats:
         check_stats(path)
@@ -295,6 +404,10 @@ def main():
         check_batch(path, args.expect_stats, args.expect_explain)
     for path in args.explain:
         check_explain(path, args.expect_no_unknown)
+    for path in args.cache_stats:
+        check_cache_stats(path)
+    for path in args.bench:
+        check_bench(path, args.min_speedup)
 
 
 if __name__ == "__main__":

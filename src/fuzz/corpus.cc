@@ -39,6 +39,37 @@ joinNames(const std::set<std::string> &names)
 
 } // namespace
 
+CorpusCase
+loadCorpusCase(const std::string &case_path)
+{
+    namespace fs = std::filesystem;
+    std::string err;
+    Json doc = Json::parse(readFileOrThrow(case_path), &err);
+    hard_throw_if(!err.empty() || !doc.isObject(), ConfigError,
+                  "corpus: %s: bad JSON: %s", case_path.c_str(),
+                  err.c_str());
+    hard_throw_if(!doc.has("schema") ||
+                      doc["schema"].asString() != "hard.fuzz.case.v1",
+                  ConfigError, "corpus: %s: not a hard.fuzz.case.v1",
+                  case_path.c_str());
+
+    CorpusCase c;
+    const Json &jc = doc["config"];
+    c.cfg.granularity =
+        static_cast<unsigned>(jc["granularity"].asUint());
+    c.cfg.bloomBits = static_cast<unsigned>(jc["bloom_bits"].asUint());
+    c.cfg.weaken = parseWeaken(jc["weaken"].asString());
+
+    const fs::path trc =
+        fs::path(case_path).parent_path() / doc["trace"].asString();
+    c.trace = readTrace(trc.string());
+
+    const Json &jx = doc["expect_violations"];
+    for (std::size_t i = 0; i < jx.size(); ++i)
+        c.expected.insert(jx.at(i).asString());
+    return c;
+}
+
 CorpusVerdict
 checkCorpusCase(const std::string &case_path)
 {
@@ -52,41 +83,17 @@ checkCorpusCase(const std::string &case_path)
         v.name.resize(v.name.size() - suffix.size());
 
     try {
-        std::string err;
-        Json doc = Json::parse(readFileOrThrow(case_path), &err);
-        hard_throw_if(!err.empty() || !doc.isObject(), ConfigError,
-                      "corpus: %s: bad JSON: %s", case_path.c_str(),
-                      err.c_str());
-        hard_throw_if(!doc.has("schema") ||
-                          doc["schema"].asString() != "hard.fuzz.case.v1",
-                      ConfigError, "corpus: %s: not a hard.fuzz.case.v1",
-                      case_path.c_str());
-
-        FuzzConfig cfg;
-        const Json &jc = doc["config"];
-        cfg.granularity =
-            static_cast<unsigned>(jc["granularity"].asUint());
-        cfg.bloomBits = static_cast<unsigned>(jc["bloom_bits"].asUint());
-        cfg.weaken = parseWeaken(jc["weaken"].asString());
-
-        const fs::path trc =
-            fs::path(case_path).parent_path() / doc["trace"].asString();
-        Trace trace = readTrace(trc.string());
-
-        std::set<std::string> expected;
-        const Json &jx = doc["expect_violations"];
-        for (std::size_t i = 0; i < jx.size(); ++i)
-            expected.insert(jx.at(i).asString());
+        const CorpusCase c = loadCorpusCase(case_path);
 
         std::set<std::string> got;
         for (const Violation &viol :
-             checkInvariants(analyzeTrace(trace, cfg)))
+             checkInvariants(analyzeTrace(c.trace, c.cfg)))
             got.insert(viol.invariant);
 
-        if (got == expected) {
+        if (got == c.expected) {
             v.ok = true;
         } else {
-            v.message = "expected violations [" + joinNames(expected) +
+            v.message = "expected violations [" + joinNames(c.expected) +
                         "] but replay produced [" + joinNames(got) + "]";
         }
     } catch (const std::exception &e) {

@@ -19,6 +19,7 @@
 #ifndef HARD_FUZZ_CORPUS_HH
 #define HARD_FUZZ_CORPUS_HH
 
+#include <set>
 #include <string>
 #include <vector>
 
@@ -36,6 +37,24 @@ struct CorpusVerdict
     /** Diagnostic when !ok. */
     std::string message;
 };
+
+/** One parsed corpus case: analysis config, trace and expectation. */
+struct CorpusCase
+{
+    FuzzConfig cfg;
+    Trace trace;
+    /** Invariant names the trace must violate (empty = must be clean). */
+    std::set<std::string> expected;
+};
+
+/**
+ * Parse one <name>.case.json (plus the trace it references, resolved
+ * relative to the case file). The single reader for the
+ * hard.fuzz.case.v1 format — the corpus checker, the explain pipeline
+ * and the tests all load cases through here.
+ * @throws ConfigError on unreadable/malformed cases.
+ */
+CorpusCase loadCorpusCase(const std::string &case_path);
 
 /**
  * Re-judge one corpus case.

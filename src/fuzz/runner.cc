@@ -8,6 +8,7 @@
 #include "harness/experiment.hh"
 #include "harness/run_pool.hh"
 #include "sim/system.hh"
+#include "trace/record.hh"
 #include "trace/recorder.hh"
 #include "trace/replayer.hh"
 
@@ -175,6 +176,49 @@ violatedNames(const std::vector<Violation> &vs)
 
 } // namespace
 
+SimConfig
+fuzzSimConfig(const Program &prog)
+{
+    SimConfig sim = defaultSimConfig();
+    // Keep one thread per core: fuzz programs are interleaving
+    // artifacts already, oversubscription adds nothing but time.
+    sim.memsys.numCores = std::max<unsigned>(
+        sim.memsys.numCores,
+        static_cast<unsigned>(prog.threads.size()));
+    if (sim.maxCycles == 0)
+        sim.maxCycles = defaultCycleBudget(prog);
+    return sim;
+}
+
+TraceKey
+fuzzTraceKey(std::uint64_t seed, const FuzzGenConfig &gen,
+             const SimConfig &sim)
+{
+    TraceKey key;
+    key.add("traceVersion",
+            static_cast<std::uint64_t>(traceFormatVersion()))
+        .add("kind", "fuzz")
+        .add("seed", seed)
+        .add("minThreads", static_cast<std::uint64_t>(gen.minThreads))
+        .add("maxThreads", static_cast<std::uint64_t>(gen.maxThreads))
+        .add("maxPhases", static_cast<std::uint64_t>(gen.maxPhases))
+        .add("maxOps", static_cast<std::uint64_t>(gen.maxOps))
+        .add("numLocks", static_cast<std::uint64_t>(gen.numLocks))
+        .add("numRegions", static_cast<std::uint64_t>(gen.numRegions))
+        .add("regionBytes", static_cast<std::uint64_t>(gen.regionBytes))
+        .add("privateBytes",
+             static_cast<std::uint64_t>(gen.privateBytes))
+        .add("maxNest", static_cast<std::uint64_t>(gen.maxNest))
+        .add("pLocked", gen.pLocked)
+        .add("pWrongRegion", gen.pWrongRegion)
+        .add("pWrite", gen.pWrite)
+        .add("pUnlockedShared", gen.pUnlockedShared)
+        .add("pBarrier", gen.pBarrier)
+        .add("pSema", gen.pSema);
+    addSimConfigFields(key, sim);
+    return key;
+}
+
 FuzzReportSet
 analyzeTrace(const Trace &trace, const FuzzConfig &cfg)
 {
@@ -195,33 +239,46 @@ runFuzzSeed(std::uint64_t seed, const FuzzOptions &opts)
     sr.seed = seed;
     try {
         Program prog = generateFuzzProgram(seed, opts.gen);
+        const SimConfig sim = fuzzSimConfig(prog);
 
-        SimConfig sim = defaultSimConfig();
-        // Keep one thread per core: fuzz programs are interleaving
-        // artifacts already, oversubscription adds nothing but time.
-        sim.memsys.numCores = std::max<unsigned>(
-            sim.memsys.numCores,
-            static_cast<unsigned>(prog.threads.size()));
-        if (sim.maxCycles == 0)
-            sim.maxCycles = defaultCycleBudget(prog);
+        Trace trace;
+        FuzzReportSet r;
+        if (opts.mode == ExecMode::Fast) {
+            // Record once (or reuse the cached recording — the key
+            // ignores the analysis config, so weaken/granularity
+            // sweeps share traces) and derive every key set from the
+            // trace alone.
+            const TraceKey key = fuzzTraceKey(seed, opts.gen, sim);
+            std::optional<Trace> cached;
+            if (opts.traceCache != nullptr)
+                cached = opts.traceCache->lookup(key);
+            if (cached) {
+                trace = std::move(*cached);
+            } else {
+                trace = recordRun(prog, sim);
+                if (opts.traceCache != nullptr)
+                    opts.traceCache->store(key, trace);
+            }
+            r = analyzeTrace(trace, opts.cfg);
+        } else {
+            FuzzBattery battery = makeFuzzBattery(opts.cfg);
+            TraceRecorder recorder(prog);
 
-        FuzzBattery battery = makeFuzzBattery(opts.cfg);
-        TraceRecorder recorder(prog);
+            System sys(sim, prog);
+            for (RaceDetector *d : battery.detectors())
+                sys.addObserver(d);
+            sys.addObserver(&recorder);
+            sys.run();
+            for (RaceDetector *d : battery.detectors())
+                d->finalize();
 
-        System sys(sim, prog);
-        for (RaceDetector *d : battery.detectors())
-            sys.addObserver(d);
-        sys.addObserver(&recorder);
-        sys.run();
-        for (RaceDetector *d : battery.detectors())
-            d->finalize();
+            trace = recorder.take();
 
-        Trace trace = recorder.take();
+            // Live detector results vs trace-replayed oracles: a
+            // recorder defect shows up here as an oracle mismatch.
+            r = collectKeys(battery, trace, opts.cfg);
+        }
         sr.events = trace.events.size();
-
-        // Live detector results vs trace-replayed oracles: a recorder
-        // defect shows up here as an oracle mismatch.
-        FuzzReportSet r = collectKeys(battery, trace, opts.cfg);
         fillDetectorKeyCounts(sr, r);
         sr.violations = checkInvariants(r);
         if (sr.violations.empty())
@@ -311,6 +368,10 @@ fuzzJson(const FuzzOptions &opts, const std::vector<SeedResult> &results)
     doc.set("schema", "hard.fuzz.v1");
 
     Json jc = Json::object();
+    // Cycle mode emits no field: cycle dumps stay byte-identical to
+    // pre-fast-mode output.
+    if (opts.mode == ExecMode::Fast)
+        jc.set("mode", "fast");
     jc.set("granularity", opts.cfg.granularity);
     jc.set("bloom_bits", opts.cfg.bloomBits);
     jc.set("weaken", weakenName(opts.cfg.weaken));

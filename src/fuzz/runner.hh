@@ -31,7 +31,9 @@
 #include "fuzz/invariants.hh"
 #include "fuzz/minimizer.hh"
 #include "fuzz/weaken.hh"
+#include "harness/experiment.hh"
 #include "trace/trace.hh"
+#include "trace/trace_cache.hh"
 
 namespace hard
 {
@@ -62,7 +64,36 @@ struct FuzzOptions
     std::size_t maxProbes = 2000;
     /** Directory for violation artifacts ("" = don't write any). */
     std::string outDir;
+    /**
+     * ExecMode::Fast records each seed's program once (or loads the
+     * recording from @ref traceCache) and derives every detector and
+     * oracle key set from the trace via analyzeTrace(), skipping the
+     * live cycle-level run. Results are identical to cycle mode
+     * (replay equivalence); only the live-vs-replayed recorder
+     * cross-check degenerates, since both sides then share the trace.
+     */
+    ExecMode mode = ExecMode::Cycle;
+    /**
+     * Recording store for fast mode (not owned; may be null). Keyed by
+     * (seed, generator shape, sim config) — deliberately NOT by the
+     * analysis config, so one recording serves sweeps across
+     * granularities, bloom widths and weaken variants.
+     */
+    TraceCache *traceCache = nullptr;
 };
+
+/**
+ * @return the SimConfig a fuzz unit simulates @p prog under: Table 1
+ * defaults widened to one core per generated thread, with the default
+ * cycle budget applied (shared by the live and fast paths, and by the
+ * tests that re-record fuzz programs).
+ */
+SimConfig fuzzSimConfig(const Program &prog);
+
+/** @return the fast-mode cache key of fuzz seed @p seed generated
+ * under @p gen and simulated under @p sim. */
+TraceKey fuzzTraceKey(std::uint64_t seed, const FuzzGenConfig &gen,
+                      const SimConfig &sim);
 
 /** The detector battery a fuzz unit drives (one fresh set per run). */
 struct FuzzBattery

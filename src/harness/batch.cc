@@ -9,7 +9,9 @@
 #include "explain/classifier.hh"
 #include "explain/explain_json.hh"
 #include "telemetry/stat_registry.hh"
+#include "trace/record.hh"
 #include "trace/recorder.hh"
+#include "trace/replayer.hh"
 
 namespace hard
 {
@@ -19,8 +21,13 @@ runEffectivenessUnit(const std::string &workload, const WorkloadParams &wp,
                      const SimConfig &sim, const DetectorFactory &factory,
                      unsigned index, unsigned num_runs,
                      std::uint64_t seed0, const SharedMap &shared,
-                     bool collect_stats, const HardConfig *explain_hard)
+                     bool collect_stats, const HardConfig *explain_hard,
+                     ExecMode mode, TraceCache *trace_cache)
 {
+    hard_throw_if(mode == ExecMode::Fast && collect_stats, ConfigError,
+                  "fast mode cannot collect per-run machine stats "
+                  "(a warm cache hit simulates no machine)");
+
     EffectivenessRun out;
     out.index = index;
     out.raceFree = index >= num_runs;
@@ -49,27 +56,76 @@ runEffectivenessUnit(const std::string &workload, const WorkloadParams &wp,
     // Finite safety net: a batch unit must end in CycleBudgetError
     // rather than hang the whole sweep, even with the watchdog off.
     // The default budget is far above any legitimate run, so healthy
-    // results are unchanged.
+    // results are unchanged. The resolved config also feeds the cache
+    // key, so a budget change re-records rather than replaying a
+    // trace from a different budget.
     SimConfig cfg = sim;
     if (cfg.maxCycles == 0)
         cfg.maxCycles = defaultCycleBudget(prog);
-    // Explain collection rides a TraceRecorder alongside the
-    // detectors; the recorder is a pure observer, so detector results
-    // are unchanged whether or not it is attached.
-    std::unique_ptr<TraceRecorder> recorder;
-    std::vector<AccessObserver *> extra;
-    if (explain_hard != nullptr) {
-        recorder = std::make_unique<TraceRecorder>(prog);
-        extra.push_back(recorder.get());
-    }
-    runWithDetectors(prog, cfg, raw,
-                     collect_stats ? &out.stats : nullptr, extra);
-    if (recorder) {
-        ExplainConfig ec;
-        ec.subject = ExplainConfig::Subject::Hard;
-        ec.hard = *explain_hard;
-        out.explain =
-            attributionJson(explainTrace(recorder->take(), ec));
+
+    if (mode == ExecMode::Fast) {
+        // Record once (or fetch the recording), then drive the
+        // detectors from the trace alone. Failed record runs throw
+        // out of here exactly like failed live runs, and are never
+        // stored.
+        const TraceKey key = makeRunKey(
+            workload, wp, cfg,
+            out.raceFree
+                ? -1
+                : static_cast<std::int64_t>(seed0 + index));
+        const std::vector<AccessObserver *> observers(raw.begin(),
+                                                      raw.end());
+        // Warm hits stream packed events straight from the mapped
+        // container into the detectors (identical dispatch, no event
+        // vector). Only the explain path needs the materialized
+        // trace, so only it goes through lookup(); a replayCached()
+        // miss already counted, so the miss path records directly
+        // without re-probing.
+        bool replayed = false;
+        if (trace_cache != nullptr && explain_hard == nullptr)
+            replayed =
+                trace_cache->replayCached(key, observers).has_value();
+        if (!replayed) {
+            Trace trace;
+            std::optional<Trace> cached;
+            if (trace_cache != nullptr && explain_hard != nullptr)
+                cached = trace_cache->lookup(key);
+            if (cached) {
+                trace = std::move(*cached);
+            } else {
+                trace = recordRun(prog, cfg);
+                if (trace_cache != nullptr)
+                    trace_cache->store(key, trace);
+            }
+            replayTrace(trace, observers);
+            if (explain_hard != nullptr) {
+                ExplainConfig ec;
+                ec.subject = ExplainConfig::Subject::Hard;
+                ec.hard = *explain_hard;
+                out.explain = attributionJson(explainTrace(trace, ec));
+            }
+        }
+        for (RaceDetector *d : raw)
+            d->finalize();
+    } else {
+        // Explain collection rides a TraceRecorder alongside the
+        // detectors; the recorder is a pure observer, so detector
+        // results are unchanged whether or not it is attached.
+        std::unique_ptr<TraceRecorder> recorder;
+        std::vector<AccessObserver *> extra;
+        if (explain_hard != nullptr) {
+            recorder = std::make_unique<TraceRecorder>(prog);
+            extra.push_back(recorder.get());
+        }
+        runWithDetectors(prog, cfg, raw,
+                         collect_stats ? &out.stats : nullptr, extra);
+        if (recorder) {
+            ExplainConfig ec;
+            ec.subject = ExplainConfig::Subject::Hard;
+            ec.hard = *explain_hard;
+            out.explain =
+                attributionJson(explainTrace(recorder->take(), ec));
+        }
     }
 
     for (auto &d : detectors) {
@@ -199,6 +255,17 @@ runBatch(const std::vector<BatchItem> &items, RunPool &pool,
                       "effectiveness runs must not enable the HARD "
                       "timing model (all detectors must see identical "
                       "executions)");
+        hard_throw_if(item.mode == ExecMode::Fast && item.overhead,
+                      ConfigError,
+                      "batch item '%s': overhead measurement needs "
+                      "cycle-level timing; --mode=fast cannot provide "
+                      "it",
+                      item.workload.c_str());
+        hard_throw_if(item.mode == ExecMode::Fast && item.collectStats,
+                      ConfigError,
+                      "batch item '%s': fast mode cannot collect "
+                      "per-run machine stats",
+                      item.workload.c_str());
     }
 
     std::vector<BatchItemResult> results(items.size());
@@ -358,7 +425,8 @@ runBatch(const std::vector<BatchItem> &items, RunPool &pool,
                                 item.runs, item.seed0,
                                 *shared[unit.item], item.collectStats,
                                 item.collectExplain ? &item.hardCfg
-                                                    : nullptr);
+                                                    : nullptr,
+                                item.mode, item.traceCache);
                     }
                 } catch (...) {
                     if (!opts.keepGoing)
@@ -565,10 +633,14 @@ effectivenessRunFromJson(const Json &j)
 }
 
 Json
-batchJson(const std::vector<BatchItemResult> &results)
+batchJson(const std::vector<BatchItemResult> &results, ExecMode mode)
 {
     Json doc = Json::object();
     doc.set("schema", "hard.batch.v2");
+    // Cycle mode emits no field at all: cycle dumps stay byte-identical
+    // to pre-fast-mode output.
+    if (mode == ExecMode::Fast)
+        doc.set("mode", "fast");
     Json items = Json::array();
     Json errors = Json::array();
 

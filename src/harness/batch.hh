@@ -28,6 +28,7 @@
 #include "harness/experiment.hh"
 #include "harness/journal.hh"
 #include "harness/run_pool.hh"
+#include "trace/trace_cache.hh"
 
 namespace hard
 {
@@ -95,6 +96,15 @@ struct EffectivenessRun
  * @param explain_hard When non-null, also record the run's trace and
  * replay it through the divergence classifier under this HARD shape,
  * filling EffectivenessRun::explain with the attribution summary.
+ * @param mode ExecMode::Fast records the run once (or loads it from
+ * @p trace_cache) and replays the trace through the detectors with no
+ * timing simulation; reports, scores and explain attributions are
+ * bit-identical to ExecMode::Cycle. Fast mode cannot collect per-run
+ * machine stats (there is no machine on a warm hit) — requesting both
+ * throws ConfigError.
+ * @param trace_cache Optional content-addressed recording store
+ * consulted/filled in fast mode; ignored in cycle mode. May be shared
+ * across workers (TraceCache is thread-safe).
  */
 EffectivenessRun runEffectivenessUnit(const std::string &workload,
                                       const WorkloadParams &wp,
@@ -105,7 +115,9 @@ EffectivenessRun runEffectivenessUnit(const std::string &workload,
                                       const SharedMap &shared,
                                       bool collect_stats = false,
                                       const HardConfig *explain_hard =
-                                          nullptr);
+                                          nullptr,
+                                      ExecMode mode = ExecMode::Cycle,
+                                      TraceCache *trace_cache = nullptr);
 
 /**
  * Fold per-run outcomes (in run-index order) into the aggregate
@@ -172,6 +184,17 @@ struct BatchItem
      * from @ref workload when empty.
      */
     std::string reproBase;
+
+    /**
+     * Execution mode for this item's effectiveness runs (overhead
+     * units always run at cycle level — they measure timing). Fast
+     * mode requires @ref collectStats off and is incompatible with
+     * @ref overhead on the same item.
+     */
+    ExecMode mode = ExecMode::Cycle;
+    /** Recording store for fast mode (not owned, may be null: fast
+     * mode then records every unit without reuse). */
+    TraceCache *traceCache = nullptr;
 };
 
 /** Results for one BatchItem, merged in run-index order. */
@@ -272,8 +295,14 @@ EffectivenessRun effectivenessRunFromJson(const Json &j);
  * listing every failed unit with its error type, message and exact
  * single-run repro command. Deliberately independent of the worker
  * count, so dumps are byte-identical for any --jobs value.
+ *
+ * @param mode The sweep's execution mode: ExecMode::Fast adds a
+ * "mode":"fast" field after the schema tag; ExecMode::Cycle (the
+ * default) emits no mode field at all, keeping cycle-mode dumps
+ * byte-identical to pre-fast-mode output.
  */
-Json batchJson(const std::vector<BatchItemResult> &results);
+Json batchJson(const std::vector<BatchItemResult> &results,
+               ExecMode mode = ExecMode::Cycle);
 
 /**
  * The batch harness's own `hard.stats.v1` document: a "harness"

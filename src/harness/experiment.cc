@@ -14,6 +14,23 @@ defaultSimConfig()
     return SimConfig{};
 }
 
+const char *
+execModeName(ExecMode mode)
+{
+    return mode == ExecMode::Fast ? "fast" : "cycle";
+}
+
+ExecMode
+parseExecMode(const std::string &name)
+{
+    if (name == "cycle")
+        return ExecMode::Cycle;
+    if (name == "fast")
+        return ExecMode::Fast;
+    throw ConfigError(
+        errfmt("unknown execution mode '%s' (cycle|fast)", name.c_str()));
+}
+
 RunResult
 runWithDetectors(const Program &prog, const SimConfig &sim,
                  const std::vector<RaceDetector *> &detectors)

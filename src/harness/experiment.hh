@@ -40,6 +40,32 @@ namespace hard
 using DetectorFactory =
     std::function<std::vector<std::unique_ptr<RaceDetector>>()>;
 
+/**
+ * How a detection run executes.
+ *
+ * Cycle: the full cycle-level simulation with detectors attached as
+ * live observers (the default, and the only mode that measures
+ * timing/overhead).
+ *
+ * Fast: record the run once at cycle level (or fetch the recording
+ * from a TraceCache) and replay the trace through the detectors only.
+ * Detectors are deterministic functions of the event stream, so fast
+ * reports are bit-identical to cycle reports
+ * (tests/test_fast_mode_identity.cc); only per-run machine stats and
+ * the HARD timing model are unavailable.
+ */
+enum class ExecMode
+{
+    Cycle,
+    Fast,
+};
+
+/** @return "cycle" | "fast". */
+const char *execModeName(ExecMode mode);
+
+/** Parse "cycle" | "fast"; throws ConfigError on anything else. */
+ExecMode parseExecMode(const std::string &name);
+
 /** Per-detector outcome of an effectiveness experiment. */
 struct DetectorScore
 {

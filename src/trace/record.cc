@@ -1,0 +1,19 @@
+#include "trace/record.hh"
+
+#include "sim/system.hh"
+#include "trace/recorder.hh"
+
+namespace hard
+{
+
+Trace
+recordRun(const Program &prog, const SimConfig &sim)
+{
+    TraceRecorder recorder(prog);
+    System sys(sim, prog);
+    sys.addObserver(&recorder);
+    sys.run();
+    return recorder.take();
+}
+
+} // namespace hard

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * recordRun(): the single cycle-level recording primitive behind fast
+ * functional mode.
+ *
+ * Fast mode's contract is that one cycle-accurate run per (program,
+ * config) is recorded once and every consumer — effectiveness units,
+ * single-run hardsim, fuzz seeds, the corpus/weaken self-tests —
+ * replays that same trace. All of them obtain the recording through
+ * this helper so the record path cannot drift between callers.
+ * Observers are pure (tests/test_observer_neutrality.cc), so a
+ * recorder-only run produces the same interleaving as a run with a
+ * detector battery attached; tests/test_fast_mode_identity.cc locks
+ * the resulting report identity end to end.
+ */
+
+#ifndef HARD_TRACE_RECORD_HH
+#define HARD_TRACE_RECORD_HH
+
+#include "sim/program.hh"
+#include "sim/sim_config.hh"
+#include "trace/trace.hh"
+
+namespace hard
+{
+
+/**
+ * Simulate @p prog once at cycle level with only a TraceRecorder
+ * attached and return the recording.
+ *
+ * @throws SimError exactly as System::run does (deadlock, cycle
+ * budget, workload misbehaviour) — failed runs yield no trace and
+ * must never be cached.
+ */
+Trace recordRun(const Program &prog, const SimConfig &sim);
+
+} // namespace hard
+
+#endif // HARD_TRACE_RECORD_HH

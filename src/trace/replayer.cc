@@ -1,77 +1,105 @@
 #include "trace/replayer.hh"
 
+#include <cstring>
+
 #include "common/logging.hh"
 
 namespace hard
 {
 
+namespace
+{
+
+/** Dispatch one decoded event exactly as the live simulation would. */
+inline void
+dispatchEvent(const TraceEvent &te,
+              const std::vector<AccessObserver *> &observers)
+{
+    switch (te.kind) {
+      case TraceKind::Read:
+      case TraceKind::Write: {
+        MemEvent ev;
+        ev.tid = te.tid;
+        ev.core = te.tid; // threads are core-bound in recordings
+        ev.addr = te.addr;
+        ev.size = te.size;
+        ev.write = te.kind == TraceKind::Write;
+        ev.site = te.site;
+        ev.at = te.at;
+        ev.outcome.stateAfter = te.stateAfter;
+        ev.outcome.sharers = te.sharers;
+        for (AccessObserver *obs : observers) {
+            if (ev.write)
+                obs->onWrite(ev);
+            else
+                obs->onRead(ev);
+        }
+        break;
+      }
+      case TraceKind::LockAcquire:
+      case TraceKind::LockRelease:
+      case TraceKind::SemaPost:
+      case TraceKind::SemaWait: {
+        SyncEvent ev{te.tid, te.tid, te.addr, te.site, te.at};
+        for (AccessObserver *obs : observers) {
+            switch (te.kind) {
+              case TraceKind::LockAcquire:
+                obs->onLockAcquire(ev);
+                break;
+              case TraceKind::LockRelease:
+                obs->onLockRelease(ev);
+                break;
+              case TraceKind::SemaPost:
+                obs->onSemaPost(ev);
+                break;
+              default:
+                obs->onSemaWait(ev);
+                break;
+            }
+        }
+        break;
+      }
+      case TraceKind::Barrier: {
+        BarrierEvent ev{te.addr, te.episode, te.at,
+                        te.participants};
+        for (AccessObserver *obs : observers)
+            obs->onBarrier(ev);
+        break;
+      }
+      case TraceKind::ThreadEnd:
+        for (AccessObserver *obs : observers)
+            obs->onThreadEnd(te.tid, te.at);
+        break;
+      case TraceKind::LineEvicted:
+        for (AccessObserver *obs : observers)
+            obs->onLineEvicted(te.addr, te.at);
+        break;
+    }
+}
+
+} // namespace
+
 std::size_t
 replayTrace(const Trace &trace,
             const std::vector<AccessObserver *> &observers)
 {
-    for (const TraceEvent &te : trace.events) {
-        switch (te.kind) {
-          case TraceKind::Read:
-          case TraceKind::Write: {
-            MemEvent ev;
-            ev.tid = te.tid;
-            ev.core = te.tid; // threads are core-bound in recordings
-            ev.addr = te.addr;
-            ev.size = te.size;
-            ev.write = te.kind == TraceKind::Write;
-            ev.site = te.site;
-            ev.at = te.at;
-            ev.outcome.stateAfter = te.stateAfter;
-            ev.outcome.sharers = te.sharers;
-            for (AccessObserver *obs : observers) {
-                if (ev.write)
-                    obs->onWrite(ev);
-                else
-                    obs->onRead(ev);
-            }
-            break;
-          }
-          case TraceKind::LockAcquire:
-          case TraceKind::LockRelease:
-          case TraceKind::SemaPost:
-          case TraceKind::SemaWait: {
-            SyncEvent ev{te.tid, te.tid, te.addr, te.site, te.at};
-            for (AccessObserver *obs : observers) {
-                switch (te.kind) {
-                  case TraceKind::LockAcquire:
-                    obs->onLockAcquire(ev);
-                    break;
-                  case TraceKind::LockRelease:
-                    obs->onLockRelease(ev);
-                    break;
-                  case TraceKind::SemaPost:
-                    obs->onSemaPost(ev);
-                    break;
-                  default:
-                    obs->onSemaWait(ev);
-                    break;
-                }
-            }
-            break;
-          }
-          case TraceKind::Barrier: {
-            BarrierEvent ev{te.addr, te.episode, te.at,
-                            te.participants};
-            for (AccessObserver *obs : observers)
-                obs->onBarrier(ev);
-            break;
-          }
-          case TraceKind::ThreadEnd:
-            for (AccessObserver *obs : observers)
-                obs->onThreadEnd(te.tid, te.at);
-            break;
-          case TraceKind::LineEvicted:
-            for (AccessObserver *obs : observers)
-                obs->onLineEvicted(te.addr, te.at);
-            break;
-        }
-    }
+    for (const TraceEvent &te : trace.events)
+        dispatchEvent(te, observers);
     return trace.events.size();
+}
+
+std::size_t
+replayPacked(const PackedTraceView &view,
+             const std::vector<AccessObserver *> &observers)
+{
+    // Records may sit unaligned after the variable-length site table;
+    // the per-record memcpy keeps the loads well-defined.
+    for (std::uint64_t i = 0; i < view.nevents; ++i) {
+        TraceEvent::Packed p;
+        std::memcpy(&p, view.records + i * sizeof(p), sizeof(p));
+        dispatchEvent(TraceEvent::unpack(p), observers);
+    }
+    return view.nevents;
 }
 
 } // namespace hard

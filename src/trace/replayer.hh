@@ -24,6 +24,18 @@ namespace hard
 std::size_t replayTrace(const Trace &trace,
                         const std::vector<AccessObserver *> &observers);
 
+/**
+ * Replay a validated packed event stream (trace.hh, openPackedTrace)
+ * into @p observers, decoding each record in place. Dispatch order and
+ * content are identical to replayTrace() on the deserialized trace —
+ * the warm cache path uses this to skip materializing the event
+ * vector entirely.
+ *
+ * @return the number of events replayed.
+ */
+std::size_t replayPacked(const PackedTraceView &view,
+                         const std::vector<AccessObserver *> &observers);
+
 } // namespace hard
 
 #endif // HARD_TRACE_REPLAYER_HH

@@ -1,7 +1,9 @@
 #include "trace/trace.hh"
 
+#include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <iterator>
 #include <set>
 
 #include "common/logging.hh"
@@ -99,32 +101,146 @@ Trace::threadCount() const
     return static_cast<unsigned>(tids.size());
 }
 
+std::uint32_t
+traceFormatVersion()
+{
+    return kVersion;
+}
+
+std::string
+serializeTrace(const Trace &trace)
+{
+    std::string out;
+    auto raw = [&](const void *p, std::size_t n) {
+        out.append(static_cast<const char *>(p), n);
+    };
+    raw(kMagic, sizeof(kMagic));
+    std::uint32_t version = kVersion;
+    raw(&version, sizeof(version));
+
+    std::uint32_t nsites =
+        static_cast<std::uint32_t>(trace.siteNames.size());
+    raw(&nsites, sizeof(nsites));
+    for (const std::string &name : trace.siteNames) {
+        std::uint32_t len = static_cast<std::uint32_t>(name.size());
+        raw(&len, sizeof(len));
+        raw(name.data(), len);
+    }
+
+    std::uint64_t nevents = trace.events.size();
+    raw(&nevents, sizeof(nevents));
+    for (const TraceEvent &ev : trace.events) {
+        TraceEvent::Packed p = ev.pack();
+        raw(&p, sizeof(p));
+    }
+    return out;
+}
+
+bool
+openPackedTrace(std::string_view bytes, PackedTraceView *out,
+                std::string *err, std::uint32_t *version_out)
+{
+    std::size_t pos = 0;
+    auto fail = [&](const std::string &why) {
+        if (err)
+            *err = why;
+        return false;
+    };
+    auto raw = [&](void *p, std::size_t n) {
+        if (bytes.size() - pos < n)
+            return false;
+        std::memcpy(p, bytes.data() + pos, n);
+        pos += n;
+        return true;
+    };
+
+    char magic[8];
+    if (!raw(magic, sizeof(magic)) ||
+        std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
+        return fail("not a HARD trace");
+
+    std::uint32_t version = 0;
+    if (!raw(&version, sizeof(version)))
+        return fail("truncated in header");
+    if (version_out)
+        *version_out = version;
+    if (version != kVersion) {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "unsupported version %u",
+                      version);
+        return fail(buf);
+    }
+
+    PackedTraceView view;
+    std::uint32_t nsites = 0;
+    if (!raw(&nsites, sizeof(nsites)))
+        return fail("truncated in site table");
+    for (std::uint32_t i = 0; i < nsites; ++i) {
+        std::uint32_t len = 0;
+        if (!raw(&len, sizeof(len)) || len > 4096)
+            return fail("corrupt site name length");
+        std::string name(len, '\0');
+        if (!raw(name.data(), len))
+            return fail("truncated in site table");
+        view.siteNames.push_back(std::move(name));
+    }
+
+    std::uint64_t nevents = 0;
+    if (!raw(&nevents, sizeof(nevents)))
+        return fail("truncated before events");
+    if ((bytes.size() - pos) / sizeof(TraceEvent::Packed) < nevents)
+        return fail("truncated at event stream");
+    if (bytes.size() - pos != nevents * sizeof(TraceEvent::Packed))
+        return fail("trailing bytes past declared event count");
+    // Pre-validate every record's kind (the first byte) in one strided
+    // scan, so consumers of the view can decode without per-event
+    // checks — and so a corrupt entry is rejected before a streaming
+    // replay has dispatched half its events into live detectors.
+    const char *rec = bytes.data() + pos;
+    for (std::uint64_t i = 0; i < nevents; ++i)
+        if (static_cast<std::uint8_t>(
+                rec[i * sizeof(TraceEvent::Packed)]) >
+            static_cast<std::uint8_t>(TraceKind::LineEvicted))
+            return fail("corrupt event kind");
+    view.records = rec;
+    view.nevents = nevents;
+    *out = std::move(view);
+    return true;
+}
+
+bool
+deserializeTrace(std::string_view bytes, Trace *out, std::string *err,
+                 std::uint32_t *version_out)
+{
+    PackedTraceView view;
+    if (!openPackedTrace(bytes, &view, err, version_out))
+        return false;
+    Trace trace;
+    trace.siteNames = std::move(view.siteNames);
+    // Bulk-decode the fixed-width record array: openPackedTrace()
+    // validated the whole stream, so the loop needs no per-event
+    // tests. The variable-length site table means records may sit
+    // unaligned — the per-record memcpy keeps the 64-bit loads
+    // well-defined and compiles to plain unaligned moves.
+    trace.events.resize(view.nevents);
+    for (std::uint64_t i = 0; i < view.nevents; ++i) {
+        TraceEvent::Packed p;
+        std::memcpy(&p, view.records + i * sizeof(p), sizeof(p));
+        trace.events[i] = TraceEvent::unpack(p);
+    }
+    *out = std::move(trace);
+    return true;
+}
+
 void
 writeTrace(const std::string &path, const Trace &trace)
 {
     std::ofstream out(path, std::ios::binary | std::ios::trunc);
     hard_fatal_if(!out, "trace: cannot open '%s' for writing",
                   path.c_str());
-
-    out.write(kMagic, sizeof(kMagic));
-    std::uint32_t version = kVersion;
-    out.write(reinterpret_cast<const char *>(&version), sizeof(version));
-
-    std::uint32_t nsites =
-        static_cast<std::uint32_t>(trace.siteNames.size());
-    out.write(reinterpret_cast<const char *>(&nsites), sizeof(nsites));
-    for (const std::string &name : trace.siteNames) {
-        std::uint32_t len = static_cast<std::uint32_t>(name.size());
-        out.write(reinterpret_cast<const char *>(&len), sizeof(len));
-        out.write(name.data(), len);
-    }
-
-    std::uint64_t nevents = trace.events.size();
-    out.write(reinterpret_cast<const char *>(&nevents), sizeof(nevents));
-    for (const TraceEvent &ev : trace.events) {
-        TraceEvent::Packed p = ev.pack();
-        out.write(reinterpret_cast<const char *>(&p), sizeof(p));
-    }
+    const std::string bytes = serializeTrace(trace);
+    out.write(bytes.data(),
+              static_cast<std::streamsize>(bytes.size()));
     out.flush();
     hard_fatal_if(!out, "trace: write to '%s' failed", path.c_str());
 }
@@ -134,49 +250,13 @@ readTrace(const std::string &path)
 {
     std::ifstream in(path, std::ios::binary);
     hard_fatal_if(!in, "trace: cannot open '%s'", path.c_str());
-
-    char magic[8];
-    in.read(magic, sizeof(magic));
-    hard_fatal_if(!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0,
-                  "trace: '%s' is not a HARD trace", path.c_str());
-
-    std::uint32_t version = 0;
-    in.read(reinterpret_cast<char *>(&version), sizeof(version));
-    hard_fatal_if(!in || version != kVersion,
-                  "trace: '%s' has unsupported version %u", path.c_str(),
-                  version);
-
+    std::string bytes((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    hard_fatal_if(in.bad(), "trace: read from '%s' failed", path.c_str());
     Trace trace;
-    std::uint32_t nsites = 0;
-    in.read(reinterpret_cast<char *>(&nsites), sizeof(nsites));
-    hard_fatal_if(!in, "trace: '%s' truncated in site table",
-                  path.c_str());
-    for (std::uint32_t i = 0; i < nsites; ++i) {
-        std::uint32_t len = 0;
-        in.read(reinterpret_cast<char *>(&len), sizeof(len));
-        hard_fatal_if(!in || len > 4096,
-                      "trace: '%s' corrupt site name length",
-                      path.c_str());
-        std::string name(len, '\0');
-        in.read(name.data(), len);
-        hard_fatal_if(!in, "trace: '%s' truncated in site table",
-                      path.c_str());
-        trace.siteNames.push_back(std::move(name));
-    }
-
-    std::uint64_t nevents = 0;
-    in.read(reinterpret_cast<char *>(&nevents), sizeof(nevents));
-    hard_fatal_if(!in, "trace: '%s' truncated before events",
-                  path.c_str());
-    trace.events.reserve(nevents);
-    for (std::uint64_t i = 0; i < nevents; ++i) {
-        TraceEvent::Packed p;
-        in.read(reinterpret_cast<char *>(&p), sizeof(p));
-        hard_fatal_if(!in, "trace: '%s' truncated at event %llu of %llu",
-                      path.c_str(), static_cast<unsigned long long>(i),
-                      static_cast<unsigned long long>(nevents));
-        trace.events.push_back(TraceEvent::unpack(p));
-    }
+    std::string err;
+    hard_fatal_if(!deserializeTrace(bytes, &trace, &err),
+                  "trace: '%s': %s", path.c_str(), err.c_str());
     return trace;
 }
 

@@ -24,6 +24,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/site.hh"
@@ -97,6 +98,61 @@ struct Trace
     /** @return the number of distinct threads seen in the trace. */
     unsigned threadCount() const;
 };
+
+/** @return the current on-disk trace format version (header field). */
+std::uint32_t traceFormatVersion();
+
+/** @return @p trace serialized into the exact on-disk byte layout. */
+std::string serializeTrace(const Trace &trace);
+
+/**
+ * Fully validated view over a serialized trace whose event records are
+ * still in their packed on-disk form. The warm cache path replays
+ * straight from this view (trace/replayer.hh, replayPacked) instead of
+ * materializing a vector of ~2x-larger TraceEvents it would read once
+ * and throw away.
+ *
+ * @p records aliases the bytes handed to openPackedTrace(); the view
+ * is valid only while those bytes are.
+ */
+struct PackedTraceView
+{
+    std::vector<std::string> siteNames;
+    /** nevents consecutive TraceEvent::Packed records. */
+    const char *records = nullptr;
+    std::uint64_t nevents = 0;
+};
+
+/**
+ * Validate a serialized trace and expose its packed event stream
+ * without decoding it.
+ *
+ * Every structural defect — bad magic, unsupported version, truncation
+ * anywhere, corrupt event kinds, trailing garbage past the declared
+ * event count — is reported through @p err instead of fatal(), so
+ * callers holding untrusted bytes (the trace cache) can recover. On
+ * success the whole stream is verified: consumers may decode the
+ * records without further checks.
+ *
+ * @param out Filled only on success; aliases @p bytes.
+ * @param err Human-readable failure description (set on failure).
+ * @param version_out When non-null, receives the header's version
+ * field even on version-mismatch failures (so callers can distinguish
+ * "stale format" from "corrupt").
+ * @return true on success.
+ */
+bool openPackedTrace(std::string_view bytes, PackedTraceView *out,
+                     std::string *err,
+                     std::uint32_t *version_out = nullptr);
+
+/**
+ * Decode a serialized trace without terminating on malformed input;
+ * same validation and error contract as openPackedTrace(), with the
+ * events materialized into @p out.
+ */
+bool deserializeTrace(std::string_view bytes, Trace *out,
+                      std::string *err,
+                      std::uint32_t *version_out = nullptr);
 
 /**
  * Write @p trace to @p path; fatal() on I/O errors.

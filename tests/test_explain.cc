@@ -11,18 +11,17 @@
 
 #include <gtest/gtest.h>
 
-#include <fstream>
-#include <sstream>
 #include <string>
 
 #include "core/hard_detector.hh"
 #include "explain/classifier.hh"
 #include "explain/explain_json.hh"
 #include "explain/prov.hh"
+#include "fuzz/corpus.hh"
 #include "fuzz/explain_case.hh"
 #include "fuzz/runner.hh"
 #include "harness/experiment.hh"
-#include "trace/recorder.hh"
+#include "replay_test_util.hh"
 #include "trace/trace.hh"
 
 namespace hard
@@ -368,30 +367,12 @@ TEST(ExplainJson, DocumentCarriesSchemaChainsAndFullCategoryVocabulary)
 // ---------------------------------------------------------------------
 // Corpus replay: weakened cases must name the sabotaged mechanism
 
-FuzzConfig
-corpusConfig(const std::string &case_path)
-{
-    std::ifstream in(case_path);
-    std::stringstream ss;
-    ss << in.rdbuf();
-    std::string err;
-    Json doc = Json::parse(ss.str(), &err);
-    EXPECT_TRUE(err.empty()) << case_path << ": " << err;
-    const Json &jc = doc["config"];
-    FuzzConfig cfg;
-    cfg.granularity = static_cast<unsigned>(jc["granularity"].asUint());
-    cfg.bloomBits = static_cast<unsigned>(jc["bloom_bits"].asUint());
-    cfg.weaken = parseWeaken(jc["weaken"].asString());
-    return cfg;
-}
-
 Json
 corpusExplain(const std::string &stem)
 {
     const std::string dir = HARD_CORPUS_DIR;
-    FuzzConfig cfg = corpusConfig(dir + "/" + stem + ".case.json");
-    Trace trace = readTrace(dir + "/" + stem + ".trc");
-    return explainFuzzCase(trace, cfg);
+    const CorpusCase c = loadCorpusCase(dir + "/" + stem + ".case.json");
+    return explainFuzzCase(c.trace, c.cfg);
 }
 
 TEST(CorpusExplain, DeafHardCaseAttributesToBloomAliasing)
@@ -439,10 +420,7 @@ TEST_P(ExplainWorkloads, EveryDivergenceIsAttributedOnTheDefaultConfig)
 {
     WorkloadParams wp;
     wp.scale = 0.1;
-    Program prog = buildWorkload(GetParam(), wp);
-    TraceRecorder recorder(prog);
-    runWithDetectors(prog, defaultSimConfig(), {}, nullptr, {&recorder});
-    Trace trace = recorder.take();
+    Trace trace = recordWorkloadTrace(GetParam(), wp, defaultSimConfig());
 
     // Table 6 default HARD: 16-bit BFVector, 32B granules, 1MB
     // metadata — exactly HardConfig's defaults.

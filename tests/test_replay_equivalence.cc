@@ -13,9 +13,9 @@
 
 #include "detector_test_util.hh"
 #include "fuzz/runner.hh"
+#include "replay_test_util.hh"
 #include "sim/system.hh"
 #include "trace/recorder.hh"
-#include "trace/replayer.hh"
 #include "workloads/registry.hh"
 
 namespace hard
@@ -48,13 +48,7 @@ TEST_P(ReplayEquivalence, EveryDetectorMatchesLiveRun)
     Trace trace = recorder.take();
     ASSERT_FALSE(trace.events.empty());
 
-    FuzzBattery off = makeFuzzBattery(cfg);
-    std::vector<AccessObserver *> obs;
-    for (RaceDetector *d : off.detectors())
-        obs.push_back(d);
-    replayTrace(trace, obs);
-    for (RaceDetector *d : off.detectors())
-        d->finalize();
+    FuzzBattery off = replayThroughBattery(trace, cfg);
 
     const std::vector<RaceDetector *> lives = live.detectors();
     const std::vector<RaceDetector *> offs = off.detectors();

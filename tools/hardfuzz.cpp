@@ -20,6 +20,7 @@
 
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -69,6 +70,16 @@ usage()
         "  --p-sema=<0..1>        probability a phase opens with a\n"
         "                         semaphore hand-off (0.35)\n"
         "\n"
+        "fast functional mode:\n"
+        "  --mode=<cycle|fast>    fast records each seed's program once\n"
+        "                         and derives every detector/oracle key\n"
+        "                         set by trace replay (identical results,\n"
+        "                         no timing simulation)\n"
+        "  --trace-cache=<dir>    content-addressed recording store for\n"
+        "                         fast mode; recordings are keyed by\n"
+        "                         (seed, generator shape, sim config) and\n"
+        "                         shared across analysis sweeps\n"
+        "\n"
         "other modes:\n"
         "  --corpus=<dir>         re-judge every committed corpus case\n"
         "  --list-invariants      print the checked invariants and exit\n"
@@ -82,6 +93,8 @@ struct Cli
     std::string seedSpec = "0..19";
     std::string jsonPath;
     std::string corpusDir;
+    std::string modeName = "cycle";
+    std::string traceCacheDir;
     bool listInvariants = false;
 };
 
@@ -159,7 +172,9 @@ parseArgs(int argc, char **argv)
         } else if (eat(i, "--seeds", cli.seedSpec) ||
                    eat(i, "--json", cli.jsonPath) ||
                    eat(i, "--out-dir", cli.opts.outDir) ||
-                   eat(i, "--corpus", cli.corpusDir)) {
+                   eat(i, "--corpus", cli.corpusDir) ||
+                   eat(i, "--mode", cli.modeName) ||
+                   eat(i, "--trace-cache", cli.traceCacheDir)) {
             // handled
         } else if (eatUnsigned(i, "--jobs", cli.opts.jobs) ||
                    eatUnsigned(i, "--granularity",
@@ -229,6 +244,14 @@ int
 runSweep(Cli &cli)
 {
     cli.opts.seeds = parseSeedSpec(cli.seedSpec);
+    cli.opts.mode = parseExecMode(cli.modeName);
+    if (!cli.traceCacheDir.empty() && cli.opts.mode != ExecMode::Fast)
+        throw ConfigError("--trace-cache requires --mode=fast");
+    std::unique_ptr<TraceCache> cache;
+    if (!cli.traceCacheDir.empty()) {
+        cache = std::make_unique<TraceCache>(cli.traceCacheDir);
+        cli.opts.traceCache = cache.get();
+    }
     // Surface analysis-config typos once, up front, instead of as N
     // identical per-seed failures.
     makeFuzzBattery(cli.opts.cfg);
@@ -266,6 +289,15 @@ runSweep(Cli &cli)
         results.size(), static_cast<unsigned long long>(ok),
         static_cast<unsigned long long>(violations),
         static_cast<unsigned long long>(failed));
+
+    if (cache) {
+        const TraceCache::Counters c = cache->counters();
+        std::printf("trace cache: %llu hit(s), %llu miss(es), "
+                    "%llu store(s)\n",
+                    static_cast<unsigned long long>(c.hits),
+                    static_cast<unsigned long long>(c.misses),
+                    static_cast<unsigned long long>(c.stores));
+    }
 
     if (!cli.jsonPath.empty())
         writeJsonFile(cli.jsonPath, fuzzJson(cli.opts, results));

@@ -17,6 +17,7 @@
  *   hardsim --replay=/tmp/run.trc --detectors=hard
  *   hardsim --batch --jobs=4 --json=out.json          (Table 2 sweep)
  *   hardsim --batch --overhead --runs=10 --json=all.json
+ *   hardsim --batch --mode=fast --trace-cache=/tmp/tc --json=out.json
  *   hardsim --list
  */
 
@@ -36,8 +37,10 @@
 #include "harness/experiment.hh"
 #include "telemetry/sampler.hh"
 #include "telemetry/trace_event.hh"
+#include "trace/record.hh"
 #include "trace/recorder.hh"
 #include "trace/replayer.hh"
+#include "trace/trace_cache.hh"
 
 using namespace hard;
 
@@ -73,6 +76,11 @@ struct Options
     // Provenance / divergence attribution (src/explain).
     bool explain = false;
     std::string explainPath;
+
+    // Fast functional mode (trace-once/replay-many detection).
+    std::string modeName = "cycle";
+    std::string traceCacheDir;
+    std::string traceCacheStatsPath;
 
     // Batch mode (parallel experiment sweeps).
     bool batch = false;
@@ -151,6 +159,19 @@ usage()
         "                            lockset attribution, and with\n"
         "                            =FILE write hard.explain.v1 JSON\n"
         "                            (also usable with --replay)\n"
+        "\n"
+        "fast functional mode (single runs and batch):\n"
+        "  --mode=fast|cycle         fast: record each run once at cycle\n"
+        "                            level (or fetch the recording from\n"
+        "                            the trace cache) and replay it\n"
+        "                            through the detectors only — same\n"
+        "                            reports, no timing simulation;\n"
+        "                            cycle (default): full simulation\n"
+        "  --trace-cache=<dir>       content-addressed recording store\n"
+        "                            for --mode=fast, shared across\n"
+        "                            invocations and --jobs workers\n"
+        "  --trace-cache-stats=<file> write the cache's hit/miss/store/\n"
+        "                            eviction counters (hard.stats.v1)\n"
         "\n"
         "batch mode (parallel experiment sweeps):\n"
         "  --batch                   run the Table 2-style effectiveness\n"
@@ -308,6 +329,12 @@ parse(int argc, char **argv)
             o.explainPath = v;
         } else if (std::strcmp(a, "--explain") == 0) {
             o.explain = true;
+        } else if (eat("--mode=", v)) {
+            o.modeName = v;
+        } else if (eat("--trace-cache=", v)) {
+            o.traceCacheDir = v;
+        } else if (eat("--trace-cache-stats=", v)) {
+            o.traceCacheStatsPath = v;
         } else if (eat("--cores=", v)) {
             o.cores = static_cast<unsigned>(std::atoi(v.c_str()));
         } else if (eat("--l1-kb=", v)) {
@@ -415,7 +442,7 @@ makeDetectors(const Options &o)
  * per-run results as JSON.
  */
 int
-runBatchMode(const Options &o)
+runBatchMode(const Options &o, ExecMode mode, TraceCache *cache)
 {
     WorkloadParams params;
     params.scale = o.scale;
@@ -460,6 +487,8 @@ runBatchMode(const Options &o)
         item.hardCfg = makeHardConfig(o);
         item.collectStats = o.statsJson;
         item.collectExplain = o.explain;
+        item.mode = mode;
+        item.traceCache = cache;
         item.reproBase = "hardsim --workload=" + app;
         for (const std::string &arg : o.reproArgs)
             item.reproBase += " " + arg;
@@ -481,6 +510,12 @@ runBatchMode(const Options &o)
     // Same rule for explain-bearing journals.
     if (o.explain)
         signature += ";explain=1";
+    // Fast-mode journals are unit-for-unit interchangeable with cycle
+    // journals (identical payloads), but the mode is part of what the
+    // sweep *was*; cycle sweeps omit the field so their signatures are
+    // byte-identical to pre-fast-mode ones.
+    if (mode == ExecMode::Fast)
+        signature += ";mode=fast";
     for (const std::string &arg : o.reproArgs)
         signature += ";" + arg;
 
@@ -603,13 +638,31 @@ runBatchMode(const Options &o)
                     skipped);
 
     if (!o.jsonPath.empty()) {
-        Json doc = batchJson(results);
+        Json doc = batchJson(results, mode);
         // Stats-collecting sweeps also carry the harness's own group;
         // stats-off dumps stay byte-identical to pre-telemetry output.
         if (o.statsJson)
             doc.set("harnessStats", harnessStatsJson(results));
         writeJsonFile(o.jsonPath, doc);
         std::printf("\nresults written to %s\n", o.jsonPath.c_str());
+    }
+
+    if (cache != nullptr) {
+        const TraceCache::Counters c = cache->counters();
+        std::printf("\ntrace cache %s: %llu hit(s), %llu miss(es), "
+                    "%llu store(s), %llu corrupt + %llu stale "
+                    "eviction(s)\n",
+                    cache->dir().c_str(),
+                    static_cast<unsigned long long>(c.hits),
+                    static_cast<unsigned long long>(c.misses),
+                    static_cast<unsigned long long>(c.stores),
+                    static_cast<unsigned long long>(c.evictedCorrupt),
+                    static_cast<unsigned long long>(c.evictedStale));
+    }
+    if (!o.traceCacheStatsPath.empty()) {
+        writeJsonFile(o.traceCacheStatsPath, cache->statsJson());
+        std::printf("trace-cache stats written to %s\n",
+                    o.traceCacheStatsPath.c_str());
     }
     return skipped != 0 ? 1 : 0;
 }
@@ -681,6 +734,32 @@ run(int argc, char **argv)
         return 0;
     }
 
+    // Fast functional mode: record-once/replay-many detection.
+    const ExecMode mode = parseExecMode(o.modeName);
+    hard_fatal_if((!o.traceCacheDir.empty() ||
+                   !o.traceCacheStatsPath.empty()) &&
+                      mode != ExecMode::Fast,
+                  "--trace-cache/--trace-cache-stats require "
+                  "--mode=fast");
+    hard_fatal_if(!o.traceCacheStatsPath.empty() &&
+                      o.traceCacheDir.empty(),
+                  "--trace-cache-stats requires --trace-cache=DIR");
+    hard_fatal_if(mode == ExecMode::Fast && o.overhead,
+                  "--mode=fast cannot measure overhead (Figure 8 needs "
+                  "cycle-level timing; use --mode=cycle)");
+    hard_fatal_if(mode == ExecMode::Fast &&
+                      (!o.record.empty() || !o.replay.empty()),
+                  "--mode=fast manages its own recordings; --record/"
+                  "--replay are cycle-mode flags");
+    hard_fatal_if(mode == ExecMode::Fast &&
+                      (o.stats || o.statsJson || o.statsInterval != 0 ||
+                       !o.traceEvents.empty()),
+                  "--mode=fast simulates no machine on a cache hit; "
+                  "machine stats and telemetry need --mode=cycle");
+    std::unique_ptr<TraceCache> cache;
+    if (!o.traceCacheDir.empty())
+        cache = std::make_unique<TraceCache>(o.traceCacheDir);
+
     if (o.batch) {
         hard_fatal_if(o.statsInterval != 0 || !o.traceEvents.empty() ||
                           !o.intervalsPath.empty(),
@@ -692,7 +771,7 @@ run(int argc, char **argv)
         hard_fatal_if(o.explain && !o.explainPath.empty(),
                       "batch --explain takes no =FILE (attribution "
                       "embeds in the --json document)");
-        return runBatchMode(o);
+        return runBatchMode(o, mode, cache.get());
     }
 
     // Single-run telemetry: validate the flag combinations up front.
@@ -773,6 +852,45 @@ run(int argc, char **argv)
                     "#%zu (lock %llx, thread %u)\n",
                     inj.dynamicIndex,
                     static_cast<unsigned long long>(inj.lock), inj.tid);
+    }
+
+    if (mode == ExecMode::Fast) {
+        // Record once (or fetch the recording) and drive the
+        // detectors from the trace alone; reports are bit-identical
+        // to the cycle-mode run below.
+        const SimConfig cfg = makeSimConfig(o);
+        const TraceKey key = makeRunKey(
+            o.workload, params, cfg,
+            o.inject ? static_cast<std::int64_t>(o.injectSeed) : -1);
+        Trace trace;
+        bool hit = false;
+        if (cache) {
+            std::optional<Trace> cached = cache->lookup(key);
+            if (cached) {
+                trace = std::move(*cached);
+                hit = true;
+            }
+        }
+        if (!hit) {
+            trace = recordRun(prog, cfg);
+            if (cache)
+                cache->store(key, trace);
+        }
+        std::printf("%s: fast mode (%s): %zu events, %u threads\n",
+                    prog.name.c_str(),
+                    hit ? "cache hit" : "recorded", trace.events.size(),
+                    trace.threadCount());
+        replayTrace(trace, observers);
+        printReports(dets, trace.siteNames, o.inject ? &inj : nullptr,
+                     o.inject ? &true_sites : nullptr);
+        if (o.explain)
+            runExplain(o, trace, prog.name);
+        if (!o.traceCacheStatsPath.empty()) {
+            writeJsonFile(o.traceCacheStatsPath, cache->statsJson());
+            std::printf("trace-cache stats written to %s\n",
+                        o.traceCacheStatsPath.c_str());
+        }
+        return 0;
     }
 
     System sys(makeSimConfig(o), prog);
