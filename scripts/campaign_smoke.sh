@@ -1,0 +1,135 @@
+#!/usr/bin/env bash
+# Campaign crash-tolerance smoke (docs/campaigns.md, CI campaign-smoke).
+#
+# Exercises the headline guarantee end to end through the real CLIs:
+# a sharded multi-process sweep — including runs where shards are
+# SIGKILLed before a unit, halfway through a journal write, and
+# between a trace-cache temp write and its publishing rename —
+# produces a result document byte-identical to the crash-free
+# single-process sweep. Also demonstrates poison-unit quarantine
+# (non-zero exit + explicit report) and validates every
+# hard.campaign.v1 report with scripts/check_telemetry.py --campaign.
+#
+# Stages:
+#   1. hardsim reference:   --batch --jobs=1
+#   2. hardsim campaigns:   clean shards=3, pre-unit crash,
+#      mid-journal-write crash — all byte-identical to (1)
+#   3. fast-mode campaign:  mid-cache-store crash, byte-identical to a
+#      crash-free fast-mode reference; the orphaned cache temp file is
+#      swept on the next cache open
+#   4. quarantine:          a unit that always kills its shard exits 1
+#      and is reported quarantined
+#   5. hardfuzz campaign:   clean + crashed sweeps byte-identical to
+#      --jobs single-process fuzzing
+#
+# Usage: scripts/campaign_smoke.sh [-B BUILDDIR]
+set -euo pipefail
+
+builddir="build"
+while getopts "B:h" opt; do
+    case "$opt" in
+        B) builddir="$OPTARG" ;;
+        h) grep '^#' "$0" | sed 's/^# \{0,1\}//'; exit 0 ;;
+        *) exit 2 ;;
+    esac
+done
+
+hardsim="$builddir/tools/hardsim"
+hardfuzz="$builddir/tools/hardfuzz"
+check="scripts/check_telemetry.py"
+[ -x "$hardsim" ] || { echo "campaign_smoke: $hardsim not built" >&2; exit 2; }
+[ -x "$hardfuzz" ] || { echo "campaign_smoke: $hardfuzz not built" >&2; exit 2; }
+
+work="$(mktemp -d)"
+trap 'rm -rf "$work"' EXIT
+
+sweep="--workload=barnes,water-nsquared --runs=2 --scale=0.05"
+
+# ---------------------------------------------------------------------
+# 1. Crash-free single-process reference.
+echo "campaign_smoke: single-process reference" >&2
+"$hardsim" --batch $sweep --jobs=1 --json="$work/ref.json" > /dev/null
+
+# ---------------------------------------------------------------------
+# 2. Sharded campaigns, clean and with injected crashes, all
+#    byte-identical to the reference.
+run_campaign() {
+    local json="$1"; shift
+    "$hardsim" --campaign $sweep --shards=3 --retry-backoff-ms=1 \
+        --json="$json" "$@" > /dev/null
+}
+echo "campaign_smoke: clean campaign (shards=3)" >&2
+run_campaign "$work/clean.json"
+cmp "$work/ref.json" "$work/clean.json"
+
+echo "campaign_smoke: pre-unit SIGKILL" >&2
+run_campaign "$work/preunit.json" --inject-shard-crash=0.1:pre-unit
+cmp "$work/ref.json" "$work/preunit.json"
+
+echo "campaign_smoke: SIGKILL mid-journal-write" >&2
+run_campaign "$work/midj.json" --inject-shard-crash=1.0:mid-journal-write
+cmp "$work/ref.json" "$work/midj.json"
+
+python3 "$check" --campaign "$work/clean.campaign.json" \
+    --campaign "$work/preunit.campaign.json" \
+    --campaign "$work/midj.campaign.json"
+
+# ---------------------------------------------------------------------
+# 3. Fast mode: SIGKILL between the trace-cache temp write and the
+#    publishing rename; the retry converges and the orphan is swept.
+echo "campaign_smoke: SIGKILL mid-cache-store (fast mode)" >&2
+"$hardsim" --campaign $sweep --shards=2 --retry-backoff-ms=1 \
+    --mode=fast --trace-cache="$work/tc" \
+    --inject-shard-crash=0.0:mid-cache-store \
+    --json="$work/midstore.json" > /dev/null
+orphans=$(find "$work/tc" -name '.tmp.*' | wc -l)
+[ "$orphans" -ge 1 ] || {
+    echo "campaign_smoke: expected an orphaned cache temp file" >&2
+    exit 1
+}
+"$hardsim" --batch $sweep --jobs=1 --mode=fast \
+    --trace-cache="$work/tc-ref" --json="$work/fastref.json" > /dev/null
+cmp "$work/fastref.json" "$work/midstore.json"
+# A maintenance open with --trace-cache-sweep-age=0 reclaims the orphan.
+"$hardsim" --workload=barnes --scale=0.05 --mode=fast \
+    --trace-cache="$work/tc" --trace-cache-sweep-age=0 \
+    --trace-cache-stats="$work/tcstats.json" > /dev/null
+orphans=$(find "$work/tc" -name '.tmp.*' | wc -l)
+[ "$orphans" -eq 0 ] || {
+    echo "campaign_smoke: orphaned temp file survived the sweep" >&2
+    exit 1
+}
+python3 "$check" --campaign "$work/midstore.campaign.json" \
+    --cache-stats "$work/tcstats.json"
+
+# ---------------------------------------------------------------------
+# 4. Poison unit: always kills its shard, must be quarantined and
+#    reflected in the exit status.
+echo "campaign_smoke: poison-unit quarantine" >&2
+if run_campaign "$work/poison.json" --max-unit-retries=1 \
+    --inject-shard-crash=0.2:pre-unit:99; then
+    echo "campaign_smoke: quarantine must exit non-zero" >&2
+    exit 1
+fi
+grep -q '"quarantined"' "$work/poison.campaign.json" || {
+    echo "campaign_smoke: quarantine missing from the report" >&2
+    exit 1
+}
+python3 "$check" --campaign "$work/poison.campaign.json"
+
+# ---------------------------------------------------------------------
+# 5. The fuzz front-end rides the same supervisor.
+echo "campaign_smoke: hardfuzz campaign" >&2
+fuzz="--seeds 0..7 --ops=12 --phases=2"
+"$hardfuzz" $fuzz --jobs=2 --json="$work/fref.json" > /dev/null
+"$hardfuzz" --campaign $fuzz --shards=3 --retry-backoff-ms=1 \
+    --json="$work/fcamp.json" > /dev/null
+cmp "$work/fref.json" "$work/fcamp.json"
+"$hardfuzz" --campaign $fuzz --shards=2 --retry-backoff-ms=1 \
+    --inject-shard-crash=3.0:mid-journal-write \
+    --json="$work/fcrash.json" > /dev/null
+cmp "$work/fref.json" "$work/fcrash.json"
+python3 "$check" --campaign "$work/fcamp.campaign.json" \
+    --campaign "$work/fcrash.campaign.json"
+
+echo "campaign_smoke: all checks passed" >&2

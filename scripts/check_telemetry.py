@@ -22,6 +22,10 @@ Checks, using nothing but the standard library:
   - a trace-cache stats document (--cache-stats): hard.stats.v1 with
     a 'traceCache' group (no machine groups — fast mode never builds
     a machine), non-negative counters, hit/miss bookkeeping
+  - a hard.campaign.v1 report (--campaign): schema tag, final state,
+    every unit accounted for exactly once with a valid outcome (no
+    unit lost, duplicated, or left pending), quarantine list
+    consistent with per-unit outcomes, shard bookkeeping balanced
   - a hard.bench.fastmode.v1 baseline (--bench [--min-speedup X]):
     schema tag, positive timings, runs/sec and speedup ratios
     consistent with the timings, and the interleaving-component
@@ -208,7 +212,7 @@ def check_explain(path, expect_no_unknown):
 
 
 CACHE_COUNTERS = ("hits", "misses", "stores", "evictedCorrupt",
-                  "evictedStale", "collisions")
+                  "evictedStale", "evictedOrphan", "collisions")
 
 
 def check_cache_stats(path):
@@ -231,7 +235,9 @@ def check_cache_stats(path):
     if lookups and not (isinstance(rate, (int, float))
                         and 0.0 <= rate <= 1.0):
         fail(f"{path}: hitRate {rate!r} not in [0, 1]")
-    # Every eviction and collision is also counted as a miss.
+    # Every eviction and collision is also counted as a miss —
+    # except orphan sweeps, which reclaim temp files on open, before
+    # any lookup happens.
     buckets = (counters["evictedCorrupt"] + counters["evictedStale"]
                + counters["collisions"])
     if buckets > counters["misses"]:
@@ -239,6 +245,79 @@ def check_cache_stats(path):
              f"{counters['misses']} misses")
     print(f"ok: {path} (traceCache: {counters['hits']} hits, "
           f"{counters['misses']} misses, {counters['stores']} stores)")
+
+
+CAMPAIGN_OUTCOMES = {"completed", "restored", "quarantined"}
+CAMPAIGN_COUNTERS = ("shardsSpawned", "shardExitsOk", "shardCrashes",
+                     "shardStalls", "retries", "restored",
+                     "injectedCrashes")
+
+
+def check_campaign(path):
+    """Validate a final hard.campaign.v1 report: complete, every unit
+    accounted for exactly once, quarantine list consistent, shard
+    bookkeeping balanced."""
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("schema") != "hard.campaign.v1":
+        fail(f"{path}: schema is {doc.get('schema')!r}, "
+             "expected 'hard.campaign.v1'")
+    if not doc.get("signature"):
+        fail(f"{path}: missing or empty 'signature'")
+    if doc.get("state") != "complete":
+        fail(f"{path}: state is {doc.get('state')!r} — the campaign "
+             "did not finish (interrupted supervisor?)")
+    if not isinstance(doc.get("shards"), int) or doc["shards"] <= 0:
+        fail(f"{path}: bad 'shards' {doc.get('shards')!r}")
+    units = doc.get("units")
+    if not isinstance(units, list) or not units:
+        fail(f"{path}: missing or empty 'units'")
+    if doc.get("unitsTotal") != len(units):
+        fail(f"{path}: unitsTotal {doc.get('unitsTotal')!r} != "
+             f"{len(units)} listed units")
+    seen = set()
+    quarantined_units = set()
+    for i, u in enumerate(units):
+        key = (u.get("item"), u.get("run"))
+        if not isinstance(key[0], int) or not isinstance(key[1], int):
+            fail(f"{path}: unit {i}: bad identity {key!r}")
+        if key in seen:
+            fail(f"{path}: unit {key} listed twice — a unit was "
+                 "duplicated in the merge")
+        seen.add(key)
+        outcome = u.get("outcome")
+        if outcome not in CAMPAIGN_OUTCOMES:
+            fail(f"{path}: unit {key}: outcome {outcome!r} not in "
+                 f"{sorted(CAMPAIGN_OUTCOMES)} — 'pending' in a final "
+                 "report means the unit was lost")
+        if outcome == "quarantined":
+            quarantined_units.add(key)
+            if not isinstance(u.get("attempts"), int) or u["attempts"] < 1:
+                fail(f"{path}: quarantined unit {key}: bad attempts "
+                     f"{u.get('attempts')!r}")
+    listed = {(q.get("item"), q.get("run"))
+              for q in doc.get("quarantined", [])}
+    if listed != quarantined_units:
+        fail(f"{path}: 'quarantined' list {sorted(listed)} != units "
+             f"with quarantined outcome {sorted(quarantined_units)}")
+    counters = doc.get("counters")
+    if not isinstance(counters, dict):
+        fail(f"{path}: missing 'counters'")
+    for name in CAMPAIGN_COUNTERS:
+        value = counters.get(name)
+        if not isinstance(value, int) or value < 0:
+            fail(f"{path}: counters.{name} is {value!r}")
+    reaped = counters["shardExitsOk"] + counters["shardCrashes"]
+    if reaped != counters["shardsSpawned"]:
+        fail(f"{path}: {counters['shardsSpawned']} shards spawned but "
+             f"{reaped} reaped")
+    if counters["shardStalls"] > counters["shardCrashes"]:
+        fail(f"{path}: {counters['shardStalls']} stalls exceed "
+             f"{counters['shardCrashes']} crashes")
+    print(f"ok: {path} (hard.campaign.v1, {len(units)} units, "
+          f"{counters['shardsSpawned']} shards, "
+          f"{counters['retries']} retries, "
+          f"{len(quarantined_units)} quarantined)")
 
 
 def check_bench(path, min_speedup):
@@ -385,6 +464,8 @@ def main():
                          "attributed to 'unknown'")
     ap.add_argument("--cache-stats", action="append", default=[],
                     help="trace-cache hard.stats.v1 JSON file")
+    ap.add_argument("--campaign", action="append", default=[],
+                    help="hard.campaign.v1 report JSON file")
     ap.add_argument("--bench", action="append", default=[],
                     help="hard.bench.fastmode.v1 JSON file")
     ap.add_argument("--min-speedup", type=float, default=None,
@@ -392,7 +473,8 @@ def main():
                          "must show")
     args = ap.parse_args()
     if not (args.stats or args.intervals or args.trace or args.batch
-            or args.explain or args.cache_stats or args.bench):
+            or args.explain or args.cache_stats or args.campaign
+            or args.bench):
         ap.error("nothing to check")
     for path in args.stats:
         check_stats(path)
@@ -406,6 +488,8 @@ def main():
         check_explain(path, args.expect_no_unknown)
     for path in args.cache_stats:
         check_cache_stats(path)
+    for path in args.campaign:
+        check_campaign(path)
     for path in args.bench:
         check_bench(path, args.min_speedup)
 

@@ -19,6 +19,8 @@ outcomeName(SimErrorKind kind)
         return "deadlock";
       case SimErrorKind::CycleBudget:
         return "budget_exceeded";
+      case SimErrorKind::Timeout:
+        return "timeout";
     }
     return "failed";
 }
@@ -35,6 +37,8 @@ SimError::typeName() const
         return "DeadlockError";
       case SimErrorKind::CycleBudget:
         return "CycleBudgetError";
+      case SimErrorKind::Timeout:
+        return "TimeoutError";
     }
     return "SimError";
 }

@@ -42,10 +42,16 @@ enum class SimErrorKind
     Deadlock,
     /** The run exceeded its cycle budget (maxCycles). */
     CycleBudget,
+    /** The run exceeded its host wall-clock budget (wallMsBudget).
+     * Distinct from CycleBudget: simulated time can stay within
+     * budget while the host spins forever (e.g. a simulator bug or a
+     * pathological workload blowup the cycle accounting never
+     * reaches). */
+    Timeout,
 };
 
 /** @return the batch-outcome label for @p kind:
- * "failed" | "deadlock" | "budget_exceeded". */
+ * "failed" | "deadlock" | "budget_exceeded" | "timeout". */
 const char *outcomeName(SimErrorKind kind);
 
 /**
@@ -136,6 +142,31 @@ class CycleBudgetError : public SimError
   private:
     Cycle cycle_;
     Cycle budget_;
+};
+
+/** The run exceeded its host wall-clock budget
+ * (SimConfig::wallMsBudget). Unlike every other SimError, whether
+ * this fires depends on host speed, so timeout outcomes are
+ * machine-dependent and a journaled "timeout" unit may succeed when
+ * re-run on a faster host. */
+class TimeoutError : public SimError
+{
+  public:
+    TimeoutError(const std::string &what, std::uint64_t elapsedMs,
+                 std::uint64_t budgetMs)
+        : SimError(SimErrorKind::Timeout, what), elapsedMs_(elapsedMs),
+          budgetMs_(budgetMs)
+    {
+    }
+
+    /** Host milliseconds elapsed when the budget was found exceeded. */
+    std::uint64_t elapsedMs() const { return elapsedMs_; }
+    /** The wall-clock budget that was exceeded, in milliseconds. */
+    std::uint64_t budgetMs() const { return budgetMs_; }
+
+  private:
+    std::uint64_t elapsedMs_;
+    std::uint64_t budgetMs_;
 };
 
 /**

@@ -1,6 +1,7 @@
 #include "fuzz/runner.hh"
 
 #include <algorithm>
+#include <cstdio>
 #include <filesystem>
 
 #include "common/error.hh"
@@ -392,57 +393,18 @@ fuzzJson(const FuzzOptions &opts, const std::vector<SeedResult> &results)
         jinv.push(n);
     doc.set("invariants", std::move(jinv));
 
-    std::uint64_t ok = 0, bad = 0, failed = 0;
+    std::uint64_t ok = 0, bad = 0, failed = 0, quarantined = 0;
     Json js = Json::array();
     for (const SeedResult &sr : results) {
-        Json one = Json::object();
-        one.set("seed", sr.seed);
-        one.set("outcome", sr.outcome);
-        if (sr.outcome == "failed") {
+        if (sr.outcome == "failed")
             ++failed;
-            one.set("error_type", sr.errorType);
-            one.set("error", sr.errorMessage);
-            js.push(std::move(one));
-            continue;
-        }
-        one.set("events", static_cast<std::uint64_t>(sr.events));
-        Json jk = Json::object();
-        for (const auto &[name, count] : sr.detectorKeys)
-            jk.set(name, static_cast<std::uint64_t>(count));
-        one.set("report_keys", std::move(jk));
-        if (sr.outcome == "violation") {
+        else if (sr.outcome == "quarantined")
+            ++quarantined;
+        else if (sr.outcome == "violation")
             ++bad;
-            Json jv = Json::array();
-            for (const Violation &v : sr.violations) {
-                Json x = Json::object();
-                x.set("invariant", v.invariant);
-                x.set("detail", v.detail);
-                x.set("witnesses_total",
-                      static_cast<std::uint64_t>(v.totalWitnesses));
-                jv.push(std::move(x));
-            }
-            one.set("violations", std::move(jv));
-            if (sr.minimized) {
-                Json jm = Json::object();
-                jm.set("events",
-                       static_cast<std::uint64_t>(sr.minStats.finalEvents));
-                jm.set("probes",
-                       static_cast<std::uint64_t>(sr.minStats.probes));
-                jm.set("capped", sr.minStats.capped);
-                one.set("minimized", std::move(jm));
-            }
-            if (!sr.casePath.empty()) {
-                Json ja = Json::object();
-                ja.set("trace", sr.tracePath);
-                if (!sr.minTracePath.empty())
-                    ja.set("min_trace", sr.minTracePath);
-                ja.set("case", sr.casePath);
-                one.set("artifacts", std::move(ja));
-            }
-        } else {
+        else
             ++ok;
-        }
-        js.push(std::move(one));
+        js.push(seedResultJson(sr));
     }
     doc.set("seeds", std::move(js));
 
@@ -451,8 +413,146 @@ fuzzJson(const FuzzOptions &opts, const std::vector<SeedResult> &results)
     sum.set("ok", ok);
     sum.set("violations", bad);
     sum.set("failed", failed);
+    // Only campaign merges can contain quarantined seeds; ordinary
+    // sweeps keep their summary byte-identical to pre-campaign output.
+    if (quarantined != 0)
+        sum.set("quarantined", quarantined);
     doc.set("summary", std::move(sum));
     return doc;
+}
+
+Json
+seedResultJson(const SeedResult &sr)
+{
+    Json one = Json::object();
+    one.set("seed", sr.seed);
+    one.set("outcome", sr.outcome);
+    if (sr.outcome == "failed" || sr.outcome == "quarantined") {
+        one.set("error_type", sr.errorType);
+        one.set("error", sr.errorMessage);
+        return one;
+    }
+    one.set("events", static_cast<std::uint64_t>(sr.events));
+    Json jk = Json::object();
+    for (const auto &[name, count] : sr.detectorKeys)
+        jk.set(name, static_cast<std::uint64_t>(count));
+    one.set("report_keys", std::move(jk));
+    if (sr.outcome == "violation") {
+        Json jv = Json::array();
+        for (const Violation &v : sr.violations) {
+            Json x = Json::object();
+            x.set("invariant", v.invariant);
+            x.set("detail", v.detail);
+            x.set("witnesses_total",
+                  static_cast<std::uint64_t>(v.totalWitnesses));
+            jv.push(std::move(x));
+        }
+        one.set("violations", std::move(jv));
+        if (sr.minimized) {
+            Json jm = Json::object();
+            jm.set("events",
+                   static_cast<std::uint64_t>(sr.minStats.finalEvents));
+            jm.set("probes",
+                   static_cast<std::uint64_t>(sr.minStats.probes));
+            jm.set("capped", sr.minStats.capped);
+            one.set("minimized", std::move(jm));
+        }
+        if (!sr.casePath.empty()) {
+            Json ja = Json::object();
+            ja.set("trace", sr.tracePath);
+            if (!sr.minTracePath.empty())
+                ja.set("min_trace", sr.minTracePath);
+            ja.set("case", sr.casePath);
+            one.set("artifacts", std::move(ja));
+        }
+    }
+    return one;
+}
+
+SeedResult
+seedResultFromJson(const Json &j)
+{
+    hard_throw_if(!j.isObject() || !j.has("seed") || !j.has("outcome"),
+                  ConfigError,
+                  "fuzz payload: not a seed-result object");
+    SeedResult sr;
+    sr.seed = j["seed"].asUint();
+    sr.outcome = j["outcome"].asString();
+    if (sr.outcome == "failed" || sr.outcome == "quarantined") {
+        sr.errorType = j["error_type"].asString();
+        sr.errorMessage = j["error"].asString();
+        return sr;
+    }
+    sr.events = static_cast<std::size_t>(j["events"].asUint());
+    for (const auto &[name, count] : j["report_keys"].members())
+        sr.detectorKeys[name] = static_cast<std::size_t>(count.asUint());
+    if (sr.outcome == "violation") {
+        const Json &jv = j["violations"];
+        for (std::size_t i = 0; i < jv.size(); ++i) {
+            const Json &x = jv.at(i);
+            Violation v;
+            v.invariant = x["invariant"].asString();
+            v.detail = x["detail"].asString();
+            v.totalWitnesses =
+                static_cast<std::size_t>(x["witnesses_total"].asUint());
+            sr.violations.push_back(std::move(v));
+        }
+        if (j.has("minimized")) {
+            const Json &jm = j["minimized"];
+            sr.minimized = true;
+            sr.minStats.finalEvents =
+                static_cast<std::size_t>(jm["events"].asUint());
+            sr.minStats.probes =
+                static_cast<std::size_t>(jm["probes"].asUint());
+            sr.minStats.capped = jm["capped"].asBool();
+        }
+        if (j.has("artifacts")) {
+            const Json &ja = j["artifacts"];
+            sr.tracePath = ja["trace"].asString();
+            if (ja.has("min_trace"))
+                sr.minTracePath = ja["min_trace"].asString();
+            sr.casePath = ja["case"].asString();
+        }
+    }
+    return sr;
+}
+
+std::string
+fuzzSignature(const FuzzOptions &opts)
+{
+    // Seed sets can span up to a million entries, so the signature
+    // carries count + bounds + an order-sensitive FNV-1a fold rather
+    // than the full list.
+    std::uint64_t h = 14695981039346656037ull;
+    for (std::uint64_t s : opts.seeds) {
+        h ^= s;
+        h *= 1099511628211ull;
+    }
+    std::string sig = "fuzz;seeds=" + std::to_string(opts.seeds.size());
+    if (!opts.seeds.empty())
+        sig += ":" + std::to_string(opts.seeds.front()) + ".." +
+               std::to_string(opts.seeds.back());
+    char hex[32];
+    std::snprintf(hex, sizeof hex, ":%016llx",
+                  static_cast<unsigned long long>(h));
+    sig += hex;
+    sig += ";gen=" + std::to_string(opts.gen.minThreads) + "," +
+           std::to_string(opts.gen.maxThreads) + "," +
+           std::to_string(opts.gen.maxPhases) + "," +
+           std::to_string(opts.gen.maxOps) + "," +
+           std::to_string(opts.gen.numLocks) + "," +
+           std::to_string(opts.gen.numRegions) + "," +
+           std::to_string(opts.gen.maxNest);
+    sig += ";granularity=" + std::to_string(opts.cfg.granularity);
+    sig += ";bloom=" + std::to_string(opts.cfg.bloomBits);
+    sig += ";weaken=" + std::string(weakenName(opts.cfg.weaken));
+    sig += ";minimize=" + std::to_string(opts.minimize ? 1 : 0);
+    sig += ";max-probes=" + std::to_string(opts.maxProbes);
+    if (!opts.outDir.empty())
+        sig += ";out=" + opts.outDir;
+    if (opts.mode == ExecMode::Fast)
+        sig += ";mode=fast";
+    return sig;
 }
 
 std::vector<std::uint64_t>

@@ -122,9 +122,11 @@ FuzzReportSet analyzeTrace(const Trace &trace, const FuzzConfig &cfg);
 struct SeedResult
 {
     std::uint64_t seed = 0;
-    /** "ok" | "violation" | "failed". */
+    /** "ok" | "violation" | "failed" | "quarantined" (the last
+     * synthesized by the campaign supervisor for a seed that
+     * repeatedly crashed its shard; never produced by runFuzzSeed). */
     std::string outcome = "ok";
-    /** Set when outcome == "failed". */
+    /** Set when outcome == "failed" (or "quarantined"). */
     std::string errorType;
     std::string errorMessage;
     /** Recorded trace length (events). */
@@ -156,6 +158,23 @@ std::vector<SeedResult> runFuzzSeeds(const FuzzOptions &opts);
 /** Build the hard.fuzz.v1 summary document (no --jobs dependence). */
 Json fuzzJson(const FuzzOptions &opts,
               const std::vector<SeedResult> &results);
+
+/**
+ * One seed's entry in the hard.fuzz.v1 "seeds" array — also the
+ * journal payload of a fuzz campaign unit. seedResultFromJson() is
+ * its lossless inverse (for every field the document carries), so a
+ * campaign-merged summary is byte-identical to a single-process one.
+ */
+Json seedResultJson(const SeedResult &sr);
+SeedResult seedResultFromJson(const Json &j);
+
+/**
+ * Canonical description of a fuzz sweep (campaign journal headers):
+ * the seed set, generator shape, analysis config, minimization and
+ * artifact settings. Two invocations with equal signatures produce
+ * unit-for-unit interchangeable payloads.
+ */
+std::string fuzzSignature(const FuzzOptions &opts);
 
 /**
  * Parse a --seeds spec: "N" (seeds 0..N-1) or "A..B" (inclusive).

@@ -314,6 +314,34 @@ runBatch(const std::vector<BatchItem> &items, RunPool &pool,
         }
     }
 
+    // Deselect units outside opts.unitFilter (campaign shards): mark
+    // them "skipped" up front without running or journaling them, so
+    // a later merge/resume sees them as still pending.
+    auto unit_selected = [&opts](std::size_t i, std::int64_t r) {
+        return !opts.unitFilter || opts.unitFilter(i, r);
+    };
+    std::vector<std::vector<bool>> filtered_run(items.size());
+    std::vector<bool> filtered_overhead(items.size(), false);
+    for (std::size_t i = 0; i < items.size(); ++i) {
+        filtered_run[i].assign(items[i].runs + 1, false);
+        if (opts.unitFilter == nullptr)
+            continue;
+        if (items[i].effectiveness)
+            for (unsigned r = 0; r <= items[i].runs; ++r) {
+                if (restored_run[i][r] ||
+                    unit_selected(i, static_cast<std::int64_t>(r)))
+                    continue;
+                filtered_run[i][r] = true;
+                markRunFailed(results[i].runDetail[r], r, items[i].runs,
+                              "skipped", "", "");
+            }
+        if (items[i].overhead && !restored_overhead[i] &&
+            !unit_selected(i, -1)) {
+            filtered_overhead[i] = true;
+            results[i].overheadOutcome = "skipped";
+        }
+    }
+
     // Phase 1: shared-data maps, one per effectiveness item (each is
     // itself a workload build + scan, so worth parallelizing). A map
     // that fails to build (bad workload name, malformed program)
@@ -324,10 +352,11 @@ runBatch(const std::vector<BatchItem> &items, RunPool &pool,
     for (std::size_t i = 0; i < items.size(); ++i) {
         if (!items[i].effectiveness)
             continue;
-        bool all_restored = true;
-        for (bool r : restored_run[i])
-            all_restored = all_restored && r;
-        if (!all_restored)
+        bool all_settled = true;
+        for (unsigned r = 0; r <= items[i].runs; ++r)
+            all_settled = all_settled &&
+                (restored_run[i][r] || filtered_run[i][r]);
+        if (!all_settled)
             eff_items.push_back(i);
     }
     std::vector<std::exception_ptr> shared_errs =
@@ -346,7 +375,7 @@ runBatch(const std::vector<BatchItem> &items, RunPool &pool,
         std::string outcome =
             classifyException(shared_errs[k], &type, &message);
         for (unsigned r = 0; r <= items[i].runs; ++r) {
-            if (restored_run[i][r])
+            if (restored_run[i][r] || filtered_run[i][r])
                 continue;
             markRunFailed(results[i].runDetail[r], r, items[i].runs,
                           outcome, type, message);
@@ -372,10 +401,11 @@ runBatch(const std::vector<BatchItem> &items, RunPool &pool,
     for (std::size_t i = 0; i < items.size(); ++i) {
         if (items[i].effectiveness && shared[i] != nullptr)
             for (unsigned r = 0; r <= items[i].runs; ++r)
-                if (!restored_run[i][r])
+                if (!restored_run[i][r] && !filtered_run[i][r])
                     units.push_back(
                         {i, static_cast<std::int64_t>(r)});
-        if (items[i].overhead && !restored_overhead[i])
+        if (items[i].overhead && !restored_overhead[i] &&
+            !filtered_overhead[i])
             units.push_back({i, -1});
     }
     std::vector<std::exception_ptr> unit_errs =
@@ -404,22 +434,30 @@ runBatch(const std::vector<BatchItem> &items, RunPool &pool,
             if (over_budget) {
                 outcome = "skipped";
             } else {
+                // Per-unit wall-clock budget: an item-level
+                // wallMsBudget wins; otherwise the batch-wide
+                // opts.unitTimeoutMs applies. Not part of the
+                // fast-mode cache key either way.
+                SimConfig unit_sim = item.sim;
+                if (opts.unitTimeoutMs != 0 &&
+                    unit_sim.wallMsBudget == 0)
+                    unit_sim.wallMsBudget = opts.unitTimeoutMs;
                 try {
                     if (unit.run == -1) {
                         res.overhead = item.directory
                             ? measureOverheadDirectory(item.workload,
-                                                       item.wp, item.sim,
+                                                       item.wp, unit_sim,
                                                        item.hardCfg,
                                                        item.collectStats)
                             : measureOverhead(item.workload, item.wp,
-                                              item.sim, item.hardCfg,
+                                              unit_sim, item.hardCfg,
                                               item.collectStats);
                         res.haveOverhead = true;
                     } else {
                         res.runDetail[static_cast<std::size_t>(
                             unit.run)] =
                             runEffectivenessUnit(
-                                item.workload, item.wp, item.sim,
+                                item.workload, item.wp, unit_sim,
                                 item.factory,
                                 static_cast<unsigned>(unit.run),
                                 item.runs, item.seed0,

@@ -59,9 +59,12 @@ struct EffectivenessRun
 
     /**
      * How the unit ended: "ok", a failure label ("failed" |
-     * "deadlock" | "budget_exceeded"), or "skipped" (not executed
-     * because --max-failures was exceeded). Non-ok runs contribute
-     * nothing to the aggregate scores.
+     * "deadlock" | "budget_exceeded" | "timeout"), "skipped" (not
+     * executed because --max-failures was exceeded or the unit was
+     * deselected by BatchOptions::unitFilter), or "quarantined"
+     * (synthesized by the campaign supervisor for a unit that
+     * repeatedly crashed its shard; see harness/campaign.hh). Non-ok
+     * runs contribute nothing to the aggregate scores.
      */
     std::string outcome = "ok";
     /** Failure detail (empty when outcome is "ok"/"skipped"). */
@@ -251,6 +254,28 @@ struct BatchOptions
      * a crash would (used to test resume).
      */
     std::function<void(std::size_t item, std::int64_t run)> unitStartHook;
+    /**
+     * Unit-selection predicate (campaign shards: each shard runs only
+     * its assigned slice of the unit space). Units for which this
+     * returns false are marked "skipped" without executing, never
+     * journaled (a resume or merge must treat them as still pending),
+     * and their items' shared-map builds are elided when every
+     * remaining unit is deselected. Null = run everything.
+     */
+    std::function<bool(std::size_t item, std::int64_t run)> unitFilter;
+    /**
+     * Per-unit host wall-clock budget in milliseconds, applied as
+     * SimConfig::wallMsBudget to every unit whose item left it at 0
+     * (0 = no budget). Catches host-level hangs that the in-simulation
+     * watchdog and cycle budgets cannot see: both measure simulated
+     * time, which stops advancing precisely when the host wedges. A
+     * unit over budget fails with outcome "timeout", which under
+     * keepGoing is contained and journaled like any other failure.
+     * NOTE: unlike every other outcome, timeouts depend on host speed;
+     * a journaled "timeout" may succeed when re-run on a faster
+     * machine.
+     */
+    std::uint64_t unitTimeoutMs = 0;
 };
 
 /**

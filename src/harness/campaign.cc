@@ -1,0 +1,779 @@
+#include "harness/campaign.hh"
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <set>
+#include <thread>
+
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "common/error.hh"
+#include "common/logging.hh"
+
+namespace hard
+{
+
+const char *const kCampaignSchema = "hard.campaign.v1";
+
+namespace
+{
+
+constexpr const char *kShardInfix = ".shard-";
+constexpr const char *kShardSuffix = ".journal.jsonl";
+
+/** Strip a trailing ".json" (mirrors journalPathFor's convention). */
+std::string
+outputStem(const std::string &jsonPath)
+{
+    const std::string suffix = ".json";
+    std::string stem = jsonPath;
+    if (stem.size() > suffix.size() &&
+        stem.compare(stem.size() - suffix.size(), suffix.size(),
+                     suffix) == 0)
+        stem.resize(stem.size() - suffix.size());
+    return stem;
+}
+
+std::uint64_t
+parseUnsigned(const std::string &text, const char *what,
+              const std::string &spec)
+{
+    try {
+        std::size_t used = 0;
+        const std::uint64_t v = std::stoull(text, &used);
+        hard_throw_if(used != text.size(), ConfigError,
+                      "--inject-shard-crash: bad %s in '%s'", what,
+                      spec.c_str());
+        return v;
+    } catch (const SimError &) {
+        throw;
+    } catch (const std::exception &) {
+        throw ConfigError(errfmt("--inject-shard-crash: bad %s in '%s'",
+                                 what, spec.c_str()));
+    }
+}
+
+/** Deterministic per-(unit, attempt) jitter: splitmix64 over the unit
+ * identity, the attempt number and the campaign's jitter seed, so
+ * retry schedules decorrelate without consulting a clock or global
+ * RNG. */
+std::uint64_t
+jitterHash(const JournalKey &key, unsigned attempts, std::uint64_t seed)
+{
+    std::uint64_t x = seed ^ (static_cast<std::uint64_t>(key.first) << 32) ^
+        (static_cast<std::uint64_t>(key.second) + 0x9E3779B97F4A7C15ull) ^
+        (static_cast<std::uint64_t>(attempts) << 17);
+    x += 0x9E3779B97F4A7C15ull;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+    return x ^ (x >> 31);
+}
+
+/** Exponential backoff with deterministic jitter for a unit's
+ * @p attempts-th crash. */
+std::uint64_t
+backoffMs(const JournalKey &key, unsigned attempts,
+          const CampaignOptions &opts)
+{
+    const unsigned shift =
+        attempts > 1 ? (attempts - 1 > 20 ? 20u : attempts - 1) : 0u;
+    std::uint64_t delay = opts.backoffBaseMs << shift;
+    if (delay > opts.backoffCapMs || delay < opts.backoffBaseMs)
+        delay = opts.backoffCapMs;
+    delay += jitterHash(key, attempts, opts.backoffJitterSeed) %
+        (delay / 4 + 1);
+    return delay;
+}
+
+std::uintmax_t
+fileSizeOrZero(const std::string &path)
+{
+    std::error_code ec;
+    const std::uintmax_t n = std::filesystem::file_size(path, ec);
+    return ec ? 0 : n;
+}
+
+/**
+ * Load a shard journal, tolerating every way a crashed shard can
+ * leave it: missing, empty, or killed before the header line was
+ * flushed — all count as "nothing completed". A parseable header with
+ * the wrong schema/signature still fails loudly via loadJournal: that
+ * is cross-sweep contamination, not crash damage.
+ */
+JournalEntries
+loadShardEntries(const std::string &path, const std::string &signature)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        warn("campaign: shard journal '%s' is missing (shard died "
+             "before creating it); treating as empty",
+             path.c_str());
+        return {};
+    }
+    std::string first;
+    if (!std::getline(in, first) || first.empty()) {
+        warn("campaign: shard journal '%s' has no complete header "
+             "line (shard died before its first flush); treating as "
+             "empty",
+             path.c_str());
+        return {};
+    }
+    std::string err;
+    const Json header = Json::parse(first, &err);
+    if (!err.empty() || !header.isObject() || !header.has("schema")) {
+        warn("campaign: shard journal '%s' has a torn header; "
+             "treating as empty",
+             path.c_str());
+        return {};
+    }
+    in.close();
+    return loadJournal(path, signature);
+}
+
+/** Atomic publish (temp + rename), so a manifest is either the old
+ * complete document or the new complete document — never torn. */
+void
+writeFileAtomic(const std::string &path, const std::string &text)
+{
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        hard_throw_if(!out, ConfigError,
+                      "campaign: cannot open '%s' for writing",
+                      tmp.c_str());
+        out.write(text.data(), static_cast<std::streamsize>(text.size()));
+        out.flush();
+        hard_throw_if(!out, ConfigError, "campaign: write to '%s' failed",
+                      tmp.c_str());
+    }
+    std::error_code ec;
+    std::filesystem::rename(tmp, path, ec);
+    if (ec) {
+        std::filesystem::remove(tmp);
+        throw ConfigError(errfmt("campaign: publish of '%s' failed: %s",
+                                 path.c_str(), ec.message().c_str()));
+    }
+}
+
+/** Per-unit supervision state. */
+enum class UnitState
+{
+    Pending,
+    Completed,
+    Restored,
+    Quarantined,
+};
+
+const char *
+unitStateName(UnitState s)
+{
+    switch (s) {
+      case UnitState::Pending:
+        return "pending";
+      case UnitState::Completed:
+        return "completed";
+      case UnitState::Restored:
+        return "restored";
+      case UnitState::Quarantined:
+        return "quarantined";
+    }
+    return "pending";
+}
+
+struct UnitInfo
+{
+    JournalKey key;
+    UnitState state = UnitState::Pending;
+    /** Shard crashes blamed on this unit so far. */
+    unsigned attempts = 0;
+    /** Earliest supervisor time (ms) it may be re-assigned. */
+    std::uint64_t eligibleAtMs = 0;
+    /** Currently assigned to a live shard. */
+    bool inFlight = false;
+};
+
+/** One live shard process. */
+struct Shard
+{
+    pid_t pid = -1;
+    std::uint64_t spawnId = 0;
+    std::string journalPath;
+    std::vector<JournalKey> assigned;
+    std::uintmax_t lastSize = 0;
+    std::uint64_t lastGrowthMs = 0;
+    bool stalled = false;
+};
+
+Json
+campaignReport(const std::string &state,
+               const std::vector<UnitInfo> &units,
+               const std::vector<JournalKey> &quarantined,
+               const CampaignCounters &c, const CampaignOptions &opts)
+{
+    Json doc = Json::object();
+    doc.set("schema", kCampaignSchema);
+    doc.set("signature", opts.signature);
+    doc.set("state", state);
+    doc.set("shards", static_cast<std::uint64_t>(opts.shards));
+    doc.set("maxUnitRetries",
+            static_cast<std::uint64_t>(opts.maxUnitRetries));
+    doc.set("unitsTotal", static_cast<std::uint64_t>(units.size()));
+    Json arr = Json::array();
+    for (const UnitInfo &u : units) {
+        Json j = Json::object();
+        j.set("item", static_cast<std::uint64_t>(u.key.first));
+        j.set("run", static_cast<std::int64_t>(u.key.second));
+        j.set("outcome", unitStateName(u.state));
+        j.set("attempts", static_cast<std::uint64_t>(u.attempts));
+        arr.push(std::move(j));
+    }
+    doc.set("units", std::move(arr));
+    Json q = Json::array();
+    for (const JournalKey &key : quarantined) {
+        Json j = Json::object();
+        j.set("item", static_cast<std::uint64_t>(key.first));
+        j.set("run", static_cast<std::int64_t>(key.second));
+        q.push(std::move(j));
+    }
+    doc.set("quarantined", std::move(q));
+    Json counters = Json::object();
+    counters.set("shardsSpawned", c.shardsSpawned);
+    counters.set("shardExitsOk", c.shardExitsOk);
+    counters.set("shardCrashes", c.shardCrashes);
+    counters.set("shardStalls", c.shardStalls);
+    counters.set("retries", c.retries);
+    counters.set("restored", c.restored);
+    counters.set("injectedCrashes", c.injectedCrashes);
+    doc.set("counters", std::move(counters));
+    return doc;
+}
+
+/** Validate a pre-existing manifest on resume: a parseable manifest
+ * from a different sweep is refused; a torn one is rebuilt. */
+void
+checkExistingManifest(const std::string &path,
+                      const CampaignOptions &opts)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return;
+    std::string text((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    std::string err;
+    const Json doc = Json::parse(text, &err);
+    if (!err.empty() || !doc.isObject() || !doc.has("schema") ||
+        !doc.has("signature")) {
+        warn("campaign: manifest '%s' is torn or unreadable; "
+             "rebuilding it from the shard journals",
+             path.c_str());
+        return;
+    }
+    hard_throw_if(doc["schema"].asString() != kCampaignSchema,
+                  ConfigError, "campaign: '%s' is not a %s manifest",
+                  path.c_str(), kCampaignSchema);
+    hard_throw_if(doc["signature"].asString() != opts.signature,
+                  ConfigError,
+                  "campaign: manifest '%s' was written by a different "
+                  "sweep (signature mismatch); re-run without --resume",
+                  path.c_str());
+}
+
+} // namespace
+
+std::string
+campaignManifestPathFor(const std::string &jsonPath)
+{
+    return outputStem(jsonPath) + ".campaign.json";
+}
+
+std::string
+shardJournalPathFor(const std::string &jsonPath, std::uint64_t spawnId)
+{
+    return outputStem(jsonPath) + kShardInfix + std::to_string(spawnId) +
+        kShardSuffix;
+}
+
+CrashSpec
+parseCrashSpec(const std::string &spec)
+{
+    const std::size_t dot = spec.find('.');
+    const std::size_t c1 = spec.find(':');
+    hard_throw_if(dot == std::string::npos || c1 == std::string::npos ||
+                      dot == 0 || c1 < dot + 2,
+                  ConfigError,
+                  "--inject-shard-crash: expected ITEM.RUN:KIND[:TIMES], "
+                  "got '%s'",
+                  spec.c_str());
+    CrashSpec cs;
+    cs.item = static_cast<std::size_t>(
+        parseUnsigned(spec.substr(0, dot), "item index", spec));
+    std::string run = spec.substr(dot + 1, c1 - dot - 1);
+    if (run == "-1" || run == "overhead") {
+        cs.run = -1;
+    } else {
+        cs.run = static_cast<std::int64_t>(
+            parseUnsigned(run, "run index", spec));
+    }
+    std::string rest = spec.substr(c1 + 1);
+    std::string kind = rest;
+    const std::size_t c2 = rest.find(':');
+    if (c2 != std::string::npos) {
+        kind = rest.substr(0, c2);
+        cs.times = static_cast<unsigned>(
+            parseUnsigned(rest.substr(c2 + 1), "repeat count", spec));
+        hard_throw_if(cs.times == 0, ConfigError,
+                      "--inject-shard-crash: repeat count must be >= 1 "
+                      "in '%s'",
+                      spec.c_str());
+    }
+    if (kind == "pre-unit") {
+        cs.kind = CrashSpec::Kind::PreUnit;
+    } else if (kind == "mid-journal-write") {
+        cs.kind = CrashSpec::Kind::MidJournalWrite;
+    } else if (kind == "mid-cache-store") {
+        cs.kind = CrashSpec::Kind::MidCacheStore;
+    } else {
+        throw ConfigError(errfmt(
+            "--inject-shard-crash: unknown kind '%s' (want pre-unit | "
+            "mid-journal-write | mid-cache-store)",
+            kind.c_str()));
+    }
+    cs.valid = true;
+    return cs;
+}
+
+std::vector<JournalKey>
+batchCampaignUnits(const std::vector<BatchItem> &items)
+{
+    std::vector<JournalKey> units;
+    for (std::size_t i = 0; i < items.size(); ++i) {
+        if (items[i].effectiveness)
+            for (unsigned r = 0; r <= items[i].runs; ++r)
+                units.push_back({i, static_cast<std::int64_t>(r)});
+        if (items[i].overhead)
+            units.push_back({i, -1});
+    }
+    return units;
+}
+
+ShardBody
+makeBatchShardBody(std::vector<BatchItem> items,
+                   std::uint64_t unitTimeoutMs, TraceCache *cache)
+{
+    return [items = std::move(items), unitTimeoutMs, cache](
+               const std::vector<JournalKey> &units,
+               BatchJournal &journal, const CrashSpec *crash) -> int {
+        const std::set<JournalKey> assigned(units.begin(), units.end());
+        BatchOptions bo;
+        bo.keepGoing = true;
+        bo.journal = &journal;
+        bo.unitTimeoutMs = unitTimeoutMs;
+        bo.unitFilter = [&assigned](std::size_t i, std::int64_t r) {
+            return assigned.count({i, r}) != 0;
+        };
+        std::shared_ptr<std::atomic<bool>> armed;
+        if (crash != nullptr && crash->valid) {
+            const JournalKey ck = crash->key();
+            switch (crash->kind) {
+              case CrashSpec::Kind::PreUnit:
+                bo.unitStartHook = [ck](std::size_t i, std::int64_t r) {
+                    if (JournalKey{i, r} == ck)
+                        ::raise(SIGKILL);
+                };
+                break;
+              case CrashSpec::Kind::MidJournalWrite:
+                journal.killMidAppend(ck);
+                break;
+              case CrashSpec::Kind::MidCacheStore:
+                // Armed only while the target unit runs: its cold-path
+                // trace-cache store dies after the temp file is
+                // written but before the rename publishes it.
+                armed = std::make_shared<std::atomic<bool>>(false);
+                bo.unitStartHook = [ck, armed](std::size_t i,
+                                               std::int64_t r) {
+                    armed->store(JournalKey{i, r} == ck);
+                };
+                if (cache != nullptr)
+                    cache->setStoreCrashHook([armed] {
+                        if (armed->load())
+                            ::raise(SIGKILL);
+                    });
+                break;
+            }
+        }
+        // Serial pool: the supervisor's blame attribution ("the first
+        // incomplete assigned unit killed the shard") requires units
+        // to execute in assignment order, one at a time.
+        RunPool pool(1);
+        try {
+            runBatch(items, pool, bo);
+        } catch (const std::exception &e) {
+            warn("campaign: shard failed: %s", e.what());
+            return 1;
+        } catch (...) {
+            return 1;
+        }
+        return 0;
+    };
+}
+
+Json
+batchQuarantinePayload(const std::vector<BatchItem> &items,
+                       const JournalKey &key, unsigned attempts)
+{
+    const auto [i, r] = key;
+    hard_throw_if(i >= items.size(), ConfigError,
+                  "campaign: quarantined unit %zu.%lld is outside the "
+                  "item list",
+                  i, static_cast<long long>(r));
+    const std::string msg = errfmt(
+        "unit crashed its shard %u time%s and was quarantined", attempts,
+        attempts == 1 ? "" : "s");
+    Json j = Json::object();
+    if (r == -1) {
+        j.set("outcome", "quarantined");
+        j.set("errorType", "ShardCrashError");
+        j.set("errorMessage", msg);
+        return j;
+    }
+    // Shaped exactly like a journaled failed EffectivenessRun, so
+    // effectivenessRunFromJson restores it with no special case.
+    j.set("index", static_cast<std::uint64_t>(r));
+    j.set("raceFree", static_cast<std::uint64_t>(r) >= items[i].runs);
+    j.set("outcome", "quarantined");
+    j.set("errorType", "ShardCrashError");
+    j.set("errorMessage", msg);
+    j.set("injectionValid", false);
+    j.set("detectors", Json::object());
+    return j;
+}
+
+CampaignResult
+runCampaign(const std::vector<JournalKey> &units,
+            const CampaignOptions &opts, const ShardBody &body)
+{
+    hard_throw_if(opts.outputBase.empty(), ConfigError,
+                  "campaign: outputBase is required (shard journals and "
+                  "the manifest derive from it)");
+    hard_throw_if(opts.shards == 0, ConfigError,
+                  "campaign: --shards must be >= 1");
+
+    CampaignResult result;
+    std::vector<UnitInfo> state(units.size());
+    std::map<JournalKey, std::size_t> index;
+    for (std::size_t i = 0; i < units.size(); ++i) {
+        state[i].key = units[i];
+        hard_throw_if(!index.emplace(units[i], i).second, ConfigError,
+                      "campaign: duplicate unit %zu.%lld",
+                      units[i].first,
+                      static_cast<long long>(units[i].second));
+    }
+
+    const std::string manifest_path =
+        campaignManifestPathFor(opts.outputBase);
+    std::uint64_t next_spawn = 0;
+
+    // Resume: salvage every completed unit from the shard journals of
+    // the interrupted campaign. The journals are the source of truth;
+    // the manifest is only checked for cross-sweep contamination.
+    if (opts.resume) {
+        checkExistingManifest(manifest_path, opts);
+        const std::string stem = outputStem(opts.outputBase);
+        const std::filesystem::path stem_path(stem);
+        const std::string prefix =
+            stem_path.filename().string() + kShardInfix;
+        const std::filesystem::path dir = stem_path.has_parent_path()
+            ? stem_path.parent_path()
+            : std::filesystem::path(".");
+        std::error_code ec;
+        for (const auto &entry :
+             std::filesystem::directory_iterator(dir, ec)) {
+            const std::string name = entry.path().filename().string();
+            if (name.rfind(prefix, 0) != 0 ||
+                name.size() <= prefix.size() + std::strlen(kShardSuffix) ||
+                name.compare(name.size() - std::strlen(kShardSuffix),
+                             std::strlen(kShardSuffix),
+                             kShardSuffix) != 0)
+                continue;
+            const std::string id_text = name.substr(
+                prefix.size(),
+                name.size() - prefix.size() - std::strlen(kShardSuffix));
+            char *end = nullptr;
+            const std::uint64_t id =
+                std::strtoull(id_text.c_str(), &end, 10);
+            if (end == nullptr || *end != '\0')
+                continue;
+            if (id >= next_spawn)
+                next_spawn = id + 1;
+            const JournalEntries got = loadShardEntries(
+                entry.path().string(), opts.signature);
+            for (const auto &[key, payload] : got) {
+                const auto it = index.find(key);
+                if (it == index.end() ||
+                    state[it->second].state != UnitState::Pending)
+                    continue;
+                result.entries[key] = payload;
+                state[it->second].state = UnitState::Restored;
+                ++result.counters.restored;
+            }
+        }
+        if (result.counters.restored != 0)
+            inform("campaign: restored %llu unit(s) from previous "
+                   "shard journals",
+                   static_cast<unsigned long long>(
+                       result.counters.restored));
+    }
+
+    writeFileAtomic(manifest_path,
+                    campaignReport("pending", state, result.quarantined,
+                                   result.counters, opts)
+                            .dump() +
+                        "\n");
+
+    unsigned inject_left =
+        opts.injectCrash.valid ? opts.injectCrash.times : 0;
+    std::vector<Shard> live;
+    const auto t0 = std::chrono::steady_clock::now();
+    auto now_ms = [&t0] {
+        return static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                std::chrono::steady_clock::now() - t0)
+                .count());
+    };
+
+    auto pending_left = [&state] {
+        for (const UnitInfo &u : state)
+            if (u.state == UnitState::Pending)
+                return true;
+        return false;
+    };
+
+    while (pending_left() || !live.empty()) {
+        const std::uint64_t now = now_ms();
+        bool progressed = false;
+
+        // Reap finished shards; salvage their journals; blame, retry
+        // or quarantine whatever they left incomplete.
+        for (std::size_t s = 0; s < live.size();) {
+            Shard &shard = live[s];
+            int wstatus = 0;
+            const pid_t r = ::waitpid(shard.pid, &wstatus, WNOHANG);
+            if (r == 0) {
+                ++s;
+                continue;
+            }
+            progressed = true;
+            const bool clean = r == shard.pid && WIFEXITED(wstatus) &&
+                WEXITSTATUS(wstatus) == 0;
+            const JournalEntries got =
+                loadShardEntries(shard.journalPath, opts.signature);
+            for (const auto &[key, payload] : got) {
+                const auto it = index.find(key);
+                if (it == index.end() ||
+                    state[it->second].state != UnitState::Pending)
+                    continue;
+                result.entries[key] = payload;
+                state[it->second].state = UnitState::Completed;
+            }
+            if (clean) {
+                ++result.counters.shardExitsOk;
+            } else {
+                ++result.counters.shardCrashes;
+                if (WIFSIGNALED(wstatus))
+                    warn("campaign: shard %llu (pid %ld) killed by "
+                         "signal %d%s",
+                         static_cast<unsigned long long>(shard.spawnId),
+                         static_cast<long>(shard.pid),
+                         WTERMSIG(wstatus),
+                         shard.stalled ? " (stall detector)" : "");
+                else
+                    warn("campaign: shard %llu (pid %ld) exited with "
+                         "status %d",
+                         static_cast<unsigned long long>(shard.spawnId),
+                         static_cast<long>(shard.pid),
+                         WIFEXITED(wstatus) ? WEXITSTATUS(wstatus) : -1);
+            }
+            // Shards execute serially in assignment order, so the
+            // first assigned unit with no journal record is exactly
+            // the one that was in flight when the shard died.
+            bool blamed = false;
+            for (const JournalKey &key : shard.assigned) {
+                UnitInfo &u = state[index.at(key)];
+                if (u.state != UnitState::Pending)
+                    continue;
+                u.inFlight = false;
+                if (blamed)
+                    continue; // innocent bystander: requeue immediately
+                blamed = true;
+                ++u.attempts;
+                result.attempts[key] = u.attempts;
+                if (u.attempts >= opts.maxUnitRetries) {
+                    u.state = UnitState::Quarantined;
+                    warn("campaign: unit %zu.%lld crashed its shard %u "
+                         "time(s); quarantined",
+                         key.first, static_cast<long long>(key.second),
+                         u.attempts);
+                } else {
+                    ++result.counters.retries;
+                    u.eligibleAtMs =
+                        now + backoffMs(key, u.attempts, opts);
+                    inform("campaign: unit %zu.%lld blamed for the "
+                           "crash; retry %u/%u after backoff",
+                           key.first,
+                           static_cast<long long>(key.second),
+                           u.attempts, opts.maxUnitRetries);
+                }
+            }
+            live[s] = std::move(live.back());
+            live.pop_back();
+        }
+
+        // Stall detection: a live shard whose journal stopped growing
+        // is wedged beyond what in-process budgets can interrupt.
+        if (opts.shardStallTimeoutMs != 0) {
+            for (Shard &shard : live) {
+                if (shard.stalled)
+                    continue;
+                const std::uintmax_t size =
+                    fileSizeOrZero(shard.journalPath);
+                if (size != shard.lastSize) {
+                    shard.lastSize = size;
+                    shard.lastGrowthMs = now;
+                } else if (now - shard.lastGrowthMs >
+                           opts.shardStallTimeoutMs) {
+                    warn("campaign: shard %llu (pid %ld) made no "
+                         "journal progress for %llu ms; killing it",
+                         static_cast<unsigned long long>(shard.spawnId),
+                         static_cast<long>(shard.pid),
+                         static_cast<unsigned long long>(
+                             opts.shardStallTimeoutMs));
+                    shard.stalled = true;
+                    ++result.counters.shardStalls;
+                    ::kill(shard.pid, SIGKILL);
+                }
+            }
+        }
+
+        // Spawn: hand contiguous slices of the eligible pending units
+        // to free shard slots, preserving global unit order.
+        if (live.size() < opts.shards) {
+            std::vector<JournalKey> eligible;
+            for (const UnitInfo &u : state)
+                if (u.state == UnitState::Pending && !u.inFlight &&
+                    u.eligibleAtMs <= now)
+                    eligible.push_back(u.key);
+            const std::size_t slots = opts.shards - live.size();
+            if (!eligible.empty()) {
+                const std::size_t nshards =
+                    eligible.size() < slots ? eligible.size() : slots;
+                const std::size_t chunk =
+                    (eligible.size() + nshards - 1) / nshards;
+                for (std::size_t k = 0; k < nshards; ++k) {
+                    const std::size_t lo = k * chunk;
+                    const std::size_t hi =
+                        lo + chunk < eligible.size() ? lo + chunk
+                                                     : eligible.size();
+                    if (lo >= hi)
+                        break;
+                    std::vector<JournalKey> slice(
+                        eligible.begin() +
+                            static_cast<std::ptrdiff_t>(lo),
+                        eligible.begin() +
+                            static_cast<std::ptrdiff_t>(hi));
+
+                    bool armed = false;
+                    if (inject_left > 0) {
+                        for (const JournalKey &key : slice)
+                            if (key == opts.injectCrash.key()) {
+                                armed = true;
+                                break;
+                            }
+                        if (armed) {
+                            --inject_left;
+                            ++result.counters.injectedCrashes;
+                        }
+                    }
+
+                    Shard shard;
+                    shard.spawnId = next_spawn++;
+                    shard.journalPath = shardJournalPathFor(
+                        opts.outputBase, shard.spawnId);
+                    shard.assigned = slice;
+                    shard.lastGrowthMs = now;
+
+                    // The supervisor is single-threaded, so fork() is
+                    // safe; flush stdio first so the child does not
+                    // replay buffered parent output.
+                    std::fflush(stdout);
+                    std::fflush(stderr);
+                    const pid_t pid = ::fork();
+                    hard_throw_if(pid < 0, ConfigError,
+                                  "campaign: fork failed: %s",
+                                  std::strerror(errno));
+                    if (pid == 0) {
+                        int status = 1;
+                        try {
+                            BatchJournal journal(shard.journalPath,
+                                                 opts.signature, false);
+                            status = body(slice, journal,
+                                          armed ? &opts.injectCrash
+                                                : nullptr);
+                        } catch (...) {
+                            status = 1;
+                        }
+                        // _Exit: no atexit handlers, no static
+                        // destructors — the child shares the parent's
+                        // address-space snapshot and must not run its
+                        // cleanup.
+                        std::_Exit(status);
+                    }
+                    shard.pid = pid;
+                    ++result.counters.shardsSpawned;
+                    inform("campaign: shard %llu (pid %ld) started "
+                           "with %zu unit(s)%s",
+                           static_cast<unsigned long long>(
+                               shard.spawnId),
+                           static_cast<long>(pid), slice.size(),
+                           armed ? " [crash injector armed]" : "");
+                    for (const JournalKey &key : slice)
+                        state[index.at(key)].inFlight = true;
+                    live.push_back(std::move(shard));
+                    progressed = true;
+                }
+            }
+        }
+
+        if (!progressed)
+            std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+
+    // Synthesize payloads for quarantined units so the merged entries
+    // cover the full unit space.
+    for (const UnitInfo &u : state) {
+        if (u.state != UnitState::Quarantined)
+            continue;
+        result.quarantined.push_back(u.key);
+        hard_throw_if(!opts.quarantinePayload, ConfigError,
+                      "campaign: unit %zu.%lld was quarantined but no "
+                      "quarantine payload synthesizer is configured",
+                      u.key.first,
+                      static_cast<long long>(u.key.second));
+        result.entries[u.key] =
+            opts.quarantinePayload(u.key, u.attempts);
+    }
+
+    result.report = campaignReport("complete", state, result.quarantined,
+                                   result.counters, opts);
+    writeFileAtomic(manifest_path, result.report.dump() + "\n");
+    return result;
+}
+
+} // namespace hard

@@ -1,0 +1,254 @@
+/**
+ * @file
+ * Crash-tolerant sharded campaign orchestration.
+ *
+ * A campaign is a batch sweep whose unit space is partitioned across N
+ * shard *processes* rather than threads: a single supervisor forks
+ * shards, each shard runs its assigned units through the ordinary
+ * batch driver and journals every completed unit to its own
+ * hard.journal.v1 file, and the supervisor merges the shard journals
+ * back into one JournalEntries map. Because every unit is
+ * deterministic and journal payloads round-trip losslessly, feeding
+ * the merged entries back through runBatch() as restored results
+ * yields a hard.batch.v2 document byte-identical to the same sweep
+ * run crash-free in one process — regardless of shard count, crash
+ * pattern, or interleaving.
+ *
+ * Process isolation is the point: a unit that SIGSEGVs, OOMs, or is
+ * SIGKILLed takes down only its shard. The supervisor detects the
+ * death (non-zero exit, signal, or a stall in journal growth), salvages
+ * every intact journal record the shard flushed before dying, blames
+ * the first incomplete assigned unit (shards execute serially in
+ * assignment order, so the blame is exact), and re-queues it with
+ * exponential backoff + deterministic jitter. A unit that crashes its
+ * shard maxUnitRetries times is quarantined: it gets a synthesized
+ * "quarantined" payload instead of ever running again, and the rest of
+ * the sweep completes around it.
+ *
+ * Torn state is recovered everywhere: truncated journal lines are
+ * skipped (loadJournal), headerless journals from shards killed
+ * before their first flush count as empty, orphaned trace-cache temp
+ * files are swept on cache open, and the campaign manifest is
+ * published with an atomic rename so a torn manifest is rebuilt
+ * rather than trusted.
+ */
+
+#ifndef HARD_HARNESS_CAMPAIGN_HH
+#define HARD_HARNESS_CAMPAIGN_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/json.hh"
+#include "harness/batch.hh"
+#include "harness/journal.hh"
+
+namespace hard
+{
+
+/** Campaign manifest/report schema tag. */
+extern const char *const kCampaignSchema;
+
+/**
+ * Crash-fault injection spec for the built-in injector
+ * (--inject-shard-crash=ITEM.RUN:KIND[:TIMES]). The supervisor arms
+ * the spec in at most TIMES spawned shards whose assignment contains
+ * the unit; the armed shard SIGKILLs itself at the chosen point while
+ * processing that unit.
+ */
+struct CrashSpec
+{
+    enum class Kind
+    {
+        /** Die before the unit executes (after earlier assigned units
+         * completed and were journaled). */
+        PreUnit,
+        /** Die halfway through fwrite()ing the unit's journal record,
+         * leaving a torn line (BatchJournal::killMidAppend). */
+        MidJournalWrite,
+        /** Die between writing a trace-cache temp file and the
+         * publishing rename, orphaning the temp
+         * (TraceCache::setStoreCrashHook); only fires in fast mode on
+         * a cold cache slot. */
+        MidCacheStore,
+    };
+
+    bool valid = false;
+    std::size_t item = 0;
+    std::int64_t run = 0;
+    Kind kind = Kind::PreUnit;
+    /** How many shard spawns to arm before the injector goes inert
+     * (1 = crash once, then let the retry succeed; large values drive
+     * the unit into quarantine). */
+    unsigned times = 1;
+
+    JournalKey key() const { return {item, run}; }
+};
+
+/**
+ * Parse "ITEM.RUN:KIND[:TIMES]" (RUN may be -1 for the overhead
+ * unit; KIND is pre-unit | mid-journal-write | mid-cache-store).
+ * Throws ConfigError on malformed input.
+ */
+CrashSpec parseCrashSpec(const std::string &spec);
+
+/**
+ * The work a shard performs, run in the forked child: execute
+ * @p units (in the given order — the supervisor's blame attribution
+ * depends on it), journaling each completed unit to @p journal.
+ * @p crash is non-null when this shard is armed with an injected
+ * crash. Returns the shard's exit status (0 = success).
+ */
+using ShardBody = std::function<int(const std::vector<JournalKey> &units,
+                                    BatchJournal &journal,
+                                    const CrashSpec *crash)>;
+
+/** Supervision knobs for runCampaign(). */
+struct CampaignOptions
+{
+    /** Maximum concurrently live shard processes. */
+    unsigned shards = 2;
+    /**
+     * A unit that crashes its shard this many times is quarantined
+     * instead of retried again (its synthesized payload carries
+     * outcome "quarantined").
+     */
+    unsigned maxUnitRetries = 2;
+    /** First-retry backoff; doubles per crash of the same unit. */
+    std::uint64_t backoffBaseMs = 25;
+    /** Backoff ceiling. */
+    std::uint64_t backoffCapMs = 1000;
+    /** Seed of the deterministic backoff jitter (plus unit identity
+     * and attempt number), so retry schedules decorrelate without a
+     * wall-clock/random dependence. */
+    std::uint64_t backoffJitterSeed = 0;
+    /**
+     * Supervisor-side stall detector: a live shard whose journal file
+     * has not grown for this long is presumed wedged (in a way even
+     * the in-process wall-clock budget cannot interrupt — e.g. an
+     * uninterruptible syscall), SIGKILLed, and handled like any other
+     * crash. 0 = off.
+     */
+    std::uint64_t shardStallTimeoutMs = 0;
+    /**
+     * Base path the campaign derives its on-disk names from
+     * (conventionally the --json output path): shard journals are
+     * "<stem>.shard-<spawn>.journal.jsonl" and the manifest/report is
+     * campaignManifestPathFor(outputBase). Required.
+     */
+    std::string outputBase;
+    /** Canonical sweep signature (journal headers + manifest; resume
+     * across a signature change is refused). */
+    std::string signature;
+    /** Merge completed units from the shard journals of a previous
+     * interrupted campaign before spawning anything. */
+    bool resume = false;
+    /** Built-in crash-fault injector (tests/CI); inert when !valid. */
+    CrashSpec injectCrash;
+    /**
+     * Synthesize the journal payload of a quarantined unit, so the
+     * merged entries cover the full unit space (batch campaigns use
+     * batchQuarantinePayload; the fuzz campaign supplies its own).
+     * Required if any unit can be quarantined.
+     */
+    std::function<Json(const JournalKey &key, unsigned attempts)>
+        quarantinePayload;
+};
+
+/** Supervisor-side event counters (reported, never merged into the
+ * batch JSON — that document stays byte-identical to a non-campaign
+ * sweep). */
+struct CampaignCounters
+{
+    std::uint64_t shardsSpawned = 0;
+    std::uint64_t shardExitsOk = 0;
+    /** Shards that died by signal or non-zero exit. */
+    std::uint64_t shardCrashes = 0;
+    /** Shards SIGKILLed by the stall detector (also counted in
+     * shardCrashes when reaped). */
+    std::uint64_t shardStalls = 0;
+    /** Unit re-queues after a blamed crash. */
+    std::uint64_t retries = 0;
+    /** Units restored from a previous campaign's shard journals. */
+    std::uint64_t restored = 0;
+    /** Crash-spec arms actually handed to a spawned shard. */
+    std::uint64_t injectedCrashes = 0;
+};
+
+/** Everything a finished campaign produced. */
+struct CampaignResult
+{
+    /** Merged payloads covering the full unit space (completed,
+     * restored, and synthesized quarantined units). */
+    JournalEntries entries;
+    /** Units quarantined after repeated shard crashes, in unit
+     * order. */
+    std::vector<JournalKey> quarantined;
+    /** Crash count per unit that ever crashed a shard. */
+    std::map<JournalKey, unsigned> attempts;
+    CampaignCounters counters;
+    /** The final hard.campaign.v1 report (also written to
+     * campaignManifestPathFor(outputBase)). */
+    Json report;
+};
+
+/**
+ * Run @p units to completion under crash supervision: fork up to
+ * opts.shards concurrent shard processes executing @p body over
+ * disjoint slices of the unit space, merge their journals, retry or
+ * quarantine units whose shard died, and return the merged results.
+ * The unit vector's order is the canonical global order — shards
+ * receive contiguous slices of it and blame attribution assumes each
+ * shard processes its slice serially in order (RunPool(1) inside the
+ * body).
+ */
+CampaignResult runCampaign(const std::vector<JournalKey> &units,
+                           const CampaignOptions &opts,
+                           const ShardBody &body);
+
+/**
+ * Enumerate the unit space of @p items in the exact order runBatch's
+ * execution phase does — per item: effectiveness runs 0..runs, then
+ * the overhead unit (-1). Campaign blame attribution and shard
+ * slicing both build on this order.
+ */
+std::vector<JournalKey> batchCampaignUnits(const std::vector<BatchItem> &items);
+
+/**
+ * The standard shard body for a batch campaign: runs @p items through
+ * runBatch with keepGoing, a unitFilter restricted to the shard's
+ * assignment, the given per-unit wall-clock budget, and the crash
+ * injector wired to the journal and @p cache (the same TraceCache the
+ * items reference, or null). @p items is captured by value — the body
+ * outlives the caller's frame only in the forked child, but cheap
+ * insurance is cheap.
+ */
+ShardBody makeBatchShardBody(std::vector<BatchItem> items,
+                             std::uint64_t unitTimeoutMs,
+                             TraceCache *cache);
+
+/**
+ * Synthesized journal payload of a quarantined batch unit: an
+ * EffectivenessRun (or overhead record, run == -1) with outcome
+ * "quarantined" and errorType "ShardCrashError", shaped exactly like
+ * a journaled failure so restoration and batch JSON need no special
+ * cases beyond the new outcome string.
+ */
+Json batchQuarantinePayload(const std::vector<BatchItem> &items,
+                            const JournalKey &key, unsigned attempts);
+
+/** @return the manifest/report path paired with a batch JSON output
+ * path: "<path minus .json>.campaign.json". */
+std::string campaignManifestPathFor(const std::string &jsonPath);
+
+/** @return the journal path of spawned shard @p spawnId:
+ * "<path minus .json>.shard-<spawnId>.journal.jsonl". */
+std::string shardJournalPathFor(const std::string &jsonPath,
+                                std::uint64_t spawnId);
+
+} // namespace hard
+
+#endif // HARD_HARNESS_CAMPAIGN_HH

@@ -1,6 +1,9 @@
 #include "harness/journal.hh"
 
+#include <csignal>
+
 #include "common/error.hh"
+#include "common/logging.hh"
 
 namespace hard
 {
@@ -40,10 +43,25 @@ BatchJournal::append(const JournalKey &key, const Json &payload)
     std::string line = rec.dump();
     line.push_back('\n');
     std::lock_guard<std::mutex> lk(mu_);
+    if (killKey_ && *killKey_ == key) {
+        // Injected crash: leave exactly the torn half-line a process
+        // dying mid-fwrite would, then die without running any
+        // destructor or exit handler.
+        std::fwrite(line.data(), 1, line.size() / 2, file_);
+        std::fflush(file_);
+        ::raise(SIGKILL);
+    }
     std::fwrite(line.data(), 1, line.size(), file_);
     // Flush per record: an interrupted sweep must find every unit
     // that completed before the kill.
     std::fflush(file_);
+}
+
+void
+BatchJournal::killMidAppend(const JournalKey &key)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    killKey_ = key;
 }
 
 JournalEntries
@@ -63,18 +81,34 @@ loadJournal(const std::string &path, const std::string &signature)
     JournalEntries entries;
     bool saw_header = false;
     std::size_t pos = 0;
+    std::size_t lineno = 0;
     while (pos < text.size()) {
         std::size_t eol = text.find('\n', pos);
-        if (eol == std::string::npos)
-            break; // trailing partial line from an interrupted write
+        if (eol == std::string::npos) {
+            // Trailing partial line: the writer died mid-append (or
+            // mid-header). Every complete record above it is good.
+            warn("journal: '%s': ignoring truncated final line "
+                 "(interrupted write)",
+                 path.c_str());
+            break;
+        }
         std::string line = text.substr(pos, eol - pos);
         pos = eol + 1;
+        ++lineno;
         if (line.empty())
             continue;
         std::string err;
         Json rec = Json::parse(line, &err);
-        if (!err.empty() || !rec.isObject())
-            break; // torn record: everything before it is still good
+        if (!err.empty() || !rec.isObject()) {
+            // A torn record mid-file: a crash between fwrite and
+            // flush can leave a mangled line that later appends then
+            // wrote past. Skip it; intact records on either side are
+            // still trustworthy because each was flushed whole.
+            warn("journal: '%s': skipping torn record at line %zu "
+                 "(crash mid-append?)",
+                 path.c_str(), lineno);
+            continue;
+        }
         if (!saw_header) {
             hard_throw_if(!rec.has("schema") ||
                               rec["schema"].asString() != kJournalSchema,
@@ -91,8 +125,12 @@ loadJournal(const std::string &path, const std::string &signature)
             saw_header = true;
             continue;
         }
-        if (!rec.has("item") || !rec.has("run") || !rec.has("payload"))
-            break;
+        if (!rec.has("item") || !rec.has("run") || !rec.has("payload")) {
+            warn("journal: '%s': skipping incomplete record at line "
+                 "%zu (crash mid-append?)",
+                 path.c_str(), lineno);
+            continue;
+        }
         JournalKey key{static_cast<std::size_t>(rec["item"].asUint()),
                        rec["run"].asInt()};
         entries[key] = rec["payload"];

@@ -26,6 +26,7 @@
 #include <cstdio>
 #include <map>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <utility>
 
@@ -71,19 +72,31 @@ class BatchJournal
 
     const std::string &path() const { return path_; }
 
+    /**
+     * Crash-fault injection (campaign tests): when the record for
+     * @p key is appended, write only the first half of its line,
+     * flush, and SIGKILL the process — the exact torn state a shard
+     * dying mid-append leaves behind. The supervisor's merge must
+     * skip the torn line and re-queue the unit.
+     */
+    void killMidAppend(const JournalKey &key);
+
   private:
     std::string path_;
     std::FILE *file_;
     std::mutex mu_;
+    std::optional<JournalKey> killKey_;
 };
 
 /**
  * Load a journal written by a previous run of the same sweep.
  * Verifies the meta header (schema + @p signature; mismatch throws
  * ConfigError — resuming under different parameters would silently
- * merge incompatible results). Ignores a trailing partial line (the
- * write the dying process did not finish). Throws ConfigError if the
- * file does not exist or is not a journal.
+ * merge incompatible results). Torn records — a trailing partial
+ * line, or any unparseable/incomplete line from a crash mid-append —
+ * are skipped with a warn(); every intact record before and after
+ * them is still restored. Throws ConfigError if the file does not
+ * exist or is not a journal.
  */
 JournalEntries loadJournal(const std::string &path,
                            const std::string &signature);

@@ -56,6 +56,17 @@ struct SimConfig
      */
     Cycle maxCycles = 0;
     /**
+     * Host wall-clock budget in milliseconds: the run raises
+     * TimeoutError once this much real time has elapsed inside
+     * System::run() (0 = unlimited). Complements maxCycles/the
+     * watchdog, which measure *simulated* time and cannot see a host
+     * that stopped progressing through cycles at all. Deliberately NOT
+     * part of the fast-mode trace-cache key: a timeout never produces
+     * a stored trace, and the budget does not perturb the
+     * interleaving of runs that finish.
+     */
+    std::uint64_t wallMsBudget = 0;
+    /**
      * Forward-progress watchdog: if no thread retires an operation
      * for this many cycles while live threads spin/poll, the run is
      * declared dead and raises DeadlockError with a per-thread

@@ -1,6 +1,7 @@
 #include "sim/system.hh"
 
 #include <algorithm>
+#include <chrono>
 
 #include "common/logging.hh"
 
@@ -568,6 +569,13 @@ System::run()
     hard_fatal_if(ran_, "system: run() called twice");
     ran_ = true;
 
+    // Host wall-clock budget (SimConfig::wallMsBudget). The clock
+    // probe is amortized: one steady_clock read every kWallCheckOps
+    // scheduler iterations keeps the check invisible on the hot path.
+    const auto wall_start = std::chrono::steady_clock::now();
+    constexpr std::uint64_t kWallCheckOps = 2048;
+    std::uint64_t wall_countdown = kWallCheckOps;
+
     auto diagnose = [this](const char *why, Cycle at,
                            Cycle stalled) -> DeadlockError {
         std::vector<ThreadSnapshot> snaps = snapshotThreads();
@@ -614,6 +622,25 @@ System::run()
             best.at > lastProgressAt_ + cfg_.watchdogCycles)
             throw diagnose("no forward progress in", best.at,
                            best.at - lastProgressAt_);
+        if (cfg_.wallMsBudget != 0 && --wall_countdown == 0) {
+            wall_countdown = kWallCheckOps;
+            const std::uint64_t elapsed_ms = static_cast<std::uint64_t>(
+                std::chrono::duration_cast<std::chrono::milliseconds>(
+                    std::chrono::steady_clock::now() - wall_start)
+                    .count());
+            if (elapsed_ms > cfg_.wallMsBudget)
+                throw TimeoutError(
+                    errfmt("system: '%s' exceeded wall-clock budget of "
+                           "%llu ms (%llu ms elapsed, %llu ops retired "
+                           "at cycle %llu)",
+                           prog_.name.c_str(),
+                           static_cast<unsigned long long>(
+                               cfg_.wallMsBudget),
+                           static_cast<unsigned long long>(elapsed_ms),
+                           static_cast<unsigned long long>(retiredOps_),
+                           static_cast<unsigned long long>(best.at)),
+                    elapsed_ms, cfg_.wallMsBudget);
+        }
 
         if (sampler_ != nullptr)
             sampler_->tick(best.at);

@@ -1,6 +1,7 @@
 #include "trace/trace_cache.hh"
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -162,13 +163,61 @@ makeRunKey(const std::string &workload, const WorkloadParams &wp,
     return key;
 }
 
-TraceCache::TraceCache(const std::string &dir) : dir_(dir)
+TraceCache::TraceCache(const std::string &dir,
+                       std::uint64_t orphanTtlSeconds)
+    : dir_(dir)
 {
     std::error_code ec;
     std::filesystem::create_directories(dir_, ec);
     hard_fatal_if(ec && !std::filesystem::is_directory(dir_),
                   "trace-cache: cannot create directory '%s': %s",
                   dir_.c_str(), ec.message().c_str());
+    sweepOrphans(orphanTtlSeconds);
+}
+
+void
+TraceCache::sweepOrphans(std::uint64_t ttlSeconds)
+{
+    const auto now = std::filesystem::file_time_type::clock::now();
+    std::error_code ec;
+    std::filesystem::directory_iterator it(dir_, ec), end;
+    if (ec)
+        return;
+    std::uint64_t swept = 0;
+    for (; it != end; it.increment(ec)) {
+        if (ec)
+            break;
+        const std::filesystem::path &p = it->path();
+        if (p.filename().string().rfind(".tmp.", 0) != 0)
+            continue;
+        if (ttlSeconds != 0) {
+            std::error_code tec;
+            const auto mtime = std::filesystem::last_write_time(p, tec);
+            if (tec)
+                continue; // likely renamed/removed under us: not ours
+            const auto age =
+                std::chrono::duration_cast<std::chrono::seconds>(
+                    now - mtime)
+                    .count();
+            if (age < 0 ||
+                static_cast<std::uint64_t>(age) < ttlSeconds)
+                continue; // young enough to be a live writer's
+        }
+        std::error_code rec;
+        if (std::filesystem::remove(p, rec) && !rec)
+            ++swept;
+    }
+    if (swept != 0) {
+        std::lock_guard<std::mutex> lock(mu_);
+        counters_.evictedOrphan += swept;
+    }
+}
+
+void
+TraceCache::setStoreCrashHook(std::function<void()> hook)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    storeCrashHook_ = std::move(hook);
 }
 
 std::string
@@ -467,6 +516,18 @@ TraceCache::store(const TraceKey &key, const Trace &trace)
         hard_fatal_if(!out, "trace-cache: write to '%s' failed",
                       tmp.c_str());
     }
+    {
+        // Crash-injection window: the temp file is complete on disk
+        // but not yet published. A SIGKILL here orphans it — exactly
+        // what the open-time sweep must clean up.
+        std::function<void()> hook;
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            hook = storeCrashHook_;
+        }
+        if (hook)
+            hook();
+    }
     std::error_code ec;
     std::filesystem::rename(tmp, pathFor(key), ec);
     if (ec) {
@@ -498,6 +559,7 @@ TraceCache::statsJson() const
     group.counter("evictedCorrupt").set(c.evictedCorrupt);
     group.counter("evictedStale").set(c.evictedStale);
     group.counter("collisions").set(c.collisions);
+    group.counter("evictedOrphan").set(c.evictedOrphan);
     group.formula("hitRate", [&hits, &misses] {
         return Formula::ratio(hits.value(),
                               hits.value() + misses.value());

@@ -36,6 +36,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <mutex>
 #include <optional>
 #include <string>
@@ -107,11 +108,36 @@ class TraceCache
         std::uint64_t evictedStale = 0;
         /** Digest matches whose canonical key differed. */
         std::uint64_t collisions = 0;
+        /** Orphaned temp files swept on open — debris of writers
+         * killed between serializing and publishing an entry. Not an
+         * entry eviction: no lookup ever misses because of one, so
+         * telemetry checks exclude it from the evictions<=misses
+         * invariant. */
+        std::uint64_t evictedOrphan = 0;
     };
 
-    /** Open (creating if needed) the cache at @p dir; fatal() if the
-     * directory cannot be created. */
-    explicit TraceCache(const std::string &dir);
+    /**
+     * Open (creating if needed) the cache at @p dir; fatal() if the
+     * directory cannot be created. Opening also sweeps orphaned
+     * ".tmp.*" files older than @p orphanTtlSeconds — a store() killed
+     * (e.g. SIGKILL) between writing its private temp file and the
+     * atomic rename leaks the temp forever, and a shared cache
+     * accumulates them across crashy campaign shards. The TTL keeps
+     * the sweep from racing live writers in other processes: a temp
+     * younger than the TTL may still be about to be renamed. Pass 0 to
+     * sweep unconditionally (tests, single-process cleanup).
+     */
+    explicit TraceCache(const std::string &dir,
+                        std::uint64_t orphanTtlSeconds = 900);
+
+    /**
+     * Crash-fault injection (campaign tests): invoked during store()
+     * after the temp file is fully written and closed but before the
+     * publishing rename — the widest real window in which a dying
+     * process orphans a temp file. The hook may raise(SIGKILL); normal
+     * operation leaves it unset.
+     */
+    void setStoreCrashHook(std::function<void()> hook);
 
     /**
      * Look up @p key. Counts a hit and returns the trace on success;
@@ -154,9 +180,12 @@ class TraceCache
     Json statsJson() const;
 
   private:
+    void sweepOrphans(std::uint64_t ttlSeconds);
+
     std::string dir_;
     mutable std::mutex mu_;
     Counters counters_;
+    std::function<void()> storeCrashHook_;
 };
 
 } // namespace hard

@@ -301,6 +301,38 @@ TEST(BatchResume, JournalToleratesATornTrailingLine)
     std::remove(path.c_str());
 }
 
+TEST(BatchResume, JournalSkipsATornMiddleRecord)
+{
+    // A record torn in the *middle* of the file (crash during a
+    // partial flush, later appends landed after it) is skipped with a
+    // warning; every intact neighbour still restores.
+    const std::string path =
+        tempJournalPath("hard_resume_torn_mid.journal.jsonl");
+    {
+        BatchJournal journal(path, kSignature);
+        Json payload = Json::object();
+        payload.set("index", 0u);
+        journal.append({0, 0}, payload);
+    }
+    std::FILE *f = std::fopen(path.c_str(), "ab");
+    ASSERT_NE(f, nullptr);
+    std::fputs("{\"item\":0,\"run\":1,\"payl\n", f);       // torn JSON
+    std::fputs("{\"item\":0,\"run\":2}\n", f);             // no payload
+    std::fclose(f);
+    {
+        BatchJournal journal(path, kSignature, /*resume=*/true);
+        Json payload = Json::object();
+        payload.set("index", 3u);
+        journal.append({0, 3}, payload);
+    }
+
+    JournalEntries entries = loadJournal(path, kSignature);
+    EXPECT_EQ(entries.size(), 2u);
+    EXPECT_TRUE(entries.count({0, 0}));
+    EXPECT_TRUE(entries.count({0, 3}));
+    std::remove(path.c_str());
+}
+
 TEST(BatchResume, JournalPathPairsWithTheJsonOutput)
 {
     EXPECT_EQ(journalPathFor("results/sweep.json"),

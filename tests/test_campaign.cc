@@ -1,0 +1,391 @@
+/**
+ * @file
+ * Campaign orchestration tests: the headline guarantee — a sharded
+ * multi-process sweep, with or without injected shard crashes,
+ * produces a batch JSON byte-identical to a crash-free single-process
+ * run — plus poison-unit quarantine, resume from shard journals, the
+ * hard.campaign.v1 report shape, crash-spec parsing, and the per-unit
+ * wall-clock timeout satellite.
+ *
+ * Crash injection forks real shard processes that SIGKILL themselves
+ * at the nastiest moments (before a unit, halfway through a journal
+ * fwrite, between a trace-cache temp write and its publishing
+ * rename), so these tests exercise the genuine torn-state recovery
+ * paths, not simulations of them.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "common/error.hh"
+#include "harness/batch.hh"
+#include "harness/campaign.hh"
+#include "harness/experiment.hh"
+#include "harness/run_pool.hh"
+#include "throw_test_util.hh"
+#include "trace/trace_cache.hh"
+
+namespace hard
+{
+namespace
+{
+
+WorkloadParams
+tinyParams()
+{
+    WorkloadParams p;
+    p.scale = 0.04;
+    return p;
+}
+
+/** Two healthy items; the second also measures overhead so the unit
+ * space covers run == -1. */
+std::vector<BatchItem>
+healthyItems()
+{
+    std::vector<BatchItem> items;
+    for (const char *app : {"barnes", "water-nsquared"}) {
+        BatchItem item;
+        item.workload = app;
+        item.wp = tinyParams();
+        item.sim = defaultSimConfig();
+        item.factory = table2Detectors();
+        item.runs = 2;
+        item.seed0 = 700;
+        items.push_back(std::move(item));
+    }
+    items[1].overhead = true;
+    return items;
+}
+
+const char *const kSignature = "apps=barnes,water-nsquared;runs=2;"
+                               "seed0=700;--scale=0.04";
+
+/** Fresh per-test output base; removes leftovers from prior runs. */
+std::string
+tempBase(const char *name)
+{
+    const std::string base = ::testing::TempDir() + name + ".json";
+    const std::filesystem::path dir =
+        std::filesystem::path(base).parent_path();
+    const std::string stem = std::string(name);
+    for (const auto &e : std::filesystem::directory_iterator(dir)) {
+        const std::string leaf = e.path().filename().string();
+        if (leaf.rfind(stem, 0) == 0)
+            std::filesystem::remove(e.path());
+    }
+    return base;
+}
+
+CampaignOptions
+baseOptions(const std::vector<BatchItem> &items, const std::string &base)
+{
+    CampaignOptions copts;
+    copts.shards = 3;
+    copts.maxUnitRetries = 3;
+    copts.backoffBaseMs = 1; // keep retry tests fast
+    copts.outputBase = base;
+    copts.signature = kSignature;
+    copts.quarantinePayload = [&items](const JournalKey &key,
+                                       unsigned attempts) {
+        return batchQuarantinePayload(items, key, attempts);
+    };
+    return copts;
+}
+
+/** Run a campaign and merge it exactly like hardsim --campaign does. */
+std::string
+campaignJson(const std::vector<BatchItem> &items,
+             const CampaignOptions &copts, CampaignResult *campOut,
+             ExecMode mode = ExecMode::Cycle,
+             TraceCache *cache = nullptr)
+{
+    CampaignResult camp = runCampaign(batchCampaignUnits(items), copts,
+                                      makeBatchShardBody(items, 0, cache));
+    BatchOptions merge;
+    merge.keepGoing = true;
+    merge.restored = &camp.entries;
+    RunPool serial(1);
+    const std::string doc =
+        batchJson(runBatch(items, serial, merge), mode).dump(2);
+    if (campOut != nullptr)
+        *campOut = std::move(camp);
+    return doc;
+}
+
+std::string
+referenceJson(const std::vector<BatchItem> &items,
+              ExecMode mode = ExecMode::Cycle)
+{
+    RunPool serial(1);
+    BatchOptions opts;
+    opts.keepGoing = true;
+    return batchJson(runBatch(items, serial, opts), mode).dump(2);
+}
+
+TEST(Campaign, MergesByteIdenticalAcrossShardCounts)
+{
+    const std::vector<BatchItem> items = healthyItems();
+    const std::string reference = referenceJson(items);
+
+    for (unsigned shards : {1u, 3u}) {
+        const std::string base = tempBase("hard_campaign_shards");
+        CampaignOptions copts = baseOptions(items, base);
+        copts.shards = shards;
+        CampaignResult camp;
+        EXPECT_EQ(campaignJson(items, copts, &camp), reference)
+            << "shards=" << shards;
+        EXPECT_TRUE(camp.quarantined.empty());
+        EXPECT_EQ(camp.counters.shardCrashes, 0u);
+        // Every unit journaled exactly once across the shard files.
+        EXPECT_EQ(camp.entries.size(), batchCampaignUnits(items).size());
+    }
+}
+
+TEST(Campaign, PreUnitCrashIsRetriedAndConverges)
+{
+    const std::vector<BatchItem> items = healthyItems();
+    const std::string reference = referenceJson(items);
+
+    const std::string base = tempBase("hard_campaign_preunit");
+    CampaignOptions copts = baseOptions(items, base);
+    copts.injectCrash = parseCrashSpec("0.1:pre-unit");
+    CampaignResult camp;
+    EXPECT_EQ(campaignJson(items, copts, &camp), reference);
+    EXPECT_TRUE(camp.quarantined.empty());
+    EXPECT_EQ(camp.counters.injectedCrashes, 1u);
+    EXPECT_GE(camp.counters.shardCrashes, 1u);
+    EXPECT_GE(camp.counters.retries, 1u);
+    EXPECT_EQ(camp.attempts.at({0, 1}), 1u);
+}
+
+TEST(Campaign, MidJournalWriteCrashLeavesTornLineAndConverges)
+{
+    const std::vector<BatchItem> items = healthyItems();
+    const std::string reference = referenceJson(items);
+
+    const std::string base = tempBase("hard_campaign_midjournal");
+    CampaignOptions copts = baseOptions(items, base);
+    // The overhead unit of item 1: the torn record is a half-written
+    // overhead payload, the nastiest restore shape.
+    copts.injectCrash = parseCrashSpec("1.overhead:mid-journal-write");
+    CampaignResult camp;
+    EXPECT_EQ(campaignJson(items, copts, &camp), reference);
+    EXPECT_TRUE(camp.quarantined.empty());
+    EXPECT_GE(camp.counters.shardCrashes, 1u);
+    EXPECT_EQ(camp.attempts.at({1, -1}), 1u);
+}
+
+TEST(Campaign, MidCacheStoreCrashOrphansTempAndConverges)
+{
+    // Fast mode with a shared trace cache: the armed shard dies after
+    // writing the recording's temp file but before the rename
+    // publishes it. The retry re-records, the orphan stays unswept
+    // (it is young), and the merged document still matches a
+    // crash-free fast-mode run.
+    std::vector<BatchItem> items;
+    BatchItem item;
+    item.workload = "barnes";
+    item.wp = tinyParams();
+    item.sim = defaultSimConfig();
+    item.factory = table2Detectors();
+    item.runs = 2;
+    item.seed0 = 700;
+    item.mode = ExecMode::Fast;
+    items.push_back(std::move(item));
+
+    const std::string cacheDir =
+        ::testing::TempDir() + "hard_campaign_tcache";
+    std::filesystem::remove_all(cacheDir);
+    TraceCache cache(cacheDir);
+    for (BatchItem &it : items)
+        it.traceCache = &cache;
+
+    const std::string base = tempBase("hard_campaign_midstore");
+    CampaignOptions copts = baseOptions(items, base);
+    copts.injectCrash = parseCrashSpec("0.0:mid-cache-store");
+    CampaignResult camp;
+    const std::string merged =
+        campaignJson(items, copts, &camp, ExecMode::Fast, &cache);
+    EXPECT_TRUE(camp.quarantined.empty());
+    EXPECT_GE(camp.counters.shardCrashes, 1u);
+
+    unsigned orphans = 0;
+    for (const auto &e : std::filesystem::directory_iterator(cacheDir))
+        if (e.path().filename().string().rfind(".tmp.", 0) == 0)
+            ++orphans;
+    EXPECT_GE(orphans, 1u);
+
+    // Crash-free fast-mode reference over a *fresh* cache (the
+    // campaign's cache holds recordings now; a shared one would only
+    // change hit counters, never results, but fresh keeps the
+    // comparison honest).
+    const std::string refDir =
+        ::testing::TempDir() + "hard_campaign_tcache_ref";
+    std::filesystem::remove_all(refDir);
+    TraceCache refCache(refDir);
+    std::vector<BatchItem> refItems = items;
+    for (BatchItem &it : refItems)
+        it.traceCache = &refCache;
+    EXPECT_EQ(merged, referenceJson(refItems, ExecMode::Fast));
+
+    // An offline sweep (TTL 0) reclaims the orphan.
+    TraceCache sweeper(cacheDir, 0);
+    EXPECT_GE(sweeper.counters().evictedOrphan, 1u);
+}
+
+TEST(Campaign, PoisonUnitIsQuarantinedAndReported)
+{
+    const std::vector<BatchItem> items = healthyItems();
+    const std::string base = tempBase("hard_campaign_poison");
+    CampaignOptions copts = baseOptions(items, base);
+    copts.maxUnitRetries = 2;
+    copts.injectCrash = parseCrashSpec("0.0:pre-unit:99");
+    CampaignResult camp;
+    const std::string merged = campaignJson(items, copts, &camp);
+
+    ASSERT_EQ(camp.quarantined.size(), 1u);
+    EXPECT_EQ(camp.quarantined[0], (JournalKey{0, 0}));
+    EXPECT_EQ(camp.attempts.at({0, 0}), 2u);
+
+    // The synthesized payload flows through the ordinary merge: the
+    // document carries the quarantined run as a contained failure and
+    // every other unit matches the crash-free sweep.
+    std::string perr;
+    Json doc = Json::parse(merged, &perr);
+    ASSERT_TRUE(perr.empty()) << perr;
+    bool found = false;
+    for (std::size_t i = 0; i < doc["errors"].size(); ++i) {
+        const Json &e = doc["errors"].at(i);
+        if (e["outcome"].asString() != "quarantined")
+            continue;
+        found = true;
+        EXPECT_EQ(e["errorType"].asString(), "ShardCrashError");
+    }
+    EXPECT_TRUE(found);
+
+    // The final report records the quarantine explicitly.
+    const Json &report = camp.report;
+    EXPECT_EQ(report["schema"].asString(), kCampaignSchema);
+    EXPECT_EQ(report["state"].asString(), "complete");
+    ASSERT_EQ(report["quarantined"].size(), 1u);
+    EXPECT_EQ(report["quarantined"].at(0)["item"].asUint(), 0u);
+    EXPECT_EQ(report["quarantined"].at(0)["run"].asInt(), 0);
+}
+
+TEST(Campaign, ResumeRestoresEveryUnitWithoutSpawning)
+{
+    const std::vector<BatchItem> items = healthyItems();
+    const std::string reference = referenceJson(items);
+    const std::string base = tempBase("hard_campaign_resume");
+
+    CampaignOptions copts = baseOptions(items, base);
+    copts.shards = 2;
+    CampaignResult first;
+    EXPECT_EQ(campaignJson(items, copts, &first), reference);
+
+    // Second campaign over the same output base: every unit restores
+    // from the shard journals on disk; no shard is ever forked.
+    copts.resume = true;
+    CampaignResult resumed;
+    EXPECT_EQ(campaignJson(items, copts, &resumed), reference);
+    EXPECT_EQ(resumed.counters.shardsSpawned, 0u);
+    EXPECT_EQ(resumed.counters.restored,
+              batchCampaignUnits(items).size());
+}
+
+TEST(Campaign, ReportShapeAndManifestPathing)
+{
+    EXPECT_EQ(campaignManifestPathFor("results/sweep.json"),
+              "results/sweep.campaign.json");
+    EXPECT_EQ(shardJournalPathFor("results/sweep.json", 4),
+              "results/sweep.shard-4.journal.jsonl");
+
+    const std::vector<BatchItem> items = healthyItems();
+    const std::string base = tempBase("hard_campaign_report");
+    CampaignOptions copts = baseOptions(items, base);
+    CampaignResult camp;
+    campaignJson(items, copts, &camp);
+
+    const Json &report = camp.report;
+    EXPECT_EQ(report["schema"].asString(), kCampaignSchema);
+    EXPECT_EQ(report["signature"].asString(), kSignature);
+    EXPECT_EQ(report["state"].asString(), "complete");
+    const std::size_t total = batchCampaignUnits(items).size();
+    EXPECT_EQ(report["unitsTotal"].asUint(), total);
+    ASSERT_EQ(report["units"].size(), total);
+    for (std::size_t i = 0; i < report["units"].size(); ++i) {
+        const std::string outcome =
+            report["units"].at(i)["outcome"].asString();
+        EXPECT_TRUE(outcome == "completed" || outcome == "restored")
+            << outcome;
+    }
+    for (const char *key :
+         {"shardsSpawned", "shardExitsOk", "shardCrashes", "shardStalls",
+          "retries", "restored", "injectedCrashes"})
+        EXPECT_TRUE(report["counters"].has(key)) << key;
+
+    // The report on disk is the same document.
+    EXPECT_TRUE(
+        std::filesystem::exists(campaignManifestPathFor(base)));
+}
+
+TEST(Campaign, CrashSpecParsing)
+{
+    CrashSpec spec = parseCrashSpec("3.-1:mid-cache-store:5");
+    EXPECT_TRUE(spec.valid);
+    EXPECT_EQ(spec.item, 3u);
+    EXPECT_EQ(spec.run, -1);
+    EXPECT_EQ(spec.kind, CrashSpec::Kind::MidCacheStore);
+    EXPECT_EQ(spec.times, 5u);
+
+    spec = parseCrashSpec("0.overhead:pre-unit");
+    EXPECT_EQ(spec.run, -1);
+    EXPECT_EQ(spec.times, 1u);
+    EXPECT_EQ(parseCrashSpec("1.2:mid-journal-write").kind,
+              CrashSpec::Kind::MidJournalWrite);
+
+    HARD_EXPECT_THROW_MSG(parseCrashSpec(""), ConfigError,
+                          "inject-shard-crash");
+    HARD_EXPECT_THROW_MSG(parseCrashSpec("0.0:no-such-kind"),
+                          ConfigError, "no-such-kind");
+    HARD_EXPECT_THROW_MSG(parseCrashSpec("0.0:pre-unit:0"), ConfigError,
+                          "inject-shard-crash");
+}
+
+TEST(Campaign, UnitTimeoutProducesTimeoutOutcome)
+{
+    // A per-unit wall-clock budget catches a unit that would outlive
+    // any reasonable slice of the sweep. 1 ms against a deliberately
+    // oversized workload trips quickly and deterministically in
+    // outcome (never in exact timing, which is why timeouts stay out
+    // of trace-cache keys and overhead rows).
+    BatchItem item;
+    item.workload = "barnes";
+    item.wp = tinyParams();
+    item.wp.scale = 0.6;
+    item.sim = defaultSimConfig();
+    item.factory = table2Detectors();
+    item.runs = 0; // race-free run only
+    RunPool serial(1);
+    BatchOptions opts;
+    opts.keepGoing = true;
+    opts.unitTimeoutMs = 1;
+    std::vector<BatchItemResult> results =
+        runBatch({item}, serial, opts);
+    ASSERT_EQ(results[0].runDetail.size(), 1u);
+    EXPECT_EQ(results[0].runDetail[0].outcome, "timeout");
+    EXPECT_EQ(results[0].runDetail[0].errorType, "TimeoutError");
+
+    // An item-level budget wins over the sweep-wide one.
+    item.sim.wallMsBudget = 60'000;
+    results = runBatch({item}, serial, opts);
+    EXPECT_EQ(results[0].runDetail[0].outcome, "ok");
+}
+
+} // namespace
+} // namespace hard

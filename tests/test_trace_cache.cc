@@ -624,5 +624,40 @@ TEST(TraceCacheConcurrency, RacingWritersAndReadersNeverSeeTornFiles)
     EXPECT_EQ(files, 1u);
 }
 
+TEST(TraceCache, OrphanTempFilesSweptOnOpen)
+{
+    // A writer killed between the temp write and the publishing
+    // rename (crash, SIGKILL, power loss) leaves ".tmp.*" litter; the
+    // next open sweeps it and counts the sweep separately from entry
+    // evictions.
+    const std::string dir = tmpDir("tcache_orphan");
+    {
+        TraceCache seedCache(dir);
+        seedCache.store(fixtureKey(), fixtureTrace());
+    }
+    const std::string orphanA = dir + "/.tmp.deadbeef.12345.0";
+    const std::string orphanB = dir + "/.tmp.deadbeef.12345.1";
+    writeFileBytes(orphanA, "torn partial container bytes");
+    writeFileBytes(orphanB, "");
+
+    // TTL 0 = sweep regardless of age (tests/offline maintenance).
+    TraceCache cache(dir, /*orphanTtlSeconds=*/0);
+    EXPECT_FALSE(std::filesystem::exists(orphanA));
+    EXPECT_FALSE(std::filesystem::exists(orphanB));
+    EXPECT_EQ(cache.counters().evictedOrphan, 2u);
+
+    // The published entry survives the sweep.
+    std::optional<Trace> got = cache.lookup(fixtureKey());
+    ASSERT_TRUE(got.has_value());
+    expectSameTrace(*got, fixtureTrace());
+
+    // A long TTL leaves fresh temp files alone: they may belong to a
+    // live writer racing this open.
+    writeFileBytes(orphanA, "live writer in flight");
+    TraceCache cautious(dir, /*orphanTtlSeconds=*/3600);
+    EXPECT_TRUE(std::filesystem::exists(orphanA));
+    EXPECT_EQ(cautious.counters().evictedOrphan, 0u);
+}
+
 } // namespace
 } // namespace hard

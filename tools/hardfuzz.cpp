@@ -18,6 +18,8 @@
  *   hardfuzz --list-invariants
  */
 
+#include <atomic>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <memory>
@@ -27,6 +29,7 @@
 #include "common/error.hh"
 #include "fuzz/corpus.hh"
 #include "fuzz/runner.hh"
+#include "harness/campaign.hh"
 
 using namespace hard;
 
@@ -80,11 +83,32 @@ usage()
         "                         (seed, generator shape, sim config) and\n"
         "                         shared across analysis sweeps\n"
         "\n"
+        "campaign mode (crash-tolerant sharded sweeps; docs/campaigns.md):\n"
+        "  --campaign             run the sweep as supervised shard\n"
+        "                         processes (requires --json); crashed\n"
+        "                         seeds are retried and quarantined, the\n"
+        "                         merged summary is byte-identical to a\n"
+        "                         crash-free run\n"
+        "  --shards=<n>           concurrent shard processes (2)\n"
+        "  --max-unit-retries=<n> shard crashes before a seed is\n"
+        "                         quarantined (2)\n"
+        "  --retry-backoff-ms=<n> base retry backoff, doubled per crash\n"
+        "                         (25)\n"
+        "  --shard-timeout=<ms>   SIGKILL a shard whose journal stalls\n"
+        "                         this long (0 = off)\n"
+        "  --resume               merge shard journals left by an\n"
+        "                         interrupted campaign before spawning\n"
+        "  --inject-shard-crash=SEEDIDX.0:KIND[:TIMES]\n"
+        "                         built-in crash injector (tests/CI);\n"
+        "                         KIND: pre-unit | mid-journal-write |\n"
+        "                         mid-cache-store\n"
+        "\n"
         "other modes:\n"
         "  --corpus=<dir>         re-judge every committed corpus case\n"
         "  --list-invariants      print the checked invariants and exit\n"
         "\n"
-        "exit status: 0 iff every seed (or corpus case) is clean\n");
+        "exit status: 0 iff every seed (or corpus case) is clean and\n"
+        "nothing was quarantined\n");
 }
 
 struct Cli
@@ -96,6 +120,14 @@ struct Cli
     std::string modeName = "cycle";
     std::string traceCacheDir;
     bool listInvariants = false;
+    // Campaign mode (crash-tolerant sharded sweep).
+    bool campaign = false;
+    unsigned shards = 2;
+    unsigned maxUnitRetries = 2;
+    std::uint64_t retryBackoffMs = 25;
+    std::uint64_t shardTimeoutMs = 0;
+    bool resume = false;
+    std::string injectShardCrash;
 };
 
 [[noreturn]] void
@@ -169,13 +201,32 @@ parseArgs(int argc, char **argv)
             cli.listInvariants = true;
         } else if (a == "--no-minimize") {
             cli.opts.minimize = false;
+        } else if (a == "--campaign") {
+            cli.campaign = true;
+        } else if (a == "--resume") {
+            cli.resume = true;
         } else if (eat(i, "--seeds", cli.seedSpec) ||
                    eat(i, "--json", cli.jsonPath) ||
                    eat(i, "--out-dir", cli.opts.outDir) ||
                    eat(i, "--corpus", cli.corpusDir) ||
                    eat(i, "--mode", cli.modeName) ||
-                   eat(i, "--trace-cache", cli.traceCacheDir)) {
+                   eat(i, "--trace-cache", cli.traceCacheDir) ||
+                   eat(i, "--inject-shard-crash",
+                       cli.injectShardCrash)) {
             // handled
+        } else if (eatUnsigned(i, "--shards", cli.shards) ||
+                   eatUnsigned(i, "--max-unit-retries",
+                               cli.maxUnitRetries)) {
+            if (cli.shards == 0 || cli.maxUnitRetries == 0) {
+                std::fprintf(stderr,
+                             "hardfuzz: --shards/--max-unit-retries "
+                             "must be positive\n");
+                std::exit(2);
+            }
+        } else if (eat(i, "--retry-backoff-ms", v)) {
+            cli.retryBackoffMs = std::stoull(v);
+        } else if (eat(i, "--shard-timeout", v)) {
+            cli.shardTimeoutMs = std::stoull(v);
         } else if (eatUnsigned(i, "--jobs", cli.opts.jobs) ||
                    eatUnsigned(i, "--granularity",
                                cli.opts.cfg.granularity) ||
@@ -221,6 +272,45 @@ parseArgs(int argc, char **argv)
     return cli;
 }
 
+/**
+ * The campaign shard body for a fuzz sweep: each unit is
+ * (seed-index, 0); run it through runFuzzSeed serially in assignment
+ * order (blame attribution depends on the order) and journal the
+ * seedResultJson payload. The crash injector mirrors the batch body:
+ * pre-unit raises SIGKILL before the seed runs, mid-journal-write arms
+ * BatchJournal::killMidAppend, mid-cache-store arms the TraceCache
+ * store hook for the duration of the target seed.
+ */
+ShardBody
+makeFuzzShardBody(FuzzOptions opts, TraceCache *cache)
+{
+    return [opts = std::move(opts), cache](
+               const std::vector<JournalKey> &units,
+               BatchJournal &journal, const CrashSpec *crash) {
+        auto armed = std::make_shared<std::atomic<bool>>(false);
+        if (crash && crash->kind == CrashSpec::Kind::MidCacheStore &&
+            cache)
+            cache->setStoreCrashHook([armed] {
+                if (armed->load(std::memory_order_relaxed))
+                    ::raise(SIGKILL);
+            });
+        for (const JournalKey &key : units) {
+            if (crash && crash->key() == key) {
+                if (crash->kind == CrashSpec::Kind::PreUnit)
+                    ::raise(SIGKILL);
+                else if (crash->kind == CrashSpec::Kind::MidJournalWrite)
+                    journal.killMidAppend(key);
+                else
+                    armed->store(true, std::memory_order_relaxed);
+            }
+            SeedResult sr = runFuzzSeed(opts.seeds[key.first], opts);
+            journal.append(key, seedResultJson(sr));
+            armed->store(false, std::memory_order_relaxed);
+        }
+        return 0;
+    };
+}
+
 int
 runCorpus(const std::string &dir)
 {
@@ -255,18 +345,68 @@ runSweep(Cli &cli)
     // Surface analysis-config typos once, up front, instead of as N
     // identical per-seed failures.
     makeFuzzBattery(cli.opts.cfg);
-    std::vector<SeedResult> results = runFuzzSeeds(cli.opts);
 
-    std::uint64_t ok = 0, violations = 0, failed = 0;
+    std::vector<SeedResult> results;
+    CampaignResult camp;
+    if (cli.campaign) {
+        if (cli.jsonPath.empty())
+            throw ConfigError("--campaign requires --json=<file>");
+        std::vector<JournalKey> units;
+        units.reserve(cli.opts.seeds.size());
+        for (std::size_t i = 0; i < cli.opts.seeds.size(); ++i)
+            units.push_back({i, 0});
+        CampaignOptions copts;
+        copts.shards = cli.shards;
+        copts.maxUnitRetries = cli.maxUnitRetries;
+        copts.backoffBaseMs = cli.retryBackoffMs;
+        copts.shardStallTimeoutMs = cli.shardTimeoutMs;
+        copts.outputBase = cli.jsonPath;
+        copts.signature = fuzzSignature(cli.opts);
+        copts.resume = cli.resume;
+        if (!cli.injectShardCrash.empty())
+            copts.injectCrash = parseCrashSpec(cli.injectShardCrash);
+        const std::vector<std::uint64_t> &seeds = cli.opts.seeds;
+        copts.quarantinePayload = [&seeds](const JournalKey &key,
+                                           unsigned attempts) {
+            SeedResult sr;
+            sr.seed = seeds[key.first];
+            sr.outcome = "quarantined";
+            sr.errorType = "ShardCrashError";
+            sr.errorMessage = errfmt(
+                "seed crashed its shard %u time%s and was quarantined",
+                attempts, attempts == 1 ? "" : "s");
+            return seedResultJson(sr);
+        };
+        std::printf("campaign: %zu seed(s) across up to %u shard(s)\n",
+                    cli.opts.seeds.size(), cli.shards);
+        camp = runCampaign(units, copts,
+                           makeFuzzShardBody(cli.opts, cache.get()));
+        results.reserve(cli.opts.seeds.size());
+        for (std::size_t i = 0; i < cli.opts.seeds.size(); ++i) {
+            const auto it = camp.entries.find({i, 0});
+            hard_throw_if(it == camp.entries.end(), ConfigError,
+                          "campaign merge lost seed index %zu", i);
+            results.push_back(seedResultFromJson(it->second));
+        }
+    } else {
+        results = runFuzzSeeds(cli.opts);
+    }
+
+    std::uint64_t ok = 0, violations = 0, failed = 0, quarantined = 0;
     for (const SeedResult &sr : results) {
         if (sr.outcome == "ok") {
             ++ok;
             continue;
         }
-        if (sr.outcome == "failed") {
-            ++failed;
-            std::printf("seed %llu: FAILED (%s: %s)\n",
+        if (sr.outcome == "failed" || sr.outcome == "quarantined") {
+            if (sr.outcome == "quarantined")
+                ++quarantined;
+            else
+                ++failed;
+            std::printf("seed %llu: %s (%s: %s)\n",
                         static_cast<unsigned long long>(sr.seed),
+                        sr.outcome == "quarantined" ? "QUARANTINED"
+                                                    : "FAILED",
                         sr.errorType.c_str(), sr.errorMessage.c_str());
             continue;
         }
@@ -290,6 +430,28 @@ runSweep(Cli &cli)
         static_cast<unsigned long long>(violations),
         static_cast<unsigned long long>(failed));
 
+    if (cli.campaign) {
+        const CampaignCounters &cc = camp.counters;
+        std::printf(
+            "campaign: %llu shard(s) spawned, %llu ok, %llu crashed "
+            "(%llu stalled), %llu retry(ies), %llu restored, "
+            "%llu injected\n",
+            static_cast<unsigned long long>(cc.shardsSpawned),
+            static_cast<unsigned long long>(cc.shardExitsOk),
+            static_cast<unsigned long long>(cc.shardCrashes),
+            static_cast<unsigned long long>(cc.shardStalls),
+            static_cast<unsigned long long>(cc.retries),
+            static_cast<unsigned long long>(cc.restored),
+            static_cast<unsigned long long>(cc.injectedCrashes));
+        for (const JournalKey &key : camp.quarantined)
+            std::printf("campaign: seed %llu QUARANTINED after "
+                        "repeated shard crashes\n",
+                        static_cast<unsigned long long>(
+                            cli.opts.seeds[key.first]));
+        std::printf("campaign report written to %s\n",
+                    campaignManifestPathFor(cli.jsonPath).c_str());
+    }
+
     if (cache) {
         const TraceCache::Counters c = cache->counters();
         std::printf("trace cache: %llu hit(s), %llu miss(es), "
@@ -302,7 +464,7 @@ runSweep(Cli &cli)
     if (!cli.jsonPath.empty())
         writeJsonFile(cli.jsonPath, fuzzJson(cli.opts, results));
 
-    return (violations == 0 && failed == 0) ? 0 : 1;
+    return (violations == 0 && failed == 0 && quarantined == 0) ? 0 : 1;
 }
 
 } // namespace

@@ -34,6 +34,7 @@
 #include "explain/classifier.hh"
 #include "explain/explain_json.hh"
 #include "harness/batch.hh"
+#include "harness/campaign.hh"
 #include "harness/experiment.hh"
 #include "telemetry/sampler.hh"
 #include "telemetry/trace_event.hh"
@@ -88,6 +89,16 @@ struct Options
     unsigned runs = 10;
     std::uint64_t batchSeed = 1000;
     std::string jsonPath;
+
+    // Campaign mode (crash-tolerant sharded multi-process sweeps).
+    bool campaign = false;
+    unsigned shards = 2;
+    unsigned maxUnitRetries = 2;
+    std::uint64_t unitTimeoutMs = 0;  // 0 = no per-unit wall budget
+    std::uint64_t shardTimeoutMs = 0; // 0 = stall detector off
+    std::uint64_t retryBackoffMs = 25;
+    std::uint64_t cacheSweepAgeSec = 900;
+    std::string injectShardCrash;
 
     // Failure containment / resume.
     bool keepGoing = false;
@@ -203,6 +214,41 @@ usage()
         "                            attribution block and a per-item\n"
         "                            aggregate in the --json document\n"
         "\n"
+        "campaign mode (crash-tolerant sharded sweeps; docs/campaigns.md):\n"
+        "  --campaign                run the --batch sweep as a supervised\n"
+        "                            multi-process campaign: shard\n"
+        "                            subprocesses execute disjoint unit\n"
+        "                            slices, each journaling to its own\n"
+        "                            file; crashed shards are detected,\n"
+        "                            their completed units salvaged, and\n"
+        "                            the blamed unit retried with backoff\n"
+        "                            or quarantined. The merged --json\n"
+        "                            document is byte-identical to a\n"
+        "                            crash-free single-process sweep.\n"
+        "                            Requires --json; implies --batch\n"
+        "  --shards=<n>              max concurrent shard processes (2)\n"
+        "  --max-unit-retries=<n>    quarantine a unit after it crashes\n"
+        "                            its shard n times (2); quarantined\n"
+        "                            units are reported and exit status\n"
+        "                            is 1\n"
+        "  --unit-timeout=<ms>       per-unit host wall-clock budget\n"
+        "                            (outcome \"timeout\"; also honored by\n"
+        "                            plain --batch); 0 = off\n"
+        "  --shard-timeout=<ms>      supervisor-side stall detector: kill\n"
+        "                            a shard whose journal stops growing\n"
+        "                            for this long; 0 = off\n"
+        "  --retry-backoff-ms=<n>    base retry backoff, doubled per\n"
+        "                            crash of the same unit (25)\n"
+        "  --trace-cache-sweep-age=<sec> age threshold for sweeping\n"
+        "                            orphaned trace-cache temp files on\n"
+        "                            open (900; 0 = sweep all)\n"
+        "  --inject-shard-crash=ITEM.RUN:KIND[:TIMES]\n"
+        "                            crash-fault injector (tests/CI):\n"
+        "                            SIGKILL the shard processing unit\n"
+        "                            ITEM.RUN at KIND = pre-unit |\n"
+        "                            mid-journal-write | mid-cache-store,\n"
+        "                            at most TIMES times (1)\n"
+        "\n"
         "failure detection (single runs and batch):\n"
         "  --max-cycles=<n>          cycle budget per run; 0 = unlimited\n"
         "                            for single runs, a workload-scaled\n"
@@ -271,6 +317,29 @@ parse(int argc, char **argv)
             o.workloadSet = true;
         } else if (std::strcmp(a, "--batch") == 0) {
             o.batch = true;
+        } else if (std::strcmp(a, "--campaign") == 0) {
+            o.campaign = true;
+            o.batch = true;
+        } else if (eat("--shards=", v)) {
+            o.shards = static_cast<unsigned>(std::atoi(v.c_str()));
+            hard_fatal_if(o.shards == 0, "--shards must be positive");
+        } else if (eat("--max-unit-retries=", v)) {
+            o.maxUnitRetries =
+                static_cast<unsigned>(std::atoi(v.c_str()));
+            hard_fatal_if(o.maxUnitRetries == 0,
+                          "--max-unit-retries must be positive");
+        } else if (eat("--unit-timeout=", v)) {
+            o.unitTimeoutMs = std::strtoull(v.c_str(), nullptr, 10);
+        } else if (eat("--shard-timeout=", v)) {
+            o.shardTimeoutMs = std::strtoull(v.c_str(), nullptr, 10);
+        } else if (eat("--retry-backoff-ms=", v)) {
+            o.retryBackoffMs = std::strtoull(v.c_str(), nullptr, 10);
+            hard_fatal_if(o.retryBackoffMs == 0,
+                          "--retry-backoff-ms must be positive");
+        } else if (eat("--trace-cache-sweep-age=", v)) {
+            o.cacheSweepAgeSec = std::strtoull(v.c_str(), nullptr, 10);
+        } else if (eat("--inject-shard-crash=", v)) {
+            o.injectShardCrash = v;
         } else if (eat("--jobs=", v)) {
             o.jobs = static_cast<unsigned>(std::atoi(v.c_str()));
         } else if (eat("--runs=", v)) {
@@ -516,36 +585,83 @@ runBatchMode(const Options &o, ExecMode mode, TraceCache *cache)
     // byte-identical to pre-fast-mode ones.
     if (mode == ExecMode::Fast)
         signature += ";mode=fast";
+    // A per-unit wall budget changes what a journaled "timeout"
+    // outcome meant, so sweeps with different budgets refuse to
+    // resume each other.
+    if (o.unitTimeoutMs != 0)
+        signature += ";unit-timeout=" + std::to_string(o.unitTimeoutMs);
     for (const std::string &arg : o.reproArgs)
         signature += ";" + arg;
 
-    BatchOptions bopts;
-    bopts.keepGoing = o.keepGoing;
-    bopts.maxFailures = o.maxFailures;
     hard_throw_if(o.resume && o.jsonPath.empty(), ConfigError,
                   "--resume requires --json=<file> (the journal lives "
                   "next to the JSON output)");
-    std::unique_ptr<BatchJournal> journal;
-    JournalEntries restored;
-    if (!o.jsonPath.empty()) {
-        const std::string jpath = journalPathFor(o.jsonPath);
-        if (o.resume) {
-            restored = loadJournal(jpath, signature);
-            bopts.restored = &restored;
-            std::printf("resuming: %zu unit(s) restored from %s\n",
-                        restored.size(), jpath.c_str());
+    std::vector<BatchItemResult> results;
+    CampaignResult camp;
+    if (o.campaign) {
+        hard_throw_if(o.jsonPath.empty(), ConfigError,
+                      "--campaign requires --json=<file> (shard "
+                      "journals and the manifest live next to the JSON "
+                      "output)");
+        CampaignOptions copts;
+        copts.shards = o.shards;
+        copts.maxUnitRetries = o.maxUnitRetries;
+        copts.backoffBaseMs = o.retryBackoffMs;
+        copts.shardStallTimeoutMs = o.shardTimeoutMs;
+        copts.outputBase = o.jsonPath;
+        copts.signature = signature;
+        copts.resume = o.resume;
+        if (!o.injectShardCrash.empty())
+            copts.injectCrash = parseCrashSpec(o.injectShardCrash);
+        copts.quarantinePayload = [&items](const JournalKey &key,
+                                           unsigned attempts) {
+            return batchQuarantinePayload(items, key, attempts);
+        };
+        const std::vector<JournalKey> units = batchCampaignUnits(items);
+        std::printf("campaign: %zu unit(s) over up to %u shard "
+                    "process(es), max %u crash(es)/unit, seed0=%llu\n\n",
+                    units.size(), o.shards, o.maxUnitRetries,
+                    static_cast<unsigned long long>(seed0));
+        camp = runCampaign(
+            units, copts,
+            makeBatchShardBody(items, o.unitTimeoutMs, cache));
+        // Deterministic merge: every unit is restored from the merged
+        // shard journals (plus synthesized quarantined payloads), so
+        // nothing re-runs here and the document written below is
+        // byte-identical to a crash-free single-process sweep.
+        BatchOptions merge;
+        merge.keepGoing = true;
+        merge.restored = &camp.entries;
+        RunPool serial(1);
+        results = runBatch(items, serial, merge);
+    } else {
+        BatchOptions bopts;
+        bopts.keepGoing = o.keepGoing;
+        bopts.maxFailures = o.maxFailures;
+        bopts.unitTimeoutMs = o.unitTimeoutMs;
+        std::unique_ptr<BatchJournal> journal;
+        JournalEntries restored;
+        if (!o.jsonPath.empty()) {
+            const std::string jpath = journalPathFor(o.jsonPath);
+            if (o.resume) {
+                restored = loadJournal(jpath, signature);
+                bopts.restored = &restored;
+                std::printf("resuming: %zu unit(s) restored from %s\n",
+                            restored.size(), jpath.c_str());
+            }
+            journal = std::make_unique<BatchJournal>(jpath, signature,
+                                                     o.resume);
+            bopts.journal = journal.get();
         }
-        journal = std::make_unique<BatchJournal>(jpath, signature,
-                                                 o.resume);
-        bopts.journal = journal.get();
-    }
 
-    RunPool pool(o.jobs);
-    std::printf("batch: %zu workload(s) x (%u injected + 1 race-free) "
-                "runs x %zu detector(s) on %u worker(s), seed0=%llu\n\n",
-                apps.size(), o.runs, det_names.size(), pool.jobs(),
-                static_cast<unsigned long long>(seed0));
-    std::vector<BatchItemResult> results = runBatch(items, pool, bopts);
+        RunPool pool(o.jobs);
+        std::printf(
+            "batch: %zu workload(s) x (%u injected + 1 race-free) "
+            "runs x %zu detector(s) on %u worker(s), seed0=%llu\n\n",
+            apps.size(), o.runs, det_names.size(), pool.jobs(),
+            static_cast<unsigned long long>(seed0));
+        results = runBatch(items, pool, bopts);
+    }
 
     Table t("Batch effectiveness (bugs detected out of attempted runs; "
             "race-free-run false alarms)");
@@ -637,6 +753,35 @@ runBatchMode(const Options &o, ExecMode mode, TraceCache *cache)
         std::printf("\nbatch: %u unit(s) failed, %u skipped\n", failed,
                     skipped);
 
+    if (o.campaign) {
+        const CampaignCounters &cc = camp.counters;
+        std::printf("\ncampaign: %llu shard(s) spawned, %llu exited "
+                    "ok, %llu crashed (%llu stalled), %llu unit "
+                    "retry(ies), %llu restored, %llu injected "
+                    "crash(es)\n",
+                    static_cast<unsigned long long>(cc.shardsSpawned),
+                    static_cast<unsigned long long>(cc.shardExitsOk),
+                    static_cast<unsigned long long>(cc.shardCrashes),
+                    static_cast<unsigned long long>(cc.shardStalls),
+                    static_cast<unsigned long long>(cc.retries),
+                    static_cast<unsigned long long>(cc.restored),
+                    static_cast<unsigned long long>(
+                        cc.injectedCrashes));
+        for (const JournalKey &key : camp.quarantined) {
+            const BatchItemResult &res = results[key.first];
+            const std::string unit = key.second == -1
+                ? std::string("overhead")
+                : std::to_string(key.second);
+            std::printf("campaign: QUARANTINED %s unit %s after %u "
+                        "shard crash(es)\n  repro: %s\n",
+                        res.label.c_str(), unit.c_str(),
+                        camp.attempts.at(key),
+                        reproCommand(res, key.second).c_str());
+        }
+        std::printf("campaign report written to %s\n",
+                    campaignManifestPathFor(o.jsonPath).c_str());
+    }
+
     if (!o.jsonPath.empty()) {
         Json doc = batchJson(results, mode);
         // Stats-collecting sweeps also carry the harness's own group;
@@ -664,6 +809,10 @@ runBatchMode(const Options &o, ExecMode mode, TraceCache *cache)
         std::printf("trace-cache stats written to %s\n",
                     o.traceCacheStatsPath.c_str());
     }
+    // A campaign that had to quarantine units did not fully complete
+    // the sweep — surface that in the exit status.
+    if (o.campaign && !camp.quarantined.empty())
+        return 1;
     return skipped != 0 ? 1 : 0;
 }
 
@@ -758,7 +907,8 @@ run(int argc, char **argv)
                   "machine stats and telemetry need --mode=cycle");
     std::unique_ptr<TraceCache> cache;
     if (!o.traceCacheDir.empty())
-        cache = std::make_unique<TraceCache>(o.traceCacheDir);
+        cache = std::make_unique<TraceCache>(o.traceCacheDir,
+                                             o.cacheSweepAgeSec);
 
     if (o.batch) {
         hard_fatal_if(o.statsInterval != 0 || !o.traceEvents.empty() ||
