@@ -45,7 +45,7 @@ PROV_KINDS = {"narrow", "exact-narrow", "report", "meta-loss",
               "refetch", "broadcast", "flash-reset"}
 DIVERGENCE_CATEGORIES = ("bloom-aliasing", "counter-saturation",
                          "metadata-eviction", "barrier-reset",
-                         "granularity", "unknown")
+                         "granularity", "rwlock-mode-blind", "unknown")
 EXPLAIN_SUBJECTS = {"hard", "ideal-lockset"}
 
 

@@ -118,6 +118,27 @@ class HardDetector : public RaceDetector
     void onLineEvicted(Addr line_addr, Cycle at) override;
 
     /**
+     * Rwlocks feed the Lock Register mode-blind: the hardware sees
+     * one lock-word RMW either way (§3.3 tracks acquires, not modes),
+     * so a reader hold protects accesses exactly like a writer hold.
+     * Software detectors that honor the mode can only have smaller
+     * effective locksets, preserving hard ⊆ ideal containment.
+     */
+    void
+    onRwLockAcquire(const SyncEvent &ev, bool writer) override
+    {
+        (void)writer;
+        onLockAcquire(ev);
+    }
+
+    void
+    onRwLockRelease(const SyncEvent &ev, bool writer) override
+    {
+        (void)writer;
+        onLockRelease(ev);
+    }
+
+    /**
      * Mirror HardStats + metadata-store state into stats(), including
      * a BFVector-occupancy histogram (population count per tracked
      * granule) refilled from the resident metadata on each sync.

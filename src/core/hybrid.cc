@@ -146,4 +146,50 @@ HybridDetector::onSemaWait(const SyncEvent &ev)
         nonLockVc_[ev.tid].join(it->second);
 }
 
+void
+HybridDetector::onCondSignal(const SyncEvent &ev)
+{
+    hard_panic_if(ev.tid >= kMaxThreads, "hybrid: thread id %u too large",
+                  ev.tid);
+    VClock &cvc = condVc_[ev.lock];
+    cvc.join(nonLockVc_[ev.tid]);
+    ++nonLockVc_[ev.tid][ev.tid];
+}
+
+void
+HybridDetector::onCondBroadcast(const SyncEvent &ev)
+{
+    onCondSignal(ev);
+}
+
+void
+HybridDetector::onCondWait(const SyncEvent &ev)
+{
+    hard_panic_if(ev.tid >= kMaxThreads, "hybrid: thread id %u too large",
+                  ev.tid);
+    auto it = condVc_.find(ev.lock);
+    if (it != condVc_.end())
+        nonLockVc_[ev.tid].join(it->second);
+}
+
+void
+HybridDetector::onAtomicStore(const SyncEvent &ev)
+{
+    hard_panic_if(ev.tid >= kMaxThreads, "hybrid: thread id %u too large",
+                  ev.tid);
+    VClock &avc = atomVc_[ev.lock];
+    avc.join(nonLockVc_[ev.tid]);
+    ++nonLockVc_[ev.tid][ev.tid];
+}
+
+void
+HybridDetector::onAtomicLoad(const SyncEvent &ev)
+{
+    hard_panic_if(ev.tid >= kMaxThreads, "hybrid: thread id %u too large",
+                  ev.tid);
+    auto it = atomVc_.find(ev.lock);
+    if (it != atomVc_.end())
+        nonLockVc_[ev.tid].join(it->second);
+}
+
 } // namespace hard

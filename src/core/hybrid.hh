@@ -48,6 +48,31 @@ class HybridDetector : public RaceDetector
     void onSemaPost(const SyncEvent &ev) override;
     void onSemaWait(const SyncEvent &ev) override;
 
+    /** Rwlocks update the Lock Register mode-blind (see HardDetector);
+     * their edges stay out of the non-lock clock domain so lock-
+     * discipline bugs remain interleaving-insensitive. */
+    void
+    onRwLockAcquire(const SyncEvent &ev, bool writer) override
+    {
+        (void)writer;
+        onLockAcquire(ev);
+    }
+
+    void
+    onRwLockRelease(const SyncEvent &ev, bool writer) override
+    {
+        (void)writer;
+        onLockRelease(ev);
+    }
+
+    /** Condvar and atomic release/acquire pairs are hand-crafted
+     * (non-lock) synchronization, pruned exactly like semaphores. */
+    void onCondSignal(const SyncEvent &ev) override;
+    void onCondBroadcast(const SyncEvent &ev) override;
+    void onCondWait(const SyncEvent &ev) override;
+    void onAtomicStore(const SyncEvent &ev) override;
+    void onAtomicLoad(const SyncEvent &ev) override;
+
     /** @return lockset violations suppressed by non-lock ordering. */
     std::uint64_t prunedAlarms() const { return pruned_; }
 
@@ -80,9 +105,12 @@ class HybridDetector : public RaceDetector
     HardConfig cfg_;
     MetaCache<Line> meta_;
     std::array<LockRegister, kMaxThreads> lockRegs_;
-    /** Vector clocks advanced by barrier/semaphore edges only. */
+    /** Vector clocks advanced by non-lock edges only (barrier,
+     * semaphore, condvar, atomic release/acquire). */
     std::array<VClock, kMaxThreads> nonLockVc_{};
     std::unordered_map<Addr, VClock> semaVc_;
+    std::unordered_map<Addr, VClock> condVc_;
+    std::unordered_map<Addr, VClock> atomVc_;
     std::uint64_t pruned_ = 0;
 };
 

@@ -42,6 +42,29 @@ enum class OpType : std::uint8_t
     SemaPost,
     /** Block until the counting semaphore at addr is positive. */
     SemaWait,
+    /** Acquire the rwlock at addr for shared (reader) access. */
+    RwRdLock,
+    /** Release a reader hold of the rwlock at addr. */
+    RwRdUnlock,
+    /** Acquire the rwlock at addr for exclusive (writer) access. */
+    RwWrLock,
+    /** Release the writer hold of the rwlock at addr. */
+    RwWrUnlock,
+    /** Signal the condition variable at addr (wake one waiter). */
+    CondSignal,
+    /** Broadcast the condition variable at addr (wake all waiters). */
+    CondBroadcast,
+    /**
+     * Block on the condition variable at addr until signalled.
+     * Modeled as a bare wait (no associated mutex is re-acquired):
+     * the ordering edge is signal/broadcast happens-before the
+     * waiter's return.
+     */
+    CondWait,
+    /** Word-sized store with release semantics at addr. */
+    AtomicStore,
+    /** Word-sized load with acquire semantics at addr. */
+    AtomicLoad,
     /** Thread termination (implicit at end of stream). */
     End,
 };
@@ -67,6 +90,24 @@ opName(OpType t)
         return "SemaPost";
       case OpType::SemaWait:
         return "SemaWait";
+      case OpType::RwRdLock:
+        return "RwRdLock";
+      case OpType::RwRdUnlock:
+        return "RwRdUnlock";
+      case OpType::RwWrLock:
+        return "RwWrLock";
+      case OpType::RwWrUnlock:
+        return "RwWrUnlock";
+      case OpType::CondSignal:
+        return "CondSignal";
+      case OpType::CondBroadcast:
+        return "CondBroadcast";
+      case OpType::CondWait:
+        return "CondWait";
+      case OpType::AtomicStore:
+        return "AtomicStore";
+      case OpType::AtomicLoad:
+        return "AtomicLoad";
       case OpType::End:
         return "End";
     }
@@ -136,6 +177,60 @@ inline Op
 opSemaWait(Addr sema, SiteId site)
 {
     return Op{OpType::SemaWait, 0, site, sema};
+}
+
+inline Op
+opRwRdLock(LockAddr l, SiteId site)
+{
+    return Op{OpType::RwRdLock, 0, site, l};
+}
+
+inline Op
+opRwRdUnlock(LockAddr l, SiteId site)
+{
+    return Op{OpType::RwRdUnlock, 0, site, l};
+}
+
+inline Op
+opRwWrLock(LockAddr l, SiteId site)
+{
+    return Op{OpType::RwWrLock, 0, site, l};
+}
+
+inline Op
+opRwWrUnlock(LockAddr l, SiteId site)
+{
+    return Op{OpType::RwWrUnlock, 0, site, l};
+}
+
+inline Op
+opCondSignal(Addr cond, SiteId site)
+{
+    return Op{OpType::CondSignal, 0, site, cond};
+}
+
+inline Op
+opCondBroadcast(Addr cond, SiteId site)
+{
+    return Op{OpType::CondBroadcast, 0, site, cond};
+}
+
+inline Op
+opCondWait(Addr cond, SiteId site)
+{
+    return Op{OpType::CondWait, 0, site, cond};
+}
+
+inline Op
+opAtomicStore(Addr a, SiteId site)
+{
+    return Op{OpType::AtomicStore, 0, site, a};
+}
+
+inline Op
+opAtomicLoad(Addr a, SiteId site)
+{
+    return Op{OpType::AtomicLoad, 0, site, a};
 }
 /** @} */
 

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * DJIT+ vector-clock race detector (Pozniansky & Schuster, PPoPP'03).
+ *
+ * Where the baseline HappensBeforeDetector keeps only the *last* write
+ * as a scalar epoch (clearing read history on every store), DJIT+
+ * keeps a full write vector clock and a full read vector clock per
+ * granule: component u holds the clock of thread u's most recent
+ * write (resp. read) to the granule. A read races with any unordered
+ * prior write; a write races with any unordered prior write or read.
+ *
+ * Keeping the whole vectors makes DJIT+ strictly more complete per
+ * dynamic access than the epoch representation: every race the epoch
+ * detector reports is also a DJIT+ race (the last write is one of the
+ * writes in the vector, and read clocks are never clobbered), which
+ * the differential battery checks as hb-subset-of-djit. Against an
+ * oracle carrying the same full vectors, detection is exact
+ * (djit-matches-oracle).
+ *
+ * Storage is unbounded with 4-byte granules by default — this is a
+ * software reference detector, not a hardware model.
+ */
+
+#ifndef HARD_DETECTORS_DJIT_PLUS_HH
+#define HARD_DETECTORS_DJIT_PLUS_HH
+
+#include <array>
+#include <unordered_map>
+
+#include "detectors/report.hh"
+#include "detectors/vclock.hh"
+
+namespace hard
+{
+
+/** Full-vector DJIT+ happens-before detector. */
+class DjitPlusDetector : public RaceDetector
+{
+  public:
+    /**
+     * @param name Detector name for reporting.
+     * @param granularity_bytes Shadow granularity (4..32).
+     */
+    DjitPlusDetector(const std::string &name,
+                     unsigned granularity_bytes = 4);
+
+    void onRead(const MemEvent &ev) override;
+    void onWrite(const MemEvent &ev) override;
+    void onLockAcquire(const SyncEvent &ev) override;
+    void onLockRelease(const SyncEvent &ev) override;
+    void onBarrier(const BarrierEvent &ev) override;
+    void onSemaPost(const SyncEvent &ev) override;
+    void onSemaWait(const SyncEvent &ev) override;
+    void onRwLockAcquire(const SyncEvent &ev, bool writer) override;
+    void onRwLockRelease(const SyncEvent &ev, bool writer) override;
+    void onCondSignal(const SyncEvent &ev) override;
+    void onCondBroadcast(const SyncEvent &ev) override;
+    void onCondWait(const SyncEvent &ev) override;
+    void onAtomicStore(const SyncEvent &ev) override;
+    void onAtomicLoad(const SyncEvent &ev) override;
+
+    /**
+     * @return races whose unordered prior write was *not* the latest
+     * write to the granule — exactly the reports an epoch-based
+     * (last-write-only) detector can miss.
+     */
+    std::uint64_t nonLatestWriteRaces() const { return nonLatest_; }
+
+    /** @return granules with shadow state allocated. */
+    std::size_t granulesTracked() const { return shadow_.size(); }
+
+  private:
+    /** Shadow state of one granule: full write and read vectors. */
+    struct Shadow
+    {
+        /** writeClk[u] = clock of thread u's latest write. */
+        VClock writeClk;
+        /** readClk[u] = clock of thread u's latest read. */
+        VClock readClk;
+        /** Thread of the most recent write (for nonLatest_ stats). */
+        ThreadId lastWriter = invalidThread;
+    };
+
+    void access(const MemEvent &ev, bool write);
+
+    /** Per-rwlock release clocks (see HappensBeforeDetector::RwVc). */
+    struct RwVc
+    {
+        VClock writeVc;
+        VClock readVc;
+    };
+
+    unsigned gran_;
+    std::unordered_map<Addr, Shadow> shadow_;
+    std::array<VClock, kMaxThreads> threadVc_{};
+    std::unordered_map<LockAddr, VClock> lockVc_;
+    std::unordered_map<Addr, VClock> semaVc_;
+    std::unordered_map<LockAddr, RwVc> rwVc_;
+    std::unordered_map<Addr, VClock> condVc_;
+    std::unordered_map<Addr, VClock> atomVc_;
+    std::uint64_t nonLatest_ = 0;
+};
+
+} // namespace hard
+
+#endif // HARD_DETECTORS_DJIT_PLUS_HH

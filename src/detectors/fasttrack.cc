@@ -144,4 +144,61 @@ FastTrackDetector::onSemaWait(const SyncEvent &ev)
         threadVc_[ev.tid].join(it->second);
 }
 
+void
+FastTrackDetector::onRwLockAcquire(const SyncEvent &ev, bool writer)
+{
+    auto it = rwVc_.find(ev.lock);
+    if (it == rwVc_.end())
+        return;
+    threadVc_[ev.tid].join(it->second.writeVc);
+    if (writer)
+        threadVc_[ev.tid].join(it->second.readVc);
+}
+
+void
+FastTrackDetector::onRwLockRelease(const SyncEvent &ev, bool writer)
+{
+    RwVc &rw = rwVc_[ev.lock];
+    (writer ? rw.writeVc : rw.readVc).join(threadVc_[ev.tid]);
+    ++threadVc_[ev.tid][ev.tid];
+}
+
+void
+FastTrackDetector::onCondSignal(const SyncEvent &ev)
+{
+    VClock &cvc = condVc_[ev.lock];
+    cvc.join(threadVc_[ev.tid]);
+    ++threadVc_[ev.tid][ev.tid];
+}
+
+void
+FastTrackDetector::onCondBroadcast(const SyncEvent &ev)
+{
+    onCondSignal(ev);
+}
+
+void
+FastTrackDetector::onCondWait(const SyncEvent &ev)
+{
+    auto it = condVc_.find(ev.lock);
+    if (it != condVc_.end())
+        threadVc_[ev.tid].join(it->second);
+}
+
+void
+FastTrackDetector::onAtomicStore(const SyncEvent &ev)
+{
+    VClock &avc = atomVc_[ev.lock];
+    avc.join(threadVc_[ev.tid]);
+    ++threadVc_[ev.tid][ev.tid];
+}
+
+void
+FastTrackDetector::onAtomicLoad(const SyncEvent &ev)
+{
+    auto it = atomVc_.find(ev.lock);
+    if (it != atomVc_.end())
+        threadVc_[ev.tid].join(it->second);
+}
+
 } // namespace hard

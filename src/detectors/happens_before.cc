@@ -122,6 +122,83 @@ HappensBeforeDetector::onSemaWait(const SyncEvent &ev)
 }
 
 void
+HappensBeforeDetector::onRwLockAcquire(const SyncEvent &ev, bool writer)
+{
+    hard_panic_if(ev.tid >= kMaxThreads, "hb: thread id %u too large",
+                  ev.tid);
+    auto it = rwVc_.find(ev.lock);
+    if (it == rwVc_.end())
+        return;
+    // Writers are ordered after every prior holder; readers only after
+    // prior writers (two readers in the same read-side epoch stay
+    // concurrent).
+    threadVc_[ev.tid].join(it->second.writeVc);
+    if (writer)
+        threadVc_[ev.tid].join(it->second.readVc);
+}
+
+void
+HappensBeforeDetector::onRwLockRelease(const SyncEvent &ev, bool writer)
+{
+    hard_panic_if(ev.tid >= kMaxThreads, "hb: thread id %u too large",
+                  ev.tid);
+    RwVc &rw = rwVc_[ev.lock];
+    (writer ? rw.writeVc : rw.readVc).join(threadVc_[ev.tid]);
+    ++threadVc_[ev.tid][ev.tid];
+}
+
+void
+HappensBeforeDetector::onCondSignal(const SyncEvent &ev)
+{
+    hard_panic_if(ev.tid >= kMaxThreads, "hb: thread id %u too large",
+                  ev.tid);
+    // Signal/broadcast releases the signaller's history into the
+    // condvar; a completed wait acquires it (same shape as semaphores).
+    VClock &cvc = condVc_[ev.lock];
+    cvc.join(threadVc_[ev.tid]);
+    ++threadVc_[ev.tid][ev.tid];
+}
+
+void
+HappensBeforeDetector::onCondBroadcast(const SyncEvent &ev)
+{
+    onCondSignal(ev);
+}
+
+void
+HappensBeforeDetector::onCondWait(const SyncEvent &ev)
+{
+    hard_panic_if(ev.tid >= kMaxThreads, "hb: thread id %u too large",
+                  ev.tid);
+    auto it = condVc_.find(ev.lock);
+    if (it != condVc_.end())
+        threadVc_[ev.tid].join(it->second);
+}
+
+void
+HappensBeforeDetector::onAtomicStore(const SyncEvent &ev)
+{
+    hard_panic_if(ev.tid >= kMaxThreads, "hb: thread id %u too large",
+                  ev.tid);
+    // Store-release publishes the storer's history at the location;
+    // load-acquire picks it up. Sound for the recorded global
+    // completion order (each load observes the latest prior store).
+    VClock &avc = atomVc_[ev.lock];
+    avc.join(threadVc_[ev.tid]);
+    ++threadVc_[ev.tid][ev.tid];
+}
+
+void
+HappensBeforeDetector::onAtomicLoad(const SyncEvent &ev)
+{
+    hard_panic_if(ev.tid >= kMaxThreads, "hb: thread id %u too large",
+                  ev.tid);
+    auto it = atomVc_.find(ev.lock);
+    if (it != atomVc_.end())
+        threadVc_[ev.tid].join(it->second);
+}
+
+void
 HappensBeforeDetector::onBarrier(const BarrierEvent &ev)
 {
     (void)ev;

@@ -67,6 +67,13 @@ class HappensBeforeDetector : public RaceDetector
     void onBarrier(const BarrierEvent &ev) override;
     void onSemaPost(const SyncEvent &ev) override;
     void onSemaWait(const SyncEvent &ev) override;
+    void onRwLockAcquire(const SyncEvent &ev, bool writer) override;
+    void onRwLockRelease(const SyncEvent &ev, bool writer) override;
+    void onCondSignal(const SyncEvent &ev) override;
+    void onCondBroadcast(const SyncEvent &ev) override;
+    void onCondWait(const SyncEvent &ev) override;
+    void onAtomicStore(const SyncEvent &ev) override;
+    void onAtomicLoad(const SyncEvent &ev) override;
 
     /** @return timestamp lines displaced (history lost). */
     std::uint64_t metadataEvictions() const { return meta_.evictions(); }
@@ -90,11 +97,27 @@ class HappensBeforeDetector : public RaceDetector
     /** Apply one access to every granule it overlaps. */
     void access(const MemEvent &ev, bool write);
 
+    /**
+     * Synchronization clocks of one rwlock: writeVc carries the
+     * history released by write-unlocks, readVc the history released
+     * by read-unlocks. A write acquire joins both (the writer is
+     * ordered after every prior holder); a read acquire joins writeVc
+     * only, so concurrent readers stay unordered with each other.
+     */
+    struct RwVc
+    {
+        VClock writeVc;
+        VClock readVc;
+    };
+
     HbConfig cfg_;
     MetaCache<Line> meta_;
     std::array<VClock, kMaxThreads> threadVc_{};
     std::unordered_map<LockAddr, VClock> lockVc_;
     std::unordered_map<Addr, VClock> semaVc_;
+    std::unordered_map<LockAddr, RwVc> rwVc_;
+    std::unordered_map<Addr, VClock> condVc_;
+    std::unordered_map<Addr, VClock> atomVc_;
 };
 
 } // namespace hard

@@ -24,7 +24,15 @@ IdealLocksetDetector::lockset(ThreadId tid) const
 {
     static const std::set<LockAddr> empty;
     auto it = held_.find(tid);
-    return it == held_.end() ? empty : it->second;
+    return it == held_.end() ? empty : it->second.writeHeld;
+}
+
+const std::set<LockAddr> &
+IdealLocksetDetector::readLockset(ThreadId tid) const
+{
+    static const std::set<LockAddr> empty;
+    auto it = held_.find(tid);
+    return it == held_.end() ? empty : it->second.readHeld;
 }
 
 void
@@ -33,7 +41,7 @@ IdealLocksetDetector::access(const MemEvent &ev, bool write)
     const unsigned gran = cfg_.granularityBytes;
     const Addr lo = alignDown(ev.addr, gran);
     const Addr hi = ev.addr + (ev.size ? ev.size : 1);
-    const std::set<LockAddr> &locks = held_[ev.tid];
+    const std::set<LockAddr> locks = held_[ev.tid].effective(write);
 
     for (Addr a = lo; a < hi; a += gran) {
         Granule &g = shadow_[a];
@@ -81,21 +89,49 @@ IdealLocksetDetector::onWrite(const MemEvent &ev)
 void
 IdealLocksetDetector::onLockAcquire(const SyncEvent &ev)
 {
-    auto [it, inserted] = held_[ev.tid].insert(ev.lock);
+    ThreadLocksets &ls = held_[ev.tid];
+    auto [it, inserted] = ls.writeHeld.insert(ev.lock);
     (void)it;
     hard_panic_if(!inserted && !cfg_.tolerateUnbalanced,
                   "ideal-lockset: thread %u re-acquired lock %llx",
                   ev.tid, static_cast<unsigned long long>(ev.lock));
     sizeStats_.maxLockset =
-        std::max(sizeStats_.maxLockset, held_[ev.tid].size());
+        std::max(sizeStats_.maxLockset,
+                 ls.writeHeld.size() + ls.readHeld.size());
 }
 
 void
 IdealLocksetDetector::onLockRelease(const SyncEvent &ev)
 {
-    std::size_t erased = held_[ev.tid].erase(ev.lock);
+    std::size_t erased = held_[ev.tid].writeHeld.erase(ev.lock);
     hard_panic_if(erased == 0 && !cfg_.tolerateUnbalanced,
                   "ideal-lockset: thread %u released unheld lock %llx",
+                  ev.tid, static_cast<unsigned long long>(ev.lock));
+}
+
+void
+IdealLocksetDetector::onRwLockAcquire(const SyncEvent &ev, bool writer)
+{
+    ThreadLocksets &ls = held_[ev.tid];
+    auto [it, inserted] =
+        (writer ? ls.writeHeld : ls.readHeld).insert(ev.lock);
+    (void)it;
+    hard_panic_if(!inserted && !cfg_.tolerateUnbalanced,
+                  "ideal-lockset: thread %u re-acquired rwlock %llx",
+                  ev.tid, static_cast<unsigned long long>(ev.lock));
+    sizeStats_.maxLockset =
+        std::max(sizeStats_.maxLockset,
+                 ls.writeHeld.size() + ls.readHeld.size());
+}
+
+void
+IdealLocksetDetector::onRwLockRelease(const SyncEvent &ev, bool writer)
+{
+    ThreadLocksets &ls = held_[ev.tid];
+    std::size_t erased =
+        (writer ? ls.writeHeld : ls.readHeld).erase(ev.lock);
+    hard_panic_if(erased == 0 && !cfg_.tolerateUnbalanced,
+                  "ideal-lockset: thread %u released unheld rwlock %llx",
                   ev.tid, static_cast<unsigned long long>(ev.lock));
 }
 

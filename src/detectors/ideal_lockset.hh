@@ -100,8 +100,21 @@ class IdealLocksetDetector : public RaceDetector
     void onLockRelease(const SyncEvent &ev) override;
     void onBarrier(const BarrierEvent &ev) override;
 
-    /** @return the current exact lock set of @p tid. */
+    /**
+     * Rwlock-aware lockset maintenance: a writer hold protects like a
+     * mutex; a reader hold protects reads only (concurrent readers
+     * are admitted, so a write under a reader hold is unprotected).
+     * Accesses intersect with ThreadLocksets::effective(write).
+     */
+    void onRwLockAcquire(const SyncEvent &ev, bool writer) override;
+    void onRwLockRelease(const SyncEvent &ev, bool writer) override;
+
+    /** @return the current exact write-held lock set of @p tid
+     * (mutexes + writer-mode rwlock holds). */
     const std::set<LockAddr> &lockset(ThreadId tid) const;
+
+    /** @return the current reader-mode rwlock hold set of @p tid. */
+    const std::set<LockAddr> &readLockset(ThreadId tid) const;
 
     /**
      * Measured set-size statistics, supporting the paper's §5.2.3
@@ -144,7 +157,8 @@ class IdealLocksetDetector : public RaceDetector
 
     IdealLocksetConfig cfg_;
     std::unordered_map<Addr, Granule> shadow_;
-    std::unordered_map<ThreadId, std::set<LockAddr>> held_;
+    /** Per-thread write-held/read-held lock sets. */
+    std::unordered_map<ThreadId, ThreadLocksets> held_;
     SetSizeStats sizeStats_;
     /** Provenance recorder; null unless an explain run attached one. */
     ProvRecorder *prov_ = nullptr;

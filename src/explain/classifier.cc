@@ -20,6 +20,8 @@ divergenceCategoryName(DivergenceCategory c)
         return "metadata-eviction";
       case DivergenceCategory::BarrierReset: return "barrier-reset";
       case DivergenceCategory::Granularity: return "granularity";
+      case DivergenceCategory::RwlockModeBlind:
+        return "rwlock-mode-blind";
       case DivergenceCategory::Unknown: return "unknown";
     }
     return "?";
@@ -30,7 +32,8 @@ divergenceCategoryNames()
 {
     static const std::vector<std::string> names = {
         "bloom-aliasing",   "counter-saturation", "metadata-eviction",
-        "barrier-reset",    "granularity",        "unknown",
+        "barrier-reset",    "granularity",        "rwlock-mode-blind",
+        "unknown",
     };
     return names;
 }
@@ -85,6 +88,28 @@ struct UnderRep
     std::uint32_t missingBits = 0;
     std::uint32_t missingSat = 0; ///< missing bits that had saturated
     Cycle at = 0;
+};
+
+/** R3: exact lockset with HARD's mode-blind rwlock view — a reader
+ * hold enters (and leaves) the write-held set like a mutex. */
+class ModeBlindLockset : public IdealLocksetDetector
+{
+  public:
+    using IdealLocksetDetector::IdealLocksetDetector;
+
+    void
+    onRwLockAcquire(const SyncEvent &ev, bool writer) override
+    {
+        (void)writer;
+        onLockAcquire(ev);
+    }
+
+    void
+    onRwLockRelease(const SyncEvent &ev, bool writer) override
+    {
+        (void)writer;
+        onLockRelease(ev);
+    }
 };
 
 UnderRep
@@ -173,6 +198,13 @@ explainTrace(const Trace &trace, const ExplainConfig &cfg)
             "explain-ref-reset", r2c);
     }
 
+    // R3: exact at subject granularity with HARD's mode-blind rwlock
+    // view; only hard subjects can diverge from R this way.
+    std::unique_ptr<IdealLocksetDetector> ref_blind;
+    if (hard_subject)
+        ref_blind =
+            std::make_unique<ModeBlindLockset>("explain-ref-blind", rc);
+
     // F: the paper ideal — exact, fine-grained, flash-reset on.
     IdealLocksetConfig fc;
     fc.granularityBytes = cfg.fineGranularity;
@@ -184,6 +216,8 @@ explainTrace(const Trace &trace, const ExplainConfig &cfg)
                                                &ref_fine};
     if (ref_reset)
         observers.push_back(ref_reset.get());
+    if (ref_blind)
+        observers.push_back(ref_blind.get());
     res.eventsReplayed = replayTrace(trace, observers);
 
     res.subjectKeys = keysOf(subject->sink());
@@ -191,6 +225,8 @@ explainTrace(const Trace &trace, const ExplainConfig &cfg)
     res.referenceKeys = coarsen(keysOf(ref_fine.sink()), gran);
     const ExplainKeySet ref_reset_keys =
         ref_reset ? keysOf(ref_reset->sink()) : ExplainKeySet{};
+    const ExplainKeySet ref_blind_keys =
+        ref_blind ? keysOf(ref_blind->sink()) : ExplainKeySet{};
 
     // Subject reports with causal chains.
     for (const RaceReport &r : subject->sink().reports()) {
@@ -283,6 +319,18 @@ explainTrace(const Trace &trace, const ExplainConfig &cfg)
             continue;
         }
         const Cycle ref_at = rp && rp->reports ? rp->firstReportAt : 0;
+        // Mode-blindness is checked first: R3 is exact, so when it
+        // also lacks the report no probabilistic artifact needs to be
+        // invoked — the miss is fully explained by the hardware's
+        // mode-blind rwlock view keeping the reader hold alive.
+        if (ref_blind && ref_blind_keys.count(k) == 0) {
+            attribute(false, k, DivergenceCategory::RwlockModeBlind,
+                      "the mode-blind exact reference also lacks this "
+                      "report — a reader-mode rwlock hold stayed in "
+                      "the candidate set the hardware tracks, where "
+                      "the mode-aware reference excludes it");
+            continue;
+        }
         if (gp && gp->losses > 0) {
             attribute(false, k, DivergenceCategory::MetadataEviction,
                       "granule metadata was displaced " +

@@ -14,6 +14,11 @@
  *  - R2 — exact lockset at the subject's granularity *with* the §3.5
  *         flash-reset (only built when the subject disables it), used
  *         to attribute barrier-reset divergences.
+ *  - R3 — exact lockset at the subject's granularity with HARD's
+ *         mode-blind rwlock view (only built for hard subjects): a
+ *         missing report that R has but R3 also lacks is explained by
+ *         the hardware seeing one lock-word RMW per rwlock acquire
+ *         regardless of mode, not by any Bloom artifact.
  *  - F  — exact lockset at fine (4-byte) granularity with the flash-
  *         reset: the paper's "ideal" (§4). The divergence universe is
  *         subject vs. coarsen(F).
@@ -58,8 +63,13 @@ enum class DivergenceCategory : std::uint8_t
     BarrierReset = 3,
     /** Coarse-granule false sharing vs the 4-byte ideal. */
     Granularity = 4,
+    /** HARD's mode-blind rwlock view (one lock-word RMW either way)
+     * kept a reader hold in the candidate set where the mode-aware
+     * reference excludes it for writes — the report is missing by
+     * design, not by Bloom artifact. */
+    RwlockModeBlind = 5,
     /** No mechanism matched (must stay empty on honest configs). */
-    Unknown = 5,
+    Unknown = 6,
 };
 
 /** @return stable kebab-case name of @p c (JSON vocabulary). */

@@ -14,6 +14,10 @@ namespace hard
 {
 
 const char *const kSemaEdgesCategory = "semaphore-edges";
+const char *const kRwlockEdgesCategory = "rwlock-edges";
+const char *const kCondEdgesCategory = "condvar-edges";
+const char *const kAtomicEdgesCategory = "atomic-edges";
+const char *const kReaderHoldBlindCategory = "reader-hold-blind";
 
 namespace
 {
@@ -82,47 +86,80 @@ explainLocksetSubject(const Trace &trace, const FuzzConfig &cfg)
 }
 
 /**
- * Happens-before sema-ablation: compare the subject's keys against the
- * vector-clock oracle with and without post→wait edges. An extra key
- * that only the ablated oracle reproduces is attributable to missing
- * semaphore ordering.
+ * Clock-detector edge ablation: compare the subject's keys against the
+ * vector-clock oracle (epoch mode for happens-before, full-write-vector
+ * mode for DJIT+) with each synchronization edge family removed in
+ * turn. An extra key that only an ablated oracle reproduces is
+ * attributable to that family's missing edges.
  */
 Json
-explainHbSubject(const Trace &trace, const FuzzConfig &cfg)
+explainClockSubject(const Trace &trace, const FuzzConfig &cfg)
 {
-    std::unique_ptr<HappensBeforeDetector> hb;
-    if (cfg.weaken == Weaken::Hb)
-        hb = std::make_unique<DeafHbDetector>("explain-subject",
-                                              HbConfig::ideal());
+    const bool djit = cfg.weaken == Weaken::Djit;
+
+    std::unique_ptr<RaceDetector> subject;
+    if (djit)
+        subject =
+            std::make_unique<RwDeafDjitDetector>("explain-subject", 4);
+    else if (cfg.weaken == Weaken::Hb)
+        subject = std::make_unique<DeafHbDetector>("explain-subject",
+                                                   HbConfig::ideal());
     else
-        hb = std::make_unique<HappensBeforeDetector>("explain-subject",
-                                                     HbConfig::ideal());
-    std::vector<AccessObserver *> obs{hb.get()};
+        subject = std::make_unique<HappensBeforeDetector>(
+            "explain-subject", HbConfig::ideal());
+    std::vector<AccessObserver *> obs{subject.get()};
     replayTrace(trace, obs);
-    hb->finalize();
+    subject->finalize();
 
-    const KeySet subj = reportKeys(hb->sink());
-    const KeySet full = oracleHappensBefore(trace, 4, true);
-    const KeySet ablated = oracleHappensBefore(trace, 4, false);
+    const KeySet subj = reportKeys(subject->sink());
+    HbOracleOpts base;
+    base.fullWriteVector = djit;
+    const KeySet full = oracleHappensBefore(trace, 4, base);
 
-    unsigned extra = 0, missing = 0, sema = 0, unknown = 0;
+    struct Family
+    {
+        const char *category;
+        bool HbOracleOpts::*edge;
+        KeySet keys;
+    };
+    std::vector<Family> families = {
+        {kSemaEdgesCategory, &HbOracleOpts::semaEdges, {}},
+        {kRwlockEdgesCategory, &HbOracleOpts::rwlockEdges, {}},
+        {kCondEdgesCategory, &HbOracleOpts::condEdges, {}},
+        {kAtomicEdgesCategory, &HbOracleOpts::atomicEdges, {}},
+    };
+    for (Family &f : families) {
+        HbOracleOpts opts = base;
+        opts.*(f.edge) = false;
+        f.keys = oracleHappensBefore(trace, 4, opts);
+    }
+
+    unsigned extra = 0, missing = 0, unknown = 0;
+    std::map<std::string, unsigned> famCounts;
     Json list = Json::array();
     for (const ReportKey &k : subj) {
         if (full.count(k))
             continue;
         ++extra;
-        if (ablated.count(k)) {
-            ++sema;
+        const Family *hit = nullptr;
+        for (const Family &f : families)
+            if (f.keys.count(k)) {
+                hit = &f;
+                break;
+            }
+        if (hit != nullptr) {
+            ++famCounts[hit->category];
             list.push(divergenceEntry(
-                true, k.first, k.second, trace, kSemaEdgesCategory,
-                "the vector-clock oracle reports this key only with "
-                "post->wait edges removed — the subject ignored "
-                "semaphore ordering"));
+                true, k.first, k.second, trace, hit->category,
+                std::string("the vector-clock oracle reports this key "
+                            "only with ") +
+                    hit->category +
+                    " removed — the subject ignored that ordering"));
         } else {
             ++unknown;
             list.push(divergenceEntry(
                 true, k.first, k.second, trace, "unknown",
-                "neither the full nor the sema-ablated oracle "
+                "neither the full nor any edge-ablated oracle "
                 "reproduces this report"));
         }
     }
@@ -138,13 +175,76 @@ explainHbSubject(const Trace &trace, const FuzzConfig &cfg)
     }
 
     Json j = Json::object();
-    j.set("subject", "happens-before");
+    j.set("subject", djit ? "djit-plus" : "happens-before");
     j.set("weaken", weakenName(cfg.weaken));
     Json attr = Json::object();
     attr.set("extra", extra);
     attr.set("missing", missing);
     Json cats = Json::object();
-    cats.set(kSemaEdgesCategory, sema);
+    for (const Family &f : families)
+        cats.set(f.category, famCounts[f.category]);
+    cats.set("unknown", unknown);
+    attr.set("categories", std::move(cats));
+    j.set("attribution", std::move(attr));
+    j.set("divergences", std::move(list));
+    return j;
+}
+
+/**
+ * RaceTrack read-blind explain: the sabotaged subject against the
+ * honest RaceTrack over the same trace. Every extra key is evidence of
+ * the dropped reader-mode holds (lost read-held locks and lost
+ * writer→reader ordering); missing keys would implicate something
+ * else entirely and stay unknown.
+ */
+Json
+explainRacetrackSubject(const Trace &trace, const FuzzConfig &cfg)
+{
+    RaceTrackConfig rtc;
+    rtc.granularityBytes = 4;
+    rtc.tolerateUnbalanced = true;
+    ReadBlindRaceTrack subject("explain-subject", rtc);
+    RaceTrackDetector honest("explain-ref", rtc);
+    std::vector<AccessObserver *> obs{&subject, &honest};
+    replayTrace(trace, obs);
+    subject.finalize();
+    honest.finalize();
+
+    const KeySet subj = reportKeys(subject.sink());
+    const KeySet ref = reportKeys(honest.sink());
+
+    unsigned extra = 0, missing = 0, blind = 0, unknown = 0;
+    Json list = Json::array();
+    for (const ReportKey &k : subj) {
+        if (ref.count(k))
+            continue;
+        ++extra;
+        ++blind;
+        list.push(divergenceEntry(
+            true, k.first, k.second, trace, kReaderHoldBlindCategory,
+            "the honest RaceTrack does not report this key — dropping "
+            "reader-mode holds emptied the candidate set or lost the "
+            "writer→reader ordering that suppressed it"));
+    }
+    for (const ReportKey &k : ref) {
+        if (subj.count(k))
+            continue;
+        ++missing;
+        ++unknown;
+        list.push(divergenceEntry(
+            false, k.first, k.second, trace, "unknown",
+            "ignoring reader holds can only add reports; a missing "
+            "one implicates the subject's state machine"));
+    }
+
+    Json j = Json::object();
+    j.set("subject", "racetrack");
+    j.set("weaken", weakenName(cfg.weaken));
+    Json attr = Json::object();
+    attr.set("extra", extra);
+    attr.set("missing", missing);
+    Json cats = Json::object();
+    cats.set(kReaderHoldBlindCategory, blind);
     cats.set("unknown", unknown);
     attr.set("categories", std::move(cats));
     j.set("attribution", std::move(attr));
@@ -157,8 +257,15 @@ explainHbSubject(const Trace &trace, const FuzzConfig &cfg)
 Json
 explainFuzzCase(const Trace &trace, const FuzzConfig &cfg)
 {
-    return cfg.weaken == Weaken::Hb ? explainHbSubject(trace, cfg)
-                                    : explainLocksetSubject(trace, cfg);
+    switch (cfg.weaken) {
+      case Weaken::Hb:
+      case Weaken::Djit:
+        return explainClockSubject(trace, cfg);
+      case Weaken::Racetrack:
+        return explainRacetrackSubject(trace, cfg);
+      default:
+        return explainLocksetSubject(trace, cfg);
+    }
 }
 
 } // namespace hard

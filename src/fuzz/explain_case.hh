@@ -11,11 +11,15 @@
  *    deaf) against the exact-lockset references, via explainTrace().
  *  - weaken ideal     — the no-flash-reset exact lockset as subject,
  *    so the divergence attributes to barrier-reset.
- *  - weaken hb        — happens-before has no lockset reference;
+ *  - weaken hb/djit   — clock detectors have no lockset reference;
  *    instead the subject's keys are compared against the vector-clock
- *    oracle with and without semaphore edges (sema-ablation), which
- *    lives here rather than in hard_explain because the oracles are a
- *    fuzz-layer concept.
+ *    oracle (epoch or full-write-vector mode) with each edge family
+ *    (sema, rwlock, condvar, atomic) ablated in turn: an extra key
+ *    only an ablated oracle reproduces attributes to that family's
+ *    missing edges. Lives here rather than in hard_explain because
+ *    the oracles are a fuzz-layer concept.
+ *  - weaken racetrack — the read-blind subject against the honest
+ *    RaceTrack: extra keys attribute to the dropped reader holds.
  */
 
 #ifndef HARD_FUZZ_EXPLAIN_CASE_HH
@@ -30,6 +34,14 @@ namespace hard
 
 /** Category name used for happens-before sema-ablation divergences. */
 extern const char *const kSemaEdgesCategory;
+/** Category for rwlock release→acquire edge-ablation divergences. */
+extern const char *const kRwlockEdgesCategory;
+/** Category for condvar signal/broadcast→wait ablation divergences. */
+extern const char *const kCondEdgesCategory;
+/** Category for atomic release-acquire edge-ablation divergences. */
+extern const char *const kAtomicEdgesCategory;
+/** Category for RaceTrack reader-hold-blind divergences. */
+extern const char *const kReaderHoldBlindCategory;
 
 /**
  * Build the "explain" block for one fuzz case: subject name, an

@@ -68,6 +68,24 @@ generateFuzzProgram(std::uint64_t seed, const FuzzGenConfig &cfg)
     for (unsigned p = 0; p < nphases; ++p)
         semas.push_back(b.allocSema("handoff" + std::to_string(p)));
 
+    // Extended-grammar objects, allocated only when enabled so the
+    // default layout (and hence trace-cache keys) never moves.
+    const bool useRw = cfg.numRwLocks > 0 && cfg.pRwLocked > 0;
+    const bool useCond = cfg.pCond > 0;
+    const bool useAtomic = cfg.numAtomics > 0 && cfg.pAtomic > 0;
+    std::vector<LockAddr> rwlocks;
+    if (useRw)
+        for (unsigned l = 0; l < cfg.numRwLocks; ++l)
+            rwlocks.push_back(b.allocRwLock("rw" + std::to_string(l)));
+    std::vector<Addr> conds;
+    if (useCond)
+        for (unsigned p = 0; p < nphases; ++p)
+            conds.push_back(b.allocCond("phasecond" + std::to_string(p)));
+    std::vector<Addr> atomics;
+    if (useAtomic)
+        for (unsigned a = 0; a < cfg.numAtomics; ++a)
+            atomics.push_back(b.allocAtomic("atom" + std::to_string(a)));
+
     // Sites: one per (lock, region) pair plus the unlocked/private
     // families, so reports discriminate the access context.
     const SiteId s_bar = b.site("phase.barrier");
@@ -86,6 +104,30 @@ generateFuzzProgram(std::uint64_t seed, const FuzzGenConfig &cfg)
         s_wr.push_back(b.site(rn + ".locked.write"));
         s_urd.push_back(b.site(rn + ".unlocked.read"));
         s_uwr.push_back(b.site(rn + ".unlocked.write"));
+    }
+    // Extended-grammar sites, interned only when enabled so default
+    // SiteIds stay stable.
+    std::vector<SiteId> s_rw_acq, s_rw_rel, s_rwrd, s_rwwr;
+    if (useRw) {
+        for (unsigned l = 0; l < cfg.numRwLocks; ++l) {
+            s_rw_acq.push_back(b.site("rw" + std::to_string(l) + ".acq"));
+            s_rw_rel.push_back(b.site("rw" + std::to_string(l) + ".rel"));
+        }
+        for (unsigned r = 0; r < nregions; ++r) {
+            const std::string rn = "region" + std::to_string(r);
+            s_rwrd.push_back(b.site(rn + ".rw.read"));
+            s_rwwr.push_back(b.site(rn + ".rw.write"));
+        }
+    }
+    SiteId s_cbc = 0, s_cwt = 0;
+    if (useCond) {
+        s_cbc = b.site("handoff.cond.broadcast");
+        s_cwt = b.site("handoff.cond.wait");
+    }
+    SiteId s_ast = 0, s_ald = 0;
+    if (useAtomic) {
+        s_ast = b.site("atomic.store");
+        s_ald = b.site("atomic.load");
     }
 
     for (unsigned phase = 0; phase < nphases; ++phase) {
@@ -107,12 +149,70 @@ generateFuzzProgram(std::uint64_t seed, const FuzzGenConfig &cfg)
                     b.semaWait(static_cast<ThreadId>(t), sema, s_wait);
         }
 
+        // Optional condvar hand-off on this phase's own condition
+        // variable: one broadcaster, everyone else waits. Broadcasts
+        // latch in the simulator, so a waiter arriving after the
+        // broadcast proceeds immediately — deadlock-free in any
+        // arrival order, and (like the semaphore hand-off) each wait
+        // depends only on its own phase's broadcaster, which in turn
+        // only has to clear earlier phases' hand-offs.
+        if (useCond && nthreads >= 2 && rng.chance(cfg.pCond)) {
+            const ThreadId caster =
+                static_cast<ThreadId>(rng.below(nthreads));
+            b.condBroadcast(caster, conds[phase], s_cbc);
+            for (unsigned t = 0; t < nthreads; ++t)
+                if (t != caster)
+                    b.condWait(static_cast<ThreadId>(t), conds[phase],
+                               s_cwt);
+        }
+
         for (unsigned t = 0; t < nthreads; ++t) {
             const ThreadId tid = static_cast<ThreadId>(t);
             const unsigned nops = static_cast<unsigned>(
                 rng.range(4, std::max(4u, cfg.maxOps)));
             for (unsigned i = 0; i < nops; ++i) {
-                if (rng.chance(cfg.pLocked)) {
+                if (useRw && rng.chance(cfg.pRwLocked)) {
+                    // Rwlock critical section: one rwlock, one mode.
+                    // The rwlock nominally protects its own region
+                    // slice; reader-mode sections still draw pWrite,
+                    // so a write under only a read hold is generated
+                    // as a deliberate discipline bug.
+                    const unsigned l = static_cast<unsigned>(
+                        rng.below(rwlocks.size()));
+                    const bool writerMode = rng.chance(cfg.pRwWriter);
+                    if (writerMode)
+                        b.wrlock(tid, rwlocks[l], s_rw_acq[l]);
+                    else
+                        b.rdlock(tid, rwlocks[l], s_rw_acq[l]);
+                    const unsigned naccess =
+                        static_cast<unsigned>(rng.range(1, 4));
+                    for (unsigned a = 0; a < naccess; ++a) {
+                        unsigned r = l % nregions;
+                        if (rng.chance(cfg.pWrongRegion))
+                            r = static_cast<unsigned>(
+                                rng.below(nregions));
+                        unsigned size = 0;
+                        const Addr addr = pickAccess(
+                            rng, regions[r], region_bytes, size);
+                        if (rng.chance(cfg.pWrite))
+                            b.write(tid, addr, size, s_rwwr[r]);
+                        else
+                            b.read(tid, addr, size, s_rwrd[r]);
+                    }
+                    if (writerMode)
+                        b.wrunlock(tid, rwlocks[l], s_rw_rel[l]);
+                    else
+                        b.rdunlock(tid, rwlocks[l], s_rw_rel[l]);
+                } else if (useAtomic && rng.chance(cfg.pAtomic)) {
+                    // Atomic release-acquire sync: pure ordering, no
+                    // data access of its own.
+                    const unsigned a = static_cast<unsigned>(
+                        rng.below(atomics.size()));
+                    if (rng.chance(0.5))
+                        b.atomicStore(tid, atomics[a], s_ast);
+                    else
+                        b.atomicLoad(tid, atomics[a], s_ald);
+                } else if (rng.chance(cfg.pLocked)) {
                     // Critical section under 1..maxNest locks taken
                     // in ascending global order (deadlock-free) and
                     // released in reverse (properly nested).

@@ -71,6 +71,36 @@ struct FuzzGenConfig
     double pBarrier = 0.75;
     /** Probability a phase starts with a semaphore hand-off. */
     double pSema = 0.35;
+
+    /**
+     * @name Extended sync grammar (rwlock/condvar/atomic)
+     *
+     * All default to "off" (zero), and every associated RNG draw,
+     * allocation and site interning is gated behind the knob, so
+     * default-config programs — and therefore trace-cache keys and
+     * recorded corpus traces — are byte-identical to the pre-extension
+     * generator.
+     * @{
+     */
+    /** Reader-writer locks allocated (rwlock grammar needs both this
+     * and pRwLocked nonzero). */
+    unsigned numRwLocks = 0;
+    /** Probability an op block is an rwlock critical section. */
+    double pRwLocked = 0.0;
+    /** Probability an rwlock section is writer-mode (else reader).
+     * Reader-mode sections still draw pWrite: a write under only a
+     * read hold is a deliberate discipline bug. */
+    double pRwWriter = 0.3;
+    /** Probability a phase starts with a condvar broadcast hand-off
+     * (latched broadcast, so arrival order cannot deadlock). */
+    double pCond = 0.0;
+    /** Atomic words allocated (atomic grammar needs both this and
+     * pAtomic nonzero). */
+    unsigned numAtomics = 0;
+    /** Probability an op block is an atomic store/load (pure
+     * release-acquire sync, no data access). */
+    double pAtomic = 0.0;
+    /** @} */
 };
 
 /**

@@ -81,9 +81,11 @@ const std::vector<std::string> &
 invariantNames()
 {
     static const std::vector<std::string> names = {
-        "hard-subset-of-ideal",   "hybrid-subset-of-hard",
-        "fine-subset-of-coarse",  "lockset-matches-oracle",
-        "hb-matches-oracle",      "hb-matches-fasttrack",
+        "hard-subset-of-ideal",      "hybrid-subset-of-hard",
+        "fine-subset-of-coarse",     "lockset-matches-oracle",
+        "hb-matches-oracle",         "hb-matches-fasttrack",
+        "djit-matches-oracle",       "hb-subset-of-djit",
+        "racetrack-subset-of-ideal",
     };
     return names;
 }
@@ -111,6 +113,16 @@ checkInvariants(const FuzzReportSet &r)
                r.oracleHb);
     checkEqual(out, "hb-matches-fasttrack",
                "happens-before-ideal == fasttrack@4", r.hb, r.fasttrack);
+    checkEqual(out, "djit-matches-oracle",
+               "djit-plus == reference happens-before (full write "
+               "vector)",
+               r.djit, r.oracleHbFull);
+    checkSubset(out, "hb-subset-of-djit",
+                "happens-before-ideal \xE2\x8A\x86 djit-plus", r.hb,
+                r.djit);
+    checkSubset(out, "racetrack-subset-of-ideal",
+                "racetrack \xE2\x8A\x86 ideal-lockset@4", r.racetrack,
+                r.idealFine);
 
     return out;
 }

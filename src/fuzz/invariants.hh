@@ -29,6 +29,17 @@
  *    detector must agree exactly with the independent reference.
  *  - hb-matches-fasttrack: FastTrack's adaptive read epochs are
  *    detection-equivalent to full read vectors (Flanagan & Freund).
+ *  - djit-matches-oracle: the DJIT+ full-vector detector must agree
+ *    exactly with the reference happens-before oracle run in
+ *    full-write-vector mode.
+ *  - hb-subset-of-djit: at equal granularity the epoch representation
+ *    can only forget history the full vectors keep (the last write is
+ *    one of the vector's writes; read clocks are never clobbered), so
+ *    every epoch-HB report is also a DJIT+ report.
+ *  - racetrack-subset-of-ideal: RaceTrack runs the identical Eraser
+ *    state machine and effective-lockset intersection as the fine
+ *    ideal lockset detector and only ever *suppresses* alarms via its
+ *    full happens-before check.
  *
  * Deliberately NOT checked: lockset vs happens-before in either
  * direction — the families are incomparable (read-shared suppression
@@ -64,9 +75,12 @@ struct FuzzReportSet
     KeySet hybrid;           ///< HybridDetector, unbounded, granularity
     KeySet hb;               ///< HappensBefore, HbConfig::ideal()
     KeySet fasttrack;        ///< FastTrack at 4 bytes
+    KeySet djit;             ///< DjitPlus at 4 bytes
+    KeySet racetrack;        ///< RaceTrack at 4 bytes
     KeySet oracleLs;         ///< reference lockset at granularity
     KeySet oracleLsFine;     ///< reference lockset at 4 bytes
     KeySet oracleHb;         ///< reference happens-before at 4 bytes
+    KeySet oracleHbFull;     ///< reference HB, full-write-vector, 4B
 };
 
 /** One violated invariant, with a bounded witness list. */

@@ -17,6 +17,11 @@ sanitizeTrace(const Trace &trace)
     out.siteNames = trace.siteNames;
     out.events.reserve(trace.events.size());
     std::map<ThreadId, std::set<Addr>> held;
+    // Per-thread rwlock holds by mode ('r' or 'w'): a subsequence can
+    // strand a re-acquire (in any mode) or a release of an unheld or
+    // wrong-mode rwlock; both are dropped so detectors that panic on
+    // unbalanced rwlock events can evaluate ddmin candidates.
+    std::map<ThreadId, std::map<Addr, char>> rwHeld;
     for (const TraceEvent &ev : trace.events) {
         if (ev.kind == TraceKind::LockAcquire) {
             if (!held[ev.tid].insert(ev.addr).second)
@@ -24,6 +29,22 @@ sanitizeTrace(const Trace &trace)
         } else if (ev.kind == TraceKind::LockRelease) {
             if (held[ev.tid].erase(ev.addr) == 0)
                 continue;
+        } else if (ev.kind == TraceKind::RwRdAcquire ||
+                   ev.kind == TraceKind::RwWrAcquire) {
+            auto &holds = rwHeld[ev.tid];
+            if (holds.count(ev.addr))
+                continue;
+            holds[ev.addr] =
+                ev.kind == TraceKind::RwWrAcquire ? 'w' : 'r';
+        } else if (ev.kind == TraceKind::RwRdRelease ||
+                   ev.kind == TraceKind::RwWrRelease) {
+            auto &holds = rwHeld[ev.tid];
+            auto it = holds.find(ev.addr);
+            const char mode =
+                ev.kind == TraceKind::RwWrRelease ? 'w' : 'r';
+            if (it == holds.end() || it->second != mode)
+                continue;
+            holds.erase(it);
         }
         out.events.push_back(ev);
     }

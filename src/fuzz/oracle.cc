@@ -54,12 +54,42 @@ struct LsGranule
     Candidate cand;
 };
 
-/** Last-write epoch plus full read vector, one per granule. */
+/**
+ * Per-thread holds, split by mode. Independent re-derivation of the
+ * detectors' ThreadLocksets: writes are protected only by write-mode
+ * holds (mutexes, writer rwlocks); reads by holds in either mode.
+ */
+struct OracleHeld
+{
+    std::set<LockAddr> wr;
+    std::set<LockAddr> rd;
+
+    std::set<LockAddr>
+    effective(bool write) const
+    {
+        if (write)
+            return wr;
+        std::set<LockAddr> out = wr;
+        out.insert(rd.begin(), rd.end());
+        return out;
+    }
+};
+
+/** Last-write epoch plus full read vector, one per granule. The
+ * writeVec component is maintained only in fullWriteVector mode. */
 struct HbGranule
 {
     ThreadId writeTid = invalidThread;
     std::uint32_t writeClk = 0;
     std::array<std::uint32_t, kMaxThreads> readClk{};
+    std::array<std::uint32_t, kMaxThreads> writeVec{};
+};
+
+/** Write-release/read-release clocks of one rwlock. */
+struct OracleRwVc
+{
+    VClock writeVc;
+    VClock readVc;
 };
 
 } // namespace
@@ -74,15 +104,23 @@ oracleLockset(const Trace &trace, unsigned granularity_bytes,
 
     KeySet out;
     std::map<Addr, LsGranule> shadow;
-    std::map<ThreadId, std::set<LockAddr>> held;
+    std::map<ThreadId, OracleHeld> held;
 
     for (const TraceEvent &ev : trace.events) {
         switch (ev.kind) {
           case TraceKind::LockAcquire:
-            held[ev.tid].insert(ev.addr);
+          case TraceKind::RwWrAcquire:
+            held[ev.tid].wr.insert(ev.addr);
             break;
           case TraceKind::LockRelease:
-            held[ev.tid].erase(ev.addr);
+          case TraceKind::RwWrRelease:
+            held[ev.tid].wr.erase(ev.addr);
+            break;
+          case TraceKind::RwRdAcquire:
+            held[ev.tid].rd.insert(ev.addr);
+            break;
+          case TraceKind::RwRdRelease:
+            held[ev.tid].rd.erase(ev.addr);
             break;
           case TraceKind::Barrier:
             // Flash-reset: all evidence gathered before the barrier is
@@ -93,7 +131,8 @@ oracleLockset(const Trace &trace, unsigned granularity_bytes,
           case TraceKind::Read:
           case TraceKind::Write: {
             const bool write = ev.kind == TraceKind::Write;
-            const std::set<LockAddr> &locks = held[ev.tid];
+            const std::set<LockAddr> locks =
+                held[ev.tid].effective(write);
             const Addr lo = alignDown(ev.addr, granularity_bytes);
             const Addr hi = ev.addr + (ev.size ? ev.size : 1);
             for (Addr a = lo; a < hi; a += granularity_bytes) {
@@ -134,7 +173,9 @@ oracleLockset(const Trace &trace, unsigned granularity_bytes,
             break;
           }
           default:
-            break; // sema, thread-end, eviction: invisible to lockset
+            // sema, condvar, atomic, thread-end, eviction: these
+            // create ordering, not lock discipline — invisible here.
+            break;
         }
     }
     return out;
@@ -142,7 +183,7 @@ oracleLockset(const Trace &trace, unsigned granularity_bytes,
 
 KeySet
 oracleHappensBefore(const Trace &trace, unsigned granularity_bytes,
-                    bool sema_edges)
+                    const HbOracleOpts &opts)
 {
     hard_panic_if(granularity_bytes == 0 ||
                       !isPowerOf2(granularity_bytes),
@@ -155,42 +196,96 @@ oracleHappensBefore(const Trace &trace, unsigned granularity_bytes,
         tvc[t][t] = 1;
     std::map<LockAddr, VClock> lockVc;
     std::map<Addr, VClock> semaVc;
+    std::map<LockAddr, OracleRwVc> rwVc;
+    std::map<Addr, VClock> condVc;
+    std::map<Addr, VClock> atomVc;
 
     auto checkTid = [](const TraceEvent &ev) {
         hard_panic_if(ev.tid >= kMaxThreads,
                       "oracle-hb: thread id %u too large", ev.tid);
     };
 
+    // release(map): bank the thread's history and open a new epoch.
+    auto release = [&](std::map<Addr, VClock> &vcs,
+                       const TraceEvent &ev) {
+        vcs[ev.addr].join(tvc[ev.tid]);
+        ++tvc[ev.tid][ev.tid];
+    };
+    auto acquire = [&](const std::map<Addr, VClock> &vcs,
+                       const TraceEvent &ev) {
+        auto it = vcs.find(ev.addr);
+        if (it != vcs.end())
+            tvc[ev.tid].join(it->second);
+    };
+
     for (const TraceEvent &ev : trace.events) {
         switch (ev.kind) {
-          case TraceKind::LockAcquire: {
+          case TraceKind::LockAcquire:
             checkTid(ev);
-            auto it = lockVc.find(ev.addr);
-            if (it != lockVc.end())
-                tvc[ev.tid].join(it->second);
+            acquire(lockVc, ev);
             break;
-          }
           case TraceKind::LockRelease:
             checkTid(ev);
-            lockVc[ev.addr].join(tvc[ev.tid]);
-            ++tvc[ev.tid][ev.tid];
+            release(lockVc, ev);
             break;
           case TraceKind::SemaPost:
             checkTid(ev);
-            if (sema_edges) {
-                semaVc[ev.addr].join(tvc[ev.tid]);
-                ++tvc[ev.tid][ev.tid];
-            }
+            if (opts.semaEdges)
+                release(semaVc, ev);
             break;
-          case TraceKind::SemaWait: {
+          case TraceKind::SemaWait:
             checkTid(ev);
-            if (sema_edges) {
-                auto it = semaVc.find(ev.addr);
-                if (it != semaVc.end())
-                    tvc[ev.tid].join(it->second);
-            }
+            if (opts.semaEdges)
+                acquire(semaVc, ev);
+            break;
+          case TraceKind::RwRdAcquire:
+          case TraceKind::RwWrAcquire: {
+            checkTid(ev);
+            if (!opts.rwlockEdges)
+                break;
+            auto it = rwVc.find(ev.addr);
+            if (it == rwVc.end())
+                break;
+            // Mode-correct ordering: a writer is ordered after every
+            // prior holder; a reader only after prior writers, so
+            // concurrent readers stay unordered with each other.
+            tvc[ev.tid].join(it->second.writeVc);
+            if (ev.kind == TraceKind::RwWrAcquire)
+                tvc[ev.tid].join(it->second.readVc);
             break;
           }
+          case TraceKind::RwRdRelease:
+          case TraceKind::RwWrRelease: {
+            checkTid(ev);
+            if (!opts.rwlockEdges)
+                break;
+            OracleRwVc &rw = rwVc[ev.addr];
+            (ev.kind == TraceKind::RwWrRelease ? rw.writeVc : rw.readVc)
+                .join(tvc[ev.tid]);
+            ++tvc[ev.tid][ev.tid];
+            break;
+          }
+          case TraceKind::CondSignal:
+          case TraceKind::CondBroadcast:
+            checkTid(ev);
+            if (opts.condEdges)
+                release(condVc, ev);
+            break;
+          case TraceKind::CondWait:
+            checkTid(ev);
+            if (opts.condEdges)
+                acquire(condVc, ev);
+            break;
+          case TraceKind::AtomicStore:
+            checkTid(ev);
+            if (opts.atomicEdges)
+                release(atomVc, ev);
+            break;
+          case TraceKind::AtomicLoad:
+            checkTid(ev);
+            if (opts.atomicEdges)
+                acquire(atomVc, ev);
+            break;
           case TraceKind::Barrier: {
             VClock all;
             for (unsigned t = 0; t < kMaxThreads; ++t)
@@ -210,8 +305,19 @@ oracleHappensBefore(const Trace &trace, unsigned granularity_bytes,
             const Addr hi = ev.addr + (ev.size ? ev.size : 1);
             for (Addr a = lo; a < hi; a += granularity_bytes) {
                 HbGranule &g = shadow[a];
-                bool race = g.writeTid != invalidThread &&
-                            g.writeClk > vc[g.writeTid];
+                bool race = false;
+                if (opts.fullWriteVector) {
+                    // DJIT+ semantics: any unordered prior write races.
+                    for (unsigned u = 0; u < kMaxThreads; ++u) {
+                        if (u != ev.tid && g.writeVec[u] > vc[u]) {
+                            race = true;
+                            break;
+                        }
+                    }
+                } else {
+                    race = g.writeTid != invalidThread &&
+                           g.writeClk > vc[g.writeTid];
+                }
                 if (write && !race) {
                     for (unsigned u = 0; u < kMaxThreads; ++u) {
                         if (u != ev.tid && g.readClk[u] > vc[u]) {
@@ -223,9 +329,14 @@ oracleHappensBefore(const Trace &trace, unsigned granularity_bytes,
                 if (race)
                     out.insert({a, ev.site});
                 if (write) {
-                    g.writeTid = ev.tid;
-                    g.writeClk = vc[ev.tid];
-                    g.readClk.fill(0);
+                    if (opts.fullWriteVector) {
+                        // Full vectors: read clocks survive writes.
+                        g.writeVec[ev.tid] = vc[ev.tid];
+                    } else {
+                        g.writeTid = ev.tid;
+                        g.writeClk = vc[ev.tid];
+                        g.readClk.fill(0);
+                    }
                 } else {
                     g.readClk[ev.tid] = vc[ev.tid];
                 }
@@ -237,6 +348,15 @@ oracleHappensBefore(const Trace &trace, unsigned granularity_bytes,
         }
     }
     return out;
+}
+
+KeySet
+oracleHappensBefore(const Trace &trace, unsigned granularity_bytes,
+                    bool sema_edges)
+{
+    HbOracleOpts opts;
+    opts.semaEdges = sema_edges;
+    return oracleHappensBefore(trace, granularity_bytes, opts);
 }
 
 } // namespace hard

@@ -36,7 +36,10 @@ using KeySet = std::set<ReportKey>;
  * Reference Eraser lockset analysis of @p trace at @p granularity_bytes
  * granule size. Applies the Figure 2 state machine with exact per-thread
  * lock sets and exact candidate sets, and the §3.5 barrier flash-reset
- * when @p barrier_reset is set.
+ * when @p barrier_reset is set. Rwlock events maintain separate
+ * read-held and write-held sets: a write intersects with the
+ * write-held locks only, a read with the union (mirroring
+ * ThreadLocksets::effective, re-derived here independently).
  *
  * Unlike the production detector it tolerates unbalanced lock events
  * (re-acquire and release-of-unheld are ignored), so it can evaluate
@@ -48,19 +51,46 @@ KeySet oracleLockset(const Trace &trace, unsigned granularity_bytes,
                      bool barrier_reset = true);
 
 /**
+ * Edge-family selection and representation options of the
+ * happens-before oracle. Disabling one family yields an ablated
+ * oracle: a subject divergence that disappears against it is
+ * attributable to that family's missing edges.
+ */
+struct HbOracleOpts
+{
+    /** Honor SemaPost→SemaWait edges. */
+    bool semaEdges = true;
+    /** Honor rwlock release→acquire edges (mode-correct: writers
+     * order after all prior holders, readers after writers only). */
+    bool rwlockEdges = true;
+    /** Honor CondSignal/CondBroadcast→CondWait edges. */
+    bool condEdges = true;
+    /** Honor AtomicStore→AtomicLoad release-acquire edges. */
+    bool atomicEdges = true;
+    /**
+     * Keep a full per-thread write vector per granule instead of a
+     * last-write epoch (DJIT+ semantics): a race with *any* unordered
+     * prior write is reported, and read clocks survive writes. The
+     * exact reference for DjitPlusDetector.
+     */
+    bool fullWriteVector = false;
+};
+
+/**
  * Reference vector-clock happens-before analysis of @p trace at
  * @p granularity_bytes granule size: full read vectors and a last-write
- * epoch per granule; release→acquire, post→wait and barrier episodes
- * create the synchronization order.
- *
- * @param sema_edges When false, SemaPost/SemaWait create no ordering
- * (an ablated oracle): a subject divergence that disappears against it
- * is attributable to missing semaphore edges.
+ * epoch (or, with opts.fullWriteVector, a full write vector) per
+ * granule; release→acquire, post→wait, rwlock, condvar, atomic and
+ * barrier episodes create the synchronization order per @p opts.
  *
  * @return the set of (granule, site) keys with unordered conflicts.
  */
 KeySet oracleHappensBefore(const Trace &trace, unsigned granularity_bytes,
-                           bool sema_edges = true);
+                           const HbOracleOpts &opts = {});
+
+/** Convenience overload: full oracle with/without semaphore edges. */
+KeySet oracleHappensBefore(const Trace &trace, unsigned granularity_bytes,
+                           bool sema_edges);
 
 } // namespace hard
 

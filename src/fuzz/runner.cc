@@ -27,8 +27,13 @@ parseWeaken(const std::string &name)
         return Weaken::Hb;
     if (name == "ideal")
         return Weaken::Ideal;
+    if (name == "djit")
+        return Weaken::Djit;
+    if (name == "racetrack")
+        return Weaken::Racetrack;
     throw ConfigError(
-        errfmt("unknown --weaken '%s' (hard|hb|ideal|none)",
+        errfmt("unknown --weaken '%s' (hard|hb|ideal|djit|racetrack|"
+               "none)",
                name.c_str()));
 }
 
@@ -44,6 +49,10 @@ weakenName(Weaken w)
         return "hb";
       case Weaken::Ideal:
         return "ideal";
+      case Weaken::Djit:
+        return "djit";
+      case Weaken::Racetrack:
+        return "racetrack";
     }
     return "?";
 }
@@ -51,8 +60,9 @@ weakenName(Weaken w)
 std::vector<RaceDetector *>
 FuzzBattery::detectors() const
 {
-    return {hard.get(), ideal.get(),     idealFine.get(),
-            hybrid.get(), hb.get(),      fasttrack.get()};
+    return {hard.get(),   ideal.get(), idealFine.get(),
+            hybrid.get(),  hb.get(),    fasttrack.get(),
+            djit.get(),    racetrack.get()};
 }
 
 FuzzBattery
@@ -97,6 +107,18 @@ makeFuzzBattery(const FuzzConfig &cfg)
         b.hb = std::make_unique<HappensBeforeDetector>(
             "happens-before-ideal", HbConfig::ideal());
     b.fasttrack = std::make_unique<FastTrackDetector>("fasttrack", 4);
+    if (cfg.weaken == Weaken::Djit)
+        b.djit = std::make_unique<RwDeafDjitDetector>("djit-plus", 4);
+    else
+        b.djit = std::make_unique<DjitPlusDetector>("djit-plus", 4);
+    RaceTrackConfig rtc;
+    rtc.granularityBytes = 4;
+    if (cfg.weaken == Weaken::Racetrack)
+        b.racetrack =
+            std::make_unique<ReadBlindRaceTrack>("racetrack", rtc);
+    else
+        b.racetrack =
+            std::make_unique<RaceTrackDetector>("racetrack", rtc);
     return b;
 }
 
@@ -116,9 +138,14 @@ collectKeys(const FuzzBattery &b, const Trace &trace,
     r.hybrid = reportKeys(b.hybrid->sink());
     r.hb = reportKeys(b.hb->sink());
     r.fasttrack = reportKeys(b.fasttrack->sink());
+    r.djit = reportKeys(b.djit->sink());
+    r.racetrack = reportKeys(b.racetrack->sink());
     r.oracleLs = oracleLockset(trace, cfg.granularity);
     r.oracleLsFine = oracleLockset(trace, 4);
     r.oracleHb = oracleHappensBefore(trace, 4);
+    HbOracleOpts full;
+    full.fullWriteVector = true;
+    r.oracleHbFull = oracleHappensBefore(trace, 4, full);
     return r;
 }
 
@@ -131,9 +158,12 @@ fillDetectorKeyCounts(SeedResult &sr, const FuzzReportSet &r)
     sr.detectorKeys["hybrid"] = r.hybrid.size();
     sr.detectorKeys["happens-before-ideal"] = r.hb.size();
     sr.detectorKeys["fasttrack"] = r.fasttrack.size();
+    sr.detectorKeys["djit-plus"] = r.djit.size();
+    sr.detectorKeys["racetrack"] = r.racetrack.size();
     sr.detectorKeys["oracle-lockset"] = r.oracleLs.size();
     sr.detectorKeys["oracle-lockset-fine"] = r.oracleLsFine.size();
     sr.detectorKeys["oracle-happens-before"] = r.oracleHb.size();
+    sr.detectorKeys["oracle-happens-before-full"] = r.oracleHbFull.size();
 }
 
 std::string
@@ -216,6 +246,18 @@ fuzzTraceKey(std::uint64_t seed, const FuzzGenConfig &gen,
         .add("pUnlockedShared", gen.pUnlockedShared)
         .add("pBarrier", gen.pBarrier)
         .add("pSema", gen.pSema);
+    // Extended-grammar knobs enter the key only when enabled, so every
+    // pre-extension recording (and fixture) keeps its key.
+    if (gen.numRwLocks > 0 || gen.pRwLocked > 0 || gen.pCond > 0 ||
+        gen.numAtomics > 0 || gen.pAtomic > 0) {
+        key.add("numRwLocks", static_cast<std::uint64_t>(gen.numRwLocks))
+            .add("pRwLocked", gen.pRwLocked)
+            .add("pRwWriter", gen.pRwWriter)
+            .add("pCond", gen.pCond)
+            .add("numAtomics",
+                 static_cast<std::uint64_t>(gen.numAtomics))
+            .add("pAtomic", gen.pAtomic);
+    }
     addSimConfigFields(key, sim);
     return key;
 }
@@ -385,6 +427,14 @@ fuzzJson(const FuzzOptions &opts, const std::vector<SeedResult> &results)
     jg.set("num_locks", opts.gen.numLocks);
     jg.set("num_regions", opts.gen.numRegions);
     jg.set("max_nest", opts.gen.maxNest);
+    // Emitted only when the extended grammar is on, keeping default
+    // sweep documents byte-identical to pre-extension output.
+    if (opts.gen.numRwLocks > 0)
+        jg.set("num_rwlocks", opts.gen.numRwLocks);
+    if (opts.gen.pCond > 0)
+        jg.set("condvars", true);
+    if (opts.gen.numAtomics > 0)
+        jg.set("num_atomics", opts.gen.numAtomics);
     jc.set("generator", std::move(jg));
     doc.set("config", std::move(jc));
 
@@ -543,6 +593,18 @@ fuzzSignature(const FuzzOptions &opts)
            std::to_string(opts.gen.numLocks) + "," +
            std::to_string(opts.gen.numRegions) + "," +
            std::to_string(opts.gen.maxNest);
+    // Extended grammar enters the signature only when enabled, so
+    // pre-extension campaign journals keep matching.
+    if (opts.gen.numRwLocks > 0 || opts.gen.pRwLocked > 0 ||
+        opts.gen.pCond > 0 || opts.gen.numAtomics > 0 ||
+        opts.gen.pAtomic > 0) {
+        sig += ";prims=rw:" + std::to_string(opts.gen.numRwLocks) + "," +
+               std::to_string(opts.gen.pRwLocked) + "," +
+               std::to_string(opts.gen.pRwWriter) +
+               ";cond:" + std::to_string(opts.gen.pCond) +
+               ";atomic:" + std::to_string(opts.gen.numAtomics) + "," +
+               std::to_string(opts.gen.pAtomic);
+    }
     sig += ";granularity=" + std::to_string(opts.cfg.granularity);
     sig += ";bloom=" + std::to_string(opts.cfg.bloomBits);
     sig += ";weaken=" + std::string(weakenName(opts.cfg.weaken));

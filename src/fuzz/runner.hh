@@ -24,9 +24,11 @@
 #include "common/json.hh"
 #include "core/hard_detector.hh"
 #include "core/hybrid.hh"
+#include "detectors/djit_plus.hh"
 #include "detectors/fasttrack.hh"
 #include "detectors/happens_before.hh"
 #include "detectors/ideal_lockset.hh"
+#include "detectors/racetrack.hh"
 #include "fuzz/generator.hh"
 #include "fuzz/invariants.hh"
 #include "fuzz/minimizer.hh"
@@ -104,6 +106,8 @@ struct FuzzBattery
     std::unique_ptr<HybridDetector> hybrid;
     std::unique_ptr<HappensBeforeDetector> hb;
     std::unique_ptr<FastTrackDetector> fasttrack;
+    std::unique_ptr<DjitPlusDetector> djit;
+    std::unique_ptr<RaceTrackDetector> racetrack;
 
     /** All detectors, in a stable order. */
     std::vector<RaceDetector *> detectors() const;

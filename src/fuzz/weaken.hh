@@ -16,8 +16,10 @@
 #include <string>
 
 #include "core/hard_detector.hh"
+#include "detectors/djit_plus.hh"
 #include "detectors/happens_before.hh"
 #include "detectors/ideal_lockset.hh"
+#include "detectors/racetrack.hh"
 
 namespace hard
 {
@@ -30,13 +32,23 @@ enum class Weaken
      * every armed access reports → breaks hard-subset-of-ideal. */
     Hard,
     /** Happens-before ignores semaphore edges: sema-ordered hand-offs
-     * look racy → breaks hb-matches-oracle and hb-matches-fasttrack. */
+     * look racy → breaks hb-matches-oracle and hb-matches-fasttrack
+     * (and hb-subset-of-djit, since DJIT+ stays honest). */
     Hb,
     /** Ideal lockset skips the §3.5 barrier flash-reset: stale
      * pre-barrier evidence persists → breaks lockset-matches-oracle
      * (and typically fine-subset-of-coarse, since only the
      * coarse-granularity instance is sabotaged). */
     Ideal,
+    /** DJIT+ ignores rwlock release→acquire edges: rwlock-ordered
+     * hand-offs look racy → breaks djit-matches-oracle (and
+     * hb-subset-of-djit stays intact — the sabotage only *adds*
+     * DJIT+ reports). */
+    Djit,
+    /** RaceTrack drops reader-mode rwlock holds on the floor: reads
+     * under a reader hold look unprotected and its HB side loses the
+     * writer→reader edges → breaks racetrack-subset-of-ideal. */
+    Racetrack,
 };
 
 /** Parse a --weaken= value; empty/"none" → None; fatal on junk. */
@@ -82,6 +94,56 @@ class NoResetIdealLockset : public IdealLocksetDetector
     }
 
     void onBarrier(const BarrierEvent &ev) override { (void)ev; }
+};
+
+/** DJIT+ that is deaf to rwlock release→acquire edges. */
+class RwDeafDjitDetector : public DjitPlusDetector
+{
+  public:
+    RwDeafDjitDetector(const std::string &name, unsigned granularity)
+        : DjitPlusDetector(name, granularity)
+    {
+    }
+
+    void
+    onRwLockAcquire(const SyncEvent &ev, bool writer) override
+    {
+        (void)ev;
+        (void)writer;
+    }
+
+    void
+    onRwLockRelease(const SyncEvent &ev, bool writer) override
+    {
+        (void)ev;
+        (void)writer;
+    }
+};
+
+/** RaceTrack that ignores reader-mode rwlock holds entirely: neither
+ * the read-held lockset nor the writer→reader ordering is tracked. */
+class ReadBlindRaceTrack : public RaceTrackDetector
+{
+  public:
+    ReadBlindRaceTrack(const std::string &name,
+                       const RaceTrackConfig &cfg)
+        : RaceTrackDetector(name, cfg)
+    {
+    }
+
+    void
+    onRwLockAcquire(const SyncEvent &ev, bool writer) override
+    {
+        if (writer)
+            RaceTrackDetector::onRwLockAcquire(ev, writer);
+    }
+
+    void
+    onRwLockRelease(const SyncEvent &ev, bool writer) override
+    {
+        if (writer)
+            RaceTrackDetector::onRwLockRelease(ev, writer);
+    }
 };
 
 } // namespace hard

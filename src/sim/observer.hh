@@ -87,6 +87,33 @@ class AccessObserver
     virtual void onSemaPost(const SyncEvent &ev) { (void)ev; }
     /** Thread @p ev.tid completed a wait on semaphore @p ev.lock. */
     virtual void onSemaWait(const SyncEvent &ev) { (void)ev; }
+    /**
+     * Thread @p ev.tid acquired the rwlock at @p ev.lock; @p writer
+     * distinguishes exclusive (writer) from shared (reader) mode.
+     * HARD's Lock Register is mode-blind (the hardware sees one lock
+     * word either way); software detectors may honor the mode.
+     */
+    virtual void onRwLockAcquire(const SyncEvent &ev, bool writer)
+    {
+        (void)ev;
+        (void)writer;
+    }
+    /** Thread @p ev.tid released a @p writer-mode hold of @p ev.lock. */
+    virtual void onRwLockRelease(const SyncEvent &ev, bool writer)
+    {
+        (void)ev;
+        (void)writer;
+    }
+    /** Thread @p ev.tid signalled the condition variable @p ev.lock. */
+    virtual void onCondSignal(const SyncEvent &ev) { (void)ev; }
+    /** Thread @p ev.tid broadcast the condition variable @p ev.lock. */
+    virtual void onCondBroadcast(const SyncEvent &ev) { (void)ev; }
+    /** Thread @p ev.tid returned from a wait on condvar @p ev.lock. */
+    virtual void onCondWait(const SyncEvent &ev) { (void)ev; }
+    /** Thread @p ev.tid performed a store-release at @p ev.lock. */
+    virtual void onAtomicStore(const SyncEvent &ev) { (void)ev; }
+    /** Thread @p ev.tid performed a load-acquire at @p ev.lock. */
+    virtual void onAtomicLoad(const SyncEvent &ev) { (void)ev; }
     /** Thread @p tid ran off the end of its stream. */
     virtual void onThreadEnd(ThreadId tid, Cycle at)
     {

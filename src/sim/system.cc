@@ -312,6 +312,104 @@ System::doLock(HwCore &core, ThreadCtx &th, Cycle now, LockAddr lock,
 }
 
 void
+System::doRwLock(HwCore &core, ThreadCtx &th, Cycle now, const Op &op,
+                 bool writer)
+{
+    RwState &rw = rwlocks_[op.addr];
+    const bool busy = writer
+        ? (rw.writer != invalidThread || !rw.readers.empty())
+        : rw.writer != invalidThread;
+    if (busy) {
+        // Spin in place: charge a probe read of the lock word and
+        // retry the same op after the poll interval. The thread stays
+        // Ready with pc unchanged, so the next step re-executes the
+        // acquire (the core may run a sibling meanwhile).
+        AccessOutcome probe = memsys_->access(core.id, op.addr,
+                                              sizeof(std::uint32_t),
+                                              false, now);
+        th.readyAt = probe.completeAt + cfg_.spinPollInterval;
+        core.freeAt = probe.completeAt + 1;
+        return;
+    }
+
+    AccessOutcome rmw = memsys_->access(core.id, op.addr,
+                                        sizeof(std::uint32_t), true, now);
+    Cycle done = rmw.completeAt;
+    if (cfg_.hardTiming.enabled)
+        done += cfg_.hardTiming.lockUpdateCycles;
+    if (writer)
+        rw.writer = th.tid;
+    else
+        rw.readers.push_back(th.tid);
+    ++result_.lockAcquires;
+
+    SyncEvent ev{th.tid, core.id, op.addr, op.site, done};
+    for (AccessObserver *obs : observers_)
+        obs->onRwLockAcquire(ev, writer);
+    if (tracer_ && tracer_->wants(kTraceSync)) {
+        Json args = Json::object();
+        args.set("rwlock", op.addr);
+        args.set("tid", th.tid);
+        args.set("mode", writer ? "write" : "read");
+        tracer_->instant(kTraceSync,
+                         EventTracer::kThreadTrackBase + th.tid,
+                         "rwlock-acquire", done, std::move(args));
+    }
+
+    th.readyAt = done + 1;
+    core.freeAt = th.readyAt;
+    ++th.pc;
+}
+
+void
+System::doRwUnlock(HwCore &core, ThreadCtx &th, Cycle now, const Op &op,
+                   bool writer)
+{
+    auto it = rwlocks_.find(op.addr);
+    hard_throw_if(it == rwlocks_.end(), WorkloadError,
+                  "system: thread %u releases rwlock %llx never acquired",
+                  th.tid, static_cast<unsigned long long>(op.addr));
+    RwState &rw = it->second;
+    if (writer) {
+        hard_throw_if(rw.writer != th.tid, WorkloadError,
+                      "system: thread %u write-unlocks rwlock %llx it "
+                      "does not hold",
+                      th.tid, static_cast<unsigned long long>(op.addr));
+        rw.writer = invalidThread;
+    } else {
+        auto r = std::find(rw.readers.begin(), rw.readers.end(), th.tid);
+        hard_throw_if(r == rw.readers.end(), WorkloadError,
+                      "system: thread %u read-unlocks rwlock %llx it "
+                      "does not hold",
+                      th.tid, static_cast<unsigned long long>(op.addr));
+        rw.readers.erase(r);
+    }
+
+    AccessOutcome rel = memsys_->access(core.id, op.addr,
+                                        sizeof(std::uint32_t), true, now);
+    Cycle done = rel.completeAt;
+    if (cfg_.hardTiming.enabled)
+        done += cfg_.hardTiming.lockUpdateCycles;
+
+    SyncEvent ev{th.tid, core.id, op.addr, op.site, done};
+    for (AccessObserver *obs : observers_)
+        obs->onRwLockRelease(ev, writer);
+    if (tracer_ && tracer_->wants(kTraceSync)) {
+        Json args = Json::object();
+        args.set("rwlock", op.addr);
+        args.set("tid", th.tid);
+        args.set("mode", writer ? "write" : "read");
+        tracer_->instant(kTraceSync,
+                         EventTracer::kThreadTrackBase + th.tid,
+                         "rwlock-release", done, std::move(args));
+    }
+
+    th.readyAt = done + 1;
+    core.freeAt = th.readyAt;
+    ++th.pc;
+}
+
+void
 System::step(HwCore &core, ThreadCtx &th, Cycle now)
 {
     if (th.status == ThreadStatus::WaitLock) {
@@ -489,6 +587,137 @@ System::step(HwCore &core, ThreadCtx &th, Cycle now)
         break;
       }
 
+      case OpType::RwRdLock:
+        doRwLock(core, th, now, op, false);
+        break;
+
+      case OpType::RwWrLock:
+        doRwLock(core, th, now, op, true);
+        break;
+
+      case OpType::RwRdUnlock:
+        doRwUnlock(core, th, now, op, false);
+        break;
+
+      case OpType::RwWrUnlock:
+        doRwUnlock(core, th, now, op, true);
+        break;
+
+      case OpType::CondSignal:
+      case OpType::CondBroadcast: {
+        const bool broadcast = op.type == OpType::CondBroadcast;
+        AccessOutcome sig = memsys_->access(core.id, op.addr,
+                                            sizeof(std::uint32_t), true,
+                                            now);
+        CondState &cv = conds_[op.addr];
+        SyncEvent ev{th.tid, core.id, op.addr, op.site, sig.completeAt};
+        for (AccessObserver *obs : observers_) {
+            if (broadcast)
+                obs->onCondBroadcast(ev);
+            else
+                obs->onCondSignal(ev);
+        }
+        if (tracer_ && tracer_->wants(kTraceSync)) {
+            Json args = Json::object();
+            args.set("cond", op.addr);
+            args.set("tid", th.tid);
+            tracer_->instant(kTraceSync,
+                             EventTracer::kThreadTrackBase + th.tid,
+                             broadcast ? "cond-broadcast" : "cond-signal",
+                             sig.completeAt, std::move(args));
+        }
+        if (broadcast) {
+            for (std::size_t slot : cv.waiters) {
+                ThreadCtx &waiter = threads_[slot];
+                waiter.status = ThreadStatus::Ready;
+                waiter.condGranted = true;
+                waiter.readyAt = std::max(waiter.readyAt,
+                                          sig.completeAt + 1);
+            }
+            cv.waiters.clear();
+            cv.latched = true;
+        } else if (!cv.waiters.empty()) {
+            ThreadCtx &waiter = threads_[cv.waiters.front()];
+            cv.waiters.erase(cv.waiters.begin());
+            waiter.status = ThreadStatus::Ready;
+            waiter.condGranted = true;
+            waiter.readyAt = std::max(waiter.readyAt,
+                                      sig.completeAt + 1);
+        } else {
+            ++cv.pending;
+        }
+        th.readyAt = sig.completeAt + 1;
+        core.freeAt = th.readyAt;
+        ++th.pc;
+        break;
+      }
+
+      case OpType::CondWait: {
+        CondState &cv = conds_[op.addr];
+        if (!th.condGranted && !cv.latched && cv.pending == 0) {
+            // Block until a signal or broadcast wakes us.
+            th.status = ThreadStatus::WaitCond;
+            th.waitObj = op.addr;
+            th.waitSite = op.site;
+            cv.waiters.push_back(
+                static_cast<std::size_t>(&th - threads_.data()));
+            core.freeAt = now + 1;
+            break;
+        }
+        if (th.condGranted)
+            th.condGranted = false;
+        else if (!cv.latched)
+            --cv.pending;
+        AccessOutcome wake = memsys_->access(core.id, op.addr,
+                                             sizeof(std::uint32_t), true,
+                                             now);
+        SyncEvent ev{th.tid, core.id, op.addr, op.site,
+                     wake.completeAt};
+        for (AccessObserver *obs : observers_)
+            obs->onCondWait(ev);
+        if (tracer_ && tracer_->wants(kTraceSync)) {
+            Json args = Json::object();
+            args.set("cond", op.addr);
+            args.set("tid", th.tid);
+            tracer_->instant(kTraceSync,
+                             EventTracer::kThreadTrackBase + th.tid,
+                             "cond-wait", wake.completeAt,
+                             std::move(args));
+        }
+        th.readyAt = wake.completeAt + 1;
+        core.freeAt = th.readyAt;
+        ++th.pc;
+        break;
+      }
+
+      case OpType::AtomicStore:
+      case OpType::AtomicLoad: {
+        const bool store = op.type == OpType::AtomicStore;
+        AccessOutcome acc = memsys_->access(core.id, op.addr,
+                                            sizeof(std::uint32_t), store,
+                                            now);
+        SyncEvent ev{th.tid, core.id, op.addr, op.site, acc.completeAt};
+        for (AccessObserver *obs : observers_) {
+            if (store)
+                obs->onAtomicStore(ev);
+            else
+                obs->onAtomicLoad(ev);
+        }
+        if (tracer_ && tracer_->wants(kTraceSync)) {
+            Json args = Json::object();
+            args.set("atomic", op.addr);
+            args.set("tid", th.tid);
+            tracer_->instant(kTraceSync,
+                             EventTracer::kThreadTrackBase + th.tid,
+                             store ? "atomic-store" : "atomic-load",
+                             acc.completeAt, std::move(args));
+        }
+        th.readyAt = acc.completeAt + 1;
+        core.freeAt = th.readyAt;
+        ++th.pc;
+        break;
+      }
+
       case OpType::End:
         th.status = ThreadStatus::Done;
         --liveThreads_;
@@ -501,6 +730,16 @@ System::step(HwCore &core, ThreadCtx &th, Cycle now)
         for (const auto &kv : lockHolder_) {
             hard_throw_if(kv.second == th.tid, WorkloadError,
                           "system: thread %u exited holding lock %llx",
+                          th.tid,
+                          static_cast<unsigned long long>(kv.first));
+        }
+        for (const auto &kv : rwlocks_) {
+            const RwState &rw = kv.second;
+            const bool held = rw.writer == th.tid ||
+                std::find(rw.readers.begin(), rw.readers.end(), th.tid) !=
+                    rw.readers.end();
+            hard_throw_if(held, WorkloadError,
+                          "system: thread %u exited holding rwlock %llx",
                           th.tid,
                           static_cast<unsigned long long>(kv.first));
         }
@@ -521,6 +760,8 @@ System::snapshotThreads() const
             return "WaitBarrier";
           case ThreadStatus::WaitSema:
             return "WaitSema";
+          case ThreadStatus::WaitCond:
+            return "WaitCond";
           case ThreadStatus::Done:
             return "Done";
         }
@@ -549,6 +790,11 @@ System::snapshotThreads() const
           case ThreadStatus::WaitSema:
             snap.waitAddr = th.waitObj;
             snap.waitKind = "sema";
+            snap.waitSite = th.waitSite;
+            break;
+          case ThreadStatus::WaitCond:
+            snap.waitAddr = th.waitObj;
+            snap.waitKind = "cond";
             snap.waitSite = th.waitSite;
             break;
           default:

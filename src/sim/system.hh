@@ -128,6 +128,7 @@ class System
         WaitLock,
         WaitBarrier,
         WaitSema,
+        WaitCond,
         Done,
     };
 
@@ -147,6 +148,8 @@ class System
         SiteId waitSite = invalidSite;
         /** Set when a SemaPost handed this blocked thread its token. */
         bool semaGranted = false;
+        /** Set when a CondSignal/Broadcast woke this blocked thread. */
+        bool condGranted = false;
     };
 
     /** Per-hardware-core state. */
@@ -187,6 +190,31 @@ class System
         std::vector<std::size_t> waiters;
     };
 
+    /** State of one reader-writer lock. */
+    struct RwState
+    {
+        ThreadId writer = invalidThread;
+        /** Threads currently holding the lock in reader mode. */
+        std::vector<ThreadId> readers;
+    };
+
+    /**
+     * State of one condition variable. Signals delivered before any
+     * thread waits are banked as tickets (FIFO hand-off), and a
+     * broadcast additionally latches sticky, so a waiter arriving
+     * after the broadcast still returns — the runtime is deadlock-free
+     * for any interleaving of a generated signal/wait pairing.
+     */
+    struct CondState
+    {
+        /** Banked signals not yet consumed by a wait. */
+        std::uint64_t pending = 0;
+        /** A broadcast happened; every future wait returns at once. */
+        bool latched = false;
+        /** FIFO of blocked threads (indices into threads_). */
+        std::vector<std::size_t> waiters;
+    };
+
     /** Choose the next thread for @p core (deterministic). */
     Pick nextForCore(const HwCore &core) const;
 
@@ -199,6 +227,14 @@ class System
     /** Handle a Lock op / spin probe. */
     void doLock(HwCore &core, ThreadCtx &th, Cycle now, LockAddr lock,
                 SiteId site);
+
+    /** Handle a RwRdLock/RwWrLock op (spins in place while busy). */
+    void doRwLock(HwCore &core, ThreadCtx &th, Cycle now, const Op &op,
+                  bool writer);
+
+    /** Handle a RwRdUnlock/RwWrUnlock op. */
+    void doRwUnlock(HwCore &core, ThreadCtx &th, Cycle now, const Op &op,
+                    bool writer);
 
     /** Perform the data access of @p op. */
     void doAccess(HwCore &core, ThreadCtx &th, Cycle now, const Op &op);
@@ -225,6 +261,8 @@ class System
     std::unordered_map<LockAddr, ThreadId> lockHolder_;
     std::unordered_map<Addr, BarrierState> barriers_;
     std::unordered_map<Addr, SemaState> semas_;
+    std::unordered_map<LockAddr, RwState> rwlocks_;
+    std::unordered_map<Addr, CondState> conds_;
 
     unsigned liveThreads_ = 0;
     bool ran_ = false;

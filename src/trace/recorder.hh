@@ -60,6 +60,52 @@ class TraceRecorder : public AccessObserver
     }
 
     void
+    onRwLockAcquire(const SyncEvent &ev, bool writer) override
+    {
+        recordSync(writer ? TraceKind::RwWrAcquire
+                          : TraceKind::RwRdAcquire,
+                   ev);
+    }
+
+    void
+    onRwLockRelease(const SyncEvent &ev, bool writer) override
+    {
+        recordSync(writer ? TraceKind::RwWrRelease
+                          : TraceKind::RwRdRelease,
+                   ev);
+    }
+
+    void
+    onCondSignal(const SyncEvent &ev) override
+    {
+        recordSync(TraceKind::CondSignal, ev);
+    }
+
+    void
+    onCondBroadcast(const SyncEvent &ev) override
+    {
+        recordSync(TraceKind::CondBroadcast, ev);
+    }
+
+    void
+    onCondWait(const SyncEvent &ev) override
+    {
+        recordSync(TraceKind::CondWait, ev);
+    }
+
+    void
+    onAtomicStore(const SyncEvent &ev) override
+    {
+        recordSync(TraceKind::AtomicStore, ev);
+    }
+
+    void
+    onAtomicLoad(const SyncEvent &ev) override
+    {
+        recordSync(TraceKind::AtomicLoad, ev);
+    }
+
+    void
     onBarrier(const BarrierEvent &ev) override
     {
         TraceEvent te;

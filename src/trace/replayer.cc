@@ -39,7 +39,16 @@ dispatchEvent(const TraceEvent &te,
       case TraceKind::LockAcquire:
       case TraceKind::LockRelease:
       case TraceKind::SemaPost:
-      case TraceKind::SemaWait: {
+      case TraceKind::SemaWait:
+      case TraceKind::RwRdAcquire:
+      case TraceKind::RwRdRelease:
+      case TraceKind::RwWrAcquire:
+      case TraceKind::RwWrRelease:
+      case TraceKind::CondSignal:
+      case TraceKind::CondBroadcast:
+      case TraceKind::CondWait:
+      case TraceKind::AtomicStore:
+      case TraceKind::AtomicLoad: {
         SyncEvent ev{te.tid, te.tid, te.addr, te.site, te.at};
         for (AccessObserver *obs : observers) {
             switch (te.kind) {
@@ -51,6 +60,33 @@ dispatchEvent(const TraceEvent &te,
                 break;
               case TraceKind::SemaPost:
                 obs->onSemaPost(ev);
+                break;
+              case TraceKind::RwRdAcquire:
+                obs->onRwLockAcquire(ev, false);
+                break;
+              case TraceKind::RwRdRelease:
+                obs->onRwLockRelease(ev, false);
+                break;
+              case TraceKind::RwWrAcquire:
+                obs->onRwLockAcquire(ev, true);
+                break;
+              case TraceKind::RwWrRelease:
+                obs->onRwLockRelease(ev, true);
+                break;
+              case TraceKind::CondSignal:
+                obs->onCondSignal(ev);
+                break;
+              case TraceKind::CondBroadcast:
+                obs->onCondBroadcast(ev);
+                break;
+              case TraceKind::CondWait:
+                obs->onCondWait(ev);
+                break;
+              case TraceKind::AtomicStore:
+                obs->onAtomicStore(ev);
+                break;
+              case TraceKind::AtomicLoad:
+                obs->onAtomicLoad(ev);
                 break;
               default:
                 obs->onSemaWait(ev);

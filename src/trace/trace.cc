@@ -39,6 +39,24 @@ traceKindName(TraceKind k)
         return "ThreadEnd";
       case TraceKind::LineEvicted:
         return "LineEvicted";
+      case TraceKind::RwRdAcquire:
+        return "RwRdAcquire";
+      case TraceKind::RwRdRelease:
+        return "RwRdRelease";
+      case TraceKind::RwWrAcquire:
+        return "RwWrAcquire";
+      case TraceKind::RwWrRelease:
+        return "RwWrRelease";
+      case TraceKind::CondSignal:
+        return "CondSignal";
+      case TraceKind::CondBroadcast:
+        return "CondBroadcast";
+      case TraceKind::CondWait:
+        return "CondWait";
+      case TraceKind::AtomicStore:
+        return "AtomicStore";
+      case TraceKind::AtomicLoad:
+        return "AtomicLoad";
     }
     return "?";
 }
@@ -71,7 +89,7 @@ TraceEvent::unpack(const Packed &p)
 {
     TraceEvent ev;
     hard_fatal_if(
-        p.kind > static_cast<std::uint8_t>(TraceKind::LineEvicted),
+        p.kind > static_cast<std::uint8_t>(TraceKind::AtomicLoad),
         "trace: corrupt event kind %u", p.kind);
     ev.kind = static_cast<TraceKind>(p.kind);
     ev.size = p.size;
@@ -200,7 +218,7 @@ openPackedTrace(std::string_view bytes, PackedTraceView *out,
     for (std::uint64_t i = 0; i < nevents; ++i)
         if (static_cast<std::uint8_t>(
                 rec[i * sizeof(TraceEvent::Packed)]) >
-            static_cast<std::uint8_t>(TraceKind::LineEvicted))
+            static_cast<std::uint8_t>(TraceKind::AtomicLoad))
             return fail("corrupt event kind");
     view.records = rec;
     view.nevents = nevents;

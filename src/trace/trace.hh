@@ -45,6 +45,16 @@ enum class TraceKind : std::uint8_t
     SemaWait = 6,
     ThreadEnd = 7,
     LineEvicted = 8,
+    RwRdAcquire = 9,
+    RwRdRelease = 10,
+    RwWrAcquire = 11,
+    RwWrRelease = 12,
+    CondSignal = 13,
+    CondBroadcast = 14,
+    CondWait = 15,
+    AtomicStore = 16,
+    /** Highest valid kind (bounds-checked on decode). */
+    AtomicLoad = 17,
 };
 
 /** @return printable name of @p k. */

@@ -70,6 +70,28 @@ WorkloadBuilder::allocSema(const std::string &label)
     return alloc(label, kLineBytes, kLineBytes);
 }
 
+LockAddr
+WorkloadBuilder::allocRwLock(const std::string &label)
+{
+    // A rwlock is one lock word to the hardware (HARD's Lock Register
+    // tracks it mode-blind), so it registers like a mutex.
+    LockAddr l = alloc(label, kLineBytes, kLineBytes);
+    prog_.locks.push_back(l);
+    return l;
+}
+
+Addr
+WorkloadBuilder::allocCond(const std::string &label)
+{
+    return alloc(label, kLineBytes, kLineBytes);
+}
+
+Addr
+WorkloadBuilder::allocAtomic(const std::string &label)
+{
+    return alloc(label, kLineBytes, kLineBytes);
+}
+
 SiteId
 WorkloadBuilder::site(const std::string &name)
 {
@@ -135,6 +157,69 @@ WorkloadBuilder::semaWait(ThreadId t, Addr sema, SiteId s)
 }
 
 void
+WorkloadBuilder::rdlock(ThreadId t, LockAddr l, SiteId s)
+{
+    checkThread(t);
+    prog_.threads[t].ops.push_back(opRwRdLock(l, s));
+}
+
+void
+WorkloadBuilder::rdunlock(ThreadId t, LockAddr l, SiteId s)
+{
+    checkThread(t);
+    prog_.threads[t].ops.push_back(opRwRdUnlock(l, s));
+}
+
+void
+WorkloadBuilder::wrlock(ThreadId t, LockAddr l, SiteId s)
+{
+    checkThread(t);
+    prog_.threads[t].ops.push_back(opRwWrLock(l, s));
+}
+
+void
+WorkloadBuilder::wrunlock(ThreadId t, LockAddr l, SiteId s)
+{
+    checkThread(t);
+    prog_.threads[t].ops.push_back(opRwWrUnlock(l, s));
+}
+
+void
+WorkloadBuilder::condSignal(ThreadId t, Addr cond, SiteId s)
+{
+    checkThread(t);
+    prog_.threads[t].ops.push_back(opCondSignal(cond, s));
+}
+
+void
+WorkloadBuilder::condBroadcast(ThreadId t, Addr cond, SiteId s)
+{
+    checkThread(t);
+    prog_.threads[t].ops.push_back(opCondBroadcast(cond, s));
+}
+
+void
+WorkloadBuilder::condWait(ThreadId t, Addr cond, SiteId s)
+{
+    checkThread(t);
+    prog_.threads[t].ops.push_back(opCondWait(cond, s));
+}
+
+void
+WorkloadBuilder::atomicStore(ThreadId t, Addr a, SiteId s)
+{
+    checkThread(t);
+    prog_.threads[t].ops.push_back(opAtomicStore(a, s));
+}
+
+void
+WorkloadBuilder::atomicLoad(ThreadId t, Addr a, SiteId s)
+{
+    checkThread(t);
+    prog_.threads[t].ops.push_back(opAtomicLoad(a, s));
+}
+
+void
 WorkloadBuilder::barrier(ThreadId t, Addr barrier, SiteId s)
 {
     checkThread(t);
@@ -160,6 +245,8 @@ WorkloadBuilder::finish()
     std::vector<std::vector<Addr>> barrier_seq(numThreads_);
     for (unsigned t = 0; t < numThreads_; ++t) {
         std::map<LockAddr, unsigned> held;
+        // rwlock -> held mode ('r' or 'w'); absent when not held.
+        std::map<LockAddr, char> rwHeld;
         for (const Op &op : prog_.threads[t].ops) {
             switch (op.type) {
               case OpType::Read:
@@ -193,14 +280,40 @@ WorkloadBuilder::finish()
                               prog_.name.c_str(), t);
                 --held[op.addr];
                 break;
+              case OpType::RwRdLock:
+              case OpType::RwWrLock:
+                hard_throw_if(rwHeld.count(op.addr) != 0, WorkloadError,
+                              "workload '%s': thread %u re-acquires "
+                              "rwlock %llx",
+                              prog_.name.c_str(), t,
+                              static_cast<unsigned long long>(op.addr));
+                rwHeld[op.addr] =
+                    op.type == OpType::RwWrLock ? 'w' : 'r';
+                break;
+              case OpType::RwRdUnlock:
+              case OpType::RwWrUnlock: {
+                const char mode =
+                    op.type == OpType::RwWrUnlock ? 'w' : 'r';
+                auto it = rwHeld.find(op.addr);
+                hard_throw_if(it == rwHeld.end() || it->second != mode,
+                              WorkloadError,
+                              "workload '%s': thread %u %c-unlocks "
+                              "rwlock %llx it does not %c-hold",
+                              prog_.name.c_str(), t, mode,
+                              static_cast<unsigned long long>(op.addr),
+                              mode);
+                rwHeld.erase(it);
+                break;
+              }
               case OpType::Barrier:
-                hard_throw_if(!held.empty() &&
+                hard_throw_if((!held.empty() &&
                                   [&held] {
                                       for (auto &kv : held)
                                           if (kv.second)
                                               return true;
                                       return false;
-                                  }(), WorkloadError,
+                                  }()) ||
+                                  !rwHeld.empty(), WorkloadError,
                               "workload '%s': thread %u reaches barrier "
                               "holding a lock",
                               prog_.name.c_str(), t);
@@ -217,6 +330,11 @@ WorkloadBuilder::finish()
                           prog_.name.c_str(), t,
                           static_cast<unsigned long long>(kv.first));
         }
+        hard_throw_if(!rwHeld.empty(), WorkloadError,
+                      "workload '%s': thread %u ends holding rwlock %llx",
+                      prog_.name.c_str(), t,
+                      static_cast<unsigned long long>(
+                          rwHeld.empty() ? 0 : rwHeld.begin()->first));
     }
     for (unsigned t = 1; t < numThreads_; ++t) {
         hard_throw_if(barrier_seq[t] != barrier_seq[0], WorkloadError,

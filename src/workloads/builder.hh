@@ -62,6 +62,15 @@ class WorkloadBuilder
 
     /** Allocate a semaphore object on its own cache line. */
     Addr allocSema(const std::string &label);
+
+    /** Allocate a reader-writer lock word on its own cache line. */
+    LockAddr allocRwLock(const std::string &label);
+
+    /** Allocate a condition variable on its own cache line. */
+    Addr allocCond(const std::string &label);
+
+    /** Allocate an atomic word on its own cache line. */
+    Addr allocAtomic(const std::string &label);
     /** @} */
 
     /** Intern a static source-site label. */
@@ -77,6 +86,15 @@ class WorkloadBuilder
     void unlock(ThreadId t, LockAddr l, SiteId s);
     void semaPost(ThreadId t, Addr sema, SiteId s);
     void semaWait(ThreadId t, Addr sema, SiteId s);
+    void rdlock(ThreadId t, LockAddr l, SiteId s);
+    void rdunlock(ThreadId t, LockAddr l, SiteId s);
+    void wrlock(ThreadId t, LockAddr l, SiteId s);
+    void wrunlock(ThreadId t, LockAddr l, SiteId s);
+    void condSignal(ThreadId t, Addr cond, SiteId s);
+    void condBroadcast(ThreadId t, Addr cond, SiteId s);
+    void condWait(ThreadId t, Addr cond, SiteId s);
+    void atomicStore(ThreadId t, Addr a, SiteId s);
+    void atomicLoad(ThreadId t, Addr a, SiteId s);
     /** @} */
 
     /**
@@ -95,7 +113,10 @@ class WorkloadBuilder
      * Validation rules (violations are fatal):
      * - every thread's Lock/Unlock ops are balanced and properly
      *   nested per lock;
-     * - every thread observes the same sequence of barrier arrivals;
+     * - every thread's rwlock acquires/releases are balanced, with no
+     *   re-acquisition in either mode while any mode is held;
+     * - every thread observes the same sequence of barrier arrivals,
+     *   and no thread reaches a barrier holding a mutex or rwlock;
      * - all accesses fall inside allocated data or sync objects and do
      *   not cross 32-byte line boundaries.
      */

@@ -17,7 +17,9 @@ struct LockPos
     std::size_t op;
 };
 
-/** Collect the positions of every Lock op in program order. */
+/** Collect the positions of every Lock and writer-mode rwlock acquire
+ * in program order (reader-mode holds protect no writes, so eliding
+ * one cannot inject the paper's kind of bug). */
 std::vector<LockPos>
 collectAcquires(const Program &prog)
 {
@@ -25,15 +27,17 @@ collectAcquires(const Program &prog)
     for (std::size_t t = 0; t < prog.threads.size(); ++t) {
         const auto &ops = prog.threads[t].ops;
         for (std::size_t i = 0; i < ops.size(); ++i)
-            if (ops[i].type == OpType::Lock)
+            if (ops[i].type == OpType::Lock ||
+                ops[i].type == OpType::RwWrLock)
                 out.push_back({t, i});
     }
     return out;
 }
 
 /**
- * Find the Unlock matching the Lock at @p pos. Builder validation
- * guarantees no re-acquisition, so the first Unlock of the same lock
+ * Find the release matching the acquire at @p pos (Unlock for Lock,
+ * RwWrUnlock for RwWrLock). Builder validation guarantees no
+ * re-acquisition, so the first matching release of the same lock
  * after the acquire is the match.
  */
 std::size_t
@@ -41,8 +45,11 @@ findMatchingUnlock(const Program &prog, const LockPos &pos)
 {
     const auto &ops = prog.threads[pos.thread].ops;
     const Addr lock = ops[pos.op].addr;
+    const OpType rel = ops[pos.op].type == OpType::RwWrLock
+                           ? OpType::RwWrUnlock
+                           : OpType::Unlock;
     for (std::size_t i = pos.op + 1; i < ops.size(); ++i) {
-        if (ops[i].type == OpType::Unlock && ops[i].addr == lock)
+        if (ops[i].type == rel && ops[i].addr == lock)
             return i;
     }
     throw WorkloadError(
@@ -171,8 +178,21 @@ injectRace(Program &prog, std::uint64_t seed, const SharedMap *shared)
     if (!best.valid)
         return best;
 
-    // Elide the pair (erase the later op first to keep indices valid).
     auto &ops = prog.threads[acquires[chosen].thread].ops;
+    if (ops[acquires[chosen].op].type == OpType::RwWrLock) {
+        // Writer-mode rwlock: elide the pair, or downgrade it to
+        // reader mode (the sync events stay, only the write
+        // protection is lost). The draw stays deterministic in seed:
+        // by this point the selection RNG state is fixed.
+        if (rng.chance(0.5)) {
+            best.kind = InjectionKind::DowngradeRwLock;
+            ops[acquires[chosen].op].type = OpType::RwRdLock;
+            ops[chosen_unlock].type = OpType::RwRdUnlock;
+            return best;
+        }
+        best.kind = InjectionKind::ElideRwLock;
+    }
+    // Elide the pair (erase the later op first to keep indices valid).
     ops.erase(ops.begin() + static_cast<std::ptrdiff_t>(chosen_unlock));
     ops.erase(ops.begin() + static_cast<std::ptrdiff_t>(acquires[chosen].op));
     return best;

@@ -25,14 +25,29 @@
 namespace hard
 {
 
+/** How a race was injected into the chosen critical section. */
+enum class InjectionKind : std::uint8_t
+{
+    /** Mutex lock/unlock pair removed (the paper's §4 methodology). */
+    ElideLock,
+    /** Writer-mode rwlock acquire/release pair removed. */
+    ElideRwLock,
+    /** Writer-mode rwlock pair downgraded to reader mode: the
+     * section's writes are now protected only by a read hold — a
+     * discipline bug only mode-aware detectors can see. */
+    DowngradeRwLock,
+};
+
 /** Ground truth describing one injected race. */
 struct Injection
 {
     /** False if no injectable critical section was found. */
     bool valid = false;
+    /** What was done to the chosen section. */
+    InjectionKind kind = InjectionKind::ElideLock;
     /** Thread whose lock/unlock pair was elided. */
     ThreadId tid = invalidThread;
-    /** The elided lock. */
+    /** The elided (or downgraded) lock. */
     LockAddr lock = 0;
     /** Source site of the elided acquire. */
     SiteId lockSite = invalidSite;
@@ -82,7 +97,11 @@ class SharedMap
 };
 
 /**
- * Elide one random dynamic lock/unlock pair from @p prog.
+ * Elide one random dynamic lock/unlock pair from @p prog. Writer-mode
+ * rwlock sections are eligible alongside mutex sections; a chosen
+ * rwlock pair is either elided or (half the time) downgraded to
+ * reader mode, which breaks the write-protection discipline without
+ * removing the synchronization events.
  *
  * Only critical sections containing at least one data access are
  * eligible; with a SharedMap the selection further requires a write to

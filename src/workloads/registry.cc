@@ -47,6 +47,12 @@ extensionWorkloads()
          "counters, coarse stats lock, cold log appends, semaphore "
          "request hand-off, no barriers",
          buildServer},
+        {"rwcache",
+         "read-mostly sharded lookup table (extended sync grammar): "
+         "per-bucket reader-writer locks with concurrent read holds, "
+         "condvar init hand-off, atomic release-acquire epoch beacon, "
+         "coarse stats mutex, no barriers",
+         buildRwCache},
     };
     return table;
 }

@@ -33,9 +33,11 @@ struct WorkloadInfo
 const std::vector<WorkloadInfo> &allWorkloads();
 
 /**
- * @return extension workloads beyond the paper's six applications
- * (currently: "server", the apache/mysql-style program class the
- * paper's §7 names as future evaluation targets).
+ * @return extension workloads beyond the paper's six applications:
+ * "server", the apache/mysql-style program class the paper's §7 names
+ * as future evaluation targets, and "rwcache", a read-mostly sharded
+ * table exercising the extended sync grammar (reader-writer locks,
+ * condvar hand-off, atomic release-acquire publication).
  */
 const std::vector<WorkloadInfo> &extensionWorkloads();
 
@@ -61,6 +63,7 @@ Program buildOcean(const WorkloadParams &p);
 Program buildWaterNsquared(const WorkloadParams &p);
 Program buildRaytrace(const WorkloadParams &p);
 Program buildServer(const WorkloadParams &p);
+Program buildRwCache(const WorkloadParams &p);
 Program buildDeadlock(const WorkloadParams &p);
 Program buildLivelock(const WorkloadParams &p);
 /** @} */

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * rwcache — an extension workload exercising the extended sync
+ * grammar (reader-writer locks, condition variables, atomic
+ * release-acquire) end to end through the harness: fast-mode
+ * recording, campaign sharding and race injection all run over these
+ * event kinds via this model.
+ *
+ * Structure: a read-mostly lookup table sharded across per-bucket
+ * reader-writer locks. Workers mostly take read holds (concurrent
+ * readers share a bucket), occasionally upgrade to a writer-mode
+ * update of an entry. A master thread initializes the shared state
+ * and releases the workers with a condition-variable broadcast (the
+ * latched hand-off lockset cannot interpret). Writers periodically
+ * publish an epoch beacon with an atomic release store; readers poll
+ * it with acquire loads — pure synchronization traffic with no
+ * associated data access, so the model stays data-race-free for the
+ * exact detectors. Global statistics live under one coarse mutex,
+ * giving the §4 injector its classic mutex targets alongside the
+ * writer-mode rwlock sections (elision and reader-mode downgrade).
+ * No barriers: like server, phases are pipelined, so HARD runs
+ * without its §3.5 reset.
+ */
+
+#include "common/rng.hh"
+#include "workloads/registry.hh"
+#include "workloads/wl_util.hh"
+
+namespace hard
+{
+
+Program
+buildRwCache(const WorkloadParams &p)
+{
+    WorkloadBuilder b("rwcache", p.numThreads);
+
+    const std::uint64_t nentries = scaled(2048, p, 64);
+    const std::uint64_t rounds = scaled(1500, p, 48);
+    const unsigned entry_bytes = 48; // line-misaligned entries
+    const unsigned nbuckets = 16;
+
+    const Addr entries = b.alloc("entries", nentries * entry_bytes, 32);
+    const Addr config = b.alloc("config", 64, 32);
+    const Addr gstats = b.alloc("rwStats", 32, 32);
+    const LockAddr slock = b.allocLock("statsLock");
+    std::vector<LockAddr> bucket;
+    for (unsigned i = 0; i < nbuckets; ++i)
+        bucket.push_back(b.allocRwLock("bucketRw" + std::to_string(i)));
+    const Addr ready = b.allocCond("readyCond");
+    const Addr epoch = b.allocAtomic("epochFlag");
+
+    UnpaddedStats stats(b, "rwWorkerStats", 2);
+
+    const SiteId s_init = b.site("init.write");
+    const SiteId s_rdy = b.site("init.ready.broadcast");
+    const SiteId s_wai = b.site("worker.ready.wait");
+    const SiteId s_rlk = b.site("bucket.rdlock");
+    const SiteId s_lrd = b.site("entry.lookup.read");
+    const SiteId s_wlk = b.site("bucket.wrlock");
+    const SiteId s_uwr = b.site("entry.update.write");
+    const SiteId s_pub = b.site("epoch.publish.store");
+    const SiteId s_sub = b.site("epoch.poll.load");
+    const SiteId s_slk = b.site("stats.lock");
+    const SiteId s_srd = b.site("stats.read");
+    const SiteId s_swr = b.site("stats.write");
+
+    // Master initialization, then the condvar hand-off that releases
+    // the workers (latched broadcast: arrival order cannot deadlock).
+    initRegion(b, config, 64, 8, s_init);
+    initRegion(b, entries, nentries * entry_bytes, 16, s_init);
+    initRegion(b, gstats, 32, 8, s_init);
+    b.condBroadcast(0, ready, s_rdy);
+
+    for (unsigned t = 0; t < p.numThreads; ++t) {
+        Rng trng(p.seed * 577 + t * 59);
+        if (t != 0)
+            b.condWait(t, ready, s_wai);
+
+        for (std::uint64_t r = 0; r < rounds; ++r) {
+            // Hot, clustered working set so threads collide on
+            // buckets (concurrent read holds) and on entries.
+            std::uint64_t e = (r / 3 + trng.below(32)) % nentries;
+            LockAddr rw = bucket[e % nbuckets];
+            if (trng.chance(0.2)) {
+                // Writer-mode update: the injector's rwlock target
+                // (elision and downgrade-to-reader both land here).
+                b.wrlock(t, rw, s_wlk);
+                b.write(t, entries + e * entry_bytes, 8, s_uwr);
+                b.write(t, entries + e * entry_bytes + 8, 8, s_uwr);
+                b.wrunlock(t, rw, s_wlk);
+                if (r % 8 == 0)
+                    b.atomicStore(t, epoch, s_pub);
+            } else {
+                // Read-mostly path under a shared read hold.
+                b.rdlock(t, rw, s_rlk);
+                b.read(t, entries + e * entry_bytes, 8, s_lrd);
+                if (trng.chance(0.3))
+                    b.read(t, entries + e * entry_bytes + 16, 8, s_lrd);
+                b.rdunlock(t, rw, s_rlk);
+                if (r % 8 == 3)
+                    b.atomicLoad(t, epoch, s_sub);
+            }
+
+            // Coarse global statistics under a plain mutex.
+            if (r % 5 == 2) {
+                b.lock(t, slock, s_slk);
+                b.read(t, gstats, 8, s_srd);
+                b.write(t, gstats + 8, 8, s_swr);
+                b.unlock(t, slock, s_slk);
+            }
+
+            b.compute(t, 120);
+            if (r % 8 == 0)
+                stats.bump(b, t, 0);
+        }
+        stats.bump(b, t, 1);
+    }
+
+    return b.finish();
+}
+
+} // namespace hard

@@ -238,6 +238,49 @@ TEST(Campaign, MidCacheStoreCrashOrphansTempAndConverges)
     EXPECT_GE(sweeper.counters().evictedOrphan, 1u);
 }
 
+TEST(Campaign, ExtendedGrammarWorkloadMergesByteIdenticalInFastMode)
+{
+    // rwcache exercises rwlock/condvar/atomic events end to end: the
+    // sharded fast-mode campaign (recording traces with the extended
+    // event kinds into a shared cache) must merge byte-identical to a
+    // crash-free single-process fast-mode run over a fresh cache.
+    std::vector<BatchItem> items;
+    BatchItem item;
+    item.workload = "rwcache";
+    item.wp = tinyParams();
+    item.sim = defaultSimConfig();
+    item.factory = table2Detectors();
+    item.runs = 2;
+    item.seed0 = 700;
+    item.mode = ExecMode::Fast;
+    items.push_back(std::move(item));
+
+    const std::string cacheDir =
+        ::testing::TempDir() + "hard_rwcache_cache";
+    std::filesystem::remove_all(cacheDir);
+    TraceCache cache(cacheDir);
+    for (BatchItem &it : items)
+        it.traceCache = &cache;
+
+    const std::string base = tempBase("hard_campaign_rwcache");
+    CampaignOptions copts = baseOptions(items, base);
+    CampaignResult camp;
+    const std::string merged =
+        campaignJson(items, copts, &camp, ExecMode::Fast, &cache);
+    EXPECT_TRUE(camp.quarantined.empty());
+    EXPECT_EQ(camp.counters.shardCrashes, 0u);
+    EXPECT_EQ(camp.entries.size(), batchCampaignUnits(items).size());
+
+    const std::string refDir =
+        ::testing::TempDir() + "hard_rwcache_cache_ref";
+    std::filesystem::remove_all(refDir);
+    TraceCache refCache(refDir);
+    std::vector<BatchItem> refItems = items;
+    for (BatchItem &it : refItems)
+        it.traceCache = &refCache;
+    EXPECT_EQ(merged, referenceJson(refItems, ExecMode::Fast));
+}
+
 TEST(Campaign, PoisonUnitIsQuarantinedAndReported)
 {
     const std::vector<BatchItem> items = healthyItems();

@@ -438,7 +438,8 @@ TEST_P(ExplainWorkloads, EveryDivergenceIsAttributedOnTheDefaultConfig)
 INSTANTIATE_TEST_SUITE_P(Apps, ExplainWorkloads,
                          ::testing::Values("cholesky", "barnes", "fmm",
                                            "ocean", "water-nsquared",
-                                           "raytrace"));
+                                           "raytrace", "server",
+                                           "rwcache"));
 
 } // namespace
 } // namespace hard

@@ -10,6 +10,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -224,8 +225,136 @@ TEST(FuzzWeaken, DeafHbDetectorIsCaught)
         << "no seed caught the sabotaged happens-before detector";
     for (const std::string &n : names)
         EXPECT_TRUE(n == "hb-matches-oracle" ||
-                    n == "hb-matches-fasttrack")
+                    n == "hb-matches-fasttrack" ||
+                    n == "hb-subset-of-djit")
             << n;
+}
+
+/** Extended grammar shape: rwlock sections everywhere, no mutexes
+ * competing for the op mix, condvar hand-offs between phases. */
+FuzzGenConfig
+rwGen()
+{
+    FuzzGenConfig gen = smallGen();
+    gen.maxPhases = 3;
+    gen.numRwLocks = 2;
+    gen.pRwLocked = 0.6;
+    gen.pRwWriter = 0.5;
+    gen.pCond = 0.5;
+    gen.numAtomics = 2;
+    gen.pAtomic = 0.2;
+    return gen;
+}
+
+TEST(FuzzWeaken, RwDeafDjitIsCaught)
+{
+    std::vector<std::string> names =
+        violationsUnder(Weaken::Djit, rwGen(), 30);
+    ASSERT_FALSE(names.empty())
+        << "no seed caught the rwlock-deaf DJIT+ detector";
+    EXPECT_NE(std::find(names.begin(), names.end(),
+                        "djit-matches-oracle"),
+              names.end());
+    // The sabotage only *adds* DJIT+ reports, so the containment of
+    // the honest epoch detector inside DJIT+ must survive it.
+    EXPECT_EQ(std::find(names.begin(), names.end(), "hb-subset-of-djit"),
+              names.end());
+}
+
+TEST(FuzzWeaken, ReadBlindRaceTrackIsCaught)
+{
+    std::vector<std::string> names =
+        violationsUnder(Weaken::Racetrack, rwGen(), 30);
+    ASSERT_FALSE(names.empty())
+        << "no seed caught the reader-blind RaceTrack detector";
+    EXPECT_NE(std::find(names.begin(), names.end(),
+                        "racetrack-subset-of-ideal"),
+              names.end());
+}
+
+TEST(FuzzSweep, HonestExtendedGrammarSweepIsClean)
+{
+    FuzzOptions opts;
+    opts.seeds = parseSeedSpec("0..14");
+    opts.jobs = 2;
+    opts.gen = rwGen();
+    for (const SeedResult &sr : runFuzzSeeds(opts)) {
+        EXPECT_EQ(sr.outcome, "ok")
+            << "seed " << sr.seed << ": " << sr.errorType << " "
+            << sr.errorMessage
+            << (sr.violations.empty()
+                    ? ""
+                    : (" / " + sr.violations.front().invariant + ": " +
+                       sr.violations.front().detail));
+    }
+}
+
+TEST(FuzzGenerator, DefaultConfigIgnoresExtendedGrammarKnobs)
+{
+    // The extended grammar must not perturb default-config programs:
+    // same RNG stream, same layout, same sites — byte-identical ops.
+    const FuzzGenConfig off;
+    FuzzGenConfig offExplicit;
+    offExplicit.pRwWriter = 0.9; // meaningless while pRwLocked == 0
+    for (std::uint64_t seed : {0ull, 3ull, 99ull}) {
+        Program a = generateFuzzProgram(seed, off);
+        Program b = generateFuzzProgram(seed, offExplicit);
+        ASSERT_EQ(a.threads.size(), b.threads.size());
+        for (std::size_t t = 0; t < a.threads.size(); ++t) {
+            const auto &ta = a.threads[t].ops;
+            const auto &tb = b.threads[t].ops;
+            ASSERT_EQ(ta.size(), tb.size());
+            for (std::size_t i = 0; i < ta.size(); ++i) {
+                EXPECT_EQ(ta[i].type, tb[i].type);
+                EXPECT_EQ(ta[i].addr, tb[i].addr);
+            }
+        }
+    }
+}
+
+TEST(FuzzGenerator, ExtendedGrammarEmitsNewPrimitives)
+{
+    bool sawRw = false, sawCond = false, sawAtomic = false;
+    for (std::uint64_t seed = 0; seed < 10; ++seed) {
+        Program p = generateFuzzProgram(seed, rwGen());
+        for (const ThreadProgram &t : p.threads) {
+            // Rwlock discipline: balanced, mode-matched, not nested
+            // with itself.
+            std::map<Addr, OpType> rwHeld;
+            for (const Op &op : t.ops) {
+                switch (op.type) {
+                  case OpType::RwRdLock:
+                  case OpType::RwWrLock:
+                    EXPECT_EQ(rwHeld.count(op.addr), 0u);
+                    rwHeld[op.addr] = op.type;
+                    sawRw = true;
+                    break;
+                  case OpType::RwRdUnlock:
+                    ASSERT_EQ(rwHeld[op.addr], OpType::RwRdLock);
+                    rwHeld.erase(op.addr);
+                    break;
+                  case OpType::RwWrUnlock:
+                    ASSERT_EQ(rwHeld[op.addr], OpType::RwWrLock);
+                    rwHeld.erase(op.addr);
+                    break;
+                  case OpType::CondBroadcast:
+                  case OpType::CondWait:
+                    sawCond = true;
+                    break;
+                  case OpType::AtomicStore:
+                  case OpType::AtomicLoad:
+                    sawAtomic = true;
+                    break;
+                  default:
+                    break;
+                }
+            }
+            EXPECT_TRUE(rwHeld.empty());
+        }
+    }
+    EXPECT_TRUE(sawRw);
+    EXPECT_TRUE(sawCond);
+    EXPECT_TRUE(sawAtomic);
 }
 
 TEST(FuzzWeaken, NoResetIdealLocksetIsCaught)
@@ -275,6 +404,26 @@ TEST(FuzzMinimizer, SanitizeDropsUnbalancedLockEvents)
     EXPECT_EQ(s.events[0].kind, TraceKind::LockAcquire);
     EXPECT_EQ(s.events[1].kind, TraceKind::Read);
     EXPECT_EQ(s.events[2].kind, TraceKind::LockRelease);
+}
+
+TEST(FuzzMinimizer, SanitizeDropsUnbalancedRwlockEvents)
+{
+    Trace t;
+    t.siteNames = {"s"};
+    t.events = {
+        ev(TraceKind::RwRdAcquire, 0, 0x1000),
+        ev(TraceKind::RwWrAcquire, 0, 0x1000), // held (any mode): drop
+        ev(TraceKind::RwWrRelease, 0, 0x1000), // wrong mode: drop
+        ev(TraceKind::Write, 0, 0x2000, 4),
+        ev(TraceKind::RwRdRelease, 0, 0x1000), // matches the acquire
+        ev(TraceKind::RwRdRelease, 0, 0x1000), // unheld: drop
+        ev(TraceKind::RwWrRelease, 1, 0x1000), // unheld (t1): drop
+    };
+    Trace s = sanitizeTrace(t);
+    ASSERT_EQ(s.events.size(), 3u);
+    EXPECT_EQ(s.events[0].kind, TraceKind::RwRdAcquire);
+    EXPECT_EQ(s.events[1].kind, TraceKind::Write);
+    EXPECT_EQ(s.events[2].kind, TraceKind::RwRdRelease);
 }
 
 TEST(FuzzMinimizer, DdminShrinksToSingleCulprit)
@@ -404,8 +553,13 @@ TEST(FuzzInvariants, SubsetBreachIsNamedAndWitnessed)
 TEST(FuzzInvariants, NamesAreStable)
 {
     const std::vector<std::string> &n = invariantNames();
-    EXPECT_EQ(n.size(), 6u);
+    EXPECT_EQ(n.size(), 9u);
     EXPECT_EQ(n.front(), "hard-subset-of-ideal");
+    EXPECT_NE(std::find(n.begin(), n.end(), "djit-matches-oracle"),
+              n.end());
+    EXPECT_NE(std::find(n.begin(), n.end(), "hb-subset-of-djit"),
+              n.end());
+    EXPECT_EQ(n.back(), "racetrack-subset-of-ideal");
 }
 
 TEST(FuzzBatteryTest, RejectsBadGranularity)

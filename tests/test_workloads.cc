@@ -158,16 +158,51 @@ TEST_P(WorkloadSweep, ScaleControlsFootprint)
 INSTANTIATE_TEST_SUITE_P(Apps, WorkloadSweep,
                          ::testing::Values("cholesky", "barnes", "fmm",
                                            "ocean", "water-nsquared",
-                                           "raytrace", "server"));
+                                           "raytrace", "server",
+                                           "rwcache"));
 
-TEST(Workloads, ExtensionRegistryHasServer)
+TEST(Workloads, ExtensionRegistryHasServerAndRwCache)
 {
     const auto &ext = extensionWorkloads();
-    ASSERT_EQ(ext.size(), 1u);
+    ASSERT_EQ(ext.size(), 2u);
     EXPECT_STREQ(ext[0].name, "server");
+    EXPECT_STREQ(ext[1].name, "rwcache");
     // Extensions never leak into the paper's six-application list.
     for (const WorkloadInfo &w : allWorkloads())
-        EXPECT_STRNE(w.name, "server");
+        for (const WorkloadInfo &e : ext)
+            EXPECT_STRNE(w.name, e.name);
+}
+
+TEST(Workloads, RwCacheUsesTheExtendedSyncGrammar)
+{
+    Program p = buildWorkload("rwcache", testParams());
+    bool rd = false, wr = false, cond = false, atomic = false;
+    for (const auto &thread : p.threads) {
+        for (const Op &op : thread.ops) {
+            rd |= op.type == OpType::RwRdLock;
+            wr |= op.type == OpType::RwWrLock;
+            cond |= op.type == OpType::CondBroadcast ||
+                    op.type == OpType::CondWait;
+            atomic |= op.type == OpType::AtomicStore ||
+                      op.type == OpType::AtomicLoad;
+        }
+    }
+    EXPECT_TRUE(rd);
+    EXPECT_TRUE(wr);
+    EXPECT_TRUE(cond);
+    EXPECT_TRUE(atomic);
+}
+
+TEST(Workloads, RwCacheIsCleanForIdealDetectors)
+{
+    // rwcache follows reader-writer discipline exactly (reads under
+    // read holds, writes under write holds, condvar/atomic edges
+    // ordering everything else), so the race-free build produces no
+    // alarms under ideal happens-before.
+    Program p = buildWorkload("rwcache", testParams());
+    HappensBeforeDetector hb("hb", HbConfig::ideal());
+    runProgram(p, {&hb});
+    EXPECT_EQ(hb.sink().distinctSiteCount(), 0u);
 }
 
 TEST(Workloads, OceanIsNearlyFalseAlarmFreeForIdealHappensBefore)

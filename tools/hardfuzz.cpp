@@ -5,7 +5,8 @@
  * Each seed deterministically generates a random multithreaded
  * program, simulates it once with the full detector battery (HARD,
  * exact lockset at two granularities, hybrid, happens-before,
- * FastTrack) plus a trace recorder, replays the recording through
+ * FastTrack, DJIT+, RaceTrack) plus a trace recorder, replays the
+ * recording through
  * independent reference analyses, and cross-checks the containment
  * invariants between all of them. Violating traces are ddmin-shrunk
  * to minimal repros and dumped as replayable corpus cases.
@@ -56,7 +57,8 @@ usage()
         "  --granularity=<bytes>  HARD/ideal/hybrid granularity (32)\n"
         "  --bloom-bits=<n>       BFVector width (16)\n"
         "  --weaken=<which>       sabotage one detector to prove the\n"
-        "                         pipeline fires: hard|hb|ideal|none\n"
+        "                         pipeline fires: hard|hb|ideal|djit|\n"
+        "                         racetrack|none\n"
         "\n"
         "generator shape:\n"
         "  --threads=<A..B>       thread-count range (2..4, max 8)\n"
@@ -72,6 +74,15 @@ usage()
         "                         cross-phase ordering)\n"
         "  --p-sema=<0..1>        probability a phase opens with a\n"
         "                         semaphore hand-off (0.35)\n"
+        "  --primitives=<list>    enable extended sync grammar families\n"
+        "                         (comma-separated): rwlock (reader/\n"
+        "                         writer critical sections, reader-mode\n"
+        "                         writes as discipline bugs), condvar\n"
+        "                         (broadcast hand-offs), atomic\n"
+        "                         (release-acquire store/load pairs);\n"
+        "                         'all' enables every family. Off by\n"
+        "                         default, so default sweeps and their\n"
+        "                         trace-cache keys are unchanged\n"
         "\n"
         "fast functional mode:\n"
         "  --mode=<cycle|fast>    fast records each seed's program once\n"
@@ -135,6 +146,41 @@ dieBadFlag(const char *a)
 {
     std::fprintf(stderr, "hardfuzz: unknown argument '%s'\n", a);
     std::exit(2);
+}
+
+/** Apply --primitives=<csv> to the generator config. */
+void
+applyPrimitives(const std::string &list, FuzzGenConfig &gen)
+{
+    std::size_t pos = 0;
+    while (pos <= list.size()) {
+        const std::size_t comma = list.find(',', pos);
+        const std::string name =
+            list.substr(pos, comma == std::string::npos ? std::string::npos
+                                                        : comma - pos);
+        if (name == "rwlock" || name == "all") {
+            gen.numRwLocks = 2;
+            gen.pRwLocked = 0.25;
+        }
+        if (name == "condvar" || name == "all") {
+            gen.pCond = 0.4;
+        }
+        if (name == "atomic" || name == "all") {
+            gen.numAtomics = 2;
+            gen.pAtomic = 0.15;
+        }
+        if (name != "rwlock" && name != "condvar" && name != "atomic" &&
+            name != "all") {
+            std::fprintf(stderr,
+                         "hardfuzz: bad --primitives entry '%s' "
+                         "(rwlock|condvar|atomic|all)\n",
+                         name.c_str());
+            std::exit(2);
+        }
+        if (comma == std::string::npos)
+            break;
+        pos = comma + 1;
+    }
 }
 
 Cli
@@ -265,6 +311,8 @@ parseArgs(int argc, char **argv)
             }
         } else if (eat(i, "--weaken", v)) {
             cli.opts.cfg.weaken = parseWeaken(v);
+        } else if (eat(i, "--primitives", v)) {
+            applyPrimitives(v, cli.opts.gen);
         } else {
             dieBadFlag(a.c_str());
         }
