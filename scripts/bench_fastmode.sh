@@ -18,19 +18,28 @@
 # sweep speedup stays battery-bound (the oracle detectors replay in
 # every leg) and is reported, not gated.
 #
+# The timed result is recorded as a new point in the performance
+# trajectory (BENCH_trajectory.json, hard.bench.trajectory.v1) via
+# scripts/bench_trajectory.py, which also gates against the latest
+# comparable committed point — the committed BENCH_fastmode.json
+# baseline itself is never overwritten by default (give -o to write a
+# baseline elsewhere, -T to use another trajectory file, -T '' to
+# skip the trajectory entirely).
+#
 # Usage: scripts/bench_fastmode.sh [-o OUT.json] [-r RUNS] [-s SCALE]
 #                                  [-j JOBS] [-m MIN_SPEEDUP]
-#                                  [-B BUILDDIR]
+#                                  [-B BUILDDIR] [-T TRAJECTORY.json]
 set -euo pipefail
 
-out="BENCH_fastmode.json"
+out=""
 runs=10
 scale=1.0
 jobs=0
 min_speedup=10
 builddir="build"
+trajectory="BENCH_trajectory.json"
 
-while getopts "o:r:s:j:m:B:h" opt; do
+while getopts "o:r:s:j:m:B:T:h" opt; do
     case "$opt" in
         o) out="$OPTARG" ;;
         r) runs="$OPTARG" ;;
@@ -38,6 +47,7 @@ while getopts "o:r:s:j:m:B:h" opt; do
         j) jobs="$OPTARG" ;;
         m) min_speedup="$OPTARG" ;;
         B) builddir="$OPTARG" ;;
+        T) trajectory="$OPTARG" ;;
         h) grep '^#' "$0" | sed 's/^# \{0,1\}//'; exit 0 ;;
         *) exit 2 ;;
     esac
@@ -78,8 +88,20 @@ EOF
 python3 scripts/check_telemetry.py --cache-stats "$work/cache-stats.json"
 
 # ---------------------------------------------------------------------
-# 2. Timed baseline via the in-process benchmark, then validation.
+# 2. Timed run via the in-process benchmark, then validation. Without
+#    -o the raw bench document lands in scratch space — the durable
+#    record is the trajectory point appended below, not an overwrite
+#    of the committed baseline.
+[ -n "$out" ] || out="$work/bench_fastmode.json"
 echo "bench_fastmode: timing (runs=$runs scale=$scale jobs=$jobs)" >&2
 "$bench" --runs="$runs" --scale="$scale" --jobs="$jobs" \
     --out="$out" --cache="$work/bench-cache"
 python3 scripts/check_telemetry.py --bench "$out" --min-speedup "$min_speedup"
+
+# ---------------------------------------------------------------------
+# 3. Append the run to the performance trajectory and gate against the
+#    latest comparable committed point (same config + host).
+if [ -n "$trajectory" ]; then
+    python3 scripts/bench_trajectory.py --from-bench "$out" \
+        --trajectory "$trajectory"
+fi

@@ -1,0 +1,257 @@
+#!/usr/bin/env python3
+"""Maintain and gate the performance trajectory (BENCH_trajectory.json).
+
+The trajectory is a hard.bench.trajectory.v1 document: an append-only
+series of benchmark points, one per recorded run of the fast-mode
+benchmark (build/bench/bench_fastmode). Each point carries the bench
+configuration, a host fingerprint, and the headline metrics
+(cycle/fastCold/fastWarm runs per second plus the interleaving
+replay-vs-sim speedup), so the repo's performance history is
+committed alongside the code and CI can fail on regressions instead
+of silently drifting.
+
+Modes (exactly one):
+  --migrate BENCH.json     seed the trajectory from an existing
+                           committed hard.bench.fastmode.v1 baseline;
+                           the point is marked source "migrated" with
+                           host "unknown", so the regression gate never
+                           compares fresh runs against it (the machine
+                           that produced it is unknowable)
+  --from-bench BENCH.json  append a point from an existing bench
+                           output, fingerprinted to this host, and run
+                           the regression gate
+  --run                    run build/bench/bench_fastmode (at --runs/
+                           --scale/--jobs) into a temp file, then
+                           append + gate as with --from-bench
+  --check                  structurally validate the committed
+                           trajectory and exit (CI uses this on the
+                           checked-in file)
+
+The regression gate compares the new point against the LATEST prior
+point with the SAME config (units/runs/scale/jobs) and the SAME host
+fingerprint (arch + cpu count): >--max-regression (default 15%)
+drop in cycle or fast-warm runs/sec fails with exit 1. No comparable
+prior point — different host, different scale — passes with a note;
+cross-machine comparisons are noise, not signal.
+
+Examples:
+  scripts/bench_trajectory.py --migrate BENCH_fastmode.json
+  scripts/bench_trajectory.py --run --runs 2 --scale 0.2
+  scripts/bench_trajectory.py --check
+"""
+
+import argparse
+import datetime
+import json
+import os
+import platform
+import subprocess
+import sys
+import tempfile
+
+SCHEMA = "hard.bench.trajectory.v1"
+POINT_SOURCES = {"migrated", "bench"}
+METRICS = ("cycleRunsPerSec", "fastColdRunsPerSec", "fastWarmRunsPerSec",
+           "replayVsSim")
+# The gate watches the two metrics users feel: full-simulation
+# throughput and warm-cache fast-mode throughput.
+GATED_METRICS = ("cycleRunsPerSec", "fastWarmRunsPerSec")
+
+
+def fail(msg):
+    raise SystemExit(f"bench_trajectory: {msg}")
+
+
+def host_fingerprint():
+    return {"arch": platform.machine() or "unknown",
+            "cpus": os.cpu_count() or 0}
+
+
+def load_trajectory(path):
+    if not os.path.exists(path):
+        return {"schema": SCHEMA, "points": []}
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("schema") != SCHEMA:
+        fail(f"{path}: schema is {doc.get('schema')!r}, expected "
+             f"'{SCHEMA}' — unknown or future trajectory version")
+    if not isinstance(doc.get("points"), list):
+        fail(f"{path}: missing 'points' array")
+    return doc
+
+
+def point_from_bench(bench_path, source, host):
+    with open(bench_path) as f:
+        bench = json.load(f)
+    if bench.get("schema") != "hard.bench.fastmode.v1":
+        fail(f"{bench_path}: schema is {bench.get('schema')!r}, "
+             "expected 'hard.bench.fastmode.v1'")
+    try:
+        point = {
+            "source": source,
+            "date": datetime.date.today().isoformat(),
+            "host": host,
+            "config": {
+                "units": bench["units"],
+                "runsPerWorkload": bench["runsPerWorkload"],
+                "scale": bench["scale"],
+                "jobs": bench["jobs"],
+            },
+            "metrics": {
+                "cycleRunsPerSec": bench["cycle"]["runsPerSec"],
+                "fastColdRunsPerSec": bench["fastCold"]["runsPerSec"],
+                "fastWarmRunsPerSec": bench["fastWarm"]["runsPerSec"],
+                "replayVsSim": bench["speedup"]["replayVsSim"],
+            },
+        }
+    except KeyError as e:
+        fail(f"{bench_path}: missing field {e}")
+    return point
+
+
+def check_point(point, where):
+    if point.get("source") not in POINT_SOURCES:
+        fail(f"{where}: source {point.get('source')!r} not in "
+             f"{sorted(POINT_SOURCES)}")
+    host = point.get("host")
+    if host != "unknown" and not (isinstance(host, dict)
+                                  and "arch" in host and "cpus" in host):
+        fail(f"{where}: bad host fingerprint {host!r}")
+    config = point.get("config")
+    if not isinstance(config, dict):
+        fail(f"{where}: missing 'config'")
+    for field in ("units", "runsPerWorkload", "scale", "jobs"):
+        if field not in config:
+            fail(f"{where}: config missing {field!r}")
+    metrics = point.get("metrics")
+    if not isinstance(metrics, dict):
+        fail(f"{where}: missing 'metrics'")
+    for name in METRICS:
+        val = metrics.get(name)
+        if not isinstance(val, (int, float)) or val <= 0:
+            fail(f"{where}: metric {name} is {val!r}")
+
+
+def check_trajectory(doc, path):
+    for i, point in enumerate(doc["points"]):
+        check_point(point, f"{path}: point {i}")
+    print(f"ok: {path} ({SCHEMA}, {len(doc['points'])} points)")
+
+
+def comparable(prior, new):
+    """A prior point gates a new one only when the measurement is
+    apples-to-apples: same bench config on the same class of host."""
+    return (prior.get("config") == new["config"]
+            and prior.get("host") == new["host"]
+            and prior.get("source") == "bench")
+
+
+def gate(doc, new, max_regression):
+    prior = None
+    for point in doc["points"]:
+        if comparable(point, new):
+            prior = point  # keep the latest comparable point
+    if prior is None:
+        print("bench_trajectory: no comparable prior point "
+              "(new host or config) — gate passes vacuously")
+        return
+    failures = []
+    for name in GATED_METRICS:
+        before = prior["metrics"][name]
+        after = new["metrics"][name]
+        drop = (before - after) / before
+        marker = "REGRESSION" if drop > max_regression else "ok"
+        print(f"bench_trajectory: {name}: {before:.3f} -> {after:.3f} "
+              f"({-drop * 100.0:+.1f}%) [{marker}]")
+        if drop > max_regression:
+            failures.append(name)
+    if failures:
+        fail(f"performance regression beyond the "
+             f"{max_regression * 100.0:.0f}% noise band in: "
+             f"{', '.join(failures)} (prior point dated "
+             f"{prior.get('date', '?')})")
+
+
+def run_bench(args):
+    bench = os.path.join(args.builddir, "bench", "bench_fastmode")
+    if not os.access(bench, os.X_OK):
+        fail(f"{bench} not built (cmake --build {args.builddir} "
+             "--target bench_fastmode)")
+    out = tempfile.NamedTemporaryFile(
+        suffix=".json", prefix="bench_trajectory.", delete=False)
+    out.close()
+    cache = tempfile.mkdtemp(prefix="bench_trajectory.cache.")
+    cmd = [bench, f"--runs={args.runs}", f"--scale={args.scale}",
+           f"--jobs={args.jobs}", f"--out={out.name}",
+           f"--cache={cache}"]
+    print("bench_trajectory: +", " ".join(cmd))
+    subprocess.run(cmd, check=True)
+    return out.name
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    mode = ap.add_mutually_exclusive_group(required=True)
+    mode.add_argument("--migrate", metavar="BENCH.json",
+                      help="seed the trajectory from a committed "
+                           "hard.bench.fastmode.v1 baseline")
+    mode.add_argument("--from-bench", metavar="BENCH.json",
+                      help="append a point from an existing bench "
+                           "output and run the regression gate")
+    mode.add_argument("--run", action="store_true",
+                      help="run bench_fastmode, append the point, and "
+                           "run the regression gate")
+    mode.add_argument("--check", action="store_true",
+                      help="validate the committed trajectory and exit")
+    ap.add_argument("--trajectory", default="BENCH_trajectory.json",
+                    help="trajectory file (BENCH_trajectory.json)")
+    ap.add_argument("--max-regression", type=float, default=0.15,
+                    help="gate threshold as a fraction (0.15 = fail on "
+                         ">15%% runs/sec drop)")
+    ap.add_argument("--no-gate", action="store_true",
+                    help="append without gating (bootstrap on a new "
+                         "host)")
+    ap.add_argument("--runs", type=int, default=10,
+                    help="--run: injected runs per workload (10)")
+    ap.add_argument("--scale", type=float, default=1.0,
+                    help="--run: workload scale (1.0)")
+    ap.add_argument("--jobs", type=int, default=0,
+                    help="--run: worker threads (0 = all cores)")
+    ap.add_argument("--builddir", default="build",
+                    help="--run: CMake build directory (build)")
+    args = ap.parse_args()
+
+    doc = load_trajectory(args.trajectory)
+
+    if args.check:
+        if not os.path.exists(args.trajectory):
+            fail(f"{args.trajectory} does not exist")
+        if not doc["points"]:
+            fail(f"{args.trajectory}: empty trajectory")
+        check_trajectory(doc, args.trajectory)
+        return
+
+    if args.migrate:
+        point = point_from_bench(args.migrate, "migrated", "unknown")
+        point.pop("date")  # the original measurement date is unknown
+    else:
+        bench_path = args.from_bench if args.from_bench \
+            else run_bench(args)
+        point = point_from_bench(bench_path, "bench",
+                                 host_fingerprint())
+        check_point(point, "new point")
+        if not args.no_gate:
+            gate(doc, point, args.max_regression)
+
+    doc["points"].append(point)
+    with open(args.trajectory, "w") as f:
+        json.dump(doc, f, indent=2)
+        f.write("\n")
+    print(f"bench_trajectory: appended point {len(doc['points'])} "
+          f"to {args.trajectory}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -30,6 +30,13 @@ Checks, using nothing but the standard library:
     schema tag, positive timings, runs/sec and speedup ratios
     consistent with the timings, and the interleaving-component
     speedup (sim vs warm streamed replay) meeting the floor
+  - a hard.profile.v1 wall-clock profile (--profile): schema tag
+    (unknown versions rejected), non-negative totals, a well-formed
+    phase tree, non-negative counters; also accepts a batch/fuzz
+    document carrying an embedded 'profile' block
+  - a hard.campaign.status.v1 live status file (--campaign-status):
+    schema tag (unknown versions rejected), state vocabulary, unit
+    tallies summing to the total, throughput/rates/shard bookkeeping
 
 Exits non-zero with a per-file report on the first structural problem.
 """
@@ -381,6 +388,171 @@ def check_bench(path, min_speedup):
           f"{speedup.get('coldVsCycle'):.2f}x over {units} units)")
 
 
+def check_profile_doc(doc, where):
+    """Validate a hard.profile.v1 wall-clock profile: schema tag,
+    non-negative totals, a well-formed phase tree, and non-negative
+    counters. Unknown schema versions are rejected outright — a
+    reader that guesses at a future layout would misreport."""
+    schema = doc.get("schema")
+    if schema != "hard.profile.v1":
+        fail(f"{where}: profile schema is {schema!r}, expected "
+             "'hard.profile.v1' — unknown or future profile version; "
+             "refusing to guess at its layout")
+    for field in ("wallSeconds", "cpuSeconds"):
+        val = doc.get(field)
+        if not isinstance(val, (int, float)) or val < 0:
+            fail(f"{where}: {field} is {val!r}")
+    peak = doc.get("peakRssBytes")
+    if not isinstance(peak, int) or peak < 0:
+        fail(f"{where}: peakRssBytes is {peak!r}")
+
+    phase_count = 0
+
+    def walk(node, prefix):
+        nonlocal phase_count
+        if not isinstance(node, dict):
+            fail(f"{where}: phase tree node {prefix!r} is not an object")
+        for name, child in node.items():
+            path = f"{prefix}.{name}" if prefix else name
+            if not isinstance(child, dict):
+                fail(f"{where}: phase {path!r} is not an object")
+            timed = "calls" in child
+            if not timed and "phases" not in child:
+                fail(f"{where}: phase {path!r} carries neither timings "
+                     "nor children")
+            if timed:
+                phase_count += 1
+                calls = child.get("calls")
+                if not isinstance(calls, int) or calls < 1:
+                    fail(f"{where}: phase {path!r} calls is {calls!r}")
+                for field in ("wallSeconds", "cpuSeconds"):
+                    val = child.get(field)
+                    if not isinstance(val, (int, float)) or val < 0:
+                        fail(f"{where}: phase {path!r} {field} is "
+                             f"{val!r}")
+            if "phases" in child:
+                walk(child["phases"], path)
+
+    phases = doc.get("phases")
+    if not isinstance(phases, dict):
+        fail(f"{where}: missing 'phases' object")
+    walk(phases, "")
+    counters = doc.get("counters")
+    if not isinstance(counters, dict):
+        fail(f"{where}: missing 'counters' object")
+    for name, value in counters.items():
+        if not isinstance(value, int) or value < 0:
+            fail(f"{where}: counter {name!r} is {value!r}")
+    return phase_count, len(counters)
+
+
+def check_profile(path):
+    """Validate a wall-clock profile: either a standalone
+    hard.profile.v1 file or the 'profile' block embedded in a
+    hard.batch.v2 / hard.fuzz.v1 document."""
+    with open(path) as f:
+        doc = json.load(f)
+    where = path
+    if doc.get("schema") in ("hard.batch.v2", "hard.fuzz.v1"):
+        if "profile" not in doc:
+            fail(f"{path}: {doc['schema']} document has no embedded "
+                 "'profile' block (was the sweep run with --profile?)")
+        doc = doc["profile"]
+        where = f"{path}:profile"
+    phases, counters = check_profile_doc(doc, where)
+    print(f"ok: {path} (hard.profile.v1, {phases} timed phases, "
+          f"{counters} counters)")
+
+
+CAMPAIGN_STATUS_STATES = {"running", "complete"}
+
+
+def check_campaign_status(path):
+    """Validate a hard.campaign.status.v1 live status document:
+    schema tag, state vocabulary, unit tallies that sum to the total,
+    sane throughput/rates, and per-shard bookkeeping. Unknown schema
+    versions are rejected with a clear message."""
+    with open(path) as f:
+        doc = json.load(f)
+    schema = doc.get("schema")
+    if schema != "hard.campaign.status.v1":
+        fail(f"{path}: status schema is {schema!r}, expected "
+             "'hard.campaign.status.v1' — unknown or future status "
+             "version; refusing to guess at its layout")
+    if not doc.get("signature"):
+        fail(f"{path}: missing or empty 'signature'")
+    state = doc.get("state")
+    if state not in CAMPAIGN_STATUS_STATES:
+        fail(f"{path}: state {state!r} not in "
+             f"{sorted(CAMPAIGN_STATUS_STATES)}")
+    seq = doc.get("sequence")
+    if not isinstance(seq, int) or seq < 1:
+        fail(f"{path}: sequence is {seq!r} (must be >= 1)")
+    elapsed = doc.get("elapsedSeconds")
+    if not isinstance(elapsed, (int, float)) or elapsed < 0:
+        fail(f"{path}: elapsedSeconds is {elapsed!r}")
+    units = doc.get("units")
+    if not isinstance(units, dict):
+        fail(f"{path}: missing 'units' object")
+    tallies = {}
+    for field in ("total", "pending", "inFlight", "completed",
+                  "restored", "quarantined"):
+        val = units.get(field)
+        if not isinstance(val, int) or val < 0:
+            fail(f"{path}: units.{field} is {val!r}")
+        tallies[field] = val
+    summed = sum(v for k, v in tallies.items() if k != "total")
+    if summed != tallies["total"]:
+        fail(f"{path}: unit tallies sum to {summed}, "
+             f"total says {tallies['total']} — a unit was lost or "
+             "double-counted")
+    if state == "complete" and (tallies["pending"] or
+                                tallies["inFlight"]):
+        fail(f"{path}: state 'complete' but {tallies['pending']} "
+             f"pending / {tallies['inFlight']} in-flight units remain")
+    tp = doc.get("throughput")
+    if not isinstance(tp, dict):
+        fail(f"{path}: missing 'throughput' object")
+    for field in ("unitsDone", "unitsPerSec"):
+        val = tp.get(field)
+        if not isinstance(val, (int, float)) or val < 0:
+            fail(f"{path}: throughput.{field} is {val!r}")
+    if "etaSeconds" in tp:
+        eta = tp["etaSeconds"]
+        if not isinstance(eta, (int, float)) or eta < 0:
+            fail(f"{path}: throughput.etaSeconds is {eta!r}")
+    rates = doc.get("rates")
+    if not isinstance(rates, dict):
+        fail(f"{path}: missing 'rates' object")
+    for field in ("retryRate", "quarantineRate"):
+        val = rates.get(field)
+        if not isinstance(val, (int, float)) or not 0 <= val:
+            fail(f"{path}: rates.{field} is {val!r}")
+    counters = doc.get("counters")
+    if not isinstance(counters, dict):
+        fail(f"{path}: missing 'counters'")
+    for name in CAMPAIGN_COUNTERS:
+        value = counters.get(name)
+        if not isinstance(value, int) or value < 0:
+            fail(f"{path}: counters.{name} is {value!r}")
+    shards = doc.get("shards")
+    if not isinstance(shards, list):
+        fail(f"{path}: missing 'shards' array")
+    for i, sh in enumerate(shards):
+        assigned = sh.get("assigned")
+        done = sh.get("done")
+        if not isinstance(assigned, int) or assigned < 0:
+            fail(f"{path}: shard {i}: assigned is {assigned!r}")
+        if not isinstance(done, int) or not 0 <= done <= assigned:
+            fail(f"{path}: shard {i}: done {done!r} outside "
+                 f"[0, {assigned}]")
+        if not isinstance(sh.get("stalled"), bool):
+            fail(f"{path}: shard {i}: stalled is "
+                 f"{sh.get('stalled')!r}")
+    print(f"ok: {path} (hard.campaign.status.v1, {state}, seq {seq}, "
+          f"{tallies['total']} units, {len(shards)} live shards)")
+
+
 def check_batch(path, expect_stats, expect_explain=False):
     with open(path) as f:
         doc = json.load(f)
@@ -471,10 +643,15 @@ def main():
     ap.add_argument("--min-speedup", type=float, default=None,
                     help="minimum warm-cache speedup --bench files "
                          "must show")
+    ap.add_argument("--profile", action="append", default=[],
+                    help="hard.profile.v1 JSON file, or a batch/fuzz "
+                         "document with an embedded 'profile' block")
+    ap.add_argument("--campaign-status", action="append", default=[],
+                    help="hard.campaign.status.v1 live status JSON file")
     args = ap.parse_args()
     if not (args.stats or args.intervals or args.trace or args.batch
             or args.explain or args.cache_stats or args.campaign
-            or args.bench):
+            or args.bench or args.profile or args.campaign_status):
         ap.error("nothing to check")
     for path in args.stats:
         check_stats(path)
@@ -492,6 +669,10 @@ def main():
         check_campaign(path)
     for path in args.bench:
         check_bench(path, args.min_speedup)
+    for path in args.profile:
+        check_profile(path)
+    for path in args.campaign_status:
+        check_campaign_status(path)
 
 
 if __name__ == "__main__":

@@ -9,6 +9,7 @@
 #include "harness/experiment.hh"
 #include "harness/run_pool.hh"
 #include "sim/system.hh"
+#include "telemetry/profile.hh"
 #include "trace/record.hh"
 #include "trace/recorder.hh"
 #include "trace/replayer.hh"
@@ -140,12 +141,24 @@ collectKeys(const FuzzBattery &b, const Trace &trace,
     r.fasttrack = reportKeys(b.fasttrack->sink());
     r.djit = reportKeys(b.djit->sink());
     r.racetrack = reportKeys(b.racetrack->sink());
-    r.oracleLs = oracleLockset(trace, cfg.granularity);
-    r.oracleLsFine = oracleLockset(trace, 4);
-    r.oracleHb = oracleHappensBefore(trace, 4);
-    HbOracleOpts full;
-    full.fullWriteVector = true;
-    r.oracleHbFull = oracleHappensBefore(trace, 4, full);
+    {
+        ScopedPhase phase("fuzz.analyze.oracle.lockset");
+        r.oracleLs = oracleLockset(trace, cfg.granularity);
+    }
+    {
+        ScopedPhase phase("fuzz.analyze.oracle.lockset-fine");
+        r.oracleLsFine = oracleLockset(trace, 4);
+    }
+    {
+        ScopedPhase phase("fuzz.analyze.oracle.happens-before");
+        r.oracleHb = oracleHappensBefore(trace, 4);
+    }
+    {
+        ScopedPhase phase("fuzz.analyze.oracle.happens-before-full");
+        HbOracleOpts full;
+        full.fullWriteVector = true;
+        r.oracleHbFull = oracleHappensBefore(trace, 4, full);
+    }
     return r;
 }
 
@@ -266,10 +279,24 @@ FuzzReportSet
 analyzeTrace(const Trace &trace, const FuzzConfig &cfg)
 {
     FuzzBattery b = makeFuzzBattery(cfg);
+    // With the profiler on, each battery member is wrapped in a
+    // forwarding TimedObserver: one joint replay still yields the
+    // per-detector dispatch-cost breakdown.
+    std::vector<std::unique_ptr<TimedObserver>> timed;
     std::vector<AccessObserver *> obs;
-    for (RaceDetector *d : b.detectors())
-        obs.push_back(d);
-    replayTrace(trace, obs);
+    for (RaceDetector *d : b.detectors()) {
+        if (Profiler::active() != nullptr) {
+            timed.push_back(std::make_unique<TimedObserver>(
+                d, "fuzz.analyze.detector." + d->name()));
+            obs.push_back(timed.back().get());
+        } else {
+            obs.push_back(d);
+        }
+    }
+    {
+        ScopedPhase phase("fuzz.analyze.replay");
+        replayTrace(trace, obs);
+    }
     for (RaceDetector *d : b.detectors())
         d->finalize();
     return collectKeys(b, trace, cfg);
@@ -281,7 +308,11 @@ runFuzzSeed(std::uint64_t seed, const FuzzOptions &opts)
     SeedResult sr;
     sr.seed = seed;
     try {
-        Program prog = generateFuzzProgram(seed, opts.gen);
+        Program prog;
+        {
+            ScopedPhase phase("fuzz.seed.generate");
+            prog = generateFuzzProgram(seed, opts.gen);
+        }
         const SimConfig sim = fuzzSimConfig(prog);
 
         Trace trace;
@@ -298,7 +329,10 @@ runFuzzSeed(std::uint64_t seed, const FuzzOptions &opts)
             if (cached) {
                 trace = std::move(*cached);
             } else {
-                trace = recordRun(prog, sim);
+                {
+                    ScopedPhase phase("fuzz.seed.record");
+                    trace = recordRun(prog, sim);
+                }
                 if (opts.traceCache != nullptr)
                     opts.traceCache->store(key, trace);
             }
@@ -307,11 +341,14 @@ runFuzzSeed(std::uint64_t seed, const FuzzOptions &opts)
             FuzzBattery battery = makeFuzzBattery(opts.cfg);
             TraceRecorder recorder(prog);
 
-            System sys(sim, prog);
-            for (RaceDetector *d : battery.detectors())
-                sys.addObserver(d);
-            sys.addObserver(&recorder);
-            sys.run();
+            {
+                ScopedPhase phase("fuzz.seed.simulate");
+                System sys(sim, prog);
+                for (RaceDetector *d : battery.detectors())
+                    sys.addObserver(d);
+                sys.addObserver(&recorder);
+                sys.run();
+            }
             for (RaceDetector *d : battery.detectors())
                 d->finalize();
 
@@ -331,6 +368,7 @@ runFuzzSeed(std::uint64_t seed, const FuzzOptions &opts)
 
         Trace minTrace;
         if (opts.minimize) {
+            ScopedPhase phase("fuzz.seed.minimize");
             // Reproduce-and-shrink entirely post-mortem: a candidate
             // still "fails" if replay analysis re-violates the primary
             // invariant.
@@ -349,6 +387,7 @@ runFuzzSeed(std::uint64_t seed, const FuzzOptions &opts)
         }
 
         if (!opts.outDir.empty()) {
+            ScopedPhase phase("fuzz.seed.case");
             std::filesystem::create_directories(opts.outDir);
             const std::string stem =
                 opts.outDir + "/seed-" + std::to_string(seed);

@@ -8,6 +8,7 @@
 #include "common/logging.hh"
 #include "explain/classifier.hh"
 #include "explain/explain_json.hh"
+#include "telemetry/profile.hh"
 #include "telemetry/stat_registry.hh"
 #include "trace/record.hh"
 #include "trace/recorder.hh"
@@ -73,8 +74,23 @@ runEffectivenessUnit(const std::string &workload, const WorkloadParams &wp,
             out.raceFree
                 ? -1
                 : static_cast<std::int64_t>(seed0 + index));
-        const std::vector<AccessObserver *> observers(raw.begin(),
-                                                      raw.end());
+        // With the profiler on, each detector is wrapped in a
+        // forwarding TimedObserver: one joint replay (identical event
+        // stream, identical cache counters) still yields a
+        // per-detector dispatch-cost breakdown.
+        std::vector<std::unique_ptr<TimedObserver>> timed;
+        std::vector<AccessObserver *> observers;
+        observers.reserve(raw.size());
+        if (Profiler::active() != nullptr) {
+            timed.reserve(raw.size());
+            for (RaceDetector *d : raw) {
+                timed.push_back(std::make_unique<TimedObserver>(
+                    d, "batch.unit.detector." + d->name()));
+                observers.push_back(timed.back().get());
+            }
+        } else {
+            observers.assign(raw.begin(), raw.end());
+        }
         // Warm hits stream packed events straight from the mapped
         // container into the detectors (identical dispatch, no event
         // vector). Only the explain path needs the materialized
@@ -82,9 +98,11 @@ runEffectivenessUnit(const std::string &workload, const WorkloadParams &wp,
         // miss already counted, so the miss path records directly
         // without re-probing.
         bool replayed = false;
-        if (trace_cache != nullptr && explain_hard == nullptr)
+        if (trace_cache != nullptr && explain_hard == nullptr) {
+            ScopedPhase phase("batch.unit.replay");
             replayed =
                 trace_cache->replayCached(key, observers).has_value();
+        }
         if (!replayed) {
             Trace trace;
             std::optional<Trace> cached;
@@ -93,12 +111,19 @@ runEffectivenessUnit(const std::string &workload, const WorkloadParams &wp,
             if (cached) {
                 trace = std::move(*cached);
             } else {
-                trace = recordRun(prog, cfg);
+                {
+                    ScopedPhase phase("batch.unit.record");
+                    trace = recordRun(prog, cfg);
+                }
                 if (trace_cache != nullptr)
                     trace_cache->store(key, trace);
             }
-            replayTrace(trace, observers);
+            {
+                ScopedPhase phase("batch.unit.replay");
+                replayTrace(trace, observers);
+            }
             if (explain_hard != nullptr) {
+                ScopedPhase phase("batch.unit.explain");
                 ExplainConfig ec;
                 ec.subject = ExplainConfig::Subject::Hard;
                 ec.hard = *explain_hard;
@@ -117,9 +142,14 @@ runEffectivenessUnit(const std::string &workload, const WorkloadParams &wp,
             recorder = std::make_unique<TraceRecorder>(prog);
             extra.push_back(recorder.get());
         }
-        runWithDetectors(prog, cfg, raw,
-                         collect_stats ? &out.stats : nullptr, extra);
+        {
+            ScopedPhase phase("batch.unit.simulate");
+            runWithDetectors(prog, cfg, raw,
+                             collect_stats ? &out.stats : nullptr,
+                             extra);
+        }
         if (recorder) {
+            ScopedPhase phase("batch.unit.explain");
             ExplainConfig ec;
             ec.subject = ExplainConfig::Subject::Hard;
             ec.hard = *explain_hard;

@@ -1,5 +1,6 @@
 #include "harness/campaign.hh"
 
+#include <algorithm>
 #include <atomic>
 #include <cerrno>
 #include <chrono>
@@ -17,17 +18,20 @@
 
 #include "common/error.hh"
 #include "common/logging.hh"
+#include "telemetry/profile.hh"
 
 namespace hard
 {
 
 const char *const kCampaignSchema = "hard.campaign.v1";
+const char *const kCampaignStatusSchema = "hard.campaign.status.v1";
 
 namespace
 {
 
 constexpr const char *kShardInfix = ".shard-";
 constexpr const char *kShardSuffix = ".journal.jsonl";
+constexpr const char *kHeartbeatSuffix = ".heartbeat.jsonl";
 
 /** Strip a trailing ".json" (mirrors journalPathFor's convention). */
 std::string
@@ -206,11 +210,252 @@ struct Shard
     pid_t pid = -1;
     std::uint64_t spawnId = 0;
     std::string journalPath;
+    std::string heartbeatPath;
     std::vector<JournalKey> assigned;
     std::uintmax_t lastSize = 0;
     std::uint64_t lastGrowthMs = 0;
     bool stalled = false;
 };
+
+/**
+ * Shard-side heartbeat emitter (--monitor): one JSONL record per
+ * completed unit (plus a "start" record), flushed immediately so the
+ * supervisor sees progress while the shard runs. Heartbeats are
+ * wall-clock-plane side files — they never feed the journal, the
+ * merge, or any deterministic document.
+ */
+class HeartbeatWriter
+{
+  public:
+    HeartbeatWriter(const std::string &path, std::uint64_t shard_id,
+                    std::size_t assigned)
+        : file_(std::fopen(path.c_str(), "wb")), shardId_(shard_id),
+          assigned_(assigned), start_(std::chrono::steady_clock::now())
+    {
+        if (file_ == nullptr)
+            warn("campaign: cannot open heartbeat file '%s'; shard %llu "
+                 "runs unmonitored",
+                 path.c_str(),
+                 static_cast<unsigned long long>(shard_id));
+        else
+            emit("start", nullptr);
+    }
+
+    ~HeartbeatWriter()
+    {
+        if (file_ != nullptr)
+            std::fclose(file_);
+    }
+
+    HeartbeatWriter(const HeartbeatWriter &) = delete;
+    HeartbeatWriter &operator=(const HeartbeatWriter &) = delete;
+
+    /** Record unit @p key as journaled (called from the journal's
+     * append hook). */
+    void
+    beat(const JournalKey &key)
+    {
+        if (file_ == nullptr)
+            return;
+        ++done_;
+        emit("unit", &key);
+    }
+
+  private:
+    void
+    emit(const char *event, const JournalKey *key)
+    {
+        const double wall =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - start_)
+                .count();
+        Json rec = Json::object();
+        rec.set("shard", shardId_);
+        rec.set("event", event);
+        if (key != nullptr)
+            rec.set("unit",
+                    std::to_string(key->first) + "." +
+                        std::to_string(key->second));
+        rec.set("done", done_);
+        rec.set("assigned", static_cast<std::uint64_t>(assigned_));
+        rec.set("wallSeconds", wall);
+        rec.set("unitsPerSec",
+                wall > 0.0 ? static_cast<double>(done_) / wall : 0.0);
+        // Profile deltas: the shard's own resource consumption so far.
+        rec.set("cpuSeconds", processCpuSeconds());
+        rec.set("rssBytes", peakRssBytes());
+        std::string line = rec.dump();
+        line.push_back('\n');
+        std::fwrite(line.data(), 1, line.size(), file_);
+        std::fflush(file_);
+    }
+
+    std::FILE *file_;
+    std::uint64_t shardId_;
+    std::size_t assigned_;
+    std::uint64_t done_ = 0;
+    std::chrono::steady_clock::time_point start_;
+};
+
+/** Supervisor-side snapshot of one shard's latest heartbeat. */
+struct HeartbeatInfo
+{
+    bool valid = false;
+    std::uint64_t done = 0;
+    std::string lastUnit;
+    double wallSeconds = 0.0;
+    double unitsPerSec = 0.0;
+    double cpuSeconds = 0.0;
+    std::uint64_t rssBytes = 0;
+    /** Seconds since the file last grew (-1 = unknown). */
+    double ageSeconds = -1.0;
+};
+
+/** Read the last intact heartbeat record of @p path (a torn trailing
+ * line — the writer died mid-append — falls back to the one before). */
+HeartbeatInfo
+readHeartbeat(const std::string &path)
+{
+    HeartbeatInfo info;
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return info;
+    std::string line, last;
+    while (std::getline(in, line)) {
+        if (line.empty())
+            continue;
+        std::string err;
+        const Json rec = Json::parse(line, &err);
+        if (err.empty() && rec.isObject() && rec.has("done"))
+            last = line;
+    }
+    if (last.empty())
+        return info;
+    const Json rec = Json::parse(last);
+    info.valid = true;
+    info.done = rec["done"].asUint();
+    if (rec.has("unit"))
+        info.lastUnit = rec["unit"].asString();
+    info.wallSeconds = rec["wallSeconds"].asDouble();
+    info.unitsPerSec = rec["unitsPerSec"].asDouble();
+    info.cpuSeconds = rec["cpuSeconds"].asDouble();
+    info.rssBytes = rec["rssBytes"].asUint();
+    std::error_code ec;
+    const auto mtime = std::filesystem::last_write_time(path, ec);
+    if (!ec) {
+        const auto age =
+            std::filesystem::file_time_type::clock::now() - mtime;
+        info.ageSeconds = std::max(
+            0.0, std::chrono::duration<double>(age).count());
+    }
+    return info;
+}
+
+/** Build one hard.campaign.status.v1 document. */
+Json
+campaignStatus(const char *phase_state,
+               const std::vector<UnitInfo> &units,
+               const std::vector<Shard> &live,
+               const CampaignCounters &c, const CampaignOptions &opts,
+               double elapsed_seconds, std::uint64_t sequence)
+{
+    std::uint64_t pending = 0, in_flight = 0, completed = 0,
+                  restored = 0, quarantined = 0;
+    for (const UnitInfo &u : units) {
+        switch (u.state) {
+          case UnitState::Pending:
+            if (u.inFlight)
+                ++in_flight;
+            else
+                ++pending;
+            break;
+          case UnitState::Completed:
+            ++completed;
+            break;
+          case UnitState::Restored:
+            ++restored;
+            break;
+          case UnitState::Quarantined:
+            ++quarantined;
+            break;
+        }
+    }
+
+    Json doc = Json::object();
+    doc.set("schema", kCampaignStatusSchema);
+    doc.set("signature", opts.signature);
+    doc.set("state", phase_state);
+    doc.set("sequence", sequence);
+    doc.set("elapsedSeconds", elapsed_seconds);
+
+    Json ju = Json::object();
+    ju.set("total", static_cast<std::uint64_t>(units.size()));
+    ju.set("pending", pending);
+    ju.set("inFlight", in_flight);
+    ju.set("completed", completed);
+    ju.set("restored", restored);
+    ju.set("quarantined", quarantined);
+    doc.set("units", std::move(ju));
+
+    // Live progress: merged units plus what the live shards' heartbeats
+    // report as journaled-but-not-yet-reaped.
+    std::uint64_t live_done = 0;
+    Json shards = Json::array();
+    for (const Shard &shard : live) {
+        const HeartbeatInfo hb = readHeartbeat(shard.heartbeatPath);
+        live_done += hb.done;
+        Json js = Json::object();
+        js.set("shard", shard.spawnId);
+        js.set("pid", static_cast<std::int64_t>(shard.pid));
+        js.set("assigned",
+               static_cast<std::uint64_t>(shard.assigned.size()));
+        js.set("done", hb.done);
+        if (!hb.lastUnit.empty())
+            js.set("lastUnit", hb.lastUnit);
+        js.set("unitsPerSec", hb.unitsPerSec);
+        js.set("cpuSeconds", hb.cpuSeconds);
+        js.set("rssBytes", hb.rssBytes);
+        if (hb.ageSeconds >= 0.0)
+            js.set("heartbeatAgeSeconds", hb.ageSeconds);
+        js.set("stalled", shard.stalled);
+        shards.push(std::move(js));
+    }
+
+    const std::uint64_t done =
+        completed + restored + quarantined + live_done;
+    const std::uint64_t executed = done > restored ? done - restored : 0;
+    const double units_per_sec = elapsed_seconds > 0.0
+        ? static_cast<double>(executed) / elapsed_seconds
+        : 0.0;
+    Json jt = Json::object();
+    jt.set("unitsDone", done);
+    jt.set("unitsPerSec", units_per_sec);
+    if (units_per_sec > 0.0 && units.size() >= done)
+        jt.set("etaSeconds",
+               static_cast<double>(units.size() - done) / units_per_sec);
+    doc.set("throughput", std::move(jt));
+
+    Json jr = Json::object();
+    const double total = units.empty()
+        ? 1.0
+        : static_cast<double>(units.size());
+    jr.set("retryRate", static_cast<double>(c.retries) / total);
+    jr.set("quarantineRate", static_cast<double>(quarantined) / total);
+    doc.set("rates", std::move(jr));
+
+    Json counters = Json::object();
+    counters.set("shardsSpawned", c.shardsSpawned);
+    counters.set("shardExitsOk", c.shardExitsOk);
+    counters.set("shardCrashes", c.shardCrashes);
+    counters.set("shardStalls", c.shardStalls);
+    counters.set("retries", c.retries);
+    counters.set("restored", c.restored);
+    counters.set("injectedCrashes", c.injectedCrashes);
+    doc.set("counters", std::move(counters));
+
+    doc.set("shards", std::move(shards));
+    return doc;
+}
 
 Json
 campaignReport(const std::string &state,
@@ -299,6 +544,19 @@ shardJournalPathFor(const std::string &jsonPath, std::uint64_t spawnId)
 {
     return outputStem(jsonPath) + kShardInfix + std::to_string(spawnId) +
         kShardSuffix;
+}
+
+std::string
+campaignStatusPathFor(const std::string &jsonPath)
+{
+    return outputStem(jsonPath) + ".status.json";
+}
+
+std::string
+shardHeartbeatPathFor(const std::string &jsonPath, std::uint64_t spawnId)
+{
+    return outputStem(jsonPath) + kShardInfix + std::to_string(spawnId) +
+        kHeartbeatSuffix;
 }
 
 CrashSpec
@@ -556,6 +814,30 @@ runCampaign(const std::vector<JournalKey> &units,
         return false;
     };
 
+    // Live status plane (--monitor): atomically re-published at least
+    // every statusIntervalMs while the campaign runs, and once more in
+    // its final "complete" form. A status publish failure is warned
+    // about, never fatal — monitoring must not kill the sweep.
+    const std::string status_path =
+        campaignStatusPathFor(opts.outputBase);
+    std::uint64_t status_seq = 0;
+    std::uint64_t last_status_ms = 0;
+    auto publish_status = [&](const char *phase_state) {
+        if (!opts.monitor)
+            return;
+        ++status_seq;
+        last_status_ms = now_ms();
+        const Json doc = campaignStatus(
+            phase_state, state, live, result.counters, opts,
+            static_cast<double>(last_status_ms) / 1000.0, status_seq);
+        try {
+            writeFileAtomic(status_path, doc.dump(2) + "\n");
+        } catch (const std::exception &e) {
+            warn("campaign: status publish failed: %s", e.what());
+        }
+    };
+    publish_status("running");
+
     while (pending_left() || !live.empty()) {
         const std::uint64_t now = now_ms();
         bool progressed = false;
@@ -706,6 +988,8 @@ runCampaign(const std::vector<JournalKey> &units,
                     shard.spawnId = next_spawn++;
                     shard.journalPath = shardJournalPathFor(
                         opts.outputBase, shard.spawnId);
+                    shard.heartbeatPath = shardHeartbeatPathFor(
+                        opts.outputBase, shard.spawnId);
                     shard.assigned = slice;
                     shard.lastGrowthMs = now;
 
@@ -723,6 +1007,20 @@ runCampaign(const std::vector<JournalKey> &units,
                         try {
                             BatchJournal journal(shard.journalPath,
                                                  opts.signature, false);
+                            // Heartbeats piggyback on the journal's
+                            // append hook: every journaled unit emits
+                            // one heartbeat record, and the journal
+                            // bytes themselves are untouched.
+                            std::unique_ptr<HeartbeatWriter> hb;
+                            if (opts.monitor) {
+                                hb = std::make_unique<HeartbeatWriter>(
+                                    shard.heartbeatPath, shard.spawnId,
+                                    slice.size());
+                                journal.setAppendHook(
+                                    [&hb](const JournalKey &key) {
+                                        hb->beat(key);
+                                    });
+                            }
                             status = body(slice, journal,
                                           armed ? &opts.injectCrash
                                                 : nullptr);
@@ -751,6 +1049,10 @@ runCampaign(const std::vector<JournalKey> &units,
             }
         }
 
+        if (opts.monitor &&
+            now_ms() - last_status_ms >= opts.statusIntervalMs)
+            publish_status("running");
+
         if (!progressed)
             std::this_thread::sleep_for(std::chrono::milliseconds(2));
     }
@@ -773,6 +1075,7 @@ runCampaign(const std::vector<JournalKey> &units,
     result.report = campaignReport("complete", state, result.quarantined,
                                    result.counters, opts);
     writeFileAtomic(manifest_path, result.report.dump() + "\n");
+    publish_status("complete");
     return result;
 }
 

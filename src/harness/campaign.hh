@@ -52,6 +52,9 @@ namespace hard
 /** Campaign manifest/report schema tag. */
 extern const char *const kCampaignSchema;
 
+/** Live campaign status schema tag (the --monitor output). */
+extern const char *const kCampaignStatusSchema;
+
 /**
  * Crash-fault injection spec for the built-in injector
  * (--inject-shard-crash=ITEM.RUN:KIND[:TIMES]). The supervisor arms
@@ -156,6 +159,21 @@ struct CampaignOptions
      */
     std::function<Json(const JournalKey &key, unsigned attempts)>
         quarantinePayload;
+    /**
+     * Live monitoring (--monitor): shards append per-unit heartbeat
+     * records to "<stem>.shard-<spawn>.heartbeat.jsonl" side files and
+     * the supervisor aggregates them into an atomically-renamed
+     * hard.campaign.status.v1 document at
+     * campaignStatusPathFor(outputBase), re-published at least every
+     * statusIntervalMs while the campaign runs. Strictly wall-clock
+     * plane: heartbeats and status never touch the shard journals, the
+     * merged entries, or the batch/fuzz JSON, all of which stay
+     * byte-identical with monitoring on.
+     */
+    bool monitor = false;
+    /** Minimum interval between status publishes (0 = every
+     * supervisor loop iteration). */
+    std::uint64_t statusIntervalMs = 250;
 };
 
 /** Supervisor-side event counters (reported, never merged into the
@@ -248,6 +266,15 @@ std::string campaignManifestPathFor(const std::string &jsonPath);
  * "<path minus .json>.shard-<spawnId>.journal.jsonl". */
 std::string shardJournalPathFor(const std::string &jsonPath,
                                 std::uint64_t spawnId);
+
+/** @return the live status path paired with a batch JSON output path:
+ * "<path minus .json>.status.json" (only written under --monitor). */
+std::string campaignStatusPathFor(const std::string &jsonPath);
+
+/** @return the heartbeat side-file path of spawned shard @p spawnId:
+ * "<path minus .json>.shard-<spawnId>.heartbeat.jsonl". */
+std::string shardHeartbeatPathFor(const std::string &jsonPath,
+                                  std::uint64_t spawnId);
 
 } // namespace hard
 

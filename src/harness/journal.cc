@@ -4,6 +4,7 @@
 
 #include "common/error.hh"
 #include "common/logging.hh"
+#include "telemetry/profile.hh"
 
 namespace hard
 {
@@ -36,25 +37,40 @@ BatchJournal::~BatchJournal()
 void
 BatchJournal::append(const JournalKey &key, const Json &payload)
 {
+    ScopedPhase phase("journal.append");
     Json rec = Json::object();
     rec.set("item", static_cast<std::uint64_t>(key.first));
     rec.set("run", static_cast<std::int64_t>(key.second));
     rec.set("payload", payload);
     std::string line = rec.dump();
     line.push_back('\n');
-    std::lock_guard<std::mutex> lk(mu_);
-    if (killKey_ && *killKey_ == key) {
-        // Injected crash: leave exactly the torn half-line a process
-        // dying mid-fwrite would, then die without running any
-        // destructor or exit handler.
-        std::fwrite(line.data(), 1, line.size() / 2, file_);
+    std::function<void(const JournalKey &)> hook;
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        if (killKey_ && *killKey_ == key) {
+            // Injected crash: leave exactly the torn half-line a
+            // process dying mid-fwrite would, then die without running
+            // any destructor or exit handler.
+            std::fwrite(line.data(), 1, line.size() / 2, file_);
+            std::fflush(file_);
+            ::raise(SIGKILL);
+        }
+        std::fwrite(line.data(), 1, line.size(), file_);
+        // Flush per record: an interrupted sweep must find every unit
+        // that completed before the kill.
         std::fflush(file_);
-        ::raise(SIGKILL);
+        hook = appendHook_;
     }
-    std::fwrite(line.data(), 1, line.size(), file_);
-    // Flush per record: an interrupted sweep must find every unit
-    // that completed before the kill.
-    std::fflush(file_);
+    profileCount("journal.bytesWritten", line.size());
+    if (hook)
+        hook(key);
+}
+
+void
+BatchJournal::setAppendHook(std::function<void(const JournalKey &)> hook)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    appendHook_ = std::move(hook);
 }
 
 void

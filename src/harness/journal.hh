@@ -24,6 +24,7 @@
 #define HARD_HARNESS_JOURNAL_HH
 
 #include <cstdio>
+#include <functional>
 #include <map>
 #include <mutex>
 #include <optional>
@@ -81,11 +82,21 @@ class BatchJournal
      */
     void killMidAppend(const JournalKey &key);
 
+    /**
+     * Observe every successfully appended record (campaign heartbeat
+     * plumbing). Called after the record's line has been written and
+     * flushed, outside the append lock. The hook must not touch the
+     * journal file — it is a listener, not a writer; journal bytes
+     * are identical whether or not a hook is set.
+     */
+    void setAppendHook(std::function<void(const JournalKey &)> hook);
+
   private:
     std::string path_;
     std::FILE *file_;
     std::mutex mu_;
     std::optional<JournalKey> killKey_;
+    std::function<void(const JournalKey &)> appendHook_;
 };
 
 /**

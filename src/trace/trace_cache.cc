@@ -14,6 +14,7 @@
 #include <unistd.h>
 
 #include "common/logging.hh"
+#include "telemetry/profile.hh"
 #include "telemetry/stat_registry.hh"
 #include "trace/replayer.hh"
 
@@ -393,13 +394,16 @@ countFailedLoad(TraceCache::Counters &c, LoadFail why)
 std::optional<Trace>
 TraceCache::lookup(const TraceKey &key)
 {
+    ScopedPhase phase("traceCache.load");
     const std::string path = pathFor(key);
     MappedEntry entry(path);
     if (!entry.exists()) {
+        profileCount("traceCache.misses", 1);
         std::lock_guard<std::mutex> lock(mu_);
         ++counters_.misses;
         return std::nullopt;
     }
+    profileCount("traceCache.bytesRead", entry.bytes().size());
 
     std::optional<LoadFail> why;
     Trace trace;
@@ -417,10 +421,12 @@ TraceCache::lookup(const TraceKey &key)
         }
     }
     if (!why) {
+        profileCount("traceCache.hits", 1);
         std::lock_guard<std::mutex> lock(mu_);
         ++counters_.hits;
         return trace;
     }
+    profileCount("traceCache.misses", 1);
 
     // Unreadable or wrong entry: evict so the slot is re-recorded
     // rather than re-parsed (and re-failed) forever. A colliding entry
@@ -437,13 +443,20 @@ std::optional<std::size_t>
 TraceCache::replayCached(const TraceKey &key,
                          const std::vector<AccessObserver *> &observers)
 {
+    // Entry mapping + validation is attributed to traceCache.load; the
+    // streamed dispatch that follows belongs to the caller's replay
+    // phase, so the two never double-count.
+    std::optional<ScopedPhase> load_phase;
+    load_phase.emplace("traceCache.load");
     const std::string path = pathFor(key);
     MappedEntry entry(path);
     if (!entry.exists()) {
+        profileCount("traceCache.misses", 1);
         std::lock_guard<std::mutex> lock(mu_);
         ++counters_.misses;
         return std::nullopt;
     }
+    profileCount("traceCache.bytesRead", entry.bytes().size());
 
     std::optional<LoadFail> why;
     PackedTraceView view;
@@ -461,14 +474,17 @@ TraceCache::replayCached(const TraceKey &key,
         }
     }
     if (!why) {
+        load_phase.reset();
         // The entry is fully validated; stream it into the detectors
         // straight from the mapping. Identical dispatch to
         // replayTrace(lookup(key)), minus the event-vector detour.
         const std::size_t n = replayPacked(view, observers);
+        profileCount("traceCache.hits", 1);
         std::lock_guard<std::mutex> lock(mu_);
         ++counters_.hits;
         return n;
     }
+    profileCount("traceCache.misses", 1);
 
     std::error_code ec;
     std::filesystem::remove(path, ec);
@@ -480,6 +496,7 @@ TraceCache::replayCached(const TraceKey &key,
 void
 TraceCache::store(const TraceKey &key, const Trace &trace)
 {
+    ScopedPhase phase("traceCache.store");
     const std::string payload = serializeTrace(trace);
 
     std::string bytes;
@@ -535,6 +552,7 @@ TraceCache::store(const TraceKey &key, const Trace &trace)
         fatal("trace-cache: publish of '%s' failed: %s",
               pathFor(key).c_str(), ec.message().c_str());
     }
+    profileCount("traceCache.bytesWritten", bytes.size());
     std::lock_guard<std::mutex> lock(mu_);
     ++counters_.stores;
 }

@@ -31,6 +31,7 @@
 #include "fuzz/corpus.hh"
 #include "fuzz/runner.hh"
 #include "harness/campaign.hh"
+#include "telemetry/profile.hh"
 
 using namespace hard;
 
@@ -113,6 +114,17 @@ usage()
         "                         built-in crash injector (tests/CI);\n"
         "                         KIND: pre-unit | mid-journal-write |\n"
         "                         mid-cache-store\n"
+        "  --monitor              publish a live hard.campaign.status.v1\n"
+        "                         file (<json stem>.status.json) from\n"
+        "                         shard heartbeats; watch with hardtop.\n"
+        "                         Never changes deterministic outputs\n"
+        "\n"
+        "observability (docs/observability.md):\n"
+        "  --profile[=FILE]       wall-clock self-profile\n"
+        "                         (hard.profile.v1): per-phase and per-\n"
+        "                         detector time, peak RSS, cache/journal\n"
+        "                         counters; embedded in the --json\n"
+        "                         summary, written to FILE when given\n"
         "\n"
         "other modes:\n"
         "  --corpus=<dir>         re-judge every committed corpus case\n"
@@ -139,6 +151,11 @@ struct Cli
     std::uint64_t shardTimeoutMs = 0;
     bool resume = false;
     std::string injectShardCrash;
+    // Live monitoring (wall-clock plane; see docs/observability.md).
+    bool monitor = false;
+    // Wall-clock self-profiling (hard.profile.v1).
+    bool profile = false;
+    std::string profilePath;
 };
 
 [[noreturn]] void
@@ -249,8 +266,15 @@ parseArgs(int argc, char **argv)
             cli.opts.minimize = false;
         } else if (a == "--campaign") {
             cli.campaign = true;
+        } else if (a == "--monitor") {
+            cli.monitor = true;
         } else if (a == "--resume") {
             cli.resume = true;
+        } else if (a == "--profile") {
+            cli.profile = true;
+        } else if (a.rfind("--profile=", 0) == 0) {
+            cli.profile = true;
+            cli.profilePath = a.substr(std::strlen("--profile="));
         } else if (eat(i, "--seeds", cli.seedSpec) ||
                    eat(i, "--json", cli.jsonPath) ||
                    eat(i, "--out-dir", cli.opts.outDir) ||
@@ -411,6 +435,7 @@ runSweep(Cli &cli)
         copts.outputBase = cli.jsonPath;
         copts.signature = fuzzSignature(cli.opts);
         copts.resume = cli.resume;
+        copts.monitor = cli.monitor;
         if (!cli.injectShardCrash.empty())
             copts.injectCrash = parseCrashSpec(cli.injectShardCrash);
         const std::vector<std::uint64_t> &seeds = cli.opts.seeds;
@@ -509,8 +534,15 @@ runSweep(Cli &cli)
                     static_cast<unsigned long long>(c.stores));
     }
 
-    if (!cli.jsonPath.empty())
-        writeJsonFile(cli.jsonPath, fuzzJson(cli.opts, results));
+    if (!cli.jsonPath.empty()) {
+        Json doc = fuzzJson(cli.opts, results);
+        // The wall-clock profile rides along as the last top-level
+        // key; without --profile the summary is byte-identical to a
+        // profile-less build's output.
+        if (Profiler::active() != nullptr)
+            doc.set("profile", Profiler::active()->toJson());
+        writeJsonFile(cli.jsonPath, doc);
+    }
 
     return (violations == 0 && failed == 0 && quarantined == 0) ? 0 : 1;
 }
@@ -527,9 +559,24 @@ main(int argc, char **argv)
                 std::printf("%s\n", n.c_str());
             return 0;
         }
+        if (cli.monitor && !cli.campaign)
+            throw ConfigError("--monitor requires --campaign (it "
+                              "reads shard heartbeats)");
+        if (cli.profile)
+            Profiler::enable();
+        int rc;
         if (!cli.corpusDir.empty())
-            return runCorpus(cli.corpusDir);
-        return runSweep(cli);
+            rc = runCorpus(cli.corpusDir);
+        else
+            rc = runSweep(cli);
+        if (Profiler::active() != nullptr &&
+            !cli.profilePath.empty()) {
+            writeJsonFile(cli.profilePath,
+                          Profiler::active()->toJson());
+            std::printf("profile written to %s\n",
+                        cli.profilePath.c_str());
+        }
+        return rc;
     } catch (const SimError &e) {
         std::fprintf(stderr, "hardfuzz: %s\n", e.what());
         return 2;

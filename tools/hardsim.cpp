@@ -37,6 +37,7 @@
 #include "harness/campaign.hh"
 #include "harness/experiment.hh"
 #include "telemetry/sampler.hh"
+#include "telemetry/profile.hh"
 #include "telemetry/trace_event.hh"
 #include "trace/record.hh"
 #include "trace/recorder.hh"
@@ -78,6 +79,11 @@ struct Options
     bool explain = false;
     std::string explainPath;
 
+    // Wall-clock self-profiling (hard.profile.v1; strictly separate
+    // from the deterministic simulated-cycle telemetry plane).
+    bool profile = false;
+    std::string profilePath;
+
     // Fast functional mode (trace-once/replay-many detection).
     std::string modeName = "cycle";
     std::string traceCacheDir;
@@ -92,6 +98,7 @@ struct Options
 
     // Campaign mode (crash-tolerant sharded multi-process sweeps).
     bool campaign = false;
+    bool monitor = false;
     unsigned shards = 2;
     unsigned maxUnitRetries = 2;
     std::uint64_t unitTimeoutMs = 0;  // 0 = no per-unit wall budget
@@ -170,6 +177,13 @@ usage()
         "                            lockset attribution, and with\n"
         "                            =FILE write hard.explain.v1 JSON\n"
         "                            (also usable with --replay)\n"
+        "  --profile[=FILE]          wall-clock self-profile: per-phase\n"
+        "                            wall/CPU time, peak RSS, and cache/\n"
+        "                            journal counters (hard.profile.v1);\n"
+        "                            embedded in the --json document in\n"
+        "                            batch mode, written to FILE when\n"
+        "                            given, printed otherwise. Never\n"
+        "                            changes deterministic outputs\n"
         "\n"
         "fast functional mode (single runs and batch):\n"
         "  --mode=fast|cycle         fast: record each run once at cycle\n"
@@ -248,6 +262,15 @@ usage()
         "                            ITEM.RUN at KIND = pre-unit |\n"
         "                            mid-journal-write | mid-cache-store,\n"
         "                            at most TIMES times (1)\n"
+        "  --monitor                 live campaign monitoring: shards\n"
+        "                            heartbeat per completed unit and the\n"
+        "                            supervisor publishes an atomically-\n"
+        "                            renamed hard.campaign.status.v1 file\n"
+        "                            (<json stem>.status.json) with\n"
+        "                            progress, throughput, ETA, and retry/\n"
+        "                            quarantine rates — watch it live with\n"
+        "                            hardtop. Wall-clock plane only: all\n"
+        "                            deterministic outputs stay identical\n"
         "\n"
         "failure detection (single runs and batch):\n"
         "  --max-cycles=<n>          cycle budget per run; 0 = unlimited\n"
@@ -320,6 +343,8 @@ parse(int argc, char **argv)
         } else if (std::strcmp(a, "--campaign") == 0) {
             o.campaign = true;
             o.batch = true;
+        } else if (std::strcmp(a, "--monitor") == 0) {
+            o.monitor = true;
         } else if (eat("--shards=", v)) {
             o.shards = static_cast<unsigned>(std::atoi(v.c_str()));
             hard_fatal_if(o.shards == 0, "--shards must be positive");
@@ -398,6 +423,11 @@ parse(int argc, char **argv)
             o.explainPath = v;
         } else if (std::strcmp(a, "--explain") == 0) {
             o.explain = true;
+        } else if (eat("--profile=", v)) {
+            o.profile = true;
+            o.profilePath = v;
+        } else if (std::strcmp(a, "--profile") == 0) {
+            o.profile = true;
         } else if (eat("--mode=", v)) {
             o.modeName = v;
         } else if (eat("--trace-cache=", v)) {
@@ -611,6 +641,7 @@ runBatchMode(const Options &o, ExecMode mode, TraceCache *cache)
         copts.outputBase = o.jsonPath;
         copts.signature = signature;
         copts.resume = o.resume;
+        copts.monitor = o.monitor;
         if (!o.injectShardCrash.empty())
             copts.injectCrash = parseCrashSpec(o.injectShardCrash);
         copts.quarantinePayload = [&items](const JournalKey &key,
@@ -788,6 +819,11 @@ runBatchMode(const Options &o, ExecMode mode, TraceCache *cache)
         // stats-off dumps stay byte-identical to pre-telemetry output.
         if (o.statsJson)
             doc.set("harnessStats", harnessStatsJson(results));
+        // The wall-clock profile rides along as the last top-level
+        // key; without --profile the document is byte-identical to a
+        // profile-less build's output.
+        if (Profiler::active() != nullptr)
+            doc.set("profile", Profiler::active()->toJson());
         writeJsonFile(o.jsonPath, doc);
         std::printf("\nresults written to %s\n", o.jsonPath.c_str());
     }
@@ -856,7 +892,10 @@ runExplain(const Options &o, const Trace &trace,
     ExplainConfig ec;
     ec.subject = ExplainConfig::Subject::Hard;
     ec.hard = makeHardConfig(o);
-    ExplainResult res = explainTrace(trace, ec);
+    ExplainResult res = [&] {
+        ScopedPhase phase("run.explain");
+        return explainTrace(trace, ec);
+    }();
     std::fputs("\n", stdout);
     std::fputs(renderExplain(res, trace).c_str(), stdout);
     if (!o.explainPath.empty()) {
@@ -865,14 +904,56 @@ runExplain(const Options &o, const Trace &trace,
     }
 }
 
+/**
+ * Emit the wall-clock profile at process end: to --profile=FILE when
+ * a path was given, otherwise (when no batch JSON already embeds it)
+ * as a compact stdout summary of the top-level phases.
+ */
+void
+emitProfile(const Options &o)
+{
+    Profiler *prof = Profiler::active();
+    if (prof == nullptr)
+        return;
+    if (!o.profilePath.empty()) {
+        writeJsonFile(o.profilePath, prof->toJson());
+        std::printf("profile written to %s\n", o.profilePath.c_str());
+        return;
+    }
+    if (o.batch && !o.jsonPath.empty())
+        return; // already embedded in the batch document
+    Json doc = prof->toJson();
+    std::printf("\nprofile (%s): wall %.3f s, cpu %.3f s, peak rss "
+                "%llu KB\n",
+                doc["schema"].asString().c_str(),
+                doc["wallSeconds"].asDouble(),
+                doc["cpuSeconds"].asDouble(),
+                static_cast<unsigned long long>(
+                    doc["peakRssBytes"].asUint() / 1024));
+    const std::function<void(const Json &, const std::string &)> walk =
+        [&](const Json &node, const std::string &prefix) {
+            for (const auto &[name, child] : node.members()) {
+                const std::string path =
+                    prefix.empty() ? name : prefix + "." + name;
+                if (child.has("wallSeconds"))
+                    std::printf("  %-32s %8llu call(s) %10.3f s wall\n",
+                                path.c_str(),
+                                static_cast<unsigned long long>(
+                                    child["calls"].asUint()),
+                                child["wallSeconds"].asDouble());
+                if (child.has("phases"))
+                    walk(child["phases"], path);
+            }
+        };
+    walk(doc["phases"], "");
+}
+
 } // namespace
 
 /** Body of main(); SimErrors propagate to the wrapper below. */
 int
-run(int argc, char **argv)
+runMain(const Options &o)
 {
-    Options o = parse(argc, argv);
-
     if (o.list) {
         for (const WorkloadInfo &w : allWorkloads())
             std::printf("%-16s %s\n", w.name, w.description);
@@ -983,7 +1064,10 @@ run(int argc, char **argv)
         std::printf("replaying %s: %zu events, %u threads\n",
                     o.replay.c_str(), trace.events.size(),
                     trace.threadCount());
-        replayTrace(trace, observers);
+        {
+            ScopedPhase phase("run.replay");
+            replayTrace(trace, observers);
+        }
         printReports(dets, trace.siteNames, nullptr, nullptr);
         if (o.explain)
             runExplain(o, trace, "");
@@ -1022,7 +1106,10 @@ run(int argc, char **argv)
             }
         }
         if (!hit) {
-            trace = recordRun(prog, cfg);
+            {
+                ScopedPhase phase("run.record");
+                trace = recordRun(prog, cfg);
+            }
             if (cache)
                 cache->store(key, trace);
         }
@@ -1030,7 +1117,10 @@ run(int argc, char **argv)
                     prog.name.c_str(),
                     hit ? "cache hit" : "recorded", trace.events.size(),
                     trace.threadCount());
-        replayTrace(trace, observers);
+        {
+            ScopedPhase phase("run.replay");
+            replayTrace(trace, observers);
+        }
         printReports(dets, trace.siteNames, o.inject ? &inj : nullptr,
                      o.inject ? &true_sites : nullptr);
         if (o.explain)
@@ -1072,7 +1162,10 @@ run(int argc, char **argv)
     for (AccessObserver *obs : observers)
         sys.addObserver(obs);
 
-    RunResult res = sys.run();
+    RunResult res = [&] {
+        ScopedPhase phase("run.simulate");
+        return sys.run();
+    }();
     std::printf("%s: %llu cycles, %llu reads, %llu writes, %llu lock "
                 "acquires, %llu barrier episodes\n",
                 prog.name.c_str(),
@@ -1125,7 +1218,18 @@ int
 main(int argc, char **argv)
 {
     try {
-        return run(argc, argv);
+        Options o = parse(argc, argv);
+        hard_fatal_if(o.monitor && !o.campaign,
+                      "--monitor requires --campaign (it reads shard "
+                      "heartbeats)");
+        // Enable before any work so every phase lands in the profile.
+        // Profiling lives on the wall-clock plane: deterministic
+        // outputs are byte-identical with or without it.
+        if (o.profile)
+            Profiler::enable();
+        const int rc = runMain(o);
+        emitProfile(o);
+        return rc;
     } catch (const SimError &e) {
         std::fprintf(stderr, "hardsim: %s: %s\n", e.typeName(), e.what());
         return 1;

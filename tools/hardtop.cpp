@@ -1,0 +1,243 @@
+/**
+ * @file
+ * hardtop — live campaign monitor.
+ *
+ * Renders the hard.campaign.status.v1 document a `--monitor` campaign
+ * supervisor publishes (atomically, via rename) next to its JSON
+ * output: unit progress, throughput and ETA, retry/quarantine rates,
+ * and a per-shard table fed by the shard heartbeat side files.
+ *
+ * Usage:
+ *   hardtop STATUS_FILE [--once] [--interval=MS]
+ *
+ * Without --once, hardtop redraws every --interval ms (default 500)
+ * until the status file reports state "complete". Because the
+ * supervisor publishes with an atomic rename, every read observes a
+ * complete, parseable document; a missing file just means the
+ * campaign has not started yet (hardtop waits for it).
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "common/json.hh"
+
+using namespace hard;
+
+namespace
+{
+
+void
+usage()
+{
+    std::puts("hardtop — live campaign monitor\n"
+              "\n"
+              "  hardtop STATUS_FILE [--once] [--interval=MS]\n"
+              "\n"
+              "STATUS_FILE is the hard.campaign.status.v1 document a\n"
+              "`--campaign --monitor` run publishes next to its --json\n"
+              "output (<json stem>.status.json). Without --once,\n"
+              "redraws every MS milliseconds (500) until the campaign\n"
+              "completes.");
+}
+
+/** Slurp a whole file; empty optional-style flag via @p ok. */
+std::string
+readFile(const std::string &path, bool &ok)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr) {
+        ok = false;
+        return "";
+    }
+    std::string text;
+    char buf[4096];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        text.append(buf, n);
+    std::fclose(f);
+    ok = true;
+    return text;
+}
+
+/** "####----" progress bar; width cells, done of total filled. */
+std::string
+bar(std::uint64_t done, std::uint64_t total, std::size_t width)
+{
+    const std::size_t fill = total == 0
+        ? width
+        : static_cast<std::size_t>(
+              static_cast<double>(done) / static_cast<double>(total) *
+              static_cast<double>(width));
+    std::string s(fill > width ? width : fill, '#');
+    s.append(width - s.size(), '-');
+    return s;
+}
+
+std::string
+fmtSeconds(double s)
+{
+    char out[32];
+    if (s >= 3600.0)
+        std::snprintf(out, sizeof(out), "%.0fh%02.0fm", s / 3600.0,
+                      (s - 3600.0 * static_cast<int>(s / 3600.0)) / 60.0);
+    else if (s >= 60.0)
+        std::snprintf(out, sizeof(out), "%.0fm%02.0fs", s / 60.0,
+                      s - 60.0 * static_cast<int>(s / 60.0));
+    else
+        std::snprintf(out, sizeof(out), "%.1fs", s);
+    return out;
+}
+
+/** Render one status frame to stdout. Returns true if the document
+ * reports state "complete". */
+bool
+render(const Json &st)
+{
+    const Json &units = st["units"];
+    const Json &tp = st["throughput"];
+    const Json &rates = st["rates"];
+    const std::uint64_t total = units["total"].asUint();
+    const std::uint64_t completed = units["completed"].asUint();
+    const std::uint64_t restored = units["restored"].asUint();
+    const std::uint64_t quarantined = units["quarantined"].asUint();
+    const std::uint64_t done = completed + restored + quarantined;
+    const std::string state = st["state"].asString();
+
+    std::printf("campaign %s  seq %llu  elapsed %s\n",
+                state.c_str(),
+                static_cast<unsigned long long>(
+                    st["sequence"].asUint()),
+                fmtSeconds(st["elapsedSeconds"].asDouble()).c_str());
+    std::printf("  [%s] %llu/%llu unit(s)\n",
+                bar(done, total, 40).c_str(),
+                static_cast<unsigned long long>(done),
+                static_cast<unsigned long long>(total));
+    std::printf("  pending %llu  in-flight %llu  completed %llu  "
+                "restored %llu  quarantined %llu\n",
+                static_cast<unsigned long long>(
+                    units["pending"].asUint()),
+                static_cast<unsigned long long>(
+                    units["inFlight"].asUint()),
+                static_cast<unsigned long long>(completed),
+                static_cast<unsigned long long>(restored),
+                static_cast<unsigned long long>(quarantined));
+    std::printf("  %.2f unit(s)/s", tp["unitsPerSec"].asDouble());
+    if (tp.has("etaSeconds"))
+        std::printf("  eta %s",
+                    fmtSeconds(tp["etaSeconds"].asDouble()).c_str());
+    std::printf("  retry rate %.1f%%  quarantine rate %.1f%%\n",
+                rates["retryRate"].asDouble() * 100.0,
+                rates["quarantineRate"].asDouble() * 100.0);
+
+    const Json &shards = st["shards"];
+    if (shards.size() != 0) {
+        std::printf("\n  %-6s %-8s %-12s %-10s %-10s %-8s\n", "shard",
+                    "pid", "done", "units/s", "rss", "state");
+        for (std::size_t i = 0; i < shards.size(); ++i) {
+            const Json &sh = shards.at(i);
+            char prog[32];
+            std::snprintf(
+                prog, sizeof(prog), "%llu/%llu",
+                static_cast<unsigned long long>(sh["done"].asUint()),
+                static_cast<unsigned long long>(
+                    sh["assigned"].asUint()));
+            char rss[32];
+            std::snprintf(rss, sizeof(rss), "%lluM",
+                          static_cast<unsigned long long>(
+                              sh["rssBytes"].asUint() / (1024 * 1024)));
+            std::printf("  %-6llu %-8llu %-12s %-10.2f %-10s %-8s\n",
+                        static_cast<unsigned long long>(
+                            sh["spawnId"].asUint()),
+                        static_cast<unsigned long long>(
+                            sh["pid"].asUint()),
+                        prog, sh["unitsPerSec"].asDouble(), rss,
+                        sh["stalled"].asBool() ? "STALLED" : "live");
+        }
+    }
+    return state == "complete";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string path;
+    bool once = false;
+    std::uint64_t interval_ms = 500;
+    for (int i = 1; i < argc; ++i) {
+        const char *a = argv[i];
+        if (std::strcmp(a, "--help") == 0 || std::strcmp(a, "-h") == 0) {
+            usage();
+            return 0;
+        } else if (std::strcmp(a, "--once") == 0) {
+            once = true;
+        } else if (std::strncmp(a, "--interval=", 11) == 0) {
+            interval_ms = std::strtoull(a + 11, nullptr, 10);
+            if (interval_ms == 0)
+                interval_ms = 1;
+        } else if (a[0] == '-') {
+            std::fprintf(stderr, "hardtop: unknown argument '%s'\n", a);
+            return 2;
+        } else if (path.empty()) {
+            path = a;
+        } else {
+            std::fprintf(stderr, "hardtop: one STATUS_FILE only\n");
+            return 2;
+        }
+    }
+    if (path.empty()) {
+        usage();
+        return 2;
+    }
+
+    bool waiting_reported = false;
+    for (;;) {
+        bool ok = false;
+        const std::string text = readFile(path, ok);
+        if (!ok) {
+            if (once) {
+                std::fprintf(stderr, "hardtop: cannot read '%s'\n",
+                             path.c_str());
+                return 1;
+            }
+            if (!waiting_reported) {
+                std::printf("hardtop: waiting for %s ...\n",
+                            path.c_str());
+                waiting_reported = true;
+            }
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(interval_ms));
+            continue;
+        }
+        std::string err;
+        const Json st = Json::parse(text, &err);
+        if (!err.empty() || !st.isObject() || !st.has("schema")) {
+            std::fprintf(stderr, "hardtop: '%s' is not a status file\n",
+                         path.c_str());
+            return 1;
+        }
+        if (st["schema"].asString() !=
+            std::string("hard.campaign.status.v1")) {
+            std::fprintf(stderr,
+                         "hardtop: unsupported schema '%s' (want "
+                         "hard.campaign.status.v1)\n",
+                         st["schema"].asString().c_str());
+            return 1;
+        }
+        if (!once)
+            std::fputs("\x1b[2J\x1b[H", stdout); // clear + home
+        const bool complete = render(st);
+        std::fflush(stdout);
+        if (once)
+            return 0;
+        if (complete)
+            return 0;
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(interval_ms));
+    }
+}
