@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Emits the committed overhead-vs-latency frontier baseline
+ * (BENCH_frontier.json, schema `hard.frontier.v1`): the open-loop
+ * production server swept across detection-sampling rates, recording
+ * at each rate what always-on monitoring costs (execution-time
+ * overhead, metadata traffic, bus occupancy) and what it buys
+ * (coverage, exposure-to-first-report latency).
+ *
+ * The effectiveness legs run in fast mode against a shared trace
+ * cache — sampling filters at replay time and is deliberately not
+ * part of the trace key, so one recording per injected run serves
+ * every rate point. The overhead legs are always cycle-level.
+ *
+ * Extra arguments on top of the common bench set:
+ *   --out=<file>    frontier JSON path (BENCH_frontier.json)
+ *   --rates=<csv>   sampling rates to sweep (default 1,0.5,0.25,0.125)
+ *   --cache=<dir>   trace-cache directory; wiped before the sweep
+ */
+
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hh"
+#include "harness/frontier.hh"
+#include "sim/sampling.hh"
+#include "trace/trace_cache.hh"
+
+using namespace hard;
+
+int
+main(int argc, char **argv)
+{
+    // Peel off the bench-specific arguments, hand the rest to the
+    // common parser.
+    std::string out = "BENCH_frontier.json";
+    std::string rates_csv = "1,0.5,0.25,0.125";
+    std::string cache_dir =
+        (std::filesystem::temp_directory_path() / "bench_frontier_cache")
+            .string();
+    std::vector<char *> rest{argv[0]};
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        if (a.rfind("--out=", 0) == 0)
+            out = a.substr(6);
+        else if (a.rfind("--rates=", 0) == 0)
+            rates_csv = a.substr(8);
+        else if (a.rfind("--cache=", 0) == 0)
+            cache_dir = a.substr(8);
+        else
+            rest.push_back(argv[i]);
+    }
+    BenchOptions opt =
+        parseBenchArgs(static_cast<int>(rest.size()), rest.data());
+    printMachineHeader(
+        "Overhead-vs-latency frontier — always-on monitoring baseline",
+        opt);
+
+    std::filesystem::remove_all(cache_dir);
+    TraceCache cache(cache_dir);
+
+    FrontierOptions fo;
+    fo.workload = "server";
+    fo.wp = opt.params();
+    fo.sim = defaultSimConfig();
+    fo.runs = opt.runs;
+    fo.seed0 = opt.seed;
+    fo.effMode = ExecMode::Fast;
+    fo.traceCache = &cache;
+    fo.rates.clear();
+    std::stringstream ss(rates_csv);
+    std::string tok;
+    while (std::getline(ss, tok, ','))
+        if (!tok.empty())
+            fo.rates.push_back(std::atof(tok.c_str()));
+    hard_fatal_if(fo.rates.empty(), "--rates parsed to nothing");
+
+    RunPool pool(opt.jobs);
+    std::printf("frontier: %s, %zu rate(s), (%u injected + 1 race-free) "
+                "runs + 1 overhead unit each, %u worker(s)\n\n",
+                fo.workload.c_str(), fo.rates.size(), opt.runs,
+                pool.jobs());
+    const Json doc = runFrontier(fo, pool);
+
+    Table t("Overhead-vs-latency frontier (server, granule sampling)");
+    t.setHeader({"Rate", "Coverage", "Latency p50", "Latency max",
+                 "Overhead %", "Meta KB", "Bus occ %"});
+    for (std::size_t i = 0; i < doc["points"].size(); ++i) {
+        const Json &p = doc["points"].at(i);
+        const auto &dets = p["detectors"].members();
+        char rate[32], cov[32], ovh[32], meta[32], bus[32];
+        std::snprintf(rate, sizeof(rate), "%g", p["rate"].asDouble());
+        std::string p50 = "-", max = "-";
+        std::snprintf(cov, sizeof(cov), "-");
+        if (!dets.empty()) {
+            const Json &d = dets.front().second;
+            std::snprintf(cov, sizeof(cov), "%.2f",
+                          d["coverage"].asDouble());
+            const Json &lat = d["latency"];
+            if (lat["samples"].asUint() > 0) {
+                p50 = std::to_string(lat["p50Cycles"].asInt());
+                max = std::to_string(lat["maxCycles"].asInt());
+            }
+        }
+        const Json &ov = p["overhead"];
+        std::snprintf(ovh, sizeof(ovh), "%.2f",
+                      ov["overheadPct"].asDouble());
+        std::snprintf(meta, sizeof(meta), "%.1f",
+                      ov["metaBytes"].asDouble() / 1024.0);
+        std::snprintf(bus, sizeof(bus), "%.2f",
+                      ov["busOccupancyPct"].asDouble());
+        t.addRow({rate, cov, p50, max, ovh, meta, bus});
+    }
+    printTable(t, opt);
+
+    writeJsonFile(out, doc);
+    std::printf("frontier written to %s\n", out.c_str());
+    return 0;
+}

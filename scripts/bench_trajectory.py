@@ -2,27 +2,37 @@
 """Maintain and gate the performance trajectory (BENCH_trajectory.json).
 
 The trajectory is a hard.bench.trajectory.v1 document: an append-only
-series of benchmark points, one per recorded run of the fast-mode
-benchmark (build/bench/bench_fastmode). Each point carries the bench
-configuration, a host fingerprint, and the headline metrics
-(cycle/fastCold/fastWarm runs per second plus the interleaving
-replay-vs-sim speedup), so the repo's performance history is
-committed alongside the code and CI can fail on regressions instead
-of silently drifting.
+series of benchmark points. Two point kinds share the file:
+
+  fastmode  one per recorded run of build/bench/bench_fastmode:
+            cycle/fastCold/fastWarm runs per second plus the
+            interleaving replay-vs-sim speedup
+  frontier  one per recorded run of build/bench/bench_frontier (the
+            server workload's overhead-vs-latency frontier): coverage,
+            metadata traffic, and bus occupancy at full monitoring
+            rate
+
+Each point carries the bench configuration and a host fingerprint, so
+the repo's performance history is committed alongside the code and CI
+can fail on regressions instead of silently drifting.
 
 Modes (exactly one):
   --migrate BENCH.json     seed the trajectory from an existing
-                           committed hard.bench.fastmode.v1 baseline;
-                           the point is marked source "migrated" with
-                           host "unknown", so the regression gate never
-                           compares fresh runs against it (the machine
-                           that produced it is unknowable)
+                           committed baseline (fastmode or frontier,
+                           recognized by schema); the point is marked
+                           source "migrated" with host "unknown", so
+                           the regression gate never compares fresh
+                           runs against it (the machine that produced
+                           it is unknowable)
   --from-bench BENCH.json  append a point from an existing bench
-                           output, fingerprinted to this host, and run
-                           the regression gate
+                           output (schema picks the point kind),
+                           fingerprinted to this host, and run the
+                           regression gate
   --run                    run build/bench/bench_fastmode (at --runs/
                            --scale/--jobs) into a temp file, then
                            append + gate as with --from-bench
+  --run-frontier           same, but run build/bench/bench_frontier
+                           (the server-workload frontier point)
   --check                  structurally validate the committed
                            trajectory and exit (CI uses this on the
                            checked-in file)
@@ -51,11 +61,26 @@ import tempfile
 
 SCHEMA = "hard.bench.trajectory.v1"
 POINT_SOURCES = {"migrated", "bench"}
-METRICS = ("cycleRunsPerSec", "fastColdRunsPerSec", "fastWarmRunsPerSec",
-           "replayVsSim")
-# The gate watches the two metrics users feel: full-simulation
-# throughput and warm-cache fast-mode throughput.
-GATED_METRICS = ("cycleRunsPerSec", "fastWarmRunsPerSec")
+# Metric sets per point kind; points without a "bench" field predate
+# the frontier kind and are fastmode points.
+METRICS_BY_KIND = {
+    "fastmode": ("cycleRunsPerSec", "fastColdRunsPerSec",
+                 "fastWarmRunsPerSec", "replayVsSim"),
+    "frontier": ("coverageAtFull", "metaKBAtFull",
+                 "busOccupancyPctAtFull"),
+}
+# The gate watches the metrics users feel: full-simulation and
+# warm-cache throughput (fastmode), full-rate detection coverage
+# (frontier — a coverage drop at rate 1.0 is a detection regression,
+# not noise).
+GATED_METRICS_BY_KIND = {
+    "fastmode": ("cycleRunsPerSec", "fastWarmRunsPerSec"),
+    "frontier": ("coverageAtFull",),
+}
+
+
+def point_kind(point):
+    return point.get("bench", "fastmode")
 
 
 def fail(msg):
@@ -80,30 +105,74 @@ def load_trajectory(path):
     return doc
 
 
-def point_from_bench(bench_path, source, host):
+def frontier_point_fields(bench, scale):
+    """Config and metrics of a frontier point: the full-monitoring
+    (rate 1.0) point of a hard.frontier.v1 sweep."""
+    full = None
+    for pt in bench["points"]:
+        if pt["rate"] == 1.0:
+            full = pt
+    if full is None:
+        fail("frontier sweep has no rate-1.0 point to track")
+    dets = full["detectors"]
+    if not dets:
+        fail("frontier rate-1.0 point has no detectors")
+    det = dets[sorted(dets)[0]]
+    ov = full["overhead"]
+    if ov["outcome"] != "ok":
+        fail(f"frontier rate-1.0 overhead leg is {ov['outcome']!r}")
+    config = {
+        "workload": bench["workload"],
+        "rates": len(bench["points"]),
+        "runs": bench["runs"],
+        "scale": scale,
+    }
+    metrics = {
+        "coverageAtFull": det["coverage"],
+        "metaKBAtFull": ov["metaBytes"] / 1024.0,
+        "busOccupancyPctAtFull": ov["busOccupancyPct"],
+    }
+    return config, metrics
+
+
+def point_from_bench(bench_path, source, host, scale=None):
     with open(bench_path) as f:
         bench = json.load(f)
-    if bench.get("schema") != "hard.bench.fastmode.v1":
-        fail(f"{bench_path}: schema is {bench.get('schema')!r}, "
-             "expected 'hard.bench.fastmode.v1'")
+    schema = bench.get("schema")
     try:
-        point = {
-            "source": source,
-            "date": datetime.date.today().isoformat(),
-            "host": host,
-            "config": {
-                "units": bench["units"],
-                "runsPerWorkload": bench["runsPerWorkload"],
-                "scale": bench["scale"],
-                "jobs": bench["jobs"],
-            },
-            "metrics": {
-                "cycleRunsPerSec": bench["cycle"]["runsPerSec"],
-                "fastColdRunsPerSec": bench["fastCold"]["runsPerSec"],
-                "fastWarmRunsPerSec": bench["fastWarm"]["runsPerSec"],
-                "replayVsSim": bench["speedup"]["replayVsSim"],
-            },
-        }
+        if schema == "hard.bench.fastmode.v1":
+            point = {
+                "source": source,
+                "date": datetime.date.today().isoformat(),
+                "host": host,
+                "config": {
+                    "units": bench["units"],
+                    "runsPerWorkload": bench["runsPerWorkload"],
+                    "scale": bench["scale"],
+                    "jobs": bench["jobs"],
+                },
+                "metrics": {
+                    "cycleRunsPerSec": bench["cycle"]["runsPerSec"],
+                    "fastColdRunsPerSec":
+                        bench["fastCold"]["runsPerSec"],
+                    "fastWarmRunsPerSec":
+                        bench["fastWarm"]["runsPerSec"],
+                    "replayVsSim": bench["speedup"]["replayVsSim"],
+                },
+            }
+        elif schema == "hard.frontier.v1":
+            config, metrics = frontier_point_fields(bench, scale)
+            point = {
+                "source": source,
+                "bench": "frontier",
+                "date": datetime.date.today().isoformat(),
+                "host": host,
+                "config": config,
+                "metrics": metrics,
+            }
+        else:
+            fail(f"{bench_path}: schema is {schema!r}, expected "
+                 "'hard.bench.fastmode.v1' or 'hard.frontier.v1'")
     except KeyError as e:
         fail(f"{bench_path}: missing field {e}")
     return point
@@ -113,6 +182,10 @@ def check_point(point, where):
     if point.get("source") not in POINT_SOURCES:
         fail(f"{where}: source {point.get('source')!r} not in "
              f"{sorted(POINT_SOURCES)}")
+    kind = point_kind(point)
+    if kind not in METRICS_BY_KIND:
+        fail(f"{where}: bench kind {kind!r} not in "
+             f"{sorted(METRICS_BY_KIND)}")
     host = point.get("host")
     if host != "unknown" and not (isinstance(host, dict)
                                   and "arch" in host and "cpus" in host):
@@ -120,13 +193,16 @@ def check_point(point, where):
     config = point.get("config")
     if not isinstance(config, dict):
         fail(f"{where}: missing 'config'")
-    for field in ("units", "runsPerWorkload", "scale", "jobs"):
+    config_fields = (("workload", "rates", "runs", "scale")
+                     if kind == "frontier"
+                     else ("units", "runsPerWorkload", "scale", "jobs"))
+    for field in config_fields:
         if field not in config:
             fail(f"{where}: config missing {field!r}")
     metrics = point.get("metrics")
     if not isinstance(metrics, dict):
         fail(f"{where}: missing 'metrics'")
-    for name in METRICS:
+    for name in METRICS_BY_KIND[kind]:
         val = metrics.get(name)
         if not isinstance(val, (int, float)) or val <= 0:
             fail(f"{where}: metric {name} is {val!r}")
@@ -141,7 +217,8 @@ def check_trajectory(doc, path):
 def comparable(prior, new):
     """A prior point gates a new one only when the measurement is
     apples-to-apples: same bench config on the same class of host."""
-    return (prior.get("config") == new["config"]
+    return (point_kind(prior) == point_kind(new)
+            and prior.get("config") == new["config"]
             and prior.get("host") == new["host"]
             and prior.get("source") == "bench")
 
@@ -156,7 +233,7 @@ def gate(doc, new, max_regression):
               "(new host or config) — gate passes vacuously")
         return
     failures = []
-    for name in GATED_METRICS:
+    for name in GATED_METRICS_BY_KIND[point_kind(new)]:
         before = prior["metrics"][name]
         after = new["metrics"][name]
         drop = (before - after) / before
@@ -172,11 +249,11 @@ def gate(doc, new, max_regression):
              f"{prior.get('date', '?')})")
 
 
-def run_bench(args):
-    bench = os.path.join(args.builddir, "bench", "bench_fastmode")
+def run_bench(args, name):
+    bench = os.path.join(args.builddir, "bench", name)
     if not os.access(bench, os.X_OK):
         fail(f"{bench} not built (cmake --build {args.builddir} "
-             "--target bench_fastmode)")
+             f"--target {name})")
     out = tempfile.NamedTemporaryFile(
         suffix=".json", prefix="bench_trajectory.", delete=False)
     out.close()
@@ -203,6 +280,9 @@ def main():
     mode.add_argument("--run", action="store_true",
                       help="run bench_fastmode, append the point, and "
                            "run the regression gate")
+    mode.add_argument("--run-frontier", action="store_true",
+                      help="run bench_frontier (server workload), "
+                           "append the point, and run the gate")
     mode.add_argument("--check", action="store_true",
                       help="validate the committed trajectory and exit")
     ap.add_argument("--trajectory", default="BENCH_trajectory.json",
@@ -234,13 +314,19 @@ def main():
         return
 
     if args.migrate:
-        point = point_from_bench(args.migrate, "migrated", "unknown")
+        point = point_from_bench(args.migrate, "migrated", "unknown",
+                                 scale=args.scale)
         point.pop("date")  # the original measurement date is unknown
     else:
-        bench_path = args.from_bench if args.from_bench \
-            else run_bench(args)
+        if args.from_bench:
+            bench_path = args.from_bench
+        else:
+            bench_path = run_bench(
+                args,
+                "bench_frontier" if args.run_frontier
+                else "bench_fastmode")
         point = point_from_bench(bench_path, "bench",
-                                 host_fingerprint())
+                                 host_fingerprint(), scale=args.scale)
         check_point(point, "new point")
         if not args.no_gate:
             gate(doc, point, args.max_regression)

@@ -36,7 +36,15 @@ Checks, using nothing but the standard library:
     document carrying an embedded 'profile' block
   - a hard.campaign.status.v1 live status file (--campaign-status):
     schema tag (unknown versions rejected), state vocabulary, unit
-    tallies summing to the total, throughput/rates/shard bookkeeping
+    tallies summing to the total, throughput/rates/shard bookkeeping,
+    and — when present — the detection-report telemetry block
+  - a hard.frontier.v1 overhead-vs-latency frontier (--frontier
+    [--min-points N]): schema tag (unknown versions rejected), swept
+    points sorted by strictly decreasing sampling rate, per-detector
+    coverage/latency sanity, overhead-leg bookkeeping, and monotone
+    non-increasing metadata bus traffic as the rate drops (the
+    structural signal that sampling sheds overhead; overheadPct
+    itself is timing-noisy at small scales and only sanity-checked)
 
 Exits non-zero with a per-file report on the first structural problem.
 """
@@ -535,6 +543,23 @@ def check_campaign_status(path):
         value = counters.get(name)
         if not isinstance(value, int) or value < 0:
             fail(f"{path}: counters.{name} is {value!r}")
+    rep = doc.get("reports")
+    if rep is not None:
+        if not isinstance(rep, dict):
+            fail(f"{path}: 'reports' is not an object")
+        total = rep.get("total")
+        if not isinstance(total, int) or total < 0:
+            fail(f"{path}: reports.total is {total!r}")
+        per_sec = rep.get("perSec")
+        if not isinstance(per_sec, (int, float)) or per_sec < 0:
+            fail(f"{path}: reports.perSec is {per_sec!r}")
+        if "lastAgeSeconds" in rep:
+            age = rep["lastAgeSeconds"]
+            if not isinstance(age, (int, float)) or age < 0:
+                fail(f"{path}: reports.lastAgeSeconds is {age!r}")
+            if total == 0:
+                fail(f"{path}: reports.lastAgeSeconds present but "
+                     "reports.total is 0")
     shards = doc.get("shards")
     if not isinstance(shards, list):
         fail(f"{path}: missing 'shards' array")
@@ -549,8 +574,143 @@ def check_campaign_status(path):
         if not isinstance(sh.get("stalled"), bool):
             fail(f"{path}: shard {i}: stalled is "
                  f"{sh.get('stalled')!r}")
+        if "reports" in sh:
+            val = sh["reports"]
+            if not isinstance(val, int) or val < 0:
+                fail(f"{path}: shard {i}: reports is {val!r}")
     print(f"ok: {path} (hard.campaign.status.v1, {state}, seq {seq}, "
           f"{tallies['total']} units, {len(shards)} live shards)")
+
+
+FRONTIER_SAMPLE_MODES = {"granule", "epoch"}
+
+
+def check_frontier(path, min_points):
+    """Validate a hard.frontier.v1 overhead-vs-latency frontier: the
+    swept points must be sorted by strictly decreasing sampling rate,
+    every point carries per-detector effectiveness/latency blocks and
+    an overhead-leg block, and the metadata bus traffic of successful
+    overhead legs is monotone non-increasing as the rate drops — the
+    structural evidence that duty-cycling the detector sheds overhead.
+    (overheadPct itself is timing-noisy at small scales: gating
+    metadata charges perturbs interleavings. It is only
+    sanity-checked.) Unknown schema versions are rejected."""
+    with open(path) as f:
+        doc = json.load(f)
+    schema = doc.get("schema")
+    if schema != "hard.frontier.v1":
+        fail(f"{path}: frontier schema is {schema!r}, expected "
+             "'hard.frontier.v1' — unknown or future frontier version; "
+             "refusing to guess at its layout")
+    if not doc.get("workload"):
+        fail(f"{path}: missing or empty 'workload'")
+    if not doc.get("execMode"):
+        fail(f"{path}: missing or empty 'execMode'")
+    if doc.get("sampleMode") not in FRONTIER_SAMPLE_MODES:
+        fail(f"{path}: sampleMode {doc.get('sampleMode')!r} not in "
+             f"{sorted(FRONTIER_SAMPLE_MODES)}")
+    for field in ("sampleSeed", "samplePeriod", "granuleBytes",
+                  "runs", "seed0"):
+        val = doc.get(field)
+        if not isinstance(val, int) or val < 0:
+            fail(f"{path}: {field} is {val!r}")
+    for field in ("samplePeriod", "granuleBytes", "runs"):
+        if doc[field] == 0:
+            fail(f"{path}: {field} must be positive")
+    points = doc.get("points")
+    if not isinstance(points, list) or not points:
+        fail(f"{path}: missing or empty 'points'")
+    if len(points) < min_points:
+        fail(f"{path}: {len(points)} frontier point(s), expected at "
+             f"least {min_points}")
+    prev_rate = None
+    prev_meta = None  # (rate, metaBytes) of the last ok overhead leg
+    for i, pt in enumerate(points):
+        rate = pt.get("rate")
+        if not isinstance(rate, (int, float)) or not 0 < rate <= 1:
+            fail(f"{path}: point {i}: rate {rate!r} outside (0, 1]")
+        if prev_rate is not None and rate >= prev_rate:
+            fail(f"{path}: point {i}: rate {rate} not strictly below "
+                 f"the previous point's {prev_rate} — points must be "
+                 "sorted by decreasing rate")
+        prev_rate = rate
+        detectors = pt.get("detectors")
+        if not isinstance(detectors, dict) or not detectors:
+            fail(f"{path}: point {i}: missing or empty 'detectors'")
+        for name, d in detectors.items():
+            where = f"{path}: point {i} detector {name!r}"
+            for field in ("injected", "detected", "falseAlarms",
+                          "dynamicReports"):
+                val = d.get(field)
+                if not isinstance(val, int) or val < 0:
+                    fail(f"{where}: {field} is {val!r}")
+            if d["detected"] > d["injected"]:
+                fail(f"{where}: detected {d['detected']} exceeds "
+                     f"injected {d['injected']}")
+            cov = d.get("coverage")
+            if not isinstance(cov, (int, float)) or not 0 <= cov <= 1:
+                fail(f"{where}: coverage {cov!r} outside [0, 1]")
+            lat = d.get("latency")
+            if not isinstance(lat, dict):
+                fail(f"{where}: missing 'latency' block")
+            samples = lat.get("samples")
+            if not isinstance(samples, int) or samples < 0:
+                fail(f"{where}: latency.samples is {samples!r}")
+            exposures = lat.get("exposures")
+            if not isinstance(exposures, int) or exposures < 0:
+                fail(f"{where}: latency.exposures is {exposures!r}")
+            for field in ("meanCycles", "p50Cycles", "maxCycles"):
+                val = lat.get(field)
+                if not isinstance(val, (int, float)):
+                    fail(f"{where}: latency.{field} is {val!r}")
+                # -1 is the no-samples sentinel; with samples the
+                # aggregates must be real non-negative latencies.
+                if samples > 0 and val < 0:
+                    fail(f"{where}: latency.{field} is {val!r} with "
+                         f"{samples} sample(s)")
+                if samples == 0 and val != -1:
+                    fail(f"{where}: latency.{field} is {val!r} but "
+                         "there are no samples (expected -1 sentinel)")
+            if (samples > 0
+                    and not lat["p50Cycles"] <= lat["maxCycles"]):
+                fail(f"{where}: latency p50 {lat['p50Cycles']} exceeds "
+                     f"max {lat['maxCycles']}")
+        oh = pt.get("overhead")
+        if oh is None:
+            continue
+        where = f"{path}: point {i} overhead"
+        outcome = oh.get("outcome")
+        if not isinstance(outcome, str) or not outcome:
+            fail(f"{where}: bad outcome {outcome!r}")
+        for field in ("metaBroadcasts", "metaBytes", "dataBytes",
+                      "baseCycles", "hardCycles"):
+            val = oh.get(field)
+            if not isinstance(val, int) or val < 0:
+                fail(f"{where}: {field} is {val!r}")
+        for field in ("overheadPct", "busOccupancyPct",
+                      "reportsPerMcycle"):
+            val = oh.get(field)
+            if not isinstance(val, (int, float)):
+                fail(f"{where}: {field} is {val!r}")
+        if not 0 <= oh["busOccupancyPct"] <= 100:
+            fail(f"{where}: busOccupancyPct {oh['busOccupancyPct']} "
+                 "outside [0, 100]")
+        if oh["reportsPerMcycle"] < 0:
+            fail(f"{where}: negative reportsPerMcycle "
+                 f"{oh['reportsPerMcycle']}")
+        if outcome != "ok":
+            continue
+        if oh["baseCycles"] == 0 or oh["hardCycles"] == 0:
+            fail(f"{where}: outcome ok but zero cycle counts")
+        if prev_meta is not None and oh["metaBytes"] > prev_meta[1]:
+            fail(f"{path}: point {i}: metaBytes {oh['metaBytes']} at "
+                 f"rate {rate} exceeds {prev_meta[1]} at the higher "
+                 f"rate {prev_meta[0]} — sampling down must not "
+                 "increase metadata bus traffic")
+        prev_meta = (rate, oh["metaBytes"])
+    print(f"ok: {path} (hard.frontier.v1, {doc['workload']}, "
+          f"{len(points)} points, rates {points[0]['rate']}"
+          f"..{points[-1]['rate']})")
 
 
 def check_batch(path, expect_stats, expect_explain=False):
@@ -648,10 +808,16 @@ def main():
                          "document with an embedded 'profile' block")
     ap.add_argument("--campaign-status", action="append", default=[],
                     help="hard.campaign.status.v1 live status JSON file")
+    ap.add_argument("--frontier", action="append", default=[],
+                    help="hard.frontier.v1 JSON file")
+    ap.add_argument("--min-points", type=int, default=1,
+                    help="minimum swept points --frontier files must "
+                         "carry")
     args = ap.parse_args()
     if not (args.stats or args.intervals or args.trace or args.batch
             or args.explain or args.cache_stats or args.campaign
-            or args.bench or args.profile or args.campaign_status):
+            or args.bench or args.profile or args.campaign_status
+            or args.frontier):
         ap.error("nothing to check")
     for path in args.stats:
         check_stats(path)
@@ -673,6 +839,8 @@ def main():
         check_profile(path)
     for path in args.campaign_status:
         check_campaign_status(path)
+    for path in args.frontier:
+        check_frontier(path, args.min_points)
 
 
 if __name__ == "__main__":

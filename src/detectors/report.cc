@@ -65,6 +65,11 @@ RaceDetector::registerProbes(IntervalSampler &sampler)
 {
     sampler.addRate(name_ + ".reportsPerMcycle",
                     [this] { return sink_.dynamicCount(); }, 1e6);
+    // Per-interval new dynamic reports (Counter probes emit deltas):
+    // the live time-to-last-report signal monitoring dashboards key
+    // on.
+    sampler.addCounter(name_ + ".newReports",
+                       [this] { return sink_.dynamicCount(); });
 }
 
 void

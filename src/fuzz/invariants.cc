@@ -90,6 +90,16 @@ invariantNames()
     return names;
 }
 
+const std::vector<std::string> &
+sampledInvariantNames()
+{
+    static const std::vector<std::string> names = {
+        "sampled-subset-of-ideal",
+        "sampled-subset-of-hb",
+    };
+    return names;
+}
+
 std::vector<Violation>
 checkInvariants(const FuzzReportSet &r)
 {
@@ -123,6 +133,19 @@ checkInvariants(const FuzzReportSet &r)
     checkSubset(out, "racetrack-subset-of-ideal",
                 "racetrack \xE2\x8A\x86 ideal-lockset@4", r.racetrack,
                 r.idealFine);
+
+    // Sampled legs (granule mode only — see the file comment): an
+    // exact per-granule substream can only narrow a per-granule-
+    // independent detector's report set, never grow it.
+    if (r.sampleRate < 1.0) {
+        checkSubset(out, "sampled-subset-of-ideal",
+                    "sampled ideal-lockset \xE2\x8A\x86 ideal-lockset",
+                    r.idealSampled, r.ideal);
+        checkSubset(out, "sampled-subset-of-hb",
+                    "sampled happens-before \xE2\x8A\x86 "
+                    "happens-before-ideal",
+                    r.hbSampled, r.hb);
+    }
 
     return out;
 }

@@ -40,6 +40,14 @@
  *    state machine and effective-lockset intersection as the fine
  *    ideal lockset detector and only ever *suppresses* alarms via its
  *    full happens-before check.
+ *  - sampled-subset-of-ideal / sampled-subset-of-hb (only when the
+ *    sweep runs with --sample-rate < 1): granule-mode sampling shows
+ *    a detector an exact per-granule substream — every granule is
+ *    fully observed or fully invisible, and sync events always pass —
+ *    so a per-granule-independent detector's sampled report set must
+ *    be contained in its unsampled one. Granule mode only: epoch
+ *    duty-cycling can make an HB detector flag a stale last-writer
+ *    the full run already ordered, so no subset relation holds there.
  *
  * Deliberately NOT checked: lockset vs happens-before in either
  * direction — the families are incomparable (read-shared suppression
@@ -81,6 +89,10 @@ struct FuzzReportSet
     KeySet oracleLsFine;     ///< reference lockset at 4 bytes
     KeySet oracleHb;         ///< reference happens-before at 4 bytes
     KeySet oracleHbFull;     ///< reference HB, full-write-vector, 4B
+    /** Granule-sampling rate of the sampled legs (1 = legs absent). */
+    double sampleRate = 1.0;
+    KeySet idealSampled;     ///< IdealLockset at granularity, sampled
+    KeySet hbSampled;        ///< HappensBefore ideal, sampled
 };
 
 /** One violated invariant, with a bounded witness list. */
@@ -100,6 +112,10 @@ struct Violation
 
 /** Names of every invariant, in the order they are checked. */
 const std::vector<std::string> &invariantNames();
+
+/** Names of the sampled-leg invariants, checked only when the sweep
+ * runs with a granule sampling rate < 1. */
+const std::vector<std::string> &sampledInvariantNames();
 
 /**
  * Check every containment/equality invariant over @p r.

@@ -66,6 +66,28 @@ FuzzBattery::detectors() const
             djit.get(),    racetrack.get()};
 }
 
+std::vector<AccessObserver *>
+FuzzBattery::sampledTaps() const
+{
+    std::vector<AccessObserver *> taps;
+    if (idealSampledTap)
+        taps.push_back(idealSampledTap.get());
+    if (hbSampledTap)
+        taps.push_back(hbSampledTap.get());
+    return taps;
+}
+
+std::vector<RaceDetector *>
+FuzzBattery::sampledDetectors() const
+{
+    std::vector<RaceDetector *> dets;
+    if (idealSampled)
+        dets.push_back(idealSampled.get());
+    if (hbSampled)
+        dets.push_back(hbSampled.get());
+    return dets;
+}
+
 FuzzBattery
 makeFuzzBattery(const FuzzConfig &cfg)
 {
@@ -120,6 +142,30 @@ makeFuzzBattery(const FuzzConfig &cfg)
     else
         b.racetrack =
             std::make_unique<RaceTrackDetector>("racetrack", rtc);
+
+    // Sampled cross-check legs: honest (never weakened) clones of the
+    // ideal lockset and HB detectors behind granule-mode sampling
+    // taps. The default 32-byte sampling granule contains both
+    // detector granularities, so each detector granule is fully
+    // observed or fully invisible.
+    hard_throw_if(!(cfg.sampleRate > 0.0) || cfg.sampleRate > 1.0,
+                  ConfigError,
+                  "fuzz: sample rate %g outside (0, 1]",
+                  cfg.sampleRate);
+    if (cfg.sampleRate < 1.0) {
+        b.idealSampled = std::make_unique<IdealLocksetDetector>(
+            "ideal-lockset-sampled", ic);
+        b.hbSampled = std::make_unique<HappensBeforeDetector>(
+            "happens-before-sampled", HbConfig::ideal());
+        SamplingSpec spec;
+        spec.mode = SamplingSpec::Mode::granule;
+        spec.rate = cfg.sampleRate;
+        spec.seed = cfg.sampleSeed;
+        b.idealSampledTap =
+            std::make_unique<SamplingObserver>(*b.idealSampled, spec);
+        b.hbSampledTap =
+            std::make_unique<SamplingObserver>(*b.hbSampled, spec);
+    }
     return b;
 }
 
@@ -133,6 +179,11 @@ collectKeys(const FuzzBattery &b, const Trace &trace,
 {
     FuzzReportSet r;
     r.granularity = cfg.granularity;
+    r.sampleRate = cfg.sampleRate;
+    if (b.idealSampled)
+        r.idealSampled = reportKeys(b.idealSampled->sink());
+    if (b.hbSampled)
+        r.hbSampled = reportKeys(b.hbSampled->sink());
     r.hard = reportKeys(b.hard->sink());
     r.ideal = reportKeys(b.ideal->sink());
     r.idealFine = reportKeys(b.idealFine->sink());
@@ -177,6 +228,12 @@ fillDetectorKeyCounts(SeedResult &sr, const FuzzReportSet &r)
     sr.detectorKeys["oracle-lockset-fine"] = r.oracleLsFine.size();
     sr.detectorKeys["oracle-happens-before"] = r.oracleHb.size();
     sr.detectorKeys["oracle-happens-before-full"] = r.oracleHbFull.size();
+    // Only when the sampled legs ran: default sweeps stay
+    // byte-identical to pre-sampling output.
+    if (r.sampleRate < 1.0) {
+        sr.detectorKeys["ideal-lockset-sampled"] = r.idealSampled.size();
+        sr.detectorKeys["happens-before-sampled"] = r.hbSampled.size();
+    }
 }
 
 std::string
@@ -293,11 +350,15 @@ analyzeTrace(const Trace &trace, const FuzzConfig &cfg)
             obs.push_back(d);
         }
     }
+    for (AccessObserver *tap : b.sampledTaps())
+        obs.push_back(tap);
     {
         ScopedPhase phase("fuzz.analyze.replay");
         replayTrace(trace, obs);
     }
     for (RaceDetector *d : b.detectors())
+        d->finalize();
+    for (RaceDetector *d : b.sampledDetectors())
         d->finalize();
     return collectKeys(b, trace, cfg);
 }
@@ -346,10 +407,14 @@ runFuzzSeed(std::uint64_t seed, const FuzzOptions &opts)
                 System sys(sim, prog);
                 for (RaceDetector *d : battery.detectors())
                     sys.addObserver(d);
+                for (AccessObserver *tap : battery.sampledTaps())
+                    sys.addObserver(tap);
                 sys.addObserver(&recorder);
                 sys.run();
             }
             for (RaceDetector *d : battery.detectors())
+                d->finalize();
+            for (RaceDetector *d : battery.sampledDetectors())
                 d->finalize();
 
             trace = recorder.take();
@@ -457,6 +522,12 @@ fuzzJson(const FuzzOptions &opts, const std::vector<SeedResult> &results)
     jc.set("granularity", opts.cfg.granularity);
     jc.set("bloom_bits", opts.cfg.bloomBits);
     jc.set("weaken", weakenName(opts.cfg.weaken));
+    // Sampled legs enter the document only when they ran: default
+    // sweeps stay byte-identical to pre-sampling output.
+    if (opts.cfg.sampleRate < 1.0) {
+        jc.set("sample_rate", opts.cfg.sampleRate);
+        jc.set("sample_seed", opts.cfg.sampleSeed);
+    }
     jc.set("minimize", opts.minimize);
     Json jg = Json::object();
     jg.set("min_threads", opts.gen.minThreads);
@@ -480,6 +551,9 @@ fuzzJson(const FuzzOptions &opts, const std::vector<SeedResult> &results)
     Json jinv = Json::array();
     for (const std::string &n : invariantNames())
         jinv.push(n);
+    if (opts.cfg.sampleRate < 1.0)
+        for (const std::string &n : sampledInvariantNames())
+            jinv.push(n);
     doc.set("invariants", std::move(jinv));
 
     std::uint64_t ok = 0, bad = 0, failed = 0, quarantined = 0;
@@ -647,6 +721,15 @@ fuzzSignature(const FuzzOptions &opts)
     sig += ";granularity=" + std::to_string(opts.cfg.granularity);
     sig += ";bloom=" + std::to_string(opts.cfg.bloomBits);
     sig += ";weaken=" + std::string(weakenName(opts.cfg.weaken));
+    // Conditional, so pre-sampling campaign journals keep matching.
+    if (opts.cfg.sampleRate < 1.0) {
+        char rate[48];
+        std::snprintf(rate, sizeof rate, ";sample-rate=%g:%llu",
+                      opts.cfg.sampleRate,
+                      static_cast<unsigned long long>(
+                          opts.cfg.sampleSeed));
+        sig += rate;
+    }
     sig += ";minimize=" + std::to_string(opts.minimize ? 1 : 0);
     sig += ";max-probes=" + std::to_string(opts.maxProbes);
     if (!opts.outDir.empty())

@@ -34,6 +34,7 @@
 #include "fuzz/minimizer.hh"
 #include "fuzz/weaken.hh"
 #include "harness/experiment.hh"
+#include "sim/sampling.hh"
 #include "trace/trace.hh"
 #include "trace/trace_cache.hh"
 
@@ -49,6 +50,17 @@ struct FuzzConfig
     unsigned bloomBits = 16;
     /** Detector sabotage hook (self-test; None for honest runs). */
     Weaken weaken = Weaken::None;
+    /**
+     * Detection-sampling rate of the sampled cross-check legs in
+     * (0, 1]; 1 disables them. When < 1, two extra detectors (an
+     * ideal lockset and an ideal happens-before) run behind a
+     * granule-mode SamplingObserver and the fuzzer enforces that
+     * their report sets are subsets of the unsampled ones. Granule
+     * mode only — epoch duty-cycling voids the subset guarantee.
+     */
+    double sampleRate = 1.0;
+    /** Seed of the sampled legs' granule schedule. */
+    std::uint64_t sampleSeed = 1;
 };
 
 /** Whole-sweep options. */
@@ -109,8 +121,25 @@ struct FuzzBattery
     std::unique_ptr<DjitPlusDetector> djit;
     std::unique_ptr<RaceTrackDetector> racetrack;
 
-    /** All detectors, in a stable order. */
+    /** Sampled cross-check legs (null unless cfg.sampleRate < 1):
+     * clones of the ideal lockset and HB detectors fed through
+     * granule-mode SamplingObserver taps. */
+    std::unique_ptr<IdealLocksetDetector> idealSampled;
+    std::unique_ptr<HappensBeforeDetector> hbSampled;
+    std::unique_ptr<SamplingObserver> idealSampledTap;
+    std::unique_ptr<SamplingObserver> hbSampledTap;
+
+    /** All unsampled detectors, in a stable order (these observe the
+     * full event stream directly). */
     std::vector<RaceDetector *> detectors() const;
+
+    /** Sampling taps to attach as observers (empty when rate = 1). */
+    std::vector<AccessObserver *> sampledTaps() const;
+
+    /** The sampled legs' detectors, for finalize/key collection
+     * (empty when rate = 1). Never attach these directly — they must
+     * only see the substream their tap forwards. */
+    std::vector<RaceDetector *> sampledDetectors() const;
 };
 
 /** @return a fresh battery per @p cfg (weakened member included). */

@@ -23,7 +23,8 @@ runEffectivenessUnit(const std::string &workload, const WorkloadParams &wp,
                      unsigned index, unsigned num_runs,
                      std::uint64_t seed0, const SharedMap &shared,
                      bool collect_stats, const HardConfig *explain_hard,
-                     ExecMode mode, TraceCache *trace_cache)
+                     ExecMode mode, TraceCache *trace_cache,
+                     bool collect_latency)
 {
     hard_throw_if(mode == ExecMode::Fast && collect_stats, ConfigError,
                   "fast mode cannot collect per-run machine stats "
@@ -53,6 +54,13 @@ runEffectivenessUnit(const std::string &workload, const WorkloadParams &wp,
     raw.reserve(detectors.size());
     for (auto &d : detectors)
         raw.push_back(d.get());
+
+    // Exposure probe for detection-latency telemetry: rides the run
+    // as a plain observer (never behind the sampling wrapper — it
+    // defines the clock the sampled detectors are measured against).
+    std::unique_ptr<ExposureObserver> exposure;
+    if (collect_latency && !out.raceFree && out.injectionValid)
+        exposure = std::make_unique<ExposureObserver>(inj, true_sites);
 
     // Finite safety net: a batch unit must end in CycleBudgetError
     // rather than hang the whole sweep, even with the watchdog off.
@@ -91,6 +99,19 @@ runEffectivenessUnit(const std::string &workload, const WorkloadParams &wp,
         } else {
             observers.assign(raw.begin(), raw.end());
         }
+        // Sampling gates only the detectors (and their timing
+        // wrappers); the exposure probe sees the full stream.
+        std::vector<std::unique_ptr<SamplingObserver>> sampled;
+        if (cfg.sampling.active()) {
+            sampled.reserve(observers.size());
+            for (AccessObserver *&obs : observers) {
+                sampled.push_back(std::make_unique<SamplingObserver>(
+                    *obs, cfg.sampling));
+                obs = sampled.back().get();
+            }
+        }
+        if (exposure)
+            observers.push_back(exposure.get());
         // Warm hits stream packed events straight from the mapped
         // container into the detectors (identical dispatch, no event
         // vector). Only the explain path needs the materialized
@@ -142,6 +163,8 @@ runEffectivenessUnit(const std::string &workload, const WorkloadParams &wp,
             recorder = std::make_unique<TraceRecorder>(prog);
             extra.push_back(recorder.get());
         }
+        if (exposure)
+            extra.push_back(exposure.get());
         {
             ScopedPhase phase("batch.unit.simulate");
             runWithDetectors(prog, cfg, raw,
@@ -164,6 +187,29 @@ runEffectivenessUnit(const std::string &workload, const WorkloadParams &wp,
             o.detected = detectedInjection(d->sink(), inj, true_sites);
         o.sites = d->sink().sites();
         o.dynamicReports = d->sink().dynamicCount();
+    }
+
+    if (exposure) {
+        const std::int64_t expose = exposure->exposeCycle();
+        Json lat = Json::object();
+        lat.set("exposeCycle", expose);
+        Json by = Json::object();
+        for (auto &d : detectors) {
+            const std::int64_t dc =
+                firstDetectionCycle(d->sink(), inj, true_sites);
+            Json e = Json::object();
+            e.set("detectCycle", dc);
+            if (dc >= 0 && expose >= 0) {
+                // A coarse-granularity report can precede the precise
+                // exposure access (same true site, earlier overlapping
+                // granule touch); clamp so latency is never negative.
+                e.set("latencyCycles",
+                      dc > expose ? dc - expose : std::int64_t{0});
+            }
+            by.set(d->name(), std::move(e));
+        }
+        lat.set("byDetector", std::move(by));
+        out.latency = std::move(lat);
     }
     return out;
 }
@@ -494,7 +540,8 @@ runBatch(const std::vector<BatchItem> &items, RunPool &pool,
                                 *shared[unit.item], item.collectStats,
                                 item.collectExplain ? &item.hardCfg
                                                     : nullptr,
-                                item.mode, item.traceCache);
+                                item.mode, item.traceCache,
+                                item.collectLatency);
                     }
                 } catch (...) {
                     if (!opts.keepGoing)
@@ -669,6 +716,8 @@ toJson(const EffectivenessRun &run)
         j.set("stats", run.stats);
     if (!run.explain.isNull())
         j.set("explain", run.explain);
+    if (!run.latency.isNull())
+        j.set("latency", run.latency);
     return j;
 }
 
@@ -697,6 +746,8 @@ effectivenessRunFromJson(const Json &j)
         run.stats = j["stats"];
     if (j.has("explain"))
         run.explain = j["explain"];
+    if (j.has("latency"))
+        run.latency = j["latency"];
     return run;
 }
 

@@ -87,6 +87,16 @@ struct EffectivenessRun
      */
     Json explain;
 
+    /**
+     * Detection-latency telemetry ({exposeCycle, byDetector:{name:
+     * {detectCycle, latencyCycles}}}, Json null unless the item
+     * requested latency collection); serialized under "latency" only
+     * when present, so latency-off batch JSON is byte-identical to
+     * prior output. exposeCycle/detectCycle are -1 when the race was
+     * never exposed / never detected.
+     */
+    Json latency;
+
     bool ok() const { return outcome == "ok"; }
 };
 
@@ -108,6 +118,9 @@ struct EffectivenessRun
  * @param trace_cache Optional content-addressed recording store
  * consulted/filled in fast mode; ignored in cycle mode. May be shared
  * across workers (TraceCache is thread-safe).
+ * @param collect_latency Record detection-latency telemetry: an
+ * ExposureObserver rides the run (never sampled) and each detector's
+ * first matching report cycle fills EffectivenessRun::latency.
  */
 EffectivenessRun runEffectivenessUnit(const std::string &workload,
                                       const WorkloadParams &wp,
@@ -120,7 +133,8 @@ EffectivenessRun runEffectivenessUnit(const std::string &workload,
                                       const HardConfig *explain_hard =
                                           nullptr,
                                       ExecMode mode = ExecMode::Cycle,
-                                      TraceCache *trace_cache = nullptr);
+                                      TraceCache *trace_cache = nullptr,
+                                      bool collect_latency = false);
 
 /**
  * Fold per-run outcomes (in run-index order) into the aggregate
@@ -179,6 +193,13 @@ struct BatchItem
      * pre-provenance output.
      */
     bool collectExplain = false;
+    /**
+     * Record detection-latency telemetry: each injected
+     * EffectivenessRun gains a "latency" block (exposure cycle +
+     * per-detector first-matching-report cycle). Off by default —
+     * latency-off batch JSON is byte-identical to prior output.
+     */
+    bool collectLatency = false;
 
     /**
      * Base of the exact single-run repro command reported for this

@@ -251,13 +251,33 @@ class HeartbeatWriter
     HeartbeatWriter &operator=(const HeartbeatWriter &) = delete;
 
     /** Record unit @p key as journaled (called from the journal's
-     * append hook). */
+     * append hook with the unit's payload). */
     void
-    beat(const JournalKey &key)
+    beat(const JournalKey &key, const Json &payload)
     {
         if (file_ == nullptr)
             return;
         ++done_;
+        // Detection-report telemetry: effectiveness payloads carry the
+        // per-detector dynamic report counts; accumulate them so the
+        // monitor can surface reports/sec and time-since-last-report
+        // for a live campaign.
+        std::uint64_t unit_reports = 0;
+        if (payload.isObject() && payload.has("detectors") &&
+            payload["detectors"].isObject()) {
+            for (const auto &[name, d] : payload["detectors"].members()) {
+                (void)name;
+                if (d.isObject() && d.has("dynamicReports"))
+                    unit_reports += d["dynamicReports"].asUint();
+            }
+        }
+        if (unit_reports > 0) {
+            reports_ += unit_reports;
+            lastReportWall_ = std::chrono::duration<double>(
+                                  std::chrono::steady_clock::now() -
+                                  start_)
+                                  .count();
+        }
         emit("unit", &key);
     }
 
@@ -284,6 +304,9 @@ class HeartbeatWriter
         // Profile deltas: the shard's own resource consumption so far.
         rec.set("cpuSeconds", processCpuSeconds());
         rec.set("rssBytes", peakRssBytes());
+        rec.set("reports", reports_);
+        if (lastReportWall_ >= 0.0)
+            rec.set("lastReportWallSeconds", lastReportWall_);
         std::string line = rec.dump();
         line.push_back('\n');
         std::fwrite(line.data(), 1, line.size(), file_);
@@ -294,6 +317,8 @@ class HeartbeatWriter
     std::uint64_t shardId_;
     std::size_t assigned_;
     std::uint64_t done_ = 0;
+    std::uint64_t reports_ = 0;
+    double lastReportWall_ = -1.0;
     std::chrono::steady_clock::time_point start_;
 };
 
@@ -307,6 +332,11 @@ struct HeartbeatInfo
     double unitsPerSec = 0.0;
     double cpuSeconds = 0.0;
     std::uint64_t rssBytes = 0;
+    /** Dynamic race reports in the shard's journaled units so far. */
+    std::uint64_t reports = 0;
+    /** Shard wall seconds of the last report-bearing unit (-1 = none
+     * yet). */
+    double lastReportWallSeconds = -1.0;
     /** Seconds since the file last grew (-1 = unknown). */
     double ageSeconds = -1.0;
 };
@@ -340,6 +370,11 @@ readHeartbeat(const std::string &path)
     info.unitsPerSec = rec["unitsPerSec"].asDouble();
     info.cpuSeconds = rec["cpuSeconds"].asDouble();
     info.rssBytes = rec["rssBytes"].asUint();
+    if (rec.has("reports"))
+        info.reports = rec["reports"].asUint();
+    if (rec.has("lastReportWallSeconds"))
+        info.lastReportWallSeconds =
+            rec["lastReportWallSeconds"].asDouble();
     std::error_code ec;
     const auto mtime = std::filesystem::last_write_time(path, ec);
     if (!ec) {
@@ -357,7 +392,8 @@ campaignStatus(const char *phase_state,
                const std::vector<UnitInfo> &units,
                const std::vector<Shard> &live,
                const CampaignCounters &c, const CampaignOptions &opts,
-               double elapsed_seconds, std::uint64_t sequence)
+               double elapsed_seconds, std::uint64_t sequence,
+               std::uint64_t reaped_reports, double reaped_last_report_at)
 {
     std::uint64_t pending = 0, in_flight = 0, completed = 0,
                   restored = 0, quarantined = 0;
@@ -400,10 +436,24 @@ campaignStatus(const char *phase_state,
     // Live progress: merged units plus what the live shards' heartbeats
     // report as journaled-but-not-yet-reaped.
     std::uint64_t live_done = 0;
+    std::uint64_t live_reports = reaped_reports;
+    double last_report_age = reaped_last_report_at >= 0.0
+        ? std::max(0.0, elapsed_seconds - reaped_last_report_at)
+        : -1.0;
     Json shards = Json::array();
     for (const Shard &shard : live) {
         const HeartbeatInfo hb = readHeartbeat(shard.heartbeatPath);
         live_done += hb.done;
+        live_reports += hb.reports;
+        // Age of this shard's newest report: time since its last
+        // report-bearing beat plus time since the file last grew.
+        if (hb.lastReportWallSeconds >= 0.0) {
+            const double age =
+                (hb.wallSeconds - hb.lastReportWallSeconds) +
+                std::max(0.0, hb.ageSeconds);
+            if (last_report_age < 0.0 || age < last_report_age)
+                last_report_age = age;
+        }
         Json js = Json::object();
         js.set("shard", shard.spawnId);
         js.set("pid", static_cast<std::int64_t>(shard.pid));
@@ -415,6 +465,7 @@ campaignStatus(const char *phase_state,
         js.set("unitsPerSec", hb.unitsPerSec);
         js.set("cpuSeconds", hb.cpuSeconds);
         js.set("rssBytes", hb.rssBytes);
+        js.set("reports", hb.reports);
         if (hb.ageSeconds >= 0.0)
             js.set("heartbeatAgeSeconds", hb.ageSeconds);
         js.set("stalled", shard.stalled);
@@ -442,6 +493,21 @@ campaignStatus(const char *phase_state,
     jr.set("retryRate", static_cast<double>(c.retries) / total);
     jr.set("quarantineRate", static_cast<double>(quarantined) / total);
     doc.set("rates", std::move(jr));
+
+    // Detection-report telemetry aggregated from the shard heartbeats
+    // (live ones read directly, reaped ones accumulated by the
+    // supervisor): total dynamic reports journaled so far, reports/sec
+    // of campaign wall time, and (when any shard has reported) the age
+    // of the newest report anywhere in the fleet.
+    Json jrep = Json::object();
+    jrep.set("total", live_reports);
+    jrep.set("perSec",
+             elapsed_seconds > 0.0
+                 ? static_cast<double>(live_reports) / elapsed_seconds
+                 : 0.0);
+    if (last_report_age >= 0.0)
+        jrep.set("lastAgeSeconds", last_report_age);
+    doc.set("reports", std::move(jrep));
 
     Json counters = Json::object();
     counters.set("shardsSpawned", c.shardsSpawned);
@@ -822,6 +888,11 @@ runCampaign(const std::vector<JournalKey> &units,
         campaignStatusPathFor(opts.outputBase);
     std::uint64_t status_seq = 0;
     std::uint64_t last_status_ms = 0;
+    // Report telemetry outliving its shard: when a shard is reaped its
+    // final heartbeat is folded into these so the campaign-wide totals
+    // do not drop as shards retire.
+    std::uint64_t reaped_reports = 0;
+    double reaped_last_report_at = -1.0;
     auto publish_status = [&](const char *phase_state) {
         if (!opts.monitor)
             return;
@@ -829,7 +900,8 @@ runCampaign(const std::vector<JournalKey> &units,
         last_status_ms = now_ms();
         const Json doc = campaignStatus(
             phase_state, state, live, result.counters, opts,
-            static_cast<double>(last_status_ms) / 1000.0, status_seq);
+            static_cast<double>(last_status_ms) / 1000.0, status_seq,
+            reaped_reports, reaped_last_report_at);
         try {
             writeFileAtomic(status_path, doc.dump(2) + "\n");
         } catch (const std::exception &e) {
@@ -855,6 +927,23 @@ runCampaign(const std::vector<JournalKey> &units,
             progressed = true;
             const bool clean = r == shard.pid && WIFEXITED(wstatus) &&
                 WEXITSTATUS(wstatus) == 0;
+            if (opts.monitor) {
+                // Fold the dead shard's final heartbeat into the
+                // supervisor-side report totals before it leaves the
+                // live list.
+                const HeartbeatInfo hb =
+                    readHeartbeat(shard.heartbeatPath);
+                reaped_reports += hb.reports;
+                if (hb.lastReportWallSeconds >= 0.0) {
+                    const double age =
+                        (hb.wallSeconds - hb.lastReportWallSeconds) +
+                        std::max(0.0, hb.ageSeconds);
+                    const double at =
+                        static_cast<double>(now) / 1000.0 - age;
+                    if (at > reaped_last_report_at)
+                        reaped_last_report_at = at;
+                }
+            }
             const JournalEntries got =
                 loadShardEntries(shard.journalPath, opts.signature);
             for (const auto &[key, payload] : got) {
@@ -1017,8 +1106,9 @@ runCampaign(const std::vector<JournalKey> &units,
                                     shard.heartbeatPath, shard.spawnId,
                                     slice.size());
                                 journal.setAppendHook(
-                                    [&hb](const JournalKey &key) {
-                                        hb->beat(key);
+                                    [&hb](const JournalKey &key,
+                                          const Json &payload) {
+                                        hb->beat(key, payload);
                                     });
                             }
                             status = body(slice, journal,

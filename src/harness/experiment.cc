@@ -1,5 +1,7 @@
 #include "harness/experiment.hh"
 
+#include <memory>
+
 #include "common/logging.hh"
 #include "harness/batch.hh"
 #include "harness/run_pool.hh"
@@ -53,8 +55,18 @@ runWithDetectors(const Program &prog, const SimConfig &sim,
                  const std::vector<AccessObserver *> &extra)
 {
     System system(sim, prog);
-    for (RaceDetector *d : detectors)
-        system.addObserver(d);
+    // Sampling applies to detectors only; extra observers (recorders,
+    // exposure probes, provenance) always see the full stream.
+    std::vector<std::unique_ptr<SamplingObserver>> sampled;
+    for (RaceDetector *d : detectors) {
+        if (sim.sampling.active()) {
+            sampled.push_back(
+                std::make_unique<SamplingObserver>(*d, sim.sampling));
+            system.addObserver(sampled.back().get());
+        } else {
+            system.addObserver(d);
+        }
+    }
     for (AccessObserver *o : extra)
         system.addObserver(o);
     RunResult res = system.run();
@@ -91,6 +103,23 @@ detectedInjection(const ReportSink &sink, const Injection &inj,
             return true;
     }
     return false;
+}
+
+std::int64_t
+firstDetectionCycle(const ReportSink &sink, const Injection &inj,
+                    const std::set<SiteId> &true_sites)
+{
+    std::int64_t first = -1;
+    for (const RaceReport &r : sink.reports()) {
+        if (!inj.overlaps(r.addr, r.size))
+            continue;
+        if (!true_sites.empty() && true_sites.count(r.site) == 0)
+            continue;
+        const auto at = static_cast<std::int64_t>(r.at);
+        if (first < 0 || at < first)
+            first = at;
+    }
+    return first;
 }
 
 EffectivenessResult
@@ -142,7 +171,14 @@ measureOverhead(const std::string &workload, const WorkloadParams &wp,
                           hard_sim.hardTiming.directoryMode
                               ? nullptr
                               : &system.memsys().bus());
-        system.addObserver(&hard);
+        // Under a sampling schedule the detector observes (and
+        // broadcasts for) only the monitored substream; the System
+        // gates its timing charges on the identical decision.
+        SamplingObserver sampled(hard, hard_sim.sampling);
+        if (hard_sim.sampling.active())
+            system.addObserver(&sampled);
+        else
+            system.addObserver(&hard);
         out.hardCycles = system.run().totalCycles;
         out.metaBroadcasts = hard.hardStats().metaBroadcasts;
         out.dataBytes = system.memsys().bus().stats().value("dataBytes");

@@ -184,6 +184,56 @@ bool detectedInjection(const ReportSink &sink, const Injection &inj,
  * injection's ranges (the legitimate reporting sites for the bug). */
 std::set<SiteId> sitesTouching(const Program &prog, const Injection &inj);
 
+/**
+ * @return the cycle of the earliest report in @p sink corresponding to
+ * the injected bug (the same matching rule as detectedInjection), or
+ * -1 when the bug went undetected. Detection latency is this minus the
+ * run's exposure cycle.
+ */
+std::int64_t firstDetectionCycle(const ReportSink &sink,
+                                 const Injection &inj,
+                                 const std::set<SiteId> &true_sites);
+
+/**
+ * Passive observer recording the cycle at which an injected race is
+ * first *exposed*: the first data access that overlaps the injection's
+ * byte ranges from a site that really touches them. Detection-latency
+ * telemetry measures time from this cycle to a detector's first
+ * matching report.
+ */
+class ExposureObserver : public AccessObserver
+{
+  public:
+    ExposureObserver(const Injection &inj,
+                     const std::set<SiteId> &true_sites)
+        : inj_(inj), trueSites_(true_sites)
+    {
+    }
+
+    void onRead(const MemEvent &ev) override { observe(ev); }
+    void onWrite(const MemEvent &ev) override { observe(ev); }
+
+    /** Cycle of the first exposing access, or -1 if none occurred. */
+    std::int64_t exposeCycle() const { return exposeCycle_; }
+
+  private:
+    void
+    observe(const MemEvent &ev)
+    {
+        if (exposeCycle_ >= 0)
+            return;
+        if (!inj_.overlaps(ev.addr, ev.size))
+            return;
+        if (!trueSites_.empty() && trueSites_.count(ev.site) == 0)
+            return;
+        exposeCycle_ = static_cast<std::int64_t>(ev.at);
+    }
+
+    const Injection &inj_;
+    const std::set<SiteId> &trueSites_;
+    std::int64_t exposeCycle_ = -1;
+};
+
 /** @return the default (Table 1) simulator configuration. */
 SimConfig defaultSimConfig();
 

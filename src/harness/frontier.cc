@@ -1,0 +1,246 @@
+#include "harness/frontier.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/logging.hh"
+#include "telemetry/stat_registry.hh"
+
+namespace hard
+{
+
+namespace
+{
+
+/** Stable short label for a rate ("1", "0.5", "0.125", ...). */
+std::string
+rateLabel(double rate)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%g", rate);
+    return buf;
+}
+
+/** Rates of @p o deduplicated and sorted descending (full first). */
+std::vector<double>
+sweptRates(const FrontierOptions &o)
+{
+    std::vector<double> rates = o.rates;
+    std::sort(rates.begin(), rates.end(), std::greater<double>());
+    rates.erase(std::unique(rates.begin(), rates.end()), rates.end());
+    for (double r : rates) {
+        if (!(r > 0.0) || r > 1.0)
+            throw ConfigError(
+                errfmt("frontier: sampling rate %g outside (0, 1]", r));
+    }
+    if (rates.empty())
+        throw ConfigError("frontier: no sampling rates given");
+    return rates;
+}
+
+SamplingSpec
+specFor(const FrontierOptions &o, double rate)
+{
+    SamplingSpec s;
+    s.mode = o.sampleMode;
+    s.rate = rate;
+    s.seed = o.sampleSeed;
+    s.period = o.samplePeriod;
+    return s;
+}
+
+DetectorFactory
+effFactory(const FrontierOptions &o)
+{
+    if (o.factory)
+        return o.factory;
+    HardConfig cfg = o.hardCfg;
+    return [cfg] {
+        std::vector<std::unique_ptr<RaceDetector>> dets;
+        dets.push_back(std::make_unique<HardDetector>("hard", cfg));
+        return dets;
+    };
+}
+
+/** Detection-latency aggregate for one detector across one item's
+ * injected runs. */
+Json
+latencyJson(const BatchItemResult &res, const std::string &detector,
+            unsigned runs)
+{
+    std::vector<std::int64_t> samples;
+    std::uint64_t exposures = 0;
+    const unsigned n =
+        std::min<unsigned>(runs, static_cast<unsigned>(res.runDetail.size()));
+    for (unsigned i = 0; i < n; ++i) {
+        const EffectivenessRun &run = res.runDetail[i];
+        if (!run.ok() || !run.injectionValid || run.latency.isNull())
+            continue;
+        if (run.latency.has("exposeCycle") &&
+            run.latency["exposeCycle"].asInt() >= 0)
+            ++exposures;
+        if (!run.latency.has("byDetector"))
+            continue;
+        const Json &by = run.latency["byDetector"];
+        if (!by.has(detector) || !by[detector].has("latencyCycles"))
+            continue;
+        samples.push_back(by[detector]["latencyCycles"].asInt());
+    }
+    std::sort(samples.begin(), samples.end());
+
+    Json j = Json::object();
+    j.set("samples", static_cast<std::uint64_t>(samples.size()));
+    j.set("exposures", exposures);
+    if (samples.empty()) {
+        j.set("meanCycles", -1.0);
+        j.set("p50Cycles", std::int64_t{-1});
+        j.set("maxCycles", std::int64_t{-1});
+        return j;
+    }
+    double sum = 0.0;
+    for (std::int64_t s : samples)
+        sum += static_cast<double>(s);
+    j.set("meanCycles", sum / static_cast<double>(samples.size()));
+    j.set("p50Cycles", samples[(samples.size() - 1) / 2]);
+    j.set("maxCycles", samples.back());
+    return j;
+}
+
+Json
+overheadJson(const BatchItemResult &res)
+{
+    Json j = Json::object();
+    j.set("outcome",
+          res.overheadOutcome.empty() ? "missing" : res.overheadOutcome);
+    const OverheadResult &ov = res.overhead;
+    j.set("overheadPct", ov.overheadPct);
+    j.set("baseCycles", static_cast<std::uint64_t>(ov.baseCycles));
+    j.set("hardCycles", static_cast<std::uint64_t>(ov.hardCycles));
+    j.set("metaBroadcasts", ov.metaBroadcasts);
+    j.set("metaBytes", ov.metaBytes);
+    j.set("dataBytes", ov.dataBytes);
+
+    // Bus occupancy and report traffic come out of the HARD leg's
+    // stats snapshot; both are 0 when the leg failed or stats were
+    // absent (statFromJson treats missing levels as zero).
+    const double hard_cycles = static_cast<double>(ov.hardCycles);
+    const std::uint64_t busy = statFromJson(ov.hardStats, "bus", "busyCycles");
+    const std::uint64_t reports =
+        statFromJson(ov.hardStats, "detector.hard", "dynamicReports");
+    j.set("busOccupancyPct",
+          hard_cycles > 0.0 ? 100.0 * static_cast<double>(busy) / hard_cycles
+                            : 0.0);
+    j.set("reportsPerMcycle",
+          hard_cycles > 0.0
+              ? static_cast<double>(reports) / hard_cycles * 1e6
+              : 0.0);
+    return j;
+}
+
+} // namespace
+
+std::vector<BatchItem>
+frontierItems(const FrontierOptions &o)
+{
+    const std::vector<double> rates = sweptRates(o);
+    const DetectorFactory factory = effFactory(o);
+
+    std::vector<BatchItem> items;
+    for (double rate : rates) {
+        BatchItem eff;
+        eff.label = "frontier.eff.r" + rateLabel(rate);
+        eff.workload = o.workload;
+        eff.wp = o.wp;
+        eff.sim = o.sim;
+        eff.sim.sampling = specFor(o, rate);
+        eff.factory = factory;
+        eff.runs = o.runs;
+        eff.seed0 = o.seed0;
+        eff.effectiveness = true;
+        eff.collectLatency = true;
+        eff.mode = o.effMode;
+        eff.traceCache = o.traceCache;
+        items.push_back(std::move(eff));
+
+        if (!o.overhead)
+            continue;
+        BatchItem ovh;
+        ovh.label = "frontier.ovh.r" + rateLabel(rate);
+        ovh.workload = o.workload;
+        ovh.wp = o.wp;
+        ovh.sim = o.sim;
+        ovh.sim.sampling = specFor(o, rate);
+        ovh.effectiveness = false;
+        ovh.overhead = true;
+        ovh.directory = o.directory;
+        ovh.hardCfg = o.hardCfg;
+        ovh.collectStats = true;
+        items.push_back(std::move(ovh));
+    }
+    return items;
+}
+
+Json
+frontierJson(const FrontierOptions &o,
+             const std::vector<BatchItemResult> &results)
+{
+    const std::vector<double> rates = sweptRates(o);
+    const std::size_t per_rate = o.overhead ? 2 : 1;
+    hard_panic_if(results.size() != rates.size() * per_rate,
+                  "frontier: result/item count mismatch");
+
+    Json doc = Json::object();
+    doc.set("schema", "hard.frontier.v1");
+    doc.set("workload", o.workload);
+    doc.set("execMode", execModeName(o.effMode));
+    doc.set("sampleMode", samplingModeName(o.sampleMode));
+    doc.set("sampleSeed", o.sampleSeed);
+    doc.set("samplePeriod", static_cast<std::uint64_t>(o.samplePeriod));
+    doc.set("granuleBytes", static_cast<std::uint64_t>(
+                                SamplingSpec{}.granuleBytes));
+    doc.set("runs", static_cast<std::uint64_t>(o.runs));
+    doc.set("seed0", o.seed0);
+
+    Json points = Json::array();
+    for (std::size_t i = 0; i < rates.size(); ++i) {
+        const BatchItemResult &eff = results[i * per_rate];
+        Json point = Json::object();
+        point.set("rate", rates[i]);
+
+        Json detectors = Json::object();
+        for (const auto &[name, score] : eff.effectiveness) {
+            Json d = Json::object();
+            d.set("injected",
+                  static_cast<std::uint64_t>(score.runsAttempted));
+            d.set("detected", static_cast<std::uint64_t>(score.bugsDetected));
+            d.set("coverage",
+                  score.runsAttempted > 0
+                      ? static_cast<double>(score.bugsDetected) /
+                            static_cast<double>(score.runsAttempted)
+                      : 0.0);
+            d.set("falseAlarms",
+                  static_cast<std::uint64_t>(score.falseAlarms));
+            d.set("dynamicReports", score.dynamicReports);
+            d.set("latency", latencyJson(eff, name, o.runs));
+            detectors.set(name, std::move(d));
+        }
+        point.set("detectors", std::move(detectors));
+
+        if (o.overhead)
+            point.set("overhead", overheadJson(results[i * per_rate + 1]));
+        points.push(std::move(point));
+    }
+    doc.set("points", std::move(points));
+    return doc;
+}
+
+Json
+runFrontier(const FrontierOptions &o, RunPool &pool,
+            const BatchOptions &opts)
+{
+    const std::vector<BatchItemResult> results =
+        runBatch(frontierItems(o), pool, opts);
+    return frontierJson(o, results);
+}
+
+} // namespace hard

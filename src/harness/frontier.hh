@@ -1,0 +1,100 @@
+/**
+ * @file
+ * The overhead-vs-latency frontier: one production workload swept
+ * across detection-sampling rates (sim/sampling.hh), measuring at each
+ * rate what always-on monitoring costs and what it buys.
+ *
+ * Each rate point runs two legs over the same workload:
+ *
+ *  - an *effectiveness* leg (fast mode by default, sharing one
+ *    TraceCache recording across every rate, since sampling filters at
+ *    replay time and is not part of the trace key): injected-race runs
+ *    with detection-latency telemetry enabled, yielding coverage
+ *    (bugs detected / injected) and the exposure-to-first-report
+ *    latency distribution;
+ *  - an *overhead* leg (always cycle mode): measureOverhead with the
+ *    same sampling schedule gating the HARD timing charges, yielding
+ *    execution-time overhead, metadata traffic, and bus occupancy.
+ *
+ * The fold emits a `hard.frontier.v1` document with points sorted by
+ * rate descending (full monitoring first). Granule-mode decisions nest
+ * across rates, so overhead falls monotonically along the sweep while
+ * coverage degrades — the frontier an operator picks a duty cycle
+ * from.
+ */
+
+#ifndef HARD_HARNESS_FRONTIER_HH
+#define HARD_HARNESS_FRONTIER_HH
+
+#include <string>
+#include <vector>
+
+#include "harness/batch.hh"
+
+namespace hard
+{
+
+/** Configuration of one frontier sweep. */
+struct FrontierOptions
+{
+    /** Workload name (default: the open-loop production server). */
+    std::string workload = "server";
+    WorkloadParams wp;
+    /** Base simulator config; sampling is overwritten per rate. */
+    SimConfig sim;
+    /** HARD shape for the overhead legs (and the default detector). */
+    HardConfig hardCfg;
+    /**
+     * Detector set for the effectiveness legs; when null a single
+     * HardDetector("hard", hardCfg) is used.
+     */
+    DetectorFactory factory;
+
+    /** Sampling rates to sweep (deduplicated, sorted descending). */
+    std::vector<double> rates{1.0, 0.5, 0.25, 0.125};
+    SamplingSpec::Mode sampleMode = SamplingSpec::Mode::granule;
+    std::uint64_t sampleSeed = 1;
+    /** Epoch-mode duty-cycle period. */
+    Cycle samplePeriod = 65536;
+
+    /** Injected-race runs per rate point. */
+    unsigned runs = 10;
+    std::uint64_t seed0 = 1000;
+
+    /** Effectiveness-leg execution mode (overhead legs are always
+     * cycle-level). */
+    ExecMode effMode = ExecMode::Fast;
+    /** Recording store shared by the fast-mode legs (may be null). */
+    TraceCache *traceCache = nullptr;
+
+    /** Also run the cycle-level overhead leg per rate. */
+    bool overhead = true;
+    /** Overhead variant: §3.4 directory metadata management. */
+    bool directory = false;
+};
+
+/**
+ * Build the per-rate batch items for @p o. Exposed separately so
+ * campaign sharding can enumerate the same unit space the inline
+ * sweep runs.
+ */
+std::vector<BatchItem> frontierItems(const FrontierOptions &o);
+
+/**
+ * Fold batch results produced from frontierItems(@p o) back into the
+ * `hard.frontier.v1` document.
+ */
+Json frontierJson(const FrontierOptions &o,
+                  const std::vector<BatchItemResult> &results);
+
+/**
+ * Run the full frontier sweep across @p pool and return the
+ * `hard.frontier.v1` document. @p opts carries the usual batch
+ * failure-containment/journal knobs.
+ */
+Json runFrontier(const FrontierOptions &o, RunPool &pool,
+                 const BatchOptions &opts = {});
+
+} // namespace hard
+
+#endif // HARD_HARNESS_FRONTIER_HH

@@ -44,7 +44,7 @@ BatchJournal::append(const JournalKey &key, const Json &payload)
     rec.set("payload", payload);
     std::string line = rec.dump();
     line.push_back('\n');
-    std::function<void(const JournalKey &)> hook;
+    std::function<void(const JournalKey &, const Json &)> hook;
     {
         std::lock_guard<std::mutex> lk(mu_);
         if (killKey_ && *killKey_ == key) {
@@ -63,11 +63,12 @@ BatchJournal::append(const JournalKey &key, const Json &payload)
     }
     profileCount("journal.bytesWritten", line.size());
     if (hook)
-        hook(key);
+        hook(key, payload);
 }
 
 void
-BatchJournal::setAppendHook(std::function<void(const JournalKey &)> hook)
+BatchJournal::setAppendHook(
+    std::function<void(const JournalKey &, const Json &)> hook)
 {
     std::lock_guard<std::mutex> lk(mu_);
     appendHook_ = std::move(hook);

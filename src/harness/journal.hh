@@ -84,19 +84,21 @@ class BatchJournal
 
     /**
      * Observe every successfully appended record (campaign heartbeat
-     * plumbing). Called after the record's line has been written and
-     * flushed, outside the append lock. The hook must not touch the
-     * journal file — it is a listener, not a writer; journal bytes
-     * are identical whether or not a hook is set.
+     * plumbing). Called with the unit's key and payload after the
+     * record's line has been written and flushed, outside the append
+     * lock. The hook must not touch the journal file — it is a
+     * listener, not a writer; journal bytes are identical whether or
+     * not a hook is set.
      */
-    void setAppendHook(std::function<void(const JournalKey &)> hook);
+    void setAppendHook(
+        std::function<void(const JournalKey &, const Json &)> hook);
 
   private:
     std::string path_;
     std::FILE *file_;
     std::mutex mu_;
     std::optional<JournalKey> killKey_;
-    std::function<void(const JournalKey &)> appendHook_;
+    std::function<void(const JournalKey &, const Json &)> appendHook_;
 };
 
 /**

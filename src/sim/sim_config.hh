@@ -9,6 +9,7 @@
 #define HARD_SIM_SIM_CONFIG_HH
 
 #include "coherence/memsys.hh"
+#include "sim/sampling.hh"
 
 namespace hard
 {
@@ -87,6 +88,15 @@ struct SimConfig
     /** OS context-switch cost (register save/restore, pipeline). */
     Cycle contextSwitchCycles = 400;
     HardTimingConfig hardTiming{};
+    /**
+     * Detection-sampling schedule (sampling.hh). Rate 1.0 (the
+     * default) is fully inactive: no call site consults the schedule,
+     * so the run is byte-identical to one predating this knob. Like
+     * hardTiming/wallMsBudget this is deliberately NOT part of the
+     * fast-mode trace-cache key — sampling filters what detectors
+     * observe, never the recorded interleaving.
+     */
+    SamplingSpec sampling{};
 };
 
 } // namespace hard

@@ -227,15 +227,22 @@ System::doAccess(HwCore &core, ThreadCtx &th, Cycle now, const Op &op)
                                         now);
 
     // HARD timing model: shared accesses pay the candidate-set
-    // intersect/check latency (paper §5.1 overhead source 2).
-    if (cfg_.hardTiming.enabled && out.sharers > 1)
+    // intersect/check latency (paper §5.1 overhead source 2). Under a
+    // sampling schedule only monitored accesses pay — an unmonitored
+    // granule's metadata is never consulted, which is exactly where
+    // the overhead-vs-latency frontier's savings come from. The
+    // decision uses the pre-charge completion cycle so it matches the
+    // schedule the detector's observer wrapper sees.
+    const bool monitored = !cfg_.hardTiming.enabled ||
+        sampleDecision(cfg_.sampling, op.addr, out.completeAt);
+    if (cfg_.hardTiming.enabled && monitored && out.sharers > 1)
         out.completeAt += cfg_.hardTiming.sharedAccessExtraCycles;
     // §3.4 directory variant: shared accesses additionally fetch the
     // metadata from the directory and put the updated value back —
     // two small bus messages (performed in the background, so they
     // add traffic and contention rather than access latency).
-    if (cfg_.hardTiming.enabled && cfg_.hardTiming.directoryMode &&
-        out.sharers > 1) {
+    if (cfg_.hardTiming.enabled && monitored &&
+        cfg_.hardTiming.directoryMode && out.sharers > 1) {
         memsys_->bus().transact(TxnType::MetaDirectory, out.completeAt);
         memsys_->bus().transact(TxnType::MetaDirectory, out.completeAt);
     }

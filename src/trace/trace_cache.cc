@@ -160,6 +160,20 @@ makeRunKey(const std::string &workload, const WorkloadParams &wp,
              inject_seed < 0
                  ? std::string("none")
                  : std::to_string(static_cast<std::uint64_t>(inject_seed)));
+    // Server emission rev 2: scale-parameterized footprint + open-loop
+    // arrivals. Distinguishes cached traces recorded by pre-rev
+    // binaries; every other workload's keys are unchanged.
+    if (workload == "server")
+        key.add("wlrev", std::uint64_t{2});
+    // Open-loop arrival parameters change the emitted Program, so they
+    // enter the key — but only when the mode is on, keeping every
+    // pre-existing key byte-identical.
+    if (wp.openLoop) {
+        key.add("openLoop", std::uint64_t{1})
+            .add("arrivalGap", wp.arrivalMeanGap)
+            .add("window", wp.openLoopWindow)
+            .add("churn", wp.churnPeriod);
+    }
     addSimConfigFields(key, sim);
     return key;
 }

@@ -36,6 +36,26 @@ struct WorkloadParams
      * default evaluation size; smaller values speed up tests.
      */
     double scale = 1.0;
+    /**
+     * Open-loop production scenario (server workload): when true the
+     * request loop is driven by a seeded exponential arrival process
+     * (mean gap arrivalMeanGap, window openLoopWindow) with periodic
+     * connection churn, instead of a fixed per-worker request count.
+     * Off by default; generators other than "server" ignore it.
+     * Enabling it changes the emitted Program, so fast-mode run keys
+     * include these fields only when it is on (makeRunKey).
+     */
+    bool openLoop = false;
+    /** Open loop: mean exponential inter-arrival gap (cycles). */
+    double arrivalMeanGap = 300.0;
+    /** Open loop: per-worker arrival window (cycles of service time). */
+    std::uint64_t openLoopWindow = 500000;
+    /**
+     * Open loop: requests between connection-churn waves (0 = none).
+     * Each wave retires a connection, re-initializes it and migrates
+     * the hot cluster — steady metadata turnover on the MetaCache.
+     */
+    std::uint64_t churnPeriod = 64;
 };
 
 /** Builder for Program objects. */

@@ -16,7 +16,25 @@
  *    cannot interpret.
  * No barriers at all: server phases are pipelined, not bulk-
  * synchronous, which exercises HARD without its §3.5 reset.
+ *
+ * Two drive modes (WorkloadParams):
+ *  - closed loop (default): a fixed, scaled request count per worker
+ *    with a constant service gap — the original benchmark shape;
+ *  - open loop (p.openLoop): a seeded exponential arrival process
+ *    (mean p.arrivalMeanGap cycles) fills a p.openLoopWindow-cycle
+ *    window per worker, and every p.churnPeriod requests a churn wave
+ *    retires one connection, re-initializes its record, evicts a
+ *    cache entry and migrates the hot cluster — the §7 production
+ *    scenario: long-running request service whose working set drifts,
+ *    keeping steady allocation/displacement pressure on the MetaCache.
+ *
+ * Footprint structure (bucket-lock count, hot-cluster span, log-buffer
+ * sizing) is parameterized by scale and thread count so that
+ * 16/32-core sweeps do not alias distinct threads into the same
+ * granule sets (the old fixed 512 KiB log wrapped at 8 threads).
  */
+
+#include <cmath>
 
 #include "common/rng.hh"
 #include "workloads/registry.hh"
@@ -35,12 +53,23 @@ buildServer(const WorkloadParams &p)
     const std::uint64_t requests = scaled(3000, p, 64);
     const unsigned conn_bytes = 88;  // line-misaligned records
     const unsigned cache_bytes = 56; // line-misaligned entries
-    const unsigned nbucketlocks = 64;
+    // Footprint-coupled structure: scale the lock striping and the
+    // hot-cluster span with the table, and give every thread its own
+    // non-wrapping log region (the fixed 512 KiB buffer used to wrap
+    // thread 8 back onto thread 0's granules).
+    const unsigned nbucketlocks = static_cast<unsigned>(
+        std::min<std::uint64_t>(512, scaled(64, p, 8)));
+    const std::uint64_t hotspan = scaled(24, p, 8);
+    // Rounded to the 64-byte append stride so per-thread regions (and
+    // the wrap inside one) keep every log write line-aligned.
+    const std::uint64_t logchunk =
+        scaled(64 * 1024, p, 4 * 1024) & ~std::uint64_t{63};
+    const std::uint64_t logbytes = logchunk * p.numThreads;
 
     const Addr conns = b.alloc("connections", nconn * conn_bytes, 32);
     const Addr cache = b.alloc("cache", ncache * cache_bytes, 32);
     const Addr gstats = b.alloc("globalStats", 32, 32);
-    const Addr logbuf = b.alloc("logBuffer", 512 * 1024, 32);
+    const Addr logbuf = b.alloc("logBuffer", logbytes, 32);
     const LockAddr slock = b.allocLock("statsLock");
     const LockAddr llock = b.allocLock("logLock");
     std::vector<LockAddr> connlock, cachelock;
@@ -70,6 +99,7 @@ buildServer(const WorkloadParams &p)
     const SiteId s_swr = b.site("stats.write");
     const SiteId s_llk = b.site("log.lock");
     const SiteId s_lwr = b.site("log.append.write");
+    const SiteId s_chn = b.site("conn.churn.write");
 
     // Listener (thread 0) initializes the shared state, then posts
     // one batch of "accepted requests" per worker — the thread-start/
@@ -85,11 +115,34 @@ buildServer(const WorkloadParams &p)
         if (t != 0)
             b.semaWait(t, req_sema[t], s_wai);
 
-        std::uint64_t log_pos = t * 64 * 1024;
-        for (std::uint64_t r = 0; r < requests; ++r) {
+        std::uint64_t log_pos = t * logchunk;
+        const std::uint64_t log_base = t * logchunk;
+        std::uint64_t churn_base = 0;
+        std::uint64_t arrived = 0; // open loop: window consumed so far
+        for (std::uint64_t r = 0;; ++r) {
+            if (p.openLoop) {
+                // Exponential inter-arrival: the next request lands
+                // -mean*ln(u) cycles after the previous one; stop when
+                // the arrival window is exhausted.
+                const double u =
+                    static_cast<double>(trng.next64() >> 11) * 0x1.0p-53;
+                Cycle gap = static_cast<Cycle>(std::llround(
+                    -p.arrivalMeanGap * std::log1p(-u)));
+                if (gap < 1)
+                    gap = 1;
+                arrived += gap;
+                if (arrived > p.openLoopWindow)
+                    break;
+                b.compute(t, gap);
+            } else if (r >= requests) {
+                break;
+            }
+
             // 1. Touch the connection record (per-bucket lock). The
-            // working set is hot and clustered so threads collide.
-            std::uint64_t c = (r / 2 + trng.below(24)) % nconn;
+            // working set is hot and clustered so threads collide; in
+            // open-loop mode the cluster base migrates with churn.
+            std::uint64_t c =
+                (churn_base + r / 2 + trng.below(hotspan)) % nconn;
             LockAddr cl = connlock[c % nbucketlocks];
             b.lock(t, cl, s_clk);
             b.read(t, conns + c * conn_bytes, 8, s_crd);
@@ -121,18 +174,45 @@ buildServer(const WorkloadParams &p)
             }
 
             // 4. Log append: cold streaming writes under the log
-            // lock — eviction-prone candidate sets (§3.6).
+            // lock — eviction-prone candidate sets (§3.6). Each
+            // thread streams through its own log region.
             if (r % 16 == 3) {
                 b.lock(t, llock, s_llk);
                 for (unsigned w = 0; w < 4; ++w) {
-                    b.write(t, logbuf + (log_pos % (512 * 1024)), 8,
-                            s_lwr);
+                    b.write(t,
+                            logbuf + log_base +
+                                (log_pos - log_base) % logchunk,
+                            8, s_lwr);
                     log_pos += 64;
                 }
                 b.unlock(t, llock, s_llk);
             }
 
-            b.compute(t, 150);
+            // 5. Open loop: connection churn. Retire one connection,
+            // re-initialize its record (close + accept), evict a cache
+            // entry, and migrate the hot cluster — the request/
+            // connection turnover that keeps fresh granules flowing
+            // through the MetaCache on a long-running server.
+            if (p.openLoop && p.churnPeriod != 0 &&
+                r % p.churnPeriod == p.churnPeriod - 1) {
+                const std::uint64_t victim = (churn_base + t) % nconn;
+                LockAddr vl = connlock[victim % nbucketlocks];
+                b.lock(t, vl, s_clk);
+                b.write(t, conns + victim * conn_bytes, 8, s_chn);
+                b.write(t, conns + victim * conn_bytes + 16, 8, s_chn);
+                b.write(t, conns + victim * conn_bytes + 32, 8, s_chn);
+                b.unlock(t, vl, s_clk);
+                const std::uint64_t ev =
+                    (victim * 7 + trng.below(ncache)) % ncache;
+                LockAddr el = cachelock[ev % nbucketlocks];
+                b.lock(t, el, s_klk);
+                b.write(t, cache + ev * cache_bytes, 8, s_kwr);
+                b.unlock(t, el, s_klk);
+                churn_base = (churn_base + hotspan) % nconn;
+            }
+
+            if (!p.openLoop)
+                b.compute(t, 150);
             if (r % 8 == 0)
                 stats.bump(b, t, 0);
         }

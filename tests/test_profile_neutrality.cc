@@ -157,7 +157,8 @@ TEST(ProfileNeutrality, JournalBytesIdenticalProfilerOnOff)
         // A heartbeat-style append hook must also leave the journal
         // bytes alone (it observes appends, it doesn't shape them).
         unsigned beats = 0;
-        journal.setAppendHook([&beats](const JournalKey &) { ++beats; });
+        journal.setAppendHook(
+            [&beats](const JournalKey &, const Json &) { ++beats; });
         batchDump(items, 2, &journal);
         EXPECT_EQ(beats, batchCampaignUnits(items).size());
     }

@@ -60,6 +60,13 @@ usage()
         "  --weaken=<which>       sabotage one detector to prove the\n"
         "                         pipeline fires: hard|hb|ideal|djit|\n"
         "                         racetrack|none\n"
+        "  --sample-rate=<r>      also run sampled ideal-lockset and\n"
+        "                         happens-before legs at granule rate\n"
+        "                         r in (0,1) and enforce their report\n"
+        "                         sets are subsets of the unsampled\n"
+        "                         ones (1 = off, the default)\n"
+        "  --sample-seed=<n>      granule schedule seed for\n"
+        "                         --sample-rate (1)\n"
         "\n"
         "generator shape:\n"
         "  --threads=<A..B>       thread-count range (2..4, max 8)\n"
@@ -314,6 +321,22 @@ parseArgs(int argc, char **argv)
             // handled
         } else if (eat(i, "--max-probes", v)) {
             cli.opts.maxProbes = std::stoul(v);
+        } else if (eat(i, "--sample-rate", v)) {
+            try {
+                cli.opts.cfg.sampleRate = std::stod(v);
+            } catch (const std::exception &) {
+                cli.opts.cfg.sampleRate = -1.0;
+            }
+            if (!(cli.opts.cfg.sampleRate > 0.0) ||
+                cli.opts.cfg.sampleRate > 1.0) {
+                std::fprintf(stderr,
+                             "hardfuzz: --sample-rate needs a value in "
+                             "(0, 1], got '%s'\n",
+                             v.c_str());
+                std::exit(2);
+            }
+        } else if (eat(i, "--sample-seed", v)) {
+            cli.opts.cfg.sampleSeed = std::stoull(v);
         } else if (eat(i, "--threads", v)) {
             const auto dots = v.find("..");
             try {

@@ -36,6 +36,7 @@
 #include "harness/batch.hh"
 #include "harness/campaign.hh"
 #include "harness/experiment.hh"
+#include "harness/frontier.hh"
 #include "telemetry/sampler.hh"
 #include "telemetry/profile.hh"
 #include "telemetry/trace_event.hh"
@@ -66,6 +67,25 @@ struct Options
     bool stats = false;
     bool list = false;
 
+    // Open-loop production scenario (server workload).
+    bool openLoop = false;
+    double arrivalGap = 300.0;
+    std::uint64_t arrivalWindow = 500000;
+    std::uint64_t churnPeriod = 64;
+
+    // Detection sampling (sim/sampling.hh; rate 1.0 = monitor all).
+    std::string sampleMode = "granule";
+    double sampleRate = 1.0;
+    std::uint64_t sampleSeed = 1;
+    Cycle samplePeriod = 65536;
+
+    // Detection-latency telemetry (batch mode; always on in frontier).
+    bool latency = false;
+
+    // Frontier mode (overhead-vs-latency sampling-rate sweep).
+    bool frontier = false;
+    std::string ratesCsv = "1,0.5,0.25,0.125";
+
     // Telemetry (docs/observability.md).
     bool statsJson = false;
     std::string statsJsonPath;
@@ -86,6 +106,7 @@ struct Options
 
     // Fast functional mode (trace-once/replay-many detection).
     std::string modeName = "cycle";
+    bool modeSet = false;
     std::string traceCacheDir;
     std::string traceCacheStatsPath;
 
@@ -158,6 +179,44 @@ usage()
         "                            or directory metadata management)\n"
         "  --stats                   dump machine statistics\n"
         "\n"
+        "open-loop production scenario (server workload):\n"
+        "  --open-loop               drive the server with a seeded\n"
+        "                            exponential request-arrival process\n"
+        "                            plus connection churn instead of a\n"
+        "                            fixed request count\n"
+        "  --arrival-gap=<cycles>    mean inter-arrival gap per worker\n"
+        "                            thread (300)\n"
+        "  --arrival-window=<cycles> arrival window length: each thread\n"
+        "                            serves requests arriving within this\n"
+        "                            many cycles of think time (500000)\n"
+        "  --churn-period=<n>        retire/rebuild one connection and\n"
+        "                            migrate the hot set every n requests\n"
+        "                            per thread (64; 0 = off)\n"
+        "\n"
+        "detection sampling (always-on monitoring; single runs, batch\n"
+        "and frontier):\n"
+        "  --sample-rate=<r>         fraction of data accesses the\n"
+        "                            detectors observe, in (0,1]; 1.0\n"
+        "                            (default) is byte-identical to an\n"
+        "                            unsampled run\n"
+        "  --sample-mode=granule|epoch\n"
+        "                            granule: seeded per-granule coin\n"
+        "                            (reports are a subset of the\n"
+        "                            unsampled run's); epoch: duty cycle\n"
+        "                            over simulated time (bounds latency)\n"
+        "  --sample-seed=<n>         sampling schedule seed (1)\n"
+        "  --sample-period=<cycles>  epoch-mode duty-cycle period (65536)\n"
+        "\n"
+        "frontier mode (overhead-vs-latency sweep; docs/observability.md):\n"
+        "  --frontier                sweep sampling rates over one\n"
+        "                            workload (default: server): per rate,\n"
+        "                            --runs injected runs with detection-\n"
+        "                            latency telemetry + one overhead\n"
+        "                            unit; writes hard.frontier.v1 to\n"
+        "                            --json (or stdout). Effectiveness\n"
+        "                            legs default to --mode=fast\n"
+        "  --rates=<r1,r2,...>       rates to sweep (1,0.5,0.25,0.125)\n"
+        "\n"
         "telemetry (single runs; see docs/observability.md):\n"
         "  --stats-json=<file>       write the full hierarchical stat\n"
         "                            registry as JSON (hard.stats.v1)\n"
@@ -227,6 +286,10 @@ usage()
         "  --explain                 (batch) embed a per-run divergence\n"
         "                            attribution block and a per-item\n"
         "                            aggregate in the --json document\n"
+        "  --latency                 (batch) embed a per-run detection-\n"
+        "                            latency block (exposure cycle +\n"
+        "                            per-detector first-matching-report\n"
+        "                            cycle) in the --json document\n"
         "\n"
         "campaign mode (crash-tolerant sharded sweeps; docs/campaigns.md):\n"
         "  --campaign                run the --batch sweep as a supervised\n"
@@ -317,6 +380,10 @@ parse(int argc, char **argv)
             "--line-bytes=",  "--mem-latency=", "--protocol=",
             "--bloom-bits=",  "--granularity=", "--barrier-reset=",
             "--max-cycles=",  "--watchdog-cycles=",
+            "--open-loop",    "--arrival-gap=", "--arrival-window=",
+            "--churn-period=",
+            "--sample-mode=", "--sample-rate=", "--sample-seed=",
+            "--sample-period=",
             "--unbounded",    "--directory",
         };
         for (const char *flag : kSingleRunFlags) {
@@ -400,6 +467,36 @@ parse(int argc, char **argv)
             o.overhead = true;
         } else if (std::strcmp(a, "--directory") == 0) {
             o.directory = true;
+        } else if (std::strcmp(a, "--open-loop") == 0) {
+            o.openLoop = true;
+        } else if (eat("--arrival-gap=", v)) {
+            o.arrivalGap = std::atof(v.c_str());
+            hard_fatal_if(o.arrivalGap <= 0.0,
+                          "--arrival-gap must be positive");
+        } else if (eat("--arrival-window=", v)) {
+            o.arrivalWindow = std::strtoull(v.c_str(), nullptr, 10);
+            hard_fatal_if(o.arrivalWindow == 0,
+                          "--arrival-window must be positive");
+        } else if (eat("--churn-period=", v)) {
+            o.churnPeriod = std::strtoull(v.c_str(), nullptr, 10);
+        } else if (eat("--sample-mode=", v)) {
+            o.sampleMode = v;
+        } else if (eat("--sample-rate=", v)) {
+            o.sampleRate = std::atof(v.c_str());
+            hard_fatal_if(!(o.sampleRate > 0.0 && o.sampleRate <= 1.0),
+                          "--sample-rate must be in (0, 1]");
+        } else if (eat("--sample-seed=", v)) {
+            o.sampleSeed = std::strtoull(v.c_str(), nullptr, 10);
+        } else if (eat("--sample-period=", v)) {
+            o.samplePeriod = std::strtoull(v.c_str(), nullptr, 10);
+            hard_fatal_if(o.samplePeriod == 0,
+                          "--sample-period must be positive");
+        } else if (std::strcmp(a, "--latency") == 0) {
+            o.latency = true;
+        } else if (std::strcmp(a, "--frontier") == 0) {
+            o.frontier = true;
+        } else if (eat("--rates=", v)) {
+            o.ratesCsv = v;
         } else if (std::strcmp(a, "--stats") == 0) {
             o.stats = true;
         } else if (eat("--stats-json=", v)) {
@@ -430,6 +527,7 @@ parse(int argc, char **argv)
             o.profile = true;
         } else if (eat("--mode=", v)) {
             o.modeName = v;
+            o.modeSet = true;
         } else if (eat("--trace-cache=", v)) {
             o.traceCacheDir = v;
         } else if (eat("--trace-cache-stats=", v)) {
@@ -478,7 +576,26 @@ makeSimConfig(const Options &o)
         cfg.memsys.protocol = CoherenceProtocol::MSI;
     else if (o.protocol != "mesi")
         fatal("unknown protocol '%s' (mesi, msi)", o.protocol.c_str());
+    if (!parseSamplingMode(o.sampleMode, cfg.sampling.mode))
+        fatal("unknown sampling mode '%s' (granule, epoch)",
+              o.sampleMode.c_str());
+    cfg.sampling.rate = o.sampleRate;
+    cfg.sampling.seed = o.sampleSeed;
+    cfg.sampling.period = o.samplePeriod;
     return cfg;
+}
+
+WorkloadParams
+makeWorkloadParams(const Options &o)
+{
+    WorkloadParams params;
+    params.scale = o.scale;
+    params.seed = o.seed;
+    params.openLoop = o.openLoop;
+    params.arrivalMeanGap = o.arrivalGap;
+    params.openLoopWindow = o.arrivalWindow;
+    params.churnPeriod = o.churnPeriod;
+    return params;
 }
 
 HardConfig
@@ -543,9 +660,7 @@ makeDetectors(const Options &o)
 int
 runBatchMode(const Options &o, ExecMode mode, TraceCache *cache)
 {
-    WorkloadParams params;
-    params.scale = o.scale;
-    params.seed = o.seed;
+    const WorkloadParams params = makeWorkloadParams(o);
 
     // Workload list: explicit comma list, or every paper workload.
     std::vector<std::string> apps;
@@ -586,6 +701,7 @@ runBatchMode(const Options &o, ExecMode mode, TraceCache *cache)
         item.hardCfg = makeHardConfig(o);
         item.collectStats = o.statsJson;
         item.collectExplain = o.explain;
+        item.collectLatency = o.latency;
         item.mode = mode;
         item.traceCache = cache;
         item.reproBase = "hardsim --workload=" + app;
@@ -609,6 +725,9 @@ runBatchMode(const Options &o, ExecMode mode, TraceCache *cache)
     // Same rule for explain-bearing journals.
     if (o.explain)
         signature += ";explain=1";
+    // And for latency-bearing journals.
+    if (o.latency)
+        signature += ";latency=1";
     // Fast-mode journals are unit-for-unit interchangeable with cycle
     // journals (identical payloads), but the mode is part of what the
     // sweep *was*; cycle sweeps omit the field so their signatures are
@@ -852,6 +971,101 @@ runBatchMode(const Options &o, ExecMode mode, TraceCache *cache)
     return skipped != 0 ? 1 : 0;
 }
 
+/**
+ * --frontier: sweep detection-sampling rates over one workload and
+ * emit the overhead-vs-latency frontier (hard.frontier.v1).
+ */
+int
+runFrontierMode(const Options &o, ExecMode mode, TraceCache *cache)
+{
+    FrontierOptions fo;
+    fo.workload = o.workloadSet ? o.workload : "server";
+    fo.wp = makeWorkloadParams(o);
+    fo.sim = makeSimConfig(o);
+    fo.hardCfg = makeHardConfig(o);
+    if (!parseSamplingMode(o.sampleMode, fo.sampleMode))
+        fatal("unknown sampling mode '%s' (granule, epoch)",
+              o.sampleMode.c_str());
+    fo.sampleSeed = o.sampleSeed;
+    fo.samplePeriod = o.samplePeriod;
+    fo.runs = o.runs;
+    fo.seed0 = o.inject ? o.injectSeed : o.batchSeed;
+    fo.effMode = mode;
+    fo.traceCache = cache;
+    fo.directory = o.directory;
+
+    fo.rates.clear();
+    std::stringstream ss(o.ratesCsv);
+    std::string tok;
+    while (std::getline(ss, tok, ','))
+        if (!tok.empty())
+            fo.rates.push_back(std::atof(tok.c_str()));
+
+    BatchOptions bopts;
+    bopts.keepGoing = o.keepGoing;
+    bopts.maxFailures = o.maxFailures;
+    bopts.unitTimeoutMs = o.unitTimeoutMs;
+
+    RunPool pool(o.jobs);
+    std::printf("frontier: %s, %zu rate(s), (%u injected + 1 race-free) "
+                "runs + 1 overhead unit each, %s sampling, %s "
+                "effectiveness legs, %u worker(s)\n\n",
+                fo.workload.c_str(), fo.rates.size(), o.runs,
+                samplingModeName(fo.sampleMode), execModeName(mode),
+                pool.jobs());
+    const Json doc = runFrontier(fo, pool, bopts);
+
+    Table t("Overhead-vs-latency frontier (" + fo.workload + ", " +
+            std::string(samplingModeName(fo.sampleMode)) + " sampling)");
+    t.setHeader({"Rate", "Coverage", "Latency p50", "Latency max",
+                 "Overhead %", "Bus occ %", "Reports/Mcyc"});
+    for (std::size_t i = 0; i < doc["points"].size(); ++i) {
+        const Json &p = doc["points"].at(i);
+        // First detector of the point (frontier default: "hard").
+        const auto &dets = p["detectors"].members();
+        char rate[32], cov[32], ovh[32], bus[32], rpm[32];
+        std::snprintf(rate, sizeof(rate), "%g", p["rate"].asDouble());
+        std::string p50 = "-", max = "-";
+        if (!dets.empty()) {
+            const Json &d = dets.front().second;
+            std::snprintf(cov, sizeof(cov), "%.2f",
+                          d["coverage"].asDouble());
+            const Json &lat = d["latency"];
+            if (lat["samples"].asUint() > 0) {
+                p50 = std::to_string(lat["p50Cycles"].asInt());
+                max = std::to_string(lat["maxCycles"].asInt());
+            }
+        } else {
+            std::snprintf(cov, sizeof(cov), "-");
+        }
+        if (p.has("overhead")) {
+            const Json &ov = p["overhead"];
+            std::snprintf(ovh, sizeof(ovh), "%.2f",
+                          ov["overheadPct"].asDouble());
+            std::snprintf(bus, sizeof(bus), "%.2f",
+                          ov["busOccupancyPct"].asDouble());
+            std::snprintf(rpm, sizeof(rpm), "%.2f",
+                          ov["reportsPerMcycle"].asDouble());
+        } else {
+            std::snprintf(ovh, sizeof(ovh), "-");
+            std::snprintf(bus, sizeof(bus), "-");
+            std::snprintf(rpm, sizeof(rpm), "-");
+        }
+        t.addRow({rate, cov, p50, max, ovh, bus, rpm});
+    }
+    std::fputs(t.render().c_str(), stdout);
+
+    if (!o.jsonPath.empty()) {
+        writeJsonFile(o.jsonPath, doc);
+        std::printf("\nfrontier written to %s\n", o.jsonPath.c_str());
+    } else {
+        std::fputs("\n", stdout);
+        std::fputs(doc.dump(2).c_str(), stdout);
+        std::fputs("\n", stdout);
+    }
+    return 0;
+}
+
 void
 printReports(const std::vector<std::unique_ptr<RaceDetector>> &dets,
              const std::vector<std::string> &site_names,
@@ -964,8 +1178,12 @@ runMain(const Options &o)
         return 0;
     }
 
-    // Fast functional mode: record-once/replay-many detection.
-    const ExecMode mode = parseExecMode(o.modeName);
+    // Fast functional mode: record-once/replay-many detection. The
+    // frontier defaults to fast effectiveness legs (one recording
+    // shared across every sampling rate) unless --mode says otherwise.
+    const ExecMode mode = (o.frontier && !o.modeSet)
+        ? ExecMode::Fast
+        : parseExecMode(o.modeName);
     hard_fatal_if((!o.traceCacheDir.empty() ||
                    !o.traceCacheStatsPath.empty()) &&
                       mode != ExecMode::Fast,
@@ -974,7 +1192,7 @@ runMain(const Options &o)
     hard_fatal_if(!o.traceCacheStatsPath.empty() &&
                       o.traceCacheDir.empty(),
                   "--trace-cache-stats requires --trace-cache=DIR");
-    hard_fatal_if(mode == ExecMode::Fast && o.overhead,
+    hard_fatal_if(!o.frontier && mode == ExecMode::Fast && o.overhead,
                   "--mode=fast cannot measure overhead (Figure 8 needs "
                   "cycle-level timing; use --mode=cycle)");
     hard_fatal_if(mode == ExecMode::Fast &&
@@ -990,6 +1208,23 @@ runMain(const Options &o)
     if (!o.traceCacheDir.empty())
         cache = std::make_unique<TraceCache>(o.traceCacheDir,
                                              o.cacheSweepAgeSec);
+
+    if (o.frontier) {
+        hard_fatal_if(o.batch,
+                      "--frontier is its own sweep driver; drop "
+                      "--batch/--campaign");
+        hard_fatal_if(o.resume, "--frontier does not support --resume");
+        hard_fatal_if(!o.record.empty() || !o.replay.empty(),
+                      "--frontier manages its own recordings; --record/"
+                      "--replay are single-run flags");
+        hard_fatal_if(o.overhead,
+                      "--frontier always measures overhead per rate; "
+                      "drop --overhead");
+        return runFrontierMode(o, mode, cache.get());
+    }
+    hard_fatal_if(o.latency && !o.batch,
+                  "--latency is a batch-mode flag (frontier mode "
+                  "collects it implicitly)");
 
     if (o.batch) {
         hard_fatal_if(o.statsInterval != 0 || !o.traceEvents.empty() ||
@@ -1028,9 +1263,7 @@ runMain(const Options &o)
                   "--explain is not supported with --overhead (it "
                   "analyzes a recorded detector run)");
 
-    WorkloadParams params;
-    params.scale = o.scale;
-    params.seed = o.seed;
+    const WorkloadParams params = makeWorkloadParams(o);
 
     if (o.overhead) {
         SimConfig sim = makeSimConfig(o);
@@ -1058,6 +1291,19 @@ runMain(const Options &o)
     std::vector<AccessObserver *> observers;
     for (auto &d : dets)
         observers.push_back(d.get());
+
+    // Detection sampling wraps each detector in the deterministic
+    // duty-cycle schedule; rate 1.0 attaches the raw detectors, so
+    // unsampled runs are byte-identical to pre-sampling builds.
+    const SamplingSpec sampling = makeSimConfig(o).sampling;
+    std::vector<std::unique_ptr<SamplingObserver>> sampled;
+    if (sampling.active()) {
+        for (AccessObserver *&obs : observers) {
+            sampled.push_back(
+                std::make_unique<SamplingObserver>(*obs, sampling));
+            obs = sampled.back().get();
+        }
+    }
 
     if (!o.replay.empty()) {
         Trace trace = readTrace(o.replay);

@@ -133,10 +133,27 @@ render(const Json &st)
                 rates["retryRate"].asDouble() * 100.0,
                 rates["quarantineRate"].asDouble() * 100.0);
 
+    // Detection-report telemetry (monitored campaigns): total dynamic
+    // reports journaled so far, reports/sec, and the age of the
+    // newest report anywhere in the fleet.
+    if (st.has("reports")) {
+        const Json &rep = st["reports"];
+        std::printf("  reports %llu  %.2f report(s)/s",
+                    static_cast<unsigned long long>(
+                        rep["total"].asUint()),
+                    rep["perSec"].asDouble());
+        if (rep.has("lastAgeSeconds"))
+            std::printf("  last %s ago",
+                        fmtSeconds(rep["lastAgeSeconds"].asDouble())
+                            .c_str());
+        std::printf("\n");
+    }
+
     const Json &shards = st["shards"];
     if (shards.size() != 0) {
-        std::printf("\n  %-6s %-8s %-12s %-10s %-10s %-8s\n", "shard",
-                    "pid", "done", "units/s", "rss", "state");
+        std::printf("\n  %-6s %-8s %-12s %-10s %-10s %-10s %-8s\n",
+                    "shard", "pid", "done", "units/s", "reports", "rss",
+                    "state");
         for (std::size_t i = 0; i < shards.size(); ++i) {
             const Json &sh = shards.at(i);
             char prog[32];
@@ -149,13 +166,14 @@ render(const Json &st)
             std::snprintf(rss, sizeof(rss), "%lluM",
                           static_cast<unsigned long long>(
                               sh["rssBytes"].asUint() / (1024 * 1024)));
-            std::printf("  %-6llu %-8llu %-12s %-10.2f %-10s %-8s\n",
-                        static_cast<unsigned long long>(
-                            sh["spawnId"].asUint()),
-                        static_cast<unsigned long long>(
-                            sh["pid"].asUint()),
-                        prog, sh["unitsPerSec"].asDouble(), rss,
-                        sh["stalled"].asBool() ? "STALLED" : "live");
+            std::printf(
+                "  %-6llu %-8llu %-12s %-10.2f %-10llu %-10s %-8s\n",
+                static_cast<unsigned long long>(sh["shard"].asUint()),
+                static_cast<unsigned long long>(sh["pid"].asUint()),
+                prog, sh["unitsPerSec"].asDouble(),
+                static_cast<unsigned long long>(
+                    sh.has("reports") ? sh["reports"].asUint() : 0),
+                rss, sh["stalled"].asBool() ? "STALLED" : "live");
         }
     }
     return state == "complete";
